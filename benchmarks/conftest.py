@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark suite.
+
+Data is generated once per session at "quick" scale; every benchmark
+target mirrors a table/figure of the paper (see DESIGN.md's
+per-experiment index) or an ablation of a design choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.callvolume import CallVolumeConfig, generate_call_volume
+from repro.data.synthetic import SixRegionConfig, generate_six_region, tile_truth_labels
+from repro.table.tiles import TileGrid
+
+
+@pytest.fixture(scope="session")
+def call_table():
+    """Six days of synthetic call volume, 128 stations."""
+    return generate_call_volume(CallVolumeConfig(n_stations=128, n_days=6, seed=0))
+
+
+@pytest.fixture(scope="session")
+def call_tiles(call_table):
+    """Day-by-16-stations tiles of the call table (the Figure 3 unit)."""
+    grid = call_table.grid((16, 144))
+    tiles = [call_table.values[spec.slices] for spec in grid]
+    return grid, tiles
+
+
+@pytest.fixture(scope="session")
+def six_region():
+    """The planted-clustering table, its grid, and tile ground truth."""
+    table, row_regions = generate_six_region(SixRegionConfig(n_rows=256, n_cols=256))
+    grid = TileGrid(table.shape, (16, 16))
+    truth = tile_truth_labels(grid, row_regions)
+    return table, grid, truth
+
+
+@pytest.fixture(scope="session")
+def random_pair_positions(call_table):
+    """Shared random window positions for the Figure 2 benches."""
+
+    def make(side: int, count: int, seed: int = 1):
+        rng = np.random.default_rng(seed)
+        shape = call_table.shape
+        rows = rng.integers(0, shape[0] - side + 1, size=(2, count))
+        cols = rng.integers(0, shape[1] - side + 1, size=(2, count))
+        return rows, cols
+
+    return make

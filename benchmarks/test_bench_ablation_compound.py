@@ -1,0 +1,73 @@
+"""Bench ABL-compound: Definition-4 compound sketches vs alternatives.
+
+Three ways to answer an arbitrary-rectangle sketch query from a dyadic
+pool, benched and accuracy-banded:
+
+* **compound** (the paper): O(1) map lookups, estimates inflated into
+  the Theorem-5 band [1-eps, 4(1+eps)];
+* **disjoint** (our extension): O(log^2) lookups, no inflation;
+* **direct**: sketch the raw tile from scratch — exact-quality sketch,
+  but touches all k*M elements (what the pool exists to avoid).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import estimate_distance
+from repro.core.generator import SketchGenerator
+from repro.core.norms import lp_distance
+from repro.core.pool import SketchPool
+from repro.table.tiles import TileSpec
+
+K = 256
+SPEC_A = TileSpec(3, 5, 12, 20)  # 12 = 8+4, 20 = 16+4: non-dyadic dims
+SPEC_B = TileSpec(40, 33, 12, 20)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    data = np.random.default_rng(0).normal(size=(64, 64))
+    pool = SketchPool(data, SketchGenerator(p=1.0, k=K, seed=1), min_exponent=2)
+    # Warm every map the queries need, so benches measure queries only.
+    pool.sketch_for(SPEC_A)
+    pool.disjoint_sketch_for(SPEC_A)
+    return data, pool
+
+
+def test_compound_query(benchmark, pool):
+    _data, p = pool
+    benchmark(p.sketch_for, SPEC_A)
+
+
+def test_disjoint_query(benchmark, pool):
+    _data, p = pool
+    benchmark(p.disjoint_sketch_for, SPEC_A)
+
+
+def test_direct_sketch(benchmark, pool):
+    data, p = pool
+    tile = data[SPEC_A.slices]
+    benchmark(p.generator.sketch, tile)
+
+
+def test_accuracy_bands(benchmark, pool):
+    """Compound lands in the Theorem-5 band; disjoint tracks the truth."""
+    data, p = pool
+    exact = lp_distance(data[SPEC_A.slices], data[SPEC_B.slices], 1.0)
+
+    def estimates():
+        compound = estimate_distance(p.sketch_for(SPEC_A), p.sketch_for(SPEC_B))
+        disjoint = estimate_distance(
+            p.disjoint_sketch_for(SPEC_A), p.disjoint_sketch_for(SPEC_B)
+        )
+        return compound, disjoint
+
+    compound, disjoint = benchmark.pedantic(estimates, rounds=1, iterations=1)
+    benchmark.extra_info["compound_ratio"] = compound / exact
+    benchmark.extra_info["disjoint_ratio"] = disjoint / exact
+    assert 0.7 * exact < compound < 4 * 1.3 * exact
+    assert 0.75 * exact < disjoint < 1.25 * exact
+    # The compound estimate pays an inflation the disjoint one does not.
+    assert abs(disjoint - exact) < abs(compound - exact)

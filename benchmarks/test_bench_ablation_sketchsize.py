@@ -1,0 +1,97 @@
+"""Bench ABL-sketchsize: the accuracy/time knob.
+
+The paper: "the accuracy of sketching can be improved by using larger
+sized sketches" and "this time benefit could be made even more
+pronounced by reducing the size of the sketches at the expense of a
+loss in accuracy".  This ablation measures both sides: comparison time
+grows with k, mean relative error shrinks ~ 1/sqrt(k).  It also covers
+the p=2 estimator choice (Euclidean vs median) the paper remarks on in
+Section 4.4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import estimate_distance
+from repro.core.generator import SketchGenerator
+from repro.core.norms import lp_distance
+
+SIZES = (8, 32, 128, 512)
+
+
+@pytest.fixture(scope="module")
+def tile_pair():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(48, 48))
+    return x, x + rng.normal(size=(48, 48))
+
+
+def _mean_rel_error(p, k, tile_pair, method="auto", n_draws=15):
+    x, y = tile_pair
+    exact = lp_distance(x, y, p)
+    errors = []
+    for seed in range(n_draws):
+        gen = SketchGenerator(p=p, k=k, seed=seed)
+        approx = estimate_distance(gen.sketch(x), gen.sketch(y), method=method)
+        errors.append(abs(approx - exact) / exact)
+    return float(np.mean(errors))
+
+
+@pytest.mark.parametrize("k", SIZES)
+def test_comparison_time_vs_k(benchmark, tile_pair, k):
+    """Time of one sketched comparison as k grows."""
+    x, y = tile_pair
+    gen = SketchGenerator(p=1.0, k=k, seed=0)
+    sx, sy = gen.sketch(x), gen.sketch(y)
+    benchmark(estimate_distance, sx, sy)
+
+
+@pytest.mark.parametrize("k", SIZES)
+def test_accuracy_vs_k(benchmark, tile_pair, k):
+    """Mean relative error at each k (recorded as extra_info)."""
+    error = benchmark.pedantic(
+        _mean_rel_error, args=(1.0, k, tile_pair), rounds=1, iterations=1
+    )
+    benchmark.extra_info["mean_rel_error"] = error
+    if k == SIZES[-1]:
+        assert error < 0.1
+
+
+def test_error_shrinks_with_k(benchmark, tile_pair):
+    """Large sketches are several times more accurate than tiny ones."""
+
+    def spread():
+        return _mean_rel_error(1.0, 8, tile_pair), _mean_rel_error(1.0, 512, tile_pair)
+
+    small_k_error, large_k_error = benchmark.pedantic(spread, rounds=1, iterations=1)
+    assert large_k_error * 3 < small_k_error
+
+
+def test_p2_l2_estimator_faster_than_median(benchmark):
+    """Section 4.4: for p=2 the Euclidean estimator beats the median —
+    measured on the vectorised kernel the clustering oracles run (a
+    batch of sketch differences), where the gap actually matters."""
+    import time
+
+    rng = np.random.default_rng(0)
+    diffs = rng.normal(size=(2000, 512))
+
+    def l2_kernel():
+        return np.sqrt(np.sum(diffs * diffs, axis=1) / (2.0 * 512))
+
+    def median_kernel():
+        return np.median(np.abs(diffs), axis=1)
+
+    def timed(kernel, repeats=20):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            kernel()
+        return time.perf_counter() - start
+
+    ratio = benchmark.pedantic(
+        lambda: timed(median_kernel) / timed(l2_kernel), rounds=3, iterations=1
+    )
+    # The median path partitions every row; the l2 path is one pass.
+    assert ratio > 1.5

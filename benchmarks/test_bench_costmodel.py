@@ -1,0 +1,61 @@
+"""Bench TAB-costmodel: per-comparison cost of the distance routines.
+
+Microbenchmarks a single distance call per oracle mode — the paper's
+"cost of a comparison" unit — and pins the element-touch accounting the
+wall-clock figures are built on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.distance import ExactLpOracle, PrecomputedSketchOracle
+from repro.core.generator import SketchGenerator
+from repro.experiments.costmodel import (
+    exact_comparison_cost,
+    sketch_comparison_cost,
+)
+
+K = 64
+
+
+@pytest.fixture(scope="module")
+def oracles(call_tiles):
+    _grid, tiles = call_tiles
+    gen = SketchGenerator(p=1.0, k=K, seed=0)
+    exact = ExactLpOracle(tiles, p=1.0)
+    sketched = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+    return exact, sketched
+
+
+def test_exact_single_comparison(benchmark, oracles, call_tiles):
+    exact, _ = oracles
+    benchmark(exact.distance, 0, 1)
+    _grid, tiles = call_tiles
+    per = exact.stats.elements_touched / exact.stats.comparisons
+    assert per == exact_comparison_cost(tiles[0].size)
+
+
+def test_sketch_single_comparison(benchmark, oracles):
+    _, sketched = oracles
+    benchmark(sketched.distance, 0, 1)
+    per = sketched.stats.elements_touched / sketched.stats.comparisons
+    assert per == sketch_comparison_cost(K)
+
+
+def test_sketch_touches_fewer_elements(benchmark, oracles, call_tiles):
+    """The whole point, in one assertion: a sketched comparison touches
+    a tile-size-independent number of elements."""
+    exact, sketched = oracles
+    _grid, tiles = call_tiles
+
+    def both():
+        exact.stats.reset()
+        sketched.stats.reset()
+        exact.distance(2, 3)
+        sketched.distance(2, 3)
+        return exact.stats.elements_touched, sketched.stats.elements_touched
+
+    exact_elements, sketch_elements = benchmark.pedantic(both, rounds=3, iterations=1)
+    assert sketch_elements * 10 <= exact_elements
+    assert sketch_elements == 2 * K

@@ -1,0 +1,80 @@
+"""Bench FIG2: distance-evaluation cost vs object size (both panels).
+
+Regenerates the Figure 2 comparison: exact evaluation cost grows with
+the tile size, sketch comparisons stay flat, and preprocessing is a
+table-size (not tile-size) cost.  The accuracy assertions pin the
+correctness panels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.generator import SketchGenerator
+from repro.core.norms import lp_distance
+from repro.core.pipeline import sketch_all_positions
+from repro.metrics.correctness import average_correctness, cumulative_correctness
+from repro.stable.scale import sample_median_scale
+
+K = 64
+N_PAIRS = 500
+SIDES = (8, 32, 64)
+
+
+def _exact_batch(values, rows, cols, side, p):
+    out = np.empty(rows.shape[1])
+    for i in range(rows.shape[1]):
+        a = values[rows[0, i] : rows[0, i] + side, cols[0, i] : cols[0, i] + side]
+        b = values[rows[1, i] : rows[1, i] + side, cols[1, i] : cols[1, i] + side]
+        out[i] = lp_distance(a, b, p)
+    return out
+
+
+def _sketch_batch(maps, rows, cols, p):
+    a = maps[:, rows[0], cols[0]].T.astype(np.float64)
+    b = maps[:, rows[1], cols[1]].T.astype(np.float64)
+    diff = a - b
+    if p == 2.0:
+        return np.sqrt(np.sum(diff * diff, axis=1) / (2.0 * K))
+    return np.median(np.abs(diff), axis=1) / sample_median_scale(p, K)
+
+
+@pytest.mark.parametrize("p", [1.0, 2.0], ids=["L1", "L2"])
+@pytest.mark.parametrize("side", SIDES)
+def test_exact_pair_evaluations(benchmark, call_table, random_pair_positions, side, p):
+    """Exact evaluation of N_PAIRS random pairs (cost grows with side)."""
+    rows, cols = random_pair_positions(side, N_PAIRS)
+    values = call_table.values
+    benchmark(_exact_batch, values, rows, cols, side, p)
+
+
+@pytest.mark.parametrize("p", [1.0, 2.0], ids=["L1", "L2"])
+@pytest.mark.parametrize("side", SIDES)
+def test_sketch_pair_evaluations(benchmark, call_table, random_pair_positions, side, p):
+    """Sketched evaluation of the same pairs (cost flat in side), plus
+    the Figure 2 correctness panels."""
+    gen = SketchGenerator(p=p, k=K, seed=0)
+    sample_median_scale(p, K)  # calibration is setup, not comparison
+    maps = sketch_all_positions(call_table.values, (side, side), gen, out_dtype=np.float32)
+    rows, cols = random_pair_positions(side, N_PAIRS)
+
+    approx = benchmark(_sketch_batch, maps, rows, cols, p)
+
+    exact = _exact_batch(call_table.values, rows, cols, side, p)
+    assert cumulative_correctness(approx, exact) == pytest.approx(1.0, abs=0.25)
+    assert average_correctness(approx, exact) > 0.75
+
+
+@pytest.mark.parametrize("side", SIDES)
+def test_preprocessing_pass(benchmark, call_table, side):
+    """The Theorem-3 FFT pass: cost tracks the table size, roughly flat
+    across tile sizes."""
+    gen = SketchGenerator(p=1.0, k=8, seed=0)  # small k: the bench scales linearly in k
+    benchmark.pedantic(
+        sketch_all_positions,
+        args=(call_table.values, (side, side), gen),
+        kwargs={"out_dtype": np.float32},
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,75 @@
+"""Bench FIG3: 20-means wall time under the three distance modes.
+
+Regenerates the Figure 3(a) comparison at quick scale, with the
+hardware-independent shape pinned through the oracles' cost accounting
+(elements touched), and Figure 3(b)'s quality claim asserted.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.kmeans import KMeans
+from repro.core.distance import (
+    ExactLpOracle,
+    OnDemandSketchOracle,
+    PrecomputedSketchOracle,
+)
+from repro.core.generator import SketchGenerator
+from repro.core.pipeline import sketch_grid
+from repro.metrics.confusion import confusion_matrix_agreement
+from repro.metrics.quality import clustering_quality
+
+P = 1.0
+K = 64
+N_CLUSTERS = 20
+
+
+def _make_oracle(mode, call_table, call_tiles):
+    grid, tiles = call_tiles
+    if mode == "exact":
+        return ExactLpOracle(tiles, P)
+    gen = SketchGenerator(p=P, k=K, seed=0)
+    if mode == "precomputed":
+        return PrecomputedSketchOracle(sketch_grid(call_table.values, grid, gen), P)
+    return OnDemandSketchOracle(lambda i: tiles[i], len(tiles), gen)
+
+
+@pytest.mark.parametrize("mode", ["precomputed", "on-demand", "exact"])
+def test_kmeans_modes(benchmark, call_table, call_tiles, mode):
+    """k-means wall time per mode; elements-touched ordering asserted."""
+    kmeans = KMeans(N_CLUSTERS, max_iter=30, seed=7)
+
+    def run():
+        oracle = _make_oracle(mode, call_table, call_tiles)
+        kmeans.fit(oracle)
+        return oracle
+
+    oracle = benchmark.pedantic(run, rounds=3, iterations=1)
+
+    _grid, tiles = call_tiles
+    tile_cells = tiles[0].size
+    per_comparison = oracle.stats.elements_touched / oracle.stats.comparisons
+    if mode == "exact":
+        assert per_comparison == 2 * tile_cells
+    else:
+        assert per_comparison == 2 * K  # independent of the tile size
+
+
+def test_sketched_clustering_quality(benchmark, call_table, call_tiles):
+    """Figure 3(b): the sketched partition is as tight as the exact one."""
+    grid, tiles = call_tiles
+    gen = SketchGenerator(p=P, k=K, seed=0)
+    matrix = sketch_grid(call_table.values, grid, gen)
+    kmeans = KMeans(N_CLUSTERS, max_iter=30, seed=7)
+
+    sketched = benchmark.pedantic(
+        lambda: kmeans.fit(PrecomputedSketchOracle(matrix, P)), rounds=3, iterations=1
+    )
+
+    exact_oracle = ExactLpOracle(tiles, P)
+    exact = kmeans.fit(exact_oracle)
+    agreement = confusion_matrix_agreement(exact.labels, sketched.labels, N_CLUSTERS)
+    quality = clustering_quality(exact_oracle, exact.labels, sketched.labels)
+    assert agreement > 0.5
+    assert quality > 0.85  # "as good as exact", Definition 11

@@ -1,0 +1,72 @@
+"""Bench FIG4a: k-means cost vs number of clusters, three modes.
+
+The benchmark table (grouped by cluster count) regenerates the Figure
+4(a) series; the assertions pin its shape via the cost model: exact
+work grows linearly with the cluster count, the on-demand overhead over
+precomputed is a constant independent of it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.kmeans import KMeans
+from repro.core.distance import (
+    ExactLpOracle,
+    OnDemandSketchOracle,
+    PrecomputedSketchOracle,
+)
+from repro.core.generator import SketchGenerator
+from repro.core.pipeline import sketch_grid
+from repro.experiments.costmodel import kmeans_cost
+
+P = 1.0
+K = 256
+CLUSTER_COUNTS = (4, 16, 48)
+
+
+@pytest.mark.parametrize("n_clusters", CLUSTER_COUNTS)
+@pytest.mark.parametrize("mode", ["precomputed", "on-demand", "exact"])
+def test_kmeans_vs_cluster_count(benchmark, call_table, call_tiles, mode, n_clusters):
+    grid, tiles = call_tiles
+    if n_clusters > len(tiles):
+        pytest.skip("not enough tiles at quick scale")
+    kmeans = KMeans(n_clusters, max_iter=20, seed=7)
+
+    if mode == "precomputed":
+        matrix = sketch_grid(
+            call_table.values, grid, SketchGenerator(p=P, k=K, seed=0)
+        )
+
+    def run():
+        if mode == "exact":
+            oracle = ExactLpOracle(tiles, P)
+        elif mode == "precomputed":
+            oracle = PrecomputedSketchOracle(matrix, P)
+        else:
+            oracle = OnDemandSketchOracle(
+                lambda i: tiles[i], len(tiles), SketchGenerator(p=P, k=K, seed=0)
+            )
+        kmeans.fit(oracle)
+        return oracle
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_cost_model_shape(call_tiles):
+    """The paper's claimed shape, from first principles."""
+    _grid, tiles = call_tiles
+    cells = tiles[0].size
+    exact_4 = kmeans_cost(len(tiles), 4, 10, cells, K, "exact").elements
+    exact_48 = kmeans_cost(len(tiles), 48, 10, cells, K, "exact").elements
+    assert exact_48 / exact_4 == pytest.approx(12.0)  # linear in cluster count
+
+    overhead_4 = (
+        kmeans_cost(len(tiles), 4, 10, cells, K, "on-demand").elements
+        - kmeans_cost(len(tiles), 4, 10, cells, K, "precomputed").elements
+    )
+    overhead_48 = (
+        kmeans_cost(len(tiles), 48, 10, cells, K, "on-demand").elements
+        - kmeans_cost(len(tiles), 48, 10, cells, K, "precomputed").elements
+    )
+    assert overhead_4 == overhead_48  # constant sketch-build overhead

@@ -1,0 +1,51 @@
+"""Bench FIG4b: planted-clustering recovery as p varies.
+
+Benches the sketched 6-means at representative p values and asserts the
+inverted-U: the fractional-p plateau recovers the planted clustering
+while L2 collapses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.kmeans import KMeans
+from repro.core.distance import PrecomputedSketchOracle
+from repro.core.generator import SketchGenerator
+from repro.core.pipeline import sketch_grid
+from repro.metrics.confusion import confusion_matrix_agreement
+
+K = 192
+N_RESTARTS = 3
+
+
+def _accuracy_at(p, six_region):
+    table, grid, truth = six_region
+    gen = SketchGenerator(p=p, k=K, seed=0)
+    oracle = PrecomputedSketchOracle(sketch_grid(table.values, grid, gen), p)
+    best = None
+    for restart in range(N_RESTARTS):
+        result = KMeans(6, max_iter=40, seed=restart).fit(oracle)
+        if best is None or result.spread < best.spread:
+            best = result
+    return confusion_matrix_agreement(truth, best.labels, 6)
+
+
+@pytest.mark.parametrize("p", [0.25, 0.5, 1.0, 2.0])
+def test_recovery_at_p(benchmark, six_region, p):
+    accuracy = benchmark.pedantic(_accuracy_at, args=(p, six_region), rounds=2, iterations=1)
+    benchmark.extra_info["accuracy"] = accuracy
+    if p in (0.25, 0.5):
+        assert accuracy >= 0.9  # the fractional-p plateau
+    if p == 2.0:
+        assert accuracy <= 0.8  # outliers wreck L2
+
+
+def test_inverted_u_shape(benchmark, six_region):
+    """One benched call pinning the whole Figure 4(b) ordering."""
+
+    def sweep():
+        return {p: _accuracy_at(p, six_region) for p in (0.5, 2.0)}
+
+    accuracy = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert accuracy[0.5] > accuracy[2.0] + 0.15

@@ -1,0 +1,56 @@
+"""Bench FIG5: the case-study clustering behind the ASCII picture.
+
+Benches the sketch-and-cluster pipeline for one day at p=2.0 and
+p=0.25, and asserts the qualitative contrast the paper draws: lower p
+pushes more of the map into the default (largest) cluster, leaving only
+the strongly distinct regions marked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.kmeans import KMeans
+from repro.core.distance import PrecomputedSketchOracle
+from repro.core.generator import SketchGenerator
+from repro.core.pipeline import sketch_grid
+from repro.data.callvolume import CallVolumeConfig, generate_call_volume
+
+K = 96
+N_CLUSTERS = 8
+
+
+@pytest.fixture(scope="module")
+def one_day():
+    table = generate_call_volume(CallVolumeConfig(n_stations=240, n_days=1, seed=0))
+    grid = table.grid((8, 6))  # 8-station groups by hour
+    return table, grid
+
+
+def _cluster_at(p, one_day):
+    table, grid = one_day
+    gen = SketchGenerator(p=p, k=K, seed=0)
+    oracle = PrecomputedSketchOracle(sketch_grid(table.values, grid, gen), p)
+    return KMeans(N_CLUSTERS, max_iter=40, seed=0).fit(oracle)
+
+
+@pytest.mark.parametrize("p", [2.0, 0.25])
+def test_case_study_clustering(benchmark, one_day, p):
+    result = benchmark.pedantic(_cluster_at, args=(p, one_day), rounds=2, iterations=1)
+    assert result.n_clusters == N_CLUSTERS
+
+
+def test_low_p_emphasises_fewer_regions(benchmark, one_day):
+    """At p=0.25 the dominant cluster swallows more of the map than at
+    p=2.0 — the paper's 'only a few regions remain distinct'."""
+
+    def dominant_shares():
+        shares = {}
+        for p in (2.0, 0.25):
+            labels = _cluster_at(p, one_day).labels
+            shares[p] = np.bincount(labels).max() / labels.size
+        return shares
+
+    shares = benchmark.pedantic(dominant_shares, rounds=1, iterations=1)
+    assert shares[0.25] > shares[2.0]

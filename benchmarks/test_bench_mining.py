@@ -1,0 +1,86 @@
+"""Bench EXT-mining: the sketch-powered mining applications.
+
+Benches the mining layer built on the paper's machinery — pairwise
+matrices, similarity joins, VP-tree queries, outlier scoring — each at
+quick scale with its headline guarantee asserted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.base import pairwise_distance_matrix
+from repro.core.distance import ExactLpOracle, PrecomputedSketchOracle
+from repro.core.generator import SketchGenerator
+from repro.mining import VPTree, nearest_neighbors, sketch_similarity_join, top_outliers
+
+K = 64
+
+
+@pytest.fixture(scope="module")
+def mining_tiles(call_tiles):
+    _grid, tiles = call_tiles
+    return tiles
+
+
+@pytest.fixture(scope="module")
+def sketched_oracle(mining_tiles):
+    gen = SketchGenerator(p=1.0, k=K, seed=0)
+    return PrecomputedSketchOracle.from_sketches(gen.sketch_many(mining_tiles))
+
+
+def test_pairwise_matrix_sketched(benchmark, sketched_oracle):
+    matrix = benchmark(sketched_oracle.pairwise_matrix)
+    assert matrix.shape == (sketched_oracle.n_items,) * 2
+    np.testing.assert_allclose(matrix, matrix.T)
+
+
+def test_pairwise_matrix_exact(benchmark, mining_tiles):
+    oracle = ExactLpOracle(mining_tiles, p=1.0)
+    matrix = benchmark(oracle.pairwise_matrix)
+    assert np.all(np.diag(matrix) == 0.0)
+
+
+def test_fast_path_dispatch(benchmark, sketched_oracle):
+    """pairwise_distance_matrix must route to the vectorised method."""
+    before = sketched_oracle.stats.comparisons
+    matrix = benchmark.pedantic(
+        pairwise_distance_matrix, args=(sketched_oracle,), rounds=2, iterations=1
+    )
+    assert matrix.shape[0] == sketched_oracle.n_items
+    n = sketched_oracle.n_items
+    assert sketched_oracle.stats.comparisons >= before + n * (n - 1) // 2
+
+
+def test_similarity_join(benchmark, mining_tiles):
+    half = len(mining_tiles) // 2
+    gen = SketchGenerator(p=1.0, k=K, seed=1)
+    pairs = benchmark.pedantic(
+        sketch_similarity_join,
+        args=(mining_tiles[:half], mining_tiles[half:], gen),
+        kwargs={"n_pairs": 5},
+        rounds=2,
+        iterations=1,
+    )
+    assert len(pairs) == 5
+    distances = [pair.distance for pair in pairs]
+    assert distances == sorted(distances)
+
+
+def test_vptree_query(benchmark, sketched_oracle):
+    tree = VPTree(sketched_oracle, leaf_size=4, slack=0.4, seed=0)
+    hits = benchmark(tree.nearest, 0, 3)
+    scan = {i for i, _ in nearest_neighbors(sketched_oracle, 0, 3)}
+    assert len({i for i, _ in hits} & scan) >= 2
+
+
+def test_outlier_scoring(benchmark, mining_tiles):
+    tiles = list(mining_tiles)
+    tiles.append(tiles[0] + 1e5)  # plant an anomaly
+    gen = SketchGenerator(p=1.0, k=K, seed=2)
+    oracle = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+    top = benchmark.pedantic(
+        top_outliers, args=(oracle, 1), rounds=2, iterations=1
+    )
+    assert top[0][0] == len(tiles) - 1

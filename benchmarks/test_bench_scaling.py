@@ -1,0 +1,63 @@
+"""Bench EXT-scaling: preprocessing near-linearity in the table size.
+
+Benches the Theorem-3 pass over stitched tables of 1/2/4 days and pins
+the Theorem-6 claim loosely on wall clock (doubling the table must not
+quadruple the pass) and exactly on the cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.generator import SketchGenerator
+from repro.core.pipeline import sketch_all_positions
+from repro.data.callvolume import CallVolumeConfig, generate_call_volume
+from repro.experiments.costmodel import fft_preprocess_cost
+from repro.experiments.harness import Timer
+
+K = 8
+SIDE = 32
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return {
+        days: generate_call_volume(
+            CallVolumeConfig(n_stations=128, n_days=days, seed=0)
+        ).values
+        for days in (1, 2, 4)
+    }
+
+
+@pytest.mark.parametrize("days", [1, 2, 4])
+def test_preprocessing_pass(benchmark, tables, days):
+    gen = SketchGenerator(p=1.0, k=K, seed=0)
+    benchmark.pedantic(
+        sketch_all_positions,
+        args=(tables[days], (SIDE, SIDE), gen),
+        kwargs={"out_dtype": np.float32},
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_near_linearity(benchmark, tables):
+    """4x the table must cost well under 16x the preprocessing time."""
+    gen = SketchGenerator(p=1.0, k=K, seed=0)
+
+    def measure():
+        times = {}
+        for days, values in tables.items():
+            with Timer() as timer:
+                sketch_all_positions(values, (SIDE, SIDE), gen, out_dtype=np.float32)
+            times[days] = timer.seconds
+        return times
+
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert times[4] / times[1] < 12.0  # ~4 for linear; generous slack
+
+    # The cost model states it exactly (padded-FFT staircase included).
+    model_1 = fft_preprocess_cost(tables[1].shape, (SIDE, SIDE), K)
+    model_4 = fft_preprocess_cost(tables[4].shape, (SIDE, SIDE), K)
+    assert model_4 / model_1 < 10.0

@@ -1,0 +1,81 @@
+"""Bench EXT-streaming: turnstile sketch maintenance throughput.
+
+Not a paper figure — an extension in the direct lineage of the paper's
+[12] (stable sketches for data streams).  Benches the per-update and
+bulk-ingest costs and pins the core guarantees: permutation invariance
+and exact mergeability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.norms import lp_distance
+from repro.stream import StreamingSketch
+
+K = 64
+SHAPE = (64, 144)
+
+
+@pytest.fixture(scope="module")
+def update_batch():
+    rng = np.random.default_rng(0)
+    count = 200
+    rows = rng.integers(0, SHAPE[0], size=count)
+    cols = rng.integers(0, SHAPE[1], size=count)
+    deltas = rng.normal(size=count) * 10
+    return rows, cols, deltas
+
+
+def test_single_update(benchmark):
+    sketch = StreamingSketch(1.0, K, SHAPE, seed=1)
+    benchmark(sketch.update, 10, 20, 1.5)
+
+
+def test_update_batch(benchmark, update_batch):
+    rows, cols, deltas = update_batch
+
+    def ingest():
+        sketch = StreamingSketch(1.0, K, SHAPE, seed=1)
+        sketch.update_many(rows, cols, deltas)
+        return sketch
+
+    benchmark.pedantic(ingest, rounds=3, iterations=1)
+
+
+def test_bulk_ingest_from_array(benchmark):
+    array = np.random.default_rng(2).poisson(5.0, size=(16, 36)).astype(float)
+    benchmark.pedantic(
+        StreamingSketch.from_array,
+        args=(array,),
+        kwargs={"p": 1.0, "k": K, "seed": 3},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_distance_query(benchmark):
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(16, 16))
+    y = x + rng.normal(size=(16, 16))
+    a = StreamingSketch.from_array(x, p=1.0, k=256, seed=5)
+    b = StreamingSketch.from_array(y, p=1.0, k=256, seed=5)
+
+    estimate = benchmark(a.estimate_distance, b)
+
+    exact = lp_distance(x, y, 1.0)
+    assert abs(estimate - exact) / exact < 0.35
+
+
+def test_merge_is_exact(benchmark):
+    rng = np.random.default_rng(6)
+    x = rng.normal(size=(12, 12))
+    y = rng.normal(size=(12, 12))
+    a = StreamingSketch.from_array(x, p=1.0, k=K, seed=7)
+    b = StreamingSketch.from_array(y, p=1.0, k=K, seed=7)
+
+    merged = benchmark(a.merged, b)
+
+    direct = StreamingSketch.from_array(x + y, p=1.0, k=K, seed=7)
+    np.testing.assert_allclose(merged.values, direct.values, atol=1e-8)

@@ -1,0 +1,70 @@
+"""Bench EXT-trends: time-series trend mining via sketches.
+
+Covers the paper's [13] layer: the FFT sliding-window sketch pass vs
+sketching each window directly, and the end-to-end trend queries with
+their correctness pinned (the relaxed period of a diurnal series is a
+day).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.generator import SketchGenerator
+from repro.mining import relaxed_period, representative_trend, sliding_window_sketches
+
+WINDOW = 64
+K = 32
+
+
+@pytest.fixture(scope="module")
+def series(call_table):
+    """The busiest station's full series from the shared call table."""
+    values = call_table.values
+    return values[int(np.argmax(values.sum(axis=1)))]
+
+
+def test_sliding_sketches_fft(benchmark, series):
+    gen = SketchGenerator(p=1.0, k=K, seed=0)
+    benchmark.pedantic(
+        sliding_window_sketches, args=(series, WINDOW, gen), rounds=3, iterations=1
+    )
+
+
+def test_sliding_sketches_direct(benchmark, series):
+    """The naive per-window alternative the FFT pass replaces."""
+    gen = SketchGenerator(p=1.0, k=K, seed=0)
+
+    def direct():
+        windows = [
+            series[i : i + WINDOW] for i in range(series.size - WINDOW + 1)
+        ]
+        return np.stack([s.values for s in gen.sketch_many(windows)])
+
+    matrix = benchmark.pedantic(direct, rounds=2, iterations=1)
+
+    fft_matrix = sliding_window_sketches(series, WINDOW, gen)
+    np.testing.assert_allclose(matrix, fft_matrix, atol=1e-6)
+
+
+def test_representative_trend_query(benchmark, series):
+    best, costs = benchmark.pedantic(
+        representative_trend,
+        args=(series, 144),
+        kwargs={"p": 1.0, "k": 64},
+        rounds=2,
+        iterations=1,
+    )
+    assert 0 <= best < costs.size
+
+
+def test_relaxed_period_finds_the_day(benchmark, series):
+    best, _scores = benchmark.pedantic(
+        relaxed_period,
+        args=(series, [72, 108, 144]),
+        kwargs={"p": 1.0, "k": 64},
+        rounds=1,
+        iterations=1,
+    )
+    assert best == 144  # one day of 10-minute intervals

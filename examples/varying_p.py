@@ -1,0 +1,59 @@
+"""The fractional-p similarity dial (the paper's Section 4.5 story).
+
+Builds the six-region planted-clustering table — six bands of distinct
+uniform fills, then ~1% outliers that are large-but-plausible — and
+tries to recover the planted clustering with sketched 6-means at a
+range of p values.
+
+What to look for in the output:
+
+* L2 fails: a single outlier contributes the *square* of a huge value,
+  drowning the region structure;
+* a broad plateau of fractional p (~0.25-1.0) recovers the planted
+  clustering perfectly;
+* very small p approaches Hamming distance; since almost every cell
+  differs anyway (and sketch noise blows up as p -> 0), quality decays.
+
+Run:  python examples/varying_p.py
+"""
+
+from repro import PrecomputedSketchOracle, SketchGenerator, sketch_grid
+from repro.cluster import KMeans
+from repro.data import SixRegionConfig, generate_six_region, tile_truth_labels
+from repro.experiments.harness import format_table
+from repro.metrics import confusion_matrix_agreement
+from repro.table import TileGrid
+
+PS = (0.05, 0.25, 0.5, 0.8, 1.0, 1.5, 2.0)
+SKETCH_K = 192
+N_RESTARTS = 4
+
+
+def main() -> None:
+    config = SixRegionConfig(n_rows=256, n_cols=256, seed=0)
+    table, row_regions = generate_six_region(config)
+    grid = TileGrid(table.shape, (16, 16))
+    truth = tile_truth_labels(grid, row_regions)
+    print(
+        f"six-region table {table.shape}, {len(grid)} tiles, "
+        f"~{config.outlier_fraction:.0%} outliers planted\n"
+    )
+
+    rows = []
+    for p in PS:
+        gen = SketchGenerator(p=p, k=SKETCH_K, seed=1)
+        oracle = PrecomputedSketchOracle(sketch_grid(table.values, grid, gen), p)
+        best = KMeans(6, max_iter=40, seed=0, n_init=N_RESTARTS).fit(oracle)
+        accuracy = confusion_matrix_agreement(truth, best.labels, 6)
+        bar = "#" * int(round(accuracy * 40))
+        rows.append([p, 100 * accuracy, bar])
+
+    print(format_table(["p", "tiles correctly clustered (%)", ""], rows))
+    print(
+        "\nreading: p is a similarity dial — lower it to suppress outliers,"
+        "\nraise it to emphasise detail; the sweet spot here is fractional."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file
+exists only so that ``pip install -e . --no-use-pep517`` works in
+offline environments whose setuptools lacks the ``bdist_wheel`` command
+(no ``wheel`` package installed).
+"""
+
+from setuptools import setup
+
+setup()

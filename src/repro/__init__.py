@@ -1,0 +1,106 @@
+"""repro — sketch-based approximate Lp distance mining for tabular data.
+
+A production-quality reproduction of Cormode, Indyk, Koudas and
+Muthukrishnan, *Fast Mining of Massive Tabular Data via Approximate
+Distance Computations* (ICDE 2002).
+
+Quick start::
+
+    import numpy as np
+    from repro import SketchGenerator, estimate_distance, lp_distance
+
+    rng = np.random.default_rng(0)
+    x, y = rng.normal(size=(64, 64)), rng.normal(size=(64, 64))
+
+    gen = SketchGenerator(p=1.0, k=128, seed=7)
+    approx = estimate_distance(gen.sketch(x), gen.sketch(y))
+    exact = lp_distance(x, y, p=1.0)
+
+See ``DESIGN.md`` for the architecture and ``examples/`` for complete
+workflows (clustering call-volume tables, tuning the fractional ``p``
+similarity dial, sketch pools over arbitrary sub-rectangles).
+"""
+
+from repro.core import (
+    DistanceStats,
+    ExactLpOracle,
+    OnDemandSketchOracle,
+    PrecomputedSketchOracle,
+    Sketch,
+    SketchGenerator,
+    SketchPool,
+    estimate_distance,
+    lp_distance,
+    lp_norm,
+    sketch_all_positions,
+    sketch_grid,
+)
+from repro.core.invariance import AugmentedSketch, InvariantSketcher, estimate_norm
+from repro.core.io import (
+    load_pool,
+    load_sketch_matrix,
+    save_pool,
+    save_sketch_matrix,
+)
+from repro.stream import StreamingSketch
+from repro.errors import (
+    ConvergenceError,
+    EmptyClusterError,
+    IncompatibleSketchError,
+    ParameterError,
+    ReproError,
+    ShapeError,
+    StoreError,
+)
+from repro.table import (
+    StitchedStore,
+    TableStore,
+    TabularData,
+    TileGrid,
+    TileSpec,
+    read_table,
+    write_table,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "SketchGenerator",
+    "Sketch",
+    "SketchPool",
+    "estimate_distance",
+    "lp_norm",
+    "lp_distance",
+    "sketch_all_positions",
+    "sketch_grid",
+    "DistanceStats",
+    "ExactLpOracle",
+    "PrecomputedSketchOracle",
+    "OnDemandSketchOracle",
+    "InvariantSketcher",
+    "AugmentedSketch",
+    "estimate_norm",
+    "StreamingSketch",
+    "save_sketch_matrix",
+    "load_sketch_matrix",
+    "save_pool",
+    "load_pool",
+    # table
+    "TabularData",
+    "TileSpec",
+    "TileGrid",
+    "TableStore",
+    "StitchedStore",
+    "write_table",
+    "read_table",
+    # errors
+    "ReproError",
+    "ParameterError",
+    "ShapeError",
+    "IncompatibleSketchError",
+    "StoreError",
+    "ConvergenceError",
+    "EmptyClusterError",
+]

@@ -1,0 +1,112 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print version and subsystem inventory.
+``figures``
+    Regenerate the paper's figures (delegates to
+    :mod:`repro.experiments.runall`).
+``sketch``
+    Sketch the tile grid of a table file (``.npy`` or ``.csv``) and save
+    the sketch matrix to an ``.npz`` for later mining.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import repro
+from repro.core.generator import SketchGenerator
+from repro.core.io import save_sketch_matrix
+from repro.core.pipeline import sketch_grid
+from repro.data.loaders import load_csv, load_npy
+
+_SUBSYSTEMS = [
+    ("repro.stable", "alpha-stable distributions (CMS sampler, B(p), numeric CDF)"),
+    ("repro.fourier", "from-scratch FFT + sliding-window convolution"),
+    ("repro.table", "tabular containers, tiles, chunked flat-file store"),
+    ("repro.core", "sketches, estimators, pools, distance oracles, persistence"),
+    ("repro.stream", "turnstile sketch maintenance"),
+    ("repro.cluster", "k-means and the classical clustering family"),
+    ("repro.metrics", "the paper's Definitions 7-11"),
+    ("repro.transforms", "DFT/DCT/Haar baselines"),
+    ("repro.data", "synthetic workloads and loaders"),
+    ("repro.mining", "neighbours, regions, trends"),
+    ("repro.experiments", "per-figure reproduction harness"),
+]
+
+
+def _cmd_info(_args) -> int:
+    print(f"repro {repro.__version__} — reproduction of Cormode/Indyk/Koudas/"
+          "Muthukrishnan, ICDE 2002")
+    print()
+    for name, blurb in _SUBSYSTEMS:
+        print(f"  {name:<18} {blurb}")
+    print("\nsee DESIGN.md for the experiment index, EXPERIMENTS.md for results")
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.experiments import runall
+
+    forwarded = []
+    if args.full:
+        forwarded.append("--full")
+    forwarded.extend(["--out", args.out])
+    if args.only:
+        forwarded.append("--only")
+        forwarded.extend(args.only)
+    runall.main(forwarded)
+    return 0
+
+
+def _cmd_sketch(args) -> int:
+    path = Path(args.table)
+    if path.suffix == ".npy":
+        table = load_npy(path)
+    else:
+        table = load_csv(path, delimiter=args.delimiter)
+    grid = table.grid((args.tile_rows, args.tile_cols))
+    generator = SketchGenerator(p=args.p, k=args.k, seed=args.seed)
+    matrix = sketch_grid(table.values, grid, generator)
+    key = generator.direct_key((args.tile_rows, args.tile_cols))
+    save_sketch_matrix(args.out, matrix, key)
+    print(
+        f"sketched {len(grid)} tiles of {args.tile_rows}x{args.tile_cols} "
+        f"from {path} (p={args.p}, k={args.k}) -> {args.out}"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    """Dispatch ``python -m repro`` subcommands; returns the exit code."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("info", help="version and subsystem inventory")
+
+    figures = commands.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("--full", action="store_true", help="paper-scale runs")
+    figures.add_argument("--out", default="results", help="output directory")
+    figures.add_argument("--only", nargs="*", help="subset of figure names")
+
+    sketch = commands.add_parser("sketch", help="sketch a table file's tile grid")
+    sketch.add_argument("table", help="input .npy or delimited text table")
+    sketch.add_argument("--out", required=True, help="output .npz path")
+    sketch.add_argument("--p", type=float, default=1.0, help="Lp index (0, 2]")
+    sketch.add_argument("--k", type=int, default=128, help="sketch size")
+    sketch.add_argument("--seed", type=int, default=0, help="generator seed")
+    sketch.add_argument("--tile-rows", type=int, default=16)
+    sketch.add_argument("--tile-cols", type=int, default=16)
+    sketch.add_argument("--delimiter", default=",", help="text delimiter")
+
+    args = parser.parse_args(argv)
+    handler = {"info": _cmd_info, "figures": _cmd_figures, "sketch": _cmd_sketch}
+    return handler[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

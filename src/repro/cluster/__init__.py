@@ -1,0 +1,59 @@
+"""Clustering algorithms over pluggable distance oracles.
+
+The paper's experiments run k-means with three interchangeable distance
+routines (exact, precomputed sketches, sketches on demand).  This
+subpackage supplies k-means built exactly around that seam — the oracle
+interface of :mod:`repro.core.distance` — plus the family of classical
+large-data clustering algorithms the paper cites as related work
+(k-medoids, CLARANS, DBSCAN, BIRCH, CURE, agglomerative hierarchical),
+all implemented from scratch:
+
+* *Oracle-based* algorithms (k-means, k-medoids, CLARANS, DBSCAN,
+  hierarchical) consume only ``distance(i, j)`` (k-means additionally
+  ``center_of`` / ``distance_to_center``), so sketching drops in
+  unchanged.
+* *Vector-based* algorithms (BIRCH, CURE) operate on raw point arrays,
+  as their tree/representative machinery requires.
+"""
+
+from repro.cluster.base import (
+    ClusteringResult,
+    cluster_members,
+    pairwise_distance_matrix,
+    total_spread,
+)
+from repro.cluster.birch import Birch
+from repro.cluster.clara import Clara, SubsetOracle
+from repro.cluster.clarans import Clarans
+from repro.cluster.cure import Cure
+from repro.cluster.dbscan import dbscan
+from repro.cluster.hierarchical import agglomerative
+from repro.cluster.init import kmeans_plus_plus_indices, random_distinct_indices
+from repro.cluster.kmeans import KMeans
+from repro.cluster.kmedoids import KMedoids
+from repro.cluster.silhouette import (
+    choose_k_by_silhouette,
+    silhouette_samples,
+    silhouette_score,
+)
+
+__all__ = [
+    "ClusteringResult",
+    "cluster_members",
+    "total_spread",
+    "pairwise_distance_matrix",
+    "KMeans",
+    "KMedoids",
+    "Clara",
+    "SubsetOracle",
+    "Clarans",
+    "dbscan",
+    "agglomerative",
+    "Birch",
+    "Cure",
+    "random_distinct_indices",
+    "kmeans_plus_plus_indices",
+    "silhouette_samples",
+    "silhouette_score",
+    "choose_k_by_silhouette",
+]

@@ -1,0 +1,103 @@
+"""Shared clustering types and helpers.
+
+The oracle contracts consumed here are structural (duck-typed), matching
+what :mod:`repro.core.distance` provides:
+
+*Pairwise oracle* — ``n_items`` and ``distance(i, j) -> float``.
+
+*Center space* (k-means) — additionally ``center_of(indices)``,
+``distance_to_center(i, center)`` and
+``distances_to_centers(centers) -> (n, c) array``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "ClusteringResult",
+    "cluster_members",
+    "total_spread",
+    "pairwise_distance_matrix",
+]
+
+
+@dataclass
+class ClusteringResult:
+    """Outcome of a clustering run.
+
+    Attributes
+    ----------
+    labels:
+        Cluster index per item (``-1`` marks noise for density-based
+        algorithms).
+    n_clusters:
+        Number of clusters produced.
+    spread:
+        Sum over items of the distance to their cluster's center (or
+        medoid) — the paper's Definition 11 numerator.  ``nan`` when the
+        algorithm has no center notion.
+    n_iterations:
+        Iterations performed (0 for single-pass algorithms).
+    converged:
+        Whether the algorithm reached a fixed point before its budget.
+    meta:
+        Algorithm-specific extras (e.g. medoid indices).
+    """
+
+    labels: np.ndarray
+    n_clusters: int
+    spread: float = float("nan")
+    n_iterations: int = 0
+    converged: bool = True
+    meta: dict = field(default_factory=dict)
+
+    def members(self, cluster: int) -> np.ndarray:
+        """Indices of the items in ``cluster``."""
+        return np.flatnonzero(self.labels == cluster)
+
+    def sizes(self) -> np.ndarray:
+        """Cluster sizes indexed by cluster id (noise excluded)."""
+        return np.bincount(self.labels[self.labels >= 0], minlength=self.n_clusters)
+
+
+def cluster_members(labels: np.ndarray, n_clusters: int) -> list[np.ndarray]:
+    """Member index arrays per cluster (noise label -1 excluded)."""
+    labels = np.asarray(labels)
+    return [np.flatnonzero(labels == c) for c in range(n_clusters)]
+
+
+def total_spread(space, labels: np.ndarray, centers) -> float:
+    """Sum of item-to-assigned-center distances (Definition 11 numerator)."""
+    labels = np.asarray(labels)
+    spread = 0.0
+    for c, center in enumerate(centers):
+        for i in np.flatnonzero(labels == c):
+            spread += space.distance_to_center(int(i), center)
+    return spread
+
+
+def pairwise_distance_matrix(oracle) -> np.ndarray:
+    """Materialise the full symmetric distance matrix of an oracle.
+
+    Uses the oracle's vectorised ``pairwise_matrix`` when it offers one
+    (the library oracles do); otherwise falls back to ``O(n^2)`` scalar
+    ``distance`` calls, so any duck-typed oracle still works.
+    """
+    n = oracle.n_items
+    if n < 1:
+        raise ParameterError("oracle has no items")
+    fast_path = getattr(oracle, "pairwise_matrix", None)
+    if callable(fast_path):
+        return fast_path()
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = oracle.distance(i, j)
+            matrix[i, j] = d
+            matrix[j, i] = d
+    return matrix

@@ -1,0 +1,219 @@
+"""BIRCH: balanced iterative reducing with a CF-tree.
+
+Zhang, Ramakrishnan & Livny (SIGMOD 1996), cited by the paper.  Points
+stream into a height-balanced tree of *clustering features*
+``CF = (n, linear_sum, square_sum)``; a leaf subcluster absorbs a point
+when its radius stays below ``threshold``, nodes split at ``branching``
+entries, and the cheap sufficient statistics make every step
+incremental.  A global phase then clusters the leaf subcluster centroids
+(with this package's own :class:`~repro.cluster.kmeans.KMeans` over a
+Euclidean oracle) and every point is labelled by its nearest final
+centroid.
+
+BIRCH is intrinsically Euclidean (its radius algebra uses second
+moments), so it takes raw vectors rather than a distance oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.cluster.base import ClusteringResult
+from repro.cluster.kmeans import KMeans
+
+__all__ = ["Birch"]
+
+
+class _CF:
+    """A clustering feature: count, linear sum, sum of squared norms."""
+
+    __slots__ = ("n", "ls", "ss")
+
+    def __init__(self, point=None):
+        if point is None:
+            self.n = 0
+            self.ls = None
+            self.ss = 0.0
+        else:
+            point = np.asarray(point, dtype=np.float64)
+            self.n = 1
+            self.ls = point.copy()
+            self.ss = float(point @ point)
+
+    def add(self, other: "_CF") -> None:
+        if self.n == 0:
+            self.n = other.n
+            self.ls = other.ls.copy()
+            self.ss = other.ss
+            return
+        self.n += other.n
+        self.ls += other.ls
+        self.ss += other.ss
+
+    @property
+    def centroid(self) -> np.ndarray:
+        return self.ls / self.n
+
+    def merged_radius(self, other: "_CF") -> float:
+        """Root-mean-square distance to centroid after merging."""
+        n = self.n + other.n
+        ls = self.ls + other.ls if self.ls is not None else other.ls
+        ss = self.ss + other.ss
+        variance = ss / n - float(ls @ ls) / (n * n)
+        return float(np.sqrt(max(variance, 0.0)))
+
+    def centroid_distance(self, other: "_CF") -> float:
+        return float(np.linalg.norm(self.centroid - other.centroid))
+
+
+class _Node:
+    """A CF-tree node: entries are (cf, child) with child None at leaves."""
+
+    __slots__ = ("entries", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.entries: list[list] = []  # each entry: [cf, child_or_None]
+        self.is_leaf = is_leaf
+
+
+class Birch:
+    """BIRCH clustering of raw vectors.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters produced by the global phase.
+    threshold:
+        Maximum radius of a leaf subcluster.
+    branching:
+        Maximum entries per node before it splits.
+    seed:
+        Seed for the global k-means phase.
+    """
+
+    def __init__(self, n_clusters: int, threshold: float, branching: int = 8, seed: int = 0):
+        if n_clusters < 1:
+            raise ParameterError(f"n_clusters must be >= 1, got {n_clusters}")
+        if threshold < 0:
+            raise ParameterError(f"threshold must be >= 0, got {threshold}")
+        if branching < 2:
+            raise ParameterError(f"branching must be >= 2, got {branching}")
+        self.n_clusters = int(n_clusters)
+        self.threshold = float(threshold)
+        self.branching = int(branching)
+        self.seed = int(seed)
+
+    def fit(self, points) -> ClusteringResult:
+        """Build the CF-tree over ``points`` and cluster its leaves."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ParameterError(f"points must be a non-empty (n, d) array, got {points.shape}")
+        if self.n_clusters > points.shape[0]:
+            raise ParameterError(
+                f"n_clusters={self.n_clusters} exceeds {points.shape[0]} points"
+            )
+
+        root = _Node(is_leaf=True)
+        for point in points:
+            split = self._insert(root, _CF(point))
+            if split is not None:
+                new_root = _Node(is_leaf=False)
+                new_root.entries = [split[0], split[1]]
+                root = new_root
+
+        subclusters = self._leaf_cfs(root)
+        centroids = np.stack([cf.centroid for cf in subclusters])
+
+        if centroids.shape[0] <= self.n_clusters:
+            centers = centroids
+        else:
+            from repro.core.distance import ExactLpOracle
+
+            oracle = ExactLpOracle(list(centroids), p=2.0)
+            result = KMeans(self.n_clusters, seed=self.seed).fit(oracle)
+            centers = np.stack(
+                [
+                    oracle.center_of(np.flatnonzero(result.labels == c))
+                    for c in range(self.n_clusters)
+                ]
+            )
+
+        diffs = points[:, np.newaxis, :] - centers[np.newaxis, :, :]
+        point_distances = np.sqrt(np.sum(diffs * diffs, axis=2))
+        labels = np.argmin(point_distances, axis=1).astype(np.intp)
+        spread = float(point_distances[np.arange(points.shape[0]), labels].sum())
+        return ClusteringResult(
+            labels=labels,
+            n_clusters=centers.shape[0],
+            spread=spread,
+            n_iterations=0,
+            converged=True,
+            meta={"n_subclusters": len(subclusters), "centers": centers},
+        )
+
+    # ------------------------------------------------------------------
+    # Tree machinery
+    # ------------------------------------------------------------------
+
+    def _insert(self, node: _Node, cf: _CF):
+        """Insert a CF; return two replacement entries if ``node`` split."""
+        if node.is_leaf:
+            if node.entries:
+                closest = min(node.entries, key=lambda e: e[0].centroid_distance(cf))
+                if closest[0].merged_radius(cf) <= self.threshold:
+                    closest[0].add(cf)
+                    return None
+            node.entries.append([cf, None])
+        else:
+            closest = min(node.entries, key=lambda e: e[0].centroid_distance(cf))
+            split = self._insert(closest[1], cf)
+            if split is None:
+                closest[0].add(cf)
+                return None
+            node.entries.remove(closest)
+            node.entries.extend(split)
+        if len(node.entries) <= self.branching:
+            return None
+        return self._split(node)
+
+    def _split(self, node: _Node):
+        """Split an over-full node around its two farthest entries."""
+        entries = node.entries
+        best_pair = (0, 1)
+        best_distance = -1.0
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                d = entries[i][0].centroid_distance(entries[j][0])
+                if d > best_distance:
+                    best_distance = d
+                    best_pair = (i, j)
+        left = _Node(node.is_leaf)
+        right = _Node(node.is_leaf)
+        seed_left, seed_right = entries[best_pair[0]], entries[best_pair[1]]
+        for entry in entries:
+            target = left
+            if entry is not seed_left and entry is not seed_right:
+                if entry[0].centroid_distance(seed_right[0]) < entry[0].centroid_distance(
+                    seed_left[0]
+                ):
+                    target = right
+            elif entry is seed_right:
+                target = right
+            target.entries.append(entry)
+        return [self._summarise(left), left], [self._summarise(right), right]
+
+    @staticmethod
+    def _summarise(node: _Node) -> _CF:
+        total = _CF()
+        for cf, _child in node.entries:
+            total.add(cf)
+        return total
+
+    def _leaf_cfs(self, node: _Node) -> list[_CF]:
+        if node.is_leaf:
+            return [cf for cf, _child in node.entries]
+        collected = []
+        for _cf, child in node.entries:
+            collected.extend(self._leaf_cfs(child))
+        return collected

@@ -1,0 +1,131 @@
+"""CLARA: Clustering LARge Applications (sampled k-medoids).
+
+Kaufman & Rousseeuw's scaling wrapper around PAM, the ancestor of the
+CLARANS algorithm the paper cites: draw several random samples of the
+items, cluster each sample with k-medoids, score the resulting medoid
+sets against the *full* item set, and keep the best.  Cost per sample
+is k-medoids on ``sample_size`` items plus ``O(n k)`` scoring, so CLARA
+handles item counts PAM cannot.
+
+Composable with any distance oracle via :class:`SubsetOracle`, so CLARA
+over sketched distances gets both reductions at once: fewer comparisons
+(sampling) and cheaper comparisons (sketching).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.cluster.base import ClusteringResult
+from repro.cluster.kmedoids import KMedoids
+
+__all__ = ["Clara", "SubsetOracle"]
+
+
+class SubsetOracle:
+    """A distance oracle restricted to a subset of a parent's items.
+
+    ``SubsetOracle(parent, indices).distance(i, j)`` delegates to
+    ``parent.distance(indices[i], indices[j])``; stats accrue on the
+    parent.
+    """
+
+    def __init__(self, parent, indices):
+        indices = np.asarray(indices, dtype=np.intp)
+        if indices.ndim != 1 or indices.size == 0:
+            raise ParameterError("indices must be a non-empty 1-D sequence")
+        if indices.min() < 0 or indices.max() >= parent.n_items:
+            raise ParameterError(
+                f"indices out of range for a parent with {parent.n_items} items"
+            )
+        self._parent = parent
+        self._indices = indices
+        self.n_items = indices.size
+
+    def distance(self, i: int, j: int) -> float:
+        """Distance between subset items ``i`` and ``j`` via the parent."""
+        return self._parent.distance(int(self._indices[i]), int(self._indices[j]))
+
+    def to_parent(self, local_index: int) -> int:
+        """Translate a subset index back to the parent's numbering."""
+        return int(self._indices[local_index])
+
+
+class Clara:
+    """CLARA over a pairwise distance oracle.
+
+    Parameters
+    ----------
+    k:
+        Number of medoids.
+    n_samples:
+        How many independent samples to cluster.
+    sample_size:
+        Items per sample; defaults to the classical ``40 + 2k`` (capped
+        at the item count).
+    seed:
+        Randomness seed.
+    """
+
+    def __init__(self, k: int, n_samples: int = 5, sample_size: int | None = None, seed: int = 0):
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        if n_samples < 1:
+            raise ParameterError(f"n_samples must be >= 1, got {n_samples}")
+        if sample_size is not None and sample_size < k:
+            raise ParameterError(
+                f"sample_size must be >= k={k}, got {sample_size}"
+            )
+        self.k = int(k)
+        self.n_samples = int(n_samples)
+        self.sample_size = sample_size
+        self.seed = int(seed)
+
+    def fit(self, oracle) -> ClusteringResult:
+        """Sample, cluster, score globally, keep the best medoid set."""
+        n = oracle.n_items
+        if self.k > n:
+            raise ParameterError(f"k={self.k} exceeds the {n} items available")
+        sample_size = self.sample_size or min(n, 40 + 2 * self.k)
+        sample_size = min(sample_size, n)
+        rng = np.random.default_rng(self.seed)
+
+        best_medoids: list[int] | None = None
+        best_cost = np.inf
+        for sample_index in range(self.n_samples):
+            chosen = rng.choice(n, size=sample_size, replace=False)
+            subset = SubsetOracle(oracle, chosen)
+            result = KMedoids(self.k, seed=self.seed + sample_index).fit(subset)
+            medoids = [subset.to_parent(m) for m in result.meta["medoids"]]
+            cost = self._total_cost(oracle, medoids)
+            if cost < best_cost:
+                best_cost = cost
+                best_medoids = medoids
+
+        labels = self._assign(oracle, best_medoids)
+        return ClusteringResult(
+            labels=labels,
+            n_clusters=self.k,
+            spread=best_cost,
+            n_iterations=self.n_samples,
+            converged=True,
+            meta={"medoids": list(best_medoids), "sample_size": sample_size},
+        )
+
+    def _total_cost(self, oracle, medoids) -> float:
+        cost = 0.0
+        for i in range(oracle.n_items):
+            cost += min(
+                0.0 if i == m else oracle.distance(i, m) for m in medoids
+            )
+        return cost
+
+    def _assign(self, oracle, medoids) -> np.ndarray:
+        labels = np.zeros(oracle.n_items, dtype=np.intp)
+        for i in range(oracle.n_items):
+            labels[i] = min(
+                range(self.k),
+                key=lambda c: 0.0 if i == medoids[c] else oracle.distance(i, medoids[c]),
+            )
+        return labels

@@ -1,0 +1,112 @@
+"""CLARANS: Clustering Large Applications based on RANdomized Search.
+
+Ng & Han (VLDB 1994), one of the algorithms the paper cites.  CLARANS
+views each set of ``k`` medoids as a node of an abstract graph whose
+neighbours differ in one medoid, and performs randomized hill-climbing:
+from the current node it samples up to ``max_neighbor`` random
+single-medoid swaps, moving as soon as one improves the total cost;
+after a node with no sampled improvement (a local minimum) it restarts,
+keeping the best of ``num_local`` local minima.
+
+Only pairwise distances are used, so any oracle works.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.cluster.base import ClusteringResult
+from repro.cluster.init import random_distinct_indices
+
+__all__ = ["Clarans"]
+
+
+class Clarans:
+    """CLARANS medoid search over a pairwise distance oracle.
+
+    Parameters
+    ----------
+    k:
+        Number of medoids.
+    num_local:
+        Number of local minima to collect (restarts).
+    max_neighbor:
+        Random swaps to try before declaring a local minimum.
+    seed:
+        Randomness seed.
+    """
+
+    def __init__(self, k: int, num_local: int = 2, max_neighbor: int = 40, seed: int = 0):
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        if num_local < 1 or max_neighbor < 1:
+            raise ParameterError("num_local and max_neighbor must be >= 1")
+        self.k = int(k)
+        self.num_local = int(num_local)
+        self.max_neighbor = int(max_neighbor)
+        self.seed = int(seed)
+
+    def fit(self, oracle) -> ClusteringResult:
+        """Run the randomized search and return the best clustering."""
+        n = oracle.n_items
+        if self.k > n:
+            raise ParameterError(f"k={self.k} exceeds the {n} items available")
+        rng = np.random.default_rng(self.seed)
+
+        best_medoids = None
+        best_cost = np.inf
+        total_steps = 0
+        for _ in range(self.num_local):
+            medoids = list(random_distinct_indices(n, self.k, rng))
+            cost = self._cost(oracle, medoids)
+            failures = 0
+            while failures < self.max_neighbor:
+                total_steps += 1
+                candidate = self._random_neighbor(medoids, n, rng)
+                candidate_cost = self._cost(oracle, candidate)
+                if candidate_cost < cost:
+                    medoids, cost = candidate, candidate_cost
+                    failures = 0
+                else:
+                    failures += 1
+            if cost < best_cost:
+                best_cost = cost
+                best_medoids = medoids
+
+        labels = self._labels(oracle, best_medoids)
+        return ClusteringResult(
+            labels=labels,
+            n_clusters=self.k,
+            spread=best_cost,
+            n_iterations=total_steps,
+            converged=True,
+            meta={"medoids": list(best_medoids)},
+        )
+
+    def _random_neighbor(self, medoids, n, rng) -> list[int]:
+        candidate = list(medoids)
+        position = int(rng.integers(self.k))
+        current = set(medoids)
+        while True:
+            replacement = int(rng.integers(n))
+            if replacement not in current:
+                candidate[position] = replacement
+                return candidate
+
+    def _cost(self, oracle, medoids) -> float:
+        cost = 0.0
+        for i in range(oracle.n_items):
+            cost += min(
+                0.0 if i == m else oracle.distance(i, m) for m in medoids
+            )
+        return cost
+
+    def _labels(self, oracle, medoids) -> np.ndarray:
+        labels = np.zeros(oracle.n_items, dtype=np.intp)
+        for i in range(oracle.n_items):
+            labels[i] = min(
+                range(self.k),
+                key=lambda c: 0.0 if i == medoids[c] else oracle.distance(i, medoids[c]),
+            )
+        return labels

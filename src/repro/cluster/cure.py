@@ -1,0 +1,167 @@
+"""CURE: clustering using representatives.
+
+Guha, Rastogi & Shim (SIGMOD 1998), cited by the paper.  Each cluster is
+summarised by up to ``n_representatives`` well-scattered member points,
+shrunk toward the cluster centroid by ``shrink`` — which lets CURE find
+non-spherical clusters while damping outliers.  Clusters merge
+agglomeratively by the minimum distance between their representative
+sets until ``n_clusters`` remain.
+
+The merge machinery needs actual point coordinates, so CURE takes raw
+vectors; distances between points use the Lp norm with configurable
+``p`` (Euclidean by default, matching the original paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.cluster.base import ClusteringResult
+from repro.core.norms import lp_norm
+
+__all__ = ["Cure"]
+
+
+class _CureCluster:
+    __slots__ = ("members", "points", "representatives")
+
+    def __init__(self, members: list[int], points: np.ndarray):
+        self.members = members
+        self.points = points  # view of the member coordinates
+
+
+class Cure:
+    """CURE clustering of raw vectors.
+
+    Parameters
+    ----------
+    n_clusters:
+        Target number of clusters.
+    n_representatives:
+        Scattered points kept per cluster.
+    shrink:
+        Shrink factor toward the centroid, in ``[0, 1]`` (0 keeps the
+        scattered points in place; 1 collapses them to the centroid,
+        recovering centroid-linkage behaviour).
+    p:
+        Lp index used for point distances.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        n_representatives: int = 4,
+        shrink: float = 0.3,
+        p: float = 2.0,
+    ):
+        if n_clusters < 1:
+            raise ParameterError(f"n_clusters must be >= 1, got {n_clusters}")
+        if n_representatives < 1:
+            raise ParameterError(
+                f"n_representatives must be >= 1, got {n_representatives}"
+            )
+        if not 0.0 <= shrink <= 1.0:
+            raise ParameterError(f"shrink must be in [0, 1], got {shrink}")
+        if p <= 0:
+            raise ParameterError(f"p must be positive, got {p}")
+        self.n_clusters = int(n_clusters)
+        self.n_representatives = int(n_representatives)
+        self.shrink = float(shrink)
+        self.p = float(p)
+
+    def fit(self, points) -> ClusteringResult:
+        """Agglomerate ``points`` down to ``n_clusters`` clusters."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ParameterError(
+                f"points must be a non-empty (n, d) array, got {points.shape}"
+            )
+        n = points.shape[0]
+        if self.n_clusters > n:
+            raise ParameterError(f"n_clusters={self.n_clusters} exceeds {n} points")
+
+        clusters = [self._singleton(i, points) for i in range(n)]
+        merge_count = 0
+        while len(clusters) > self.n_clusters:
+            a, b = self._closest_pair(clusters)
+            merged = self._merge(clusters[a], clusters[b], points)
+            keep = [c for idx, c in enumerate(clusters) if idx not in (a, b)]
+            keep.append(merged)
+            clusters = keep
+            merge_count += 1
+
+        labels = np.zeros(n, dtype=np.intp)
+        for cluster_id, cluster in enumerate(clusters):
+            labels[cluster.members] = cluster_id
+        spread = 0.0
+        for cluster in clusters:
+            centroid = cluster.points.mean(axis=0)
+            for row in cluster.points:
+                spread += lp_norm(row - centroid, self.p)
+        return ClusteringResult(
+            labels=labels,
+            n_clusters=len(clusters),
+            spread=spread,
+            n_iterations=merge_count,
+            converged=True,
+            meta={
+                "representatives": [c.representatives.copy() for c in clusters]
+            },
+        )
+
+    # ------------------------------------------------------------------
+
+    def _singleton(self, index: int, points: np.ndarray) -> _CureCluster:
+        cluster = _CureCluster([index], points[index : index + 1])
+        cluster.representatives = points[index : index + 1].copy()
+        return cluster
+
+    def _distance(self, a: np.ndarray, b: np.ndarray) -> float:
+        return lp_norm(a - b, self.p)
+
+    def _cluster_distance(self, a: _CureCluster, b: _CureCluster) -> float:
+        best = np.inf
+        for rep_a in a.representatives:
+            for rep_b in b.representatives:
+                d = self._distance(rep_a, rep_b)
+                if d < best:
+                    best = d
+        return best
+
+    def _closest_pair(self, clusters) -> tuple[int, int]:
+        best = (0, 1)
+        best_distance = np.inf
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                d = self._cluster_distance(clusters[i], clusters[j])
+                if d < best_distance:
+                    best_distance = d
+                    best = (i, j)
+        return best
+
+    def _merge(self, a: _CureCluster, b: _CureCluster, points: np.ndarray) -> _CureCluster:
+        members = a.members + b.members
+        merged = _CureCluster(members, points[members])
+        merged.representatives = self._scatter(merged.points)
+        return merged
+
+    def _scatter(self, member_points: np.ndarray) -> np.ndarray:
+        """Pick well-scattered points, then shrink toward the centroid."""
+        centroid = member_points.mean(axis=0)
+        count = min(self.n_representatives, member_points.shape[0])
+        chosen: list[np.ndarray] = []
+        for rank in range(count):
+            best_point = None
+            best_distance = -np.inf
+            for row in member_points:
+                if rank == 0:
+                    d = self._distance(row, centroid)
+                else:
+                    d = min(self._distance(row, existing) for existing in chosen)
+                if d > best_distance:
+                    best_distance = d
+                    best_point = row
+            chosen.append(best_point)
+        scattered = np.stack(chosen)
+        return scattered + self.shrink * (centroid - scattered)

@@ -1,0 +1,62 @@
+"""Seeding strategies for center-based clustering.
+
+Two strategies:
+
+* :func:`random_distinct_indices` — the classical k-means seeding the
+  paper uses ("uses randomness to generate the initial k-means").
+* :func:`kmeans_plus_plus_indices` — D^2-weighted seeding, which only
+  needs pairwise item distances and therefore works identically with
+  exact or sketched oracles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["random_distinct_indices", "kmeans_plus_plus_indices"]
+
+
+def _check_k(n_items: int, k: int) -> None:
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    if k > n_items:
+        raise ParameterError(f"cannot pick k={k} seeds from {n_items} items")
+
+
+def random_distinct_indices(n_items: int, k: int, rng: np.random.Generator) -> np.ndarray:
+    """``k`` distinct item indices chosen uniformly at random."""
+    _check_k(n_items, k)
+    return rng.choice(n_items, size=k, replace=False)
+
+
+def kmeans_plus_plus_indices(oracle, k: int, rng: np.random.Generator) -> np.ndarray:
+    """D^2-weighted seeding over a pairwise distance oracle.
+
+    The first seed is uniform; each subsequent seed is drawn with
+    probability proportional to the squared distance to the nearest
+    already-chosen seed.
+    """
+    n = oracle.n_items
+    _check_k(n, k)
+    seeds = [int(rng.integers(n))]
+    nearest_sq = np.full(n, np.inf)
+    for _ in range(k - 1):
+        latest = seeds[-1]
+        for i in range(n):
+            d = oracle.distance(i, latest)
+            squared = d * d
+            if squared < nearest_sq[i]:
+                nearest_sq[i] = squared
+        weights = nearest_sq.copy()
+        weights[seeds] = 0.0
+        total = weights.sum()
+        if total <= 0.0:
+            # All remaining items coincide with a seed; fall back to
+            # uniform choice among non-seeds.
+            candidates = np.setdiff1d(np.arange(n), np.asarray(seeds))
+            seeds.append(int(rng.choice(candidates)))
+            continue
+        seeds.append(int(rng.choice(n, p=weights / total)))
+    return np.asarray(seeds)

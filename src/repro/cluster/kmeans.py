@@ -1,0 +1,165 @@
+"""Lloyd-style k-means over a center space.
+
+This is the mining algorithm of the paper's evaluation (Section 4.4),
+built so that *only* the distance routine varies between runs: the
+``space`` argument is any object with ``center_of`` /
+``distances_to_centers`` (see :mod:`repro.core.distance`), so the same
+code clusters raw tiles exactly, precomputed sketches, or on-demand
+sketches.
+
+Following the paper, the center update is the component-wise mean for
+every ``p`` (the algorithm is the classical k-means with the comparison
+routine swapped; for sketch spaces the mean of sketches equals the
+sketch of the mean by linearity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.cluster.base import ClusteringResult
+from repro.cluster.init import kmeans_plus_plus_indices, random_distinct_indices
+
+__all__ = ["KMeans"]
+
+_INIT_METHODS = ("random", "k-means++")
+
+
+class KMeans:
+    """k-means clustering parameterised by a distance space.
+
+    Parameters
+    ----------
+    k:
+        Number of clusters.
+    max_iter:
+        Iteration budget.
+    seed:
+        Seeds the initial center choice (and empty-cluster repair).
+    init:
+        ``"random"`` (paper's choice) or ``"k-means++"``.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        max_iter: int = 50,
+        seed: int = 0,
+        init: str = "random",
+        n_init: int = 1,
+        tol: float = 0.0,
+    ):
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k}")
+        if max_iter < 1:
+            raise ParameterError(f"max_iter must be >= 1, got {max_iter}")
+        if init not in _INIT_METHODS:
+            raise ParameterError(f"init must be one of {_INIT_METHODS}, got {init!r}")
+        if n_init < 1:
+            raise ParameterError(f"n_init must be >= 1, got {n_init}")
+        if tol < 0.0:
+            raise ParameterError(f"tol must be >= 0, got {tol}")
+        self.k = int(k)
+        self.max_iter = int(max_iter)
+        self.seed = int(seed)
+        self.init = init
+        self.n_init = int(n_init)
+        self.tol = float(tol)
+
+    def fit(self, space) -> ClusteringResult:
+        """Cluster the items of ``space`` into ``k`` groups.
+
+        Runs ``n_init`` independent seedings (seeds ``seed, seed+1,
+        ...``) and keeps the lowest-spread result — standard k-means
+        practice given its sensitivity to initialisation.  The returned
+        :class:`ClusteringResult`'s ``meta["centers"]`` holds the final
+        center representations (arrays in the space's own coordinates:
+        raw means for exact spaces, sketch means for sketch spaces).
+        """
+        best = None
+        for restart in range(self.n_init):
+            result = self._fit_once(space, self.seed + restart)
+            if best is None or result.spread < best.spread:
+                best = result
+        return best
+
+    def _fit_once(self, space, seed: int) -> ClusteringResult:
+        n = space.n_items
+        if self.k > n:
+            raise ParameterError(f"k={self.k} exceeds the {n} items available")
+        rng = np.random.default_rng(seed)
+        if self.init == "k-means++":
+            seed_indices = kmeans_plus_plus_indices(space, self.k, rng)
+        else:
+            seed_indices = random_distinct_indices(n, self.k, rng)
+        centers = np.stack([space.center_of([i]) for i in seed_indices])
+
+        labels = np.full(n, -1, dtype=np.intp)
+        converged = False
+        iterations = 0
+        distances = None
+        spread_history: list[float] = []
+        for iterations in range(1, self.max_iter + 1):
+            distances = space.distances_to_centers(centers)
+            new_labels = np.argmin(distances, axis=1)
+            new_labels = self._repair_empty_clusters(new_labels, distances, rng)
+            spread_history.append(
+                float(distances[np.arange(n), new_labels].sum())
+            )
+            if np.array_equal(new_labels, labels):
+                converged = True
+                break
+            if (
+                self.tol > 0.0
+                and len(spread_history) >= 2
+                and spread_history[-2] - spread_history[-1]
+                <= self.tol * max(spread_history[-2], 1e-300)
+            ):
+                labels = new_labels
+                converged = True
+                break
+            labels = new_labels
+            centers = np.stack(
+                [space.center_of(np.flatnonzero(labels == c)) for c in range(self.k)]
+            )
+
+        assigned = distances[np.arange(n), labels]
+        return ClusteringResult(
+            labels=labels,
+            n_clusters=self.k,
+            spread=float(assigned.sum()),
+            n_iterations=iterations,
+            converged=converged,
+            meta={
+                "centers": centers,
+                "seed_indices": seed_indices,
+                "spread_history": spread_history,
+            },
+        )
+
+    def _repair_empty_clusters(self, labels, distances, rng) -> np.ndarray:
+        """Give every empty cluster the item farthest from its center.
+
+        Classical fix: k-means with few items or degenerate seeds can
+        strand a cluster with no members; reassigning the globally
+        worst-fitting item keeps ``k`` clusters alive.
+        """
+        labels = labels.copy()
+        for cluster in range(self.k):
+            if np.any(labels == cluster):
+                continue
+            assigned = distances[np.arange(labels.size), labels]
+            # Consider only items whose current cluster has >1 member so
+            # repairing one hole does not open another.
+            sizes = np.bincount(labels, minlength=self.k)
+            movable = sizes[labels] > 1
+            if not np.any(movable):
+                raise ParameterError(
+                    f"cannot maintain {self.k} non-empty clusters with "
+                    f"{labels.size} items"
+                )
+            candidates = np.flatnonzero(movable)
+            worst = candidates[np.argmax(assigned[candidates])]
+            labels[worst] = cluster
+        return labels

@@ -1,0 +1,95 @@
+"""Silhouette analysis over a pairwise distance oracle.
+
+The paper compares clusterings by spread (Definition 11); silhouette
+analysis is the standard complementary internal measure, and because it
+needs only pairwise distances it runs on sketched oracles unchanged —
+so a user can pick ``k`` (or ``p``!) by silhouette without ever paying
+exact-comparison cost.
+
+For item ``i`` with cluster mates ``A`` and nearest other cluster ``B``::
+
+    a(i) = mean distance to the other members of A
+    b(i) = min over clusters C != A of the mean distance to C
+    s(i) = (b(i) - a(i)) / max(a(i), b(i))
+
+``s(i)`` is 0 for singleton clusters (convention) and items labelled
+``-1`` (noise) are excluded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.cluster.base import pairwise_distance_matrix
+
+__all__ = ["silhouette_samples", "silhouette_score", "choose_k_by_silhouette"]
+
+
+def silhouette_samples(oracle, labels) -> np.ndarray:
+    """Per-item silhouette values (``nan`` for noise items)."""
+    labels = np.asarray(labels, dtype=np.intp)
+    if labels.ndim != 1 or labels.size != oracle.n_items:
+        raise ParameterError(
+            f"labels must be 1-D with one entry per item "
+            f"({oracle.n_items}), got shape {labels.shape}"
+        )
+    clusters = np.unique(labels[labels >= 0])
+    if clusters.size < 2:
+        raise ParameterError("silhouette needs at least 2 clusters")
+
+    distances = pairwise_distance_matrix(oracle)
+    members = {int(c): np.flatnonzero(labels == c) for c in clusters}
+    scores = np.full(labels.size, np.nan)
+    for i in range(labels.size):
+        own = labels[i]
+        if own < 0:
+            continue
+        mates = members[int(own)]
+        if mates.size == 1:
+            scores[i] = 0.0
+            continue
+        a = distances[i, mates[mates != i]].mean()
+        b = min(
+            distances[i, members[int(c)]].mean()
+            for c in clusters
+            if c != own
+        )
+        denominator = max(a, b)
+        scores[i] = 0.0 if denominator == 0.0 else (b - a) / denominator
+    return scores
+
+
+def silhouette_score(oracle, labels) -> float:
+    """Mean silhouette over the non-noise items (in ``[-1, 1]``)."""
+    samples = silhouette_samples(oracle, labels)
+    valid = samples[~np.isnan(samples)]
+    if valid.size == 0:
+        raise ParameterError("no non-noise items to score")
+    return float(valid.mean())
+
+
+def choose_k_by_silhouette(
+    oracle, candidate_ks, seed: int = 0, n_init: int = 3, max_iter: int = 50
+) -> tuple[int, dict[int, float]]:
+    """Pick a cluster count by silhouette over k-means runs.
+
+    Runs k-means (best of ``n_init`` seedings) at each candidate ``k``
+    and scores the result; returns ``(best_k, scores)``.  Because both
+    k-means and silhouette run through the oracle, this works on
+    sketched distances end to end — choosing ``k`` never touches raw
+    tiles.
+    """
+    from repro.cluster.kmeans import KMeans
+
+    candidates = [int(k) for k in candidate_ks]
+    if not candidates:
+        raise ParameterError("candidate_ks must be non-empty")
+    if any(k < 2 for k in candidates):
+        raise ParameterError("silhouette needs k >= 2 for every candidate")
+    scores: dict[int, float] = {}
+    for k in candidates:
+        labels = KMeans(k, max_iter=max_iter, seed=seed, n_init=n_init).fit(oracle).labels
+        scores[k] = silhouette_score(oracle, labels)
+    best = max(scores, key=scores.get)
+    return best, scores

@@ -1,0 +1,53 @@
+"""The paper's primary contribution: p-stable sketches for Lp distances.
+
+Public surface
+--------------
+:class:`~repro.core.generator.SketchGenerator`
+    Produces sketches: reproducible random stable matrices shared across
+    all objects, so any two sketches it emits are comparable.
+:class:`~repro.core.sketch.Sketch`
+    The constant-size summary of one object; supports the linear algebra
+    (sums, scaling) that makes compound sketches and sketched k-means
+    centroids possible.
+:mod:`~repro.core.estimators`
+    Turns a pair of sketches into a distance estimate (median estimator
+    for ``p < 2``, scaled Euclidean estimator for ``p = 2``).
+:mod:`~repro.core.pipeline`
+    Theorem 3: sketches of every window position via FFT convolution.
+:class:`~repro.core.pool.SketchPool`
+    Theorems 5-6: canonical dyadic sizes plus compound sketches, so the
+    sketch of *any* sub-rectangle is available in ``O(k)``.
+:mod:`~repro.core.distance`
+    Distance oracles — exact, precomputed-sketch, sketch-on-demand —
+    with cost accounting; the pluggable "distance routine" the paper's
+    experiments swap in and out of the mining algorithms.
+"""
+
+from repro.core.distance import (
+    DistanceStats,
+    ExactLpOracle,
+    OnDemandSketchOracle,
+    PrecomputedSketchOracle,
+)
+from repro.core.estimators import estimate_distance, estimate_distance_values
+from repro.core.generator import SketchGenerator
+from repro.core.norms import lp_distance, lp_norm
+from repro.core.pipeline import sketch_all_positions, sketch_grid
+from repro.core.pool import SketchPool
+from repro.core.sketch import Sketch
+
+__all__ = [
+    "SketchGenerator",
+    "Sketch",
+    "estimate_distance",
+    "estimate_distance_values",
+    "lp_norm",
+    "lp_distance",
+    "sketch_all_positions",
+    "sketch_grid",
+    "SketchPool",
+    "DistanceStats",
+    "ExactLpOracle",
+    "PrecomputedSketchOracle",
+    "OnDemandSketchOracle",
+]

@@ -1,0 +1,82 @@
+"""Distance estimators over sketches.
+
+Given sketches ``s(x)`` and ``s(y)`` built against the same random
+stable matrices, the difference ``s(x) - s(y)`` has entries distributed
+as ``||x - y||_p * S_i`` for i.i.d. standard symmetric ``p``-stable
+``S_i``.  Two estimators recover the distance:
+
+**Median estimator** (Theorems 1-2, any ``p`` in ``(0, 2]``)::
+
+    estimate = median(|s(x) - s(y)|) / B_k(p)
+
+where ``B_k(p)`` is the median of the *sample* median of ``k`` i.i.d.
+``|S|`` draws (:func:`repro.stable.scale.sample_median_scale`).  For odd
+``k`` this equals the paper's ``B(p)`` — the population median of
+``|S|`` — exactly; for even ``k`` it additionally absorbs the skew bias
+of averaging the two middle order statistics, which is substantial for
+small ``p``.
+
+**Euclidean estimator** (``p = 2`` only)::
+
+    estimate = ||s(x) - s(y)||_2 / sqrt(2 k)
+
+since for ``p = 2`` each entry is Gaussian with variance
+``2 ||x - y||_2^2``.  The paper's Section 4.4 notes this variant is
+faster than running a median selection; it is the default for ``p = 2``
+here too, with ``method="median"`` available for apples-to-apples
+ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.core.sketch import Sketch
+from repro.stable.scale import sample_median_scale
+
+__all__ = ["estimate_distance", "estimate_distance_values"]
+
+_METHODS = ("auto", "median", "l2")
+
+
+def estimate_distance(a: Sketch, b: Sketch, method: str = "auto") -> float:
+    """Estimate the Lp distance between the objects behind two sketches.
+
+    Parameters
+    ----------
+    a, b:
+        Sketches sharing a :class:`~repro.core.sketch.SketchKey`.
+    method:
+        ``"auto"`` (Euclidean for ``p = 2``, median otherwise),
+        ``"median"``, or ``"l2"`` (``p = 2`` only).
+
+    Raises
+    ------
+    IncompatibleSketchError
+        If the sketches were not drawn against the same random context.
+    ParameterError
+        For an unknown method, or ``"l2"`` requested with ``p != 2``.
+    """
+    a.require_comparable(b)
+    return estimate_distance_values(a.values - b.values, a.p, method)
+
+
+def estimate_distance_values(diff: np.ndarray, p: float, method: str = "auto") -> float:
+    """Estimate a distance from a raw sketch-difference vector.
+
+    The array-level workhorse behind :func:`estimate_distance`; distance
+    oracles that store sketches as rows of a matrix call this directly.
+    """
+    if method not in _METHODS:
+        raise ParameterError(f"method must be one of {_METHODS}, got {method!r}")
+    diff = np.asarray(diff, dtype=np.float64)
+    if diff.ndim != 1 or diff.size == 0:
+        raise ParameterError(f"sketch difference must be non-empty 1-D, got {diff.shape}")
+    if method == "auto":
+        method = "l2" if p == 2.0 else "median"
+    if method == "l2":
+        if p != 2.0:
+            raise ParameterError(f"the Euclidean estimator requires p=2, got p={p}")
+        return float(np.sqrt(np.sum(diff * diff) / (2.0 * diff.size)))
+    return float(np.median(np.abs(diff)) / sample_median_scale(p, diff.size))

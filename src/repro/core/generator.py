@@ -1,0 +1,171 @@
+"""The :class:`SketchGenerator`: reproducible random stable matrices.
+
+Sketching only works if every object is projected onto the *same* random
+matrices.  Rather than materialising and storing ``k`` matrices per
+window shape (which for large windows would dwarf the data), the
+generator derives each matrix deterministically from
+
+    ``(master seed, stream, entry index, window shape)``
+
+via :class:`numpy.random.SeedSequence`, so any matrix can be recreated
+on demand, in any process, in any order.  *Streams* are independent
+families of matrices: compound sketches (Definition 4) need four
+mutually independent sketch sets for the same window shape, and the
+disjoint dyadic composition uses one stream per block size.
+
+A small cache keeps the matrices of the most recently used
+``(stream, shape)`` so that sketching many same-shape tiles in a row —
+the common case — does not regenerate them per tile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError, ShapeError
+from repro.core.sketch import Sketch, SketchKey
+from repro.stable.sampler import sample_symmetric_stable
+
+__all__ = ["SketchGenerator"]
+
+
+class SketchGenerator:
+    """Factory for comparable p-stable sketches.
+
+    Parameters
+    ----------
+    p:
+        The Lp index, in ``(0, 2]``.  Sketch entries are dot products
+        with i.i.d. symmetric ``p``-stable matrices.
+    k:
+        Sketch size (number of entries).  Accuracy grows like
+        ``1/sqrt(k)``; the paper's headline runs use up to 256.
+    seed:
+        Master seed.  Two generators with equal ``(p, k, seed)`` produce
+        identical sketches and hence comparable output.
+    """
+
+    def __init__(self, p: float, k: int, seed: int = 0):
+        if not 0.0 < p <= 2.0:
+            raise ParameterError(f"p must be in (0, 2], got {p!r}")
+        if k < 1:
+            raise ParameterError(f"sketch size k must be >= 1, got {k!r}")
+        self.p = float(p)
+        self.k = int(k)
+        self.seed = int(seed)
+        self._cache_shape: tuple[int, tuple[int, int]] | None = None
+        self._cache_matrices: np.ndarray | None = None
+        self.matrices_generated = 0
+
+    # ------------------------------------------------------------------
+    # Random matrices
+    # ------------------------------------------------------------------
+
+    def random_matrix(self, index: int, shape: tuple[int, int], stream: int = 0):
+        """The ``index``-th stable matrix for ``shape`` in ``stream``.
+
+        Deterministic in all arguments plus the generator seed.
+        """
+        if not 0 <= index < self.k:
+            raise ParameterError(f"matrix index {index} outside [0, {self.k})")
+        height, width = self._normalize_shape(shape)
+        sequence = np.random.SeedSequence(
+            [self.seed, int(stream), int(index), height, width]
+        )
+        rng = np.random.default_rng(sequence)
+        self.matrices_generated += 1
+        return sample_symmetric_stable(self.p, (height, width), rng)
+
+    def matrices(self, shape: tuple[int, int], stream: int = 0) -> np.ndarray:
+        """All ``k`` matrices for ``shape`` stacked as ``(k, h, w)``.
+
+        The most recent ``(stream, shape)`` is cached, so repeated
+        sketching of same-shape objects pays for generation once.
+        """
+        shape = self._normalize_shape(shape)
+        cache_id = (int(stream), shape)
+        if self._cache_shape == cache_id and self._cache_matrices is not None:
+            return self._cache_matrices
+        stacked = np.stack(
+            [self.random_matrix(i, shape, stream) for i in range(self.k)]
+        )
+        self._cache_shape = cache_id
+        self._cache_matrices = stacked
+        return stacked
+
+    def iter_matrices(self, shape: tuple[int, int], stream: int = 0):
+        """Yield the ``k`` matrices one at a time (no caching).
+
+        Used by the FFT pipeline, which wants bounded memory even for
+        large windows.
+        """
+        for index in range(self.k):
+            yield self.random_matrix(index, shape, stream)
+
+    # ------------------------------------------------------------------
+    # Sketching
+    # ------------------------------------------------------------------
+
+    def sketch(self, array, stream: int = 0) -> Sketch:
+        """Sketch a single vector or matrix.
+
+        Vectors are treated as ``(1, n)`` matrices (the paper linearises
+        matrices into vectors; either direction is consistent as long as
+        it is applied uniformly, which shape-keyed matrices guarantee).
+        """
+        data = np.asarray(array, dtype=np.float64)
+        if data.ndim == 1:
+            data = data[np.newaxis, :]
+        if data.ndim != 2:
+            raise ShapeError(f"can only sketch 1-D or 2-D data, got shape {data.shape}")
+        if data.size == 0:
+            raise ShapeError("cannot sketch an empty array")
+        if not np.all(np.isfinite(data)):
+            raise ParameterError("cannot sketch data containing NaN or infinities")
+        matrices = self.matrices(data.shape, stream)
+        values = np.einsum("khw,hw->k", matrices, data)
+        return Sketch(values, self.direct_key(data.shape, stream))
+
+    def sketch_many(self, arrays, stream: int = 0) -> list[Sketch]:
+        """Sketch a sequence of equal-shaped arrays efficiently."""
+        arrays = [np.asarray(a, dtype=np.float64) for a in arrays]
+        if not arrays:
+            return []
+        shape = arrays[0].shape
+        for a in arrays:
+            if a.shape != shape:
+                raise ShapeError(f"all arrays must share a shape: {a.shape} vs {shape}")
+        stacked = np.stack([a.reshape(1, -1)[0] if a.ndim == 1 else a for a in arrays])
+        if stacked.ndim == 2:  # sequence of vectors
+            stacked = stacked[:, np.newaxis, :]
+        matrices = self.matrices(stacked.shape[1:], stream)
+        values = np.einsum("khw,nhw->nk", matrices, stacked)
+        key = self.direct_key(stacked.shape[1:], stream)
+        return [Sketch(values[i], key) for i in range(values.shape[0])]
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+
+    def direct_key(self, shape: tuple[int, int], stream: int = 0) -> SketchKey:
+        """The comparability key for a plain sketch of ``shape``."""
+        return SketchKey(
+            seed=self.seed,
+            p=self.p,
+            k=self.k,
+            structure=("direct", self._normalize_shape(shape), int(stream)),
+        )
+
+    @staticmethod
+    def _normalize_shape(shape) -> tuple[int, int]:
+        if len(shape) == 1:
+            return (1, int(shape[0]))
+        if len(shape) != 2:
+            raise ShapeError(f"expected a 1-D or 2-D shape, got {shape!r}")
+        height, width = int(shape[0]), int(shape[1])
+        if height <= 0 or width <= 0:
+            raise ShapeError(f"shape must be positive, got {shape!r}")
+        return (height, width)
+
+    def __repr__(self) -> str:
+        return f"SketchGenerator(p={self.p}, k={self.k}, seed={self.seed})"

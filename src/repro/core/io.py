@@ -1,0 +1,137 @@
+"""Persistence for sketches and sketch pools.
+
+The paper's headline scenario — "sketches have been precomputed" — only
+makes sense if a preprocessing job can hand its sketches to later
+mining jobs.  This module serialises:
+
+* a **sketch matrix** (the ``(n_items, k)`` array of a tile grid) with
+  its :class:`~repro.core.sketch.SketchKey`, so a loading process can
+  verify it is comparing like with like;
+* a whole **sketch pool** — the source table, the generator parameters
+  and every dyadic map built so far — so the Theorem-6 preprocessing
+  can be paid once and memory-mapped by many consumers.
+
+Format: NumPy ``.npz`` archives with a JSON header entry; no pickle, so
+the files are safe to load from untrusted sources.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core.generator import SketchGenerator
+from repro.core.pool import SketchPool
+from repro.core.sketch import SketchKey
+from repro.errors import ParameterError, StoreError
+
+__all__ = ["save_sketch_matrix", "load_sketch_matrix", "save_pool", "load_pool"]
+
+_FORMAT_VERSION = 1
+
+
+def _tuplify(obj):
+    """Recursively turn JSON lists back into the tuples keys use."""
+    if isinstance(obj, list):
+        return tuple(_tuplify(item) for item in obj)
+    return obj
+
+
+def _key_to_header(key: SketchKey) -> dict:
+    return {"seed": key.seed, "p": key.p, "k": key.k, "structure": key.structure}
+
+
+def _key_from_header(header: dict) -> SketchKey:
+    return SketchKey(
+        seed=int(header["seed"]),
+        p=float(header["p"]),
+        k=int(header["k"]),
+        structure=_tuplify(header["structure"]),
+    )
+
+
+def save_sketch_matrix(path, matrix: np.ndarray, key: SketchKey) -> None:
+    """Write an ``(n_items, k)`` sketch matrix and its key to ``path``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2:
+        raise ParameterError(f"sketch matrix must be 2-D, got {matrix.shape}")
+    if matrix.shape[1] != key.k:
+        raise ParameterError(
+            f"matrix has {matrix.shape[1]} columns but key says k={key.k}"
+        )
+    header = {"version": _FORMAT_VERSION, "kind": "sketch_matrix", "key": _key_to_header(key)}
+    np.savez(
+        path,
+        header=np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        matrix=matrix,
+    )
+
+
+def _read_header(archive) -> dict:
+    if "header" not in archive:
+        raise StoreError("archive has no header entry")
+    raw = bytes(archive["header"].tobytes())
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StoreError("archive header is not valid JSON") from exc
+    if header.get("version") != _FORMAT_VERSION:
+        raise StoreError(f"unsupported archive version {header.get('version')!r}")
+    return header
+
+
+def load_sketch_matrix(path) -> tuple[np.ndarray, SketchKey]:
+    """Read back a sketch matrix and its comparability key."""
+    with np.load(path) as archive:
+        header = _read_header(archive)
+        if header.get("kind") != "sketch_matrix":
+            raise StoreError(f"archive holds {header.get('kind')!r}, not a sketch matrix")
+        matrix = archive["matrix"]
+    return matrix, _key_from_header(header["key"])
+
+
+def save_pool(path, pool: SketchPool) -> None:
+    """Write a pool: table data, generator parameters, built maps."""
+    header = {
+        "version": _FORMAT_VERSION,
+        "kind": "sketch_pool",
+        "p": pool.generator.p,
+        "k": pool.generator.k,
+        "seed": pool.generator.seed,
+        "min_exponent": pool.min_exponent,
+        "map_dtype": np.dtype(pool.map_dtype).name,
+        "maps": [list(key) for key in pool._maps],
+    }
+    arrays = {
+        "header": np.frombuffer(json.dumps(header).encode("utf-8"), dtype=np.uint8),
+        "data": pool.data,
+    }
+    for (row_exp, col_exp, stream), built in pool._maps.items():
+        arrays[f"map_{row_exp}_{col_exp}_{stream}"] = built
+    np.savez(path, **arrays)
+
+
+def load_pool(path, backend: str = "numpy") -> SketchPool:
+    """Reconstruct a pool; previously built maps come back pre-warmed."""
+    with np.load(path) as archive:
+        header = _read_header(archive)
+        if header.get("kind") != "sketch_pool":
+            raise StoreError(f"archive holds {header.get('kind')!r}, not a sketch pool")
+        data = archive["data"]
+        generator = SketchGenerator(
+            p=float(header["p"]), k=int(header["k"]), seed=int(header["seed"])
+        )
+        pool = SketchPool(
+            data,
+            generator,
+            min_exponent=int(header["min_exponent"]),
+            backend=backend,
+            map_dtype=np.dtype(header["map_dtype"]),
+        )
+        for key in header["maps"]:
+            row_exp, col_exp, stream = (int(part) for part in key)
+            pool._maps[(row_exp, col_exp, stream)] = archive[
+                f"map_{row_exp}_{col_exp}_{stream}"
+            ]
+    return pool

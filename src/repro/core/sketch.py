@@ -1,0 +1,142 @@
+"""The :class:`Sketch` value type.
+
+A sketch is a short real vector summarising one object (vector or
+matrix).  Two sketches can be compared — turned into a distance estimate
+— only when they were produced against the *same* random stable
+matrices; the ``key`` attribute fingerprints that context, and all
+operations that mix sketches enforce it.
+
+Sketches are linear in the data: ``sketch(aX + bY) = a sketch(X) +
+b sketch(Y)`` (entry-wise, for the same random matrices).  The library
+leans on this twice:
+
+* **compound sketches** (Definition 4) sum the sketches of four
+  overlapping windows drawn from four *independent* sketch streams;
+* **sketched k-means** represents a centroid by the mean of its members'
+  sketches, which equals the sketch of the members' mean exactly —
+  no raw data access is needed after the initial sketching pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import IncompatibleSketchError, ParameterError
+
+__all__ = ["Sketch", "SketchKey", "mean_sketch"]
+
+
+@dataclass(frozen=True, slots=True)
+class SketchKey:
+    """Fingerprint of the random context a sketch was drawn against.
+
+    Attributes
+    ----------
+    seed:
+        Master seed of the :class:`~repro.core.generator.SketchGenerator`.
+    p:
+        The Lp index the sketch estimates.
+    k:
+        Number of sketch entries.
+    structure:
+        A hashable tag describing *which* random matrices were used and
+        how the sketch was composed, e.g. ``("direct", (8, 8), 0)`` for
+        a plain sketch of an 8x8 window from stream 0, or
+        ``("compound", (8, 8), (11, 13))`` for a Definition-4 compound
+        sketch of an 11x13 window tiled by 8x8 dyadic sketches.
+    """
+
+    seed: int
+    p: float
+    k: int
+    structure: tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Sketch:
+    """A constant-size summary of one object.
+
+    Attributes
+    ----------
+    values:
+        The ``k`` sketch entries (dot products with random matrices,
+        possibly summed across compound components).
+    key:
+        Comparability fingerprint; see :class:`SketchKey`.
+    """
+
+    values: np.ndarray
+    key: SketchKey
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.ndim != 1:
+            raise ParameterError(f"sketch values must be 1-D, got shape {values.shape}")
+        if values.shape[0] != self.key.k:
+            raise ParameterError(
+                f"sketch has {values.shape[0]} entries but key says k={self.key.k}"
+            )
+        object.__setattr__(self, "values", values)
+
+    @property
+    def k(self) -> int:
+        """Number of sketch entries."""
+        return self.key.k
+
+    @property
+    def p(self) -> float:
+        """The Lp index this sketch estimates distances for."""
+        return self.key.p
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the sketch values."""
+        return self.values.nbytes
+
+    def require_comparable(self, other: "Sketch") -> None:
+        """Raise unless ``other`` was drawn against the same context."""
+        if self.key != other.key:
+            raise IncompatibleSketchError(
+                f"sketches are not comparable: {self.key} vs {other.key}"
+            )
+
+    def __add__(self, other: "Sketch") -> "Sketch":
+        """Entry-wise sum; both operands must share a key.
+
+        Note this models *data* addition (the sketch of ``X + Y``), not
+        region union — region composition goes through
+        :class:`~repro.core.pool.SketchPool`, which manages the
+        independent streams that make it sound.
+        """
+        self.require_comparable(other)
+        return Sketch(self.values + other.values, self.key)
+
+    def __sub__(self, other: "Sketch") -> "Sketch":
+        """Entry-wise difference (the sketch of ``X - Y``)."""
+        self.require_comparable(other)
+        return Sketch(self.values - other.values, self.key)
+
+    def __mul__(self, scalar: float) -> "Sketch":
+        """Scaling (the sketch of ``scalar * X``)."""
+        return Sketch(self.values * float(scalar), self.key)
+
+    __rmul__ = __mul__
+
+
+def mean_sketch(sketches: Sequence[Sketch] | Iterable[Sketch]) -> Sketch:
+    """The entry-wise mean of a non-empty collection of sketches.
+
+    By linearity this *is* the sketch of the mean of the underlying
+    objects, which is how sketched k-means represents centroids.
+    """
+    sketches = list(sketches)
+    if not sketches:
+        raise ParameterError("cannot average an empty collection of sketches")
+    first = sketches[0]
+    for other in sketches[1:]:
+        first.require_comparable(other)
+    stacked = np.stack([s.values for s in sketches])
+    return Sketch(stacked.mean(axis=0), first.key)

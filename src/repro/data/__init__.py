@@ -1,0 +1,33 @@
+"""Workload generators standing in for the paper's datasets.
+
+:mod:`repro.data.callvolume`
+    Synthetic AT&T-like call-volume tables: stations (rows, spatially
+    ordered by a zip-code-like linearisation) by 10-minute intervals
+    (columns), with metro-area population centres, diurnal activity,
+    business-hours bands and an East-West timezone gradient — the
+    structural features the paper's Figure 5 case study reads off the
+    real data.
+:mod:`repro.data.synthetic`
+    The six-region planted-clustering dataset of Section 4.2 (fractions
+    1/4, 1/4, 1/4, 1/8, 1/16, 1/16, distinct uniform fills in
+    [10000, 30000], ~1% plausible outliers) used by Figure 4(b).
+"""
+
+from repro.data.callvolume import CallVolumeConfig, generate_call_volume
+from repro.data.loaders import convert_to_store, load_csv, load_npy
+from repro.data.synthetic import (
+    SixRegionConfig,
+    generate_six_region,
+    tile_truth_labels,
+)
+
+__all__ = [
+    "CallVolumeConfig",
+    "generate_call_volume",
+    "SixRegionConfig",
+    "generate_six_region",
+    "tile_truth_labels",
+    "load_csv",
+    "load_npy",
+    "convert_to_store",
+]

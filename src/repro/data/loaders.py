@@ -1,0 +1,101 @@
+"""Loading real tabular data into the library's containers.
+
+The synthetic generators stand in for the paper's proprietary datasets,
+but a downstream user has real tables.  These loaders cover the common
+interchange cases:
+
+* delimited text (CSV/TSV) with optional row/column label headers;
+* NumPy ``.npy`` arrays;
+* conversion into the chunked flat-file :class:`~repro.table.store`
+  format for memory-mapped tile access.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ParameterError, StoreError
+from repro.table.store import write_table
+from repro.table.tabular import TabularData
+
+__all__ = ["load_csv", "load_npy", "convert_to_store"]
+
+
+def load_csv(
+    path,
+    delimiter: str = ",",
+    row_labels: bool = False,
+    col_labels: bool = False,
+) -> TabularData:
+    """Load a delimited text file as :class:`TabularData`.
+
+    Parameters
+    ----------
+    path:
+        File to read.
+    delimiter:
+        Field separator.
+    row_labels:
+        Whether the first column holds row labels (station ids, ...).
+    col_labels:
+        Whether the first line holds column labels (timestamps, ...).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise StoreError(f"no such file: {path}")
+    with open(path) as handle:
+        lines = [line.rstrip("\n") for line in handle if line.strip()]
+    if not lines:
+        raise ParameterError(f"{path} contains no data")
+
+    header: list[str] | None = None
+    if col_labels:
+        header = lines[0].split(delimiter)
+        lines = lines[1:]
+        if not lines:
+            raise ParameterError(f"{path} has a header but no data rows")
+
+    names: list[str] | None = [] if row_labels else None
+    rows = []
+    for line_number, line in enumerate(lines, start=2 if col_labels else 1):
+        fields = line.split(delimiter)
+        if row_labels:
+            names.append(fields[0])
+            fields = fields[1:]
+        try:
+            rows.append([float(field) for field in fields])
+        except ValueError as exc:
+            raise ParameterError(
+                f"{path}:{line_number}: non-numeric value in data region"
+            ) from exc
+
+    widths = {len(row) for row in rows}
+    if len(widths) != 1:
+        raise ParameterError(f"{path}: ragged rows (widths {sorted(widths)})")
+    if col_labels and row_labels:
+        # Drop the header cell above the row-label column if present.
+        if len(header) == len(rows[0]) + 1:
+            header = header[1:]
+    if header is not None and len(header) != len(rows[0]):
+        raise ParameterError(
+            f"{path}: {len(header)} column labels for {len(rows[0])} columns"
+        )
+    return TabularData(np.asarray(rows), row_labels=names, col_labels=header)
+
+
+def load_npy(path) -> TabularData:
+    """Load a 2-D ``.npy`` array as :class:`TabularData`."""
+    path = Path(path)
+    if not path.exists():
+        raise StoreError(f"no such file: {path}")
+    array = np.load(path, allow_pickle=False)
+    return TabularData(array)
+
+
+def convert_to_store(
+    table: TabularData, path, chunk_shape: tuple[int, int] = (64, 64)
+) -> None:
+    """Persist a table in the chunked flat-file format (see store.py)."""
+    write_table(path, table.values, chunk_shape=chunk_shape)

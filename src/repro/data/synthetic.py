@@ -1,0 +1,153 @@
+"""The six-region planted-clustering dataset (Section 4.2).
+
+The paper's recipe, verbatim: divide the table into six areas covering
+1/4, 1/4, 1/4, 1/8, 1/16 and 1/16 of the data; fill each from a uniform
+distribution with a distinct mean in [10,000, 30,000]; then corrupt
+about 1% of the values with "relatively large or small values that were
+still plausible" — strong enough to wreck L1/L2 clustering, weak enough
+that no trivial pre-filter removes them.  Figure 4(b) then shows that
+``p`` between 0.25 and 0.8 recovers the planted clustering perfectly.
+
+Regions are laid out as horizontal bands (contiguous row ranges), so a
+tile grid whose tile height divides the band heights gives every tile a
+well-defined ground-truth region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.table.tabular import TabularData
+from repro.table.tiles import TileGrid
+
+__all__ = ["SixRegionConfig", "generate_six_region", "tile_truth_labels"]
+
+_FRACTIONS = (
+    Fraction(1, 4),
+    Fraction(1, 4),
+    Fraction(1, 4),
+    Fraction(1, 8),
+    Fraction(1, 16),
+    Fraction(1, 16),
+)
+
+
+@dataclass(frozen=True)
+class SixRegionConfig:
+    """Parameters of the planted-clustering table.
+
+    Attributes
+    ----------
+    n_rows, n_cols:
+        Table shape; ``n_rows`` must be a multiple of 16 so the six
+        bands are exact.
+    means:
+        The six distinct region means, all within [10000, 30000] as in
+        the paper.
+    half_width:
+        Half-width of each region's uniform fill (values are drawn from
+        ``mean +- half_width``).
+    outlier_fraction:
+        Fraction of cells replaced by outliers (~0.01 in the paper).
+    outlier_high, outlier_low:
+        Ranges ``(lo, hi)`` for the "relatively large" and "relatively
+        small but plausible" outlier values; half the outliers are drawn
+        from each.
+    seed:
+        Randomness seed.
+    """
+
+    n_rows: int = 256
+    n_cols: int = 256
+    means: tuple = (10_000.0, 14_000.0, 18_000.0, 22_000.0, 26_000.0, 30_000.0)
+    half_width: float = 1_500.0
+    outlier_fraction: float = 0.01
+    outlier_high: tuple = (100_000.0, 400_000.0)
+    outlier_low: tuple = (0.0, 500.0)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_rows % 16 != 0:
+            raise ParameterError(
+                f"n_rows must be a multiple of 16 for exact sixths, got {self.n_rows}"
+            )
+        if self.n_cols < 1:
+            raise ParameterError(f"n_cols must be >= 1, got {self.n_cols}")
+        if len(self.means) != 6 or len(set(self.means)) != 6:
+            raise ParameterError("means must be six distinct values")
+        if not 0.0 <= self.outlier_fraction < 1.0:
+            raise ParameterError(
+                f"outlier_fraction must be in [0, 1), got {self.outlier_fraction}"
+            )
+        if self.half_width <= 0:
+            raise ParameterError("half_width must be positive")
+
+
+def region_row_ranges(n_rows: int) -> list[tuple[int, int]]:
+    """Row ranges ``[start, end)`` of the six bands."""
+    boundaries = [0]
+    for fraction in _FRACTIONS:
+        boundaries.append(boundaries[-1] + int(fraction * n_rows))
+    return [(boundaries[i], boundaries[i + 1]) for i in range(6)]
+
+
+def generate_six_region(
+    config: SixRegionConfig | None = None,
+) -> tuple[TabularData, np.ndarray]:
+    """Generate the table and its per-row ground-truth region labels.
+
+    Returns
+    -------
+    (table, row_regions):
+        ``table`` is the corrupted :class:`TabularData`;
+        ``row_regions[r]`` is the region id (0..5) of row ``r``.
+    """
+    config = config or SixRegionConfig()
+    rng = np.random.default_rng(config.seed)
+
+    values = np.empty((config.n_rows, config.n_cols))
+    row_regions = np.empty(config.n_rows, dtype=np.intp)
+    for region, (start, end) in enumerate(region_row_ranges(config.n_rows)):
+        mean = config.means[region]
+        values[start:end] = rng.uniform(
+            mean - config.half_width,
+            mean + config.half_width,
+            size=(end - start, config.n_cols),
+        )
+        row_regions[start:end] = region
+
+    n_outliers = int(round(config.outlier_fraction * values.size))
+    if n_outliers:
+        flat_indices = rng.choice(values.size, size=n_outliers, replace=False)
+        halves = rng.random(n_outliers) < 0.5
+        outliers = np.where(
+            halves,
+            rng.uniform(*config.outlier_high, size=n_outliers),
+            rng.uniform(*config.outlier_low, size=n_outliers),
+        )
+        values.ravel()[flat_indices] = outliers
+
+    return TabularData(values), row_regions
+
+
+def tile_truth_labels(grid: TileGrid, row_regions: np.ndarray) -> np.ndarray:
+    """Ground-truth region per tile of a grid over the six-region table.
+
+    Each tile's label is the majority region among its rows; for tile
+    heights dividing the band heights this is exact (every tile lies in
+    one band).
+    """
+    row_regions = np.asarray(row_regions, dtype=np.intp)
+    if row_regions.ndim != 1 or row_regions.size < grid.table_shape[0]:
+        raise ParameterError(
+            f"row_regions must label all {grid.table_shape[0]} table rows"
+        )
+    labels = np.empty(len(grid), dtype=np.intp)
+    for index, spec in enumerate(grid):
+        regions = row_regions[spec.row : spec.end_row]
+        labels[index] = np.bincount(regions).argmax()
+    return labels

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still being able to distinguish the specific
+failure modes below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A function argument is outside its documented domain.
+
+    Examples: a stability index ``alpha`` outside ``(0, 2]``, a sketch
+    size ``k < 1``, or a tile that does not fit inside its table.
+    """
+
+
+class ShapeError(ReproError, ValueError):
+    """Two objects that must agree in shape do not.
+
+    Raised when sketching or measuring the distance between objects of
+    incompatible dimensions, or when combining sketches drawn from
+    generators with different parameters.
+    """
+
+
+class IncompatibleSketchError(ShapeError):
+    """Sketches cannot be compared or combined.
+
+    Sketches are only comparable when they were produced by the same
+    :class:`~repro.core.generator.SketchGenerator` configuration (same
+    seed, same ``p``, same size ``k`` and same object shape), because the
+    estimate relies on both objects having been projected onto the *same*
+    random stable matrices.
+    """
+
+
+class StoreError(ReproError, IOError):
+    """A flat-file table store is missing, corrupt, or mis-versioned."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative procedure failed to converge within its budget."""
+
+
+class EmptyClusterError(ReproError, RuntimeError):
+    """A clustering step produced an empty cluster it could not repair."""

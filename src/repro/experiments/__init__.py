@@ -1,0 +1,13 @@
+"""The reproduction harness: one module per paper figure.
+
+Each ``figure*`` module exposes a small config dataclass, a ``run``
+function returning a :class:`~repro.experiments.harness.FigureResult`,
+and a CLI (``python -m repro.experiments.figureN [--full]``) that prints
+the regenerated table/series.  ``costmodel`` provides the
+hardware-independent element-touch accounting used to check curve
+*shapes* without trusting wall clocks.
+"""
+
+from repro.experiments.harness import FigureResult, Timer, format_table
+
+__all__ = ["FigureResult", "Timer", "format_table"]

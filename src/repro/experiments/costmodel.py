@@ -1,0 +1,96 @@
+"""Hardware-independent cost accounting (element touches).
+
+The paper's timing plots were measured on a 2001 UltraSparc; absolute
+seconds do not transfer, but the *shapes* of its curves follow from how
+many data elements each strategy touches.  This model makes those
+counts explicit so benchmarks can assert the shapes directly:
+
+* an exact comparison of two M-cell tiles touches ``2 M`` elements;
+* a sketch comparison touches ``2 k`` (independent of M — the flat
+  curve in Figure 2);
+* building one sketch directly costs ``k M``;
+* the FFT preprocessing of all positions of an M-cell window in an
+  N-cell table costs ``~ 3 k P log2 P`` element operations with
+  ``P`` the padded transform size (the paper's ``O(k N log M)`` with
+  the padding constant shown honestly).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.fourier.fft import next_power_of_two
+
+__all__ = [
+    "exact_comparison_cost",
+    "sketch_comparison_cost",
+    "sketch_build_cost",
+    "fft_preprocess_cost",
+    "kmeans_cost",
+]
+
+
+def exact_comparison_cost(tile_cells: int) -> int:
+    """Elements touched by one exact Lp comparison of two tiles."""
+    if tile_cells < 1:
+        raise ParameterError(f"tile_cells must be >= 1, got {tile_cells}")
+    return 2 * tile_cells
+
+
+def sketch_comparison_cost(k: int) -> int:
+    """Elements touched by one sketched comparison."""
+    if k < 1:
+        raise ParameterError(f"k must be >= 1, got {k}")
+    return 2 * k
+
+
+def sketch_build_cost(k: int, tile_cells: int) -> int:
+    """Elements touched building one sketch directly (k dot products)."""
+    if k < 1 or tile_cells < 1:
+        raise ParameterError("k and tile_cells must be >= 1")
+    return k * tile_cells
+
+
+def fft_preprocess_cost(table_shape, window_shape, k: int) -> int:
+    """Approximate element operations of the Theorem-3 pipeline."""
+    table_h, table_w = table_shape
+    window_h, window_w = window_shape
+    if min(table_h, table_w, window_h, window_w, k) < 1:
+        raise ParameterError("all dimensions and k must be >= 1")
+    padded = next_power_of_two(table_h + window_h - 1) * next_power_of_two(
+        table_w + window_w - 1
+    )
+    return int(3 * k * padded * max(1.0, math.log2(padded)))
+
+
+@dataclass(frozen=True)
+class _KMeansCost:
+    comparisons: int
+    elements: int
+
+
+def kmeans_cost(
+    n_items: int,
+    n_clusters: int,
+    n_iterations: int,
+    tile_cells: int,
+    k: int,
+    mode: str,
+) -> _KMeansCost:
+    """Comparisons and elements touched by a k-means run in each mode.
+
+    ``mode`` is ``"exact"``, ``"precomputed"`` (sketches already exist)
+    or ``"on-demand"`` (adds one sketch build per item).
+    """
+    if mode not in ("exact", "precomputed", "on-demand"):
+        raise ParameterError(f"unknown mode {mode!r}")
+    comparisons = n_items * n_clusters * n_iterations
+    if mode == "exact":
+        elements = comparisons * exact_comparison_cost(tile_cells)
+    else:
+        elements = comparisons * sketch_comparison_cost(k)
+        if mode == "on-demand":
+            elements += n_items * sketch_build_cost(k, tile_cells)
+    return _KMeansCost(comparisons=comparisons, elements=elements)

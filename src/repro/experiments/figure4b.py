@@ -1,0 +1,112 @@
+"""Figure 4(b): recovering a known clustering as p varies.
+
+The six-region synthetic dataset plants a ground-truth clustering and
+corrupts ~1% of the cells with plausible outliers.  Clustering the
+tiles with sketched k-means (k-means k = 6) while sweeping p in (0, 2]
+reproduces the paper's inverted-U: L2 (and to a lesser degree L1) are
+wrecked by the outliers' quadratic/linear contributions; p below ~0.25
+washes out the mean structure (every cell differs, so the distance
+saturates toward Hamming) and inflates sketch noise; the window around
+p in [0.25, 0.8] recovers the planted clustering essentially perfectly.
+
+The exact-distance accuracy column separates the two effects: where
+exact also fails, the *metric* is at fault (outliers); where exact
+succeeds but sketches fail, the sketch noise is (tiny-p territory).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.cluster.kmeans import KMeans
+from repro.core.distance import ExactLpOracle, PrecomputedSketchOracle
+from repro.core.generator import SketchGenerator
+from repro.core.pipeline import sketch_grid
+from repro.data.synthetic import SixRegionConfig, generate_six_region, tile_truth_labels
+from repro.experiments.harness import FigureResult
+from repro.metrics.confusion import confusion_matrix_agreement
+from repro.table.tiles import TileGrid
+
+__all__ = ["Figure4bConfig", "run", "main"]
+
+N_REGIONS = 6
+
+
+@dataclass(frozen=True)
+class Figure4bConfig:
+    """Scales of the Figure 4(b) reproduction."""
+
+    data: SixRegionConfig = SixRegionConfig(n_rows=256, n_cols=256)
+    tile_shape: tuple = (16, 16)
+    ps: tuple = (0.05, 0.1, 0.25, 0.4, 0.5, 0.65, 0.8, 1.0, 1.25, 1.5, 1.75, 2.0)
+    k: int = 192
+    n_restarts: int = 4
+    seed: int = 0
+    max_iter: int = 40
+
+    @classmethod
+    def full(cls) -> "Figure4bConfig":
+        """Closer to paper scale (slower)."""
+        return cls(data=SixRegionConfig(n_rows=512, n_cols=512), tile_shape=(32, 32), k=256)
+
+
+def run(config: Figure4bConfig | None = None) -> FigureResult:
+    """Regenerate the Figure 4(b) accuracy-vs-p series."""
+    config = config or Figure4bConfig()
+    table, row_regions = generate_six_region(config.data)
+    grid = TileGrid(table.shape, config.tile_shape)
+    truth = tile_truth_labels(grid, row_regions)
+    tiles = [table.values[spec.slices] for spec in grid]
+
+    headers = ["p", "sketched_accuracy_%", "exact_accuracy_%"]
+    rows = []
+    for p in config.ps:
+        # Best of n_restarts seedings (KMeans keeps the lowest spread):
+        # standard practice, and what the paper's "uses randomness ...
+        # refined over the course of the program" amounts to.
+        kmeans = KMeans(
+            N_REGIONS,
+            max_iter=config.max_iter,
+            seed=config.seed,
+            n_init=config.n_restarts,
+        )
+        gen = SketchGenerator(p=p, k=config.k, seed=config.seed)
+        matrix = sketch_grid(table.values, grid, gen)
+        sketched = kmeans.fit(PrecomputedSketchOracle(matrix, p))
+        exact = kmeans.fit(ExactLpOracle(tiles, p))
+
+        rows.append(
+            [
+                p,
+                100.0 * confusion_matrix_agreement(truth, sketched.labels, N_REGIONS),
+                100.0 * confusion_matrix_agreement(truth, exact.labels, N_REGIONS),
+            ]
+        )
+
+    return FigureResult(
+        title=(
+            f"Figure 4(b): planted-clustering recovery vs p "
+            f"({len(tiles)} tiles of {config.tile_shape[0]}x{config.tile_shape[1]}, "
+            f"k={config.k}, best of {config.n_restarts} restarts)"
+        ),
+        headers=headers,
+        rows=rows,
+        notes=[
+            "expected inverted-U: ~100% for p in [0.25, 0.8], poor at p=2 "
+            "(outliers dominate) and degraded as p -> 0",
+        ],
+    )
+
+
+def main(argv=None) -> None:
+    """CLI: print the regenerated figure (add --full for paper scale)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale run (slow)")
+    args = parser.parse_args(argv)
+    config = Figure4bConfig.full() if args.full else Figure4bConfig()
+    print(run(config).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Figure 5: case study — one day's data clustered at p=2.0 and p=0.25.
+
+The paper linearises the stations geographically, groups neighbouring
+stations, tiles each group by the hour, clusters the tiles, and draws
+the result as a station-group x hour picture: each shade is a cluster
+and the largest cluster is left blank.  Reading the picture reveals the
+structure p controls: at p = 2 many fine clusters (population centres
+with metro shoulders) fill the canvas; at p = 0.25 only a few strongly
+distinct regions survive, fronted by long 9am-9pm vertical bands — and
+the business-hours bands shift with the East-West timezone lag.
+
+This module reproduces that as ASCII art (one character per tile).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.kmeans import KMeans
+from repro.core.distance import PrecomputedSketchOracle
+from repro.core.generator import SketchGenerator
+from repro.core.pipeline import sketch_grid
+from repro.data.callvolume import CallVolumeConfig, generate_call_volume
+from repro.experiments.harness import FigureResult
+from repro.table.tiles import TileGrid
+
+__all__ = ["Figure5Config", "run", "render_clustering", "main"]
+
+# Largest cluster first (blank), remaining clusters darkest-first.
+_SHADES = " @#%*+=-:.oxsv^"
+
+
+@dataclass(frozen=True)
+class Figure5Config:
+    """Scales of the Figure 5 case study."""
+
+    n_stations: int = 240
+    stations_per_group: int = 8
+    intervals_per_tile: int = 6  # one hour
+    n_clusters: int = 8
+    ps: tuple = (2.0, 0.25)
+    k: int = 96
+    seed: int = 0
+
+    @classmethod
+    def full(cls) -> "Figure5Config":
+        """Closer to paper scale (slower)."""
+        return cls(n_stations=1200, stations_per_group=25, n_clusters=12, k=192)
+
+
+def render_clustering(labels: np.ndarray, grid: TileGrid) -> str:
+    """Draw a tile clustering as station-group rows by hour columns."""
+    order = np.argsort(-np.bincount(labels, minlength=labels.max() + 1))
+    shade_of = {int(cluster): _SHADES[min(rank, len(_SHADES) - 1)]
+                for rank, cluster in enumerate(order)}
+    lines = []
+    hours = grid.cols
+    header = "     " + "".join(
+        f"{h:02d}:00".ljust(6) for h in range(0, 24, max(1, 24 * 6 // max(hours, 1)))
+    )
+    lines.append(header)
+    for grid_row in range(grid.rows):
+        row_labels = labels[grid_row * grid.cols : (grid_row + 1) * grid.cols]
+        lines.append(f"g{grid_row:03d} " + "".join(shade_of[int(c)] for c in row_labels))
+    return "\n".join(lines)
+
+
+def run(config: Figure5Config | None = None) -> FigureResult:
+    """Cluster one synthetic day at each p and render both panels."""
+    config = config or Figure5Config()
+    table = generate_call_volume(
+        CallVolumeConfig(n_stations=config.n_stations, n_days=1, seed=config.seed)
+    )
+    grid = table.grid((config.stations_per_group, config.intervals_per_tile))
+
+    panels = []
+    for p in config.ps:
+        gen = SketchGenerator(p=p, k=config.k, seed=config.seed)
+        matrix = sketch_grid(table.values, grid, gen)
+        oracle = PrecomputedSketchOracle(matrix, p)
+        result = KMeans(config.n_clusters, max_iter=40, seed=config.seed).fit(oracle)
+        panels.append(
+            f"p = {p:g} (blank = largest cluster)\n"
+            + render_clustering(result.labels, grid)
+        )
+
+    return FigureResult(
+        title=(
+            f"Figure 5: one day, {grid.rows} station groups x {grid.cols} hours, "
+            f"{config.n_clusters}-means on sketches (k={config.k})"
+        ),
+        headers=[],
+        rows=[],
+        panels=panels,
+        notes=[
+            "expect vertical 9am-9pm bands; busier metro groups form distinct "
+            "clusters; at low p only the strongest regions remain marked",
+            "business-hour bands shift right toward later wall-clock hours for "
+            "higher-numbered (western) station groups",
+        ],
+    )
+
+
+def main(argv=None) -> None:
+    """CLI: print the regenerated figure (add --full for paper scale)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale run (slow)")
+    args = parser.parse_args(argv)
+    config = Figure5Config.full() if args.full else Figure5Config()
+    print(run(config).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Experiment plumbing: timers, result records, ASCII rendering."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+
+__all__ = ["Timer", "FigureResult", "format_table"]
+
+
+class Timer:
+    """Context-manager wall clock: ``with Timer() as t: ...; t.seconds``."""
+
+    def __init__(self):
+        self.seconds = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def format_table(headers, rows, precision: int = 4) -> str:
+    """Render rows as an aligned, pipe-separated ASCII table."""
+    headers = [str(h) for h in headers]
+    if not headers:
+        raise ParameterError("headers must be non-empty")
+
+    def fmt(value):
+        if isinstance(value, float):
+            return f"{value:.{precision}g}"
+        return str(value)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ParameterError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in text_rows)) if text_rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class FigureResult:
+    """The regenerated content of one paper figure.
+
+    Attributes
+    ----------
+    title:
+        Which figure/panel this reproduces.
+    headers, rows:
+        The tabular series (one row per x-axis point).
+    notes:
+        Free-form observations (expected shape, caveats).
+    panels:
+        Optional extra text blocks (e.g. the Figure 5 ASCII pictures).
+    """
+
+    title: str
+    headers: list
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+    panels: list = field(default_factory=list)
+
+    def render(self, precision: int = 4) -> str:
+        """Format the title, table, panels and notes as printable text."""
+        parts = [self.title, "=" * len(self.title), ""]
+        if self.rows:
+            parts.append(format_table(self.headers, self.rows, precision))
+        for panel in self.panels:
+            parts.extend(["", panel])
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)

@@ -1,0 +1,83 @@
+"""Regenerate every paper figure in one command.
+
+``python -m repro.experiments.runall [--full] [--out results/]`` runs
+the five figure modules and writes each rendered table/panel to
+``<out>/figureN.txt`` (plus an ``index.txt`` summary).  This is the
+one-shot reproduction entry point referenced by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.experiments import (
+    ablations,
+    figure2,
+    figure3,
+    figure4a,
+    figure4b,
+    figure5,
+    scaling,
+)
+from repro.experiments.harness import Timer
+
+__all__ = ["main"]
+
+_MODULES = {
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4a": figure4a,
+    "figure4b": figure4b,
+    "figure5": figure5,
+    "scaling": scaling,
+    "ablations": ablations,
+}
+
+_CONFIGS = {
+    "figure2": figure2.Figure2Config,
+    "figure3": figure3.Figure3Config,
+    "figure4a": figure4a.Figure4aConfig,
+    "figure4b": figure4b.Figure4bConfig,
+    "figure5": figure5.Figure5Config,
+    "scaling": scaling.ScalingConfig,
+    "ablations": ablations.AblationConfig,
+}
+
+
+def main(argv=None) -> None:
+    """CLI: regenerate the selected figures into the output directory."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="paper-scale runs (slow)")
+    parser.add_argument("--out", default="results", help="output directory")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        choices=sorted(_MODULES),
+        help="run a subset of the figures",
+    )
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    selected = args.only or sorted(_MODULES)
+
+    index_lines = []
+    for name in selected:
+        module = _MODULES[name]
+        config_cls = _CONFIGS[name]
+        config = config_cls.full() if args.full else config_cls()
+        with Timer() as timer:
+            result = module.run(config)
+        results = result if isinstance(result, list) else [result]
+        text = "\n\n".join(r.render() for r in results)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        index_lines.append(f"{name}: {timer.seconds:.1f}s -> {name}.txt")
+        print(f"[{name}] done in {timer.seconds:.1f}s")
+
+    (out_dir / "index.txt").write_text("\n".join(index_lines) + "\n")
+    print(f"\nwrote {len(selected)} figure files to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

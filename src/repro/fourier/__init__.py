@@ -1,0 +1,40 @@
+"""Fast Fourier transform and convolution substrate, from scratch.
+
+Theorem 3 of the paper computes the sketches of *every* placement of a
+fixed-size window in ``O(k N log M)`` time by observing that the sliding
+dot products of a random matrix over the data table are exactly a 2-D
+cross-correlation, which the Fast Fourier Transform evaluates in
+near-linear time.
+
+This subpackage provides that machinery:
+
+:mod:`repro.fourier.fft`
+    A from-scratch FFT: iterative radix-2 Cooley--Tukey for power-of-two
+    lengths, Bluestein's chirp-z algorithm for arbitrary lengths, and 2-D
+    variants.  A ``backend`` switch allows delegating to ``numpy.fft``
+    for raw speed; the two backends are verified against each other in
+    the test suite.
+:mod:`repro.fourier.conv`
+    FFT-based 2-D cross-correlation / convolution with a direct
+    (quadratic) reference implementation used for testing.
+"""
+
+from repro.fourier.conv import (
+    convolve2d_full,
+    cross_correlate2d_direct,
+    cross_correlate2d_valid,
+)
+from repro.fourier.fft import fft, fft2, ifft, ifft2, irfft, next_power_of_two, rfft
+
+__all__ = [
+    "fft",
+    "ifft",
+    "fft2",
+    "ifft2",
+    "rfft",
+    "irfft",
+    "next_power_of_two",
+    "convolve2d_full",
+    "cross_correlate2d_valid",
+    "cross_correlate2d_direct",
+]

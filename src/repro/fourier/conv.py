@@ -1,0 +1,119 @@
+"""FFT-based 2-D convolution and sliding-window dot products.
+
+The sketch pipeline (Theorem 3) needs, for each random matrix ``R`` of
+shape ``(a, b)`` and data table ``Z`` of shape ``(H, W)``, the value
+
+    out[i, j] = sum_{u < a, v < b} Z[i + u, j + v] * R[u, v]
+
+for every valid placement ``(i, j)`` — i.e. the *valid-mode 2-D
+cross-correlation* of ``Z`` with ``R``.  Evaluating it directly costs
+``O(H W a b)``; via the convolution theorem it costs
+``O(H W log(H W))`` after zero-padding both operands to a common
+power-of-two shape.
+
+:func:`cross_correlate2d_direct` is the quadratic reference used by the
+tests; :func:`cross_correlate2d_valid` is the FFT path used everywhere
+else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError, ShapeError
+from repro.fourier.fft import fft2, ifft2, next_power_of_two
+
+__all__ = [
+    "convolve2d_full",
+    "cross_correlate2d_valid",
+    "cross_correlate2d_direct",
+]
+
+
+def _check_2d(name: str, arr: np.ndarray) -> np.ndarray:
+    arr = np.asarray(arr)
+    if arr.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ShapeError(f"{name} must be non-empty, got shape {arr.shape}")
+    return arr
+
+
+def convolve2d_full(a, b, backend: str = "numpy") -> np.ndarray:
+    """Full linear 2-D convolution of ``a`` and ``b`` via the FFT.
+
+    Output shape is ``(Ha + Hb - 1, Wa + Wb - 1)``.  Real inputs produce
+    a real output; on the NumPy backend they additionally take the
+    real-FFT fast path (half the spectrum, roughly half the work),
+    which is what the sketch pipelines hit.
+    """
+    a = _check_2d("a", a)
+    b = _check_2d("b", b)
+    out_shape = (a.shape[0] + b.shape[0] - 1, a.shape[1] + b.shape[1] - 1)
+    padded = (next_power_of_two(out_shape[0]), next_power_of_two(out_shape[1]))
+
+    both_real = np.isrealobj(a) and np.isrealobj(b)
+    if both_real and backend == "numpy":
+        fa = np.fft.rfft2(_pad_to(a, padded))
+        fb = np.fft.rfft2(_pad_to(b, padded))
+        full = np.fft.irfft2(fa * fb, s=padded)[: out_shape[0], : out_shape[1]]
+        return np.ascontiguousarray(full)
+
+    fa = fft2(_pad_to(a, padded), backend=backend)
+    fb = fft2(_pad_to(b, padded), backend=backend)
+    full = ifft2(fa * fb, backend=backend)[: out_shape[0], : out_shape[1]]
+    if both_real:
+        return np.ascontiguousarray(full.real)
+    return full
+
+
+def cross_correlate2d_valid(data, kernel, backend: str = "numpy") -> np.ndarray:
+    """Sliding dot products of ``kernel`` over ``data`` (valid mode).
+
+    Returns an array of shape ``(H - a + 1, W - b + 1)`` whose ``(i, j)``
+    entry is the dot product of ``kernel`` with the ``(a, b)`` window of
+    ``data`` anchored at ``(i, j)``.
+
+    Raises
+    ------
+    ShapeError
+        If the kernel is larger than the data in either dimension.
+    """
+    data = _check_2d("data", data)
+    kernel = _check_2d("kernel", kernel)
+    if kernel.shape[0] > data.shape[0] or kernel.shape[1] > data.shape[1]:
+        raise ShapeError(
+            f"kernel {kernel.shape} does not fit inside data {data.shape}"
+        )
+    # Cross-correlation == convolution with the doubly-flipped kernel;
+    # the valid region of the full convolution starts at (a - 1, b - 1).
+    flipped = kernel[::-1, ::-1]
+    full = convolve2d_full(data, flipped, backend=backend)
+    a, b = kernel.shape
+    return full[a - 1 : data.shape[0], b - 1 : data.shape[1]]
+
+
+def cross_correlate2d_direct(data, kernel) -> np.ndarray:
+    """Quadratic-time reference for :func:`cross_correlate2d_valid`.
+
+    Only intended for tests and small inputs.
+    """
+    data = _check_2d("data", data)
+    kernel = _check_2d("kernel", kernel)
+    a, b = kernel.shape
+    out_h = data.shape[0] - a + 1
+    out_w = data.shape[1] - b + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ShapeError(
+            f"kernel {kernel.shape} does not fit inside data {data.shape}"
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(data, (a, b))
+    return np.einsum("ijuv,uv->ij", windows, kernel)
+
+
+def _pad_to(arr: np.ndarray, shape) -> np.ndarray:
+    if arr.shape[0] > shape[0] or arr.shape[1] > shape[1]:
+        raise ParameterError(f"cannot pad {arr.shape} down to {shape}")
+    out = np.zeros(shape, dtype=np.result_type(arr.dtype, np.float64))
+    out[: arr.shape[0], : arr.shape[1]] = arr
+    return out

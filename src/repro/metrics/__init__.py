@@ -1,0 +1,35 @@
+"""The paper's accuracy and clustering-quality measures (Defns 7-11).
+
+:mod:`repro.metrics.correctness`
+    Definition 7 (cumulative correctness), Definition 8 (average
+    correctness) and Definition 9 (pairwise comparison correctness) —
+    how faithful sketched distances are, in aggregate, per pair, and for
+    the comparisons clustering actually performs.
+:mod:`repro.metrics.confusion`
+    Definition 10: confusion-matrix agreement between two clusterings,
+    with optimal cluster-label matching via a from-scratch Hungarian
+    algorithm (:mod:`repro.metrics.assignment`).
+:mod:`repro.metrics.quality`
+    Definition 11: spread-ratio quality of a sketched clustering against
+    the exact-distance benchmark.
+"""
+
+from repro.metrics.assignment import linear_sum_assignment
+from repro.metrics.confusion import confusion_matrix, confusion_matrix_agreement
+from repro.metrics.correctness import (
+    average_correctness,
+    cumulative_correctness,
+    pairwise_comparison_correctness,
+)
+from repro.metrics.quality import clustering_quality, clustering_spread
+
+__all__ = [
+    "cumulative_correctness",
+    "average_correctness",
+    "pairwise_comparison_correctness",
+    "confusion_matrix",
+    "confusion_matrix_agreement",
+    "clustering_spread",
+    "clustering_quality",
+    "linear_sum_assignment",
+]

@@ -1,0 +1,97 @@
+"""Linear sum assignment (Hungarian algorithm), from scratch.
+
+Used by :mod:`repro.metrics.confusion` to match cluster labels between
+two clusterings optimally before reading the confusion-matrix diagonal.
+The implementation is the classical O(n^3) shortest-augmenting-path
+formulation with dual potentials (Jonker--Volgenant style), operating on
+a rectangular cost matrix with ``rows <= cols``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["linear_sum_assignment"]
+
+
+def linear_sum_assignment(cost, maximize: bool = False) -> tuple[np.ndarray, np.ndarray]:
+    """Optimal one-to-one assignment of rows to columns.
+
+    Parameters
+    ----------
+    cost:
+        2-D cost matrix with ``rows <= cols``.
+    maximize:
+        Maximise total value instead of minimising total cost.
+
+    Returns
+    -------
+    (row_indices, col_indices):
+        Parallel arrays such that pairing ``row_indices[t]`` with
+        ``col_indices[t]`` attains the optimal total.  Rows are returned
+        in order ``0..rows-1``.
+    """
+    cost = np.asarray(cost, dtype=np.float64)
+    if cost.ndim != 2 or cost.size == 0:
+        raise ParameterError(f"cost must be a non-empty 2-D matrix, got {cost.shape}")
+    if not np.all(np.isfinite(cost)):
+        raise ParameterError("cost matrix must be finite")
+    n_rows, n_cols = cost.shape
+    if n_rows > n_cols:
+        raise ParameterError(
+            f"cost must have rows <= cols, got {cost.shape}; transpose the input"
+        )
+    if maximize:
+        cost = -cost
+
+    # 1-based arrays as in the classical formulation; p[j] is the row
+    # matched to column j (0 = unmatched), u/v are dual potentials.
+    u = np.zeros(n_rows + 1)
+    v = np.zeros(n_cols + 1)
+    p = np.zeros(n_cols + 1, dtype=np.intp)
+    way = np.zeros(n_cols + 1, dtype=np.intp)
+
+    for row in range(1, n_rows + 1):
+        p[0] = row
+        j0 = 0
+        minv = np.full(n_cols + 1, np.inf)
+        used = np.zeros(n_cols + 1, dtype=bool)
+        while True:
+            used[j0] = True
+            i0 = p[j0]
+            delta = np.inf
+            j1 = 0
+            for j in range(1, n_cols + 1):
+                if used[j]:
+                    continue
+                reduced = cost[i0 - 1, j - 1] - u[i0] - v[j]
+                if reduced < minv[j]:
+                    minv[j] = reduced
+                    way[j] = j0
+                if minv[j] < delta:
+                    delta = minv[j]
+                    j1 = j
+            for j in range(n_cols + 1):
+                if used[j]:
+                    u[p[j]] += delta
+                    v[j] -= delta
+                else:
+                    minv[j] -= delta
+            j0 = j1
+            if p[j0] == 0:
+                break
+        # Augment along the found path.
+        while j0:
+            j1 = way[j0]
+            p[j0] = p[j1]
+            j0 = j1
+
+    row_of_col = p[1:]
+    rows = np.arange(n_rows, dtype=np.intp)
+    cols = np.empty(n_rows, dtype=np.intp)
+    for j, row in enumerate(row_of_col):
+        if row > 0:
+            cols[row - 1] = j
+    return rows, cols

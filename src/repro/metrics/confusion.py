@@ -1,0 +1,54 @@
+"""Confusion-matrix agreement between two clusterings (Definition 10).
+
+Cluster labels are arbitrary names, so before reading how many items two
+clusterings place "in the same cluster" the labels must be matched.  The
+paper's definition reads the diagonal of the confusion matrix; we first
+permute the second clustering's labels by an optimal one-to-one matching
+(Hungarian algorithm, maximising the diagonal), which is the standard
+formalisation of that intent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.metrics.assignment import linear_sum_assignment
+
+__all__ = ["confusion_matrix", "confusion_matrix_agreement"]
+
+
+def confusion_matrix(labels_a, labels_b, n_clusters: int | None = None) -> np.ndarray:
+    """Counts ``C[i, j]`` of items in cluster ``i`` of A and ``j`` of B.
+
+    Items labelled ``-1`` (noise) in either clustering are excluded.
+    """
+    labels_a = np.asarray(labels_a, dtype=np.intp)
+    labels_b = np.asarray(labels_b, dtype=np.intp)
+    if labels_a.shape != labels_b.shape or labels_a.ndim != 1 or labels_a.size == 0:
+        raise ParameterError(
+            f"labels must be equal-length non-empty 1-D, got {labels_a.shape} "
+            f"and {labels_b.shape}"
+        )
+    keep = (labels_a >= 0) & (labels_b >= 0)
+    labels_a = labels_a[keep]
+    labels_b = labels_b[keep]
+    if labels_a.size == 0:
+        raise ParameterError("no items remain after removing noise labels")
+    if n_clusters is None:
+        n_clusters = int(max(labels_a.max(), labels_b.max())) + 1
+    matrix = np.zeros((n_clusters, n_clusters), dtype=np.int64)
+    np.add.at(matrix, (labels_a, labels_b), 1)
+    return matrix
+
+
+def confusion_matrix_agreement(labels_a, labels_b, n_clusters: int | None = None) -> float:
+    """Definition 10: fraction of items both clusterings co-assign.
+
+    Computed as ``trace(C[:, sigma]) / C.sum()`` where ``sigma`` is the
+    label matching that maximises the diagonal.
+    """
+    matrix = confusion_matrix(labels_a, labels_b, n_clusters)
+    _rows, cols = linear_sum_assignment(matrix.astype(np.float64), maximize=True)
+    matched = matrix[np.arange(matrix.shape[0]), cols].sum()
+    return float(matched / matrix.sum())

@@ -1,0 +1,80 @@
+"""Sketching accuracy measures (Definitions 7-9).
+
+All three take parallel arrays of *approximate* and *exact* distances
+for a batch of experiments and return a fraction (1.0 = perfect), so
+they can be quoted as the percentages in Figure 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "cumulative_correctness",
+    "average_correctness",
+    "pairwise_comparison_correctness",
+]
+
+
+def _as_parallel(approx, exact) -> tuple[np.ndarray, np.ndarray]:
+    approx = np.asarray(approx, dtype=np.float64)
+    exact = np.asarray(exact, dtype=np.float64)
+    if approx.shape != exact.shape or approx.ndim != 1 or approx.size == 0:
+        raise ParameterError(
+            f"need equal-length non-empty 1-D arrays, got {approx.shape} and {exact.shape}"
+        )
+    return approx, exact
+
+
+def cumulative_correctness(approx, exact) -> float:
+    """Definition 7: ``sum(approx) / sum(exact)``.
+
+    "In the long run", how well total sketched distance tracks total
+    true distance; errors of opposite signs cancel.
+    """
+    approx, exact = _as_parallel(approx, exact)
+    total_exact = exact.sum()
+    if total_exact <= 0:
+        raise ParameterError("exact distances must have a positive sum")
+    return float(approx.sum() / total_exact)
+
+
+def average_correctness(approx, exact) -> float:
+    """Definition 8: ``1 - mean(|1 - approx/exact|)``.
+
+    Per-experiment relative errors do not cancel here; this is the
+    sterner estimator-quality measure.  Pairs with zero exact distance
+    must have zero approximate distance (sketching is exact there) and
+    contribute zero error.
+    """
+    approx, exact = _as_parallel(approx, exact)
+    errors = np.zeros(exact.shape)
+    nonzero = exact > 0
+    errors[nonzero] = np.abs(1.0 - approx[nonzero] / exact[nonzero])
+    errors[~nonzero] = np.where(approx[~nonzero] == 0.0, 0.0, 1.0)
+    return float(1.0 - errors.mean())
+
+
+def pairwise_comparison_correctness(
+    approx_xy, approx_xz, exact_xy, exact_xz
+) -> float:
+    """Definition 9: fraction of 'which is closer?' tests answered right.
+
+    For each experiment we ask whether ``X`` is closer to ``Y`` or to
+    ``Z`` under the exact distance, and whether sketching gives the same
+    answer.  (The paper writes this with an xor that scores exactly the
+    agreeing cases; ties are counted as correct, since either assignment
+    is equally good downstream — the paper's rationale for why errors on
+    near-ties are harmless.)
+    """
+    approx_xy, exact_xy = _as_parallel(approx_xy, exact_xy)
+    approx_xz, exact_xz = _as_parallel(approx_xz, exact_xz)
+    if approx_xy.shape != approx_xz.shape:
+        raise ParameterError("all four arrays must have equal length")
+    exact_says_y = exact_xy < exact_xz
+    approx_says_y = approx_xy < approx_xz
+    ties = (exact_xy == exact_xz) | (approx_xy == approx_xz)
+    agree = (exact_says_y == approx_says_y) | ties
+    return float(agree.mean())

@@ -1,0 +1,42 @@
+"""Mining applications of sketched distances beyond k-means.
+
+:mod:`repro.mining.neighbors`
+    Nearest-neighbour queries and most-similar-pair search over any
+    distance oracle (exact or sketched).
+:mod:`repro.mining.regions`
+    Similar-region discovery over arbitrary sub-rectangles of a table,
+    powered by a :class:`~repro.core.pool.SketchPool` — the "compare any
+    two subregions quickly" capability the paper's introduction
+    motivates.
+:mod:`repro.mining.trends`
+    Representative trends and relaxed periods for time series — the
+    sketch machinery of the paper's predecessor [13], included since the
+    paper presents itself as that work's extension to tables.
+"""
+
+from repro.mining.anomalies import knn_outlier_scores, outlier_scores, top_outliers
+from repro.mining.join import JoinPair, sketch_similarity_join
+from repro.mining.neighbors import most_similar_pairs, nearest_neighbors
+from repro.mining.regions import RegionMatch, find_similar_regions
+from repro.mining.trends import (
+    relaxed_period,
+    representative_trend,
+    sliding_window_sketches,
+)
+from repro.mining.vptree import VPTree
+
+__all__ = [
+    "nearest_neighbors",
+    "most_similar_pairs",
+    "find_similar_regions",
+    "RegionMatch",
+    "sliding_window_sketches",
+    "representative_trend",
+    "relaxed_period",
+    "outlier_scores",
+    "knn_outlier_scores",
+    "top_outliers",
+    "VPTree",
+    "JoinPair",
+    "sketch_similarity_join",
+]

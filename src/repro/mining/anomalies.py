@@ -1,0 +1,81 @@
+"""Anomalous-tile mining: which regions are unlike everything else?
+
+The dual of :func:`repro.mining.trends.representative_trend` and one of
+the "many creative mining questions" the paper's introduction gestures
+at: instead of the most central object, find the objects farthest from
+the rest — the regions or time windows worth an analyst's attention.
+Two scorers are provided, both oracle-based (sketched or exact):
+
+* :func:`outlier_scores` — mean distance to all other items
+  (``O(n^2)`` comparisons; every one is cheap under sketches);
+* :func:`knn_outlier_scores` — distance to the ``m``-th nearest
+  neighbour, the classical kNN outlier measure, more robust when the
+  data contains several distinct normal modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.base import pairwise_distance_matrix
+from repro.errors import ParameterError
+
+__all__ = ["outlier_scores", "knn_outlier_scores", "top_outliers"]
+
+
+def _full_distance_rows(oracle) -> np.ndarray:
+    return pairwise_distance_matrix(oracle)
+
+
+def outlier_scores(oracle) -> np.ndarray:
+    """Mean distance from each item to all others (higher = stranger)."""
+    n = oracle.n_items
+    if n < 2:
+        raise ParameterError("outlier scoring needs at least 2 items")
+    matrix = _full_distance_rows(oracle)
+    return matrix.sum(axis=1) / (n - 1)
+
+
+def knn_outlier_scores(oracle, n_neighbors: int) -> np.ndarray:
+    """Distance to each item's ``n_neighbors``-th nearest neighbour."""
+    n = oracle.n_items
+    if not 1 <= n_neighbors <= n - 1:
+        raise ParameterError(
+            f"n_neighbors must be in [1, {n - 1}], got {n_neighbors}"
+        )
+    matrix = _full_distance_rows(oracle)
+    np.fill_diagonal(matrix, np.inf)
+    sorted_rows = np.sort(matrix, axis=1)
+    return sorted_rows[:, n_neighbors - 1]
+
+
+def top_outliers(oracle, n_outliers: int, method: str = "mean", n_neighbors: int = 3):
+    """The ``n_outliers`` strangest items, strangest first.
+
+    Parameters
+    ----------
+    oracle:
+        Pairwise distance oracle.
+    n_outliers:
+        How many items to return.
+    method:
+        ``"mean"`` (mean-distance scores) or ``"knn"``.
+    n_neighbors:
+        The kNN rank for ``method="knn"``.
+
+    Returns
+    -------
+    list of (index, score) pairs, highest score first.
+    """
+    if method not in ("mean", "knn"):
+        raise ParameterError(f"method must be 'mean' or 'knn', got {method!r}")
+    if not 1 <= n_outliers <= oracle.n_items:
+        raise ParameterError(
+            f"n_outliers must be in [1, {oracle.n_items}], got {n_outliers}"
+        )
+    if method == "mean":
+        scores = outlier_scores(oracle)
+    else:
+        scores = knn_outlier_scores(oracle, n_neighbors)
+    order = np.argsort(-scores)
+    return [(int(i), float(scores[i])) for i in order[:n_outliers]]

@@ -1,0 +1,48 @@
+"""Nearest-neighbour and similar-pair mining over a distance oracle.
+
+These run unchanged on exact or sketched oracles, which is the point:
+once distances are behind an oracle, every comparison-driven mining
+primitive inherits the sketch speed-up.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+__all__ = ["nearest_neighbors", "most_similar_pairs"]
+
+
+def nearest_neighbors(oracle, query: int, n_neighbors: int) -> list[tuple[int, float]]:
+    """The ``n_neighbors`` items closest to ``query``, nearest first.
+
+    Returns ``(index, distance)`` pairs; the query itself is excluded.
+    """
+    n = oracle.n_items
+    if not 0 <= query < n:
+        raise ParameterError(f"query index {query} out of range for {n} items")
+    if not 1 <= n_neighbors <= n - 1:
+        raise ParameterError(
+            f"n_neighbors must be in [1, {n - 1}], got {n_neighbors}"
+        )
+    distances = [
+        (other, oracle.distance(query, other)) for other in range(n) if other != query
+    ]
+    distances.sort(key=lambda pair: pair[1])
+    return distances[:n_neighbors]
+
+
+def most_similar_pairs(oracle, n_pairs: int) -> list[tuple[int, int, float]]:
+    """The globally closest ``n_pairs`` item pairs, nearest first.
+
+    Exhaustive ``O(n^2)`` comparison — exactly the workload whose
+    per-comparison cost sketching collapses.
+    """
+    n = oracle.n_items
+    max_pairs = n * (n - 1) // 2
+    if not 1 <= n_pairs <= max_pairs:
+        raise ParameterError(f"n_pairs must be in [1, {max_pairs}], got {n_pairs}")
+    scored = [
+        (i, j, oracle.distance(i, j)) for i in range(n) for j in range(i + 1, n)
+    ]
+    scored.sort(key=lambda triple: triple[2])
+    return scored[:n_pairs]

@@ -1,0 +1,105 @@
+"""Similar-region discovery over arbitrary sub-rectangles.
+
+Given a query window anywhere in a table, find the windows most similar
+to it — e.g. "which other geographic areas have call patterns like Los
+Angeles?".  A :class:`~repro.core.pool.SketchPool` makes each candidate
+comparison ``O(k)`` via compound sketches, so scanning thousands of
+candidate positions is cheap after the one-off pool preprocessing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.estimators import estimate_distance
+from repro.core.pool import SketchPool
+from repro.errors import ParameterError
+from repro.table.tiles import TileSpec
+
+__all__ = ["RegionMatch", "find_similar_regions"]
+
+
+@dataclass(frozen=True)
+class RegionMatch:
+    """A candidate region and its estimated distance to the query."""
+
+    spec: TileSpec
+    distance: float
+
+
+def _overlaps(a: TileSpec, b: TileSpec) -> bool:
+    return not (
+        a.end_row <= b.row
+        or b.end_row <= a.row
+        or a.end_col <= b.col
+        or b.end_col <= a.col
+    )
+
+
+def find_similar_regions(
+    pool: SketchPool,
+    query: TileSpec,
+    n_results: int = 5,
+    stride: tuple[int, int] | None = None,
+    exclude_overlapping: bool = True,
+    composition: str = "compound",
+    distinct: bool = False,
+) -> list[RegionMatch]:
+    """Rank same-shape windows of the pooled table by similarity to ``query``.
+
+    Parameters
+    ----------
+    pool:
+        A sketch pool over the table to search.
+    query:
+        The query window (must lie inside the table).
+    n_results:
+        Number of matches to return, nearest first.
+    stride:
+        Scan step ``(rows, cols)``; defaults to half the query shape.
+    exclude_overlapping:
+        Skip candidates that intersect the query region.
+    composition:
+        ``"compound"`` (paper, O(1) per candidate, 4x error band) or
+        ``"disjoint"`` (exact composition, needs dims divisible by the
+        pool's minimum dyadic size).
+    distinct:
+        When true, suppress candidates that overlap an already-selected
+        (better) match, so the results are ``n_results`` *different*
+        regions rather than shifted copies of the single best one.
+    """
+    if composition not in ("compound", "disjoint"):
+        raise ParameterError(
+            f"composition must be 'compound' or 'disjoint', got {composition!r}"
+        )
+    if n_results < 1:
+        raise ParameterError(f"n_results must be >= 1, got {n_results}")
+    query.require_fits(pool.data.shape)
+    if stride is None:
+        stride = (max(1, query.height // 2), max(1, query.width // 2))
+    if stride[0] < 1 or stride[1] < 1:
+        raise ParameterError(f"stride must be positive, got {stride}")
+
+    sketch_of = pool.sketch_for if composition == "compound" else pool.disjoint_sketch_for
+    query_sketch = sketch_of(query)
+
+    matches = []
+    table_h, table_w = pool.data.shape
+    for row in range(0, table_h - query.height + 1, stride[0]):
+        for col in range(0, table_w - query.width + 1, stride[1]):
+            candidate = TileSpec(row, col, query.height, query.width)
+            if exclude_overlapping and _overlaps(candidate, query):
+                continue
+            distance = estimate_distance(query_sketch, sketch_of(candidate))
+            matches.append(RegionMatch(candidate, distance))
+    matches.sort(key=lambda match: match.distance)
+    if not distinct:
+        return matches[:n_results]
+    selected: list[RegionMatch] = []
+    for match in matches:
+        if any(_overlaps(match.spec, kept.spec) for kept in selected):
+            continue
+        selected.append(match)
+        if len(selected) == n_results:
+            break
+    return selected

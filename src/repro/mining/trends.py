@@ -1,0 +1,118 @@
+"""Representative trends and relaxed periods in time series.
+
+The paper extends its authors' earlier sketch machinery for time series
+([13], Indyk-Koudas-Muthukrishnan, VLDB 2000) to tabular data; this
+module supplies that time-series layer too, built on the same sketches:
+
+* :func:`sliding_window_sketches` — sketches of *every* length-``w``
+  window of a series in one FFT pass (the 1-D case of Theorem 3);
+* :func:`representative_trend` — the block whose total sketched
+  distance to all other blocks is minimal ("which day is the most
+  typical day?");
+* :func:`relaxed_period` — the block length whose consecutive blocks
+  are most self-similar ("what period does this series repeat at?"),
+  scored per element so different candidate periods are comparable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimators import estimate_distance
+from repro.core.generator import SketchGenerator
+from repro.errors import ParameterError, ShapeError
+from repro.fourier.conv import cross_correlate2d_valid
+
+__all__ = ["sliding_window_sketches", "representative_trend", "relaxed_period"]
+
+
+def _as_series(series) -> np.ndarray:
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 1 or series.size == 0:
+        raise ShapeError(f"series must be non-empty 1-D, got {series.shape}")
+    return series
+
+
+def sliding_window_sketches(
+    series, window: int, generator: SketchGenerator, stream: int = 0
+) -> np.ndarray:
+    """Sketches of every length-``window`` sliding window of a series.
+
+    Returns an ``(n - window + 1, k)`` array; row ``i`` equals
+    ``generator.sketch(series[i : i + window])`` exactly (same random
+    vectors), computed via one FFT cross-correlation per sketch entry.
+    """
+    series = _as_series(series)
+    if not 1 <= window <= series.size:
+        raise ParameterError(
+            f"window must be in [1, {series.size}], got {window}"
+        )
+    data = series[np.newaxis, :]
+    out = np.empty((series.size - window + 1, generator.k))
+    for index, matrix in enumerate(generator.iter_matrices((1, window), stream)):
+        out[:, index] = cross_correlate2d_valid(data, matrix)[0]
+    return out
+
+
+def _block_sketches(series: np.ndarray, block: int, generator: SketchGenerator):
+    n_blocks = series.size // block
+    if n_blocks < 2:
+        raise ParameterError(
+            f"need at least 2 blocks of length {block} in a series of "
+            f"{series.size} samples"
+        )
+    blocks = [series[i * block : (i + 1) * block] for i in range(n_blocks)]
+    return blocks, generator.sketch_many(blocks)
+
+
+def representative_trend(
+    series, block: int, p: float = 1.0, k: int = 128, seed: int = 0
+) -> tuple[int, np.ndarray]:
+    """The most central block of a series, by total sketched distance.
+
+    Splits the series into consecutive non-overlapping blocks of length
+    ``block`` and returns ``(best_index, costs)`` where ``costs[i]`` is
+    the sum of estimated Lp distances from block ``i`` to every other
+    block and ``best_index`` minimises it.
+    """
+    series = _as_series(series)
+    generator = SketchGenerator(p=p, k=k, seed=seed)
+    _blocks, sketches = _block_sketches(series, block, generator)
+    n_blocks = len(sketches)
+    costs = np.zeros(n_blocks)
+    for i in range(n_blocks):
+        for j in range(i + 1, n_blocks):
+            distance = estimate_distance(sketches[i], sketches[j])
+            costs[i] += distance
+            costs[j] += distance
+    return int(np.argmin(costs)), costs
+
+
+def relaxed_period(
+    series, candidate_periods, p: float = 1.0, k: int = 128, seed: int = 0
+) -> tuple[int, dict[int, float]]:
+    """The candidate block length at which the series best repeats.
+
+    For each candidate period ``T`` the series is cut into consecutive
+    length-``T`` blocks and scored by the mean estimated Lp distance
+    between consecutive blocks, normalised by ``T^(1/p)`` (the rate at
+    which the Lp norm of noise grows with block length) so scores are
+    comparable across periods.  Returns ``(best_period, scores)``.
+    """
+    series = _as_series(series)
+    candidates = [int(t) for t in candidate_periods]
+    if not candidates:
+        raise ParameterError("candidate_periods must be non-empty")
+    scores: dict[int, float] = {}
+    for period in candidates:
+        if period < 1:
+            raise ParameterError(f"periods must be >= 1, got {period}")
+        generator = SketchGenerator(p=p, k=k, seed=seed)
+        _blocks, sketches = _block_sketches(series, period, generator)
+        gaps = [
+            estimate_distance(sketches[i], sketches[i + 1])
+            for i in range(len(sketches) - 1)
+        ]
+        scores[period] = float(np.mean(gaps) / period ** (1.0 / p))
+    best = min(scores, key=scores.get)
+    return best, scores

@@ -1,0 +1,167 @@
+"""A vantage-point tree for sub-linear nearest-neighbour queries.
+
+Scanning every item per query is fine for one-off mining passes, but an
+interactive "find regions like this one" workload wants an index.  The
+VP-tree partitions items by distance to randomly chosen vantage points
+and prunes search branches with the triangle inequality, typically
+examining ``O(log n)``-ish items per query on well-behaved data.
+
+Caveat the library is explicit about: the pruning rule *requires* the
+triangle inequality, which Lp distances satisfy only for ``p >= 1``
+(and sketched estimates satisfy approximately — the ``slack`` parameter
+widens the pruning bound to compensate for estimator noise).
+Construction refuses ``p < 1`` oracles unless ``unsafe_fractional_p``
+is passed, because fractional-p "distances" can prune away true
+neighbours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["VPTree"]
+
+
+class _Node:
+    __slots__ = ("vantage", "radius", "inside", "outside", "bucket")
+
+    def __init__(self, vantage=None, radius=0.0, inside=None, outside=None, bucket=None):
+        self.vantage = vantage
+        self.radius = radius
+        self.inside = inside
+        self.outside = outside
+        self.bucket = bucket
+
+
+class VPTree:
+    """Nearest-neighbour index over a pairwise distance oracle.
+
+    Parameters
+    ----------
+    oracle:
+        Object with ``n_items`` and ``distance(i, j)``; distances must
+        satisfy the triangle inequality (``p >= 1``).
+    leaf_size:
+        Items per leaf bucket (scanned linearly).
+    slack:
+        Additive pruning slack, as a fraction of the query's current
+        best distance.  ``0.0`` is exact for true metrics; sketched
+        oracles should pass ~0.2-0.5 to keep recall high despite
+        estimator noise.
+    seed:
+        Vantage-point selection seed.
+    unsafe_fractional_p:
+        Allow building over an oracle whose ``p`` attribute is < 1
+        (results may miss true neighbours; for experimentation only).
+    """
+
+    def __init__(
+        self,
+        oracle,
+        leaf_size: int = 8,
+        slack: float = 0.0,
+        seed: int = 0,
+        unsafe_fractional_p: bool = False,
+    ):
+        if leaf_size < 1:
+            raise ParameterError(f"leaf_size must be >= 1, got {leaf_size}")
+        if slack < 0.0:
+            raise ParameterError(f"slack must be >= 0, got {slack}")
+        oracle_p = getattr(oracle, "p", None)
+        if oracle_p is not None and oracle_p < 1.0 and not unsafe_fractional_p:
+            raise ParameterError(
+                f"p={oracle_p} violates the triangle inequality the VP-tree "
+                "relies on; pass unsafe_fractional_p=True to build anyway"
+            )
+        self.oracle = oracle
+        self.leaf_size = int(leaf_size)
+        self.slack = float(slack)
+        self._rng = np.random.default_rng(seed)
+        self.nodes_visited = 0
+        self._root = self._build(list(range(oracle.n_items)))
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build(self, items: list[int]) -> _Node | None:
+        if not items:
+            return None
+        if len(items) <= self.leaf_size:
+            return _Node(bucket=list(items))
+        vantage = items[int(self._rng.integers(len(items)))]
+        rest = [i for i in items if i != vantage]
+        distances = np.array([self.oracle.distance(vantage, i) for i in rest])
+        radius = float(np.median(distances))
+        inside = [i for i, d in zip(rest, distances) if d <= radius]
+        outside = [i for i, d in zip(rest, distances) if d > radius]
+        if not inside or not outside:
+            # Degenerate split (many ties): fall back to a leaf.
+            return _Node(bucket=list(items))
+        return _Node(
+            vantage=vantage,
+            radius=radius,
+            inside=self._build(inside),
+            outside=self._build(outside),
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def nearest(self, query: int, n_neighbors: int = 1) -> list[tuple[int, float]]:
+        """The ``n_neighbors`` items nearest to item ``query``.
+
+        Returns ``(index, distance)`` pairs, nearest first; the query
+        item itself is excluded.
+        """
+        n = self.oracle.n_items
+        if not 0 <= query < n:
+            raise ParameterError(f"query index {query} out of range for {n} items")
+        if not 1 <= n_neighbors <= n - 1:
+            raise ParameterError(
+                f"n_neighbors must be in [1, {n - 1}], got {n_neighbors}"
+            )
+        best: list[tuple[float, int]] = []  # max-heap by distance (sorted list)
+
+        def consider(item: int) -> None:
+            if item == query:
+                return
+            distance = self.oracle.distance(query, item)
+            if len(best) < n_neighbors:
+                best.append((distance, item))
+                best.sort()
+            elif distance < best[-1][0]:
+                best[-1] = (distance, item)
+                best.sort()
+
+        def bound() -> float:
+            if len(best) < n_neighbors:
+                return np.inf
+            return best[-1][0] * (1.0 + self.slack)
+
+        def search(node: _Node | None) -> None:
+            if node is None:
+                return
+            self.nodes_visited += 1
+            if node.bucket is not None:
+                for item in node.bucket:
+                    consider(item)
+                return
+            to_vantage = self.oracle.distance(query, node.vantage)
+            if node.vantage != query:
+                consider(node.vantage)
+            # Search the likelier side first, prune the other if the
+            # annulus around the radius cannot contain improvements.
+            near_first = to_vantage <= node.radius
+            first = node.inside if near_first else node.outside
+            second = node.outside if near_first else node.inside
+            search(first)
+            gap = abs(to_vantage - node.radius)
+            if gap <= bound():
+                search(second)
+
+        search(self._root)
+        return [(item, distance) for distance, item in best]

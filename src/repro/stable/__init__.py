@@ -1,0 +1,54 @@
+"""Alpha-stable distributions, implemented from scratch.
+
+This subpackage is the probabilistic substrate of the sketching framework:
+p-stable sketches (Section 3 of the paper) project data onto random
+vectors whose entries are drawn from a symmetric alpha-stable law with
+``alpha = p``.
+
+Contents
+--------
+:mod:`repro.stable.sampler`
+    Chambers--Mallows--Stuck sampling of standard stable variates, with
+    closed-form special cases (Gaussian ``alpha=2``, Cauchy ``alpha=1``,
+    Levy ``alpha=1/2, beta=1``).
+:mod:`repro.stable.scale`
+    The median scale factor ``B(p)`` of Theorem 2: the median of the
+    absolute value of a standard symmetric ``p``-stable variate.
+:mod:`repro.stable.theory`
+    Numerical tools used to *verify* stability: empirical characteristic
+    functions, quantile utilities and a two-sample Kolmogorov--Smirnov
+    statistic, all dependency-free.
+"""
+
+from repro.stable.sampler import (
+    sample_cauchy,
+    sample_gaussian,
+    sample_levy,
+    sample_standard_stable,
+    sample_symmetric_stable,
+)
+from repro.stable.scale import median_absolute_deviation_factor, stable_median_scale
+from repro.stable.theory import (
+    empirical_characteristic_function,
+    ks_two_sample_statistic,
+    sas_cdf,
+    sas_pdf,
+    sas_quantile,
+    stable_characteristic_function,
+)
+
+__all__ = [
+    "sample_standard_stable",
+    "sample_symmetric_stable",
+    "sample_gaussian",
+    "sample_cauchy",
+    "sample_levy",
+    "stable_median_scale",
+    "median_absolute_deviation_factor",
+    "stable_characteristic_function",
+    "empirical_characteristic_function",
+    "ks_two_sample_statistic",
+    "sas_pdf",
+    "sas_cdf",
+    "sas_quantile",
+]

@@ -1,0 +1,26 @@
+"""Streaming (turnstile) sketch maintenance.
+
+The paper's motivating tables *accumulate*: a router appends traffic
+counts, a base station appends call volumes.  Stable sketches were born
+in the data-stream literature (the paper's [12], Indyk FOCS 2000)
+precisely because they maintain under point updates: the sketch is a
+linear map, so processing an update ``(row, col, +delta)`` just adds
+``delta * R[i][row, col]`` to every entry.
+
+:class:`~repro.stream.sketch.StreamingSketch` implements that model:
+
+* **turnstile updates** — increments and decrements, any order;
+* **mergeability** — the sketch of two update streams combined is the
+  sum of their sketches (distributed collection);
+* **deltas** — ``a - b`` estimates the Lp distance between two streams'
+  current states, without reconstructing either.
+
+Entries of the random stable matrices are derived per *cell* from a
+counter-based RNG keyed on ``(seed, stream, entry, row, col)``, so an
+update touches exactly ``k`` derived values, no materialised matrices,
+and two sketches with the same configuration are always comparable.
+"""
+
+from repro.stream.sketch import StreamingSketch
+
+__all__ = ["StreamingSketch"]

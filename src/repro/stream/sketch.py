@@ -1,0 +1,162 @@
+"""The :class:`StreamingSketch`: stable sketches under point updates.
+
+Derivation of randomness: the stable values a cell ``(row, col)``
+contributes to the ``k`` sketch entries are drawn from a dedicated
+generator seeded by ``(seed, stream, row, col)``.  This makes an update
+self-contained (touches no stored matrices), deterministic across
+processes, and consistent: replaying any permutation of the same
+updates yields the identical sketch, and :meth:`from_array` (bulk
+ingest) equals the update path exactly.
+
+Note streaming sketches use a different randomness layout than
+:class:`~repro.core.generator.SketchGenerator` (per-cell streams vs
+per-matrix streams), so the two families are deliberately *not*
+comparable with each other; the sketch key records that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.estimators import estimate_distance_values
+from repro.core.sketch import SketchKey
+from repro.errors import IncompatibleSketchError, ParameterError, ShapeError
+from repro.stable.sampler import sample_symmetric_stable
+
+__all__ = ["StreamingSketch"]
+
+
+class StreamingSketch:
+    """A mergeable Lp sketch maintained under turnstile updates.
+
+    Parameters
+    ----------
+    p:
+        Lp index in ``(0, 2]``.
+    k:
+        Sketch size.
+    shape:
+        Shape of the (conceptual) table the stream updates.
+    seed, stream:
+        Randomness derivation keys; sketches are comparable iff all of
+        ``(p, k, shape, seed, stream)`` agree.
+    """
+
+    def __init__(self, p: float, k: int, shape: tuple[int, int], seed: int = 0, stream: int = 0):
+        if not 0.0 < p <= 2.0:
+            raise ParameterError(f"p must be in (0, 2], got {p!r}")
+        if k < 1:
+            raise ParameterError(f"k must be >= 1, got {k!r}")
+        height, width = int(shape[0]), int(shape[1])
+        if height < 1 or width < 1:
+            raise ShapeError(f"shape must be positive, got {shape!r}")
+        self.p = float(p)
+        self.k = int(k)
+        self.shape = (height, width)
+        self.seed = int(seed)
+        self.stream = int(stream)
+        self._values = np.zeros(self.k)
+        self.updates_processed = 0
+
+    # ------------------------------------------------------------------
+    # Randomness derivation
+    # ------------------------------------------------------------------
+
+    def _cell_values(self, row: int, col: int) -> np.ndarray:
+        """The k stable values cell ``(row, col)`` projects onto."""
+        sequence = np.random.SeedSequence(
+            [self.seed, self.stream, int(row), int(col)]
+        )
+        rng = np.random.default_rng(sequence)
+        return sample_symmetric_stable(self.p, self.k, rng)
+
+    def _check_cell(self, row: int, col: int) -> None:
+        if not (0 <= row < self.shape[0] and 0 <= col < self.shape[1]):
+            raise ParameterError(
+                f"cell ({row}, {col}) outside table of shape {self.shape}"
+            )
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def update(self, row: int, col: int, delta: float) -> None:
+        """Apply ``table[row, col] += delta`` to the sketch."""
+        self._check_cell(row, col)
+        delta = float(delta)
+        if not np.isfinite(delta):
+            raise ParameterError(f"update delta must be finite, got {delta!r}")
+        self._values += delta * self._cell_values(row, col)
+        self.updates_processed += 1
+
+    def update_many(self, rows, cols, deltas) -> None:
+        """Apply a batch of point updates (any order, any signs)."""
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        deltas = np.asarray(deltas, dtype=np.float64)
+        if not rows.shape == cols.shape == deltas.shape or rows.ndim != 1:
+            raise ParameterError("rows, cols and deltas must be equal-length 1-D")
+        for row, col, delta in zip(rows, cols, deltas):
+            self.update(int(row), int(col), float(delta))
+
+    @classmethod
+    def from_array(
+        cls, array, p: float, k: int, seed: int = 0, stream: int = 0
+    ) -> "StreamingSketch":
+        """Bulk-ingest a full table (equals replaying one update per cell)."""
+        array = np.asarray(array, dtype=np.float64)
+        if array.ndim != 2 or array.size == 0:
+            raise ShapeError(f"array must be non-empty 2-D, got {array.shape}")
+        sketch = cls(p, k, array.shape, seed=seed, stream=stream)
+        rows, cols = np.nonzero(array)
+        sketch.update_many(rows, cols, array[rows, cols])
+        return sketch
+
+    # ------------------------------------------------------------------
+    # Algebra and estimation
+    # ------------------------------------------------------------------
+
+    @property
+    def values(self) -> np.ndarray:
+        """The current k sketch entries (a copy)."""
+        return self._values.copy()
+
+    @property
+    def key(self) -> SketchKey:
+        """Comparability fingerprint (streaming-family structure tag)."""
+        return SketchKey(
+            seed=self.seed,
+            p=self.p,
+            k=self.k,
+            structure=("streaming", self.shape, self.stream),
+        )
+
+    def _require_comparable(self, other: "StreamingSketch") -> None:
+        if not isinstance(other, StreamingSketch) or self.key != other.key:
+            raise IncompatibleSketchError(
+                f"streaming sketches are not comparable: "
+                f"{self.key} vs {getattr(other, 'key', type(other))}"
+            )
+
+    def merged(self, other: "StreamingSketch") -> "StreamingSketch":
+        """Sketch of the two update streams combined (linearity)."""
+        self._require_comparable(other)
+        merged = StreamingSketch(self.p, self.k, self.shape, self.seed, self.stream)
+        merged._values = self._values + other._values
+        merged.updates_processed = self.updates_processed + other.updates_processed
+        return merged
+
+    def estimate_distance(self, other: "StreamingSketch") -> float:
+        """Estimated Lp distance between the two streams' table states."""
+        self._require_comparable(other)
+        return estimate_distance_values(self._values - other._values, self.p)
+
+    def estimate_norm(self) -> float:
+        """Estimated Lp norm of the current table state."""
+        return estimate_distance_values(self._values.copy(), self.p)
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamingSketch(p={self.p}, k={self.k}, shape={self.shape}, "
+            f"updates={self.updates_processed})"
+        )

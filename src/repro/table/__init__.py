@@ -1,0 +1,45 @@
+"""Tabular data management substrate.
+
+The paper's data model is a massive 2-D table (e.g. call volume indexed
+by station and 10-minute interval) from which rectangular *tiles* are
+drawn and compared.  This subpackage provides:
+
+:mod:`repro.table.tabular`
+    :class:`TabularData` — a 2-D array with axis metadata and tile
+    extraction.
+:mod:`repro.table.tiles`
+    :class:`TileSpec` (a rectangular window) and :class:`TileGrid` (a
+    non-overlapping tiling of a table, the unit of clustering).
+:mod:`repro.table.store`
+    A chunked binary flat-file store with memory-mapped tile reads — the
+    stand-in for the proprietary flat-file systems (Daytona) the paper's
+    data lived in.
+:mod:`repro.table.linearize`
+    Space-filling-curve orderings (Morton, Hilbert, snake) for mapping
+    2-D station locations onto the table's 1-D spatial axis — the
+    paper's "spatially ordered based on a mapping of zip code".
+"""
+
+from repro.table.linearize import (
+    hilbert_order,
+    locality_score,
+    morton_order,
+    snake_order,
+)
+from repro.table.store import StitchedStore, TableStore, read_table, write_table
+from repro.table.tabular import TabularData
+from repro.table.tiles import TileGrid, TileSpec
+
+__all__ = [
+    "TabularData",
+    "TileSpec",
+    "TileGrid",
+    "TableStore",
+    "StitchedStore",
+    "write_table",
+    "read_table",
+    "morton_order",
+    "hilbert_order",
+    "snake_order",
+    "locality_score",
+]

@@ -1,0 +1,320 @@
+"""A chunked binary flat-file store for tabular data.
+
+The paper's datasets lived in proprietary compressed flat files (AT&T's
+Daytona).  This module provides an equivalent open substrate: a single
+binary file holding a 2-D table split into fixed-shape chunks, read back
+through :class:`numpy.memmap` so that extracting a tile touches only the
+pages of the chunks it overlaps — the same access pattern a flat-file
+table system gives a mining job.
+
+File layout (little-endian)::
+
+    offset  size  field
+    0       8     magic  b"RPROTBL2"
+    8       4     header version (uint32) == 2
+    12      8     dtype string, UTF-8 padded with NULs (e.g. "float64")
+    20      8     table rows    (uint64)
+    28      8     table columns (uint64)
+    36      8     chunk rows    (uint64)
+    44      8     chunk columns (uint64)
+    52      4     CRC-32 of the chunk payload (uint32)
+    56      ...   chunk payloads, row-major over the chunk grid, each
+                  chunk stored *padded* to the full chunk shape so every
+                  chunk has the same byte size and offsets are computable.
+
+The CRC lets :meth:`TableStore.verify` detect silent payload corruption
+(bit rot, truncated copies); it is not checked on every tile read, so
+normal access stays memory-map cheap.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ParameterError, StoreError
+from repro.table.tiles import TileSpec
+
+__all__ = ["TableStore", "StitchedStore", "write_table", "read_table"]
+
+_MAGIC = b"RPROTBL2"
+_VERSION = 2
+_HEADER_STRUCT = struct.Struct("<8sI8sQQQQI")
+_HEADER_SIZE = _HEADER_STRUCT.size
+_DEFAULT_CHUNK = (64, 64)
+
+
+def write_table(
+    path,
+    values: np.ndarray,
+    chunk_shape: tuple[int, int] = _DEFAULT_CHUNK,
+) -> None:
+    """Write a 2-D array to ``path`` in the chunked flat-file format.
+
+    Parameters
+    ----------
+    path:
+        Destination file path (created or truncated).
+    values:
+        2-D numeric array.
+    chunk_shape:
+        Shape of the storage chunks; edge chunks are zero-padded on disk.
+    """
+    array = np.asarray(values)
+    if array.ndim != 2 or array.size == 0:
+        raise ParameterError(f"values must be a non-empty 2-D array, got {array.shape}")
+    chunk_h, chunk_w = chunk_shape
+    if chunk_h <= 0 or chunk_w <= 0:
+        raise ParameterError(f"chunk shape must be positive, got {chunk_shape}")
+
+    dtype = np.dtype(array.dtype)
+    dtype_bytes = dtype.name.encode("utf-8")
+    if len(dtype_bytes) > 8:
+        raise ParameterError(f"dtype name too long for header: {dtype.name!r}")
+
+    rows, cols = array.shape
+    grid_rows = -(-rows // chunk_h)
+    grid_cols = -(-cols // chunk_w)
+
+    checksum = 0
+    with open(path, "wb") as handle:
+        handle.write(b"\0" * _HEADER_SIZE)  # placeholder until CRC is known
+        padded = np.zeros((chunk_h, chunk_w), dtype=dtype)
+        for grid_row in range(grid_rows):
+            for grid_col in range(grid_cols):
+                r0 = grid_row * chunk_h
+                c0 = grid_col * chunk_w
+                block = array[r0 : r0 + chunk_h, c0 : c0 + chunk_w]
+                if block.shape == (chunk_h, chunk_w):
+                    payload = np.ascontiguousarray(block).tobytes()
+                else:
+                    padded[:] = 0
+                    padded[: block.shape[0], : block.shape[1]] = block
+                    payload = padded.tobytes()
+                checksum = zlib.crc32(payload, checksum)
+                handle.write(payload)
+        header = _HEADER_STRUCT.pack(
+            _MAGIC,
+            _VERSION,
+            dtype_bytes.ljust(8, b"\0"),
+            rows,
+            cols,
+            chunk_h,
+            chunk_w,
+            checksum,
+        )
+        handle.seek(0)
+        handle.write(header)
+
+
+def read_table(path) -> np.ndarray:
+    """Read an entire table back into memory."""
+    with TableStore(path) as store:
+        return store.read_all()
+
+
+class TableStore:
+    """Read-only handle on a chunked flat-file table.
+
+    Usable as a context manager.  Tile reads go through a
+    :class:`numpy.memmap`, so only the chunks a tile overlaps are paged
+    in from disk.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        if not self.path.exists():
+            raise StoreError(f"no such table file: {self.path}")
+        size = os.path.getsize(self.path)
+        if size < _HEADER_SIZE:
+            raise StoreError(f"file too small to hold a table header: {self.path}")
+        with open(self.path, "rb") as handle:
+            raw = handle.read(_HEADER_SIZE)
+        magic, version, dtype_bytes, rows, cols, chunk_h, chunk_w, checksum = (
+            _HEADER_STRUCT.unpack(raw)
+        )
+        self._expected_checksum = checksum
+        if magic != _MAGIC:
+            raise StoreError(f"bad magic in {self.path}: {magic!r}")
+        if version != _VERSION:
+            raise StoreError(f"unsupported store version {version} in {self.path}")
+        try:
+            self.dtype = np.dtype(dtype_bytes.rstrip(b"\0").decode("utf-8"))
+        except TypeError as exc:
+            raise StoreError(f"bad dtype in {self.path}") from exc
+        if chunk_h <= 0 or chunk_w <= 0 or rows <= 0 or cols <= 0:
+            raise StoreError(f"corrupt geometry in {self.path}")
+        self.shape = (int(rows), int(cols))
+        self.chunk_shape = (int(chunk_h), int(chunk_w))
+        self._grid_rows = -(-self.shape[0] // chunk_h)
+        self._grid_cols = -(-self.shape[1] // chunk_w)
+        expected = (
+            _HEADER_SIZE
+            + self._grid_rows * self._grid_cols * chunk_h * chunk_w * self.dtype.itemsize
+        )
+        if size != expected:
+            raise StoreError(
+                f"truncated or oversized table file {self.path}: "
+                f"expected {expected} bytes, found {size}"
+            )
+        self._mmap = np.memmap(
+            self.path,
+            dtype=self.dtype,
+            mode="r",
+            offset=_HEADER_SIZE,
+            shape=(self._grid_rows, self._grid_cols, *self.chunk_shape),
+        )
+        self.chunks_touched = 0
+
+    def __enter__(self) -> "TableStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the memory map."""
+        self._mmap = None
+
+    def verify(self) -> None:
+        """Check the payload CRC; raise :class:`StoreError` on mismatch.
+
+        Reads the whole payload once, so call it when ingesting a file
+        of doubtful provenance rather than on every open.
+        """
+        mmap = self._require_open()
+        actual = zlib.crc32(mmap.tobytes())
+        if actual != self._expected_checksum:
+            raise StoreError(
+                f"checksum mismatch in {self.path}: payload is corrupt "
+                f"(expected {self._expected_checksum:#010x}, got {actual:#010x})"
+            )
+
+    def _require_open(self) -> np.ndarray:
+        if self._mmap is None:
+            raise StoreError(f"table store {self.path} is closed")
+        return self._mmap
+
+    def read_tile(self, spec: TileSpec) -> np.ndarray:
+        """Read one tile, assembling it from the chunks it overlaps."""
+        mmap = self._require_open()
+        spec.require_fits(self.shape)
+        chunk_h, chunk_w = self.chunk_shape
+        out = np.empty(spec.shape, dtype=self.dtype)
+        first_grid_row = spec.row // chunk_h
+        last_grid_row = (spec.end_row - 1) // chunk_h
+        first_grid_col = spec.col // chunk_w
+        last_grid_col = (spec.end_col - 1) // chunk_w
+        for grid_row in range(first_grid_row, last_grid_row + 1):
+            for grid_col in range(first_grid_col, last_grid_col + 1):
+                self.chunks_touched += 1
+                # Intersection of the tile with this chunk, in table coords.
+                r_lo = max(spec.row, grid_row * chunk_h)
+                r_hi = min(spec.end_row, (grid_row + 1) * chunk_h)
+                c_lo = max(spec.col, grid_col * chunk_w)
+                c_hi = min(spec.end_col, (grid_col + 1) * chunk_w)
+                block = mmap[
+                    grid_row,
+                    grid_col,
+                    r_lo - grid_row * chunk_h : r_hi - grid_row * chunk_h,
+                    c_lo - grid_col * chunk_w : c_hi - grid_col * chunk_w,
+                ]
+                out[
+                    r_lo - spec.row : r_hi - spec.row,
+                    c_lo - spec.col : c_hi - spec.col,
+                ] = block
+        return out
+
+    def read_all(self) -> np.ndarray:
+        """Read the full table (drops the on-disk chunk padding)."""
+        return self.read_tile(TileSpec(0, 0, *self.shape))
+
+
+class StitchedStore:
+    """Several per-period store files presented as one wide table.
+
+    The paper's operational layout: each day lands in its own flat
+    file, and analyses run over several days "stitched" along the time
+    axis.  ``StitchedStore([monday, tuesday, ...])`` opens every file
+    and serves tile reads across file boundaries, so mining code never
+    knows the table is sharded.
+
+    All member files must agree on row count and dtype.  Usable as a
+    context manager; closing closes every member store.
+    """
+
+    def __init__(self, paths):
+        paths = list(paths)
+        if not paths:
+            raise ParameterError("StitchedStore needs at least one file")
+        self._stores = []
+        try:
+            for path in paths:
+                self._stores.append(TableStore(path))
+        except Exception:
+            self.close()
+            raise
+        rows = self._stores[0].shape[0]
+        dtype = self._stores[0].dtype
+        for store in self._stores[1:]:
+            if store.shape[0] != rows:
+                self.close()
+                raise StoreError(
+                    f"{store.path} has {store.shape[0]} rows, expected {rows}"
+                )
+            if store.dtype != dtype:
+                self.close()
+                raise StoreError(
+                    f"{store.path} has dtype {store.dtype}, expected {dtype}"
+                )
+        self.dtype = dtype
+        self._col_offsets = [0]
+        for store in self._stores:
+            self._col_offsets.append(self._col_offsets[-1] + store.shape[1])
+        self.shape = (rows, self._col_offsets[-1])
+
+    def __enter__(self) -> "StitchedStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close every member store."""
+        for store in self._stores:
+            store.close()
+
+    @property
+    def chunks_touched(self) -> int:
+        """Total chunks touched across the member stores."""
+        return sum(store.chunks_touched for store in self._stores)
+
+    def read_tile(self, spec: TileSpec) -> np.ndarray:
+        """Read one tile, assembling it across file boundaries."""
+        spec.require_fits(self.shape)
+        out = np.empty(spec.shape, dtype=self.dtype)
+        for index, store in enumerate(self._stores):
+            left = self._col_offsets[index]
+            right = self._col_offsets[index + 1]
+            lo = max(spec.col, left)
+            hi = min(spec.end_col, right)
+            if lo >= hi:
+                continue
+            piece = store.read_tile(
+                TileSpec(spec.row, lo - left, spec.height, hi - lo)
+            )
+            out[:, lo - spec.col : hi - spec.col] = piece
+        return out
+
+    def read_all(self) -> np.ndarray:
+        """Read the full stitched table."""
+        return self.read_tile(TileSpec(0, 0, *self.shape))
+
+    def verify(self) -> None:
+        """Checksum-verify every member file."""
+        for store in self._stores:
+            store.verify()

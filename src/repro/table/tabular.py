@@ -1,0 +1,108 @@
+"""The :class:`TabularData` container.
+
+A thin, explicit wrapper over a 2-D :class:`numpy.ndarray` that carries
+the axis semantics of the paper's datasets (rows = spatially ordered
+collection stations, columns = time intervals) and offers tile
+extraction and simple transformations (dilation/scaling, which the paper
+mentions as optional pre-processing before computing Lp norms).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError, ShapeError
+from repro.table.tiles import TileGrid, TileSpec
+
+__all__ = ["TabularData"]
+
+
+class TabularData:
+    """A 2-D table of numeric values with optional axis labels.
+
+    Parameters
+    ----------
+    values:
+        A 2-D array-like of numbers.  Stored as ``float64``.
+    row_labels, col_labels:
+        Optional sequences naming each row / column (e.g. station ids
+        and interval timestamps).  Lengths must match the array.
+    """
+
+    def __init__(
+        self,
+        values,
+        row_labels: Sequence | None = None,
+        col_labels: Sequence | None = None,
+    ):
+        array = np.asarray(values, dtype=np.float64)
+        if array.ndim != 2:
+            raise ShapeError(f"tabular data must be 2-D, got shape {array.shape}")
+        if array.size == 0:
+            raise ShapeError("tabular data must be non-empty")
+        if row_labels is not None and len(row_labels) != array.shape[0]:
+            raise ParameterError(
+                f"{len(row_labels)} row labels for {array.shape[0]} rows"
+            )
+        if col_labels is not None and len(col_labels) != array.shape[1]:
+            raise ParameterError(
+                f"{len(col_labels)} column labels for {array.shape[1]} columns"
+            )
+        self._values = array
+        self.row_labels = list(row_labels) if row_labels is not None else None
+        self.col_labels = list(col_labels) if col_labels is not None else None
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying 2-D ``float64`` array."""
+        return self._values
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(rows, columns)``."""
+        return self._values.shape
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes occupied by the values."""
+        return self._values.nbytes
+
+    def tile(self, spec: TileSpec) -> np.ndarray:
+        """Return the sub-rectangle named by ``spec`` (as a view)."""
+        spec.require_fits(self.shape)
+        return self._values[spec.slices]
+
+    def grid(self, tile_shape: tuple[int, int]) -> TileGrid:
+        """A non-overlapping tiling of this table."""
+        return TileGrid(self.shape, tile_shape)
+
+    def scaled(self, factor: float) -> "TabularData":
+        """A copy with every value multiplied by ``factor``."""
+        return TabularData(self._values * factor, self.row_labels, self.col_labels)
+
+    def dilated(self, offset: float) -> "TabularData":
+        """A copy with ``offset`` added to every value."""
+        return TabularData(self._values + offset, self.row_labels, self.col_labels)
+
+    def stitched(self, other: "TabularData") -> "TabularData":
+        """Concatenate another table along the time (column) axis.
+
+        Mirrors the paper's "we stitched consecutive days to obtain data
+        sets of various sizes".  Row counts must agree; labels are kept
+        only when both operands carry them.
+        """
+        if other.shape[0] != self.shape[0]:
+            raise ShapeError(
+                f"cannot stitch tables with {self.shape[0]} and "
+                f"{other.shape[0]} rows"
+            )
+        values = np.concatenate([self._values, other._values], axis=1)
+        col_labels = None
+        if self.col_labels is not None and other.col_labels is not None:
+            col_labels = self.col_labels + other.col_labels
+        return TabularData(values, self.row_labels, col_labels)
+
+    def __repr__(self) -> str:
+        return f"TabularData(shape={self.shape}, nbytes={self.nbytes})"

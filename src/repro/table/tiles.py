@@ -1,0 +1,146 @@
+"""Rectangular tiles and tilings of a 2-D table.
+
+A :class:`TileSpec` names a sub-rectangle by its top-left anchor and
+shape.  A :class:`TileGrid` partitions a table into non-overlapping
+tiles of a common shape; the grid's tiles are the "objects" that mining
+algorithms cluster and compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParameterError, ShapeError
+
+__all__ = ["TileSpec", "TileGrid"]
+
+
+@dataclass(frozen=True, slots=True)
+class TileSpec:
+    """A rectangular window into a 2-D table.
+
+    Attributes
+    ----------
+    row, col:
+        Top-left anchor (0-based).
+    height, width:
+        Window shape; both must be positive.
+    """
+
+    row: int
+    col: int
+    height: int
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.row < 0 or self.col < 0:
+            raise ParameterError(f"tile anchor must be non-negative, got {self}")
+        if self.height <= 0 or self.width <= 0:
+            raise ParameterError(f"tile shape must be positive, got {self}")
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(height, width)`` of the window."""
+        return (self.height, self.width)
+
+    @property
+    def size(self) -> int:
+        """Number of cells covered."""
+        return self.height * self.width
+
+    @property
+    def end_row(self) -> int:
+        """One past the last covered row."""
+        return self.row + self.height
+
+    @property
+    def end_col(self) -> int:
+        """One past the last covered column."""
+        return self.col + self.width
+
+    @property
+    def slices(self) -> tuple[slice, slice]:
+        """Index expression selecting this window from a 2-D array."""
+        return (slice(self.row, self.end_row), slice(self.col, self.end_col))
+
+    def fits_in(self, table_shape: tuple[int, int]) -> bool:
+        """Whether the window lies entirely inside a table of that shape."""
+        return self.end_row <= table_shape[0] and self.end_col <= table_shape[1]
+
+    def require_fits(self, table_shape: tuple[int, int]) -> None:
+        """Raise :class:`ShapeError` unless the window fits."""
+        if not self.fits_in(table_shape):
+            raise ShapeError(f"tile {self} does not fit in table {table_shape}")
+
+    def shifted(self, d_row: int, d_col: int) -> "TileSpec":
+        """A copy of this tile translated by ``(d_row, d_col)``."""
+        return TileSpec(self.row + d_row, self.col + d_col, self.height, self.width)
+
+
+class TileGrid:
+    """A non-overlapping tiling of a table by equal-shaped tiles.
+
+    Tiles are indexed row-major: tile ``i`` sits at grid position
+    ``(i // cols, i % cols)``.  Any ragged margin of the table that does
+    not fill a whole tile is ignored, matching the paper's experiments
+    (which tile the data into "meaningful sizes, such as a day").
+    """
+
+    def __init__(self, table_shape: tuple[int, int], tile_shape: tuple[int, int]):
+        table_h, table_w = table_shape
+        tile_h, tile_w = tile_shape
+        if tile_h <= 0 or tile_w <= 0:
+            raise ParameterError(f"tile shape must be positive, got {tile_shape}")
+        if tile_h > table_h or tile_w > table_w:
+            raise ShapeError(
+                f"tile shape {tile_shape} exceeds table shape {table_shape}"
+            )
+        self.table_shape = (table_h, table_w)
+        self.tile_shape = (tile_h, tile_w)
+        self.rows = table_h // tile_h
+        self.cols = table_w // tile_w
+
+    def __len__(self) -> int:
+        return self.rows * self.cols
+
+    def __iter__(self):
+        for index in range(len(self)):
+            yield self[index]
+
+    def __getitem__(self, index: int) -> TileSpec:
+        n = len(self)
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(f"tile index {index} out of range for {n} tiles")
+        grid_row, grid_col = divmod(index, self.cols)
+        return TileSpec(
+            row=grid_row * self.tile_shape[0],
+            col=grid_col * self.tile_shape[1],
+            height=self.tile_shape[0],
+            width=self.tile_shape[1],
+        )
+
+    def index_of(self, spec: TileSpec) -> int:
+        """Inverse of ``__getitem__`` for tiles that belong to this grid."""
+        if spec.shape != self.tile_shape:
+            raise ShapeError(f"tile shape {spec.shape} not grid shape {self.tile_shape}")
+        if spec.row % self.tile_shape[0] or spec.col % self.tile_shape[1]:
+            raise ParameterError(f"tile {spec} is not aligned to this grid")
+        grid_row = spec.row // self.tile_shape[0]
+        grid_col = spec.col // self.tile_shape[1]
+        if not (0 <= grid_row < self.rows and 0 <= grid_col < self.cols):
+            raise ParameterError(f"tile {spec} lies outside this grid")
+        return grid_row * self.cols + grid_col
+
+    def grid_position(self, index: int) -> tuple[int, int]:
+        """Grid coordinates ``(row, col)`` of tile ``index``."""
+        if not 0 <= index < len(self):
+            raise IndexError(f"tile index {index} out of range for {len(self)} tiles")
+        return divmod(index, self.cols)
+
+    def __repr__(self) -> str:
+        return (
+            f"TileGrid(table_shape={self.table_shape}, "
+            f"tile_shape={self.tile_shape}, rows={self.rows}, cols={self.cols})"
+        )

@@ -1,0 +1,22 @@
+"""Transform-based dimensionality-reduction baselines.
+
+The paper's related-work section explains why first-coefficient
+truncations of orthogonal transforms (DFT, DCT, Haar wavelets) — the
+standard similarity-search reductions of the time — are *not* a
+substitute for stable sketches: they estimate only the L2 distance
+(Parseval), have no guarantee for other Lp, and do not compose across
+sub-rectangles.  These reducers exist so the ``ABL-transforms``
+benchmark can demonstrate exactly that.
+
+All reducers share the interface::
+
+    reducer = DftReducer(n_coefficients)
+    features = reducer.transform(array)            # fixed-size vector
+    estimate = reducer.estimate_distance(fa, fb)   # L2 estimate
+"""
+
+from repro.transforms.dct import DctReducer
+from repro.transforms.dft import DftReducer
+from repro.transforms.wavelet import Haar2dReducer, HaarReducer
+
+__all__ = ["DftReducer", "DctReducer", "HaarReducer", "Haar2dReducer"]

@@ -1,0 +1,56 @@
+"""First-coefficients DCT-II reduction.
+
+The orthonormal DCT-II concentrates the energy of smooth signals in its
+leading coefficients even harder than the DFT, which made it the other
+stock dimensionality reduction in similarity search.  Orthonormality
+means the L2 distance of full coefficient vectors equals the signal L2
+distance; truncation yields a lower bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ParameterError, ShapeError
+
+__all__ = ["DctReducer"]
+
+
+class DctReducer:
+    """Keep the first ``n_coefficients`` orthonormal DCT-II coefficients."""
+
+    def __init__(self, n_coefficients: int):
+        if n_coefficients < 1:
+            raise ParameterError(f"n_coefficients must be >= 1, got {n_coefficients}")
+        self.n_coefficients = int(n_coefficients)
+
+    def transform(self, array) -> np.ndarray:
+        """Reduce a vector or matrix (flattened row-major) to features."""
+        data = np.asarray(array, dtype=np.float64).ravel()
+        if data.size == 0:
+            raise ShapeError("cannot transform an empty array")
+        if self.n_coefficients > data.size:
+            raise ParameterError(
+                f"asked for {self.n_coefficients} coefficients from "
+                f"{data.size} samples"
+            )
+        n = data.size
+        # Rows of the orthonormal DCT-II matrix, computed only for the
+        # coefficients we keep: O(n * n_coefficients).
+        k = np.arange(self.n_coefficients)[:, np.newaxis]
+        t = np.arange(n)[np.newaxis, :]
+        basis = np.cos(math.pi * k * (2 * t + 1) / (2 * n))
+        basis *= np.sqrt(2.0 / n)
+        basis[0] /= math.sqrt(2.0)
+        return basis @ data
+
+    def estimate_distance(self, features_a, features_b) -> float:
+        """L2 estimate: plain Euclidean distance of the kept coefficients."""
+        a = np.asarray(features_a, dtype=np.float64)
+        b = np.asarray(features_b, dtype=np.float64)
+        if a.shape != b.shape:
+            raise ShapeError(f"feature shape mismatch: {a.shape} vs {b.shape}")
+        diff = a - b
+        return float(np.sqrt(diff @ diff))

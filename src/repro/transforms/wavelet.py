@@ -1,0 +1,124 @@
+"""Haar wavelet reduction.
+
+Full orthonormal Haar decomposition (averages and differences with
+``1/sqrt(2)`` normalisation at every level), keeping the coarsest
+``n_coefficients`` — the scaling coefficient followed by detail
+coefficients from coarse to fine.  Orthonormality preserves L2 over the
+full vector; truncation lower-bounds it.
+
+Signals whose length is not a power of two are zero-padded, which
+preserves L2 distances exactly (both signals gain identical zeros).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ParameterError, ShapeError
+from repro.fourier.fft import next_power_of_two
+
+__all__ = ["HaarReducer", "Haar2dReducer"]
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def _haar_decompose(data: np.ndarray) -> np.ndarray:
+    """Full Haar transform, coefficients ordered coarse-to-fine."""
+    working = data.copy()
+    n = working.size
+    output = np.empty(n)
+    position = n
+    while n > 1:
+        half = n // 2
+        evens = working[0:n:2]
+        odds = working[1:n:2]
+        details = (evens - odds) / _SQRT2
+        working[:half] = (evens + odds) / _SQRT2
+        output[position - half : position] = details
+        position -= half
+        n = half
+    output[0] = working[0]
+    return output
+
+
+class Haar2dReducer:
+    """Separable 2-D Haar reduction for matrices (tables).
+
+    Applies the full 1-D Haar transform to every row and then to every
+    column (both zero-padded to powers of two), which is orthonormal,
+    and keeps the top-left ``side x side`` block of coarse coefficients
+    — the 2-D analogue of "first coefficients".  This is the natural
+    wavelet baseline for *tabular* data, where flattening a tile first
+    (as :class:`HaarReducer` does) destroys column locality.
+    """
+
+    def __init__(self, side: int):
+        if side < 1:
+            raise ParameterError(f"side must be >= 1, got {side}")
+        self.side = int(side)
+
+    def transform(self, array) -> np.ndarray:
+        """Reduce a 2-D array to a ``side * side`` coefficient vector."""
+        data = np.asarray(array, dtype=np.float64)
+        if data.ndim != 2 or data.size == 0:
+            raise ShapeError(f"Haar2dReducer needs a non-empty 2-D array, got {data.shape}")
+        padded_shape = (
+            next_power_of_two(data.shape[0]),
+            next_power_of_two(data.shape[1]),
+        )
+        if self.side > min(padded_shape):
+            raise ParameterError(
+                f"asked for a {self.side}x{self.side} block from a padded "
+                f"{padded_shape} table"
+            )
+        padded = np.zeros(padded_shape)
+        padded[: data.shape[0], : data.shape[1]] = data
+        rows_done = np.stack([_haar_decompose(row) for row in padded])
+        both_done = np.stack(
+            [_haar_decompose(col) for col in rows_done.T], axis=1
+        )
+        return both_done[: self.side, : self.side].ravel()
+
+    def estimate_distance(self, features_a, features_b) -> float:
+        """L2 estimate: Euclidean distance of the kept coefficients."""
+        a = np.asarray(features_a, dtype=np.float64)
+        b = np.asarray(features_b, dtype=np.float64)
+        if a.shape != b.shape:
+            raise ShapeError(f"feature shape mismatch: {a.shape} vs {b.shape}")
+        diff = a - b
+        return float(np.sqrt(diff @ diff))
+
+
+class HaarReducer:
+    """Keep the coarsest ``n_coefficients`` Haar coefficients."""
+
+    def __init__(self, n_coefficients: int):
+        if n_coefficients < 1:
+            raise ParameterError(f"n_coefficients must be >= 1, got {n_coefficients}")
+        self.n_coefficients = int(n_coefficients)
+
+    def transform(self, array) -> np.ndarray:
+        """Reduce a vector or matrix (flattened row-major) to features."""
+        data = np.asarray(array, dtype=np.float64).ravel()
+        if data.size == 0:
+            raise ShapeError("cannot transform an empty array")
+        padded_length = next_power_of_two(data.size)
+        if self.n_coefficients > padded_length:
+            raise ParameterError(
+                f"asked for {self.n_coefficients} coefficients from "
+                f"{padded_length} padded samples"
+            )
+        padded = np.zeros(padded_length)
+        padded[: data.size] = data
+        return _haar_decompose(padded)[: self.n_coefficients]
+
+    def estimate_distance(self, features_a, features_b) -> float:
+        """L2 estimate: Euclidean distance of the kept coefficients."""
+        a = np.asarray(features_a, dtype=np.float64)
+        b = np.asarray(features_b, dtype=np.float64)
+        if a.shape != b.shape:
+            raise ShapeError(f"feature shape mismatch: {a.shape} vs {b.shape}")
+        diff = a - b
+        return float(np.sqrt(diff @ diff))

@@ -1,0 +1,73 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.core.io import load_sketch_matrix
+
+
+class TestInfo:
+    def test_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "repro.core" in out
+
+
+class TestSketchCommand:
+    def test_npy_input(self, tmp_path, capsys):
+        table = np.random.default_rng(0).normal(size=(32, 32))
+        table_path = tmp_path / "table.npy"
+        np.save(table_path, table)
+        out_path = tmp_path / "sketches.npz"
+        code = main(
+            [
+                "sketch",
+                str(table_path),
+                "--out",
+                str(out_path),
+                "--p",
+                "1.0",
+                "--k",
+                "8",
+                "--tile-rows",
+                "16",
+                "--tile-cols",
+                "16",
+            ]
+        )
+        assert code == 0
+        matrix, key = load_sketch_matrix(out_path)
+        assert matrix.shape == (4, 8)
+        assert key.p == 1.0
+        assert "sketched 4 tiles" in capsys.readouterr().out
+
+    def test_csv_input(self, tmp_path):
+        values = np.arange(64.0).reshape(8, 8)
+        table_path = tmp_path / "table.csv"
+        table_path.write_text(
+            "\n".join(",".join(str(v) for v in row) for row in values) + "\n"
+        )
+        out_path = tmp_path / "s.npz"
+        code = main(
+            ["sketch", str(table_path), "--out", str(out_path),
+             "--tile-rows", "4", "--tile-cols", "4", "--k", "4"]
+        )
+        assert code == 0
+        matrix, _key = load_sketch_matrix(out_path)
+        assert matrix.shape == (4, 4)
+
+
+class TestFiguresCommand:
+    def test_subset_run(self, tmp_path):
+        code = main(["figures", "--only", "figure5", "--out", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "figure5.txt").exists()
+        assert (tmp_path / "index.txt").exists()
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

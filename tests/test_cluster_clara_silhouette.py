@@ -1,0 +1,131 @@
+"""Tests for CLARA, SubsetOracle, and silhouette analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Clara,
+    KMeans,
+    SubsetOracle,
+    silhouette_samples,
+    silhouette_score,
+)
+from repro.core import ExactLpOracle, PrecomputedSketchOracle, SketchGenerator
+from repro.errors import ParameterError
+
+from tests.test_cluster_kmeans import blob_tiles, clusters_match_truth
+
+
+class TestSubsetOracle:
+    def test_delegates_with_translation(self):
+        tiles, _ = blob_tiles(n_per=4)
+        parent = ExactLpOracle(tiles, p=1.0)
+        subset = SubsetOracle(parent, [2, 5, 7])
+        assert subset.n_items == 3
+        assert subset.distance(0, 2) == pytest.approx(parent.distance(2, 7))
+        assert subset.to_parent(1) == 5
+
+    def test_stats_accrue_on_parent(self):
+        tiles, _ = blob_tiles(n_per=2)
+        parent = ExactLpOracle(tiles, p=1.0)
+        subset = SubsetOracle(parent, [0, 1])
+        subset.distance(0, 1)
+        assert parent.stats.comparisons == 1
+
+    def test_validation(self):
+        tiles, _ = blob_tiles(n_per=2)
+        parent = ExactLpOracle(tiles, p=1.0)
+        with pytest.raises(ParameterError):
+            SubsetOracle(parent, [])
+        with pytest.raises(ParameterError):
+            SubsetOracle(parent, [0, 99])
+
+
+class TestClara:
+    def test_recovers_blobs(self):
+        tiles, truth = blob_tiles(n_per=12, seed=1)
+        result = Clara(k=3, n_samples=3, seed=0).fit(ExactLpOracle(tiles, p=1.0))
+        assert clusters_match_truth(result.labels, truth)
+
+    def test_medoids_are_items(self):
+        tiles, _ = blob_tiles(n_per=8, seed=2)
+        result = Clara(k=3, seed=0).fit(ExactLpOracle(tiles, p=1.0))
+        for cluster, medoid in enumerate(result.meta["medoids"]):
+            assert 0 <= medoid < len(tiles)
+            assert result.labels[medoid] == cluster
+
+    def test_sample_size_default_capped(self):
+        tiles, _ = blob_tiles(n_per=3, seed=3)  # 9 items < 40 + 2k
+        result = Clara(k=2, seed=0).fit(ExactLpOracle(tiles, p=1.0))
+        assert result.meta["sample_size"] == len(tiles)
+
+    def test_works_with_sketches(self):
+        tiles, truth = blob_tiles(n_per=10, shape=(8, 8), seed=4)
+        gen = SketchGenerator(p=1.0, k=64, seed=1)
+        oracle = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+        result = Clara(k=3, n_samples=3, seed=0).fit(oracle)
+        assert clusters_match_truth(result.labels, truth)
+
+    def test_more_samples_never_worse(self):
+        tiles, _ = blob_tiles(n_per=10, separation=2.0, seed=5)
+        oracle = ExactLpOracle(tiles, p=1.0)
+        one = Clara(k=3, n_samples=1, seed=0).fit(oracle)
+        five = Clara(k=3, n_samples=5, seed=0).fit(oracle)
+        assert five.spread <= one.spread + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Clara(k=0)
+        with pytest.raises(ParameterError):
+            Clara(k=3, sample_size=2)
+        with pytest.raises(ParameterError):
+            Clara(k=5).fit(ExactLpOracle([np.ones((2, 2))] * 3, p=1.0))
+
+
+class TestSilhouette:
+    def test_good_partition_scores_high(self):
+        tiles, truth = blob_tiles(n_per=6, seed=6)
+        oracle = ExactLpOracle(tiles, p=2.0)
+        assert silhouette_score(oracle, truth) > 0.7
+
+    def test_bad_partition_scores_low(self):
+        tiles, truth = blob_tiles(n_per=6, seed=7)
+        oracle = ExactLpOracle(tiles, p=2.0)
+        scrambled = np.roll(truth, len(truth) // 2)
+        assert silhouette_score(oracle, scrambled) < silhouette_score(oracle, truth)
+
+    def test_singletons_score_zero(self):
+        tiles, _ = blob_tiles(n_per=1, n_blobs=3, seed=8)
+        oracle = ExactLpOracle(tiles, p=2.0)
+        samples = silhouette_samples(oracle, np.arange(3))
+        np.testing.assert_array_equal(samples, np.zeros(3))
+
+    def test_noise_excluded(self):
+        tiles, truth = blob_tiles(n_per=4, seed=9)
+        oracle = ExactLpOracle(tiles, p=2.0)
+        labels = truth.copy()
+        labels[0] = -1
+        samples = silhouette_samples(oracle, labels)
+        assert np.isnan(samples[0])
+        assert np.isfinite(silhouette_score(oracle, labels))
+
+    def test_choosing_k_by_silhouette(self):
+        """Silhouette over a *sketched* oracle picks the true k."""
+        tiles, _ = blob_tiles(n_per=8, n_blobs=3, shape=(8, 8), seed=10)
+        gen = SketchGenerator(p=1.0, k=96, seed=2)
+        oracle = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+        scores = {}
+        for k in (2, 3, 5):
+            labels = KMeans(k, seed=1, n_init=3).fit(oracle).labels
+            scores[k] = silhouette_score(oracle, labels)
+        assert max(scores, key=scores.get) == 3
+
+    def test_validation(self):
+        tiles, truth = blob_tiles(n_per=2, seed=11)
+        oracle = ExactLpOracle(tiles, p=2.0)
+        with pytest.raises(ParameterError):
+            silhouette_score(oracle, truth[:-1])
+        with pytest.raises(ParameterError):
+            silhouette_score(oracle, np.zeros(len(tiles), dtype=int))

@@ -1,0 +1,169 @@
+"""Tests for repro.cluster.kmeans over exact and sketch spaces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import KMeans
+from repro.core import ExactLpOracle, PrecomputedSketchOracle, SketchGenerator
+from repro.errors import ParameterError
+
+
+def blob_tiles(n_per=8, n_blobs=3, shape=(4, 4), separation=12.0, seed=0):
+    """Well-separated groups of random tiles; returns (tiles, truth)."""
+    rng = np.random.default_rng(seed)
+    tiles, truth = [], []
+    for blob in range(n_blobs):
+        center = rng.normal(size=shape) * 0.5 + blob * separation
+        for _ in range(n_per):
+            tiles.append(center + rng.normal(size=shape) * 0.5)
+            truth.append(blob)
+    order = rng.permutation(len(tiles))
+    return [tiles[i] for i in order], np.asarray(truth)[order]
+
+
+def clusters_match_truth(labels, truth) -> bool:
+    """Every predicted cluster must map to exactly one true cluster."""
+    mapping = {}
+    for predicted, actual in zip(labels, truth):
+        if predicted in mapping and mapping[predicted] != actual:
+            return False
+        mapping[predicted] = actual
+    return len(set(mapping.values())) == len(set(truth))
+
+
+class TestExactKMeans:
+    def test_recovers_blobs(self):
+        tiles, truth = blob_tiles()
+        result = KMeans(k=3, seed=1).fit(ExactLpOracle(tiles, p=2.0))
+        assert clusters_match_truth(result.labels, truth)
+        assert result.converged
+
+    @pytest.mark.parametrize("p", [0.5, 1.0, 2.0])
+    def test_recovers_blobs_all_p(self, p):
+        tiles, truth = blob_tiles(seed=2)
+        result = KMeans(k=3, seed=3).fit(ExactLpOracle(tiles, p=p))
+        assert clusters_match_truth(result.labels, truth)
+
+    def test_spread_positive_and_finite(self):
+        tiles, _ = blob_tiles()
+        result = KMeans(k=3, seed=1).fit(ExactLpOracle(tiles, p=1.0))
+        assert 0 < result.spread < np.inf
+
+    def test_more_clusters_never_increases_spread(self):
+        tiles, _ = blob_tiles(n_per=10, seed=4)
+        oracle = ExactLpOracle(tiles, p=2.0)
+        spread_3 = KMeans(k=3, seed=0).fit(oracle).spread
+        spread_10 = KMeans(k=10, seed=0).fit(oracle).spread
+        assert spread_10 <= spread_3 * 1.05  # heuristic algorithm: small slack
+
+    def test_k_one(self):
+        tiles, _ = blob_tiles()
+        result = KMeans(k=1, seed=0).fit(ExactLpOracle(tiles, p=2.0))
+        assert result.n_clusters == 1
+        assert np.all(result.labels == 0)
+
+    def test_k_equals_n(self):
+        tiles, _ = blob_tiles(n_per=2, n_blobs=2)
+        result = KMeans(k=4, seed=0).fit(ExactLpOracle(tiles, p=2.0))
+        assert sorted(result.labels.tolist()) == [0, 1, 2, 3]
+
+    def test_every_cluster_nonempty(self):
+        tiles, _ = blob_tiles(n_per=4, n_blobs=2, separation=0.0, seed=5)
+        result = KMeans(k=5, seed=0).fit(ExactLpOracle(tiles, p=2.0))
+        assert np.bincount(result.labels, minlength=5).min() >= 1
+
+    def test_k_too_large(self):
+        tiles, _ = blob_tiles(n_per=1, n_blobs=2)
+        with pytest.raises(ParameterError):
+            KMeans(k=3).fit(ExactLpOracle(tiles, p=2.0))
+
+    def test_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            KMeans(k=0)
+        with pytest.raises(ParameterError):
+            KMeans(k=2, max_iter=0)
+        with pytest.raises(ParameterError):
+            KMeans(k=2, init="farthest")
+
+    def test_deterministic_given_seed(self):
+        tiles, _ = blob_tiles(seed=6)
+        oracle = ExactLpOracle(tiles, p=1.0)
+        a = KMeans(k=3, seed=9).fit(oracle)
+        b = KMeans(k=3, seed=9).fit(oracle)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_kmeans_plus_plus_init(self):
+        tiles, truth = blob_tiles(seed=7)
+        result = KMeans(k=3, seed=1, init="k-means++").fit(ExactLpOracle(tiles, p=2.0))
+        assert clusters_match_truth(result.labels, truth)
+
+    def test_n_init_keeps_best_spread(self):
+        tiles, _ = blob_tiles(seed=12)
+        oracle = ExactLpOracle(tiles, p=2.0)
+        multi = KMeans(k=3, seed=0, n_init=8).fit(oracle)
+        singles = [KMeans(k=3, seed=s).fit(oracle).spread for s in range(8)]
+        assert multi.spread == pytest.approx(min(singles))
+
+    def test_n_init_validation(self):
+        with pytest.raises(ParameterError):
+            KMeans(k=2, n_init=0)
+
+    def test_n_init_never_hurts(self):
+        tiles, _ = blob_tiles(n_per=6, separation=3.0, seed=13)
+        oracle = ExactLpOracle(tiles, p=1.0)
+        one = KMeans(k=3, seed=0, n_init=1).fit(oracle)
+        many = KMeans(k=3, seed=0, n_init=5).fit(oracle)
+        assert many.spread <= one.spread + 1e-9
+
+    def test_spread_history_recorded_and_nonincreasing(self):
+        tiles, _ = blob_tiles(seed=14)
+        result = KMeans(k=3, seed=2).fit(ExactLpOracle(tiles, p=2.0))
+        history = result.meta["spread_history"]
+        assert len(history) == result.n_iterations
+        # Lloyd's algorithm never increases the objective between the
+        # assignment snapshots it records (ties aside).
+        for before, after in zip(history, history[1:]):
+            assert after <= before + 1e-9
+
+    def test_tol_stops_early(self):
+        tiles, _ = blob_tiles(n_per=12, separation=0.5, seed=15)
+        oracle = ExactLpOracle(tiles, p=2.0)
+        strict = KMeans(k=3, seed=0, max_iter=100).fit(oracle)
+        loose = KMeans(k=3, seed=0, max_iter=100, tol=0.2).fit(oracle)
+        assert loose.n_iterations <= strict.n_iterations
+        assert loose.converged
+
+    def test_tol_validation(self):
+        with pytest.raises(ParameterError):
+            KMeans(k=2, tol=-0.5)
+
+
+class TestSketchedKMeans:
+    @pytest.mark.parametrize("p", [0.5, 1.0, 2.0])
+    def test_sketched_recovers_blobs(self, p):
+        tiles, truth = blob_tiles(shape=(8, 8), seed=8)
+        gen = SketchGenerator(p=p, k=64, seed=5)
+        oracle = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+        result = KMeans(k=3, seed=1).fit(oracle)
+        assert clusters_match_truth(result.labels, truth)
+
+    def test_sketched_matches_exact_on_easy_data(self):
+        tiles, truth = blob_tiles(shape=(8, 8), seed=9)
+        exact = KMeans(k=3, seed=2).fit(ExactLpOracle(tiles, p=1.0))
+        gen = SketchGenerator(p=1.0, k=128, seed=3)
+        sketched = KMeans(k=3, seed=2).fit(
+            PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+        )
+        # Same partition up to label names.
+        assert clusters_match_truth(sketched.labels, exact.labels)
+
+    def test_sketch_oracle_never_touches_raw_data(self):
+        """After sketching, clustering cost is independent of tile size."""
+        tiles, _ = blob_tiles(shape=(8, 8), seed=10)
+        gen = SketchGenerator(p=1.0, k=32, seed=0)
+        oracle = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+        KMeans(k=3, seed=0).fit(oracle)
+        # 2k elements per comparison, regardless of the 64-cell tiles.
+        assert oracle.stats.elements_touched == oracle.stats.comparisons * 64

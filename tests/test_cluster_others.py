@@ -1,0 +1,276 @@
+"""Tests for the classical clustering substrates (k-medoids, CLARANS,
+DBSCAN, hierarchical, BIRCH, CURE) and the seeding helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    Birch,
+    Clarans,
+    Cure,
+    KMedoids,
+    agglomerative,
+    dbscan,
+    kmeans_plus_plus_indices,
+    pairwise_distance_matrix,
+    random_distinct_indices,
+)
+from repro.core import ExactLpOracle, PrecomputedSketchOracle, SketchGenerator
+from repro.errors import ParameterError
+
+from tests.test_cluster_kmeans import blob_tiles, clusters_match_truth
+
+
+def blob_vectors(n_per=10, n_blobs=3, dim=5, separation=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    points, truth = [], []
+    for blob in range(n_blobs):
+        center = rng.normal(size=dim) + blob * separation
+        for _ in range(n_per):
+            points.append(center + rng.normal(size=dim) * 0.4)
+            truth.append(blob)
+    order = rng.permutation(len(points))
+    return np.stack(points)[order], np.asarray(truth)[order]
+
+
+class TestSeeding:
+    def test_random_distinct(self):
+        rng = np.random.default_rng(0)
+        seeds = random_distinct_indices(10, 4, rng)
+        assert len(set(seeds.tolist())) == 4
+        assert all(0 <= s < 10 for s in seeds)
+
+    def test_random_k_too_large(self):
+        with pytest.raises(ParameterError):
+            random_distinct_indices(3, 4, np.random.default_rng(0))
+
+    def test_kmeans_plus_plus_distinct(self):
+        tiles, _ = blob_tiles()
+        oracle = ExactLpOracle(tiles, p=2.0)
+        seeds = kmeans_plus_plus_indices(oracle, 3, np.random.default_rng(1))
+        assert len(set(seeds.tolist())) == 3
+
+    def test_kmeans_plus_plus_spreads_over_blobs(self):
+        tiles, truth = blob_tiles(n_per=10, seed=3)
+        oracle = ExactLpOracle(tiles, p=2.0)
+        hits = 0
+        for seed in range(10):
+            seeds = kmeans_plus_plus_indices(oracle, 3, np.random.default_rng(seed))
+            if len(set(truth[seeds].tolist())) == 3:
+                hits += 1
+        assert hits >= 8  # D^2 seeding should almost always hit all blobs
+
+    def test_kmeans_plus_plus_duplicate_points(self):
+        tiles = [np.ones((2, 2))] * 4
+        oracle = ExactLpOracle(tiles, p=2.0)
+        seeds = kmeans_plus_plus_indices(oracle, 3, np.random.default_rng(0))
+        assert len(set(seeds.tolist())) == 3
+
+
+class TestKMedoids:
+    def test_recovers_blobs(self):
+        tiles, truth = blob_tiles(seed=1)
+        result = KMedoids(k=3, seed=0).fit(ExactLpOracle(tiles, p=1.0))
+        assert clusters_match_truth(result.labels, truth)
+        assert result.converged
+
+    def test_medoids_are_members(self):
+        tiles, _ = blob_tiles(seed=2)
+        result = KMedoids(k=3, seed=0).fit(ExactLpOracle(tiles, p=1.0))
+        for cluster, medoid in enumerate(result.meta["medoids"]):
+            assert result.labels[medoid] == cluster
+
+    def test_works_with_sketches(self):
+        tiles, truth = blob_tiles(shape=(8, 8), seed=3)
+        gen = SketchGenerator(p=1.0, k=64, seed=1)
+        oracle = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+        result = KMedoids(k=3, seed=0).fit(oracle)
+        assert clusters_match_truth(result.labels, truth)
+
+    def test_k_too_large(self):
+        with pytest.raises(ParameterError):
+            KMedoids(k=5).fit(ExactLpOracle([np.ones((2, 2))] * 3, p=1.0))
+
+
+class TestClarans:
+    def test_recovers_blobs(self):
+        tiles, truth = blob_tiles(seed=4)
+        result = Clarans(k=3, num_local=2, max_neighbor=30, seed=0).fit(
+            ExactLpOracle(tiles, p=1.0)
+        )
+        assert clusters_match_truth(result.labels, truth)
+
+    def test_cost_decreases_vs_random_medoids(self):
+        tiles, _ = blob_tiles(seed=5)
+        oracle = ExactLpOracle(tiles, p=1.0)
+        clarans = Clarans(k=3, num_local=2, max_neighbor=30, seed=0)
+        result = clarans.fit(oracle)
+        random_cost = clarans._cost(oracle, [0, 1, 2])
+        assert result.spread <= random_cost
+
+    def test_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            Clarans(k=0)
+        with pytest.raises(ParameterError):
+            Clarans(k=2, num_local=0)
+
+
+class TestDbscan:
+    def test_recovers_blobs_with_noise_labels(self):
+        tiles, truth = blob_tiles(n_per=10, seed=6)
+        oracle = ExactLpOracle(tiles, p=2.0)
+        # eps chosen well inside the separation, outside the blob radius.
+        result = dbscan(oracle, eps=8.0, min_samples=3)
+        assert result.n_clusters == 3
+        core = result.labels >= 0
+        assert clusters_match_truth(result.labels[core], truth[core])
+
+    def test_isolated_point_is_noise(self):
+        points = [np.zeros((1, 2)) + i * 0.1 for i in range(5)]
+        points.append(np.full((1, 2), 100.0))
+        oracle = ExactLpOracle(points, p=2.0)
+        result = dbscan(oracle, eps=1.0, min_samples=2)
+        assert result.labels[-1] == -1
+
+    def test_all_noise_when_eps_tiny(self):
+        tiles, _ = blob_tiles(seed=7)
+        result = dbscan(ExactLpOracle(tiles, p=2.0), eps=1e-9, min_samples=2)
+        assert result.n_clusters == 0
+        assert np.all(result.labels == -1)
+
+    def test_single_cluster_when_eps_huge(self):
+        tiles, _ = blob_tiles(seed=8)
+        result = dbscan(ExactLpOracle(tiles, p=2.0), eps=1e9, min_samples=2)
+        assert result.n_clusters == 1
+
+    def test_bad_parameters(self):
+        oracle = ExactLpOracle([np.ones((2, 2))] * 3, p=1.0)
+        with pytest.raises(ParameterError):
+            dbscan(oracle, eps=0.0, min_samples=2)
+        with pytest.raises(ParameterError):
+            dbscan(oracle, eps=1.0, min_samples=0)
+
+
+class TestHierarchical:
+    @pytest.mark.parametrize("linkage", ["single", "complete", "average", "ward"])
+    def test_recovers_blobs(self, linkage):
+        tiles, truth = blob_tiles(seed=9)
+        result = agglomerative(ExactLpOracle(tiles, p=2.0), 3, linkage=linkage)
+        assert result.n_clusters == 3
+        assert clusters_match_truth(result.labels, truth)
+
+    def test_ward_merge_heights_on_distance_scale(self):
+        tiles, _ = blob_tiles(n_per=3, seed=14)
+        oracle = ExactLpOracle(tiles, p=2.0)
+        result = agglomerative(oracle, 2, linkage="ward")
+        max_pairwise = pairwise_distance_matrix(oracle).max()
+        for _i, _j, height in result.meta["merges"]:
+            assert 0 <= height
+        # Early merges join near-identical blob members: far below the
+        # largest pairwise distance.
+        assert result.meta["merges"][0][2] < max_pairwise / 3
+
+    def test_ward_resists_single_link_chaining(self):
+        """A chain of stepping stones between two blobs fools single
+        link but not Ward."""
+        rng = np.random.default_rng(15)
+        left = [rng.normal(size=(2, 2)) * 0.2 for _ in range(8)]
+        right = [rng.normal(size=(2, 2)) * 0.2 + 12.0 for _ in range(8)]
+        bridge = [np.full((2, 2), v) for v in np.linspace(2.0, 10.0, 5)]
+        tiles = left + right + bridge
+        oracle = ExactLpOracle(tiles, p=2.0)
+        ward = agglomerative(oracle, 2, linkage="ward")
+        # Ward keeps the two dense blobs in different clusters.
+        assert ward.labels[0] != ward.labels[8]
+
+    def test_n_clusters_one(self):
+        tiles, _ = blob_tiles(n_per=3, seed=10)
+        result = agglomerative(ExactLpOracle(tiles, p=2.0), 1)
+        assert result.n_clusters == 1
+
+    def test_n_clusters_equals_n(self):
+        tiles, _ = blob_tiles(n_per=2, n_blobs=2, seed=11)
+        result = agglomerative(ExactLpOracle(tiles, p=2.0), 4)
+        assert sorted(result.labels.tolist()) == [0, 1, 2, 3]
+
+    def test_merge_distances_recorded(self):
+        tiles, _ = blob_tiles(n_per=3, seed=12)
+        result = agglomerative(ExactLpOracle(tiles, p=2.0), 2)
+        assert len(result.meta["merges"]) == len(tiles) - 2
+
+    def test_bad_linkage(self):
+        with pytest.raises(ParameterError):
+            agglomerative(
+                ExactLpOracle([np.ones((2, 2))] * 3, p=1.0), 2, linkage="centroid"
+            )
+
+    def test_pairwise_matrix_symmetric(self):
+        tiles, _ = blob_tiles(n_per=2, seed=13)
+        matrix = pairwise_distance_matrix(ExactLpOracle(tiles, p=1.0))
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0.0)
+
+
+class TestBirch:
+    def test_recovers_blobs(self):
+        points, truth = blob_vectors(seed=1)
+        result = Birch(n_clusters=3, threshold=2.0).fit(points)
+        assert result.n_clusters == 3
+        assert clusters_match_truth(result.labels, truth)
+
+    def test_tree_compresses(self):
+        points, _ = blob_vectors(n_per=30, seed=2)
+        result = Birch(n_clusters=3, threshold=3.0).fit(points)
+        assert result.meta["n_subclusters"] < points.shape[0]
+
+    def test_zero_threshold_keeps_singletons(self):
+        points, _ = blob_vectors(n_per=4, seed=3)
+        result = Birch(n_clusters=3, threshold=0.0).fit(points)
+        assert result.meta["n_subclusters"] == points.shape[0]
+
+    def test_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            Birch(n_clusters=0, threshold=1.0)
+        with pytest.raises(ParameterError):
+            Birch(n_clusters=2, threshold=-1.0)
+        with pytest.raises(ParameterError):
+            Birch(n_clusters=2, threshold=1.0, branching=1)
+
+    def test_rejects_bad_points(self):
+        with pytest.raises(ParameterError):
+            Birch(n_clusters=2, threshold=1.0).fit(np.zeros(5))
+
+
+class TestCure:
+    def test_recovers_blobs(self):
+        points, truth = blob_vectors(n_per=8, seed=4)
+        result = Cure(n_clusters=3).fit(points)
+        assert clusters_match_truth(result.labels, truth)
+
+    def test_representatives_shrink_toward_centroid(self):
+        points, _ = blob_vectors(n_per=8, n_blobs=1, seed=5)
+        loose = Cure(n_clusters=1, shrink=0.0).fit(points)
+        tight = Cure(n_clusters=1, shrink=1.0).fit(points)
+        centroid = points.mean(axis=0)
+
+        def max_rep_distance(result):
+            reps = result.meta["representatives"][0]
+            return max(np.linalg.norm(r - centroid) for r in reps)
+
+        assert max_rep_distance(tight) < 1e-9
+        assert max_rep_distance(loose) > 0.1
+
+    def test_fractional_p(self):
+        points, truth = blob_vectors(n_per=6, seed=6)
+        result = Cure(n_clusters=3, p=0.5).fit(points)
+        assert clusters_match_truth(result.labels, truth)
+
+    def test_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            Cure(n_clusters=2, shrink=1.5)
+        with pytest.raises(ParameterError):
+            Cure(n_clusters=2, n_representatives=0)
+        with pytest.raises(ParameterError):
+            Cure(n_clusters=2, p=0.0)

@@ -1,0 +1,308 @@
+"""Tests for repro.core.distance: the three oracle modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExactLpOracle,
+    OnDemandSketchOracle,
+    PrecomputedSketchOracle,
+    SketchGenerator,
+    lp_distance,
+    sketch_grid,
+)
+from repro.errors import IncompatibleSketchError, ParameterError, ShapeError
+from repro.table import TileGrid
+
+
+def make_tiles(n=10, shape=(6, 6), seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=shape) for _ in range(n)]
+
+
+class TestExactOracle:
+    def test_distance_matches_lp(self):
+        tiles = make_tiles()
+        oracle = ExactLpOracle(tiles, p=1.3)
+        assert oracle.distance(0, 1) == pytest.approx(lp_distance(tiles[0], tiles[1], 1.3))
+
+    def test_stats_counting(self):
+        tiles = make_tiles(shape=(4, 4))
+        oracle = ExactLpOracle(tiles, p=1.0)
+        oracle.distance(0, 1)
+        assert oracle.stats.comparisons == 1
+        assert oracle.stats.elements_touched == 32
+
+    def test_center_is_mean(self):
+        tiles = make_tiles(n=4)
+        oracle = ExactLpOracle(tiles, p=2.0)
+        center = oracle.center_of([0, 1])
+        expected = (tiles[0].ravel() + tiles[1].ravel()) / 2
+        np.testing.assert_allclose(center, expected)
+
+    def test_distance_to_center(self):
+        tiles = make_tiles()
+        oracle = ExactLpOracle(tiles, p=0.5)
+        center = oracle.center_of([1, 2, 3])
+        d = oracle.distance_to_center(0, center)
+        expected = lp_distance(tiles[0].ravel(), center, 0.5)
+        assert d == pytest.approx(expected)
+
+    def test_distances_to_centers_matches_scalar(self):
+        tiles = make_tiles(n=5)
+        oracle = ExactLpOracle(tiles, p=1.0)
+        centers = np.stack([oracle.center_of([0, 1]), oracle.center_of([2, 3])])
+        matrix = oracle.distances_to_centers(centers)
+        assert matrix.shape == (5, 2)
+        for i in range(5):
+            for c in range(2):
+                assert matrix[i, c] == pytest.approx(
+                    oracle.distance_to_center(i, centers[c])
+                )
+
+    def test_empty_center_rejected(self):
+        oracle = ExactLpOracle(make_tiles(), p=1.0)
+        with pytest.raises(ParameterError):
+            oracle.center_of([])
+
+    def test_item_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            ExactLpOracle([np.ones((2, 2)), np.ones((3, 2))], p=1.0)
+
+    def test_no_items_rejected(self):
+        with pytest.raises(ParameterError):
+            ExactLpOracle([], p=1.0)
+
+    def test_bad_p(self):
+        with pytest.raises(ParameterError):
+            ExactLpOracle(make_tiles(), p=0.0)
+
+    def test_median_center(self):
+        tiles = make_tiles(n=5)
+        oracle = ExactLpOracle(tiles, p=1.0, center="median")
+        center = oracle.center_of([0, 1, 2])
+        expected = np.median(np.stack([t.ravel() for t in tiles[:3]]), axis=0)
+        np.testing.assert_allclose(center, expected)
+
+    def test_auto_center_picks_median_for_small_p(self):
+        tiles = make_tiles(n=4)
+        low_p = ExactLpOracle(tiles, p=0.8, center="auto")
+        high_p = ExactLpOracle(tiles, p=2.0, center="auto")
+        median_like = ExactLpOracle(tiles, p=0.8, center="median")
+        mean_like = ExactLpOracle(tiles, p=2.0, center="mean")
+        np.testing.assert_allclose(
+            low_p.center_of([0, 1, 2]), median_like.center_of([0, 1, 2])
+        )
+        np.testing.assert_allclose(
+            high_p.center_of([0, 1, 2]), mean_like.center_of([0, 1, 2])
+        )
+
+    def test_median_center_resists_an_outlier_member(self):
+        tiles = make_tiles(n=3, shape=(2, 2))
+        tiles[2] = tiles[2] + 1000.0
+        mean_oracle = ExactLpOracle(tiles, p=1.0, center="mean")
+        median_oracle = ExactLpOracle(tiles, p=1.0, center="median")
+        members = [0, 1, 2]
+        mean_center = mean_oracle.center_of(members)
+        median_center = median_oracle.center_of(members)
+        assert np.max(np.abs(median_center)) < np.max(np.abs(mean_center))
+
+    def test_bad_center_policy(self):
+        with pytest.raises(ParameterError):
+            ExactLpOracle(make_tiles(), p=1.0, center="mode")
+
+
+class TestPrecomputedOracle:
+    def test_estimates_close_to_exact(self):
+        tiles = make_tiles(n=6, shape=(8, 8), seed=1)
+        gen = SketchGenerator(p=1.0, k=256, seed=3)
+        oracle = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+        for i, j in [(0, 1), (2, 5), (3, 4)]:
+            exact = lp_distance(tiles[i], tiles[j], 1.0)
+            assert abs(oracle.distance(i, j) - exact) / exact < 0.25
+
+    def test_from_grid_matrix(self):
+        data = np.random.default_rng(2).normal(size=(16, 16))
+        grid = TileGrid(data.shape, (8, 8))
+        gen = SketchGenerator(p=2.0, k=64, seed=0)
+        matrix = sketch_grid(data, grid, gen)
+        oracle = PrecomputedSketchOracle(matrix, p=2.0)
+        assert oracle.n_items == 4
+        exact = lp_distance(data[:8, :8], data[:8, 8:], 2.0)
+        assert abs(oracle.distance(0, 1) - exact) / exact < 0.4
+
+    def test_stats_counting(self):
+        gen = SketchGenerator(p=1.0, k=16, seed=0)
+        oracle = PrecomputedSketchOracle.from_sketches(
+            gen.sketch_many(make_tiles(n=3))
+        )
+        oracle.distance(0, 2)
+        assert oracle.stats.comparisons == 1
+        assert oracle.stats.elements_touched == 32
+
+    def test_mixed_keys_rejected(self):
+        g1 = SketchGenerator(p=1.0, k=8, seed=0)
+        g2 = SketchGenerator(p=1.0, k=8, seed=1)
+        tiles = make_tiles(n=2)
+        with pytest.raises(IncompatibleSketchError):
+            PrecomputedSketchOracle.from_sketches(
+                [g1.sketch(tiles[0]), g2.sketch(tiles[1])]
+            )
+
+    def test_center_linearity_matches_raw_mean_sketch(self):
+        tiles = make_tiles(n=4, shape=(5, 5), seed=7)
+        gen = SketchGenerator(p=1.0, k=32, seed=9)
+        oracle = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+        center = oracle.center_of([0, 2])
+        mean_tile = (tiles[0] + tiles[2]) / 2.0
+        np.testing.assert_allclose(center, gen.sketch(mean_tile).values, atol=1e-8)
+
+    def test_distances_to_centers_matches_scalar(self):
+        tiles = make_tiles(n=5, shape=(4, 4), seed=3)
+        gen = SketchGenerator(p=1.0, k=31, seed=2)
+        oracle = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+        centers = np.stack([oracle.center_of([0]), oracle.center_of([1, 2])])
+        matrix = oracle.distances_to_centers(centers)
+        for i in range(5):
+            for c in range(2):
+                assert matrix[i, c] == pytest.approx(
+                    oracle.distance_to_center(i, centers[c])
+                )
+
+    def test_l2_auto_path(self):
+        tiles = make_tiles(n=3, shape=(8, 8), seed=4)
+        gen = SketchGenerator(p=2.0, k=128, seed=5)
+        oracle = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+        exact = lp_distance(tiles[0], tiles[1], 2.0)
+        assert abs(oracle.distance(0, 1) - exact) / exact < 0.3
+
+    def test_bad_matrix(self):
+        with pytest.raises(ShapeError):
+            PrecomputedSketchOracle(np.zeros((0, 4)), p=1.0)
+        with pytest.raises(ShapeError):
+            PrecomputedSketchOracle(np.zeros(4), p=1.0)
+
+
+class TestOnDemandOracle:
+    def make(self, n=6, shape=(6, 6), k=64, seed=0):
+        tiles = make_tiles(n=n, shape=shape, seed=seed)
+        fetched = []
+
+        def fetch(i):
+            fetched.append(i)
+            return tiles[i]
+
+        gen = SketchGenerator(p=1.0, k=k, seed=1)
+        return tiles, fetched, OnDemandSketchOracle(fetch, n, gen)
+
+    def test_builds_lazily(self):
+        _, fetched, oracle = self.make()
+        assert oracle.stats.sketches_built == 0
+        oracle.distance(0, 1)
+        assert sorted(fetched) == [0, 1]
+        assert oracle.stats.sketches_built == 2
+
+    def test_cached_after_first_use(self):
+        _, fetched, oracle = self.make()
+        oracle.distance(0, 1)
+        oracle.distance(0, 1)
+        oracle.distance(1, 0)
+        assert sorted(fetched) == [0, 1]  # no refetch
+        assert oracle.stats.sketches_built == 2
+
+    def test_matches_precomputed(self):
+        tiles, _, oracle = self.make(k=128)
+        gen = SketchGenerator(p=1.0, k=128, seed=1)
+        pre = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+        assert oracle.distance(2, 3) == pytest.approx(pre.distance(2, 3))
+
+    def test_build_cost_accounted(self):
+        _, _, oracle = self.make(shape=(6, 6), k=64)
+        oracle.distance(0, 1)
+        assert oracle.stats.sketch_build_elements == 2 * 64 * 36
+
+    def test_distances_to_centers_builds_all(self):
+        _, fetched, oracle = self.make(n=4)
+        center = np.zeros(oracle.k)
+        oracle.distances_to_centers(center[np.newaxis, :])
+        assert sorted(set(fetched)) == [0, 1, 2, 3]
+
+    def test_bad_n(self):
+        gen = SketchGenerator(p=1.0, k=4, seed=0)
+        with pytest.raises(ParameterError):
+            OnDemandSketchOracle(lambda i: np.zeros((2, 2)), 0, gen)
+
+
+class TestStatsReset:
+    def test_reset(self):
+        oracle = ExactLpOracle(make_tiles(), p=1.0)
+        oracle.distance(0, 1)
+        oracle.stats.reset()
+        assert oracle.stats.comparisons == 0
+        assert oracle.stats.total_elements == 0
+
+
+class TestPairwiseMatrix:
+    @pytest.mark.parametrize("p", [0.5, 1.0, 2.0])
+    def test_exact_matrix_matches_scalar_calls(self, p):
+        tiles = make_tiles(n=6, seed=5)
+        oracle = ExactLpOracle(tiles, p=p)
+        matrix = oracle.pairwise_matrix()
+        for i in range(6):
+            for j in range(6):
+                if i != j:
+                    assert matrix[i, j] == pytest.approx(oracle.distance(i, j))
+        np.testing.assert_allclose(matrix, matrix.T)
+        assert np.all(np.diag(matrix) == 0.0)
+
+    def test_sketch_matrix_matches_scalar_calls(self):
+        tiles = make_tiles(n=5, seed=6)
+        gen = SketchGenerator(p=1.0, k=33, seed=0)
+        oracle = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+        matrix = oracle.pairwise_matrix()
+        for i in range(5):
+            for j in range(i + 1, 5):
+                assert matrix[i, j] == pytest.approx(oracle.distance(i, j))
+
+    def test_on_demand_matrix_builds_all(self):
+        tiles = make_tiles(n=4, seed=7)
+        gen = SketchGenerator(p=1.0, k=16, seed=1)
+        oracle = OnDemandSketchOracle(lambda i: tiles[i], 4, gen)
+        oracle.pairwise_matrix()
+        assert oracle.stats.sketches_built == 4
+
+    def test_stats_counted(self):
+        oracle = ExactLpOracle(make_tiles(n=5), p=1.0)
+        oracle.pairwise_matrix()
+        assert oracle.stats.comparisons == 10
+
+
+class TestNonFiniteGuards:
+    def test_sketch_rejects_nan(self):
+        gen = SketchGenerator(p=1.0, k=4, seed=0)
+        bad = np.ones((3, 3))
+        bad[1, 1] = np.nan
+        with pytest.raises(ParameterError):
+            gen.sketch(bad)
+
+    def test_sketch_rejects_inf(self):
+        gen = SketchGenerator(p=1.0, k=4, seed=0)
+        bad = np.ones((3, 3))
+        bad[0, 0] = np.inf
+        with pytest.raises(ParameterError):
+            gen.sketch(bad)
+
+    def test_lp_norm_rejects_nan(self):
+        from repro.core import lp_norm
+
+        with pytest.raises(ParameterError):
+            lp_norm([1.0, np.nan], 1.0)
+
+    def test_streaming_rejects_nan_delta(self):
+        from repro.stream import StreamingSketch
+
+        sketch = StreamingSketch(1.0, 4, (2, 2))
+        with pytest.raises(ParameterError):
+            sketch.update(0, 0, float("nan"))

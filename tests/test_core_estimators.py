@@ -1,0 +1,154 @@
+"""Tests for repro.core.estimators: accuracy of sketched distances.
+
+These are the Theorem 1/2 guarantees made executable: for a large-ish
+sketch the estimate must fall within a few percent of the exact Lp
+distance, for every p in (0, 2].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SketchGenerator, estimate_distance, lp_distance
+from repro.core.estimators import estimate_distance_values
+from repro.errors import IncompatibleSketchError, ParameterError
+
+
+def make_pair(shape=(8, 8), seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=shape), rng.normal(size=shape)
+
+
+class TestAccuracy:
+    # The sketch error is ~c(p)/sqrt(k) with a constant that blows up as
+    # p -> 0 (the |stable| density at its median flattens, so the sample
+    # median concentrates slowly).  Tolerances below reflect that: tight
+    # for moderate p, wide for the very heavy-tailed p = 0.25.
+    @pytest.mark.parametrize(
+        "p,tolerance",
+        [(0.25, 0.35), (0.5, 0.2), (0.8, 0.15), (1.0, 0.15), (1.25, 0.15), (1.5, 0.15), (2.0, 0.1)],
+    )
+    def test_relative_error_small_for_large_k(self, p, tolerance):
+        """Median over a few independent sketch draws at k=512 lands
+        within a p-dependent band of the exact distance."""
+        x, y = make_pair(seed=int(p * 10))
+        exact = lp_distance(x, y, p)
+        estimates = [
+            estimate_distance(*map(SketchGenerator(p=p, k=512, seed=s).sketch, (x, y)))
+            for s in range(9)
+        ]
+        assert abs(np.median(estimates) - exact) / exact < tolerance
+
+    @pytest.mark.parametrize("p,tolerance", [(0.5, 0.12), (1.0, 0.08), (2.0, 0.08)])
+    def test_median_unbiasedness_across_generators(self, p, tolerance):
+        """Across many independent sketch draws the estimate centres on
+        the exact distance (the median-of-stable argument).  The residual
+        tolerance is the Monte Carlo noise of a median over 100 draws."""
+        x, y = make_pair(seed=3)
+        exact = lp_distance(x, y, p)
+        estimates = []
+        for seed in range(100):
+            gen = SketchGenerator(p=p, k=64, seed=seed)
+            estimates.append(estimate_distance(gen.sketch(x), gen.sketch(y)))
+        assert abs(np.median(estimates) - exact) / exact < tolerance
+
+    def test_accuracy_improves_with_k(self):
+        """The epsilon ~ 1/sqrt(k) behaviour, checked coarsely."""
+        x, y = make_pair(seed=5)
+        exact = lp_distance(x, y, 1.0)
+
+        def mean_abs_rel_error(k):
+            errors = []
+            for seed in range(40):
+                gen = SketchGenerator(p=1.0, k=k, seed=seed)
+                est = estimate_distance(gen.sketch(x), gen.sketch(y))
+                errors.append(abs(est - exact) / exact)
+            return np.mean(errors)
+
+        assert mean_abs_rel_error(256) < mean_abs_rel_error(8)
+
+    def test_identical_objects_have_zero_distance(self):
+        x, _ = make_pair()
+        gen = SketchGenerator(p=1.0, k=32, seed=0)
+        assert estimate_distance(gen.sketch(x), gen.sketch(x)) == 0.0
+
+    def test_scale_equivariance(self):
+        """Estimate(c x, c y) == c Estimate(x, y) exactly (linearity)."""
+        x, y = make_pair(seed=8)
+        gen = SketchGenerator(p=0.5, k=64, seed=1)
+        base = estimate_distance(gen.sketch(x), gen.sketch(y))
+        scaled = estimate_distance(gen.sketch(3.0 * x), gen.sketch(3.0 * y))
+        assert scaled == pytest.approx(3.0 * base, rel=1e-9)
+
+
+class TestL2Estimator:
+    def test_l2_method_close_to_exact(self):
+        x, y = make_pair(seed=9)
+        gen = SketchGenerator(p=2.0, k=512, seed=2)
+        estimate = estimate_distance(gen.sketch(x), gen.sketch(y), method="l2")
+        exact = lp_distance(x, y, 2.0)
+        assert abs(estimate - exact) / exact < 0.15
+
+    def test_auto_uses_l2_for_p2(self):
+        x, y = make_pair(seed=10)
+        gen = SketchGenerator(p=2.0, k=128, seed=3)
+        auto = estimate_distance(gen.sketch(x), gen.sketch(y), method="auto")
+        l2 = estimate_distance(gen.sketch(x), gen.sketch(y), method="l2")
+        assert auto == l2
+
+    def test_median_also_valid_for_p2(self):
+        x, y = make_pair(seed=11)
+        gen = SketchGenerator(p=2.0, k=512, seed=4)
+        estimate = estimate_distance(gen.sketch(x), gen.sketch(y), method="median")
+        exact = lp_distance(x, y, 2.0)
+        assert abs(estimate - exact) / exact < 0.2
+
+    def test_l2_method_rejected_for_other_p(self):
+        x, y = make_pair(seed=12)
+        gen = SketchGenerator(p=1.0, k=16, seed=5)
+        with pytest.raises(ParameterError):
+            estimate_distance(gen.sketch(x), gen.sketch(y), method="l2")
+
+
+class TestValidation:
+    def test_incompatible_sketches_rejected(self):
+        x, y = make_pair(seed=13)
+        a = SketchGenerator(p=1.0, k=16, seed=0).sketch(x)
+        b = SketchGenerator(p=1.0, k=16, seed=1).sketch(y)
+        with pytest.raises(IncompatibleSketchError):
+            estimate_distance(a, b)
+
+    def test_unknown_method(self):
+        x, y = make_pair(seed=14)
+        gen = SketchGenerator(p=1.0, k=16, seed=0)
+        with pytest.raises(ParameterError):
+            estimate_distance(gen.sketch(x), gen.sketch(y), method="mode")
+
+    def test_values_path_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            estimate_distance_values(np.array([]), 1.0)
+
+    def test_values_path_rejects_2d(self):
+        with pytest.raises(ParameterError):
+            estimate_distance_values(np.zeros((2, 2)), 1.0)
+
+
+class TestPairwiseOrdering:
+    """What clustering actually needs: 'which of y, z is x closer to?'"""
+
+    @pytest.mark.parametrize("p", [0.5, 1.0, 2.0])
+    def test_pairwise_comparisons_mostly_correct(self, p):
+        rng = np.random.default_rng(21)
+        gen = SketchGenerator(p=p, k=128, seed=77)
+        correct = 0
+        trials = 100
+        for _ in range(trials):
+            x = rng.normal(size=(6, 6))
+            y = x + rng.normal(size=(6, 6))
+            z = x + 2.0 * rng.normal(size=(6, 6))  # clearly farther on average
+            exact_closer = lp_distance(x, y, p) < lp_distance(x, z, p)
+            sx, sy, sz = gen.sketch(x), gen.sketch(y), gen.sketch(z)
+            sketch_closer = estimate_distance(sx, sy) < estimate_distance(sx, sz)
+            correct += exact_closer == sketch_closer
+        assert correct / trials > 0.85

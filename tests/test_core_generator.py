@@ -1,0 +1,142 @@
+"""Tests for repro.core.generator: reproducible sketching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SketchGenerator
+from repro.errors import ParameterError, ShapeError
+
+
+class TestConstruction:
+    def test_bad_p(self):
+        with pytest.raises(ParameterError):
+            SketchGenerator(p=0.0, k=4)
+        with pytest.raises(ParameterError):
+            SketchGenerator(p=2.5, k=4)
+
+    def test_bad_k(self):
+        with pytest.raises(ParameterError):
+            SketchGenerator(p=1.0, k=0)
+
+    def test_repr(self):
+        assert "p=1.0" in repr(SketchGenerator(p=1.0, k=8, seed=3))
+
+
+class TestRandomMatrices:
+    def test_deterministic(self):
+        g1 = SketchGenerator(p=1.0, k=4, seed=9)
+        g2 = SketchGenerator(p=1.0, k=4, seed=9)
+        np.testing.assert_array_equal(
+            g1.random_matrix(2, (3, 5)), g2.random_matrix(2, (3, 5))
+        )
+
+    def test_different_indices_differ(self):
+        g = SketchGenerator(p=1.0, k=4, seed=9)
+        assert not np.array_equal(g.random_matrix(0, (3, 3)), g.random_matrix(1, (3, 3)))
+
+    def test_different_streams_differ(self):
+        g = SketchGenerator(p=1.0, k=4, seed=9)
+        assert not np.array_equal(
+            g.random_matrix(0, (3, 3), stream=0), g.random_matrix(0, (3, 3), stream=1)
+        )
+
+    def test_different_seeds_differ(self):
+        a = SketchGenerator(p=1.0, k=4, seed=1).random_matrix(0, (3, 3))
+        b = SketchGenerator(p=1.0, k=4, seed=2).random_matrix(0, (3, 3))
+        assert not np.array_equal(a, b)
+
+    def test_index_out_of_range(self):
+        g = SketchGenerator(p=1.0, k=4)
+        with pytest.raises(ParameterError):
+            g.random_matrix(4, (2, 2))
+
+    def test_matrices_stacked_and_cached(self):
+        g = SketchGenerator(p=1.0, k=3, seed=0)
+        first = g.matrices((2, 2))
+        assert first.shape == (3, 2, 2)
+        count = g.matrices_generated
+        again = g.matrices((2, 2))
+        assert g.matrices_generated == count  # cache hit
+        np.testing.assert_array_equal(first, again)
+
+    def test_cache_invalidated_on_new_shape(self):
+        g = SketchGenerator(p=1.0, k=2, seed=0)
+        g.matrices((2, 2))
+        count = g.matrices_generated
+        g.matrices((3, 3))
+        assert g.matrices_generated > count
+
+    def test_iter_matrices_matches_random_matrix(self):
+        g = SketchGenerator(p=0.5, k=3, seed=5)
+        for index, matrix in enumerate(g.iter_matrices((2, 4))):
+            np.testing.assert_array_equal(matrix, g.random_matrix(index, (2, 4)))
+
+
+class TestSketching:
+    def test_sketch_values_are_dot_products(self):
+        g = SketchGenerator(p=1.0, k=4, seed=7)
+        data = np.random.default_rng(0).normal(size=(4, 6))
+        s = g.sketch(data)
+        for i in range(4):
+            expected = float(np.sum(g.random_matrix(i, (4, 6)) * data))
+            assert s.values[i] == pytest.approx(expected)
+
+    def test_vector_treated_as_row(self):
+        g = SketchGenerator(p=1.0, k=4, seed=7)
+        vec = np.arange(5.0)
+        s_vec = g.sketch(vec)
+        s_mat = g.sketch(vec[np.newaxis, :])
+        np.testing.assert_array_equal(s_vec.values, s_mat.values)
+        assert s_vec.key == s_mat.key
+
+    def test_linearity(self):
+        g = SketchGenerator(p=0.8, k=8, seed=3)
+        rng = np.random.default_rng(1)
+        x, y = rng.normal(size=(3, 3)), rng.normal(size=(3, 3))
+        combined = g.sketch(2.0 * x - y)
+        np.testing.assert_allclose(
+            combined.values,
+            (2.0 * g.sketch(x) - g.sketch(y)).values,
+            atol=1e-9,
+        )
+
+    def test_sketch_key_distinguishes_shapes(self):
+        g = SketchGenerator(p=1.0, k=2, seed=0)
+        a = g.sketch(np.ones((2, 3)))
+        b = g.sketch(np.ones((3, 2)))
+        assert a.key != b.key
+
+    def test_empty_rejected(self):
+        g = SketchGenerator(p=1.0, k=2)
+        with pytest.raises(ShapeError):
+            g.sketch(np.zeros((0, 3)))
+
+    def test_3d_rejected(self):
+        g = SketchGenerator(p=1.0, k=2)
+        with pytest.raises(ShapeError):
+            g.sketch(np.zeros((2, 2, 2)))
+
+    def test_sketch_many_matches_individual(self):
+        g = SketchGenerator(p=1.5, k=6, seed=11)
+        rng = np.random.default_rng(2)
+        tiles = [rng.normal(size=(4, 4)) for _ in range(5)]
+        batch = g.sketch_many(tiles)
+        for tile, s in zip(tiles, batch):
+            np.testing.assert_allclose(s.values, g.sketch(tile).values, atol=1e-9)
+            assert s.key == g.sketch(tile).key
+
+    def test_sketch_many_empty(self):
+        assert SketchGenerator(p=1.0, k=2).sketch_many([]) == []
+
+    def test_sketch_many_shape_mismatch(self):
+        g = SketchGenerator(p=1.0, k=2)
+        with pytest.raises(ShapeError):
+            g.sketch_many([np.ones((2, 2)), np.ones((2, 3))])
+
+    def test_sketch_many_vectors(self):
+        g = SketchGenerator(p=1.0, k=3, seed=4)
+        vecs = [np.arange(4.0), np.ones(4)]
+        batch = g.sketch_many(vecs)
+        np.testing.assert_allclose(batch[0].values, g.sketch(vecs[0]).values, atol=1e-9)

@@ -1,0 +1,127 @@
+"""Tests for repro.core.invariance: normalised sketched comparisons."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SketchGenerator, lp_distance, lp_norm
+from repro.core.invariance import AugmentedSketch, InvariantSketcher, estimate_norm
+from repro.errors import ParameterError
+
+
+def sketcher(p=1.0, k=256, seed=0):
+    return InvariantSketcher(SketchGenerator(p=p, k=k, seed=seed))
+
+
+def tile(seed, shape=(8, 8)):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestEstimateNorm:
+    @pytest.mark.parametrize("p", [0.5, 1.0, 2.0])
+    def test_tracks_lp_norm(self, p):
+        x = tile(0)
+        gen = SketchGenerator(p=p, k=512, seed=1)
+        exact = lp_norm(x, p)
+        assert abs(estimate_norm(gen.sketch(x)) - exact) / exact < 0.3
+
+    def test_zero_object(self):
+        gen = SketchGenerator(p=1.0, k=16, seed=0)
+        assert estimate_norm(gen.sketch(np.zeros((3, 3)))) == 0.0
+
+
+class TestAugmentedSketch:
+    def test_captures_sum_and_size(self):
+        s = sketcher()
+        augmented = s.sketch(np.full((4, 4), 2.5))
+        assert augmented.total == pytest.approx(40.0)
+        assert augmented.size == 16
+        assert augmented.mean == pytest.approx(2.5)
+
+
+class TestPlainMode:
+    def test_matches_ordinary_estimate(self):
+        s = sketcher()
+        x, y = tile(1), tile(2)
+        plain = s.distance(s.sketch(x), s.sketch(y), mode="plain")
+        exact = lp_distance(x, y, 1.0)
+        assert abs(plain - exact) / exact < 0.25
+
+
+class TestShiftInvariance:
+    def test_shifted_copies_are_identical(self):
+        """x and x + c*ones must have shift-distance ~0 (exactly 0 in
+        sketch space, by linearity)."""
+        s = sketcher()
+        x = tile(3)
+        a = s.sketch(x)
+        b = s.sketch(x + 17.0)
+        assert s.distance(a, b, mode="shift") == pytest.approx(0.0, abs=1e-9)
+
+    def test_plain_mode_sees_the_shift(self):
+        s = sketcher()
+        x = tile(3)
+        a, b = s.sketch(x), s.sketch(x + 17.0)
+        assert s.distance(a, b, mode="plain") > 100.0
+
+    def test_shift_distance_tracks_centered_exact(self):
+        s = sketcher()
+        x, y = tile(4), tile(5) + 9.0
+        approx = s.distance(s.sketch(x), s.sketch(y), mode="shift")
+        exact = lp_distance(x - x.mean(), y - y.mean(), 1.0)
+        assert abs(approx - exact) / exact < 0.25
+
+
+class TestScaleInvariance:
+    def test_scaled_copies_are_identical(self):
+        s = sketcher()
+        x = tile(6)
+        a = s.sketch(x)
+        b = s.sketch(5.0 * x)
+        assert s.distance(a, b, mode="scale") == pytest.approx(0.0, abs=1e-9)
+
+    def test_plain_mode_sees_the_scale(self):
+        s = sketcher()
+        x = tile(6)
+        assert s.distance(s.sketch(x), s.sketch(5.0 * x), mode="plain") > 1.0
+
+    def test_zero_object_rejected(self):
+        s = sketcher()
+        a = s.sketch(np.zeros((4, 4)))
+        b = s.sketch(tile(7, (4, 4)))
+        with pytest.raises(ParameterError):
+            s.distance(a, b, mode="scale")
+
+
+class TestShiftScale:
+    def test_affine_copies_are_identical(self):
+        """x and a*x + b*ones coincide after shift-then-scale."""
+        s = sketcher()
+        x = tile(8)
+        a = s.sketch(x)
+        b = s.sketch(3.0 * x + 11.0)
+        assert s.distance(a, b, mode="shift-scale") == pytest.approx(0.0, abs=1e-9)
+
+    def test_different_shapes_still_differ(self):
+        s = sketcher()
+        x, y = tile(9), tile(10)
+        d = s.distance(s.sketch(x), s.sketch(3 * y + 1), mode="shift-scale")
+        assert d > 0.1
+
+
+class TestValidation:
+    def test_unknown_mode(self):
+        s = sketcher()
+        a = s.sketch(tile(11))
+        with pytest.raises(ParameterError):
+            s.distance(a, a, mode="affine")
+
+    def test_ones_sketch_cached(self):
+        s = sketcher(k=16)
+        x = tile(12)
+        s.distance(s.sketch(x), s.sketch(x), mode="shift")
+        generated = s.generator.matrices_generated
+        s.distance(s.sketch(x), s.sketch(x), mode="shift")
+        # The second call reuses both the ones-sketch and the matrix cache.
+        assert s.generator.matrices_generated == generated

@@ -1,0 +1,119 @@
+"""Tests for repro.core.io: sketch and pool persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SketchGenerator, SketchPool, estimate_distance, sketch_grid
+from repro.core.io import load_pool, load_sketch_matrix, save_pool, save_sketch_matrix
+from repro.errors import ParameterError, StoreError
+from repro.table import TileGrid, TileSpec
+
+
+class TestSketchMatrixRoundTrip:
+    def test_round_trip(self, tmp_path):
+        data = np.random.default_rng(0).normal(size=(32, 32))
+        grid = TileGrid(data.shape, (8, 8))
+        gen = SketchGenerator(p=1.0, k=16, seed=3)
+        matrix = sketch_grid(data, grid, gen)
+        key = gen.direct_key((8, 8))
+
+        path = tmp_path / "sketches.npz"
+        save_sketch_matrix(path, matrix, key)
+        loaded_matrix, loaded_key = load_sketch_matrix(path)
+        np.testing.assert_array_equal(loaded_matrix, matrix)
+        assert loaded_key == key
+
+    def test_key_structure_tuples_restored(self, tmp_path):
+        gen = SketchGenerator(p=0.5, k=4, seed=1)
+        key = gen.direct_key((2, 3), stream=2)
+        path = tmp_path / "s.npz"
+        save_sketch_matrix(path, np.zeros((5, 4)), key)
+        _matrix, loaded = load_sketch_matrix(path)
+        assert loaded.structure == ("direct", (2, 3), 2)
+        assert isinstance(loaded.structure[1], tuple)
+
+    def test_k_mismatch_rejected(self, tmp_path):
+        gen = SketchGenerator(p=1.0, k=8, seed=0)
+        with pytest.raises(ParameterError):
+            save_sketch_matrix(tmp_path / "x.npz", np.zeros((3, 4)), gen.direct_key((2, 2)))
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        data = np.random.default_rng(1).normal(size=(16, 16))
+        pool = SketchPool(data, SketchGenerator(p=1.0, k=4, seed=0), min_exponent=2)
+        path = tmp_path / "pool.npz"
+        save_pool(path, pool)
+        with pytest.raises(StoreError):
+            load_sketch_matrix(path)
+
+    def test_garbage_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, header=np.frombuffer(b"\xff\xfe", dtype=np.uint8), matrix=np.zeros((1, 1)))
+        with pytest.raises(StoreError):
+            load_sketch_matrix(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "no_header.npz"
+        np.savez(path, matrix=np.zeros((1, 1)))
+        with pytest.raises(StoreError):
+            load_sketch_matrix(path)
+
+
+class TestPoolRoundTrip:
+    def make_pool(self, build=True):
+        data = np.random.default_rng(2).normal(size=(32, 32))
+        pool = SketchPool(data, SketchGenerator(p=1.0, k=32, seed=5), min_exponent=2)
+        if build:
+            pool.sketch_for(TileSpec(0, 0, 8, 8))  # builds four maps
+        return data, pool
+
+    def test_round_trip_preserves_queries(self, tmp_path):
+        _data, pool = self.make_pool()
+        spec_a, spec_b = TileSpec(1, 2, 10, 12), TileSpec(15, 10, 10, 12)
+        before = estimate_distance(pool.sketch_for(spec_a), pool.sketch_for(spec_b))
+
+        path = tmp_path / "pool.npz"
+        save_pool(path, pool)
+        loaded = load_pool(path)
+        after = estimate_distance(loaded.sketch_for(spec_a), loaded.sketch_for(spec_b))
+        assert after == pytest.approx(before)
+
+    def test_built_maps_come_back_warm(self, tmp_path):
+        _data, pool = self.make_pool()
+        built_before = len(pool._maps)
+        path = tmp_path / "pool.npz"
+        save_pool(path, pool)
+        loaded = load_pool(path)
+        assert len(loaded._maps) == built_before
+        # Re-querying the same size must not rebuild anything.
+        loaded.sketch_for(TileSpec(3, 3, 8, 8))
+        assert loaded.maps_built == 0
+
+    def test_lazy_pool_round_trips_empty(self, tmp_path):
+        _data, pool = self.make_pool(build=False)
+        path = tmp_path / "pool.npz"
+        save_pool(path, pool)
+        loaded = load_pool(path)
+        assert len(loaded._maps) == 0
+        # And it can still serve queries by building lazily.
+        loaded.sketch_for(TileSpec(0, 0, 4, 4))
+        assert loaded.maps_built == 4
+
+    def test_parameters_restored(self, tmp_path):
+        _data, pool = self.make_pool()
+        path = tmp_path / "pool.npz"
+        save_pool(path, pool)
+        loaded = load_pool(path)
+        assert loaded.generator.p == pool.generator.p
+        assert loaded.generator.k == pool.generator.k
+        assert loaded.generator.seed == pool.generator.seed
+        assert loaded.min_exponent == pool.min_exponent
+        np.testing.assert_array_equal(loaded.data, pool.data)
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        gen = SketchGenerator(p=1.0, k=4, seed=0)
+        path = tmp_path / "m.npz"
+        save_sketch_matrix(path, np.zeros((2, 4)), gen.direct_key((2, 2)))
+        with pytest.raises(StoreError):
+            load_pool(path)

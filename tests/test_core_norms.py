@@ -1,0 +1,92 @@
+"""Tests for repro.core.norms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import lp_distance, lp_norm
+from repro.errors import ParameterError, ShapeError
+
+
+class TestLpNorm:
+    def test_l1(self):
+        assert lp_norm([1, -2, 3], 1.0) == 6.0
+
+    def test_l2(self):
+        assert lp_norm([3, 4], 2.0) == 5.0
+
+    def test_fractional(self):
+        # (1^0.5 + 4^0.5)^(1/0.5) = (1 + 2)^2 = 9
+        assert abs(lp_norm([1.0, 4.0], 0.5) - 9.0) < 1e-12
+
+    def test_matrix_input_flattens(self):
+        assert lp_norm([[3, 0], [0, 4]], 2.0) == 5.0
+
+    def test_zero_vector(self):
+        assert lp_norm(np.zeros(5), 0.7) == 0.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_nonpositive_p_rejected(self, bad):
+        with pytest.raises(ParameterError):
+            lp_norm([1.0], bad)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            lp_norm(np.array([]), 1.0)
+
+    @given(
+        x=hnp.arrays(
+            np.float64,
+            st.integers(min_value=1, max_value=30),
+            elements=st.floats(min_value=-100, max_value=100),
+        ),
+        p=st.floats(min_value=0.2, max_value=2.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_homogeneity(self, x, p):
+        """||c x||_p == |c| ||x||_p."""
+        scale = 3.5
+        assert lp_norm(scale * x, p) == pytest.approx(scale * lp_norm(x, p), abs=1e-6, rel=1e-9)
+
+    @given(
+        p=st.floats(min_value=1.0, max_value=2.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality_for_p_geq_1(self, p, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=12)
+        y = rng.normal(size=12)
+        assert lp_norm(x + y, p) <= lp_norm(x, p) + lp_norm(y, p) + 1e-9
+
+
+class TestLpDistance:
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=8), rng.normal(size=8)
+        assert lp_distance(x, y, 1.3) == pytest.approx(lp_distance(y, x, 1.3))
+
+    def test_identity(self):
+        x = np.random.default_rng(1).normal(size=(4, 4))
+        assert lp_distance(x, x, 0.5) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            lp_distance(np.zeros(3), np.zeros(4), 1.0)
+
+    def test_matches_norm_of_difference(self):
+        rng = np.random.default_rng(2)
+        x, y = rng.normal(size=(3, 5)), rng.normal(size=(3, 5))
+        assert lp_distance(x, y, 0.8) == pytest.approx(lp_norm(x - y, 0.8))
+
+    def test_small_p_approaches_hamming(self):
+        """For tiny p, sum |d|^p counts differing entries."""
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        y = np.array([1.0, 5.0, 3.0, 9.0])  # 2 entries differ
+        p = 0.01
+        raw = lp_distance(x, y, p) ** p  # undo the outer 1/p power
+        assert abs(raw - 2.0) < 0.1

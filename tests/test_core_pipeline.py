@@ -1,0 +1,96 @@
+"""Tests for repro.core.pipeline: bulk sketching via FFT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SketchGenerator, sketch_all_positions, sketch_grid
+from repro.errors import ShapeError
+from repro.table import TileGrid, TileSpec
+
+
+def table(shape=(16, 20), seed=0):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestSketchAllPositions:
+    def test_shape(self):
+        gen = SketchGenerator(p=1.0, k=3, seed=0)
+        out = sketch_all_positions(table(), (4, 5), gen)
+        assert out.shape == (3, 13, 16)
+
+    def test_matches_direct_sketch_every_position(self):
+        data = table((10, 9), seed=1)
+        gen = SketchGenerator(p=1.0, k=4, seed=5)
+        out = sketch_all_positions(data, (3, 4), gen)
+        for row in range(out.shape[1]):
+            for col in range(out.shape[2]):
+                window = data[row : row + 3, col : col + 4]
+                expected = gen.sketch(window)
+                np.testing.assert_allclose(out[:, row, col], expected.values, atol=1e-8)
+
+    def test_streams_give_different_sketches(self):
+        data = table((8, 8), seed=2)
+        gen = SketchGenerator(p=1.0, k=2, seed=0)
+        a = sketch_all_positions(data, (4, 4), gen, stream=0)
+        b = sketch_all_positions(data, (4, 4), gen, stream=1)
+        assert not np.allclose(a, b)
+
+    def test_own_fft_backend_matches_numpy(self):
+        data = table((12, 12), seed=3)
+        gen = SketchGenerator(p=0.5, k=2, seed=1)
+        np.testing.assert_allclose(
+            sketch_all_positions(data, (4, 4), gen, backend="own"),
+            sketch_all_positions(data, (4, 4), gen, backend="numpy"),
+            atol=1e-6,
+        )
+
+    def test_float32_output(self):
+        gen = SketchGenerator(p=1.0, k=2, seed=0)
+        out = sketch_all_positions(table((8, 8)), (2, 2), gen, out_dtype=np.float32)
+        assert out.dtype == np.float32
+
+    def test_window_too_large(self):
+        gen = SketchGenerator(p=1.0, k=2, seed=0)
+        with pytest.raises(ShapeError):
+            sketch_all_positions(table((4, 4)), (5, 2), gen)
+
+    def test_non_2d_data(self):
+        gen = SketchGenerator(p=1.0, k=2, seed=0)
+        with pytest.raises(ShapeError):
+            sketch_all_positions(np.zeros(8), (2, 2), gen)
+
+
+class TestSketchGrid:
+    def test_matches_individual_sketches(self):
+        data = table((12, 15), seed=4)
+        grid = TileGrid(data.shape, (4, 5))
+        gen = SketchGenerator(p=1.0, k=6, seed=9)
+        matrix = sketch_grid(data, grid, gen)
+        assert matrix.shape == (len(grid), 6)
+        for index, spec in enumerate(grid):
+            expected = gen.sketch(data[spec.slices])
+            np.testing.assert_allclose(matrix[index], expected.values, atol=1e-8)
+
+    def test_matches_all_positions_subsampled(self):
+        data = table((8, 8), seed=5)
+        grid = TileGrid(data.shape, (4, 4))
+        gen = SketchGenerator(p=2.0, k=3, seed=2)
+        matrix = sketch_grid(data, grid, gen)
+        maps = sketch_all_positions(data, (4, 4), gen)
+        for index, spec in enumerate(grid):
+            np.testing.assert_allclose(
+                matrix[index], maps[:, spec.row, spec.col], atol=1e-8
+            )
+
+    def test_ragged_margin_ignored(self):
+        data = table((9, 9), seed=6)
+        grid = TileGrid(data.shape, (4, 4))
+        matrix = sketch_grid(data, grid, SketchGenerator(p=1.0, k=2, seed=0))
+        assert matrix.shape == (4, 2)
+
+    def test_grid_table_mismatch(self):
+        grid = TileGrid((8, 8), (4, 4))
+        with pytest.raises(ShapeError):
+            sketch_grid(table((10, 10)), grid, SketchGenerator(p=1.0, k=2))

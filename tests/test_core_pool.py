@@ -1,0 +1,180 @@
+"""Tests for repro.core.pool: dyadic pools and compound sketches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SketchGenerator, SketchPool, estimate_distance, lp_distance
+from repro.errors import ParameterError, ShapeError
+from repro.table import TileSpec
+
+
+def make_pool(shape=(64, 64), p=1.0, k=64, seed=0, min_exponent=2, data_seed=0):
+    data = np.random.default_rng(data_seed).normal(size=shape)
+    gen = SketchGenerator(p=p, k=k, seed=seed)
+    return data, SketchPool(data, gen, min_exponent=min_exponent)
+
+
+class TestConstruction:
+    def test_canonical_sizes(self):
+        _, pool = make_pool(shape=(16, 32), min_exponent=2)
+        sizes = pool.canonical_sizes()
+        assert (4, 4) in sizes
+        assert (16, 32) in sizes
+        assert (32, 32) not in sizes
+        assert all(h >= 4 and w >= 4 for h, w in sizes)
+
+    def test_min_exponent_too_large(self):
+        data = np.zeros((8, 8))
+        gen = SketchGenerator(p=1.0, k=2)
+        with pytest.raises(ParameterError):
+            SketchPool(data, gen, min_exponent=4)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ShapeError):
+            SketchPool(np.zeros(8), SketchGenerator(p=1.0, k=2))
+
+    def test_lazy_building(self):
+        _, pool = make_pool(shape=(32, 32), k=4)
+        assert pool.maps_built == 0
+        pool.sketch_for(TileSpec(0, 0, 8, 8))
+        assert pool.maps_built == 4  # four streams of one size
+        pool.sketch_for(TileSpec(1, 1, 8, 8))
+        assert pool.maps_built == 4  # reused
+
+    def test_build_all(self):
+        _, pool = make_pool(shape=(16, 16), k=2, min_exponent=3)
+        pool.build_all()
+        # exponents 3..4 on both axes => 2x2 sizes, 4 streams each
+        assert pool.maps_built == 16
+        assert pool.nbytes > 0
+
+
+class TestCompoundSketch:
+    def test_dyadic_tile_estimate_close(self):
+        """For a power-of-two tile all four anchors coincide: the compound
+        sketch is the sum of 4 independent sketches of the same region,
+        and the distance estimate carries a factor ~4."""
+        data, pool = make_pool(shape=(64, 64), k=256)
+        a = pool.sketch_for(TileSpec(0, 0, 16, 16))
+        b = pool.sketch_for(TileSpec(32, 32, 16, 16))
+        exact = lp_distance(data[0:16, 0:16], data[32:48, 32:48], 1.0)
+        estimate = estimate_distance(a, b)
+        # Sum of 4 independent Cauchy terms of equal scale has scale 4x.
+        assert 0.7 * 4 * exact < estimate < 1.3 * 4 * exact
+
+    def test_general_tile_within_theorem5_band(self):
+        data, pool = make_pool(shape=(64, 64), k=256)
+        spec_a = TileSpec(0, 0, 11, 13)
+        spec_b = TileSpec(30, 20, 11, 13)
+        a = pool.sketch_for(spec_a)
+        b = pool.sketch_for(spec_b)
+        exact = lp_distance(data[spec_a.slices], data[spec_b.slices], 1.0)
+        estimate = estimate_distance(a, b)
+        # Theorem 5: (1 - eps) d <= estimate <= 4 (1 + eps) d.
+        assert 0.7 * exact < estimate < 4 * 1.3 * exact
+
+    def test_same_tile_zero_distance(self):
+        _, pool = make_pool(k=16)
+        spec = TileSpec(3, 5, 9, 6)
+        a = pool.sketch_for(spec)
+        b = pool.sketch_for(spec)
+        assert estimate_distance(a, b) == 0.0
+
+    def test_same_shape_tiles_comparable(self):
+        _, pool = make_pool(k=8)
+        a = pool.sketch_for(TileSpec(0, 0, 10, 10))
+        b = pool.sketch_for(TileSpec(5, 5, 10, 10))
+        assert a.key == b.key
+
+    def test_different_shape_tiles_not_comparable(self):
+        _, pool = make_pool(k=8)
+        a = pool.sketch_for(TileSpec(0, 0, 10, 10))
+        b = pool.sketch_for(TileSpec(0, 0, 10, 12))
+        assert a.key != b.key
+
+    def test_tile_below_min_rejected(self):
+        _, pool = make_pool(min_exponent=3, k=4)
+        with pytest.raises(ParameterError):
+            pool.sketch_for(TileSpec(0, 0, 4, 16))
+
+    def test_tile_outside_table_rejected(self):
+        _, pool = make_pool(shape=(16, 16), k=4)
+        with pytest.raises(ShapeError):
+            pool.sketch_for(TileSpec(10, 10, 8, 8))
+
+
+class TestDisjointSketch:
+    def test_matches_direct_sketch_distribution(self):
+        """Disjoint composition is an *exact* sketch: its estimate has no
+        Theorem-5 inflation."""
+        data, pool = make_pool(shape=(64, 64), k=256, min_exponent=2)
+        spec_a = TileSpec(0, 0, 12, 20)  # 12 = 8+4, 20 = 16+4
+        spec_b = TileSpec(32, 32, 12, 20)
+        a = pool.disjoint_sketch_for(spec_a)
+        b = pool.disjoint_sketch_for(spec_b)
+        exact = lp_distance(data[spec_a.slices], data[spec_b.slices], 1.0)
+        estimate = estimate_distance(a, b)
+        assert 0.75 * exact < estimate < 1.25 * exact
+
+    def test_dyadic_tile_single_block(self):
+        """A power-of-two tile decomposes into exactly itself, so the
+        disjoint sketch equals the plain stream-0 pipeline sketch."""
+        data, pool = make_pool(shape=(32, 32), k=16)
+        spec = TileSpec(4, 4, 8, 8)
+        s = pool.disjoint_sketch_for(spec)
+        direct = pool.generator.sketch(data[spec.slices])
+        np.testing.assert_allclose(s.values, direct.values, atol=1e-4)
+
+    def test_indivisible_dims_rejected(self):
+        _, pool = make_pool(min_exponent=2, k=4)
+        with pytest.raises(ParameterError):
+            pool.disjoint_sketch_for(TileSpec(0, 0, 10, 8))  # 10 % 4 != 0
+
+    def test_binary_segments(self):
+        segments = SketchPool._binary_segments(22)  # 16 + 4 + 2
+        assert segments == [(0, 4), (16, 2), (20, 1)]
+
+    def test_segments_tile_the_length(self):
+        for length in (1, 2, 3, 7, 22, 64, 100):
+            segments = SketchPool._binary_segments(length)
+            covered = sum(1 << exp for _, exp in segments)
+            assert covered == length
+            offsets = [off for off, _ in segments]
+            assert offsets == sorted(offsets)
+
+
+class TestMemoryBudget:
+    def make_capped_pool(self, max_bytes):
+        data = np.random.default_rng(3).normal(size=(32, 32))
+        gen = SketchGenerator(p=1.0, k=8, seed=0)
+        return SketchPool(data, gen, min_exponent=2, max_bytes=max_bytes)
+
+    def test_unbounded_by_default(self):
+        _, pool = make_pool(shape=(32, 32), k=4)
+        pool.sketch_for(TileSpec(0, 0, 8, 8))
+        pool.sketch_for(TileSpec(0, 0, 16, 16))
+        assert pool.maps_evicted == 0
+
+    def test_eviction_keeps_usage_bounded(self):
+        pool = self.make_capped_pool(max_bytes=200_000)
+        for size in (4, 8, 16):
+            pool.sketch_for(TileSpec(0, 0, size, size))
+        assert pool.maps_evicted > 0
+        # The budget may be briefly exceeded by the single protected
+        # in-flight map, but settles under it plus one map's worth.
+        assert pool.nbytes <= 200_000 + max(m.nbytes for m in pool._maps.values())
+
+    def test_evicted_maps_rebuild_transparently(self):
+        pool = self.make_capped_pool(max_bytes=150_000)
+        spec = TileSpec(0, 0, 4, 4)
+        first = pool.sketch_for(spec)
+        pool.sketch_for(TileSpec(0, 0, 16, 16))  # pushes 4x4 maps out
+        again = pool.sketch_for(spec)
+        np.testing.assert_allclose(again.values, first.values, atol=1e-5)
+
+    def test_bad_budget_rejected(self):
+        data = np.zeros((8, 8))
+        with pytest.raises(ParameterError):
+            SketchPool(data, SketchGenerator(p=1.0, k=2), min_exponent=2, max_bytes=0)

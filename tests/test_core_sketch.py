@@ -1,0 +1,89 @@
+"""Tests for repro.core.sketch: the Sketch value type."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sketch import Sketch, SketchKey, mean_sketch
+from repro.errors import IncompatibleSketchError, ParameterError
+
+
+def key(seed=0, p=1.0, k=4, structure=("direct", (2, 2), 0)):
+    return SketchKey(seed=seed, p=p, k=k, structure=structure)
+
+
+def sketch(values, **kwargs):
+    values = np.asarray(values, dtype=float)
+    return Sketch(values, key(k=values.size, **kwargs))
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = sketch([1.0, 2.0, 3.0])
+        assert s.k == 3
+        assert s.p == 1.0
+        assert s.nbytes == 24
+
+    def test_k_mismatch_rejected(self):
+        with pytest.raises(ParameterError):
+            Sketch(np.zeros(3), key(k=4))
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ParameterError):
+            Sketch(np.zeros((2, 2)), key(k=4))
+
+    def test_values_cast_to_float64(self):
+        s = sketch(np.array([1, 2], dtype=np.int32))
+        assert s.values.dtype == np.float64
+
+
+class TestArithmetic:
+    def test_add(self):
+        a, b = sketch([1.0, 2.0]), sketch([10.0, 20.0])
+        np.testing.assert_array_equal((a + b).values, [11.0, 22.0])
+
+    def test_sub(self):
+        a, b = sketch([1.0, 2.0]), sketch([10.0, 20.0])
+        np.testing.assert_array_equal((a - b).values, [-9.0, -18.0])
+
+    def test_scalar_multiply(self):
+        s = sketch([1.0, -2.0])
+        np.testing.assert_array_equal((2.5 * s).values, [2.5, -5.0])
+        np.testing.assert_array_equal((s * 2.5).values, [2.5, -5.0])
+
+    def test_mismatched_keys_rejected(self):
+        a = sketch([1.0, 2.0], seed=0)
+        b = sketch([1.0, 2.0], seed=1)
+        with pytest.raises(IncompatibleSketchError):
+            a + b
+        with pytest.raises(IncompatibleSketchError):
+            a - b
+
+    def test_mismatched_structure_rejected(self):
+        a = sketch([1.0], structure=("direct", (1, 1), 0))
+        b = sketch([1.0], structure=("direct", (1, 1), 1))
+        with pytest.raises(IncompatibleSketchError):
+            a + b
+
+
+class TestMeanSketch:
+    def test_mean(self):
+        s = mean_sketch([sketch([0.0, 2.0]), sketch([4.0, 6.0])])
+        np.testing.assert_array_equal(s.values, [2.0, 4.0])
+
+    def test_single(self):
+        s = mean_sketch([sketch([1.0, 1.0])])
+        np.testing.assert_array_equal(s.values, [1.0, 1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            mean_sketch([])
+
+    def test_incompatible_rejected(self):
+        with pytest.raises(IncompatibleSketchError):
+            mean_sketch([sketch([1.0], seed=0), sketch([1.0], seed=1)])
+
+    def test_preserves_key(self):
+        a, b = sketch([1.0, 2.0]), sketch([3.0, 4.0])
+        assert mean_sketch([a, b]).key == a.key

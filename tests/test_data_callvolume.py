@@ -1,0 +1,98 @@
+"""Tests for the synthetic call-volume generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import CallVolumeConfig, generate_call_volume
+from repro.data.callvolume import INTERVALS_PER_DAY
+from repro.errors import ParameterError
+
+
+def small_config(**overrides):
+    defaults = dict(n_stations=64, n_days=1, seed=3)
+    defaults.update(overrides)
+    return CallVolumeConfig(**defaults)
+
+
+class TestShapeAndDeterminism:
+    def test_shape(self):
+        table = generate_call_volume(small_config(n_days=2))
+        assert table.shape == (64, 2 * INTERVALS_PER_DAY)
+
+    def test_labels(self):
+        table = generate_call_volume(small_config())
+        assert table.row_labels[0] == "s00000"
+        assert table.col_labels[0].startswith("d0t00:")
+        assert len(table.col_labels) == INTERVALS_PER_DAY
+
+    def test_deterministic(self):
+        a = generate_call_volume(small_config())
+        b = generate_call_volume(small_config())
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_seed_changes_data(self):
+        a = generate_call_volume(small_config(seed=1))
+        b = generate_call_volume(small_config(seed=2))
+        assert not np.array_equal(a.values, b.values)
+
+    def test_counts_non_negative(self):
+        table = generate_call_volume(small_config())
+        assert np.all(table.values >= 0)
+
+
+class TestStructuralFeatures:
+    def test_night_is_quiet(self):
+        """Volume at 2-5am is far below 10am-4pm volume."""
+        table = generate_call_volume(small_config(n_stations=128))
+        hours = np.arange(INTERVALS_PER_DAY) / 6.0
+        night = table.values[:, (hours >= 2) & (hours < 5)].mean()
+        day = table.values[:, (hours >= 10) & (hours < 16)].mean()
+        assert day > 10 * night
+
+    def test_metro_stations_busier(self):
+        config = small_config(n_stations=200)
+        table = generate_call_volume(config)
+        station_totals = table.values.sum(axis=1)
+        positions = np.arange(200) / 200
+        metro_band = np.abs(positions - config.metro_centers[0]) < config.metro_widths[0]
+        rural_band = np.abs(positions - 0.32) < 0.03
+        assert station_totals[metro_band].mean() > 3 * station_totals[rural_band].mean()
+
+    def test_timezone_gradient_shifts_ramp(self):
+        """West-end stations (u ~ 1) wake ~3 wall-clock hours later."""
+        config = CallVolumeConfig(
+            n_stations=128, seed=5, timezone_span_hours=3.0, lognormal_sigma=0.0
+        )
+        table = generate_call_volume(config)
+        hours = np.arange(INTERVALS_PER_DAY) / 6.0
+
+        def ramp_hour(row):
+            series = table.values[row]
+            peak = series.max()
+            above = np.flatnonzero(series > 0.5 * peak)
+            return hours[above[0]]
+
+        east = np.median([ramp_hour(r) for r in range(5)])
+        west = np.median([ramp_hour(r) for r in range(123, 128)])
+        assert 1.5 < (west - east) < 4.5
+
+    def test_stitching_days(self):
+        one = generate_call_volume(small_config(n_days=1))
+        three = generate_call_volume(small_config(n_days=3))
+        assert three.shape[1] == 3 * one.shape[1]
+
+
+class TestValidation:
+    def test_bad_station_count(self):
+        with pytest.raises(ParameterError):
+            CallVolumeConfig(n_stations=0)
+
+    def test_mismatched_metro_tuples(self):
+        with pytest.raises(ParameterError):
+            CallVolumeConfig(metro_centers=(0.5,), metro_widths=(0.1, 0.2))
+
+    def test_bad_base_volume(self):
+        with pytest.raises(ParameterError):
+            CallVolumeConfig(base_volume=0.0)

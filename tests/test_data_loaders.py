@@ -1,0 +1,97 @@
+"""Tests for repro.data.loaders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import convert_to_store, load_csv, load_npy
+from repro.errors import ParameterError, StoreError
+from repro.table import TabularData, read_table
+
+
+class TestLoadCsv:
+    def write(self, tmp_path, text, name="t.csv"):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_plain_numbers(self, tmp_path):
+        path = self.write(tmp_path, "1,2,3\n4,5,6\n")
+        table = load_csv(path)
+        np.testing.assert_array_equal(table.values, [[1, 2, 3], [4, 5, 6]])
+        assert table.row_labels is None
+        assert table.col_labels is None
+
+    def test_column_labels(self, tmp_path):
+        path = self.write(tmp_path, "t0,t1\n1,2\n3,4\n")
+        table = load_csv(path, col_labels=True)
+        assert table.col_labels == ["t0", "t1"]
+        np.testing.assert_array_equal(table.values, [[1, 2], [3, 4]])
+
+    def test_row_labels(self, tmp_path):
+        path = self.write(tmp_path, "s0,1,2\ns1,3,4\n")
+        table = load_csv(path, row_labels=True)
+        assert table.row_labels == ["s0", "s1"]
+        np.testing.assert_array_equal(table.values, [[1, 2], [3, 4]])
+
+    def test_both_labels_with_corner_cell(self, tmp_path):
+        path = self.write(tmp_path, "station,t0,t1\ns0,1,2\ns1,3,4\n")
+        table = load_csv(path, row_labels=True, col_labels=True)
+        assert table.col_labels == ["t0", "t1"]
+        assert table.row_labels == ["s0", "s1"]
+
+    def test_tsv(self, tmp_path):
+        path = self.write(tmp_path, "1\t2\n3\t4\n", name="t.tsv")
+        table = load_csv(path, delimiter="\t")
+        np.testing.assert_array_equal(table.values, [[1, 2], [3, 4]])
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = self.write(tmp_path, "1,2\n\n3,4\n\n")
+        assert load_csv(path).shape == (2, 2)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = self.write(tmp_path, "1,2\n3,oops\n")
+        with pytest.raises(ParameterError, match=":2:"):
+            load_csv(path)
+
+    def test_ragged_rejected(self, tmp_path):
+        path = self.write(tmp_path, "1,2\n3,4,5\n")
+        with pytest.raises(ParameterError, match="ragged"):
+            load_csv(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StoreError):
+            load_csv(tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = self.write(tmp_path, "")
+        with pytest.raises(ParameterError):
+            load_csv(path)
+
+    def test_header_only(self, tmp_path):
+        path = self.write(tmp_path, "a,b\n")
+        with pytest.raises(ParameterError):
+            load_csv(path, col_labels=True)
+
+
+class TestLoadNpy:
+    def test_round_trip(self, tmp_path):
+        array = np.random.default_rng(0).normal(size=(5, 7))
+        path = tmp_path / "t.npy"
+        np.save(path, array)
+        table = load_npy(path)
+        np.testing.assert_array_equal(table.values, array)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StoreError):
+            load_npy(tmp_path / "nope.npy")
+
+
+class TestConvertToStore:
+    def test_round_trip_through_store(self, tmp_path):
+        values = np.random.default_rng(1).normal(size=(20, 30))
+        table = TabularData(values)
+        path = tmp_path / "t.rtbl"
+        convert_to_store(table, path, chunk_shape=(8, 8))
+        np.testing.assert_array_equal(read_table(path), values)

@@ -1,0 +1,101 @@
+"""Tests for the six-region planted-clustering generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SixRegionConfig, generate_six_region, tile_truth_labels
+from repro.data.synthetic import region_row_ranges
+from repro.errors import ParameterError
+from repro.table import TileGrid
+
+
+class TestRegionLayout:
+    def test_fractions(self):
+        ranges = region_row_ranges(256)
+        sizes = [end - start for start, end in ranges]
+        assert sizes == [64, 64, 64, 32, 16, 16]
+
+    def test_ranges_cover_table(self):
+        ranges = region_row_ranges(64)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 64
+        for (_, end_a), (start_b, _) in zip(ranges, ranges[1:]):
+            assert end_a == start_b
+
+
+class TestGeneration:
+    def test_shape_and_labels(self):
+        table, rows = generate_six_region(SixRegionConfig(n_rows=64, n_cols=32))
+        assert table.shape == (64, 32)
+        assert rows.shape == (64,)
+        assert set(rows.tolist()) == {0, 1, 2, 3, 4, 5}
+
+    def test_region_means_ordered(self):
+        config = SixRegionConfig(n_rows=128, n_cols=64, outlier_fraction=0.0)
+        table, rows = generate_six_region(config)
+        region_means = [table.values[rows == r].mean() for r in range(6)]
+        np.testing.assert_allclose(region_means, config.means, rtol=0.02)
+
+    def test_outlier_count(self):
+        config = SixRegionConfig(n_rows=64, n_cols=64, outlier_fraction=0.01)
+        table, _rows = generate_six_region(config)
+        low, high = config.means[0] - config.half_width, config.means[-1] + config.half_width
+        outliers = np.sum((table.values < low) | (table.values > high))
+        expected = round(0.01 * table.values.size)
+        # Some "low" outliers can fall inside region ranges; allow slack.
+        assert 0.3 * expected <= outliers <= expected
+
+    def test_no_outliers_when_fraction_zero(self):
+        config = SixRegionConfig(n_rows=64, n_cols=16, outlier_fraction=0.0)
+        table, rows = generate_six_region(config)
+        for region in range(6):
+            block = table.values[rows == region]
+            assert block.min() >= config.means[region] - config.half_width
+            assert block.max() <= config.means[region] + config.half_width
+
+    def test_deterministic(self):
+        a, _ = generate_six_region(SixRegionConfig(n_rows=32, n_cols=16))
+        b, _ = generate_six_region(SixRegionConfig(n_rows=32, n_cols=16))
+        np.testing.assert_array_equal(a.values, b.values)
+
+
+class TestTileTruth:
+    def test_exact_when_tiles_divide_bands(self):
+        config = SixRegionConfig(n_rows=128, n_cols=64)
+        table, rows = generate_six_region(config)
+        grid = TileGrid(table.shape, (8, 8))  # 8 divides every band height
+        truth = tile_truth_labels(grid, rows)
+        assert truth.shape == (len(grid),)
+        for index, spec in enumerate(grid):
+            assert np.all(rows[spec.row : spec.end_row] == truth[index])
+
+    def test_majority_when_tiles_straddle(self):
+        rows = np.array([0] * 6 + [1] * 2)
+        grid = TileGrid((8, 4), (8, 4))
+        truth = tile_truth_labels(grid, rows)
+        assert truth.tolist() == [0]
+
+    def test_row_labels_too_short(self):
+        grid = TileGrid((8, 4), (2, 2))
+        with pytest.raises(ParameterError):
+            tile_truth_labels(grid, np.zeros(4, dtype=int))
+
+
+class TestValidation:
+    def test_rows_not_multiple_of_16(self):
+        with pytest.raises(ParameterError):
+            SixRegionConfig(n_rows=100)
+
+    def test_duplicate_means(self):
+        with pytest.raises(ParameterError):
+            SixRegionConfig(means=(1.0, 1.0, 2.0, 3.0, 4.0, 5.0))
+
+    def test_bad_outlier_fraction(self):
+        with pytest.raises(ParameterError):
+            SixRegionConfig(outlier_fraction=1.0)
+
+    def test_bad_half_width(self):
+        with pytest.raises(ParameterError):
+            SixRegionConfig(half_width=0.0)

@@ -1,0 +1,60 @@
+"""Executable documentation: README snippets run, examples run.
+
+Two quality gates:
+
+* every ``python`` code block in README.md executes, in order, in one
+  shared namespace (so later snippets may build on earlier ones);
+* every script in ``examples/`` runs to completion with exit code 0.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+README = REPO_ROOT / "README.md"
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def python_blocks(markdown_path: Path) -> list[str]:
+    text = markdown_path.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadmeSnippets:
+    def test_readme_has_python_blocks(self):
+        assert len(python_blocks(README)) >= 3
+
+    def test_all_snippets_execute_in_order(self):
+        namespace: dict = {}
+        for index, block in enumerate(python_blocks(README)):
+            try:
+                exec(compile(block, f"README.md#block{index}", "exec"), namespace)
+            except Exception as exc:  # pragma: no cover - diagnostic aid
+                pytest.fail(f"README python block {index} failed: {exc!r}\n{block}")
+        # The clustering snippet's artefacts exist and are sane.
+        assert namespace["fast"].n_clusters == namespace["slow"].n_clusters
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {path.name for path in EXAMPLES}
+        assert {"quickstart.py", "callvolume_clustering.py", "varying_p.py"} <= names
+        assert len(EXAMPLES) >= 5
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_example_runs(self, path):
+        completed = subprocess.run(
+            [sys.executable, str(path)],
+            capture_output=True,
+            text=True,
+            timeout=600,
+            cwd=REPO_ROOT,
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert completed.stdout.strip()  # every example narrates its findings

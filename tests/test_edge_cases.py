@@ -1,0 +1,153 @@
+"""Edge-case sweep: error branches and boundary shapes across modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExactLpOracle,
+    SketchGenerator,
+    SketchPool,
+    TileSpec,
+    estimate_distance,
+)
+from repro.cluster import KMeans
+from repro.core.generator import SketchGenerator as Generator
+from repro.errors import (
+    ConvergenceError,
+    EmptyClusterError,
+    IncompatibleSketchError,
+    ParameterError,
+    ReproError,
+    ShapeError,
+    StoreError,
+)
+from repro.experiments.harness import format_table
+from repro.fourier import cross_correlate2d_valid
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for cls in (
+            ParameterError,
+            ShapeError,
+            IncompatibleSketchError,
+            StoreError,
+            ConvergenceError,
+            EmptyClusterError,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_value_error_compatibility(self):
+        # Callers catching stdlib ValueError still catch parameter abuse.
+        assert issubclass(ParameterError, ValueError)
+        assert issubclass(ShapeError, ValueError)
+        assert issubclass(StoreError, IOError)
+
+    def test_incompatible_is_shape_error(self):
+        assert issubclass(IncompatibleSketchError, ShapeError)
+
+
+class TestOneByOneShapes:
+    """The smallest legal objects must work everywhere."""
+
+    def test_sketch_single_cell(self):
+        gen = SketchGenerator(p=1.0, k=4, seed=0)
+        sketch = gen.sketch(np.array([[5.0]]))
+        assert sketch.values.shape == (4,)
+
+    def test_distance_between_single_cells(self):
+        gen = SketchGenerator(p=1.0, k=129, seed=0)
+        a = gen.sketch(np.array([[1.0]]))
+        b = gen.sketch(np.array([[4.0]]))
+        # |1 - 4| = 3; a single cell has no averaging, so the estimate
+        # is 3 * median|S| / B_k ~ 3 within sketch error.
+        assert estimate_distance(a, b) == pytest.approx(3.0, rel=0.5)
+
+    def test_k_one_sketch(self):
+        gen = SketchGenerator(p=1.0, k=1, seed=0)
+        sketch = gen.sketch(np.ones((2, 2)))
+        assert sketch.k == 1
+        assert estimate_distance(sketch, sketch) == 0.0
+
+    def test_one_by_n_tiles(self):
+        gen = SketchGenerator(p=2.0, k=8, seed=0)
+        row = np.arange(5.0)[np.newaxis, :]
+        col = np.arange(5.0)[:, np.newaxis]
+        assert gen.sketch(row).key != gen.sketch(col).key
+
+    def test_correlation_with_full_size_kernel(self):
+        data = np.random.default_rng(0).normal(size=(4, 4))
+        out = cross_correlate2d_valid(data, data)
+        assert out.shape == (1, 1)
+
+    def test_pool_on_tiny_table(self):
+        data = np.random.default_rng(1).normal(size=(4, 4))
+        pool = SketchPool(data, SketchGenerator(p=1.0, k=4, seed=0), min_exponent=1)
+        sketch = pool.sketch_for(TileSpec(0, 0, 2, 2))
+        assert sketch.values.shape == (4,)
+
+
+class TestGeneratorShapeNormalization:
+    def test_reject_3d_shape(self):
+        with pytest.raises(ShapeError):
+            Generator._normalize_shape((2, 2, 2))
+
+    def test_reject_zero_dim(self):
+        with pytest.raises(ShapeError):
+            Generator._normalize_shape((0, 4))
+
+    def test_vector_shape_promoted(self):
+        assert Generator._normalize_shape((7,)) == (1, 7)
+
+
+class TestKMeansDegenerate:
+    def test_all_identical_items(self):
+        tiles = [np.ones((2, 2))] * 6
+        result = KMeans(k=2, seed=0).fit(ExactLpOracle(tiles, p=1.0))
+        assert result.spread == 0.0
+        assert np.bincount(result.labels, minlength=2).min() >= 1
+
+    def test_two_items_two_clusters(self):
+        tiles = [np.zeros((2, 2)), np.ones((2, 2))]
+        result = KMeans(k=2, seed=0).fit(ExactLpOracle(tiles, p=1.0))
+        assert set(result.labels.tolist()) == {0, 1}
+
+
+class TestFormatTableEdge:
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_mixed_types(self):
+        text = format_table(["x"], [[1], [2.5], ["s"]])
+        assert "2.5" in text and "s" in text
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ParameterError):
+            format_table([], [])
+
+
+class TestPoolExponentBounds:
+    def test_exponent_outside_table_rejected(self):
+        data = np.zeros((16, 16))
+        pool = SketchPool(data, SketchGenerator(p=1.0, k=2, seed=0), min_exponent=2)
+        with pytest.raises(ParameterError):
+            pool._map(5, 2, 0)  # 2^5 = 32 > 16
+        with pytest.raises(ParameterError):
+            pool._map(2, 1, 0)  # below min_exponent
+
+
+class TestSketchConstantData:
+    def test_constant_tiles_at_distance_zero(self):
+        gen = SketchGenerator(p=1.0, k=16, seed=0)
+        a = gen.sketch(np.full((3, 3), 7.0))
+        b = gen.sketch(np.full((3, 3), 7.0))
+        assert estimate_distance(a, b) == 0.0
+
+    def test_negative_values_fine(self):
+        gen = SketchGenerator(p=0.5, k=64, seed=0)
+        a = gen.sketch(-np.ones((4, 4)))
+        b = gen.sketch(np.ones((4, 4)))
+        assert estimate_distance(a, b) > 0.0

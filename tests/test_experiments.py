@@ -1,0 +1,238 @@
+"""Tests for the experiments harness and the figure modules.
+
+Figure modules run here with miniature configs: the point is that they
+execute end to end, produce well-formed tables, and — where cheap
+enough to check — show the paper's qualitative shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SixRegionConfig
+from repro.errors import ParameterError
+from repro.experiments.costmodel import (
+    exact_comparison_cost,
+    fft_preprocess_cost,
+    kmeans_cost,
+    sketch_build_cost,
+    sketch_comparison_cost,
+)
+from repro.experiments.figure2 import Figure2Config
+from repro.experiments.figure2 import run as run_figure2
+from repro.experiments.figure3 import Figure3Config
+from repro.experiments.figure3 import run as run_figure3
+from repro.experiments.figure4a import Figure4aConfig
+from repro.experiments.figure4a import run as run_figure4a
+from repro.experiments.figure4b import Figure4bConfig
+from repro.experiments.figure4b import run as run_figure4b
+from repro.experiments.figure5 import Figure5Config
+from repro.experiments.figure5 import run as run_figure5
+from repro.experiments.harness import FigureResult, Timer, format_table
+
+
+class TestHarness:
+    def test_timer_measures(self):
+        with Timer() as timer:
+            sum(range(10000))
+        assert timer.seconds >= 0.0
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_format_table_rejects_ragged(self):
+        with pytest.raises(ParameterError):
+            format_table(["a"], [[1, 2]])
+
+    def test_figure_result_render(self):
+        result = FigureResult("T", ["x"], [[1]], notes=["n"], panels=["P"])
+        text = result.render()
+        assert "T" in text and "P" in text and "note: n" in text
+
+
+class TestCostModel:
+    def test_exact_linear_in_tile(self):
+        assert exact_comparison_cost(100) == 200
+
+    def test_sketch_independent_of_tile(self):
+        assert sketch_comparison_cost(64) == 128
+
+    def test_build_cost(self):
+        assert sketch_build_cost(64, 100) == 6400
+
+    def test_fft_cheaper_than_direct_for_large_windows(self):
+        table = (512, 512)
+        window = (128, 128)
+        k = 64
+        direct = k * table[0] * table[1] * window[0] * window[1]
+        assert fft_preprocess_cost(table, window, k) < direct
+
+    def test_kmeans_modes_ordering(self):
+        exact = kmeans_cost(100, 20, 10, tile_cells=2304, k=64, mode="exact")
+        pre = kmeans_cost(100, 20, 10, tile_cells=2304, k=64, mode="precomputed")
+        on_demand = kmeans_cost(100, 20, 10, tile_cells=2304, k=64, mode="on-demand")
+        assert pre.elements < on_demand.elements < exact.elements
+        assert exact.comparisons == pre.comparisons
+
+    def test_on_demand_overhead_constant_in_clusters(self):
+        small = kmeans_cost(100, 4, 10, 2304, 64, "on-demand")
+        large = kmeans_cost(100, 24, 10, 2304, 64, "on-demand")
+        small_pre = kmeans_cost(100, 4, 10, 2304, 64, "precomputed")
+        large_pre = kmeans_cost(100, 24, 10, 2304, 64, "precomputed")
+        assert small.elements - small_pre.elements == large.elements - large_pre.elements
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            exact_comparison_cost(0)
+        with pytest.raises(ParameterError):
+            kmeans_cost(10, 2, 1, 10, 4, mode="cached")
+
+
+TINY_FIG2 = Figure2Config(
+    table_shape=(64, 144), tile_sides=(8, 16), n_pairs=200, k=32
+)
+TINY_FIG3 = Figure3Config(
+    n_stations=64, n_days=1, tile_shape=(16, 36), n_clusters=5, k=32,
+    ps=(0.5, 1.0, 2.0), max_iter=10,
+)
+TINY_FIG4A = Figure4aConfig(
+    n_stations=64, n_days=1, tile_shape=(16, 36), cluster_counts=(2, 4, 8),
+    k=32, max_iter=10,
+)
+TINY_FIG4B = Figure4bConfig(
+    data=SixRegionConfig(n_rows=64, n_cols=64),
+    tile_shape=(8, 8), ps=(0.5, 2.0), k=64, n_restarts=2, max_iter=15,
+)
+TINY_FIG5 = Figure5Config(n_stations=48, stations_per_group=8, n_clusters=4, k=32)
+
+
+class TestFigure2:
+    def test_runs_and_is_well_formed(self):
+        results = run_figure2(TINY_FIG2)
+        assert len(results) == 2  # L1 and L2 panels
+        for result in results:
+            assert len(result.rows) == 2
+            for row in result.rows:
+                assert len(row) == len(result.headers)
+
+    def test_object_bytes_column(self):
+        results = run_figure2(TINY_FIG2)
+        sizes = [row[0] for row in results[0].rows]
+        assert sizes == [4 * 8 * 8, 4 * 16 * 16]
+
+    def test_accuracy_reasonable(self):
+        results = run_figure2(TINY_FIG2)
+        for result in results:
+            for row in result.rows:
+                cumulative, average, pairwise = row[4], row[5], row[6]
+                assert 60.0 < cumulative < 140.0
+                assert average > 60.0
+                assert pairwise > 75.0
+
+    def test_render(self):
+        text = run_figure2(TINY_FIG2)[0].render()
+        assert "object_bytes" in text
+
+
+class TestFigure3:
+    def test_runs_and_reports_all_ps(self):
+        result = run_figure3(TINY_FIG3)
+        assert [row[0] for row in result.rows] == [0.5, 1.0, 2.0]
+
+    def test_quality_near_or_above_exact(self):
+        result = run_figure3(TINY_FIG3)
+        for row in result.rows:
+            assert row[6] > 60.0  # quality_% column
+
+    def test_agreement_bounded(self):
+        result = run_figure3(TINY_FIG3)
+        for row in result.rows:
+            assert 0.0 <= row[5] <= 100.0
+
+
+class TestFigure4a:
+    def test_runs_all_cluster_counts(self):
+        result = run_figure4a(TINY_FIG4A)
+        assert [row[0] for row in result.rows] == [2, 4, 8]
+
+    def test_times_positive(self):
+        result = run_figure4a(TINY_FIG4A)
+        for row in result.rows:
+            assert all(t > 0 for t in row[1:])
+
+
+class TestFigure4b:
+    def test_fractional_p_beats_p2(self):
+        result = run_figure4b(TINY_FIG4B)
+        accuracy = {row[0]: row[1] for row in result.rows}
+        assert accuracy[0.5] > accuracy[2.0]
+
+    def test_fractional_p_recovers_planting(self):
+        # The tiny smoke config uses 64-cell tiles, so the recovery is
+        # noisier than the default config's 100%; assert the shape only.
+        result = run_figure4b(TINY_FIG4B)
+        accuracy = {row[0]: row[1] for row in result.rows}
+        assert accuracy[0.5] >= 80.0
+
+
+class TestAblations:
+    def make_results(self):
+        from repro.experiments.ablations import AblationConfig, run
+
+        config = AblationConfig(
+            tile_shape=(8, 8), sketch_sizes=(8, 64), n_draws=4,
+            summary_size=16, pool_k=64,
+        )
+        return run(config)
+
+    def test_four_studies(self):
+        results = self.make_results()
+        assert len(results) == 4
+        for result in results:
+            assert result.rows
+
+    def test_sketch_size_error_shrinks(self):
+        results = self.make_results()
+        rows = results[0].rows
+        assert rows[-1][2] < rows[0][2]  # error at k=64 < error at k=8
+
+    def test_transforms_lose_at_l1(self):
+        results = self.make_results()
+        l1_row = next(row for row in results[2].rows if row[0] == 1.0)
+        sketch_error = l1_row[1]
+        transform_errors = l1_row[2:]
+        assert all(sketch_error < err for err in transform_errors)
+
+    def test_composition_ratios_in_bands(self):
+        results = self.make_results()
+        ratios = {row[0]: row[1] for row in results[3].rows}
+        assert 0.5 < ratios["direct"] < 1.5
+        assert 0.5 < ratios["compound (Defn 4)"] < 5.5
+        assert 0.5 < ratios["disjoint (ours)"] < 1.5
+
+
+class TestFigure5:
+    def test_panels_render(self):
+        result = run_figure5(TINY_FIG5)
+        assert len(result.panels) == 2
+        for panel, p in zip(result.panels, TINY_FIG5.ps):
+            assert f"p = {p:g}" in panel
+
+    def test_panel_grid_dimensions(self):
+        result = run_figure5(TINY_FIG5)
+        lines = result.panels[0].splitlines()
+        # title + header + one line per station group
+        assert len(lines) == 2 + 48 // 8
+
+    def test_blank_is_most_common_shade(self):
+        result = run_figure5(TINY_FIG5)
+        body = "".join(
+            line[5:] for line in result.panels[0].splitlines()[2:]
+        )
+        blanks = body.count(" ")
+        for shade in set(body) - {" "}:
+            assert body.count(shade) <= blanks

@@ -1,0 +1,81 @@
+"""CLI smoke tests for the figure modules' main() entry points."""
+
+from __future__ import annotations
+
+class TestFigureMains:
+    def test_figure3_main(self, monkeypatch, capsys):
+        from repro.experiments import figure3
+        from tests.test_experiments import TINY_FIG3
+
+        monkeypatch.setattr(figure3, "Figure3Config", _factory(TINY_FIG3))
+        figure3.main([])
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "agreement_%" in out
+
+    def test_figure4a_main(self, monkeypatch, capsys):
+        from repro.experiments import figure4a
+        from tests.test_experiments import TINY_FIG4A
+
+        monkeypatch.setattr(figure4a, "Figure4aConfig", _factory(TINY_FIG4A))
+        figure4a.main([])
+        assert "n_clusters" in capsys.readouterr().out
+
+    def test_figure4b_main(self, monkeypatch, capsys):
+        from repro.experiments import figure4b
+        from tests.test_experiments import TINY_FIG4B
+
+        monkeypatch.setattr(figure4b, "Figure4bConfig", _factory(TINY_FIG4B))
+        figure4b.main([])
+        assert "sketched_accuracy_%" in capsys.readouterr().out
+
+    def test_figure5_main(self, monkeypatch, capsys):
+        from repro.experiments import figure5
+        from tests.test_experiments import TINY_FIG5
+
+        monkeypatch.setattr(figure5, "Figure5Config", _factory(TINY_FIG5))
+        figure5.main([])
+        assert "blank = largest cluster" in capsys.readouterr().out
+
+    def test_scaling_main(self, monkeypatch, capsys):
+        from repro.experiments import scaling
+
+        tiny = scaling.ScalingConfig(
+            n_stations=32, day_counts=(1, 2), window_side=8, n_pairs=50, k=8
+        )
+        monkeypatch.setattr(scaling, "ScalingConfig", _factory(tiny))
+        scaling.main([])
+        assert "preprocess_us_per_cell" in capsys.readouterr().out
+
+    def test_full_flag_selects_full_preset(self, monkeypatch):
+        """--full must route through Config.full()."""
+        from repro.experiments import figure5
+
+        calls = {}
+
+        class Probe:
+            @staticmethod
+            def full():
+                calls["full"] = True
+                from tests.test_experiments import TINY_FIG5
+
+                return TINY_FIG5
+
+        monkeypatch.setattr(figure5, "Figure5Config", Probe)
+        figure5.main(["--full"])
+        assert calls.get("full")
+
+
+def _factory(config):
+    """A stand-in Config class whose default construction and .full()
+    both return the given tiny config."""
+
+    class Factory:
+        def __new__(cls):
+            return config
+
+        @staticmethod
+        def full():
+            return config
+
+    return Factory

@@ -1,0 +1,133 @@
+"""Tests for repro.fourier.conv: FFT convolution and sliding dot products."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.fourier import (
+    convolve2d_full,
+    cross_correlate2d_direct,
+    cross_correlate2d_valid,
+)
+
+
+def random_array(shape, seed):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestFullConvolution:
+    def test_identity_kernel(self):
+        data = random_array((5, 7), 0)
+        kernel = np.array([[1.0]])
+        np.testing.assert_allclose(convolve2d_full(data, kernel), data, atol=1e-10)
+
+    def test_shape(self):
+        out = convolve2d_full(random_array((6, 9), 1), random_array((3, 4), 2))
+        assert out.shape == (8, 12)
+
+    def test_commutativity(self):
+        a = random_array((4, 5), 3)
+        b = random_array((6, 2), 4)
+        np.testing.assert_allclose(
+            convolve2d_full(a, b), convolve2d_full(b, a), atol=1e-9
+        )
+
+    def test_matches_direct_small(self):
+        a = random_array((3, 3), 5)
+        b = random_array((2, 2), 6)
+        expected = np.zeros((4, 4))
+        for i in range(3):
+            for j in range(3):
+                for u in range(2):
+                    for v in range(2):
+                        expected[i + u, j + v] += a[i, j] * b[u, v]
+        np.testing.assert_allclose(convolve2d_full(a, b), expected, atol=1e-10)
+
+    def test_own_backend_matches_numpy_backend(self):
+        a = random_array((7, 11), 7)
+        b = random_array((4, 3), 8)
+        np.testing.assert_allclose(
+            convolve2d_full(a, b, backend="own"),
+            convolve2d_full(a, b, backend="numpy"),
+            atol=1e-9,
+        )
+
+    def test_rfft_fast_path_matches_complex_path(self):
+        """Real inputs on the numpy backend take rfft2; the result must
+        match the generic complex path bit-for-noise."""
+        a = random_array((9, 13), 9)
+        b = random_array((5, 4), 10)
+        fast = convolve2d_full(a, b, backend="numpy")
+        generic = convolve2d_full(a + 0j, b + 0j, backend="numpy")
+        assert np.isrealobj(fast)
+        np.testing.assert_allclose(fast, generic.real, atol=1e-9)
+
+    def test_complex_inputs_stay_complex(self):
+        a = random_array((4, 4), 11) + 1j * random_array((4, 4), 12)
+        b = random_array((2, 2), 13)
+        out = convolve2d_full(a, b)
+        assert np.iscomplexobj(out)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ShapeError):
+            convolve2d_full(np.ones(3), np.ones((2, 2)))
+        with pytest.raises(ShapeError):
+            convolve2d_full(np.ones((2, 2)), np.ones((2, 2, 2)))
+
+
+class TestValidCrossCorrelation:
+    def test_shape(self):
+        out = cross_correlate2d_valid(random_array((10, 12), 0), random_array((3, 5), 1))
+        assert out.shape == (8, 8)
+
+    def test_matches_direct(self):
+        data = random_array((9, 11), 2)
+        kernel = random_array((4, 3), 3)
+        np.testing.assert_allclose(
+            cross_correlate2d_valid(data, kernel),
+            cross_correlate2d_direct(data, kernel),
+            atol=1e-9,
+        )
+
+    def test_single_position(self):
+        data = random_array((4, 6), 4)
+        out = cross_correlate2d_valid(data, data)
+        assert out.shape == (1, 1)
+        assert abs(out[0, 0] - np.sum(data * data)) < 1e-9
+
+    def test_each_entry_is_window_dot_product(self):
+        data = random_array((6, 7), 5)
+        kernel = random_array((2, 3), 6)
+        out = cross_correlate2d_valid(data, kernel)
+        for i in range(out.shape[0]):
+            for j in range(out.shape[1]):
+                window = data[i : i + 2, j : j + 3]
+                assert abs(out[i, j] - np.sum(window * kernel)) < 1e-9
+
+    def test_kernel_too_large_rejected(self):
+        with pytest.raises(ShapeError):
+            cross_correlate2d_valid(np.ones((3, 3)), np.ones((4, 2)))
+        with pytest.raises(ShapeError):
+            cross_correlate2d_direct(np.ones((3, 3)), np.ones((2, 4)))
+
+    @given(
+        data_h=st.integers(min_value=1, max_value=12),
+        data_w=st.integers(min_value=1, max_value=12),
+        ker_h=st.integers(min_value=1, max_value=12),
+        ker_w=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fft_equals_direct_property(self, data_h, data_w, ker_h, ker_w):
+        if ker_h > data_h or ker_w > data_w:
+            return
+        data = random_array((data_h, data_w), data_h * 13 + data_w)
+        kernel = random_array((ker_h, ker_w), ker_h * 17 + ker_w)
+        np.testing.assert_allclose(
+            cross_correlate2d_valid(data, kernel),
+            cross_correlate2d_direct(data, kernel),
+            atol=1e-8,
+        )

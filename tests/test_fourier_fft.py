@@ -1,0 +1,158 @@
+"""Tests for repro.fourier.fft: the from-scratch FFT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.fourier import fft, fft2, ifft, ifft2, irfft, next_power_of_two, rfft
+
+
+def random_complex(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=shape) + 1j * rng.normal(size=shape)
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, 1), (1, 1), (2, 2), (3, 4), (4, 4), (5, 8), (1023, 1024), (1024, 1024)],
+    )
+    def test_values(self, n, expected):
+        assert next_power_of_two(n) == expected
+
+
+class TestAgainstNumpy:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 64, 256])
+    def test_radix2_matches_numpy(self, n):
+        x = random_complex(n, seed=n)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [3, 5, 6, 7, 12, 100, 129])
+    def test_bluestein_matches_numpy(self, n):
+        x = random_complex(n, seed=n)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-8)
+
+    @pytest.mark.parametrize("n", [4, 7, 16, 30])
+    def test_inverse_matches_numpy(self, n):
+        x = random_complex(n, seed=n + 1000)
+        np.testing.assert_allclose(ifft(x), np.fft.ifft(x), atol=1e-9)
+
+    def test_2d_matches_numpy(self):
+        x = random_complex((16, 24), seed=5)
+        np.testing.assert_allclose(fft2(x), np.fft.fft2(x), atol=1e-8)
+
+    def test_2d_inverse_matches_numpy(self):
+        x = random_complex((12, 8), seed=6)
+        np.testing.assert_allclose(ifft2(x), np.fft.ifft2(x), atol=1e-8)
+
+    def test_batched_axis(self):
+        x = random_complex((3, 5, 32), seed=7)
+        np.testing.assert_allclose(fft(x, axis=-1), np.fft.fft(x, axis=-1), atol=1e-9)
+        np.testing.assert_allclose(fft(x, axis=1), np.fft.fft(x, axis=1), atol=1e-9)
+
+    def test_real_input(self):
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=48)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-9)
+
+
+class TestRoundTrip:
+    @given(n=st.integers(min_value=1, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_ifft_fft_identity(self, n):
+        x = random_complex(n, seed=n)
+        np.testing.assert_allclose(ifft(fft(x)), x, atol=1e-8)
+
+    def test_2d_round_trip(self):
+        x = random_complex((9, 17), seed=11)
+        np.testing.assert_allclose(ifft2(fft2(x)), x, atol=1e-8)
+
+
+class TestAlgebraicProperties:
+    def test_linearity(self):
+        x = random_complex(64, seed=1)
+        y = random_complex(64, seed=2)
+        np.testing.assert_allclose(
+            fft(2.0 * x + 3.0 * y), 2.0 * fft(x) + 3.0 * fft(y), atol=1e-9
+        )
+
+    def test_parseval(self):
+        x = random_complex(128, seed=3)
+        energy_time = np.sum(np.abs(x) ** 2)
+        energy_freq = np.sum(np.abs(fft(x)) ** 2) / 128
+        assert abs(energy_time - energy_freq) < 1e-8
+
+    def test_dc_component_is_sum(self):
+        x = random_complex(32, seed=4)
+        assert abs(fft(x)[0] - np.sum(x)) < 1e-9
+
+
+class TestRealTransforms:
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 256])
+    def test_rfft_matches_numpy_pow2(self, n):
+        x = np.random.default_rng(n).normal(size=n)
+        np.testing.assert_allclose(rfft(x), np.fft.rfft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [3, 5, 6, 7, 12, 100])
+    def test_rfft_matches_numpy_general(self, n):
+        x = np.random.default_rng(n + 500).normal(size=n)
+        np.testing.assert_allclose(rfft(x), np.fft.rfft(x), atol=1e-8)
+
+    @pytest.mark.parametrize("n", [4, 7, 16, 31, 64])
+    def test_irfft_round_trip(self, n):
+        x = np.random.default_rng(n + 900).normal(size=n)
+        np.testing.assert_allclose(irfft(rfft(x), n), x, atol=1e-8)
+
+    def test_rfft_batched(self):
+        x = np.random.default_rng(77).normal(size=(3, 32))
+        np.testing.assert_allclose(rfft(x, axis=-1), np.fft.rfft(x, axis=-1), atol=1e-9)
+        np.testing.assert_allclose(rfft(x.T, axis=0), np.fft.rfft(x.T, axis=0), atol=1e-9)
+
+    def test_rfft_output_length(self):
+        assert rfft(np.ones(16)).shape == (9,)
+        assert rfft(np.ones(15)).shape == (8,)
+
+    def test_rfft_rejects_complex(self):
+        with pytest.raises(ParameterError):
+            rfft(np.ones(4) + 1j)
+
+    def test_rfft_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            rfft(np.array([]))
+
+    def test_irfft_rejects_wrong_bin_count(self):
+        with pytest.raises(ParameterError):
+            irfft(np.ones(5, dtype=complex), n=16)
+
+    def test_numpy_backend_delegates(self):
+        x = np.random.default_rng(88).normal(size=24)
+        np.testing.assert_allclose(
+            rfft(x, backend="numpy"), rfft(x, backend="own"), atol=1e-9
+        )
+        spectrum = rfft(x)
+        np.testing.assert_allclose(
+            irfft(spectrum, 24, backend="numpy"), irfft(spectrum, 24, backend="own"),
+            atol=1e-9,
+        )
+
+
+class TestBackends:
+    def test_numpy_backend(self):
+        x = random_complex(50, seed=9)
+        np.testing.assert_allclose(
+            fft(x, backend="numpy"), fft(x, backend="own"), atol=1e-8
+        )
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ParameterError):
+            fft(np.ones(4), backend="fftw")
+        with pytest.raises(ParameterError):
+            ifft(np.ones(4), backend="fftw")
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ParameterError):
+            fft(np.zeros((3, 0)))

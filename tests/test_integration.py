@@ -1,0 +1,197 @@
+"""Integration tests: whole workflows across subsystem boundaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ExactLpOracle,
+    PrecomputedSketchOracle,
+    SketchGenerator,
+    SketchPool,
+    StreamingSketch,
+    TableStore,
+    TileSpec,
+    estimate_distance,
+    load_pool,
+    load_sketch_matrix,
+    lp_distance,
+    save_pool,
+    save_sketch_matrix,
+    sketch_grid,
+    write_table,
+)
+from repro.cluster import KMeans
+from repro.data import (
+    CallVolumeConfig,
+    generate_call_volume,
+    load_csv,
+)
+from repro.metrics import clustering_quality, confusion_matrix_agreement
+from repro.mining import find_similar_regions, nearest_neighbors
+
+
+class TestStoreToClusteringPipeline:
+    """Disk store -> tiles -> sketched k-means -> quality vs exact."""
+
+    def test_full_pipeline(self, tmp_path):
+        table = generate_call_volume(CallVolumeConfig(n_stations=64, n_days=2, seed=0))
+        path = tmp_path / "volume.rtbl"
+        write_table(path, table.values, chunk_shape=(16, 36))
+
+        with TableStore(path) as store:
+            store.verify()
+            data = store.read_all()
+
+        grid = table.grid((16, 72))
+        tiles = [data[spec.slices] for spec in grid]
+        gen = SketchGenerator(p=1.0, k=96, seed=1)
+        sketched_oracle = PrecomputedSketchOracle(sketch_grid(data, grid, gen), 1.0)
+        exact_oracle = ExactLpOracle(tiles, 1.0)
+
+        kmeans = KMeans(4, max_iter=25, seed=2)
+        sketched = kmeans.fit(sketched_oracle)
+        exact = kmeans.fit(exact_oracle)
+
+        agreement = confusion_matrix_agreement(exact.labels, sketched.labels, 4)
+        quality = clustering_quality(exact_oracle, exact.labels, sketched.labels)
+        assert agreement > 0.5
+        assert quality > 0.8
+
+
+class TestPersistenceWorkflow:
+    """Preprocess once, save, load elsewhere, mine."""
+
+    def test_sketch_matrix_round_trip_preserves_distances(self, tmp_path):
+        data = np.random.default_rng(3).normal(size=(64, 96))
+        from repro.table import TileGrid
+
+        grid = TileGrid(data.shape, (16, 16))
+        gen = SketchGenerator(p=0.5, k=64, seed=4)
+        matrix = sketch_grid(data, grid, gen)
+        path = tmp_path / "sketches.npz"
+        save_sketch_matrix(path, matrix, gen.direct_key((16, 16)))
+
+        loaded_matrix, key = load_sketch_matrix(path)
+        original = PrecomputedSketchOracle(matrix, 0.5)
+        restored = PrecomputedSketchOracle(loaded_matrix, key.p)
+        for i, j in [(0, 1), (3, 8), (5, 20)]:
+            assert restored.distance(i, j) == pytest.approx(original.distance(i, j))
+
+    def test_pool_round_trip_preserves_region_search(self, tmp_path):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(64, 64))
+        # Plant the twin on the (8, 8) scan lattice used below.
+        data[40:56, 8:24] = data[0:16, 8:24] + rng.normal(size=(16, 16)) * 0.01
+        pool = SketchPool(data, SketchGenerator(p=1.0, k=128, seed=6), min_exponent=2)
+        query = TileSpec(0, 8, 16, 16)
+        before = find_similar_regions(pool, query, n_results=3, stride=(8, 8))
+
+        path = tmp_path / "pool.npz"
+        save_pool(path, pool)
+        after = find_similar_regions(load_pool(path), query, n_results=3, stride=(8, 8))
+        assert [m.spec for m in after] == [m.spec for m in before]
+        assert after[0].spec.row == 40
+
+
+class TestStreamingConsistency:
+    """A stream of updates tracks the batch view of the same table."""
+
+    def test_streamed_day_matches_batch_distance(self):
+        rng = np.random.default_rng(7)
+        yesterday = rng.poisson(20.0, size=(16, 24)).astype(float)
+        today = yesterday + rng.integers(-3, 4, size=(16, 24)).astype(float)
+
+        base = StreamingSketch.from_array(yesterday, p=1.0, k=256, seed=8)
+        live = StreamingSketch.from_array(yesterday, p=1.0, k=256, seed=8)
+        delta = today - yesterday
+        rows, cols = np.nonzero(delta)
+        live.update_many(rows, cols, delta[rows, cols])
+
+        exact = lp_distance(yesterday, today, 1.0)
+        approx = base.estimate_distance(live)
+        assert abs(approx - exact) / exact < 0.3
+
+    def test_streaming_drift_detection_scenario(self):
+        """Norm of the difference sketch grows as a table drifts."""
+        rng = np.random.default_rng(9)
+        reference = rng.poisson(30.0, size=(8, 8)).astype(float)
+        ref_sketch = StreamingSketch.from_array(reference, p=1.0, k=256, seed=10)
+
+        drift_norms = []
+        current = reference.copy()
+        live = StreamingSketch.from_array(reference, p=1.0, k=256, seed=10)
+        for step in range(3):
+            row, col = int(rng.integers(8)), int(rng.integers(8))
+            live.update(row, col, 50.0)
+            current[row, col] += 50.0
+            diff_estimate = live.estimate_distance(ref_sketch)
+            drift_norms.append(diff_estimate)
+        assert drift_norms[0] < drift_norms[-1]
+        exact = lp_distance(current, reference, 1.0)
+        assert abs(drift_norms[-1] - exact) / exact < 0.35
+
+
+class TestCsvToMiningPipeline:
+    def test_csv_to_nearest_neighbors(self, tmp_path):
+        rng = np.random.default_rng(11)
+        values = rng.normal(size=(12, 40))
+        values[9] = values[2] + rng.normal(size=40) * 0.01  # near-duplicate rows
+        path = tmp_path / "table.csv"
+        path.write_text(
+            "\n".join(",".join(f"{v:.6f}" for v in row) for row in values) + "\n"
+        )
+
+        table = load_csv(path)
+        gen = SketchGenerator(p=2.0, k=128, seed=12)
+        rows = [table.values[i] for i in range(table.shape[0])]
+        oracle = PrecomputedSketchOracle.from_sketches(gen.sketch_many(rows))
+        neighbors = nearest_neighbors(oracle, query=2, n_neighbors=1)
+        assert neighbors[0][0] == 9
+
+
+class TestStitchedStorePipeline:
+    def test_per_day_files_to_clustering(self, tmp_path):
+        """Days written as separate store files, stitched, tiled across
+        file boundaries and clustered — the paper's operational layout."""
+        from repro.table import StitchedStore
+
+        paths = []
+        for day in range(3):
+            table = generate_call_volume(
+                CallVolumeConfig(n_stations=64, n_days=1, seed=day)
+            )
+            path = tmp_path / f"day{day}.rtbl"
+            write_table(path, table.values, chunk_shape=(16, 36))
+            paths.append(path)
+
+        with StitchedStore(paths) as store:
+            assert store.shape == (64, 3 * 144)
+            # Tiles of 1.5 days deliberately straddle file boundaries.
+            specs = [
+                TileSpec(row, col, 16, 216)
+                for row in range(0, 64, 16)
+                for col in (0, 216)
+            ]
+            tiles = [store.read_tile(spec) for spec in specs]
+
+        gen = SketchGenerator(p=1.0, k=64, seed=9)
+        oracle = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+        result = KMeans(3, seed=0).fit(oracle)
+        assert result.n_clusters == 3
+        assert result.converged
+
+
+class TestPoolAgainstDirectSketches:
+    def test_grid_queries_consistent_with_exact_ranking(self):
+        """Pool compound estimates preserve the ranking of clearly
+        separated distances."""
+        rng = np.random.default_rng(13)
+        data = rng.normal(size=(64, 64))
+        data[32:48, 0:16] = data[0:16, 0:16] + rng.normal(size=(16, 16)) * 0.05
+        pool = SketchPool(data, SketchGenerator(p=1.0, k=128, seed=14), min_exponent=2)
+        query = pool.sketch_for(TileSpec(0, 0, 16, 16))
+        twin = pool.sketch_for(TileSpec(32, 0, 16, 16))
+        unrelated = pool.sketch_for(TileSpec(16, 40, 16, 16))
+        assert estimate_distance(query, twin) < estimate_distance(query, unrelated)

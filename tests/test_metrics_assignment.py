@@ -1,0 +1,113 @@
+"""Tests for the from-scratch Hungarian algorithm."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.metrics import linear_sum_assignment
+
+
+def brute_force_min(cost: np.ndarray) -> float:
+    n_rows, n_cols = cost.shape
+    best = np.inf
+    for perm in itertools.permutations(range(n_cols), n_rows):
+        best = min(best, sum(cost[i, j] for i, j in enumerate(perm)))
+    return best
+
+
+def assignment_total(cost: np.ndarray, maximize=False) -> float:
+    rows, cols = linear_sum_assignment(cost, maximize=maximize)
+    return float(cost[rows, cols].sum())
+
+
+class TestSquare:
+    def test_identity_best(self):
+        cost = np.array([[0.0, 1.0], [1.0, 0.0]])
+        rows, cols = linear_sum_assignment(cost)
+        np.testing.assert_array_equal(cols[rows], [0, 1])
+
+    def test_antidiagonal_best(self):
+        cost = np.array([[1.0, 0.0], [0.0, 1.0]])
+        rows, cols = linear_sum_assignment(cost)
+        np.testing.assert_array_equal(cols, [1, 0])
+
+    def test_matches_brute_force_small(self):
+        rng = np.random.default_rng(0)
+        for trial in range(30):
+            cost = rng.uniform(0, 10, size=(4, 4))
+            assert assignment_total(cost) == pytest.approx(brute_force_min(cost))
+
+    def test_maximize(self):
+        rng = np.random.default_rng(1)
+        for trial in range(20):
+            value = rng.uniform(0, 10, size=(3, 3))
+            assert assignment_total(value, maximize=True) == pytest.approx(
+                -brute_force_min(-value)
+            )
+
+    def test_negative_costs(self):
+        cost = np.array([[-5.0, 1.0], [2.0, -3.0]])
+        assert assignment_total(cost) == pytest.approx(-8.0)
+
+    def test_one_by_one(self):
+        rows, cols = linear_sum_assignment(np.array([[7.0]]))
+        assert rows.tolist() == [0]
+        assert cols.tolist() == [0]
+
+
+class TestRectangular:
+    def test_more_cols_than_rows(self):
+        cost = np.array([[9.0, 1.0, 9.0], [9.0, 9.0, 2.0]])
+        rows, cols = linear_sum_assignment(cost)
+        assert cols.tolist() == [1, 2]
+
+    def test_matches_brute_force_rectangular(self):
+        rng = np.random.default_rng(2)
+        for trial in range(20):
+            cost = rng.uniform(0, 10, size=(3, 5))
+            assert assignment_total(cost) == pytest.approx(brute_force_min(cost))
+
+    def test_rows_exceed_cols_rejected(self):
+        with pytest.raises(ParameterError):
+            linear_sum_assignment(np.zeros((3, 2)))
+
+
+class TestValidation:
+    def test_empty(self):
+        with pytest.raises(ParameterError):
+            linear_sum_assignment(np.zeros((0, 0)))
+
+    def test_non_finite(self):
+        with pytest.raises(ParameterError):
+            linear_sum_assignment(np.array([[np.inf, 1.0], [1.0, 2.0]]))
+
+    def test_1d(self):
+        with pytest.raises(ParameterError):
+            linear_sum_assignment(np.zeros(4))
+
+    def test_assignment_is_permutation(self):
+        rng = np.random.default_rng(3)
+        cost = rng.uniform(size=(6, 6))
+        rows, cols = linear_sum_assignment(cost)
+        assert sorted(rows.tolist()) == list(range(6))
+        assert sorted(cols.tolist()) == sorted(set(cols.tolist()))
+
+
+class TestHypothesis:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=5),
+        m=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_optimality_property(self, seed, n, m):
+        if n > m:
+            return
+        cost = np.random.default_rng(seed).uniform(-5, 5, size=(n, m))
+        assert assignment_total(cost) == pytest.approx(brute_force_min(cost))

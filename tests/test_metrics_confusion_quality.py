@@ -1,0 +1,103 @@
+"""Tests for repro.metrics.confusion and repro.metrics.quality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ExactLpOracle
+from repro.errors import ParameterError
+from repro.metrics import (
+    clustering_quality,
+    clustering_spread,
+    confusion_matrix,
+    confusion_matrix_agreement,
+)
+
+
+class TestConfusionMatrix:
+    def test_identity(self):
+        labels = [0, 0, 1, 1, 2]
+        matrix = confusion_matrix(labels, labels)
+        np.testing.assert_array_equal(matrix, np.diag([2, 2, 1]))
+
+    def test_counts(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_noise_excluded(self):
+        matrix = confusion_matrix([0, -1, 1], [0, 0, 1])
+        np.testing.assert_array_equal(matrix, [[1, 0], [0, 1]])
+
+    def test_all_noise_rejected(self):
+        with pytest.raises(ParameterError):
+            confusion_matrix([-1, -1], [0, 1])
+
+    def test_explicit_n_clusters(self):
+        matrix = confusion_matrix([0, 0], [0, 0], n_clusters=3)
+        assert matrix.shape == (3, 3)
+
+
+class TestAgreement:
+    def test_identical_clusterings(self):
+        assert confusion_matrix_agreement([0, 1, 1, 2], [0, 1, 1, 2]) == 1.0
+
+    def test_permuted_labels_still_perfect(self):
+        # Same partition, renamed clusters: agreement must be 1.
+        assert confusion_matrix_agreement([0, 0, 1, 1], [1, 1, 0, 0]) == 1.0
+
+    def test_partial_agreement(self):
+        # One of four items moves cluster.
+        assert confusion_matrix_agreement([0, 0, 1, 1], [0, 0, 1, 0]) == 0.75
+
+    def test_independent_clusterings_low(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, size=500)
+        b = rng.integers(0, 5, size=500)
+        agreement = confusion_matrix_agreement(a, b)
+        assert agreement < 0.4  # ~1/5 expected, plus matching slack
+
+
+class TestSpreadAndQuality:
+    def make_space(self):
+        rng = np.random.default_rng(1)
+        tiles = [rng.normal(size=(3, 3)) + blob * 10 for blob in range(2) for _ in range(5)]
+        return ExactLpOracle(tiles, p=2.0)
+
+    def test_good_partition_has_smaller_spread(self):
+        space = self.make_space()
+        good = np.array([0] * 5 + [1] * 5)
+        bad = np.array([0, 1] * 5)
+        assert clustering_spread(space, good) < clustering_spread(space, bad)
+
+    def test_quality_of_identical_partitions_is_one(self):
+        space = self.make_space()
+        labels = np.array([0] * 5 + [1] * 5)
+        assert clustering_quality(space, labels, labels) == pytest.approx(1.0)
+
+    def test_quality_above_one_when_sketch_partition_better(self):
+        space = self.make_space()
+        good = np.array([0] * 5 + [1] * 5)
+        bad = np.array([0, 1] * 5)
+        assert clustering_quality(space, exact_labels=bad, sketch_labels=good) > 1.0
+
+    def test_quality_below_one_when_sketch_partition_worse(self):
+        space = self.make_space()
+        good = np.array([0] * 5 + [1] * 5)
+        bad = np.array([0, 1] * 5)
+        assert clustering_quality(space, exact_labels=good, sketch_labels=bad) < 1.0
+
+    def test_noise_ignored_in_spread(self):
+        space = self.make_space()
+        labels = np.array([0] * 5 + [-1] * 5)
+        spread = clustering_spread(space, labels)
+        assert np.isfinite(spread)
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(ParameterError):
+            clustering_spread(self.make_space(), np.zeros(3, dtype=int))
+
+    def test_singleton_clusters_zero_spread(self):
+        space = self.make_space()
+        labels = np.arange(10)
+        assert clustering_spread(space, labels) == 0.0

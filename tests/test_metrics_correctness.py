@@ -1,0 +1,100 @@
+"""Tests for repro.metrics.correctness (Definitions 7-9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.metrics import (
+    average_correctness,
+    cumulative_correctness,
+    pairwise_comparison_correctness,
+)
+
+
+class TestCumulative:
+    def test_perfect(self):
+        assert cumulative_correctness([1.0, 2.0], [1.0, 2.0]) == 1.0
+
+    def test_cancellation(self):
+        # Over- and under-estimates cancel in the cumulative measure.
+        assert cumulative_correctness([0.5, 1.5], [1.0, 1.0]) == 1.0
+
+    def test_systematic_overestimate(self):
+        assert cumulative_correctness([2.0, 2.0], [1.0, 1.0]) == 2.0
+
+    def test_zero_exact_sum_rejected(self):
+        with pytest.raises(ParameterError):
+            cumulative_correctness([1.0], [0.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ParameterError):
+            cumulative_correctness([1.0, 2.0], [1.0])
+
+
+class TestAverage:
+    def test_perfect(self):
+        assert average_correctness([3.0, 4.0], [3.0, 4.0]) == 1.0
+
+    def test_no_cancellation(self):
+        # Same data as the cumulative cancellation case: here errors add.
+        assert average_correctness([0.5, 1.5], [1.0, 1.0]) == pytest.approx(0.5)
+
+    def test_zero_exact_zero_approx_is_correct(self):
+        assert average_correctness([0.0, 1.0], [0.0, 1.0]) == 1.0
+
+    def test_zero_exact_nonzero_approx_is_full_error(self):
+        assert average_correctness([1.0], [0.0]) == 0.0
+
+    def test_ten_percent_errors(self):
+        assert average_correctness([0.9, 1.1], [1.0, 1.0]) == pytest.approx(0.9)
+
+
+class TestPairwise:
+    def test_all_correct(self):
+        score = pairwise_comparison_correctness(
+            approx_xy=[1.0, 5.0], approx_xz=[2.0, 3.0],
+            exact_xy=[1.1, 4.0], exact_xz=[1.9, 3.5],
+        )
+        assert score == 1.0
+
+    def test_all_wrong(self):
+        score = pairwise_comparison_correctness(
+            approx_xy=[2.0], approx_xz=[1.0],
+            exact_xy=[1.0], exact_xz=[2.0],
+        )
+        assert score == 0.0
+
+    def test_half(self):
+        score = pairwise_comparison_correctness(
+            approx_xy=[1.0, 2.0], approx_xz=[2.0, 1.0],
+            exact_xy=[1.0, 1.0], exact_xz=[2.0, 2.0],
+        )
+        assert score == 0.5
+
+    def test_ties_count_as_correct(self):
+        score = pairwise_comparison_correctness(
+            approx_xy=[1.0], approx_xz=[1.0],
+            exact_xy=[1.0], exact_xz=[2.0],
+        )
+        assert score == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ParameterError):
+            pairwise_comparison_correctness([1.0], [1.0, 2.0], [1.0], [1.0, 2.0])
+
+
+class TestEndToEndWithSketches:
+    def test_sketched_distances_score_high(self):
+        from repro.core import SketchGenerator, estimate_distance, lp_distance
+
+        rng = np.random.default_rng(0)
+        gen = SketchGenerator(p=1.0, k=128, seed=1)
+        approx, exact = [], []
+        for _ in range(50):
+            x, y = rng.normal(size=(6, 6)), rng.normal(size=(6, 6))
+            approx.append(estimate_distance(gen.sketch(x), gen.sketch(y)))
+            exact.append(lp_distance(x, y, 1.0))
+        assert cumulative_correctness(approx, exact) == pytest.approx(1.0, abs=0.1)
+        assert average_correctness(approx, exact) > 0.85

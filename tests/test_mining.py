@@ -1,0 +1,159 @@
+"""Tests for repro.mining: neighbours and similar regions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ExactLpOracle, PrecomputedSketchOracle, SketchGenerator, SketchPool
+from repro.errors import ParameterError
+from repro.mining import find_similar_regions, most_similar_pairs, nearest_neighbors
+from repro.table import TileSpec
+
+
+def clustered_tiles():
+    """Ten tiles: 0-4 near zero, 5-9 near ten; tile 1 is tile 0's twin."""
+    rng = np.random.default_rng(0)
+    tiles = [rng.normal(size=(4, 4)) * 0.1 for _ in range(5)]
+    tiles += [10.0 + rng.normal(size=(4, 4)) * 0.1 for _ in range(5)]
+    tiles[1] = tiles[0] + 0.001
+    return tiles
+
+
+class TestNearestNeighbors:
+    def test_twin_found_first(self):
+        oracle = ExactLpOracle(clustered_tiles(), p=1.0)
+        neighbors = nearest_neighbors(oracle, query=0, n_neighbors=3)
+        assert neighbors[0][0] == 1
+        assert all(index < 5 for index, _ in neighbors)
+
+    def test_distances_sorted(self):
+        oracle = ExactLpOracle(clustered_tiles(), p=2.0)
+        neighbors = nearest_neighbors(oracle, query=3, n_neighbors=9)
+        distances = [d for _, d in neighbors]
+        assert distances == sorted(distances)
+
+    def test_query_excluded(self):
+        oracle = ExactLpOracle(clustered_tiles(), p=1.0)
+        neighbors = nearest_neighbors(oracle, query=2, n_neighbors=9)
+        assert 2 not in [index for index, _ in neighbors]
+
+    def test_sketched_oracle_agrees_on_easy_data(self):
+        tiles = clustered_tiles()
+        gen = SketchGenerator(p=1.0, k=64, seed=1)
+        sketched = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+        exact = ExactLpOracle(tiles, p=1.0)
+        approx_ids = {i for i, _ in nearest_neighbors(sketched, 0, 4)}
+        exact_ids = {i for i, _ in nearest_neighbors(exact, 0, 4)}
+        assert approx_ids == exact_ids
+
+    def test_validation(self):
+        oracle = ExactLpOracle(clustered_tiles(), p=1.0)
+        with pytest.raises(ParameterError):
+            nearest_neighbors(oracle, query=-1, n_neighbors=2)
+        with pytest.raises(ParameterError):
+            nearest_neighbors(oracle, query=0, n_neighbors=10)
+
+
+class TestMostSimilarPairs:
+    def test_twin_pair_first(self):
+        oracle = ExactLpOracle(clustered_tiles(), p=1.0)
+        pairs = most_similar_pairs(oracle, n_pairs=1)
+        assert pairs[0][:2] == (0, 1)
+
+    def test_count_and_order(self):
+        oracle = ExactLpOracle(clustered_tiles(), p=1.0)
+        pairs = most_similar_pairs(oracle, n_pairs=5)
+        assert len(pairs) == 5
+        distances = [d for _, _, d in pairs]
+        assert distances == sorted(distances)
+
+    def test_validation(self):
+        oracle = ExactLpOracle(clustered_tiles(), p=1.0)
+        with pytest.raises(ParameterError):
+            most_similar_pairs(oracle, n_pairs=0)
+        with pytest.raises(ParameterError):
+            most_similar_pairs(oracle, n_pairs=100)
+
+
+class TestSimilarRegions:
+    def make_pool(self):
+        """A table with a repeated motif: rows 0-15 repeat at rows 48-63."""
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(64, 64))
+        data[48:64, :] = data[0:16, :] + rng.normal(size=(16, 64)) * 0.01
+        gen = SketchGenerator(p=1.0, k=128, seed=3)
+        return data, SketchPool(data, gen, min_exponent=2)
+
+    def test_finds_planted_copy(self):
+        _, pool = self.make_pool()
+        query = TileSpec(0, 8, 16, 16)
+        matches = find_similar_regions(pool, query, n_results=3, stride=(16, 8))
+        top = matches[0].spec
+        assert top.row == 48
+        assert top.col == 8
+
+    def test_results_sorted_and_non_overlapping(self):
+        _, pool = self.make_pool()
+        query = TileSpec(0, 0, 16, 16)
+        matches = find_similar_regions(pool, query, n_results=5, stride=(8, 8))
+        distances = [m.distance for m in matches]
+        assert distances == sorted(distances)
+        for match in matches:
+            spec = match.spec
+            no_overlap = (
+                spec.end_row <= query.row
+                or query.end_row <= spec.row
+                or spec.end_col <= query.col
+                or query.end_col <= spec.col
+            )
+            assert no_overlap
+
+    def test_overlapping_allowed_when_requested(self):
+        _, pool = self.make_pool()
+        query = TileSpec(0, 0, 16, 16)
+        matches = find_similar_regions(
+            pool, query, n_results=1, stride=(8, 8), exclude_overlapping=False
+        )
+        # The query itself is the best match for itself.
+        assert matches[0].spec == query
+        assert matches[0].distance == 0.0
+
+    def test_disjoint_composition(self):
+        _, pool = self.make_pool()
+        query = TileSpec(0, 8, 16, 16)
+        matches = find_similar_regions(
+            pool, query, n_results=3, stride=(16, 8), composition="disjoint"
+        )
+        assert matches[0].spec.row == 48
+
+    def test_validation(self):
+        _, pool = self.make_pool()
+        query = TileSpec(0, 0, 16, 16)
+        with pytest.raises(ParameterError):
+            find_similar_regions(pool, query, composition="mosaic")
+        with pytest.raises(ParameterError):
+            find_similar_regions(pool, query, n_results=0)
+        with pytest.raises(ParameterError):
+            find_similar_regions(pool, query, stride=(0, 4))
+
+    def test_distinct_suppresses_overlapping_matches(self):
+        _, pool = self.make_pool()
+        query = TileSpec(0, 8, 16, 16)
+        dense = find_similar_regions(pool, query, n_results=4, stride=(4, 4))
+        distinct = find_similar_regions(
+            pool, query, n_results=4, stride=(4, 4), distinct=True
+        )
+        # Dense results cluster around the planted twin; distinct ones
+        # must be pairwise non-overlapping.
+        for a_index, a in enumerate(distinct):
+            for b in distinct[a_index + 1 :]:
+                no_overlap = (
+                    a.spec.end_row <= b.spec.row
+                    or b.spec.end_row <= a.spec.row
+                    or a.spec.end_col <= b.spec.col
+                    or b.spec.end_col <= a.spec.col
+                )
+                assert no_overlap
+        # The best match is identical in both modes.
+        assert distinct[0].spec == dense[0].spec

@@ -1,0 +1,98 @@
+"""Tests for repro.mining.anomalies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ExactLpOracle, PrecomputedSketchOracle, SketchGenerator
+from repro.errors import ParameterError
+from repro.mining import knn_outlier_scores, outlier_scores, top_outliers
+
+
+def tiles_with_outlier(n_normal=10, shape=(4, 4), seed=0):
+    rng = np.random.default_rng(seed)
+    tiles = [rng.normal(size=shape) for _ in range(n_normal)]
+    tiles.append(rng.normal(size=shape) + 25.0)  # the anomaly, last index
+    return tiles
+
+
+def two_mode_tiles(seed=1):
+    """Two tight normal modes plus one anomaly: breaks the mean scorer's
+    margin but not the kNN scorer's."""
+    rng = np.random.default_rng(seed)
+    tiles = [rng.normal(size=(4, 4)) * 0.1 for _ in range(8)]
+    tiles += [rng.normal(size=(4, 4)) * 0.1 + 30.0 for _ in range(8)]
+    tiles.append(rng.normal(size=(4, 4)) + 15.0)  # lonely midpoint
+    return tiles
+
+
+class TestMeanScores:
+    def test_anomaly_scores_highest(self):
+        oracle = ExactLpOracle(tiles_with_outlier(), p=1.0)
+        scores = outlier_scores(oracle)
+        assert np.argmax(scores) == len(scores) - 1
+
+    def test_scores_shape_and_positivity(self):
+        oracle = ExactLpOracle(tiles_with_outlier(), p=2.0)
+        scores = outlier_scores(oracle)
+        assert scores.shape == (11,)
+        assert np.all(scores > 0)
+
+    def test_needs_two_items(self):
+        with pytest.raises(ParameterError):
+            outlier_scores(ExactLpOracle([np.ones((2, 2))], p=1.0))
+
+
+class TestKnnScores:
+    def test_anomaly_scores_highest(self):
+        oracle = ExactLpOracle(tiles_with_outlier(seed=2), p=1.0)
+        scores = knn_outlier_scores(oracle, n_neighbors=2)
+        assert np.argmax(scores) == len(scores) - 1
+
+    def test_lonely_midpoint_found_in_two_mode_data(self):
+        oracle = ExactLpOracle(two_mode_tiles(), p=1.0)
+        scores = knn_outlier_scores(oracle, n_neighbors=3)
+        assert np.argmax(scores) == 16  # the midpoint anomaly
+
+    def test_neighbor_rank_monotone(self):
+        oracle = ExactLpOracle(tiles_with_outlier(seed=3), p=1.0)
+        one = knn_outlier_scores(oracle, 1)
+        three = knn_outlier_scores(oracle, 3)
+        assert np.all(three >= one - 1e-12)
+
+    def test_validation(self):
+        oracle = ExactLpOracle(tiles_with_outlier(), p=1.0)
+        with pytest.raises(ParameterError):
+            knn_outlier_scores(oracle, 0)
+        with pytest.raises(ParameterError):
+            knn_outlier_scores(oracle, oracle.n_items)
+
+
+class TestTopOutliers:
+    def test_ordering_and_count(self):
+        oracle = ExactLpOracle(tiles_with_outlier(seed=4), p=1.0)
+        top = top_outliers(oracle, 3)
+        assert len(top) == 3
+        assert top[0][0] == oracle.n_items - 1
+        scores = [score for _, score in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_knn_method(self):
+        oracle = ExactLpOracle(two_mode_tiles(seed=5), p=1.0)
+        top = top_outliers(oracle, 1, method="knn", n_neighbors=3)
+        assert top[0][0] == 16
+
+    def test_works_on_sketched_oracle(self):
+        tiles = tiles_with_outlier(shape=(8, 8), seed=6)
+        gen = SketchGenerator(p=1.0, k=64, seed=1)
+        oracle = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+        top = top_outliers(oracle, 1)
+        assert top[0][0] == len(tiles) - 1
+
+    def test_validation(self):
+        oracle = ExactLpOracle(tiles_with_outlier(), p=1.0)
+        with pytest.raises(ParameterError):
+            top_outliers(oracle, 0)
+        with pytest.raises(ParameterError):
+            top_outliers(oracle, 2, method="zscore")

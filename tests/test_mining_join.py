@@ -1,0 +1,108 @@
+"""Tests for repro.mining.join: sketch similarity joins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SketchGenerator, lp_distance
+from repro.errors import ParameterError
+from repro.mining import sketch_similarity_join
+
+
+def two_sides(seed=0):
+    """Left tiles 0/1/2 have near-twins at right 2/0/1; rest unrelated."""
+    rng = np.random.default_rng(seed)
+    left = [rng.normal(size=(6, 6)) * 0.2 + offset * 10 for offset in range(3)]
+    left += [rng.normal(size=(6, 6)) + 100.0 for _ in range(3)]
+    right = [
+        left[1] + rng.normal(size=(6, 6)) * 0.01,
+        left[2] + rng.normal(size=(6, 6)) * 0.01,
+        left[0] + rng.normal(size=(6, 6)) * 0.01,
+    ]
+    right += [rng.normal(size=(6, 6)) - 100.0 for _ in range(2)]
+    return left, right
+
+
+class TestTopPairsJoin:
+    def test_finds_planted_twins(self):
+        left, right = two_sides()
+        gen = SketchGenerator(p=1.0, k=128, seed=1)
+        pairs = sketch_similarity_join(left, right, gen, n_pairs=3)
+        matches = {(pair.left, pair.right) for pair in pairs}
+        assert matches == {(1, 0), (2, 1), (0, 2)}
+
+    def test_sorted_by_distance(self):
+        left, right = two_sides(seed=1)
+        gen = SketchGenerator(p=1.0, k=64, seed=2)
+        pairs = sketch_similarity_join(left, right, gen, n_pairs=10)
+        distances = [pair.distance for pair in pairs]
+        assert distances == sorted(distances)
+
+    def test_estimates_track_exact(self):
+        left, right = two_sides(seed=2)
+        gen = SketchGenerator(p=1.0, k=256, seed=3)
+        pairs = sketch_similarity_join(left, right, gen, n_pairs=4)
+        for pair in pairs:
+            exact = lp_distance(left[pair.left], right[pair.right], 1.0)
+            if exact > 0:
+                assert abs(pair.distance - exact) / exact < 0.5
+
+
+class TestThresholdJoin:
+    def test_threshold_keeps_only_close_pairs(self):
+        left, right = two_sides(seed=3)
+        gen = SketchGenerator(p=1.0, k=128, seed=4)
+        pairs = sketch_similarity_join(left, right, gen, threshold=5.0)
+        assert len(pairs) == 3
+        assert all(pair.distance <= 5.0 for pair in pairs)
+
+    def test_huge_threshold_returns_everything(self):
+        left, right = two_sides(seed=4)
+        gen = SketchGenerator(p=1.0, k=32, seed=5)
+        pairs = sketch_similarity_join(left, right, gen, threshold=1e12)
+        assert len(pairs) == len(left) * len(right)
+
+    def test_blocking_equivalence(self):
+        left, right = two_sides(seed=5)
+        gen = SketchGenerator(p=1.0, k=64, seed=6)
+        small_blocks = sketch_similarity_join(
+            left, right, gen, threshold=1e12, block_size=2
+        )
+        one_block = sketch_similarity_join(
+            left, right, gen, threshold=1e12, block_size=1000
+        )
+        assert [(p.left, p.right) for p in small_blocks] == [
+            (p.left, p.right) for p in one_block
+        ]
+
+    def test_p2_path(self):
+        left, right = two_sides(seed=6)
+        gen = SketchGenerator(p=2.0, k=128, seed=7)
+        pairs = sketch_similarity_join(left, right, gen, n_pairs=3)
+        assert {(pair.left, pair.right) for pair in pairs} == {(1, 0), (2, 1), (0, 2)}
+
+
+class TestValidation:
+    def test_exactly_one_mode(self):
+        left, right = two_sides()
+        gen = SketchGenerator(p=1.0, k=8, seed=0)
+        with pytest.raises(ParameterError):
+            sketch_similarity_join(left, right, gen)
+        with pytest.raises(ParameterError):
+            sketch_similarity_join(left, right, gen, threshold=1.0, n_pairs=2)
+
+    def test_bad_values(self):
+        left, right = two_sides()
+        gen = SketchGenerator(p=1.0, k=8, seed=0)
+        with pytest.raises(ParameterError):
+            sketch_similarity_join(left, right, gen, threshold=-1.0)
+        with pytest.raises(ParameterError):
+            sketch_similarity_join(left, right, gen, n_pairs=0)
+        with pytest.raises(ParameterError):
+            sketch_similarity_join(left, right, gen, n_pairs=1, block_size=0)
+
+    def test_empty_side_rejected(self):
+        gen = SketchGenerator(p=1.0, k=8, seed=0)
+        with pytest.raises(ParameterError):
+            sketch_similarity_join([], [np.ones((2, 2))], gen, n_pairs=1)

@@ -1,0 +1,98 @@
+"""Tests for repro.mining.trends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SketchGenerator
+from repro.errors import ParameterError, ShapeError
+from repro.mining import relaxed_period, representative_trend, sliding_window_sketches
+
+
+def periodic_series(period=24, n_periods=12, noise=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    template = rng.normal(size=period) * 3.0
+    series = np.tile(template, n_periods) + rng.normal(size=period * n_periods) * noise
+    return series, template
+
+
+class TestSlidingWindowSketches:
+    def test_matches_direct_sketches(self):
+        series = np.random.default_rng(1).normal(size=50)
+        gen = SketchGenerator(p=1.0, k=16, seed=2)
+        matrix = sliding_window_sketches(series, 8, gen)
+        assert matrix.shape == (43, 16)
+        for i in (0, 7, 42):
+            expected = gen.sketch(series[i : i + 8])
+            np.testing.assert_allclose(matrix[i], expected.values, atol=1e-8)
+
+    def test_window_one(self):
+        series = np.arange(5.0)
+        gen = SketchGenerator(p=1.0, k=4, seed=0)
+        matrix = sliding_window_sketches(series, 1, gen)
+        assert matrix.shape == (5, 4)
+
+    def test_bad_window(self):
+        gen = SketchGenerator(p=1.0, k=4, seed=0)
+        with pytest.raises(ParameterError):
+            sliding_window_sketches(np.arange(5.0), 6, gen)
+        with pytest.raises(ParameterError):
+            sliding_window_sketches(np.arange(5.0), 0, gen)
+
+    def test_bad_series(self):
+        gen = SketchGenerator(p=1.0, k=4, seed=0)
+        with pytest.raises(ShapeError):
+            sliding_window_sketches(np.zeros((3, 3)), 2, gen)
+
+
+class TestRepresentativeTrend:
+    def test_finds_typical_block(self):
+        """11 near-identical blocks plus one wildly different one: the
+        representative must not be the anomaly."""
+        series, _ = periodic_series(period=24, n_periods=12, noise=0.05, seed=3)
+        series[5 * 24 : 6 * 24] += 40.0  # block 5 is anomalous
+        best, costs = representative_trend(series, block=24, p=1.0, k=128)
+        assert best != 5
+        assert costs[5] == max(costs)
+
+    def test_costs_shape(self):
+        series, _ = periodic_series(n_periods=6, seed=4)
+        _best, costs = representative_trend(series, block=24, k=32)
+        assert costs.shape == (6,)
+        assert np.all(costs >= 0)
+
+    def test_too_few_blocks(self):
+        with pytest.raises(ParameterError):
+            representative_trend(np.arange(30.0), block=20)
+
+
+class TestRelaxedPeriod:
+    def test_finds_planted_period(self):
+        series, _ = periodic_series(period=24, n_periods=12, noise=0.05, seed=5)
+        best, scores = relaxed_period(series, [12, 18, 24, 30], p=1.0, k=128)
+        assert best == 24
+        assert scores[24] < scores[18]
+        assert scores[24] < scores[30]
+
+    def test_multiple_of_period_also_scores_well(self):
+        """Consecutive double-period blocks repeat too; the score at 48
+        should be comparable to 24, far below a non-multiple."""
+        series, _ = periodic_series(period=24, n_periods=12, noise=0.05, seed=6)
+        _best, scores = relaxed_period(series, [24, 36, 48], k=128)
+        assert scores[48] < scores[36]
+
+    def test_white_noise_has_no_sharp_period(self):
+        rng = np.random.default_rng(7)
+        series = rng.normal(size=288)
+        _best, scores = relaxed_period(series, [12, 24, 48], k=128)
+        values = sorted(scores.values())
+        assert values[0] > 0.5 * values[-1]  # no deep dip anywhere
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            relaxed_period(np.arange(100.0), [])
+        with pytest.raises(ParameterError):
+            relaxed_period(np.arange(100.0), [0])
+        with pytest.raises(ParameterError):
+            relaxed_period(np.arange(10.0), [8])  # fewer than 2 blocks

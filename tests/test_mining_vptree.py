@@ -1,0 +1,126 @@
+"""Tests for repro.mining.vptree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ExactLpOracle, PrecomputedSketchOracle, SketchGenerator
+from repro.errors import ParameterError
+from repro.mining import VPTree, nearest_neighbors
+
+
+def random_tiles(n=40, shape=(4, 4), seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=shape) for _ in range(n)]
+
+
+class TestExactness:
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    def test_matches_brute_force(self, p):
+        tiles = random_tiles(seed=1)
+        oracle = ExactLpOracle(tiles, p=p)
+        tree = VPTree(oracle, leaf_size=4, seed=0)
+        for query in (0, 7, 25):
+            tree_hits = tree.nearest(query, 3)
+            brute_hits = nearest_neighbors(ExactLpOracle(tiles, p=p), query, 3)
+            assert [i for i, _ in tree_hits] == [i for i, _ in brute_hits]
+
+    def test_single_neighbor(self):
+        tiles = random_tiles(n=10, seed=2)
+        tiles[7] = tiles[3] + 0.001
+        oracle = ExactLpOracle(tiles, p=2.0)
+        tree = VPTree(oracle, leaf_size=2, seed=0)
+        assert tree.nearest(3, 1)[0][0] == 7
+
+    def test_results_sorted(self):
+        oracle = ExactLpOracle(random_tiles(seed=3), p=1.0)
+        tree = VPTree(oracle, seed=0)
+        hits = tree.nearest(0, 5)
+        distances = [d for _, d in hits]
+        assert distances == sorted(distances)
+
+    def test_tiny_collections(self):
+        oracle = ExactLpOracle(random_tiles(n=2, seed=4), p=1.0)
+        tree = VPTree(oracle)
+        assert tree.nearest(0, 1)[0][0] == 1
+
+    def test_duplicate_heavy_data(self):
+        """Many identical items force degenerate splits; the tree must
+        fall back to leaves and stay correct."""
+        tiles = [np.ones((2, 2))] * 12 + [np.zeros((2, 2))]
+        oracle = ExactLpOracle(tiles, p=1.0)
+        tree = VPTree(oracle, leaf_size=2, seed=0)
+        hits = tree.nearest(12, 1)
+        assert hits[0][1] > 0  # nearest to the zero tile is a ones tile
+
+
+class TestPruning:
+    def test_prunes_on_low_dimensional_data(self):
+        """Pruning pays off when distances have low intrinsic dimension
+        (high-dimensional Gaussian data concentrates distances and
+        defeats *any* metric tree — that is expected, not a bug)."""
+        rng = np.random.default_rng(5)
+        base = rng.normal(size=(4, 4))
+        direction = rng.normal(size=(4, 4))
+        tiles = [base + t * direction for t in np.sort(rng.uniform(0, 100, 400))]
+        oracle = ExactLpOracle(tiles, p=2.0)
+        tree = VPTree(oracle, leaf_size=8, seed=0)
+        oracle.stats.reset()
+        tree.nearest(200, 1)
+        # Brute force would need n-1 = 399 comparisons.
+        assert oracle.stats.comparisons < 200
+
+    def test_pruned_search_still_exact(self):
+        rng = np.random.default_rng(6)
+        base = rng.normal(size=(4, 4))
+        direction = rng.normal(size=(4, 4))
+        ts = rng.uniform(0, 100, 100)
+        tiles = [base + t * direction for t in ts]
+        oracle = ExactLpOracle(tiles, p=2.0)
+        tree = VPTree(oracle, leaf_size=4, seed=1)
+        for query in (0, 33, 99):
+            tree_hits = [i for i, _ in tree.nearest(query, 2)]
+            brute = [i for i, _ in nearest_neighbors(ExactLpOracle(tiles, p=2.0), query, 2)]
+            assert tree_hits == brute
+
+
+class TestSketchedOracles:
+    def test_high_recall_with_slack(self):
+        tiles = random_tiles(n=50, shape=(8, 8), seed=6)
+        gen = SketchGenerator(p=1.0, k=128, seed=1)
+        sketched = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+        tree = VPTree(sketched, leaf_size=4, slack=0.4, seed=0)
+        hit_count = 0
+        for query in range(10):
+            tree_top = {i for i, _ in tree.nearest(query, 3)}
+            scan_top = {i for i, _ in nearest_neighbors(sketched, query, 3)}
+            hit_count += len(tree_top & scan_top)
+        assert hit_count >= 24  # >= 80% recall against a full scan
+
+
+class TestValidation:
+    def test_fractional_p_rejected(self):
+        oracle = ExactLpOracle(random_tiles(n=5, seed=7), p=0.5)
+        with pytest.raises(ParameterError):
+            VPTree(oracle)
+
+    def test_fractional_p_opt_in(self):
+        oracle = ExactLpOracle(random_tiles(n=5, seed=7), p=0.5)
+        tree = VPTree(oracle, unsafe_fractional_p=True)
+        assert len(tree.nearest(0, 2)) == 2
+
+    def test_bad_parameters(self):
+        oracle = ExactLpOracle(random_tiles(n=5, seed=8), p=1.0)
+        with pytest.raises(ParameterError):
+            VPTree(oracle, leaf_size=0)
+        with pytest.raises(ParameterError):
+            VPTree(oracle, slack=-0.1)
+
+    def test_bad_queries(self):
+        oracle = ExactLpOracle(random_tiles(n=5, seed=9), p=1.0)
+        tree = VPTree(oracle)
+        with pytest.raises(ParameterError):
+            tree.nearest(9, 1)
+        with pytest.raises(ParameterError):
+            tree.nearest(0, 5)

@@ -1,0 +1,150 @@
+"""Tests for StitchedStore, estimate_stability_index, choose_k_by_silhouette."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import choose_k_by_silhouette
+from repro.core import ExactLpOracle, PrecomputedSketchOracle, SketchGenerator
+from repro.errors import ParameterError, StoreError
+from repro.stable import sample_symmetric_stable
+from repro.stable.theory import estimate_stability_index
+from repro.table import StitchedStore, TileSpec, write_table
+
+from tests.test_cluster_kmeans import blob_tiles
+
+
+class TestStitchedStore:
+    def write_days(self, tmp_path, day_cols=(10, 14, 6), rows=8, seed=0):
+        rng = np.random.default_rng(seed)
+        arrays = [rng.normal(size=(rows, cols)) for cols in day_cols]
+        paths = []
+        for index, values in enumerate(arrays):
+            path = tmp_path / f"day{index}.rtbl"
+            write_table(path, values, chunk_shape=(4, 4))
+            paths.append(path)
+        return paths, np.concatenate(arrays, axis=1)
+
+    def test_shape_and_read_all(self, tmp_path):
+        paths, combined = self.write_days(tmp_path)
+        with StitchedStore(paths) as store:
+            assert store.shape == combined.shape
+            np.testing.assert_array_equal(store.read_all(), combined)
+
+    def test_tile_across_file_boundary(self, tmp_path):
+        paths, combined = self.write_days(tmp_path)
+        with StitchedStore(paths) as store:
+            spec = TileSpec(1, 7, 5, 12)  # spans files 0, 1 and 2
+            np.testing.assert_array_equal(store.read_tile(spec), combined[spec.slices])
+
+    def test_tile_within_one_file(self, tmp_path):
+        paths, combined = self.write_days(tmp_path)
+        with StitchedStore(paths) as store:
+            spec = TileSpec(0, 11, 4, 3)  # fully inside file 1
+            np.testing.assert_array_equal(store.read_tile(spec), combined[spec.slices])
+
+    def test_single_file(self, tmp_path):
+        paths, combined = self.write_days(tmp_path, day_cols=(12,))
+        with StitchedStore(paths) as store:
+            np.testing.assert_array_equal(store.read_all(), combined)
+
+    def test_verify_propagates(self, tmp_path):
+        paths, _ = self.write_days(tmp_path)
+        data = bytearray(paths[1].read_bytes())
+        data[-3] ^= 0xFF
+        paths[1].write_bytes(bytes(data))
+        with StitchedStore(paths) as store:
+            with pytest.raises(StoreError):
+                store.verify()
+
+    def test_row_mismatch_rejected(self, tmp_path):
+        a = tmp_path / "a.rtbl"
+        b = tmp_path / "b.rtbl"
+        write_table(a, np.zeros((4, 4)))
+        write_table(b, np.zeros((5, 4)))
+        with pytest.raises(StoreError):
+            StitchedStore([a, b])
+
+    def test_dtype_mismatch_rejected(self, tmp_path):
+        a = tmp_path / "a.rtbl"
+        b = tmp_path / "b.rtbl"
+        write_table(a, np.zeros((4, 4), dtype=np.float64))
+        write_table(b, np.zeros((4, 4), dtype=np.float32))
+        with pytest.raises(StoreError):
+            StitchedStore([a, b])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParameterError):
+            StitchedStore([])
+
+    def test_out_of_bounds_tile(self, tmp_path):
+        paths, combined = self.write_days(tmp_path)
+        with StitchedStore(paths) as store:
+            with pytest.raises(Exception):
+                store.read_tile(TileSpec(0, 0, combined.shape[0] + 1, 2))
+
+    def test_chunks_touched_aggregates(self, tmp_path):
+        paths, _ = self.write_days(tmp_path)
+        with StitchedStore(paths) as store:
+            store.read_all()
+            assert store.chunks_touched > 0
+
+
+class TestStabilityIndexEstimator:
+    @pytest.mark.parametrize("alpha", [0.5, 1.0, 1.5, 2.0])
+    def test_recovers_alpha(self, alpha):
+        rng = np.random.default_rng(int(alpha * 100))
+        samples = sample_symmetric_stable(alpha, 200_000, rng)
+        estimate = estimate_stability_index(samples)
+        assert abs(estimate - alpha) < 0.1
+
+    def test_scale_invariant(self):
+        rng = np.random.default_rng(7)
+        samples = sample_symmetric_stable(1.2, 200_000, rng)
+        a = estimate_stability_index(samples)
+        b = estimate_stability_index(1000.0 * samples)
+        assert abs(a - b) < 0.05
+
+    def test_sketch_difference_entries_follow_p(self):
+        """The diagnostic use case: sketch-difference entries of a p=0.8
+        generator look 0.8-stable."""
+        p = 0.8
+        rng = np.random.default_rng(8)
+        x, y = rng.normal(size=(8, 8)), rng.normal(size=(8, 8))
+        entries = []
+        for seed in range(200):
+            gen = SketchGenerator(p=p, k=16, seed=seed)
+            entries.extend((gen.sketch(x).values - gen.sketch(y).values).tolist())
+        estimate = estimate_stability_index(np.asarray(entries))
+        assert abs(estimate - p) < 0.15
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            estimate_stability_index(np.ones(3))
+        with pytest.raises(ParameterError):
+            estimate_stability_index(np.zeros(100))
+
+
+class TestChooseK:
+    def test_picks_true_k_exact(self):
+        tiles, _ = blob_tiles(n_per=8, n_blobs=3, seed=20)
+        oracle = ExactLpOracle(tiles, p=2.0)
+        best, scores = choose_k_by_silhouette(oracle, [2, 3, 4, 6], seed=1)
+        assert best == 3
+        assert set(scores) == {2, 3, 4, 6}
+
+    def test_picks_true_k_sketched(self):
+        tiles, _ = blob_tiles(n_per=8, n_blobs=4, shape=(8, 8), seed=21)
+        gen = SketchGenerator(p=1.0, k=96, seed=0)
+        oracle = PrecomputedSketchOracle.from_sketches(gen.sketch_many(tiles))
+        best, _scores = choose_k_by_silhouette(oracle, [2, 4, 8], seed=1)
+        assert best == 4
+
+    def test_validation(self):
+        tiles, _ = blob_tiles(n_per=3, seed=22)
+        oracle = ExactLpOracle(tiles, p=2.0)
+        with pytest.raises(ParameterError):
+            choose_k_by_silhouette(oracle, [])
+        with pytest.raises(ParameterError):
+            choose_k_by_silhouette(oracle, [1, 3])

@@ -1,0 +1,177 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SketchGenerator, estimate_distance, lp_norm
+from repro.core.sketch import mean_sketch
+from repro.metrics import linear_sum_assignment
+from repro.stream import StreamingSketch
+
+
+def array_from_seed(seed, shape=(4, 4)):
+    return np.random.default_rng(seed).normal(size=shape)
+
+
+class TestLpNormProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        p_small=st.floats(min_value=0.2, max_value=1.9),
+        gap=st.floats(min_value=0.05, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_norm_nonincreasing_in_p(self, seed, p_small, gap):
+        """||x||_p >= ||x||_q whenever p <= q (power-mean inequality)."""
+        p_large = min(p_small + gap, 2.0)
+        x = array_from_seed(seed, shape=12)
+        assert lp_norm(x, p_small) >= lp_norm(x, p_large) - 1e-9
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_norm_zero_iff_zero_vector(self, seed):
+        x = array_from_seed(seed, shape=6)
+        assert lp_norm(x, 1.3) > 0
+        assert lp_norm(np.zeros(6), 1.3) == 0.0
+
+
+class TestSketchLinearity:
+    @given(
+        seed=st.integers(min_value=0, max_value=5_000),
+        a=st.floats(min_value=-5, max_value=5),
+        b=st.floats(min_value=-5, max_value=5),
+        p=st.sampled_from([0.5, 1.0, 1.5, 2.0]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_linear_combination(self, seed, a, b, p):
+        gen = SketchGenerator(p=p, k=8, seed=0)
+        x = array_from_seed(seed)
+        y = array_from_seed(seed + 1)
+        combined = gen.sketch(a * x + b * y)
+        manual = a * gen.sketch(x).values + b * gen.sketch(y).values
+        np.testing.assert_allclose(combined.values, manual, atol=1e-8)
+
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=5_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_mean_sketch_is_sketch_of_mean(self, n, seed):
+        gen = SketchGenerator(p=1.0, k=8, seed=1)
+        tiles = [array_from_seed(seed + i) for i in range(n)]
+        averaged = mean_sketch([gen.sketch(t) for t in tiles])
+        direct = gen.sketch(np.mean(tiles, axis=0))
+        np.testing.assert_allclose(averaged.values, direct.values, atol=1e-8)
+
+
+class TestEstimatorProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=5_000),
+        scale=st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scale_equivariance(self, seed, scale):
+        gen = SketchGenerator(p=0.8, k=16, seed=2)
+        x, y = array_from_seed(seed), array_from_seed(seed + 7)
+        base = estimate_distance(gen.sketch(x), gen.sketch(y))
+        scaled = estimate_distance(gen.sketch(scale * x), gen.sketch(scale * y))
+        assert scaled == pytest.approx(scale * base, rel=1e-9, abs=1e-12)
+
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, seed):
+        gen = SketchGenerator(p=1.0, k=16, seed=3)
+        x, y = array_from_seed(seed), array_from_seed(seed + 13)
+        sx, sy = gen.sketch(x), gen.sketch(y)
+        assert estimate_distance(sx, sy) == estimate_distance(sy, sx)
+
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=30, deadline=None)
+    def test_identity_of_indiscernibles_in_sketch_space(self, seed):
+        gen = SketchGenerator(p=1.0, k=16, seed=4)
+        x = array_from_seed(seed)
+        assert estimate_distance(gen.sketch(x), gen.sketch(x.copy())) == 0.0
+
+
+class TestStreamingProperties:
+    @given(
+        updates=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=3),
+                st.floats(min_value=-10, max_value=10, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        order_seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_invariance(self, updates, order_seed):
+        a = StreamingSketch(1.0, 8, (4, 4), seed=5)
+        for row, col, delta in updates:
+            a.update(row, col, delta)
+        shuffled = list(updates)
+        np.random.default_rng(order_seed).shuffle(shuffled)
+        b = StreamingSketch(1.0, 8, (4, 4), seed=5)
+        for row, col, delta in shuffled:
+            b.update(row, col, delta)
+        np.testing.assert_allclose(a.values, b.values, atol=1e-9)
+
+    @given(
+        updates=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),
+                st.integers(min_value=0, max_value=2),
+                st.floats(min_value=-5, max_value=5, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_sketch_matches_materialised_table(self, updates):
+        sketch = StreamingSketch(1.0, 8, (3, 3), seed=6)
+        table = np.zeros((3, 3))
+        for row, col, delta in updates:
+            sketch.update(row, col, delta)
+            table[row, col] += delta
+        reference = StreamingSketch.from_array(table, p=1.0, k=8, seed=6)
+        np.testing.assert_allclose(sketch.values, reference.values, atol=1e-9)
+
+
+class TestRealFftProperties:
+    @given(n=st.integers(min_value=1, max_value=128))
+    @settings(max_examples=40, deadline=None)
+    def test_rfft_matches_full_fft(self, n):
+        from repro.fourier import fft, rfft
+
+        x = np.random.default_rng(n).normal(size=n)
+        np.testing.assert_allclose(rfft(x), fft(x)[: n // 2 + 1], atol=1e-8)
+
+    @given(n=st.integers(min_value=1, max_value=128))
+    @settings(max_examples=40, deadline=None)
+    def test_irfft_round_trip(self, n):
+        from repro.fourier import irfft, rfft
+
+        x = np.random.default_rng(n + 7000).normal(size=n)
+        np.testing.assert_allclose(irfft(rfft(x), n), x, atol=1e-8)
+
+
+class TestAssignmentProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_never_worse_than_random_permutation(self, seed, n):
+        rng = np.random.default_rng(seed)
+        cost = rng.uniform(0, 10, size=(n, n))
+        rows, cols = linear_sum_assignment(cost)
+        optimal = cost[rows, cols].sum()
+        permutation = rng.permutation(n)
+        random_total = cost[np.arange(n), permutation].sum()
+        assert optimal <= random_total + 1e-9

@@ -1,0 +1,58 @@
+"""Tests for repro.stable.scale.sample_median_scale (the k-aware B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.stable import sample_symmetric_stable, stable_median_scale
+from repro.stable.scale import sample_median_scale
+
+
+class TestOddK:
+    @pytest.mark.parametrize("k", [1, 3, 63, 511])
+    def test_odd_k_equals_asymptotic_b(self, k):
+        """For odd k the middle order statistic is exactly
+        median-unbiased, so no correction applies."""
+        for p in (0.5, 1.0, 2.0):
+            assert sample_median_scale(p, k) == stable_median_scale(p)
+
+
+class TestEvenK:
+    def test_even_k_exceeds_b_for_heavy_tails(self):
+        """Averaging the two middle order statistics of a right-skewed
+        |stable| sample biases the sample median upward; the calibration
+        must sit above the asymptotic median for small p and small k."""
+        assert sample_median_scale(0.25, 16) > stable_median_scale(0.25)
+        assert sample_median_scale(0.5, 16) > stable_median_scale(0.5)
+
+    def test_bias_shrinks_with_k(self):
+        b = stable_median_scale(0.5)
+        small_k = sample_median_scale(0.5, 16) - b
+        large_k = sample_median_scale(0.5, 1024) - b
+        assert abs(large_k) < abs(small_k)
+
+    def test_deterministic(self):
+        assert sample_median_scale(0.7, 64) == sample_median_scale(0.7, 64)
+
+    def test_calibration_matches_fresh_simulation(self):
+        """Independent Monte Carlo of the same quantity agrees."""
+        p, k = 0.5, 32
+        rng = np.random.default_rng(321)
+        draws = np.abs(sample_symmetric_stable(p, (40_000, k), rng))
+        fresh = float(np.median(np.median(draws, axis=1)))
+        cached = sample_median_scale(p, k)
+        assert abs(fresh - cached) / cached < 0.02
+
+
+class TestValidation:
+    def test_bad_p(self):
+        with pytest.raises(ParameterError):
+            sample_median_scale(0.0, 8)
+        with pytest.raises(ParameterError):
+            sample_median_scale(2.5, 8)
+
+    def test_bad_k(self):
+        with pytest.raises(ParameterError):
+            sample_median_scale(1.0, 0)

@@ -1,0 +1,55 @@
+"""Tests for repro.stable.scale: the median scale factor B(p)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.stable import sample_symmetric_stable, stable_median_scale
+from repro.stable.scale import median_absolute_deviation_factor
+
+
+def test_b_of_one_is_exactly_one():
+    # Cauchy: median |X| = tan(pi/4) = 1.
+    assert stable_median_scale(1.0) == 1.0
+
+
+def test_b_of_two_closed_form():
+    # N(0, 2): median |X| = sqrt(2) * z_{0.75}.
+    expected = math.sqrt(2.0) * 0.6744897501960817
+    assert abs(stable_median_scale(2.0) - expected) < 1e-12
+
+
+@pytest.mark.parametrize("p", [0.25, 0.5, 0.8, 1.3, 1.7])
+def test_monte_carlo_b_matches_fresh_sample(p):
+    """B(p) from the cached MC run must match an independent estimate."""
+    rng = np.random.default_rng(987 + int(100 * p))
+    draws = sample_symmetric_stable(p, 1_000_000, rng)
+    fresh = float(np.median(np.abs(draws)))
+    cached = stable_median_scale(p)
+    assert abs(fresh - cached) / cached < 0.01
+
+
+def test_b_is_deterministic():
+    assert stable_median_scale(0.65) == stable_median_scale(0.65)
+
+
+def test_b_monotone_behaviour_near_known_points():
+    """B is continuous; sanity-check values bracket the p=1 anchor."""
+    b_09 = stable_median_scale(0.9)
+    b_11 = stable_median_scale(1.1)
+    assert 0.5 < b_09 < 1.5
+    assert 0.5 < b_11 < 1.5
+
+
+@pytest.mark.parametrize("bad", [0.0, -0.5, 2.1, 3.0])
+def test_out_of_domain_rejected(bad):
+    with pytest.raises(ParameterError):
+        stable_median_scale(bad)
+
+
+def test_alias():
+    assert median_absolute_deviation_factor(1.0) == stable_median_scale(1.0)

@@ -1,0 +1,102 @@
+"""Tests for repro.stable.theory: numeric SaS density/CDF/quantile."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.stable.scale import stable_median_scale
+from repro.stable.theory import sas_cdf, sas_pdf, sas_quantile
+
+
+def normal_cdf(x, sigma):
+    return 0.5 * (1.0 + math.erf(x / (sigma * math.sqrt(2.0))))
+
+
+class TestClosedFormAnchors:
+    """alpha = 1 (Cauchy) and alpha = 2 (N(0, 2)) have exact formulas."""
+
+    @pytest.mark.parametrize("x", [-3.0, -1.0, -0.2, 0.5, 2.0, 8.0])
+    def test_cauchy_cdf(self, x):
+        expected = 0.5 + math.atan(x) / math.pi
+        assert sas_cdf(x, 1.0) == pytest.approx(expected, abs=1e-6)
+
+    @pytest.mark.parametrize("x", [-2.0, 0.0, 0.7, 3.0])
+    def test_gaussian_cdf(self, x):
+        expected = normal_cdf(x, math.sqrt(2.0))
+        assert sas_cdf(x, 2.0) == pytest.approx(expected, abs=1e-6)
+
+    @pytest.mark.parametrize("x", [-1.5, 0.0, 0.5, 2.5])
+    def test_cauchy_pdf(self, x):
+        expected = 1.0 / (math.pi * (1.0 + x * x))
+        assert sas_pdf(x, 1.0) == pytest.approx(expected, abs=1e-6)
+
+    @pytest.mark.parametrize("x", [-1.0, 0.0, 1.3])
+    def test_gaussian_pdf(self, x):
+        sigma2 = 2.0
+        expected = math.exp(-x * x / (2 * sigma2)) / math.sqrt(2 * math.pi * sigma2)
+        assert sas_pdf(x, 2.0) == pytest.approx(expected, abs=1e-6)
+
+
+class TestGeneralProperties:
+    @pytest.mark.parametrize("alpha", [0.5, 0.8, 1.3, 1.7])
+    def test_cdf_monotone(self, alpha):
+        xs = [-5.0, -1.0, 0.0, 0.5, 2.0, 10.0]
+        values = [sas_cdf(x, alpha) for x in xs]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    @pytest.mark.parametrize("alpha", [0.5, 1.0, 1.5, 2.0])
+    def test_symmetry(self, alpha):
+        for x in (0.3, 1.0, 4.0):
+            assert sas_cdf(-x, alpha) == pytest.approx(1.0 - sas_cdf(x, alpha), abs=1e-6)
+
+    def test_cdf_at_zero_is_half(self):
+        assert sas_cdf(0.0, 0.7) == 0.5
+
+    @pytest.mark.parametrize("alpha", [0.5, 1.0, 1.5])
+    def test_pdf_is_cdf_derivative(self, alpha):
+        x, h = 0.8, 1e-4
+        numeric = (sas_cdf(x + h, alpha) - sas_cdf(x - h, alpha)) / (2 * h)
+        assert sas_pdf(x, alpha) == pytest.approx(numeric, rel=1e-3)
+
+    def test_heavier_tail_for_smaller_alpha(self):
+        # P(X > 5) grows as alpha shrinks.
+        assert (1 - sas_cdf(5.0, 0.5)) > (1 - sas_cdf(5.0, 1.0)) > (1 - sas_cdf(5.0, 2.0))
+
+
+class TestQuantile:
+    def test_median_is_zero(self):
+        assert sas_quantile(0.5, 1.2) == 0.0
+
+    def test_cauchy_quartile(self):
+        assert sas_quantile(0.75, 1.0) == pytest.approx(1.0, abs=1e-4)
+
+    def test_round_trip(self):
+        for alpha, q in [(0.8, 0.9), (1.5, 0.25), (2.0, 0.75)]:
+            x = sas_quantile(q, alpha)
+            assert sas_cdf(x, alpha) == pytest.approx(q, abs=1e-5)
+
+    @pytest.mark.parametrize("p", [0.5, 0.8, 1.0, 1.5, 2.0])
+    def test_agrees_with_monte_carlo_b_of_p(self, p):
+        """The 0.75 quantile from Fourier inversion must match the Monte
+        Carlo B(p) — two fully independent computations."""
+        analytic = sas_quantile(0.75, p)
+        monte_carlo = stable_median_scale(p)
+        assert abs(analytic - monte_carlo) / monte_carlo < 0.01
+
+
+class TestValidation:
+    def test_bad_alpha(self):
+        with pytest.raises(ParameterError):
+            sas_cdf(1.0, 0.0)
+        with pytest.raises(ParameterError):
+            sas_pdf(1.0, 2.5)
+
+    def test_bad_q(self):
+        with pytest.raises(ParameterError):
+            sas_quantile(0.0, 1.0)
+        with pytest.raises(ParameterError):
+            sas_quantile(1.0, 1.0)

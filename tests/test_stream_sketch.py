@@ -1,0 +1,191 @@
+"""Tests for repro.stream: turnstile sketch maintenance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import lp_distance, lp_norm
+from repro.errors import IncompatibleSketchError, ParameterError, ShapeError
+from repro.stream import StreamingSketch
+
+
+def make(p=1.0, k=64, shape=(8, 8), seed=0):
+    return StreamingSketch(p, k, shape, seed=seed)
+
+
+class TestConstruction:
+    def test_bad_p(self):
+        with pytest.raises(ParameterError):
+            StreamingSketch(0.0, 4, (2, 2))
+        with pytest.raises(ParameterError):
+            StreamingSketch(2.5, 4, (2, 2))
+
+    def test_bad_k(self):
+        with pytest.raises(ParameterError):
+            StreamingSketch(1.0, 0, (2, 2))
+
+    def test_bad_shape(self):
+        with pytest.raises(ShapeError):
+            StreamingSketch(1.0, 4, (0, 2))
+
+    def test_fresh_sketch_is_zero(self):
+        sketch = make()
+        np.testing.assert_array_equal(sketch.values, np.zeros(64))
+        assert sketch.estimate_norm() == 0.0
+
+
+class TestUpdateSemantics:
+    def test_update_out_of_bounds(self):
+        with pytest.raises(ParameterError):
+            make(shape=(4, 4)).update(4, 0, 1.0)
+        with pytest.raises(ParameterError):
+            make(shape=(4, 4)).update(0, -1, 1.0)
+
+    def test_order_independent(self):
+        updates = [(0, 0, 1.0), (1, 2, -3.0), (3, 3, 0.5), (0, 0, 2.0)]
+        a = make()
+        b = make()
+        for row, col, delta in updates:
+            a.update(row, col, delta)
+        for row, col, delta in reversed(updates):
+            b.update(row, col, delta)
+        np.testing.assert_allclose(a.values, b.values, atol=1e-12)
+
+    def test_increment_then_decrement_cancels(self):
+        sketch = make()
+        sketch.update(2, 3, 5.0)
+        sketch.update(2, 3, -5.0)
+        np.testing.assert_allclose(sketch.values, np.zeros(64), atol=1e-12)
+
+    def test_split_update_equals_single(self):
+        a = make()
+        a.update(1, 1, 7.0)
+        b = make()
+        b.update(1, 1, 3.0)
+        b.update(1, 1, 4.0)
+        np.testing.assert_allclose(a.values, b.values, atol=1e-12)
+
+    def test_update_many_equals_loop(self):
+        a = make()
+        a.update_many([0, 1, 2], [3, 2, 1], [1.0, 2.0, 3.0])
+        b = make()
+        for row, col, delta in [(0, 3, 1.0), (1, 2, 2.0), (2, 1, 3.0)]:
+            b.update(row, col, delta)
+        np.testing.assert_allclose(a.values, b.values, atol=1e-12)
+
+    def test_update_many_validation(self):
+        with pytest.raises(ParameterError):
+            make().update_many([0, 1], [0], [1.0, 2.0])
+
+    def test_updates_counted(self):
+        sketch = make()
+        sketch.update_many([0, 1], [0, 1], [1.0, 1.0])
+        assert sketch.updates_processed == 2
+
+    def test_deterministic_across_instances(self):
+        a = make(seed=5)
+        b = make(seed=5)
+        a.update(3, 4, 2.0)
+        b.update(3, 4, 2.0)
+        np.testing.assert_array_equal(a.values, b.values)
+
+
+class TestFromArray:
+    def test_equals_update_path(self):
+        rng = np.random.default_rng(1)
+        array = rng.normal(size=(6, 6))
+        bulk = StreamingSketch.from_array(array, p=1.0, k=32, seed=2)
+        manual = StreamingSketch(1.0, 32, (6, 6), seed=2)
+        for row in range(6):
+            for col in range(6):
+                manual.update(row, col, array[row, col])
+        np.testing.assert_allclose(bulk.values, manual.values, atol=1e-9)
+
+    def test_zero_cells_skipped(self):
+        array = np.zeros((4, 4))
+        array[1, 1] = 3.0
+        sketch = StreamingSketch.from_array(array, p=1.0, k=16)
+        assert sketch.updates_processed == 1
+
+    def test_bad_array(self):
+        with pytest.raises(ShapeError):
+            StreamingSketch.from_array(np.zeros(4), p=1.0, k=4)
+
+
+class TestEstimation:
+    @pytest.mark.parametrize("p", [0.5, 1.0, 2.0])
+    def test_norm_estimate_tracks_lp_norm(self, p):
+        rng = np.random.default_rng(3)
+        array = rng.normal(size=(8, 8))
+        sketch = StreamingSketch.from_array(array, p=p, k=512, seed=4)
+        exact = lp_norm(array, p)
+        assert abs(sketch.estimate_norm() - exact) / exact < 0.3
+
+    @pytest.mark.parametrize("p", [0.5, 1.0, 2.0])
+    def test_distance_estimate_tracks_lp_distance(self, p):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(8, 8))
+        y = x + rng.normal(size=(8, 8)) * 0.5
+        a = StreamingSketch.from_array(x, p=p, k=512, seed=6)
+        b = StreamingSketch.from_array(y, p=p, k=512, seed=6)
+        exact = lp_distance(x, y, p)
+        assert abs(a.estimate_distance(b) - exact) / exact < 0.3
+
+    def test_distance_to_self_zero(self):
+        array = np.random.default_rng(7).normal(size=(4, 4))
+        a = StreamingSketch.from_array(array, p=1.0, k=32, seed=8)
+        b = StreamingSketch.from_array(array, p=1.0, k=32, seed=8)
+        assert a.estimate_distance(b) == 0.0
+
+
+class TestMergeability:
+    def test_merged_equals_combined_stream(self):
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=(6, 6))
+        y = rng.normal(size=(6, 6))
+        a = StreamingSketch.from_array(x, p=1.0, k=64, seed=10)
+        b = StreamingSketch.from_array(y, p=1.0, k=64, seed=10)
+        combined = StreamingSketch.from_array(x + y, p=1.0, k=64, seed=10)
+        np.testing.assert_allclose(a.merged(b).values, combined.values, atol=1e-9)
+
+    def test_merged_counts_updates(self):
+        a = make()
+        b = make()
+        a.update(0, 0, 1.0)
+        b.update(1, 1, 1.0)
+        assert a.merged(b).updates_processed == 2
+
+    def test_incompatible_rejected(self):
+        a = make(seed=0)
+        b = make(seed=1)
+        with pytest.raises(IncompatibleSketchError):
+            a.estimate_distance(b)
+        with pytest.raises(IncompatibleSketchError):
+            a.merged(b)
+
+    def test_shape_mismatch_rejected(self):
+        a = make(shape=(4, 4))
+        b = make(shape=(4, 5))
+        with pytest.raises(IncompatibleSketchError):
+            a.estimate_distance(b)
+
+    def test_different_k_rejected(self):
+        a = StreamingSketch(1.0, 16, (4, 4))
+        b = StreamingSketch(1.0, 32, (4, 4))
+        with pytest.raises(IncompatibleSketchError):
+            a.estimate_distance(b)
+
+
+class TestDistributedScenario:
+    def test_two_collectors_one_sketch(self):
+        """Two collection sites each see part of the traffic; merging
+        their sketches equals sketching the total table."""
+        rng = np.random.default_rng(11)
+        total = rng.poisson(10.0, size=(8, 8)).astype(float)
+        site_a = np.where(rng.random((8, 8)) < 0.5, total, 0.0)
+        site_b = total - site_a
+        a = StreamingSketch.from_array(site_a, p=1.0, k=128, seed=12)
+        b = StreamingSketch.from_array(site_b, p=1.0, k=128, seed=12)
+        direct = StreamingSketch.from_array(total, p=1.0, k=128, seed=12)
+        np.testing.assert_allclose(a.merged(b).values, direct.values, atol=1e-9)

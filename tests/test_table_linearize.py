@@ -1,0 +1,109 @@
+"""Tests for repro.table.linearize: space-filling curve orderings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.table.linearize import (
+    hilbert_order,
+    locality_score,
+    morton_order,
+    snake_order,
+)
+
+
+def grid_points(side=16):
+    xs, ys = np.meshgrid(np.arange(side), np.arange(side))
+    return np.stack([xs.ravel(), ys.ravel()], axis=1).astype(float)
+
+
+class TestMorton:
+    def test_is_permutation(self):
+        points = grid_points(8)
+        order = morton_order(points)
+        assert sorted(order.tolist()) == list(range(len(points)))
+
+    def test_small_grid_known_sequence(self):
+        # 2x2 grid: Z-order visits (0,0), (0,1), (1,0), (1,1) by
+        # interleaved code (x bit low, y bit high).
+        points = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        order = morton_order(points, bits=1)
+        np.testing.assert_array_equal(order, [0, 1, 2, 3])
+
+    def test_beats_random_order_on_locality(self):
+        points = grid_points(16)
+        rng = np.random.default_rng(0)
+        random_order = rng.permutation(len(points))
+        assert locality_score(points, morton_order(points)) < locality_score(
+            points, random_order
+        )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            morton_order(np.zeros((0, 2)))
+        with pytest.raises(ParameterError):
+            morton_order(np.zeros((4, 3)))
+        with pytest.raises(ParameterError):
+            morton_order(grid_points(2), bits=0)
+
+
+class TestHilbert:
+    def test_is_permutation(self):
+        points = grid_points(8)
+        order = hilbert_order(points)
+        assert sorted(order.tolist()) == list(range(len(points)))
+
+    def test_consecutive_cells_adjacent_on_exact_grid(self):
+        """The defining Hilbert property: each step moves one cell."""
+        side = 8
+        points = grid_points(side)
+        order = hilbert_order(points, bits=3)  # exact 8x8 grid
+        walked = points[order]
+        steps = np.abs(np.diff(walked, axis=0)).sum(axis=1)
+        np.testing.assert_array_equal(steps, np.ones(len(points) - 1))
+
+    def test_at_least_as_local_as_morton(self):
+        points = grid_points(16)
+        hilbert = locality_score(points, hilbert_order(points, bits=4))
+        morton = locality_score(points, morton_order(points, bits=4))
+        assert hilbert <= morton
+
+    def test_degenerate_identical_points(self):
+        points = np.ones((5, 2))
+        order = hilbert_order(points)
+        assert sorted(order.tolist()) == list(range(5))
+
+
+class TestSnake:
+    def test_is_permutation(self):
+        order = snake_order(4, 5)
+        assert sorted(order.tolist()) == list(range(20))
+
+    def test_boustrophedon(self):
+        order = snake_order(2, 3)
+        np.testing.assert_array_equal(order, [0, 1, 2, 5, 4, 3])
+
+    def test_consecutive_are_grid_neighbours(self):
+        rows, cols = 5, 7
+        order = snake_order(rows, cols)
+        coords = np.stack(np.divmod(order, cols), axis=1)
+        steps = np.abs(np.diff(coords, axis=0)).sum(axis=1)
+        np.testing.assert_array_equal(steps, np.ones(rows * cols - 1))
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            snake_order(0, 3)
+
+
+class TestLocalityScore:
+    def test_zero_for_single_point(self):
+        assert locality_score(np.zeros((1, 2)), [0]) == 0.0
+
+    def test_rejects_non_permutation(self):
+        points = grid_points(2)
+        with pytest.raises(ParameterError):
+            locality_score(points, [0, 0, 1, 2])
+        with pytest.raises(ParameterError):
+            locality_score(points, [0, 1])

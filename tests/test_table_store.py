@@ -1,0 +1,182 @@
+"""Tests for repro.table.store: the chunked flat-file store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError, StoreError
+from repro.table import TableStore, TileSpec, read_table, write_table
+
+
+def random_table(shape, seed=0, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=shape).astype(dtype)
+
+
+@pytest.fixture(scope="module")
+def shared_store(tmp_path_factory):
+    """A store written once and reused by the hypothesis property test."""
+    path = tmp_path_factory.mktemp("store") / "prop.rtbl"
+    values = random_table((39, 39), seed=9)
+    write_table(path, values, chunk_shape=(7, 11))
+    with TableStore(path) as store:
+        yield store, values
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, tmp_path):
+        path = tmp_path / "t.rtbl"
+        values = random_table((37, 53), seed=1)
+        write_table(path, values, chunk_shape=(8, 8))
+        np.testing.assert_array_equal(read_table(path), values)
+
+    def test_exact_chunk_multiple(self, tmp_path):
+        path = tmp_path / "t.rtbl"
+        values = random_table((16, 32), seed=2)
+        write_table(path, values, chunk_shape=(8, 16))
+        np.testing.assert_array_equal(read_table(path), values)
+
+    def test_single_chunk(self, tmp_path):
+        path = tmp_path / "t.rtbl"
+        values = random_table((5, 5), seed=3)
+        write_table(path, values, chunk_shape=(64, 64))
+        np.testing.assert_array_equal(read_table(path), values)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int32, np.int64])
+    def test_dtypes_preserved(self, tmp_path, dtype):
+        path = tmp_path / "t.rtbl"
+        values = (random_table((10, 10), seed=4) * 100).astype(dtype)
+        write_table(path, values)
+        with TableStore(path) as store:
+            assert store.dtype == np.dtype(dtype)
+            np.testing.assert_array_equal(store.read_all(), values)
+
+
+class TestTileReads:
+    def test_tile_spanning_chunks(self, tmp_path):
+        path = tmp_path / "t.rtbl"
+        values = random_table((40, 40), seed=5)
+        write_table(path, values, chunk_shape=(16, 16))
+        with TableStore(path) as store:
+            spec = TileSpec(10, 12, 20, 20)
+            np.testing.assert_array_equal(store.read_tile(spec), values[spec.slices])
+
+    def test_tile_within_one_chunk(self, tmp_path):
+        path = tmp_path / "t.rtbl"
+        values = random_table((32, 32), seed=6)
+        write_table(path, values, chunk_shape=(16, 16))
+        with TableStore(path) as store:
+            store.chunks_touched = 0
+            spec = TileSpec(1, 1, 4, 4)
+            np.testing.assert_array_equal(store.read_tile(spec), values[spec.slices])
+            assert store.chunks_touched == 1
+
+    def test_chunks_touched_counts(self, tmp_path):
+        path = tmp_path / "t.rtbl"
+        values = random_table((32, 32), seed=7)
+        write_table(path, values, chunk_shape=(16, 16))
+        with TableStore(path) as store:
+            store.chunks_touched = 0
+            store.read_tile(TileSpec(8, 8, 16, 16))  # straddles all 4 chunks
+            assert store.chunks_touched == 4
+
+    def test_out_of_bounds_tile(self, tmp_path):
+        path = tmp_path / "t.rtbl"
+        write_table(path, random_table((8, 8), seed=8))
+        with TableStore(path) as store:
+            with pytest.raises(Exception):
+                store.read_tile(TileSpec(5, 5, 8, 8))
+
+    @given(
+        row=st.integers(min_value=0, max_value=25),
+        col=st.integers(min_value=0, max_value=25),
+        height=st.integers(min_value=1, max_value=14),
+        width=st.integers(min_value=1, max_value=14),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_tiles_match_memory(self, shared_store, row, col, height, width):
+        store, values = shared_store
+        spec = TileSpec(row, col, height, width)
+        if not spec.fits_in((39, 39)):
+            return
+        np.testing.assert_array_equal(store.read_tile(spec), values[spec.slices])
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(StoreError):
+            TableStore(tmp_path / "nope.rtbl")
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.rtbl"
+        path.write_bytes(b"NOTATABLE" + b"\0" * 100)
+        with pytest.raises(StoreError):
+            TableStore(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "t.rtbl"
+        write_table(path, random_table((20, 20), seed=10))
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])
+        with pytest.raises(StoreError):
+            TableStore(path)
+
+    def test_tiny_file(self, tmp_path):
+        path = tmp_path / "tiny.rtbl"
+        path.write_bytes(b"xx")
+        with pytest.raises(StoreError):
+            TableStore(path)
+
+    def test_closed_store_rejects_reads(self, tmp_path):
+        path = tmp_path / "t.rtbl"
+        write_table(path, random_table((4, 4), seed=11))
+        store = TableStore(path)
+        store.close()
+        with pytest.raises(StoreError):
+            store.read_all()
+
+    def test_write_rejects_bad_input(self, tmp_path):
+        with pytest.raises(ParameterError):
+            write_table(tmp_path / "x", np.zeros(5))
+        with pytest.raises(ParameterError):
+            write_table(tmp_path / "x", np.zeros((2, 2)), chunk_shape=(0, 4))
+
+
+class TestChecksum:
+    def test_clean_file_verifies(self, tmp_path):
+        path = tmp_path / "t.rtbl"
+        write_table(path, random_table((20, 20), seed=20))
+        with TableStore(path) as store:
+            store.verify()  # must not raise
+
+    def test_flipped_payload_byte_detected(self, tmp_path):
+        path = tmp_path / "t.rtbl"
+        write_table(path, random_table((20, 20), seed=21))
+        data = bytearray(path.read_bytes())
+        data[-5] ^= 0xFF  # corrupt a byte deep inside the payload
+        path.write_bytes(bytes(data))
+        with TableStore(path) as store:
+            with pytest.raises(StoreError, match="checksum"):
+                store.verify()
+
+    @pytest.mark.parametrize("offset_from_end", [1, 100, 500])
+    def test_corruption_anywhere_detected(self, tmp_path, offset_from_end):
+        path = tmp_path / "t.rtbl"
+        write_table(path, random_table((16, 16), seed=22), chunk_shape=(8, 8))
+        data = bytearray(path.read_bytes())
+        data[-offset_from_end] ^= 0x01
+        path.write_bytes(bytes(data))
+        with TableStore(path) as store:
+            with pytest.raises(StoreError):
+                store.verify()
+
+    def test_verify_on_closed_store(self, tmp_path):
+        path = tmp_path / "t.rtbl"
+        write_table(path, random_table((4, 4), seed=23))
+        store = TableStore(path)
+        store.close()
+        with pytest.raises(StoreError):
+            store.verify()

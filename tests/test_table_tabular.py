@@ -1,0 +1,89 @@
+"""Tests for repro.table.tabular: the TabularData container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, ShapeError
+from repro.table import TabularData, TileSpec
+
+
+def make_table(shape=(6, 8), seed=0):
+    return TabularData(np.random.default_rng(seed).normal(size=shape))
+
+
+class TestConstruction:
+    def test_values_copied_to_float64(self):
+        table = TabularData([[1, 2], [3, 4]])
+        assert table.values.dtype == np.float64
+        assert table.shape == (2, 2)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ShapeError):
+            TabularData([1, 2, 3])
+        with pytest.raises(ShapeError):
+            TabularData(np.zeros((2, 2, 2)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            TabularData(np.zeros((0, 5)))
+
+    def test_label_length_checked(self):
+        with pytest.raises(ParameterError):
+            TabularData(np.zeros((2, 2)), row_labels=["a"])
+        with pytest.raises(ParameterError):
+            TabularData(np.zeros((2, 2)), col_labels=["a", "b", "c"])
+
+    def test_labels_stored(self):
+        table = TabularData(np.zeros((2, 3)), row_labels=["r0", "r1"])
+        assert table.row_labels == ["r0", "r1"]
+        assert table.col_labels is None
+
+    def test_nbytes(self):
+        assert make_table((4, 4)).nbytes == 4 * 4 * 8
+
+
+class TestTiles:
+    def test_tile_matches_slice(self):
+        table = make_table()
+        spec = TileSpec(1, 2, 3, 4)
+        np.testing.assert_array_equal(table.tile(spec), table.values[1:4, 2:6])
+
+    def test_tile_out_of_bounds(self):
+        with pytest.raises(ShapeError):
+            make_table((4, 4)).tile(TileSpec(2, 2, 3, 3))
+
+    def test_grid(self):
+        grid = make_table((6, 8)).grid((3, 4))
+        assert len(grid) == 4
+
+
+class TestTransformations:
+    def test_scaled(self):
+        table = make_table()
+        np.testing.assert_allclose(table.scaled(2.5).values, table.values * 2.5)
+
+    def test_dilated(self):
+        table = make_table()
+        np.testing.assert_allclose(table.dilated(-1.0).values, table.values - 1.0)
+
+    def test_stitched_shapes(self):
+        a = make_table((5, 4), seed=1)
+        b = make_table((5, 6), seed=2)
+        stitched = a.stitched(b)
+        assert stitched.shape == (5, 10)
+        np.testing.assert_array_equal(stitched.values[:, :4], a.values)
+        np.testing.assert_array_equal(stitched.values[:, 4:], b.values)
+
+    def test_stitched_row_mismatch(self):
+        with pytest.raises(ShapeError):
+            make_table((5, 4)).stitched(make_table((6, 4)))
+
+    def test_stitched_labels(self):
+        a = TabularData(np.zeros((2, 1)), col_labels=["t0"])
+        b = TabularData(np.zeros((2, 2)), col_labels=["t1", "t2"])
+        assert a.stitched(b).col_labels == ["t0", "t1", "t2"]
+
+    def test_repr(self):
+        assert "TabularData" in repr(make_table())

@@ -1,0 +1,138 @@
+"""Tests for repro.table.tiles: TileSpec and TileGrid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError, ShapeError
+from repro.table import TileGrid, TileSpec
+
+
+class TestTileSpec:
+    def test_basic_properties(self):
+        spec = TileSpec(2, 3, 4, 5)
+        assert spec.shape == (4, 5)
+        assert spec.size == 20
+        assert spec.end_row == 6
+        assert spec.end_col == 8
+
+    def test_slices_select_expected_region(self):
+        arr = np.arange(100).reshape(10, 10)
+        spec = TileSpec(1, 2, 3, 4)
+        np.testing.assert_array_equal(arr[spec.slices], arr[1:4, 2:6])
+
+    def test_fits_in(self):
+        assert TileSpec(0, 0, 5, 5).fits_in((5, 5))
+        assert not TileSpec(1, 0, 5, 5).fits_in((5, 5))
+        assert not TileSpec(0, 1, 5, 5).fits_in((5, 5))
+
+    def test_require_fits_raises(self):
+        with pytest.raises(ShapeError):
+            TileSpec(0, 0, 6, 5).require_fits((5, 5))
+
+    def test_negative_anchor_rejected(self):
+        with pytest.raises(ParameterError):
+            TileSpec(-1, 0, 2, 2)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ParameterError):
+            TileSpec(0, 0, 0, 2)
+        with pytest.raises(ParameterError):
+            TileSpec(0, 0, 2, 0)
+
+    def test_shifted(self):
+        spec = TileSpec(1, 1, 2, 2).shifted(3, 4)
+        assert (spec.row, spec.col) == (4, 5)
+        assert spec.shape == (2, 2)
+
+    def test_frozen_and_hashable(self):
+        spec = TileSpec(0, 0, 1, 1)
+        assert spec in {spec}
+        with pytest.raises(AttributeError):
+            spec.row = 5
+
+
+class TestTileGrid:
+    def test_exact_tiling(self):
+        grid = TileGrid((12, 8), (4, 2))
+        assert grid.rows == 3
+        assert grid.cols == 4
+        assert len(grid) == 12
+
+    def test_ragged_margin_ignored(self):
+        grid = TileGrid((13, 9), (4, 2))
+        assert grid.rows == 3
+        assert grid.cols == 4
+
+    def test_indexing_row_major(self):
+        grid = TileGrid((8, 8), (4, 4))
+        assert grid[0] == TileSpec(0, 0, 4, 4)
+        assert grid[1] == TileSpec(0, 4, 4, 4)
+        assert grid[2] == TileSpec(4, 0, 4, 4)
+        assert grid[3] == TileSpec(4, 4, 4, 4)
+
+    def test_negative_index(self):
+        grid = TileGrid((8, 8), (4, 4))
+        assert grid[-1] == grid[3]
+
+    def test_out_of_range(self):
+        grid = TileGrid((8, 8), (4, 4))
+        with pytest.raises(IndexError):
+            grid[4]
+        with pytest.raises(IndexError):
+            grid[-5]
+
+    def test_iteration_covers_all_tiles(self):
+        grid = TileGrid((6, 6), (2, 3))
+        tiles = list(grid)
+        assert len(tiles) == len(grid)
+        covered = set()
+        for spec in tiles:
+            for r in range(spec.row, spec.end_row):
+                for c in range(spec.col, spec.end_col):
+                    assert (r, c) not in covered
+                    covered.add((r, c))
+        assert len(covered) == 36
+
+    def test_index_of_round_trip(self):
+        grid = TileGrid((10, 15), (2, 5))
+        for index in range(len(grid)):
+            assert grid.index_of(grid[index]) == index
+
+    def test_index_of_rejects_misaligned(self):
+        grid = TileGrid((10, 10), (5, 5))
+        with pytest.raises(ParameterError):
+            grid.index_of(TileSpec(1, 0, 5, 5))
+
+    def test_index_of_rejects_wrong_shape(self):
+        grid = TileGrid((10, 10), (5, 5))
+        with pytest.raises(ShapeError):
+            grid.index_of(TileSpec(0, 0, 2, 5))
+
+    def test_tile_larger_than_table_rejected(self):
+        with pytest.raises(ShapeError):
+            TileGrid((4, 4), (5, 4))
+
+    def test_grid_position(self):
+        grid = TileGrid((8, 12), (4, 4))
+        assert grid.grid_position(0) == (0, 0)
+        assert grid.grid_position(4) == (1, 1)
+        with pytest.raises(IndexError):
+            grid.grid_position(6)
+
+    @given(
+        table_h=st.integers(min_value=1, max_value=40),
+        table_w=st.integers(min_value=1, max_value=40),
+        tile_h=st.integers(min_value=1, max_value=40),
+        tile_w=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_all_grid_tiles_fit(self, table_h, table_w, tile_h, tile_w):
+        if tile_h > table_h or tile_w > table_w:
+            return
+        grid = TileGrid((table_h, table_w), (tile_h, tile_w))
+        for spec in grid:
+            assert spec.fits_in((table_h, table_w))

@@ -1,0 +1,162 @@
+"""Tests for the DFT/DCT/Haar dimensionality-reduction baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import lp_distance
+from repro.errors import ParameterError, ShapeError
+from repro.transforms import DctReducer, DftReducer, Haar2dReducer, HaarReducer
+
+
+def smooth_signal(n=64, seed=0):
+    """Low-frequency signal: what transform truncation is good at."""
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0, 2 * np.pi, n)
+    return (
+        rng.normal() * np.sin(t)
+        + rng.normal() * np.cos(2 * t)
+        + 0.05 * rng.normal(size=n)
+    )
+
+
+ALL_REDUCERS = [DftReducer, DctReducer, HaarReducer]
+
+
+class TestInterface:
+    @pytest.mark.parametrize("cls", ALL_REDUCERS)
+    def test_bad_coefficient_count(self, cls):
+        with pytest.raises(ParameterError):
+            cls(0)
+
+    @pytest.mark.parametrize("cls", ALL_REDUCERS)
+    def test_too_many_coefficients(self, cls):
+        with pytest.raises(ParameterError):
+            cls(100).transform(np.ones(8))
+
+    @pytest.mark.parametrize("cls", ALL_REDUCERS)
+    def test_empty_input(self, cls):
+        with pytest.raises(ShapeError):
+            cls(2).transform(np.array([]))
+
+    @pytest.mark.parametrize("cls", ALL_REDUCERS)
+    def test_feature_shape_mismatch(self, cls):
+        reducer = cls(4)
+        a = reducer.transform(np.ones(16))
+        with pytest.raises(ShapeError):
+            reducer.estimate_distance(a, a[:-1])
+
+    @pytest.mark.parametrize("cls", ALL_REDUCERS)
+    def test_matrix_input_flattened(self, cls):
+        reducer = cls(4)
+        data = np.arange(16.0)
+        np.testing.assert_allclose(
+            reducer.transform(data), reducer.transform(data.reshape(4, 4))
+        )
+
+
+class TestL2Estimation:
+    @pytest.mark.parametrize("cls", ALL_REDUCERS)
+    def test_lower_bound_property(self, cls):
+        rng = np.random.default_rng(1)
+        x, y = rng.normal(size=64), rng.normal(size=64)
+        exact = lp_distance(x, y, 2.0)
+        reducer = cls(8)
+        estimate = reducer.estimate_distance(reducer.transform(x), reducer.transform(y))
+        assert estimate <= exact + 1e-9
+
+    @pytest.mark.parametrize("cls", ALL_REDUCERS)
+    def test_accurate_on_smooth_signals(self, cls):
+        x = smooth_signal(seed=2)
+        y = smooth_signal(seed=3)
+        exact = lp_distance(x, y, 2.0)
+        reducer = cls(8)
+        estimate = reducer.estimate_distance(reducer.transform(x), reducer.transform(y))
+        assert estimate > 0.9 * exact  # low-frequency energy dominates
+
+    def test_dct_full_length_exact(self):
+        rng = np.random.default_rng(4)
+        x, y = rng.normal(size=32), rng.normal(size=32)
+        reducer = DctReducer(32)
+        estimate = reducer.estimate_distance(reducer.transform(x), reducer.transform(y))
+        assert estimate == pytest.approx(lp_distance(x, y, 2.0))
+
+    def test_haar_full_length_exact_on_pow2(self):
+        rng = np.random.default_rng(5)
+        x, y = rng.normal(size=32), rng.normal(size=32)
+        reducer = HaarReducer(32)
+        estimate = reducer.estimate_distance(reducer.transform(x), reducer.transform(y))
+        assert estimate == pytest.approx(lp_distance(x, y, 2.0))
+
+    def test_haar_pads_non_pow2(self):
+        x = np.ones(10)
+        features = HaarReducer(4).transform(x)
+        assert features.shape == (4,)
+
+
+class TestHaar2d:
+    def test_full_block_preserves_l2(self):
+        rng = np.random.default_rng(7)
+        x, y = rng.normal(size=(8, 8)), rng.normal(size=(8, 8))
+        reducer = Haar2dReducer(8)
+        estimate = reducer.estimate_distance(reducer.transform(x), reducer.transform(y))
+        assert estimate == pytest.approx(lp_distance(x, y, 2.0))
+
+    def test_truncation_lower_bound(self):
+        rng = np.random.default_rng(8)
+        x, y = rng.normal(size=(16, 16)), rng.normal(size=(16, 16))
+        reducer = Haar2dReducer(4)
+        estimate = reducer.estimate_distance(reducer.transform(x), reducer.transform(y))
+        assert estimate <= lp_distance(x, y, 2.0) + 1e-9
+
+    def test_feature_size(self):
+        assert Haar2dReducer(4).transform(np.ones((16, 16))).shape == (16,)
+
+    def test_accurate_on_blockwise_smooth_tables(self):
+        """2-D coarse coefficients capture region structure that the
+        flattened 1-D reduction scrambles."""
+        rng = np.random.default_rng(9)
+        x = np.kron(rng.normal(size=(4, 4)), np.ones((8, 8)))
+        y = np.kron(rng.normal(size=(4, 4)), np.ones((8, 8)))
+        x += 0.01 * rng.normal(size=x.shape)
+        y += 0.01 * rng.normal(size=y.shape)
+        exact = lp_distance(x, y, 2.0)
+        reducer = Haar2dReducer(4)  # 16 coefficients
+        estimate = reducer.estimate_distance(reducer.transform(x), reducer.transform(y))
+        assert estimate > 0.95 * exact
+
+    def test_non_pow2_padded(self):
+        features = Haar2dReducer(2).transform(np.ones((5, 9)))
+        assert features.shape == (4,)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Haar2dReducer(0)
+        with pytest.raises(ShapeError):
+            Haar2dReducer(2).transform(np.ones(8))
+        with pytest.raises(ParameterError):
+            Haar2dReducer(64).transform(np.ones((4, 4)))
+        reducer = Haar2dReducer(2)
+        a = reducer.transform(np.ones((4, 4)))
+        with pytest.raises(ShapeError):
+            reducer.estimate_distance(a, a[:-1])
+
+
+class TestWhyTransformsFailForOtherP:
+    """The paper's related-work claim, as an executable fact: transform
+    truncations track L2 but are systematically wrong for L1 on signals
+    with localised differences."""
+
+    @pytest.mark.parametrize("cls", ALL_REDUCERS)
+    def test_l1_estimation_is_poor_on_spiky_differences(self, cls):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=64)
+        y = x.copy()
+        y[::8] += 3.0  # sparse, spiky difference: wideband in frequency
+        exact_l1 = lp_distance(x, y, 1.0)
+        reducer = cls(8)
+        estimate = reducer.estimate_distance(reducer.transform(x), reducer.transform(y))
+        # Interpreted as an L1 estimate, the truncated-transform distance
+        # is off by a large factor, unlike stable sketches.
+        assert abs(estimate - exact_l1) / exact_l1 > 0.4
