@@ -25,6 +25,7 @@ from repro.core import (
     DistanceStats,
     ExactLpOracle,
     OnDemandSketchOracle,
+    PipelineStats,
     PrecomputedSketchOracle,
     Sketch,
     SketchGenerator,
@@ -35,6 +36,7 @@ from repro.core import (
     sketch_all_positions,
     sketch_grid,
 )
+from repro.fourier import SpectrumCache
 from repro.core.invariance import AugmentedSketch, InvariantSketcher, estimate_norm
 from repro.core.io import (
     load_pool,
@@ -75,6 +77,8 @@ __all__ = [
     "lp_distance",
     "sketch_all_positions",
     "sketch_grid",
+    "PipelineStats",
+    "SpectrumCache",
     "DistanceStats",
     "ExactLpOracle",
     "PrecomputedSketchOracle",

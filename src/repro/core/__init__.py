@@ -32,7 +32,7 @@ from repro.core.distance import (
 from repro.core.estimators import estimate_distance, estimate_distance_values
 from repro.core.generator import SketchGenerator
 from repro.core.norms import lp_distance, lp_norm
-from repro.core.pipeline import sketch_all_positions, sketch_grid
+from repro.core.pipeline import PipelineStats, sketch_all_positions, sketch_grid
 from repro.core.pool import SketchPool
 from repro.core.sketch import Sketch
 
@@ -46,6 +46,7 @@ __all__ = [
     "sketch_all_positions",
     "sketch_grid",
     "SketchPool",
+    "PipelineStats",
     "DistanceStats",
     "ExactLpOracle",
     "PrecomputedSketchOracle",

@@ -317,6 +317,24 @@ class OnDemandSketchOracle(PrecomputedSketchOracle):
         self._generator = generator
         self._built = np.zeros(n_items, dtype=bool)
 
+    @classmethod
+    def from_sketches(cls, sketches: Sequence[Sketch], method: str = "auto"):
+        """Not supported: on-demand oracles are built from a fetch callable.
+
+        The inherited constructor signature does not apply here; without
+        this override the call would crash with an unrelated
+        ``TypeError`` deep inside ``__init__``.  If the sketches already
+        exist there is nothing to build on demand — use
+        :meth:`PrecomputedSketchOracle.from_sketches` instead.
+        """
+        raise ParameterError(
+            "OnDemandSketchOracle cannot be built from existing sketches: "
+            "it computes sketches lazily from raw tiles.  Construct it as "
+            "OnDemandSketchOracle(fetch, n_items, generator), or use "
+            "PrecomputedSketchOracle.from_sketches for sketches that are "
+            "already built."
+        )
+
     def _ensure(self, i: int) -> None:
         if not self._built[i]:
             tile = np.asarray(self._fetch(i), dtype=np.float64)

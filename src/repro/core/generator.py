@@ -13,12 +13,18 @@ families of matrices: compound sketches (Definition 4) need four
 mutually independent sketch sets for the same window shape, and the
 disjoint dyadic composition uses one stream per block size.
 
-A small cache keeps the matrices of the most recently used
-``(stream, shape)`` so that sketching many same-shape tiles in a row —
-the common case — does not regenerate them per tile.
+A small LRU cache keeps the stacked matrices of the most recently used
+``(stream, shape)`` pairs, so that sketching many same-shape tiles in a
+row — the common case — does not regenerate them per tile, and a pool
+build cycling through four streams of one window size pays generation
+once per stream.  The cache is guarded by a lock: the batched pipeline
+may request matrices from several worker threads at once.
 """
 
 from __future__ import annotations
+
+import threading
+from collections import OrderedDict
 
 import numpy as np
 
@@ -53,8 +59,11 @@ class SketchGenerator:
         self.p = float(p)
         self.k = int(k)
         self.seed = int(seed)
-        self._cache_shape: tuple[int, tuple[int, int]] | None = None
-        self._cache_matrices: np.ndarray | None = None
+        self._matrix_cache: OrderedDict[
+            tuple[int, tuple[int, int]], np.ndarray
+        ] = OrderedDict()
+        self._matrix_cache_entries = 8
+        self._matrix_lock = threading.Lock()
         self.matrices_generated = 0
 
     # ------------------------------------------------------------------
@@ -79,25 +88,33 @@ class SketchGenerator:
     def matrices(self, shape: tuple[int, int], stream: int = 0) -> np.ndarray:
         """All ``k`` matrices for ``shape`` stacked as ``(k, h, w)``.
 
-        The most recent ``(stream, shape)`` is cached, so repeated
-        sketching of same-shape objects pays for generation once.
+        This is the batched pipeline's entry point: the ``(k, a, b)``
+        stack feeds one stacked kernel transform.  The most recently
+        used ``(stream, shape)`` pairs are LRU-cached (thread-safely),
+        so repeated sketching of same-shape objects pays for generation
+        once.  Treat the returned stack as read-only.
         """
         shape = self._normalize_shape(shape)
         cache_id = (int(stream), shape)
-        if self._cache_shape == cache_id and self._cache_matrices is not None:
-            return self._cache_matrices
-        stacked = np.stack(
-            [self.random_matrix(i, shape, stream) for i in range(self.k)]
-        )
-        self._cache_shape = cache_id
-        self._cache_matrices = stacked
-        return stacked
+        with self._matrix_lock:
+            cached = self._matrix_cache.get(cache_id)
+            if cached is not None:
+                self._matrix_cache.move_to_end(cache_id)
+                return cached
+            stacked = np.stack(
+                [self.random_matrix(i, shape, stream) for i in range(self.k)]
+            )
+            self._matrix_cache[cache_id] = stacked
+            while len(self._matrix_cache) > self._matrix_cache_entries:
+                self._matrix_cache.popitem(last=False)
+            return stacked
 
     def iter_matrices(self, shape: tuple[int, int], stream: int = 0):
         """Yield the ``k`` matrices one at a time (no caching).
 
-        Used by the FFT pipeline, which wants bounded memory even for
-        large windows.
+        For callers that want bounded memory even for very large
+        windows; the FFT pipeline itself now takes the stacked
+        :meth:`matrices` path.
         """
         for index in range(self.k):
             yield self.random_matrix(index, shape, stream)

@@ -4,11 +4,14 @@ Two bulk paths are provided:
 
 :func:`sketch_all_positions`
     Sketch entries for *every* placement of an ``(a, b)`` window in the
-    table, as a ``(k, H - a + 1, W - b + 1)`` array.  Each of the ``k``
-    slices is the valid-mode cross-correlation of the table with one
-    random matrix, computed by FFT in ``O(N log N)`` rather than the
-    direct ``O(N M)`` — this is the paper's ``O(k N log M)`` claim with
-    the padded-FFT constant absorbed.
+    table, as a ``(k, H - a + 1, W - b + 1)`` array.  The ``k`` slices
+    are the valid-mode cross-correlations of the table with the random
+    matrices; on the NumPy backend they are computed by the *batched
+    spectrum engine*: the padded data transform is computed once (or
+    fetched from a shared :class:`~repro.fourier.spectrum.SpectrumCache`)
+    and all ``k`` kernels go through one stacked ``rfft2``/``irfft2``
+    round trip — this is the paper's ``O(k N log M)`` claim with the
+    redundant per-kernel data transforms actually removed.
 
 :func:`sketch_grid`
     Sketches for the tiles of a non-overlapping :class:`TileGrid` only
@@ -16,18 +19,93 @@ Two bulk paths are provided:
     ``einsum`` beats the FFT here; the result is an ``(n_tiles, k)``
     matrix ready for a
     :class:`~repro.core.distance.PrecomputedSketchOracle`.
+
+:class:`PipelineStats` is the preprocessing-side mirror of
+:class:`~repro.core.distance.DistanceStats`: a hardware-independent
+account of the transforms computed, the transforms saved by caching,
+and the bytes of sketch maps built and evicted.
 """
 
 from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import ShapeError
 from repro.core.generator import SketchGenerator
-from repro.fourier.conv import cross_correlate2d_valid
+from repro.fourier.conv import cross_correlate2d_valid_batch
+from repro.fourier.spectrum import SpectrumCache
 from repro.table.tiles import TileGrid
 
-__all__ = ["sketch_all_positions", "sketch_grid"]
+__all__ = ["PipelineStats", "sketch_all_positions", "sketch_grid"]
+
+
+@dataclass
+class PipelineStats:
+    """Cost account of the preprocessing work a sketch pipeline performed.
+
+    Attributes
+    ----------
+    data_ffts_computed:
+        Forward transforms of the (padded) data table actually computed.
+        The batched engine computes one per distinct padded shape; the
+        legacy behaviour was one per random matrix.
+    data_ffts_reused:
+        Data transforms served from a :class:`SpectrumCache` instead of
+        being recomputed.
+    kernel_ffts:
+        Random-matrix (kernel) transforms computed.  Always ``k`` per
+        map; unlike the data transform they cannot be shared.
+    kernel_fft_batches:
+        Stacked ``rfft2`` calls those kernel transforms were grouped
+        into (1 per map when the batch fits in memory).
+    maps_built:
+        All-position sketch maps materialised.
+    bytes_built:
+        Total bytes of those maps.
+    maps_evicted / bytes_evicted:
+        Maps (and their bytes) dropped by a pool's LRU budget.
+
+    All counters are updated through :meth:`tally`, which takes an
+    internal lock so concurrent map builds account correctly.
+    """
+
+    data_ffts_computed: int = 0
+    data_ffts_reused: int = 0
+    kernel_ffts: int = 0
+    kernel_fft_batches: int = 0
+    maps_built: int = 0
+    bytes_built: int = 0
+    maps_evicted: int = 0
+    bytes_evicted: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def tally(self, **counts: int) -> None:
+        """Atomically add ``counts`` to the matching counters."""
+        with self._lock:
+            for name, delta in counts.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        with self._lock:
+            self.data_ffts_computed = 0
+            self.data_ffts_reused = 0
+            self.kernel_ffts = 0
+            self.kernel_fft_batches = 0
+            self.maps_built = 0
+            self.bytes_built = 0
+            self.maps_evicted = 0
+            self.bytes_evicted = 0
+
+    @property
+    def total_data_ffts(self) -> int:
+        """Data transforms requested (computed plus cache hits)."""
+        return self.data_ffts_computed + self.data_ffts_reused
 
 
 def sketch_all_positions(
@@ -37,8 +115,10 @@ def sketch_all_positions(
     stream: int = 0,
     backend: str = "numpy",
     out_dtype=np.float64,
+    spectrum_cache: SpectrumCache | None = None,
+    stats: PipelineStats | None = None,
 ) -> np.ndarray:
-    """Sketch every placement of a window via FFT cross-correlation.
+    """Sketch every placement of a window via batched FFT cross-correlation.
 
     Parameters
     ----------
@@ -51,10 +131,18 @@ def sketch_all_positions(
     stream:
         Which independent sketch stream to draw matrices from.
     backend:
-        FFT backend (``"numpy"`` default for speed, ``"own"`` for the
-        from-scratch transform).
+        FFT backend (``"numpy"`` default takes the batched-spectrum fast
+        path; ``"own"`` falls back to the per-kernel from-scratch
+        transform).
     out_dtype:
         Output dtype; ``float32`` halves the memory of large pools.
+    spectrum_cache:
+        Optional shared :class:`~repro.fourier.spectrum.SpectrumCache`
+        for the table, so repeated calls (different streams or window
+        sizes) reuse the padded data transforms.  When omitted, the data
+        transform is still computed only once *within* this call.
+    stats:
+        Optional :class:`PipelineStats` receiving the cost account.
 
     Returns
     -------
@@ -72,8 +160,17 @@ def sketch_all_positions(
     out_h = data.shape[0] - a + 1
     out_w = data.shape[1] - b + 1
     out = np.empty((generator.k, out_h, out_w), dtype=out_dtype)
-    for index, matrix in enumerate(generator.iter_matrices((a, b), stream)):
-        out[index] = cross_correlate2d_valid(data, matrix, backend=backend)
+    matrices = generator.matrices((a, b), stream)
+    cross_correlate2d_valid_batch(
+        data,
+        matrices,
+        backend=backend,
+        spectrum_cache=spectrum_cache,
+        stats=stats,
+        out=out,
+    )
+    if stats is not None:
+        stats.tally(maps_built=1, bytes_built=out.nbytes)
     return out
 
 

@@ -27,12 +27,15 @@ default, so only the sizes a workload actually queries cost memory.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor, as_completed
+
 import numpy as np
 
 from repro.errors import ParameterError, ShapeError
 from repro.core.generator import SketchGenerator
-from repro.core.pipeline import sketch_all_positions
+from repro.core.pipeline import PipelineStats, sketch_all_positions
 from repro.core.sketch import Sketch, SketchKey
+from repro.fourier.spectrum import SpectrumCache
 from repro.table.tiles import TileSpec
 
 __all__ = ["SketchPool"]
@@ -73,6 +76,14 @@ class SketchPool:
         Optional memory budget for the built maps.  When exceeded, the
         least recently used maps are evicted (and transparently rebuilt
         on the next query of their size).  ``None`` means unbounded.
+
+    Attributes
+    ----------
+    stats:
+        A :class:`~repro.core.pipeline.PipelineStats` accounting for
+        every map build: data transforms computed vs. reused through
+        the pool's shared spectrum cache, kernel batches, and bytes
+        built/evicted under the budget.
     """
 
     def __init__(
@@ -107,6 +118,10 @@ class SketchPool:
         self._maps: dict[tuple[int, int, int], np.ndarray] = {}
         self.maps_built = 0
         self.maps_evicted = 0
+        # One spectrum cache per pool: every map build of every stream
+        # and size shares the padded data transforms.
+        self._spectrum_cache = SpectrumCache(self.data)
+        self.stats = PipelineStats()
 
     # ------------------------------------------------------------------
     # Map management
@@ -120,12 +135,43 @@ class SketchPool:
             for ec in range(self.min_exponent, self.max_col_exponent + 1)
         ]
 
-    def build_all(self, streams=_COMPOUND_STREAMS) -> None:
-        """Eagerly build every canonical map (Theorem 6 preprocessing)."""
-        for er in range(self.min_exponent, self.max_row_exponent + 1):
-            for ec in range(self.min_exponent, self.max_col_exponent + 1):
-                for stream in streams:
-                    self._map(er, ec, stream)
+    def build_all(self, streams=_COMPOUND_STREAMS, workers: int | None = None) -> None:
+        """Eagerly build every canonical map (Theorem 6 preprocessing).
+
+        Parameters
+        ----------
+        streams:
+            Which sketch streams to build (all four compound streams by
+            default).
+        workers:
+            ``None`` or ``1`` builds sequentially.  Larger values build
+            maps in a :class:`~concurrent.futures.ThreadPoolExecutor`
+            with one task per ``(size, stream)``; NumPy's FFT releases
+            the GIL, so the batched transforms genuinely overlap.  Maps
+            are committed (and the ``max_bytes`` budget enforced) in
+            completion order on the calling thread, so an in-flight
+            batch may transiently hold up to ``workers`` un-committed
+            maps in memory.
+        """
+        keys = [
+            (er, ec, stream)
+            for er in range(self.min_exponent, self.max_row_exponent + 1)
+            for ec in range(self.min_exponent, self.max_col_exponent + 1)
+            for stream in streams
+        ]
+        if workers is not None and workers < 1:
+            raise ParameterError(f"workers must be >= 1, got {workers}")
+        if workers is None or workers == 1:
+            for key in keys:
+                self._map(*key)
+            return
+        pending = [key for key in keys if key not in self._maps]
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            futures = {
+                executor.submit(self._build, *key): key for key in pending
+            }
+            for future in as_completed(futures):
+                self._store(futures[future], future.result())
 
     @property
     def nbytes(self) -> int:
@@ -146,32 +192,47 @@ class SketchPool:
         key = (row_exp, col_exp, stream)
         built = self._maps.get(key)
         if built is None:
-            built = sketch_all_positions(
-                self.data,
-                (1 << row_exp, 1 << col_exp),
-                self.generator,
-                stream=stream,
-                backend=self.backend,
-                out_dtype=self.map_dtype,
-            )
-            self._maps[key] = built
-            self.maps_built += 1
-            self._enforce_budget(protect=key)
+            built = self._build(row_exp, col_exp, stream)
+            self._store(key, built)
         else:
-            # Refresh recency: move to the end of the dict's order.
+            # Refresh recency: move to the end of the dict's order, and
+            # re-assert the budget invariant — a cache hit must leave
+            # the pool in the same bounded state a build does.
             self._maps.pop(key)
             self._maps[key] = built
+            self._enforce_budget(protect=key)
         return built
 
+    def _build(self, row_exp: int, col_exp: int, stream: int) -> np.ndarray:
+        """Compute one map (thread-safe; does not touch ``_maps``)."""
+        return sketch_all_positions(
+            self.data,
+            (1 << row_exp, 1 << col_exp),
+            self.generator,
+            stream=stream,
+            backend=self.backend,
+            out_dtype=self.map_dtype,
+            spectrum_cache=self._spectrum_cache,
+            stats=self.stats,
+        )
+
+    def _store(self, key: tuple[int, int, int], built: np.ndarray) -> None:
+        """Commit a built map as most recent and enforce the budget."""
+        self._maps[key] = built
+        self.maps_built += 1
+        self._enforce_budget(protect=key)
+
     def _enforce_budget(self, protect: tuple[int, int, int]) -> None:
-        if self.max_bytes is None:
-            return
-        while self.nbytes > self.max_bytes and len(self._maps) > 1:
-            oldest = next(iter(self._maps))
-            if oldest == protect:
-                break  # never evict the map being served right now
-            self._maps.pop(oldest)
+        while self.max_bytes is not None and self.nbytes > self.max_bytes:
+            # Oldest evictable map first; the protected key (the map
+            # being served right now) is skipped, not a stop signal —
+            # younger evictable maps behind it must still go.
+            victim = next((key for key in self._maps if key != protect), None)
+            if victim is None:
+                break  # only the protected map remains
+            dropped = self._maps.pop(victim)
             self.maps_evicted += 1
+            self.stats.tally(maps_evicted=1, bytes_evicted=dropped.nbytes)
 
     def _lookup(self, row_exp: int, col_exp: int, stream: int, row: int, col: int):
         return self._map(row_exp, col_exp, stream)[:, row, col].astype(np.float64)

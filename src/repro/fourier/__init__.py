@@ -16,15 +16,33 @@ This subpackage provides that machinery:
     the test suite.
 :mod:`repro.fourier.conv`
     FFT-based 2-D cross-correlation / convolution with a direct
-    (quadratic) reference implementation used for testing.
+    (quadratic) reference implementation used for testing, plus the
+    batched kernel-stack path the sketching engine runs on.
+:mod:`repro.fourier.spectrum`
+    :class:`~repro.fourier.spectrum.SpectrumCache` — memoised padded
+    data spectra so one table's forward transform is paid once per
+    padded shape, no matter how many kernels, sizes or streams reuse it.
 """
 
 from repro.fourier.conv import (
     convolve2d_full,
     cross_correlate2d_direct,
     cross_correlate2d_valid,
+    cross_correlate2d_valid_batch,
 )
-from repro.fourier.fft import fft, fft2, ifft, ifft2, irfft, next_power_of_two, rfft
+from repro.fourier.fft import (
+    fft,
+    fft2,
+    ifft,
+    ifft2,
+    irfft,
+    irfft2,
+    next_fast_len,
+    next_power_of_two,
+    rfft,
+    rfft2,
+)
+from repro.fourier.spectrum import SpectrumCache
 
 __all__ = [
     "fft",
@@ -33,8 +51,13 @@ __all__ = [
     "ifft2",
     "rfft",
     "irfft",
+    "rfft2",
+    "irfft2",
     "next_power_of_two",
+    "next_fast_len",
     "convolve2d_full",
     "cross_correlate2d_valid",
+    "cross_correlate2d_valid_batch",
     "cross_correlate2d_direct",
+    "SpectrumCache",
 ]

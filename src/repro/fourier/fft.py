@@ -30,7 +30,18 @@ import numpy as np
 
 from repro.errors import ParameterError
 
-__all__ = ["fft", "ifft", "fft2", "ifft2", "rfft", "irfft", "next_power_of_two"]
+__all__ = [
+    "fft",
+    "ifft",
+    "fft2",
+    "ifft2",
+    "rfft",
+    "irfft",
+    "rfft2",
+    "irfft2",
+    "next_power_of_two",
+    "next_fast_len",
+]
 
 _BACKENDS = ("own", "numpy")
 
@@ -44,6 +55,33 @@ def next_power_of_two(n: int) -> int:
 
 def _is_power_of_two(n: int) -> bool:
     return n > 0 and (n & (n - 1)) == 0
+
+
+@lru_cache(maxsize=1024)
+def next_fast_len(n: int) -> int:
+    """Smallest 5-smooth integer ``>= n`` (and ``>= 1``).
+
+    NumPy's pocketfft evaluates lengths whose only prime factors are
+    2, 3 and 5 at full FFT speed, so padding to the next 5-smooth
+    length instead of the next power of two shrinks the transform by
+    up to ~2x per axis (~4x per 2-D plane) with no loss of exactness.
+    The radix-2 ``"own"`` backend still pads to :func:`next_power_of_two`.
+    """
+    if n <= 1:
+        return 1
+    best = next_power_of_two(n)
+    power5 = 1
+    while power5 < best:
+        power35 = power5
+        while power35 < best:
+            candidate = power35
+            while candidate < n:
+                candidate *= 2
+            if candidate < best:
+                best = candidate
+            power35 *= 3
+        power5 *= 5
+    return best
 
 
 @lru_cache(maxsize=64)
@@ -225,3 +263,33 @@ def ifft2(x, backend: str = "own") -> np.ndarray:
     if backend == "numpy":
         return np.fft.ifft2(x)
     return ifft(ifft(x, axis=-1, backend=backend), axis=-2, backend=backend)
+
+
+def rfft2(x, backend: str = "own") -> np.ndarray:
+    """2-D real-input transform over the last two axes.
+
+    Returns the half spectrum: shape ``(..., H, W // 2 + 1)`` for input
+    ``(..., H, W)``.  Leading axes broadcast, so a stacked ``(k, H, W)``
+    batch of kernels is transformed in one call — the building block of
+    the batched sketching engine.
+    """
+    if backend not in _BACKENDS:
+        raise ParameterError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+    if backend == "numpy":
+        return np.fft.rfft2(x)
+    return fft(rfft(x, axis=-1, backend="own"), axis=-2, backend="own")
+
+
+def irfft2(x, s, backend: str = "own") -> np.ndarray:
+    """Inverse of :func:`rfft2`: rebuild the real ``(..., s[0], s[1])`` signal.
+
+    ``s`` is the spatial shape of the last two axes; it is required
+    because the half spectrum is ambiguous about even/odd widths.
+    """
+    if backend not in _BACKENDS:
+        raise ParameterError(f"backend must be one of {_BACKENDS}, got {backend!r}")
+    if len(s) != 2:
+        raise ParameterError(f"s must give the two spatial lengths, got {s!r}")
+    if backend == "numpy":
+        return np.fft.irfft2(x, s=tuple(s))
+    return irfft(ifft(x, axis=-2, backend="own"), n=int(s[-1]), axis=-1, backend="own")

@@ -1,0 +1,106 @@
+"""Cached padded data spectra: the heart of the batched sketching engine.
+
+The Theorem-3 pipeline cross-correlates one fixed data table against
+many random kernels.  Under the convolution theorem every one of those
+products needs the *same* forward transform of the (zero-padded) data —
+only the kernel spectrum changes.  The original pipeline recomputed the
+data transform for every kernel, paying the dominant ``O(N log N)`` cost
+``k`` times per map and again for every window size and stream.
+
+:class:`SpectrumCache` wraps one table and memoises its padded real-FFT
+spectrum per padded shape, so a whole pool build (4 streams x all dyadic
+sizes) computes each distinct data transform exactly once.  The cache is
+thread-safe: :meth:`spectrum` may be called concurrently by the pool's
+multi-worker build.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import ParameterError, ShapeError
+
+__all__ = ["SpectrumCache"]
+
+
+class SpectrumCache:
+    """Memoised padded real-FFT spectra of a single 2-D table.
+
+    Parameters
+    ----------
+    data:
+        The 2-D table whose spectra are cached.  Stored as ``float64``
+        (the precision every FFT in the pipeline runs at).
+    max_entries:
+        Most padded spectra kept at once.  Each canonical window size
+        maps to one padded shape, and padded shapes collide heavily
+        across sizes, so a small cache covers a full pool build; the
+        least recently used spectrum is dropped beyond the cap.
+    """
+
+    def __init__(self, data, max_entries: int = 8):
+        self.data = np.asarray(data, dtype=np.float64)
+        if self.data.ndim != 2 or self.data.size == 0:
+            raise ShapeError(
+                f"spectrum cache needs a non-empty 2-D table, got {self.data.shape}"
+            )
+        if max_entries < 1:
+            raise ParameterError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._spectra: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+        self._lock = threading.Lock()
+        self.computed = 0
+        self.reused = 0
+
+    def spectrum(self, padded_shape: tuple[int, int], stats=None) -> np.ndarray:
+        """The ``rfft2`` of the table zero-padded to ``padded_shape``.
+
+        Computed on first request and served from cache afterwards.
+        Callers must treat the returned array as read-only.  ``stats``,
+        when given, is a :class:`~repro.core.pipeline.PipelineStats`
+        (or any object with a ``tally`` method) that receives
+        ``data_ffts_computed`` / ``data_ffts_reused`` increments.
+        """
+        height, width = int(padded_shape[0]), int(padded_shape[1])
+        if height < self.data.shape[0] or width < self.data.shape[1]:
+            raise ParameterError(
+                f"cannot pad table {self.data.shape} down to {(height, width)}"
+            )
+        key = (height, width)
+        with self._lock:
+            cached = self._spectra.get(key)
+            if cached is not None:
+                self._spectra.move_to_end(key)
+                self.reused += 1
+                if stats is not None:
+                    stats.tally(data_ffts_reused=1)
+                return cached
+            padded = np.zeros((height, width), dtype=np.float64)
+            padded[: self.data.shape[0], : self.data.shape[1]] = self.data
+            spectrum = np.fft.rfft2(padded)
+            self._spectra[key] = spectrum
+            while len(self._spectra) > self.max_entries:
+                self._spectra.popitem(last=False)
+            self.computed += 1
+            if stats is not None:
+                stats.tally(data_ffts_computed=1)
+            return spectrum
+
+    @property
+    def nbytes(self) -> int:
+        """Memory held by the cached spectra."""
+        return sum(s.nbytes for s in self._spectra.values())
+
+    def clear(self) -> None:
+        """Drop every cached spectrum (counters are kept)."""
+        with self._lock:
+            self._spectra.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"SpectrumCache(table={self.data.shape}, entries={len(self._spectra)}, "
+            f"computed={self.computed}, reused={self.reused})"
+        )

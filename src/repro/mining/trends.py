@@ -21,7 +21,7 @@ import numpy as np
 from repro.core.estimators import estimate_distance
 from repro.core.generator import SketchGenerator
 from repro.errors import ParameterError, ShapeError
-from repro.fourier.conv import cross_correlate2d_valid
+from repro.fourier.conv import cross_correlate2d_valid_batch
 
 __all__ = ["sliding_window_sketches", "representative_trend", "relaxed_period"]
 
@@ -40,7 +40,9 @@ def sliding_window_sketches(
 
     Returns an ``(n - window + 1, k)`` array; row ``i`` equals
     ``generator.sketch(series[i : i + window])`` exactly (same random
-    vectors), computed via one FFT cross-correlation per sketch entry.
+    vectors), computed by the batched spectrum engine: the series is
+    transformed once and all ``k`` random vectors ride one stacked
+    FFT round trip.
     """
     series = _as_series(series)
     if not 1 <= window <= series.size:
@@ -48,10 +50,8 @@ def sliding_window_sketches(
             f"window must be in [1, {series.size}], got {window}"
         )
     data = series[np.newaxis, :]
-    out = np.empty((series.size - window + 1, generator.k))
-    for index, matrix in enumerate(generator.iter_matrices((1, window), stream)):
-        out[:, index] = cross_correlate2d_valid(data, matrix)[0]
-    return out
+    maps = cross_correlate2d_valid_batch(data, generator.matrices((1, window), stream))
+    return np.ascontiguousarray(maps[:, 0, :].T)
 
 
 def _block_sketches(series: np.ndarray, block: int, generator: SketchGenerator):

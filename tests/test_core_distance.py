@@ -234,6 +234,15 @@ class TestOnDemandOracle:
         with pytest.raises(ParameterError):
             OnDemandSketchOracle(lambda i: np.zeros((2, 2)), 0, gen)
 
+    def test_from_sketches_raises_clear_error(self):
+        """Regression: the inherited classmethod used to die with an
+        unrelated TypeError deep inside __init__; it must instead
+        explain that on-demand oracles are built from a fetch callable."""
+        gen = SketchGenerator(p=1.0, k=8, seed=0)
+        sketches = gen.sketch_many(make_tiles(n=3))
+        with pytest.raises(ParameterError, match="fetch"):
+            OnDemandSketchOracle.from_sketches(sketches)
+
 
 class TestStatsReset:
     def test_reset(self):

@@ -5,8 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import SketchGenerator, sketch_all_positions, sketch_grid
+from repro.core import PipelineStats, SketchGenerator, sketch_all_positions, sketch_grid
 from repro.errors import ShapeError
+from repro.fourier import SpectrumCache, cross_correlate2d_valid
 from repro.table import TileGrid, TileSpec
 
 
@@ -60,6 +61,66 @@ class TestSketchAllPositions:
         gen = SketchGenerator(p=1.0, k=2, seed=0)
         with pytest.raises(ShapeError):
             sketch_all_positions(np.zeros(8), (2, 2), gen)
+
+
+class TestBatchedEngine:
+    def legacy_sketch_all_positions(self, data, window, gen, stream=0):
+        """The pre-batching reference: one cross-correlation per matrix."""
+        out = []
+        for matrix in gen.iter_matrices(window, stream):
+            out.append(cross_correlate2d_valid(np.asarray(data, float), matrix))
+        return np.stack(out)
+
+    def test_matches_pre_change_path_tightly(self):
+        """The batched engine must reproduce the per-kernel path to 1e-9
+        relative tolerance in float64 (acceptance criterion)."""
+        data = table((50, 70), seed=7)
+        gen = SketchGenerator(p=1.0, k=6, seed=3)
+        new = sketch_all_positions(data, (9, 13), gen)
+        old = self.legacy_sketch_all_positions(data, (9, 13), gen)
+        np.testing.assert_allclose(new, old, rtol=1e-9, atol=1e-9)
+
+    def test_data_fft_computed_exactly_once_per_map(self):
+        data = table((32, 32), seed=8)
+        gen = SketchGenerator(p=1.0, k=5, seed=0)
+        stats = PipelineStats()
+        sketch_all_positions(data, (8, 8), gen, stats=stats)
+        assert stats.data_ffts_computed == 1
+        assert stats.data_ffts_reused == 0
+        assert stats.kernel_ffts == gen.k
+        assert stats.kernel_fft_batches >= 1
+        assert stats.maps_built == 1
+        assert stats.bytes_built > 0
+
+    def test_shared_cache_reuses_data_fft_across_streams(self):
+        data = table((32, 32), seed=9)
+        gen = SketchGenerator(p=1.0, k=3, seed=0)
+        stats = PipelineStats()
+        cache = SpectrumCache(data)
+        for stream in range(4):
+            sketch_all_positions(
+                data, (8, 8), gen, stream=stream, spectrum_cache=cache, stats=stats
+            )
+        assert stats.data_ffts_computed == 1
+        assert stats.data_ffts_reused == 3
+        assert stats.total_data_ffts == 4
+        assert stats.maps_built == 4
+
+    def test_own_backend_accounts_per_kernel(self):
+        data = table((12, 12), seed=10)
+        gen = SketchGenerator(p=1.0, k=2, seed=0)
+        stats = PipelineStats()
+        sketch_all_positions(data, (4, 4), gen, backend="own", stats=stats)
+        assert stats.data_ffts_computed == gen.k
+        assert stats.kernel_ffts == gen.k
+
+    def test_stats_reset(self):
+        stats = PipelineStats()
+        stats.tally(data_ffts_computed=2, bytes_built=100)
+        stats.reset()
+        assert stats.data_ffts_computed == 0
+        assert stats.bytes_built == 0
+        assert stats.total_data_ffts == 0
 
 
 class TestSketchGrid:

@@ -178,3 +178,103 @@ class TestMemoryBudget:
         data = np.zeros((8, 8))
         with pytest.raises(ParameterError):
             SketchPool(data, SketchGenerator(p=1.0, k=2), min_exponent=2, max_bytes=0)
+
+    def test_protected_oldest_does_not_stop_eviction(self):
+        """Regression: when the protected map happens to be the oldest
+        entry, younger evictable maps must still be dropped until the
+        pool is back under budget (the old code break-ed and left the
+        pool over max_bytes)."""
+        pool = self.make_capped_pool(max_bytes=10**9)  # build freely first
+        for size in (4, 8, 16):
+            pool.sketch_for(TileSpec(0, 0, size, size))
+        protected = next(iter(pool._maps))  # genuinely the oldest key
+        pool.max_bytes = pool._maps[protected].nbytes  # room for it alone
+        pool._enforce_budget(protect=protected)
+        assert list(pool._maps) == [protected]
+        assert pool.nbytes <= pool.max_bytes
+        assert pool.maps_evicted > 0
+
+    def test_budget_invariant_after_every_access(self):
+        """After any access — build or cache hit — the pool must sit at
+        or under its budget (the single in-flight map is the only
+        allowed excess, and these maps all fit)."""
+        pool = self.make_capped_pool(max_bytes=150_000)
+        specs = [
+            TileSpec(0, 0, 4, 4),
+            TileSpec(0, 0, 16, 16),
+            TileSpec(0, 0, 4, 4),  # rebuild or hit
+            TileSpec(0, 0, 8, 8),
+            TileSpec(0, 0, 4, 4),
+            TileSpec(0, 0, 16, 16),
+        ]
+        for spec in specs:
+            pool.sketch_for(spec)
+            assert pool.nbytes <= pool.max_bytes
+
+    def test_cache_hits_refresh_lru_order(self):
+        """A hit must protect its maps from the next eviction round."""
+        pool = self.make_capped_pool(max_bytes=10**9)
+        pool.sketch_for(TileSpec(0, 0, 4, 4))
+        pool.sketch_for(TileSpec(0, 0, 8, 8))
+        pool.sketch_for(TileSpec(0, 0, 4, 4))  # hits: 4x4 now most recent
+        order = list(pool._maps)
+        assert order[-4:] == [(2, 2, s) for s in (0, 1, 2, 3)]
+        # Squeeze the budget to two maps: the survivors must be the two
+        # most recently touched 4x4 stream maps, not the 8x8 ones.
+        pool.max_bytes = 2 * pool._maps[(2, 2, 0)].nbytes
+        pool.sketch_for(TileSpec(0, 0, 4, 4))
+        assert all(key[:2] == (2, 2) for key in pool._maps)
+
+
+class TestStatsAndParallelBuild:
+    def test_pool_build_computes_each_data_fft_once(self):
+        """Theorem-6 preprocessing over 4 streams x all sizes touches the
+        data transform once per distinct padded shape — everything else
+        is served by the pool's spectrum cache."""
+        _, pool = make_pool(shape=(16, 16), k=2, min_exponent=3)
+        pool.build_all()
+        # exponents 3..4 on both axes => 2x2 sizes, 4 streams each,
+        # and at most 4 distinct padded shapes.
+        assert pool.maps_built == 16
+        assert pool.stats.maps_built == 16
+        assert pool.stats.total_data_ffts == 16
+        assert pool.stats.data_ffts_computed <= 4  # one per padded shape
+        assert pool.stats.data_ffts_reused >= 12
+        assert pool.stats.kernel_ffts == 16 * pool.generator.k
+
+    def test_parallel_build_matches_sequential(self):
+        data = np.random.default_rng(5).normal(size=(32, 32))
+        gen_a = SketchGenerator(p=1.0, k=4, seed=2)
+        gen_b = SketchGenerator(p=1.0, k=4, seed=2)
+        sequential = SketchPool(data, gen_a, min_exponent=3)
+        parallel = SketchPool(data, gen_b, min_exponent=3)
+        sequential.build_all()
+        parallel.build_all(workers=4)
+        assert parallel.maps_built == sequential.maps_built
+        assert set(parallel._maps) == set(sequential._maps)
+        for key, built in sequential._maps.items():
+            np.testing.assert_allclose(parallel._maps[key], built, atol=1e-5)
+
+    def test_parallel_build_skips_existing_maps(self):
+        _, pool = make_pool(shape=(16, 16), k=2, min_exponent=3)
+        pool.sketch_for(TileSpec(0, 0, 8, 8))
+        assert pool.maps_built == 4
+        pool.build_all(workers=2)
+        assert pool.maps_built == 16  # only the 12 missing maps were built
+        pool.build_all(workers=2)  # idempotent
+        assert pool.maps_built == 16
+
+    def test_bad_workers_rejected(self):
+        _, pool = make_pool(shape=(16, 16), k=2, min_exponent=3)
+        with pytest.raises(ParameterError):
+            pool.build_all(workers=0)
+
+    def test_eviction_accounted_in_stats(self):
+        data = np.random.default_rng(3).normal(size=(32, 32))
+        gen = SketchGenerator(p=1.0, k=8, seed=0)
+        pool = SketchPool(data, gen, min_exponent=2, max_bytes=200_000)
+        for size in (4, 8, 16):
+            pool.sketch_for(TileSpec(0, 0, size, size))
+        assert pool.stats.maps_evicted == pool.maps_evicted > 0
+        assert pool.stats.bytes_evicted > 0
+        assert pool.stats.bytes_built >= pool.nbytes

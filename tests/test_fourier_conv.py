@@ -7,11 +7,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ShapeError
+from repro.errors import ParameterError, ShapeError
 from repro.fourier import (
+    SpectrumCache,
     convolve2d_full,
     cross_correlate2d_direct,
     cross_correlate2d_valid,
+    cross_correlate2d_valid_batch,
 )
 
 
@@ -131,3 +133,159 @@ class TestValidCrossCorrelation:
             cross_correlate2d_direct(data, kernel),
             atol=1e-8,
         )
+
+
+class TestBatchCrossCorrelation:
+    def assert_matches_direct(self, data, kernels, atol=1e-9, **kwargs):
+        batch = cross_correlate2d_valid_batch(data, kernels, **kwargs)
+        assert batch.shape == (
+            kernels.shape[0],
+            data.shape[0] - kernels.shape[1] + 1,
+            data.shape[1] - kernels.shape[2] + 1,
+        )
+        for index in range(kernels.shape[0]):
+            np.testing.assert_allclose(
+                batch[index],
+                cross_correlate2d_direct(
+                    np.asarray(data, dtype=np.float64),
+                    np.asarray(kernels[index], dtype=np.float64),
+                ),
+                atol=atol,
+            )
+        return batch
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_matches_direct_per_kernel(self, dtype):
+        data = random_array((10, 12), 0).astype(dtype)
+        kernels = random_array((5, 3, 4), 1).astype(dtype)
+        atol = 1e-4 if dtype == np.float32 else 1e-9
+        self.assert_matches_direct(data, kernels, atol=atol)
+
+    def test_non_power_of_two_table(self):
+        data = random_array((11, 17), 2)
+        kernels = random_array((4, 3, 5), 3)
+        self.assert_matches_direct(data, kernels)
+
+    def test_one_by_one_kernels(self):
+        data = random_array((7, 9), 4)
+        kernels = random_array((3, 1, 1), 5)
+        batch = self.assert_matches_direct(data, kernels)
+        for index in range(3):
+            np.testing.assert_allclose(
+                batch[index], data * kernels[index, 0, 0], atol=1e-10
+            )
+
+    def test_full_table_kernels(self):
+        data = random_array((6, 8), 6)
+        kernels = random_array((4, 6, 8), 7)
+        batch = self.assert_matches_direct(data, kernels)
+        assert batch.shape == (4, 1, 1)
+
+    def test_single_kernel_matches_scalar_path(self):
+        data = random_array((9, 9), 8)
+        kernel = random_array((3, 3), 9)
+        np.testing.assert_allclose(
+            cross_correlate2d_valid_batch(data, kernel[np.newaxis])[0],
+            cross_correlate2d_valid(data, kernel),
+            atol=1e-10,
+        )
+
+    def test_own_backend_fallback_matches_numpy(self):
+        data = random_array((12, 10), 10)
+        kernels = random_array((3, 4, 4), 11)
+        np.testing.assert_allclose(
+            cross_correlate2d_valid_batch(data, kernels, backend="own"),
+            cross_correlate2d_valid_batch(data, kernels, backend="numpy"),
+            atol=1e-8,
+        )
+
+    def test_chunked_batches_match_single_batch(self):
+        data = random_array((16, 16), 12)
+        kernels = random_array((7, 4, 4), 13)
+        # A tiny byte cap forces one kernel per chunk.
+        chunked = cross_correlate2d_valid_batch(data, kernels, max_batch_bytes=1)
+        whole = cross_correlate2d_valid_batch(data, kernels)
+        np.testing.assert_allclose(chunked, whole, atol=1e-12)
+
+    def test_out_parameter_casts_in_place(self):
+        data = random_array((10, 10), 14)
+        kernels = random_array((4, 3, 3), 15)
+        out = np.empty((4, 8, 8), dtype=np.float32)
+        result = cross_correlate2d_valid_batch(data, kernels, out=out)
+        assert result is out
+        np.testing.assert_allclose(
+            out, cross_correlate2d_valid_batch(data, kernels), atol=1e-4
+        )
+
+    def test_spectrum_cache_reused_across_calls(self):
+        data = random_array((12, 12), 16)
+        cache = SpectrumCache(data)
+        kernels_a = random_array((2, 4, 4), 17)
+        kernels_b = random_array((3, 4, 4), 18)
+        cross_correlate2d_valid_batch(data, kernels_a, spectrum_cache=cache)
+        cross_correlate2d_valid_batch(data, kernels_b, spectrum_cache=cache)
+        assert cache.computed == 1
+        assert cache.reused == 1
+
+    def test_mismatched_cache_rejected(self):
+        data = random_array((12, 12), 19)
+        cache = SpectrumCache(random_array((8, 8), 20))
+        with pytest.raises(ParameterError):
+            cross_correlate2d_valid_batch(
+                data, random_array((2, 3, 3), 21), spectrum_cache=cache
+            )
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ShapeError):
+            cross_correlate2d_valid_batch(np.ones((4, 4)), np.ones((2, 2)))
+        with pytest.raises(ShapeError):
+            cross_correlate2d_valid_batch(np.ones((4, 4)), np.ones((2, 5, 2)))
+        with pytest.raises(ShapeError):
+            cross_correlate2d_valid_batch(
+                np.ones((4, 4)), np.ones((2, 2, 2)), out=np.empty((2, 4, 4))
+            )
+
+    def test_bad_batch_bytes_rejected(self):
+        with pytest.raises(ParameterError):
+            cross_correlate2d_valid_batch(
+                np.ones((4, 4)), np.ones((1, 2, 2)), max_batch_bytes=0
+            )
+
+
+class TestSpectrumCache:
+    def test_spectrum_matches_padded_rfft2(self):
+        data = random_array((6, 9), 0)
+        cache = SpectrumCache(data)
+        padded = np.zeros((12, 16))
+        padded[:6, :9] = data
+        np.testing.assert_allclose(
+            cache.spectrum((12, 16)), np.fft.rfft2(padded), atol=1e-10
+        )
+
+    def test_lru_eviction_bounded(self):
+        data = random_array((4, 4), 1)
+        cache = SpectrumCache(data, max_entries=2)
+        for size in (4, 5, 6, 7):
+            cache.spectrum((size, size))
+        assert cache.computed == 4
+        assert len(cache._spectra) == 2
+        assert cache.nbytes > 0
+
+    def test_too_small_padding_rejected(self):
+        cache = SpectrumCache(random_array((8, 8), 2))
+        with pytest.raises(ParameterError):
+            cache.spectrum((4, 8))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ShapeError):
+            SpectrumCache(np.ones(5))
+
+    def test_bad_max_entries_rejected(self):
+        with pytest.raises(ParameterError):
+            SpectrumCache(np.ones((4, 4)), max_entries=0)
+
+    def test_clear_drops_entries(self):
+        cache = SpectrumCache(random_array((4, 4), 3))
+        cache.spectrum((8, 8))
+        cache.clear()
+        assert cache.nbytes == 0

@@ -8,7 +8,18 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ParameterError
-from repro.fourier import fft, fft2, ifft, ifft2, irfft, next_power_of_two, rfft
+from repro.fourier import (
+    fft,
+    fft2,
+    ifft,
+    ifft2,
+    irfft,
+    irfft2,
+    next_fast_len,
+    next_power_of_two,
+    rfft,
+    rfft2,
+)
 
 
 def random_complex(shape, seed=0):
@@ -138,6 +149,60 @@ class TestRealTransforms:
             irfft(spectrum, 24, backend="numpy"), irfft(spectrum, 24, backend="own"),
             atol=1e-9,
         )
+
+
+class TestNextFastLen:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, 1), (1, 1), (2, 2), (5, 5), (7, 8), (11, 12), (543, 576), (1023, 1024)],
+    )
+    def test_values(self, n, expected):
+        assert next_fast_len(n) == expected
+
+    @pytest.mark.parametrize("n", list(range(1, 200)) + [519, 543, 767, 1000])
+    def test_result_is_5_smooth_and_bounded(self, n):
+        m = next_fast_len(n)
+        assert m >= n
+        assert m <= next_power_of_two(n)
+        for factor in (2, 3, 5):
+            while m % factor == 0:
+                m //= factor
+        assert m == 1
+
+
+class TestReal2dTransforms:
+    @pytest.mark.parametrize("shape", [(4, 8), (8, 8), (6, 10), (5, 7), (1, 4)])
+    def test_rfft2_matches_numpy(self, shape):
+        x = np.random.default_rng(sum(shape)).normal(size=shape)
+        np.testing.assert_allclose(rfft2(x), np.fft.rfft2(x), atol=1e-9)
+
+    def test_rfft2_batched_leading_axis(self):
+        x = np.random.default_rng(1).normal(size=(3, 8, 8))
+        np.testing.assert_allclose(rfft2(x), np.fft.rfft2(x), atol=1e-9)
+
+    @pytest.mark.parametrize("shape", [(4, 8), (8, 8), (6, 10), (5, 7)])
+    def test_irfft2_round_trip(self, shape):
+        x = np.random.default_rng(sum(shape) + 7).normal(size=shape)
+        np.testing.assert_allclose(irfft2(rfft2(x), s=shape), x, atol=1e-9)
+
+    def test_irfft2_matches_numpy_backend(self):
+        x = np.random.default_rng(2).normal(size=(2, 8, 12))
+        spectrum = np.fft.rfft2(x)
+        np.testing.assert_allclose(
+            irfft2(spectrum, s=(8, 12), backend="own"),
+            irfft2(spectrum, s=(8, 12), backend="numpy"),
+            atol=1e-9,
+        )
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ParameterError):
+            rfft2(np.ones((4, 4)), backend="fftw")
+        with pytest.raises(ParameterError):
+            irfft2(np.ones((4, 3), dtype=complex), s=(4, 4), backend="fftw")
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ParameterError):
+            irfft2(np.ones((4, 3), dtype=complex), s=(4,))
 
 
 class TestBackends:
