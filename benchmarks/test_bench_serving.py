@@ -1,0 +1,142 @@
+"""Bench SERVE: batched query planning vs the per-query pool path.
+
+The serving subsystem's claim: a batch of arbitrary-rectangle distance
+queries is answered with a handful of vectorized estimator calls (one
+per query group) instead of one estimator invocation per query, plus a
+single fancy-indexing gather per (group, stream) instead of per-query
+scalar map lookups.  The assertions pin both the >= 5x collapse in
+estimator invocations on a 1000+ mixed-query workload and answer parity
+with the scalar path; the benchmark table shows the wall-clock side on
+the same workload, plus the end-to-end client/server round trip over
+localhost (stdlib sockets, JSON-lines framing).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import estimate_distance_values
+from repro.serve import Client, RectQuery, SketchEngine, SketchServer
+
+P = 1.0
+K = 64
+N_QUERIES = 1200
+TABLE_SHAPE = (128, 256)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    engine = SketchEngine(p=P, k=K, seed=13)
+    engine.register_array(
+        "bench", np.random.default_rng(17).normal(size=TABLE_SHAPE)
+    )
+    return engine
+
+
+@pytest.fixture(scope="module")
+def mixed_queries(engine):
+    """A >= 1000-query workload mixing sizes and all three strategies."""
+    rng = np.random.default_rng(23)
+    shape = engine.pool("bench").data.shape
+    queries = []
+    for index in range(N_QUERIES):
+        mode = index % 3
+        if mode == 0:  # dyadic -> grid
+            height = 1 << int(rng.integers(3, 6))
+            width = 1 << int(rng.integers(3, 7))
+            strategy = "auto"
+        elif mode == 1:  # ragged -> compound
+            height = int(rng.integers(9, 48))
+            width = int(rng.integers(9, 48))
+            strategy = "auto"
+        else:  # multiples of the pooled unit -> exact disjoint
+            height = 8 * int(rng.integers(1, 7))
+            width = 8 * int(rng.integers(1, 7))
+            strategy = "disjoint"
+        row_a = int(rng.integers(0, shape[0] - height + 1))
+        col_a = int(rng.integers(0, shape[1] - width + 1))
+        row_b = int(rng.integers(0, shape[0] - height + 1))
+        col_b = int(rng.integers(0, shape[1] - width + 1))
+        queries.append(RectQuery(
+            "bench", (row_a, col_a, height, width), (row_b, col_b, height, width),
+            strategy,
+        ))
+    return queries
+
+
+def scalar_answers(engine, queries):
+    """The per-query baseline: one estimator invocation per query."""
+    pool = engine.pool("bench")
+    answers = []
+    for query in queries:
+        strategy = engine.planner.resolve_strategy(pool, query)
+        if strategy == "compound":
+            sketch_a = pool.sketch_for(query.a)
+            sketch_b = pool.sketch_for(query.b)
+        else:
+            sketch_a = pool.disjoint_sketch_for(query.a)
+            sketch_b = pool.disjoint_sketch_for(query.b)
+        answers.append(
+            estimate_distance_values(sketch_a.values - sketch_b.values, P)
+        )
+    return answers
+
+
+def test_batched_planner_collapses_estimator_calls(engine, mixed_queries):
+    """>= 1000 mixed queries, >= 5x fewer estimator invocations, same answers."""
+    assert len(mixed_queries) >= 1000
+    engine.stats.planner.reset()
+    results = engine.query(mixed_queries)
+
+    planner_calls = engine.stats.planner.estimator_calls
+    baseline_calls = len(mixed_queries)  # scalar path: one call per query
+    assert planner_calls * 5 <= baseline_calls, (
+        f"batched planning used {planner_calls} estimator calls for "
+        f"{baseline_calls} queries; expected at least a 5x collapse"
+    )
+    # and every strategy participated
+    assert engine.stats.planner.grid_queries > 0
+    assert engine.stats.planner.compound_queries > 0
+    assert engine.stats.planner.disjoint_queries > 0
+
+    expected = scalar_answers(engine, mixed_queries)
+    got = [result.distance for result in results]
+    assert got == expected  # bit-exact parity with the per-query path
+
+
+def test_bench_batched_execution(benchmark, engine, mixed_queries):
+    engine.query(mixed_queries[:50])  # warm the maps out of the timing
+
+    def run():
+        return engine.query(mixed_queries)
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(results) == len(mixed_queries)
+
+
+def test_bench_per_query_baseline(benchmark, engine, mixed_queries):
+    engine.query(mixed_queries[:50])  # same warm maps as the batched bench
+
+    def run():
+        return scalar_answers(engine, mixed_queries)
+
+    answers = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(answers) == len(mixed_queries)
+
+
+def test_bench_client_server_round_trip(benchmark, engine, mixed_queries):
+    """End-to-end over localhost: JSON framing + TCP + batched execution."""
+    batch = mixed_queries[:200]
+    engine.query(batch)  # warm
+    with SketchServer(engine) as server:
+        server.start()
+        with Client(*server.address, timeout=60.0) as client:
+            assert client.ping()
+
+            def run():
+                return client.query(batch)
+
+            remote = benchmark.pedantic(run, rounds=3, iterations=1)
+    local = engine.query(batch)
+    assert [r.distance for r in remote] == [r.distance for r in local]

@@ -24,6 +24,7 @@ similarity dial, sketch pools over arbitrary sub-rectangles).
 from repro.core import (
     DistanceStats,
     ExactLpOracle,
+    MapBudget,
     OnDemandSketchOracle,
     PipelineStats,
     PrecomputedSketchOracle,
@@ -31,6 +32,7 @@ from repro.core import (
     SketchGenerator,
     SketchPool,
     estimate_distance,
+    estimate_distance_batch,
     lp_distance,
     lp_norm,
     sketch_all_positions,
@@ -50,7 +52,10 @@ from repro.errors import (
     EmptyClusterError,
     IncompatibleSketchError,
     ParameterError,
+    ProtocolError,
+    QueryTimeoutError,
     ReproError,
+    ServeError,
     ShapeError,
     StoreError,
 )
@@ -60,6 +65,7 @@ from repro.table import (
     TabularData,
     TileGrid,
     TileSpec,
+    open_store,
     read_table,
     write_table,
 )
@@ -72,7 +78,9 @@ __all__ = [
     "SketchGenerator",
     "Sketch",
     "SketchPool",
+    "MapBudget",
     "estimate_distance",
+    "estimate_distance_batch",
     "lp_norm",
     "lp_distance",
     "sketch_all_positions",
@@ -97,6 +105,7 @@ __all__ = [
     "TileGrid",
     "TableStore",
     "StitchedStore",
+    "open_store",
     "write_table",
     "read_table",
     # errors
@@ -106,5 +115,8 @@ __all__ = [
     "IncompatibleSketchError",
     "StoreError",
     "ConvergenceError",
+    "ServeError",
+    "ProtocolError",
+    "QueryTimeoutError",
     "EmptyClusterError",
 ]

@@ -10,6 +10,15 @@ Commands
 ``sketch``
     Sketch the tile grid of a table file (``.npy`` or ``.csv``) and save
     the sketch matrix to an ``.npz`` for later mining.
+``pool``
+    Run the Theorem-6 preprocessing: build a table's dyadic sketch maps
+    up to a size cap and save the pool archive for serving.
+``serve``
+    Start the JSON-lines sketch query server over registered tables
+    (pool archives are memory-mapped, not copied).
+``query``
+    Speak to a running server: ping it, list its tables, dump its stats,
+    or answer rectangle distance queries.
 """
 
 from __future__ import annotations
@@ -35,8 +44,23 @@ _SUBSYSTEMS = [
     ("repro.transforms", "DFT/DCT/Haar baselines"),
     ("repro.data", "synthetic workloads and loaders"),
     ("repro.mining", "neighbours, regions, trends"),
+    ("repro.serve", "batched query planner, engine, JSON-lines server/client"),
     ("repro.experiments", "per-figure reproduction harness"),
 ]
+
+
+def _load_table_values(path: Path, delimiter: str = ","):
+    """Load a 2-D array from a ``.npy``, flat-file store, or text table."""
+    with open(path, "rb") as handle:
+        magic = handle.read(8)
+    if magic == b"RPROTBL2":
+        from repro.table.store import open_store
+
+        with open_store(path) as store:
+            return store.read_all()
+    if path.suffix == ".npy":
+        return load_npy(path).values
+    return load_csv(path, delimiter=delimiter).values
 
 
 def _cmd_info(_args) -> int:
@@ -81,6 +105,118 @@ def _cmd_sketch(args) -> int:
     return 0
 
 
+def _cmd_pool(args) -> int:
+    from repro.core.io import save_pool
+    from repro.core.pool import SketchPool
+
+    values = _load_table_values(Path(args.table), delimiter=args.delimiter)
+    generator = SketchGenerator(p=args.p, k=args.k, seed=args.seed)
+    pool = SketchPool(
+        values, generator, min_exponent=args.min_exponent, backend=args.backend
+    )
+    streams = tuple(range(args.streams))
+    pool.build_all(
+        streams=streams, workers=args.workers, max_exponent=args.max_exponent
+    )
+    save_pool(args.out, pool)
+    print(
+        f"pooled {pool.maps_built} maps ({pool.nbytes / 1e6:.1f} MB) for "
+        f"{values.shape} table (p={args.p}, k={args.k}, streams={args.streams}) "
+        f"-> {args.out}"
+    )
+    return 0
+
+
+def _parse_table_spec(spec: str) -> tuple[str, Path]:
+    name, sep, path = spec.partition("=")
+    if not sep or not name or not path:
+        raise SystemExit(f"--table expects NAME=PATH, got {spec!r}")
+    return name, Path(path)
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import SketchEngine, SketchServer
+
+    engine = SketchEngine(
+        p=args.p,
+        k=args.k,
+        seed=args.seed,
+        min_exponent=args.min_exponent,
+        method=args.method,
+        max_bytes=args.max_bytes,
+    )
+    for spec in args.table:
+        name, path = _parse_table_spec(spec)
+        if path.suffix == ".npz":
+            engine.register_pool_archive(
+                name, path, mmap_mode=None if args.no_mmap else "r"
+            )
+        else:
+            engine.register_array(name, _load_table_values(path))
+        meta = engine.tables()[name]
+        print(f"registered {name}: {tuple(meta['shape'])} "
+              f"(p={meta['p']}, k={meta['k']}, maps={meta['maps_cached']})")
+    server = SketchServer(engine, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"serving {len(args.table)} table(s) on {host}:{port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.serve import Client
+
+    with Client(args.host, args.port, timeout=args.timeout) as client:
+        if args.ping:
+            print("pong" if client.ping() else "no pong")
+            return 0
+        if args.tables:
+            print(json.dumps(client.tables(), indent=2, sort_keys=True))
+            return 0
+        if args.stats:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+            return 0
+        if not args.queries:
+            raise SystemExit(
+                "nothing to do: give queries (TABLE:r,c,h,w:r,c,h,w[:strategy]) "
+                "or one of --ping/--tables/--stats"
+            )
+        queries = [_parse_query_spec(spec) for spec in args.queries]
+        results = client.query(queries, timeout=args.deadline)
+        for spec, result in zip(args.queries, results):
+            print(f"{spec}\t{result.distance:.6g}\t{result.strategy}")
+    return 0
+
+
+def _parse_query_spec(spec: str):
+    parts = spec.split(":")
+    if len(parts) not in (3, 4):
+        raise SystemExit(
+            f"query must be TABLE:r,c,h,w:r,c,h,w[:strategy], got {spec!r}"
+        )
+
+    def rect(text: str) -> tuple[int, ...]:
+        try:
+            values = tuple(int(v) for v in text.split(","))
+        except ValueError:
+            raise SystemExit(f"bad rectangle {text!r} in {spec!r}") from None
+        if len(values) != 4:
+            raise SystemExit(f"rectangle needs r,c,h,w, got {text!r}")
+        return values
+
+    query = [parts[0], rect(parts[1]), rect(parts[2])]
+    if len(parts) == 4:
+        query.append(parts[3])
+    return tuple(query)
+
+
 def main(argv=None) -> int:
     """Dispatch ``python -m repro`` subcommands; returns the exit code."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -103,8 +239,65 @@ def main(argv=None) -> int:
     sketch.add_argument("--tile-cols", type=int, default=16)
     sketch.add_argument("--delimiter", default=",", help="text delimiter")
 
+    pool = commands.add_parser(
+        "pool", help="build a table's dyadic sketch maps and save the pool"
+    )
+    pool.add_argument("table", help="input .npy, flat-file store, or text table")
+    pool.add_argument("--out", required=True, help="output .npz pool archive")
+    pool.add_argument("--p", type=float, default=1.0, help="Lp index (0, 2]")
+    pool.add_argument("--k", type=int, default=60, help="sketch size")
+    pool.add_argument("--seed", type=int, default=0, help="generator seed")
+    pool.add_argument("--min-exponent", type=int, default=3,
+                      help="smallest pooled dyadic exponent")
+    pool.add_argument("--max-exponent", type=int, default=None,
+                      help="largest dyadic exponent to prebuild (default: all)")
+    pool.add_argument("--streams", type=int, default=4, choices=(1, 2, 3, 4),
+                      help="sketch streams to build (4 enables compound queries)")
+    pool.add_argument("--workers", type=int, default=None,
+                      help="parallel map-build threads")
+    pool.add_argument("--backend", default="numpy", help="FFT backend")
+    pool.add_argument("--delimiter", default=",", help="text delimiter")
+
+    serve = commands.add_parser("serve", help="start the sketch query server")
+    serve.add_argument("--table", action="append", required=True, metavar="NAME=PATH",
+                       help="register a table: .npz pool archive (memory-mapped) "
+                            "or .npy/store/text table; repeatable")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=7337, help="bind port (0 = any)")
+    serve.add_argument("--p", type=float, default=1.0, help="default Lp index")
+    serve.add_argument("--k", type=int, default=60, help="default sketch size")
+    serve.add_argument("--seed", type=int, default=0, help="default generator seed")
+    serve.add_argument("--min-exponent", type=int, default=3,
+                       help="default smallest pooled dyadic exponent")
+    serve.add_argument("--method", default="auto", help="estimator method")
+    serve.add_argument("--max-bytes", type=int, default=None,
+                       help="cross-table byte budget for built maps")
+    serve.add_argument("--no-mmap", action="store_true",
+                       help="copy pool archives into RAM instead of mapping them")
+
+    query = commands.add_parser("query", help="talk to a running sketch server")
+    query.add_argument("queries", nargs="*",
+                       metavar="TABLE:r,c,h,w:r,c,h,w[:strategy]",
+                       help="rectangle distance queries")
+    query.add_argument("--host", default="127.0.0.1", help="server address")
+    query.add_argument("--port", type=int, default=7337, help="server port")
+    query.add_argument("--timeout", type=float, default=30.0,
+                       help="socket timeout in seconds")
+    query.add_argument("--deadline", type=float, default=None,
+                       help="server-side batch deadline in seconds")
+    query.add_argument("--ping", action="store_true", help="just ping the server")
+    query.add_argument("--tables", action="store_true", help="list served tables")
+    query.add_argument("--stats", action="store_true", help="dump engine statistics")
+
     args = parser.parse_args(argv)
-    handler = {"info": _cmd_info, "figures": _cmd_figures, "sketch": _cmd_sketch}
+    handler = {
+        "info": _cmd_info,
+        "figures": _cmd_figures,
+        "sketch": _cmd_sketch,
+        "pool": _cmd_pool,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
+    }
     return handler[args.command](args)
 
 

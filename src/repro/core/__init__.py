@@ -29,11 +29,15 @@ from repro.core.distance import (
     OnDemandSketchOracle,
     PrecomputedSketchOracle,
 )
-from repro.core.estimators import estimate_distance, estimate_distance_values
+from repro.core.estimators import (
+    estimate_distance,
+    estimate_distance_batch,
+    estimate_distance_values,
+)
 from repro.core.generator import SketchGenerator
 from repro.core.norms import lp_distance, lp_norm
 from repro.core.pipeline import PipelineStats, sketch_all_positions, sketch_grid
-from repro.core.pool import SketchPool
+from repro.core.pool import MapBudget, SketchPool
 from repro.core.sketch import Sketch
 
 __all__ = [
@@ -41,11 +45,13 @@ __all__ = [
     "Sketch",
     "estimate_distance",
     "estimate_distance_values",
+    "estimate_distance_batch",
     "lp_norm",
     "lp_distance",
     "sketch_all_positions",
     "sketch_grid",
     "SketchPool",
+    "MapBudget",
     "PipelineStats",
     "DistanceStats",
     "ExactLpOracle",

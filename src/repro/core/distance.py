@@ -27,7 +27,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.errors import IncompatibleSketchError, ParameterError, ShapeError
-from repro.core.estimators import estimate_distance_values
+from repro.core.estimators import estimate_distance_batch, estimate_distance_values
 from repro.core.generator import SketchGenerator
 from repro.core.sketch import Sketch
 from repro.stable.scale import sample_median_scale
@@ -226,14 +226,7 @@ class PrecomputedSketchOracle:
 
     def _estimate_rows(self, diffs: np.ndarray) -> np.ndarray:
         """Vectorised estimator over the last axis of ``diffs``."""
-        method = self.method
-        if method == "auto":
-            method = "l2" if self.p == 2.0 else "median"
-        if method == "l2":
-            if self.p != 2.0:
-                raise ParameterError("the Euclidean estimator requires p=2")
-            return np.sqrt(np.sum(diffs * diffs, axis=-1) / (2.0 * self.k))
-        return np.median(np.abs(diffs), axis=-1) / sample_median_scale(self.p, self.k)
+        return estimate_distance_batch(diffs, self.p, self.method)
 
     def sketch_row(self, i: int) -> np.ndarray:
         """The raw sketch vector of item ``i``."""

@@ -35,7 +35,7 @@ from repro.errors import ParameterError
 from repro.core.sketch import Sketch
 from repro.stable.scale import sample_median_scale
 
-__all__ = ["estimate_distance", "estimate_distance_values"]
+__all__ = ["estimate_distance", "estimate_distance_values", "estimate_distance_batch"]
 
 _METHODS = ("auto", "median", "l2")
 
@@ -80,3 +80,30 @@ def estimate_distance_values(diff: np.ndarray, p: float, method: str = "auto") -
             raise ParameterError(f"the Euclidean estimator requires p=2, got p={p}")
         return float(np.sqrt(np.sum(diff * diff) / (2.0 * diff.size)))
     return float(np.median(np.abs(diff)) / sample_median_scale(p, diff.size))
+
+
+def estimate_distance_batch(diffs: np.ndarray, p: float, method: str = "auto") -> np.ndarray:
+    """Estimate many distances from a stack of sketch-difference vectors.
+
+    ``diffs`` has the ``k`` sketch entries on its *last* axis; every
+    leading axis is batched, so an ``(n, k)`` stack yields ``n``
+    estimates in one vectorised ``median``/``norm`` call.  Entry ``i``
+    equals ``estimate_distance_values(diffs[i], p, method)`` exactly —
+    this is the single-call workhorse behind both the distance oracles'
+    row estimators and the serving planner's batched execution.
+    """
+    if method not in _METHODS:
+        raise ParameterError(f"method must be one of {_METHODS}, got {method!r}")
+    diffs = np.asarray(diffs, dtype=np.float64)
+    if diffs.ndim < 1 or diffs.shape[-1] == 0:
+        raise ParameterError(
+            f"sketch differences must have a non-empty last axis, got {diffs.shape}"
+        )
+    k = diffs.shape[-1]
+    if method == "auto":
+        method = "l2" if p == 2.0 else "median"
+    if method == "l2":
+        if p != 2.0:
+            raise ParameterError(f"the Euclidean estimator requires p=2, got p={p}")
+        return np.sqrt(np.sum(diffs * diffs, axis=-1) / (2.0 * k))
+    return np.median(np.abs(diffs), axis=-1) / sample_median_scale(p, k)

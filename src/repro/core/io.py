@@ -13,13 +13,23 @@ mining jobs.  This module serialises:
 
 Format: NumPy ``.npz`` archives with a JSON header entry; no pickle, so
 the files are safe to load from untrusted sources.
+
+Because ``np.savez`` stores members uncompressed, a saved pool can be
+**memory-mapped** rather than copied into RAM: :func:`load_pool` with
+``mmap_mode="r"`` locates each map's bytes inside the archive (zip local
+header + npy header) and hands the pool :class:`numpy.memmap` views, so
+a server process serving a multi-gigabyte pool pays only for the pages
+its queries actually touch — and the OS shares them across processes.
 """
 
 from __future__ import annotations
 
 import json
+import struct
+import zipfile
 
 import numpy as np
+from numpy.lib import format as npy_format
 
 from repro.core.generator import SketchGenerator
 from repro.core.pool import SketchPool
@@ -112,18 +122,98 @@ def save_pool(path, pool: SketchPool) -> None:
     np.savez(path, **arrays)
 
 
-def load_pool(path, backend: str = "numpy") -> SketchPool:
-    """Reconstruct a pool; previously built maps come back pre-warmed."""
+_SUPPORTED_MMAP_MODES = ("r", "r+", "c")
+_ZIP_LOCAL_HEADER = struct.Struct("<4s22xHH")  # signature, name len, extra len
+
+
+def _npz_member_memmap(path, member: str, mmap_mode: str) -> np.ndarray | None:
+    """Memory-map one array inside an uncompressed ``.npz`` archive.
+
+    Returns ``None`` when the member cannot be mapped in place (it is
+    deflated, or its npy header is something other than a plain
+    fixed-dtype array), so the caller can fall back to a copying load.
+    """
+    with zipfile.ZipFile(path) as archive:
+        try:
+            info = archive.getinfo(member)
+        except KeyError as exc:
+            raise StoreError(f"archive {path} has no member {member!r}") from exc
+    if info.compress_type != zipfile.ZIP_STORED:
+        return None
+    with open(path, "rb") as handle:
+        # The local file header's name/extra lengths may differ from the
+        # central directory's, so read them from the file itself.
+        handle.seek(info.header_offset)
+        raw = handle.read(_ZIP_LOCAL_HEADER.size)
+        if len(raw) < _ZIP_LOCAL_HEADER.size:
+            raise StoreError(f"truncated zip local header in {path}")
+        signature, name_len, extra_len = _ZIP_LOCAL_HEADER.unpack(raw)
+        if signature != b"PK\x03\x04":
+            raise StoreError(f"bad zip local header signature in {path}")
+        handle.seek(info.header_offset + _ZIP_LOCAL_HEADER.size + name_len + extra_len)
+        try:
+            version = npy_format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran, dtype = npy_format.read_array_header_1_0(handle)
+            elif version == (2, 0):
+                shape, fortran, dtype = npy_format.read_array_header_2_0(handle)
+            else:
+                return None
+        except ValueError:
+            return None
+        if dtype.hasobject:
+            return None
+        data_offset = handle.tell()
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode=mmap_mode,
+        offset=data_offset,
+        shape=shape,
+        order="F" if fortran else "C",
+    )
+
+
+def load_pool(path, backend: str = "numpy", mmap_mode: str | None = None) -> SketchPool:
+    """Reconstruct a pool; previously built maps come back pre-warmed.
+
+    Parameters
+    ----------
+    path:
+        A ``.npz`` archive written by :func:`save_pool`.
+    backend:
+        FFT backend for any maps the pool still has to build lazily.
+    mmap_mode:
+        ``None`` (default) loads every array into memory.  ``"r"``
+        memory-maps the table and the saved maps read-only straight out
+        of the archive — a long-lived server can then register a
+        multi-gigabyte pool without copying it into RAM, and several
+        processes share the pages.  ``"r+"`` and ``"c"`` map writable /
+        copy-on-write.  Maps the pool builds *after* loading live in
+        memory as usual.
+    """
+    if mmap_mode is not None and mmap_mode not in _SUPPORTED_MMAP_MODES:
+        raise ParameterError(
+            f"mmap_mode must be None or one of {_SUPPORTED_MMAP_MODES}, "
+            f"got {mmap_mode!r}"
+        )
     with np.load(path) as archive:
         header = _read_header(archive)
         if header.get("kind") != "sketch_pool":
             raise StoreError(f"archive holds {header.get('kind')!r}, not a sketch pool")
-        data = archive["data"]
         generator = SketchGenerator(
             p=float(header["p"]), k=int(header["k"]), seed=int(header["seed"])
         )
+
+        def member(name: str) -> np.ndarray:
+            if mmap_mode is not None:
+                mapped = _npz_member_memmap(path, f"{name}.npy", mmap_mode)
+                if mapped is not None:
+                    return mapped
+            return archive[name]
+
         pool = SketchPool(
-            data,
+            member("data"),
             generator,
             min_exponent=int(header["min_exponent"]),
             backend=backend,
@@ -131,7 +221,7 @@ def load_pool(path, backend: str = "numpy") -> SketchPool:
         )
         for key in header["maps"]:
             row_exp, col_exp, stream = (int(part) for part in key)
-            pool._maps[(row_exp, col_exp, stream)] = archive[
+            pool._maps[(row_exp, col_exp, stream)] = member(
                 f"map_{row_exp}_{col_exp}_{stream}"
-            ]
+            )
     return pool

@@ -23,11 +23,23 @@ trade.
 
 Pools build their per-size maps lazily and store them as ``float32`` by
 default, so only the sizes a workload actually queries cost memory.
+
+Pools are **thread-safe**: concurrent queries may trigger lazy builds
+and budget eviction simultaneously.  Each missing map is built exactly
+once (racing threads wait on the winner instead of duplicating the FFT
+work), map bookkeeping is lock-guarded, and a map handed to a reader
+stays valid even if the pool evicts it mid-read — eviction only drops
+the pool's reference, never the array.  Several pools can additionally
+share one :class:`MapBudget`, giving a serving engine a *cross-table*
+LRU byte budget: the coldest map of any member pool is evicted first,
+whichever table it belongs to.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor, as_completed
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor, wait
 
 import numpy as np
 
@@ -38,7 +50,7 @@ from repro.core.sketch import Sketch, SketchKey
 from repro.fourier.spectrum import SpectrumCache
 from repro.table.tiles import TileSpec
 
-__all__ = ["SketchPool"]
+__all__ = ["SketchPool", "MapBudget"]
 
 # Streams 0..3 hold the four independent sketch sets of Definition 4
 # (called s, t, u, v in the paper).  The disjoint composition reuses
@@ -51,6 +63,87 @@ def _floor_log2(n: int) -> int:
     if n < 1:
         raise ParameterError(f"expected a positive integer, got {n}")
     return n.bit_length() - 1
+
+
+class MapBudget:
+    """A shared LRU byte budget across one or more :class:`SketchPool`s.
+
+    Every pool attached to a budget charges its built maps here, and the
+    budget enforces one *global* limit: when the combined bytes exceed
+    ``max_bytes``, the least recently used map of *any* member pool is
+    evicted (the owning pool transparently rebuilds it on its next
+    query).  This is how a serving engine bounds the memory of many
+    tables with one number instead of guessing per-table splits.
+
+    The budget's :attr:`lock` doubles as the lock of every attached
+    pool, so all bookkeeping across the member pools is serialised by a
+    single re-entrant lock — map *builds* (the expensive FFT work)
+    still run outside it and overlap freely.
+
+    Parameters
+    ----------
+    max_bytes:
+        Combined byte limit for the member pools' built maps, or
+        ``None`` for unbounded (the budget then only tracks usage).
+    """
+
+    def __init__(self, max_bytes: int | None = None):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ParameterError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
+        self.lock = threading.RLock()
+        # Insertion order doubles as recency order (moved on access).
+        self._entries: OrderedDict[tuple[int, tuple], tuple["SketchPool", int]] = (
+            OrderedDict()
+        )
+        self.used_bytes = 0
+        self.maps_evicted = 0
+
+    def charge(self, pool: "SketchPool", key: tuple, nbytes: int) -> None:
+        """Record (or refresh) a built map as most recent, then enforce."""
+        with self.lock:
+            entry = (id(pool), key)
+            old = self._entries.pop(entry, None)
+            if old is not None:
+                self.used_bytes -= old[1]
+            self._entries[entry] = (pool, int(nbytes))
+            self.used_bytes += int(nbytes)
+            self._evict_over_budget(protect=entry)
+
+    def touch(self, pool: "SketchPool", key: tuple) -> None:
+        """Refresh a map's recency on a cache hit and re-enforce."""
+        with self.lock:
+            entry = (id(pool), key)
+            if entry in self._entries:
+                self._entries.move_to_end(entry)
+            self._evict_over_budget(protect=entry)
+
+    def discharge(self, pool: "SketchPool", key: tuple) -> None:
+        """Forget a map the owning pool evicted on its own."""
+        with self.lock:
+            old = self._entries.pop((id(pool), key), None)
+            if old is not None:
+                self.used_bytes -= old[1]
+
+    def _evict_over_budget(self, protect: tuple[int, tuple]) -> None:
+        if self.max_bytes is None:
+            return
+        while self.used_bytes > self.max_bytes:
+            # Oldest evictable entry first; the protected entry (the map
+            # being served right now) is skipped, not a stop signal.
+            victim = next((e for e in self._entries if e != protect), None)
+            if victim is None:
+                break  # only the protected map remains
+            victim_pool, nbytes = self._entries.pop(victim)
+            self.used_bytes -= nbytes
+            self.maps_evicted += 1
+            victim_pool._drop_map(victim[1])
+
+    def __repr__(self) -> str:
+        return (
+            f"MapBudget(max_bytes={self.max_bytes}, used_bytes={self.used_bytes}, "
+            f"entries={len(self._entries)}, maps_evicted={self.maps_evicted})"
+        )
 
 
 class SketchPool:
@@ -73,9 +166,15 @@ class SketchPool:
     map_dtype:
         Storage dtype of the per-size maps (``float32`` default).
     max_bytes:
-        Optional memory budget for the built maps.  When exceeded, the
-        least recently used maps are evicted (and transparently rebuilt
-        on the next query of their size).  ``None`` means unbounded.
+        Optional memory budget for this pool's built maps.  When
+        exceeded, the least recently used maps are evicted (and
+        transparently rebuilt on the next query of their size).
+        ``None`` means unbounded.
+    budget:
+        Optional shared :class:`MapBudget` enforcing one byte limit
+        across several pools (cross-table LRU).  Composes with
+        ``max_bytes``: the per-pool limit is enforced first, then the
+        shared one.  The budget's lock becomes this pool's lock.
 
     Attributes
     ----------
@@ -84,6 +183,9 @@ class SketchPool:
         every map build: data transforms computed vs. reused through
         the pool's shared spectrum cache, kernel batches, and bytes
         built/evicted under the budget.
+    map_hits:
+        Queries served from an already-built map (the cache-hit side of
+        ``maps_built``).
     """
 
     def __init__(
@@ -94,6 +196,7 @@ class SketchPool:
         backend: str = "numpy",
         map_dtype=np.float32,
         max_bytes: int | None = None,
+        budget: MapBudget | None = None,
     ):
         self.data = np.asarray(data, dtype=np.float64)
         if self.data.ndim != 2 or self.data.size == 0:
@@ -114,10 +217,16 @@ class SketchPool:
         if max_bytes is not None and max_bytes <= 0:
             raise ParameterError(f"max_bytes must be positive, got {max_bytes}")
         self.max_bytes = max_bytes
+        self._budget = budget
+        self._lock = budget.lock if budget is not None else threading.RLock()
+        # Builds in flight, keyed like _maps; racing threads wait on the
+        # first builder's event instead of duplicating the FFT work.
+        self._pending: dict[tuple[int, int, int], threading.Event] = {}
         # Insertion order doubles as recency order (moved on access).
         self._maps: dict[tuple[int, int, int], np.ndarray] = {}
         self.maps_built = 0
         self.maps_evicted = 0
+        self.map_hits = 0
         # One spectrum cache per pool: every map build of every stream
         # and size shares the padded data transforms.
         self._spectrum_cache = SpectrumCache(self.data)
@@ -135,7 +244,26 @@ class SketchPool:
             for ec in range(self.min_exponent, self.max_col_exponent + 1)
         ]
 
-    def build_all(self, streams=_COMPOUND_STREAMS, workers: int | None = None) -> None:
+    def attach_budget(self, budget: MapBudget) -> None:
+        """Adopt a shared :class:`MapBudget` (and its lock).
+
+        Charges every already-built map to the budget, oldest first, so
+        recency carries over.  Call before the pool is used
+        concurrently; typically done once at registration time by a
+        serving engine.
+        """
+        with self._lock, budget.lock:
+            self._budget = budget
+            self._lock = budget.lock
+            for key, built in list(self._maps.items()):
+                budget.charge(self, key, built.nbytes)
+
+    def build_all(
+        self,
+        streams=_COMPOUND_STREAMS,
+        workers: int | None = None,
+        max_exponent: int | None = None,
+    ) -> None:
         """Eagerly build every canonical map (Theorem 6 preprocessing).
 
         Parameters
@@ -148,35 +276,49 @@ class SketchPool:
             maps in a :class:`~concurrent.futures.ThreadPoolExecutor`
             with one task per ``(size, stream)``; NumPy's FFT releases
             the GIL, so the batched transforms genuinely overlap.  Maps
-            are committed (and the ``max_bytes`` budget enforced) in
-            completion order on the calling thread, so an in-flight
-            batch may transiently hold up to ``workers`` un-committed
-            maps in memory.
+            are committed (and the budget enforced) as each build
+            completes, so an in-flight batch may transiently hold up to
+            ``workers`` un-committed maps in memory.
+        max_exponent:
+            Optional cap on the dyadic exponent per axis: only sizes up
+            to ``2^max_exponent`` are built.  ``None`` builds every size
+            the table admits.  Bounds the preprocessing cost when a
+            workload's windows are known to be small.
         """
-        keys = [
-            (er, ec, stream)
-            for er in range(self.min_exponent, self.max_row_exponent + 1)
-            for ec in range(self.min_exponent, self.max_col_exponent + 1)
-            for stream in streams
-        ]
         if workers is not None and workers < 1:
             raise ParameterError(f"workers must be >= 1, got {workers}")
+        if max_exponent is not None and max_exponent < self.min_exponent:
+            raise ParameterError(
+                f"max_exponent {max_exponent} is below min_exponent "
+                f"{self.min_exponent}"
+            )
+        row_top = self.max_row_exponent
+        col_top = self.max_col_exponent
+        if max_exponent is not None:
+            row_top = min(row_top, max_exponent)
+            col_top = min(col_top, max_exponent)
+        keys = [
+            (er, ec, stream)
+            for er in range(self.min_exponent, row_top + 1)
+            for ec in range(self.min_exponent, col_top + 1)
+            for stream in streams
+        ]
         if workers is None or workers == 1:
             for key in keys:
                 self._map(*key)
             return
-        pending = [key for key in keys if key not in self._maps]
         with ThreadPoolExecutor(max_workers=workers) as executor:
-            futures = {
-                executor.submit(self._build, *key): key for key in pending
-            }
-            for future in as_completed(futures):
-                self._store(futures[future], future.result())
+            # _map dedupes and commits thread-safely, so already-built
+            # keys are cheap hits and racing external queries are fine.
+            done, _ = wait([executor.submit(self._map, *key) for key in keys])
+        for future in done:
+            future.result()  # surface the first build failure, if any
 
     @property
     def nbytes(self) -> int:
         """Memory held by the built maps."""
-        return sum(m.nbytes for m in self._maps.values())
+        with self._lock:
+            return sum(m.nbytes for m in self._maps.values())
 
     def _map(self, row_exp: int, col_exp: int, stream: int) -> np.ndarray:
         if not (self.min_exponent <= row_exp <= self.max_row_exponent):
@@ -190,18 +332,45 @@ class SketchPool:
                 f"[{self.min_exponent}, {self.max_col_exponent}]"
             )
         key = (row_exp, col_exp, stream)
-        built = self._maps.get(key)
-        if built is None:
-            built = self._build(row_exp, col_exp, stream)
-            self._store(key, built)
-        else:
-            # Refresh recency: move to the end of the dict's order, and
-            # re-assert the budget invariant — a cache hit must leave
-            # the pool in the same bounded state a build does.
-            self._maps.pop(key)
-            self._maps[key] = built
-            self._enforce_budget(protect=key)
-        return built
+        while True:
+            with self._lock:
+                built = self._maps.get(key)
+                if built is not None:
+                    # Refresh recency: move to the end of the dict's
+                    # order, and re-assert the budget invariant — a
+                    # cache hit must leave the pool in the same bounded
+                    # state a build does.
+                    self._maps.pop(key)
+                    self._maps[key] = built
+                    self.map_hits += 1
+                    self._enforce_budget(protect=key)
+                    if self._budget is not None:
+                        self._budget.touch(self, key)
+                    return built
+                event = self._pending.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._pending[key] = event
+                    building = True
+                else:
+                    building = False
+            if not building:
+                # Another thread owns this build; wait for it, then loop
+                # to pick the map up (or claim the build if it failed).
+                event.wait()
+                continue
+            try:
+                built = self._build(row_exp, col_exp, stream)
+            except BaseException:
+                with self._lock:
+                    del self._pending[key]
+                event.set()  # wake waiters; one of them retries the build
+                raise
+            with self._lock:
+                self._store(key, built)
+                del self._pending[key]
+            event.set()
+            return built
 
     def _build(self, row_exp: int, col_exp: int, stream: int) -> np.ndarray:
         """Compute one map (thread-safe; does not touch ``_maps``)."""
@@ -218,9 +387,12 @@ class SketchPool:
 
     def _store(self, key: tuple[int, int, int], built: np.ndarray) -> None:
         """Commit a built map as most recent and enforce the budget."""
-        self._maps[key] = built
-        self.maps_built += 1
-        self._enforce_budget(protect=key)
+        with self._lock:
+            self._maps[key] = built
+            self.maps_built += 1
+            self._enforce_budget(protect=key)
+            if self._budget is not None and key in self._maps:
+                self._budget.charge(self, key, built.nbytes)
 
     def _enforce_budget(self, protect: tuple[int, int, int]) -> None:
         while self.max_bytes is not None and self.nbytes > self.max_bytes:
@@ -230,9 +402,18 @@ class SketchPool:
             victim = next((key for key in self._maps if key != protect), None)
             if victim is None:
                 break  # only the protected map remains
-            dropped = self._maps.pop(victim)
-            self.maps_evicted += 1
-            self.stats.tally(maps_evicted=1, bytes_evicted=dropped.nbytes)
+            self._drop_map(victim)
+            if self._budget is not None:
+                self._budget.discharge(self, victim)
+
+    def _drop_map(self, key: tuple[int, int, int]) -> None:
+        """Evict one map (bookkeeping only; in-flight readers keep their
+        reference to the array, which stays valid until released)."""
+        dropped = self._maps.pop(key, None)
+        if dropped is None:
+            return
+        self.maps_evicted += 1
+        self.stats.tally(maps_evicted=1, bytes_evicted=dropped.nbytes)
 
     def _lookup(self, row_exp: int, col_exp: int, stream: int, row: int, col: int):
         return self._map(row_exp, col_exp, stream)[:, row, col].astype(np.float64)
@@ -258,18 +439,30 @@ class SketchPool:
             )
         a = 1 << row_exp
         b = 1 << col_exp
-        anchors = (
-            (spec.row, spec.col),
-            (spec.row + spec.height - a, spec.col),
-            (spec.row, spec.col + spec.width - b),
-            (spec.row + spec.height - a, spec.col + spec.width - b),
-        )
+        anchors = self.compound_anchors(spec)
         values = np.zeros(self.generator.k, dtype=np.float64)
         for stream, (row, col) in zip(_COMPOUND_STREAMS, anchors):
             values += self._lookup(row_exp, col_exp, stream, row, col)
         structure = ("compound", (a, b), (spec.height, spec.width))
         key = SketchKey(self.generator.seed, self.generator.p, self.generator.k, structure)
         return Sketch(values, key)
+
+    @staticmethod
+    def compound_anchors(spec: TileSpec) -> tuple[tuple[int, int], ...]:
+        """The four corner anchors of Definition 4 for ``spec``.
+
+        Anchor ``s`` is where stream ``s``'s dyadic window is placed;
+        the batched planner uses this to gather whole query groups with
+        one fancy-indexing pass per stream.
+        """
+        a = 1 << _floor_log2(spec.height)
+        b = 1 << _floor_log2(spec.width)
+        return (
+            (spec.row, spec.col),
+            (spec.row + spec.height - a, spec.col),
+            (spec.row, spec.col + spec.width - b),
+            (spec.row + spec.height - a, spec.col + spec.width - b),
+        )
 
     def disjoint_sketch_for(self, spec: TileSpec) -> Sketch:
         """Exact dyadic composition: no overlap, no Theorem-5 factor.

@@ -49,5 +49,32 @@ class ConvergenceError(ReproError, RuntimeError):
     """An iterative procedure failed to converge within its budget."""
 
 
+class ServeError(ReproError, RuntimeError):
+    """A sketch-serving engine, server or client failed.
+
+    Base class for the ``repro.serve`` failure modes; errors raised by
+    the engine while answering a query (e.g. :class:`ParameterError` for
+    an unknown table) keep their own types and travel over the wire by
+    name.
+    """
+
+
+class ProtocolError(ServeError):
+    """A wire message could not be parsed or violated the protocol.
+
+    Raised for lines that are not valid JSON, requests without an ``op``,
+    unknown operations, or responses the client cannot interpret.
+    """
+
+
+class QueryTimeoutError(ServeError):
+    """A query batch exceeded its deadline.
+
+    The planner checks the deadline between vectorized groups, so a
+    timed-out batch stops early rather than running to completion;
+    already-computed groups are discarded.
+    """
+
+
 class EmptyClusterError(ReproError, RuntimeError):
     """A clustering step produced an empty cluster it could not repair."""

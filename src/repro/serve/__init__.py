@@ -1,0 +1,41 @@
+"""Serving precomputed sketches: batched planning, engine, wire protocol.
+
+The paper's operational premise is that sketch preprocessing is paid
+once and *many* later mining jobs reuse it.  This subpackage is that
+consumer side — a long-lived query service over precomputed sketch
+pools:
+
+:mod:`repro.serve.planner`
+    :class:`QueryPlanner` routes arbitrary-rectangle distance queries
+    to the grid / compound (Theorem 5) / exact-disjoint strategies and
+    executes whole batches with a few vectorized estimator calls.
+:mod:`repro.serve.engine`
+    :class:`SketchEngine` registers many tables (arrays, flat-file
+    stores, memory-mapped pool archives) under one cross-table LRU
+    memory budget, thread-safe for concurrent queries.
+:mod:`repro.serve.server` / :mod:`repro.serve.client`
+    A stdlib JSON-lines TCP server (``python -m repro serve``) and its
+    matching blocking :class:`Client`.
+:mod:`repro.serve.stats`
+    Request counters, batch-size and latency histograms, and the
+    planner's cost ledger, exposed via the ``stats`` wire op.
+"""
+
+from repro.serve.client import Client
+from repro.serve.engine import SketchEngine
+from repro.serve.planner import QueryGroup, QueryPlanner, QueryResult, RectQuery
+from repro.serve.server import SketchServer
+from repro.serve.stats import EngineStats, Histogram, PlannerStats
+
+__all__ = [
+    "SketchEngine",
+    "SketchServer",
+    "Client",
+    "QueryPlanner",
+    "QueryGroup",
+    "RectQuery",
+    "QueryResult",
+    "EngineStats",
+    "PlannerStats",
+    "Histogram",
+]

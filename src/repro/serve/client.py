@@ -1,0 +1,134 @@
+"""A stdlib client for the JSON-lines sketch server.
+
+:class:`Client` speaks the protocol of
+:mod:`repro.serve.server` over a plain :mod:`socket`: one JSON object
+per line out, one per line back.  Server-side errors are re-raised
+locally as their original :mod:`repro.errors` types (matched by class
+name), so remote and in-process engines misbehave identically.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import repro.errors
+from repro.errors import ProtocolError, ReproError, ServeError
+from repro.serve.planner import QueryResult, RectQuery
+
+__all__ = ["Client"]
+
+
+def _revive_error(info) -> ReproError:
+    """Rebuild a server-side error from its wire ``{type, message}``."""
+    if not isinstance(info, dict):
+        return ServeError(f"server reported an unintelligible error: {info!r}")
+    name = info.get("type", "")
+    message = info.get("message", "")
+    exc_type = getattr(repro.errors, str(name), None)
+    if isinstance(exc_type, type) and issubclass(exc_type, ReproError):
+        return exc_type(message)
+    return ServeError(f"{name}: {message}")
+
+
+class Client:
+    """A blocking connection to a running :class:`~repro.serve.server.SketchServer`.
+
+    Parameters
+    ----------
+    host, port:
+        The server's bound address.
+    timeout:
+        Socket timeout in seconds for connect and each response
+        (``None`` blocks indefinitely).
+
+    Usable as a context manager.  Not thread-safe: requests and
+    responses pair up by order on one connection, so give each thread
+    its own client.
+
+    Examples
+    --------
+    >>> with Client("127.0.0.1", 7337) as client:       # doctest: +SKIP
+    ...     client.ping()
+    ...     results = client.query([
+    ...         {"table": "calls", "a": [0, 0, 8, 8], "b": [8, 8, 8, 8]},
+    ...     ])
+    """
+
+    def __init__(self, host: str, port: int, timeout: float | None = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._sock is None:
+            return
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._sock = None
+
+    def _roundtrip(self, request: dict) -> dict:
+        if self._sock is None:
+            raise ServeError("client connection is closed")
+        self._file.write(json.dumps(request).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ProtocolError("server closed the connection mid-request")
+        try:
+            response = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"server sent invalid JSON: {exc}") from exc
+        if not isinstance(response, dict) or "ok" not in response:
+            raise ProtocolError(f"malformed server response: {response!r}")
+        if not response["ok"]:
+            raise _revive_error(response.get("error"))
+        return response.get("result", {})
+
+    def ping(self) -> bool:
+        """Round-trip a no-op request; ``True`` if the server answered."""
+        return bool(self._roundtrip({"op": "ping"}).get("pong"))
+
+    def tables(self) -> dict:
+        """Metadata of every table registered on the server."""
+        return self._roundtrip({"op": "tables"})["tables"]
+
+    def stats(self) -> dict:
+        """The server engine's full statistics snapshot."""
+        return self._roundtrip({"op": "stats"})
+
+    def query(self, queries, timeout: float | None = None) -> list[QueryResult]:
+        """Answer a batch of rectangle queries remotely.
+
+        Accepts the same query forms as
+        :meth:`~repro.serve.engine.SketchEngine.query`; returns
+        :class:`~repro.serve.planner.QueryResult` objects in submission
+        order.  ``timeout`` is the *server-side* batch deadline in
+        seconds (the socket timeout set at construction bounds the
+        wait for the response itself).
+        """
+        wire = [RectQuery.parse(query).to_wire() for query in queries]
+        request: dict = {"op": "query", "queries": wire}
+        if timeout is not None:
+            request["timeout"] = float(timeout)
+        result = self._roundtrip(request)
+        try:
+            return [QueryResult.parse(item) for item in result["results"]]
+        except (KeyError, TypeError) as exc:
+            raise ProtocolError(f"malformed query response: {result!r}") from exc
+
+    def distance(self, table: str, a, b, strategy: str = "auto") -> QueryResult:
+        """Answer one query (convenience wrapper over :meth:`query`)."""
+        return self.query([(table, a, b, strategy)])[0]

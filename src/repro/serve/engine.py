@@ -1,0 +1,289 @@
+"""The sketch query engine: many tables, one memory budget, one planner.
+
+:class:`SketchEngine` is the in-process heart of the serving subsystem
+(the TCP server in :mod:`repro.serve.server` is a thin wire wrapper
+around it).  It owns:
+
+* a registry of named tables, each backed by a
+  :class:`~repro.core.pool.SketchPool` — registered from an in-memory
+  array, a :class:`~repro.table.store.TableStore` flat file (or several
+  stitched shards), or a :func:`~repro.core.io.save_pool` archive whose
+  precomputed maps are memory-mapped rather than copied into RAM;
+* a shared :class:`~repro.core.pool.MapBudget` bounding the combined
+  bytes of every pool's built maps with cross-table LRU eviction, whose
+  lock also serialises all pool bookkeeping (so concurrent queries from
+  server handler threads are safe);
+* a :class:`~repro.serve.planner.QueryPlanner` answering batches of
+  rectangle queries with a few vectorized estimator calls;
+* an :class:`~repro.serve.stats.EngineStats` ledger of requests, batch
+  sizes, latencies, and cache hit/miss traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.core.generator import SketchGenerator
+from repro.core.io import load_pool
+from repro.core.pool import MapBudget, SketchPool
+from repro.errors import ParameterError
+from repro.serve.planner import QueryPlanner, QueryResult, RectQuery
+from repro.serve.stats import EngineStats, pipeline_stats_dict
+from repro.table.store import open_store
+
+__all__ = ["SketchEngine"]
+
+
+class SketchEngine:
+    """A concurrent, multi-table sketch query engine.
+
+    Parameters
+    ----------
+    p:
+        Default Lp index for newly created pools (individual
+        registrations may override it).
+    k:
+        Default sketch size.
+    seed:
+        Default random seed.
+    min_exponent:
+        Default smallest pooled dyadic exponent.
+    backend:
+        FFT backend for lazy map builds.
+    method:
+        Estimator method (``"auto"`` / ``"median"`` / ``"l2"``) used by
+        the planner.
+    max_bytes:
+        Combined byte budget for all tables' built maps (cross-table
+        LRU eviction); ``None`` for unbounded.
+
+    Examples
+    --------
+    >>> engine = SketchEngine(p=1.0, k=60, seed=7)
+    >>> engine.register_array("calls", np.random.default_rng(0).random((64, 64)))
+    'calls'
+    >>> res = engine.query([("calls", (0, 0, 8, 8), (16, 16, 8, 8))])
+    >>> res[0].strategy
+    'grid'
+    """
+
+    def __init__(
+        self,
+        p: float = 1.0,
+        k: int = 60,
+        seed: int = 0,
+        min_exponent: int = 3,
+        backend: str = "numpy",
+        method: str = "auto",
+        max_bytes: int | None = None,
+    ):
+        self.defaults = SketchGenerator(p=p, k=k, seed=seed)  # validates p, k
+        self.min_exponent = int(min_exponent)
+        self.backend = backend
+        # One budget even when unbounded: its lock is the single lock
+        # shared by every registered pool, which is what makes the
+        # cross-table bookkeeping race-free.
+        self.budget = MapBudget(max_bytes)
+        self._pools: dict[str, SketchPool] = {}
+        self._registry_lock = threading.Lock()
+        self.stats = EngineStats()
+        self.planner = QueryPlanner(self._pools, method=method, stats=self.stats.planner)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def _generator(self, p, k, seed) -> SketchGenerator:
+        return SketchGenerator(
+            p=self.defaults.p if p is None else float(p),
+            k=self.defaults.k if k is None else int(k),
+            seed=self.defaults.seed if seed is None else int(seed),
+        )
+
+    def _admit(self, name: str, pool: SketchPool) -> str:
+        if not name or not isinstance(name, str):
+            raise ParameterError(f"table name must be a non-empty string, got {name!r}")
+        pool.attach_budget(self.budget)
+        with self._registry_lock:
+            if name in self._pools:
+                raise ParameterError(f"table {name!r} is already registered")
+            self._pools[name] = pool
+        return name
+
+    def register_array(
+        self,
+        name: str,
+        data,
+        p: float | None = None,
+        k: int | None = None,
+        seed: int | None = None,
+        min_exponent: int | None = None,
+    ) -> str:
+        """Register an in-memory 2-D array as a queryable table."""
+        pool = SketchPool(
+            data,
+            self._generator(p, k, seed),
+            min_exponent=self.min_exponent if min_exponent is None else int(min_exponent),
+            backend=self.backend,
+        )
+        return self._admit(name, pool)
+
+    def register_store(
+        self,
+        name: str,
+        source,
+        p: float | None = None,
+        k: int | None = None,
+        seed: int | None = None,
+        min_exponent: int | None = None,
+    ) -> str:
+        """Register a flat-file table (one path or several shards).
+
+        ``source`` goes through :func:`~repro.table.store.open_store`,
+        so a list of per-period files is stitched into one wide table.
+        The table's values are materialised once (pooling sketches needs
+        the full array); the sketch maps stay lazy.
+        """
+        with open_store(source) as store:
+            data = store.read_all()
+        return self.register_array(
+            name, data, p=p, k=k, seed=seed, min_exponent=min_exponent
+        )
+
+    def register_pool_archive(
+        self, name: str, path, mmap_mode: str | None = "r"
+    ) -> str:
+        """Register a :func:`~repro.core.io.save_pool` archive.
+
+        By default the archive's table and precomputed maps are
+        memory-mapped (``mmap_mode="r"``) rather than copied, so a
+        server can front a large preprocessed pool paying only for the
+        pages its queries touch.  Pass ``mmap_mode=None`` to load into
+        RAM instead.
+        """
+        pool = load_pool(path, backend=self.backend, mmap_mode=mmap_mode)
+        return self._admit(name, pool)
+
+    def register_pool(self, name: str, pool: SketchPool) -> str:
+        """Register an existing pool (adopting the engine's budget)."""
+        return self._admit(name, pool)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        with self._registry_lock:
+            return name in self._pools
+
+    def pool(self, name: str) -> SketchPool:
+        """The pool behind a registered table."""
+        with self._registry_lock:
+            pool = self._pools.get(name)
+        if pool is None:
+            raise ParameterError(
+                f"unknown table {name!r} (registered: {sorted(self._pools)})"
+            )
+        return pool
+
+    def tables(self) -> dict[str, dict]:
+        """JSON-safe metadata for every registered table."""
+        with self._registry_lock:
+            pools = dict(self._pools)
+        out = {}
+        for name, pool in pools.items():
+            out[name] = {
+                "shape": list(pool.data.shape),
+                "p": pool.generator.p,
+                "k": pool.generator.k,
+                "seed": pool.generator.seed,
+                "min_exponent": pool.min_exponent,
+                "maps_built": pool.maps_built,
+                "maps_cached": len(pool._maps),
+                "map_bytes": pool.nbytes,
+                # asarray() in the pool turns a memmap into a zero-copy
+                # view, so check the base as well as the array itself
+                "memory_mapped": isinstance(pool.data, np.memmap)
+                or isinstance(pool.data.base, np.memmap),
+            }
+        return out
+
+    def stats_snapshot(self) -> dict:
+        """One JSON-safe dict of every ledger the engine keeps.
+
+        Combines the request/latency/planner counters, per-table cache
+        hit/miss and pipeline accounting, and the shared budget's usage.
+        """
+        with self._registry_lock:
+            pools = dict(self._pools)
+        snapshot = self.stats.snapshot()
+        snapshot["tables"] = {
+            name: {
+                "maps_built": pool.maps_built,
+                "map_hits": pool.map_hits,
+                "maps_evicted": pool.maps_evicted,
+                "map_bytes": pool.nbytes,
+                "pipeline": pipeline_stats_dict(pool.stats),
+            }
+            for name, pool in pools.items()
+        }
+        snapshot["budget"] = {
+            "max_bytes": self.budget.max_bytes,
+            "used_bytes": self.budget.used_bytes,
+            "maps_evicted": self.budget.maps_evicted,
+        }
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, queries, timeout: float | None = None) -> list[QueryResult]:
+        """Answer a batch of rectangle queries.
+
+        Parameters
+        ----------
+        queries:
+            A sequence of :class:`~repro.serve.planner.RectQuery`, wire
+            dicts, or ``(table, a, b[, strategy])`` tuples (rectangles
+            as :class:`~repro.table.tiles.TileSpec` or
+            ``(row, col, height, width)``).
+        timeout:
+            Optional seconds before the batch raises
+            :class:`~repro.errors.QueryTimeoutError` (checked between
+            query groups).
+
+        Returns
+        -------
+        list[QueryResult]
+            One result per query, in submission order.
+        """
+        if timeout is not None and timeout <= 0:
+            raise ParameterError(f"timeout must be positive, got {timeout}")
+        start = time.perf_counter()
+        try:
+            parsed = [RectQuery.parse(query) for query in queries]
+            if not parsed:
+                raise ParameterError("query batch is empty")
+            deadline = None if timeout is None else time.monotonic() + timeout
+            results = self.planner.execute(parsed, deadline)
+        except Exception:
+            self.stats.record_request("query", error=True)
+            raise
+        self.stats.record_request(
+            "query", batch_size=len(parsed), seconds=time.perf_counter() - start
+        )
+        return results
+
+    def distance(self, table: str, a, b, strategy: str = "auto") -> QueryResult:
+        """Answer one query (convenience wrapper over :meth:`query`)."""
+        return self.query([(table, a, b, strategy)])[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"SketchEngine(tables={sorted(self._pools)}, "
+            f"budget={self.budget.max_bytes}, queries={self.stats.queries})"
+        )

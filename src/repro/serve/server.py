@@ -1,0 +1,183 @@
+"""A JSON-lines TCP server exposing a :class:`SketchEngine`.
+
+Standard library only: :mod:`socketserver` threads, :mod:`json` framing.
+Each connection carries a sequence of newline-terminated JSON requests;
+every request gets exactly one newline-terminated JSON response, so
+clients can pipeline.  The protocol:
+
+Request::
+
+    {"op": "ping"}
+    {"op": "tables"}
+    {"op": "stats"}
+    {"op": "query", "queries": [<query>, ...], "timeout": <seconds?>}
+
+where ``<query>`` is ``{"table": ..., "a": [row, col, height, width],
+"b": [...], "strategy": "auto"}`` (see
+:meth:`~repro.serve.planner.RectQuery.parse`).
+
+Response::
+
+    {"ok": true,  "result": ...}
+    {"ok": false, "error": {"type": "ParameterError", "message": "..."}}
+
+Errors travel by exception class name; :class:`repro.serve.Client` maps
+them back onto the :mod:`repro.errors` hierarchy, so a bad query raises
+the same exception type remotely as it would in process.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import threading
+
+from repro.errors import ProtocolError, ReproError
+from repro.serve.engine import SketchEngine
+
+__all__ = ["SketchServer"]
+
+# Cap on one request line; a line this long is a confused or hostile
+# client, not a real batch (a 10k-query batch is ~1 MB).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+_OPS = ("ping", "tables", "stats", "query")
+
+
+def _handle_request(engine: SketchEngine, request: dict) -> dict:
+    """Dispatch one parsed request dict to the engine."""
+    if not isinstance(request, dict):
+        raise ProtocolError(f"request must be a JSON object, got {type(request).__name__}")
+    op = request.get("op")
+    if op not in _OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {_OPS}")
+    if op == "ping":
+        engine.stats.record_request("ping")
+        return {"pong": True}
+    if op == "tables":
+        engine.stats.record_request("tables")
+        return {"tables": engine.tables()}
+    if op == "stats":
+        engine.stats.record_request("stats")
+        return engine.stats_snapshot()
+    unknown = set(request) - {"op", "queries", "timeout"}
+    if unknown:
+        raise ProtocolError(f"query request has unknown keys {sorted(unknown)}")
+    queries = request.get("queries")
+    if not isinstance(queries, list) or not queries:
+        raise ProtocolError("query request needs a non-empty 'queries' list")
+    timeout = request.get("timeout")
+    results = engine.query(queries, timeout=None if timeout is None else float(timeout))
+    return {"results": [result.to_wire() for result in results]}
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One thread per connection; reads request lines until EOF."""
+
+    def handle(self) -> None:
+        """Serve newline-framed JSON requests until the peer hangs up."""
+        engine = self.server.engine  # type: ignore[attr-defined]
+        while True:
+            try:
+                line = self.rfile.readline(MAX_LINE_BYTES + 1)
+            except (ConnectionError, OSError):
+                return
+            if not line:
+                return
+            if len(line) > MAX_LINE_BYTES:
+                self._respond_error(ProtocolError(
+                    f"request line exceeds {MAX_LINE_BYTES} bytes"
+                ))
+                return
+            if not line.strip():
+                continue
+            try:
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+                result = _handle_request(engine, request)
+            except ReproError as exc:
+                if not self._respond_error(exc):
+                    return
+                continue
+            payload = {"ok": True, "result": result}
+            if not self._send(payload):
+                return
+
+    def _respond_error(self, exc: Exception) -> bool:
+        return self._send({
+            "ok": False,
+            "error": {"type": type(exc).__name__, "message": str(exc)},
+        })
+
+    def _send(self, payload: dict) -> bool:
+        try:
+            self.wfile.write(json.dumps(payload).encode("utf-8") + b"\n")
+            return True
+        except (ConnectionError, OSError):
+            return False
+
+
+class SketchServer(socketserver.ThreadingTCPServer):
+    """A threaded TCP server fronting one :class:`SketchEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine to expose.
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`address`).
+
+    Usable as a context manager; :meth:`start` runs the accept loop in a
+    daemon thread for in-process use (tests, notebooks), while
+    :meth:`serve_forever` blocks (the CLI's mode).
+
+    Examples
+    --------
+    >>> engine = SketchEngine(k=8)
+    >>> engine.register_array("t", np.ones((16, 16)))   # doctest: +SKIP
+    >>> with SketchServer(engine, port=0) as server:    # doctest: +SKIP
+    ...     server.start()
+    ...     client = Client(*server.address)
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, engine: SketchEngine, host: str = "127.0.0.1", port: int = 0):
+        self.engine = engine
+        self._thread: threading.Thread | None = None
+        super().__init__((host, port), _Handler)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually-bound ``(host, port)``."""
+        return self.server_address[0], self.server_address[1]
+
+    def start(self) -> "SketchServer":
+        """Run the accept loop in a background daemon thread."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="sketch-server", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the accept loop down and close the listening socket."""
+        if self._thread is not None:
+            # shutdown() handshakes with a running serve_forever loop;
+            # calling it without one would block forever.
+            self.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.server_close()
+
+    def __enter__(self) -> "SketchServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

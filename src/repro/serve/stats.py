@@ -1,0 +1,250 @@
+"""Serving-side statistics: request counters, histograms, cache accounting.
+
+The preprocessing pipeline accounts for its work in
+:class:`~repro.core.pipeline.PipelineStats` and the distance oracles in
+:class:`~repro.core.distance.DistanceStats`.  A serving engine needs a
+third ledger on top: how many requests arrived, how large the batches
+were, how long they took, and how often the dyadic maps behind them were
+already warm.  This module provides that layer:
+
+:class:`PlannerStats`
+    A :class:`~repro.core.distance.DistanceStats` extended with the
+    planner's own counters — vectorized estimator invocations, map
+    gathers, group count, per-strategy query counts — updated through a
+    thread-safe :meth:`~PlannerStats.tally` because server handler
+    threads execute plans concurrently.
+
+:class:`Histogram`
+    A tiny fixed-edge histogram (no third-party metrics library), with
+    power-of-two and log10 factories for batch sizes and latencies.
+
+:class:`EngineStats`
+    The engine-wide roll-up: request counters per operation, error
+    count, batch-size and latency histograms, and the planner ledger.
+    :meth:`EngineStats.snapshot` renders everything JSON-safe so the
+    ``stats`` wire operation can ship it verbatim.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from dataclasses import dataclass, field, fields
+
+from repro.core.distance import DistanceStats
+from repro.core.pipeline import PipelineStats
+from repro.errors import ParameterError
+
+__all__ = ["PlannerStats", "Histogram", "EngineStats", "pipeline_stats_dict"]
+
+
+@dataclass
+class PlannerStats(DistanceStats):
+    """Distance-oracle stats extended with batched-planner counters.
+
+    Attributes
+    ----------
+    estimator_calls:
+        Vectorized estimator invocations (one per executed group).  The
+        per-query baseline makes one invocation per query; the whole
+        point of batched planning is to make this number collapse.
+    map_gathers:
+        Fancy-indexing passes over dyadic maps (2 per grid group, 8 per
+        compound group, ``2 * blocks`` per disjoint group).
+    groups:
+        Executed query groups.
+    grid_queries / compound_queries / disjoint_queries:
+        Queries answered by each routing strategy.
+    """
+
+    estimator_calls: int = 0
+    map_gathers: int = 0
+    groups: int = 0
+    grid_queries: int = 0
+    compound_queries: int = 0
+    disjoint_queries: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def tally(self, **counts: int) -> None:
+        """Atomically add ``counts`` to the matching counters."""
+        with self._lock:
+            for name, delta in counts.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def reset(self) -> None:
+        """Zero every counter (inherited and planner-specific)."""
+        with self._lock:
+            super().reset()
+            self.estimator_calls = 0
+            self.map_gathers = 0
+            self.groups = 0
+            self.grid_queries = 0
+            self.compound_queries = 0
+            self.disjoint_queries = 0
+
+    def as_dict(self) -> dict:
+        """All counters as a plain JSON-safe dict."""
+        with self._lock:
+            return {
+                f.name: getattr(self, f.name)
+                for f in fields(self)
+                if not f.name.startswith("_")
+            }
+
+
+class Histogram:
+    """A fixed-edge histogram of non-negative observations.
+
+    ``edges`` are the ascending upper bounds of the first ``len(edges)``
+    bins; one overflow bin catches everything larger.  Recording is
+    O(log bins) and lock-free at this level (callers serialise), and
+    :meth:`snapshot` emits a JSON-safe dict for the wire.
+    """
+
+    def __init__(self, edges):
+        edges = [float(e) for e in edges]
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ParameterError(f"histogram edges must ascend, got {edges}")
+        self.edges = tuple(edges)
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    @classmethod
+    def powers_of_two(cls, highest: int = 4096) -> "Histogram":
+        """Bins at 1, 2, 4, ... ``highest`` — batch sizes."""
+        edges = []
+        edge = 1
+        while edge <= highest:
+            edges.append(edge)
+            edge *= 2
+        return cls(edges)
+
+    @classmethod
+    def log10(cls, lowest: float = 1e-5, highest: float = 10.0) -> "Histogram":
+        """Decade bins from ``lowest`` to ``highest`` — latencies in seconds."""
+        edges = []
+        edge = lowest
+        while edge <= highest * 1.0000001:
+            edges.append(edge)
+            edge *= 10.0
+        return cls(edges)
+
+    def record(self, value: float) -> None:
+        """Count one observation."""
+        value = float(value)
+        self.counts[bisect_right(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary: edges, per-bin counts, count/mean/max."""
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "mean": self.mean,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, mean={self.mean:.4g}, max={self.max:.4g})"
+
+
+def pipeline_stats_dict(stats: PipelineStats) -> dict:
+    """Render a :class:`PipelineStats` as a JSON-safe dict.
+
+    ``dataclasses.asdict`` chokes on the embedded lock, so the counters
+    are lifted by hand.
+    """
+    return {
+        "data_ffts_computed": stats.data_ffts_computed,
+        "data_ffts_reused": stats.data_ffts_reused,
+        "kernel_ffts": stats.kernel_ffts,
+        "kernel_fft_batches": stats.kernel_fft_batches,
+        "maps_built": stats.maps_built,
+        "bytes_built": stats.bytes_built,
+        "maps_evicted": stats.maps_evicted,
+        "bytes_evicted": stats.bytes_evicted,
+    }
+
+
+class EngineStats:
+    """Engine-wide request accounting.
+
+    Attributes
+    ----------
+    requests:
+        Completed requests per operation name (``query``, ``stats``,
+        ``tables``, ``ping``).
+    errors:
+        Requests that raised (per operation, plus a total).
+    queries:
+        Individual rectangle queries answered (a batch of 50 counts 50).
+    batch_sizes:
+        Power-of-two histogram of query-batch sizes.
+    latency_seconds:
+        Log10 histogram of request service times.
+    planner:
+        The shared :class:`PlannerStats` the query planner tallies into.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests: dict[str, int] = {}
+        self.errors: dict[str, int] = {}
+        self.queries = 0
+        self.batch_sizes = Histogram.powers_of_two()
+        self.latency_seconds = Histogram.log10()
+        self.planner = PlannerStats()
+
+    def record_request(
+        self,
+        op: str,
+        batch_size: int | None = None,
+        seconds: float | None = None,
+        error: bool = False,
+    ) -> None:
+        """Account one completed (or failed) request."""
+        with self._lock:
+            if error:
+                self.errors[op] = self.errors.get(op, 0) + 1
+            else:
+                self.requests[op] = self.requests.get(op, 0) + 1
+            if batch_size is not None:
+                self.queries += batch_size
+                self.batch_sizes.record(batch_size)
+            if seconds is not None:
+                self.latency_seconds.record(seconds)
+
+    def reset(self) -> None:
+        """Zero every counter and histogram."""
+        with self._lock:
+            self.requests = {}
+            self.errors = {}
+            self.queries = 0
+            self.batch_sizes = Histogram.powers_of_two()
+            self.latency_seconds = Histogram.log10()
+        self.planner.reset()
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary of every counter and histogram."""
+        with self._lock:
+            return {
+                "requests": dict(self.requests),
+                "errors": dict(self.errors),
+                "queries": self.queries,
+                "batch_size": self.batch_sizes.snapshot(),
+                "latency_seconds": self.latency_seconds.snapshot(),
+                "planner": self.planner.as_dict(),
+            }

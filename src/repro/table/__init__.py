@@ -26,7 +26,13 @@ from repro.table.linearize import (
     morton_order,
     snake_order,
 )
-from repro.table.store import StitchedStore, TableStore, read_table, write_table
+from repro.table.store import (
+    StitchedStore,
+    TableStore,
+    open_store,
+    read_table,
+    write_table,
+)
 from repro.table.tabular import TabularData
 from repro.table.tiles import TileGrid, TileSpec
 
@@ -36,6 +42,7 @@ __all__ = [
     "TileGrid",
     "TableStore",
     "StitchedStore",
+    "open_store",
     "write_table",
     "read_table",
     "morton_order",

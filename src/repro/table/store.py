@@ -39,7 +39,7 @@ import numpy as np
 from repro.errors import ParameterError, StoreError
 from repro.table.tiles import TileSpec
 
-__all__ = ["TableStore", "StitchedStore", "write_table", "read_table"]
+__all__ = ["TableStore", "StitchedStore", "open_store", "write_table", "read_table"]
 
 _MAGIC = b"RPROTBL2"
 _VERSION = 2
@@ -115,6 +115,27 @@ def read_table(path) -> np.ndarray:
     """Read an entire table back into memory."""
     with TableStore(path) as store:
         return store.read_all()
+
+
+def open_store(source) -> "TableStore | StitchedStore":
+    """Open one store file or a sequence of them as a readable table.
+
+    A single path yields a :class:`TableStore`; a sequence of paths
+    yields a :class:`StitchedStore` presenting the files as one wide
+    table.  This is the ingestion seam shared by the CLI and the
+    serving engine, so both accept per-period shards the same way.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        return TableStore(source)
+    try:
+        paths = list(source)
+    except TypeError as exc:
+        raise ParameterError(
+            f"open_store needs a path or a sequence of paths, got {source!r}"
+        ) from exc
+    if len(paths) == 1:
+        return TableStore(paths[0])
+    return StitchedStore(paths)
 
 
 class TableStore:

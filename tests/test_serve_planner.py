@@ -1,0 +1,245 @@
+"""Tests for the batched query planner (routing, grouping, exactness)."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimators import estimate_distance_values
+from repro.core.generator import SketchGenerator
+from repro.core.pool import SketchPool
+from repro.errors import ParameterError, QueryTimeoutError
+from repro.serve.planner import QueryPlanner, QueryResult, RectQuery
+from repro.table.tiles import TileSpec
+
+TABLE_SHAPE = (64, 96)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    data = np.random.default_rng(11).normal(size=TABLE_SHAPE)
+    return SketchPool(data, SketchGenerator(p=1.0, k=21, seed=3), min_exponent=2)
+
+
+@pytest.fixture()
+def planner(pool):
+    return QueryPlanner({"t": pool})
+
+
+class TestRectQuery:
+    def test_parse_forms_agree(self):
+        from_tuple = RectQuery.parse(("t", (0, 0, 8, 8), (8, 8, 8, 8)))
+        from_dict = RectQuery.parse(
+            {"table": "t", "a": [0, 0, 8, 8], "b": [8, 8, 8, 8]}
+        )
+        from_specs = RectQuery("t", TileSpec(0, 0, 8, 8), TileSpec(8, 8, 8, 8))
+        assert from_tuple == from_dict == from_specs
+
+    def test_wire_round_trip(self):
+        query = RectQuery("t", TileSpec(1, 2, 8, 16), TileSpec(3, 4, 8, 16), "compound")
+        assert RectQuery.parse(query.to_wire()) == query
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ParameterError):
+            RectQuery("t", TileSpec(0, 0, 8, 8), TileSpec(0, 0, 8, 16))
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ParameterError):
+            RectQuery("t", TileSpec(0, 0, 8, 8), TileSpec(0, 0, 8, 8), "psychic")
+
+    def test_bad_wire_forms_rejected(self):
+        with pytest.raises(ParameterError):
+            RectQuery.parse({"table": "t", "a": [0, 0, 8, 8]})  # missing b
+        with pytest.raises(ParameterError):
+            RectQuery.parse({"table": "t", "a": [0, 0, 8, 8], "b": [0, 0, 8, 8],
+                             "extra": 1})
+        with pytest.raises(ParameterError):
+            RectQuery.parse(("t", (0, 0, 8), (0, 0, 8, 8)))
+        with pytest.raises(ParameterError):
+            RectQuery.parse(42)
+
+    def test_result_wire_round_trip(self):
+        result = QueryResult(3.5, "grid")
+        assert QueryResult.parse(result.to_wire()) == result
+
+
+class TestRouting:
+    def test_auto_prefers_grid_for_dyadic(self, pool, planner):
+        query = RectQuery("t", TileSpec(0, 0, 16, 32), TileSpec(4, 4, 16, 32))
+        assert planner.resolve_strategy(pool, query) == "grid"
+
+    def test_auto_falls_back_to_compound(self, pool, planner):
+        query = RectQuery("t", TileSpec(0, 0, 12, 32), TileSpec(4, 4, 12, 32))
+        assert planner.resolve_strategy(pool, query) == "compound"
+
+    def test_grid_rejects_non_dyadic(self, pool, planner):
+        query = RectQuery("t", TileSpec(0, 0, 12, 16), TileSpec(0, 0, 12, 16), "grid")
+        with pytest.raises(ParameterError):
+            planner.resolve_strategy(pool, query)
+
+    def test_disjoint_needs_unit_multiple(self, pool, planner):
+        query = RectQuery("t", TileSpec(0, 0, 10, 16), TileSpec(0, 0, 10, 16),
+                          "disjoint")
+        with pytest.raises(ParameterError):
+            planner.resolve_strategy(pool, query)
+
+    def test_unknown_table_rejected(self, planner):
+        with pytest.raises(ParameterError, match="unknown table"):
+            planner.execute([RectQuery("x", TileSpec(0, 0, 8, 8), TileSpec(0, 0, 8, 8))])
+
+    def test_too_small_tile_rejected(self, planner):
+        with pytest.raises(ParameterError, match="smaller than the pooled minimum"):
+            planner.execute([RectQuery("t", TileSpec(0, 0, 2, 8), TileSpec(0, 0, 2, 8))])
+
+    def test_out_of_bounds_rejected(self, planner):
+        with pytest.raises(Exception):
+            planner.execute(
+                [RectQuery("t", TileSpec(60, 90, 16, 16), TileSpec(0, 0, 16, 16))]
+            )
+
+
+class TestGrouping:
+    def test_same_size_queries_share_a_group(self, planner):
+        queries = [
+            RectQuery("t", TileSpec(r, c, 8, 8), TileSpec(r + 8, c + 8, 8, 8))
+            for r, c in [(0, 0), (4, 4), (8, 16), (16, 32)]
+        ]
+        groups = planner.plan(queries)
+        assert len(groups) == 1
+        assert groups[0].strategy == "grid"
+        assert groups[0].indices == (0, 1, 2, 3)
+
+    def test_mixed_batch_groups_by_strategy_and_size(self, planner):
+        queries = [
+            RectQuery("t", TileSpec(0, 0, 8, 8), TileSpec(8, 8, 8, 8)),          # grid 8x8
+            RectQuery("t", TileSpec(0, 0, 12, 12), TileSpec(8, 8, 12, 12)),      # compound
+            RectQuery("t", TileSpec(4, 4, 8, 8), TileSpec(16, 16, 8, 8)),        # grid 8x8
+            RectQuery("t", TileSpec(0, 0, 16, 16), TileSpec(8, 8, 16, 16)),      # grid 16x16
+            RectQuery("t", TileSpec(0, 0, 12, 12), TileSpec(16, 16, 12, 12)),    # compound
+        ]
+        groups = planner.plan(queries)
+        by_key = {(g.strategy, g.size_key): g.indices for g in groups}
+        assert by_key[("grid", (3, 3))] == (0, 2)
+        assert by_key[("grid", (4, 4))] == (3,)
+        assert by_key[("compound", (3, 3))] == (1, 4)
+
+    def test_one_estimator_call_per_group(self, pool, planner):
+        queries = [
+            RectQuery("t", TileSpec(i, i, 8, 8), TileSpec(i + 8, i + 8, 8, 8))
+            for i in range(10)
+        ]
+        planner.stats.reset()
+        planner.execute(queries)
+        assert planner.stats.estimator_calls == 1
+        assert planner.stats.comparisons == 10
+        assert planner.stats.grid_queries == 10
+
+
+class TestExecution:
+    def test_results_in_submission_order(self, pool, planner):
+        queries = [
+            RectQuery("t", TileSpec(0, 0, 12, 12), TileSpec(8, 8, 12, 12)),
+            RectQuery("t", TileSpec(0, 0, 8, 8), TileSpec(8, 8, 8, 8)),
+            RectQuery("t", TileSpec(0, 0, 16, 16), TileSpec(32, 32, 16, 16), "disjoint"),
+        ]
+        results = planner.execute(queries)
+        assert [r.strategy for r in results] == ["compound", "grid", "disjoint"]
+
+    def test_timeout_raises(self, planner):
+        queries = [RectQuery("t", TileSpec(0, 0, 8, 8), TileSpec(8, 8, 8, 8))]
+        with pytest.raises(QueryTimeoutError):
+            planner.execute(queries, deadline=time.monotonic() - 1.0)
+
+    def test_self_distance_is_zero(self, planner):
+        spec = TileSpec(4, 4, 8, 8)
+        result = planner.execute([RectQuery("t", spec, spec)])[0]
+        assert result.distance == 0.0
+
+
+def _spec_strategy():
+    """Random in-bounds rectangles with serve-compatible shapes."""
+    return st.builds(
+        lambda er, ec, rf, cf: (1 << er, 1 << ec, rf, cf),
+        er=st.integers(min_value=2, max_value=5),
+        ec=st.integers(min_value=2, max_value=5),
+        rf=st.floats(min_value=0.0, max_value=1.0),
+        cf=st.floats(min_value=0.0, max_value=1.0),
+    )
+
+
+class TestBatchedMatchesScalar:
+    """The headline property: batched answers == one-at-a-time pool API."""
+
+    @staticmethod
+    def _place(pool, height, width, row_frac, col_frac):
+        row = int(row_frac * (pool.data.shape[0] - height))
+        col = int(col_frac * (pool.data.shape[1] - width))
+        return TileSpec(row, col, height, width)
+
+    @staticmethod
+    def _scalar_answer(pool, query, strategy):
+        if strategy == "compound":
+            sketch_a = pool.sketch_for(query.a)
+            sketch_b = pool.sketch_for(query.b)
+        else:  # grid and disjoint both reduce to the disjoint composition
+            sketch_a = pool.disjoint_sketch_for(query.a)
+            sketch_b = pool.disjoint_sketch_for(query.b)
+        return estimate_distance_values(
+            sketch_a.values - sketch_b.values, pool.generator.p
+        )
+
+    @given(
+        shapes=st.lists(_spec_strategy(), min_size=1, max_size=12),
+        strategy=st.sampled_from(["grid", "compound", "disjoint"]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_batched_equals_scalar(self, pool, shapes, strategy, seed):
+        rng = np.random.default_rng(seed)
+        planner = QueryPlanner({"t": pool})
+        queries = []
+        for height, width, row_frac, col_frac in shapes:
+            if strategy == "compound":
+                # widen to a non-dyadic size when room allows, so the
+                # compound path exercises genuinely overlapping corners
+                height = min(height + int(rng.integers(0, height)),
+                             pool.data.shape[0])
+                width = min(width + int(rng.integers(0, width)),
+                            pool.data.shape[1])
+            spec_a = self._place(pool, height, width, row_frac, col_frac)
+            spec_b = self._place(pool, height, width, 1.0 - row_frac, 1.0 - col_frac)
+            queries.append(RectQuery("t", spec_a, spec_b, strategy))
+        batched = planner.execute(queries)
+        for query, result in zip(queries, batched):
+            assert result.strategy == strategy
+            expected = self._scalar_answer(pool, query, strategy)
+            assert result.distance == expected  # bit-exact, not approx
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_auto_routing_matches_scalar(self, pool, seed):
+        rng = np.random.default_rng(seed)
+        planner = QueryPlanner({"t": pool})
+        queries = []
+        for _ in range(8):
+            height = int(rng.integers(4, 33))
+            width = int(rng.integers(4, 49))
+            row = int(rng.integers(0, pool.data.shape[0] - height + 1))
+            col = int(rng.integers(0, pool.data.shape[1] - width + 1))
+            row_b = int(rng.integers(0, pool.data.shape[0] - height + 1))
+            col_b = int(rng.integers(0, pool.data.shape[1] - width + 1))
+            queries.append(RectQuery(
+                "t", TileSpec(row, col, height, width),
+                TileSpec(row_b, col_b, height, width),
+            ))
+        results = planner.execute(queries)
+        for query, result in zip(queries, results):
+            dyadic = (query.a.height & (query.a.height - 1) == 0
+                      and query.a.width & (query.a.width - 1) == 0)
+            assert result.strategy == ("grid" if dyadic else "compound")
+            expected = self._scalar_answer(pool, query, result.strategy)
+            assert result.distance == expected

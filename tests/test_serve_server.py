@@ -1,0 +1,144 @@
+"""Tests for the JSON-lines TCP server and its stdlib client."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError, ProtocolError
+from repro.serve import Client, SketchEngine, SketchServer
+
+
+@pytest.fixture(scope="module")
+def server():
+    engine = SketchEngine(p=1.0, k=16, seed=2)
+    engine.register_array("t", np.random.default_rng(8).normal(size=(64, 64)))
+    with SketchServer(engine) as srv:
+        srv.start()
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with Client(*server.address, timeout=10.0) as cli:
+        yield cli
+
+
+def _raw_roundtrip(server, payload: bytes) -> dict:
+    """Send raw bytes (one line) and decode the one-line response."""
+    with socket.create_connection(server.address, timeout=10.0) as sock:
+        sock.sendall(payload)
+        handle = sock.makefile("rb")
+        return json.loads(handle.readline())
+
+
+class TestProtocol:
+    def test_ping(self, client):
+        assert client.ping() is True
+
+    def test_tables(self, client):
+        tables = client.tables()
+        assert tables["t"]["shape"] == [64, 64]
+        assert tables["t"]["k"] == 16
+
+    def test_query_round_trip_matches_engine(self, server, client):
+        queries = [
+            ("t", (0, 0, 8, 8), (16, 16, 8, 8)),
+            ("t", (1, 1, 12, 12), (32, 32, 12, 12)),
+            ("t", (0, 0, 16, 16), (32, 16, 16, 16), "disjoint"),
+        ]
+        remote = client.query(queries)
+        local = server.engine.query(queries)
+        assert [r.distance for r in remote] == [r.distance for r in local]
+        assert [r.strategy for r in remote] == [r.strategy for r in local]
+
+    def test_stats_op(self, client):
+        client.query([("t", (0, 0, 8, 8), (8, 8, 8, 8))])
+        stats = client.stats()
+        assert stats["queries"] >= 1
+        assert stats["requests"]["query"] >= 1
+        assert "planner" in stats and "tables" in stats and "budget" in stats
+
+    def test_pipelined_requests_on_one_connection(self, client):
+        for _ in range(5):
+            assert client.ping()
+        assert client.distance("t", (0, 0, 8, 8), (8, 8, 8, 8)).strategy == "grid"
+
+
+class TestErrorMapping:
+    def test_engine_error_revives_with_type(self, client):
+        with pytest.raises(ParameterError, match="unknown table"):
+            client.query([("ghost", (0, 0, 8, 8), (8, 8, 8, 8))])
+
+    def test_connection_survives_an_error(self, client):
+        with pytest.raises(ParameterError):
+            client.query([("ghost", (0, 0, 8, 8), (8, 8, 8, 8))])
+        assert client.ping()  # same connection still usable
+
+    def test_invalid_json_line(self, server):
+        response = _raw_roundtrip(server, b"this is not json\n")
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ProtocolError"
+
+    def test_unknown_op(self, server):
+        response = _raw_roundtrip(server, b'{"op": "frobnicate"}\n')
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ProtocolError"
+        assert "frobnicate" in response["error"]["message"]
+
+    def test_non_object_request(self, server):
+        response = _raw_roundtrip(server, b"[1, 2, 3]\n")
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ProtocolError"
+
+    def test_query_without_queries(self, server):
+        response = _raw_roundtrip(server, b'{"op": "query"}\n')
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ProtocolError"
+
+    def test_closed_client_raises(self, server):
+        cli = Client(*server.address)
+        cli.close()
+        with pytest.raises(Exception):
+            cli.ping()
+
+
+class TestConcurrency:
+    def test_many_clients_in_parallel(self, server):
+        queries = [("t", (0, 0, 8, 8), (16, 16, 8, 8)),
+                   ("t", (2, 2, 12, 12), (24, 24, 12, 12))]
+        expected = [r.distance for r in server.engine.query(queries)]
+        failures: list[BaseException] = []
+
+        def worker():
+            try:
+                with Client(*server.address, timeout=15.0) as cli:
+                    for _ in range(5):
+                        got = [r.distance for r in cli.query(queries)]
+                        assert got == expected
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not failures
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent_and_frees_port(self):
+        engine = SketchEngine(k=4)
+        engine.register_array("x", np.ones((16, 16)))
+        server = SketchServer(engine)
+        server.start()
+        host, port = server.address
+        server.stop()
+        server.stop()  # idempotent
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=0.5)
