@@ -13,6 +13,10 @@ localhost (stdlib sockets, JSON-lines framing).
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -24,6 +28,8 @@ K = 64
 N_QUERIES = 1200
 TABLE_SHAPE = (128, 256)
 
+TRAJECTORY_PATH = Path(__file__).resolve().parent / "BENCH_serving.json"
+
 
 @pytest.fixture(scope="module")
 def engine():
@@ -32,6 +38,47 @@ def engine():
         "bench", np.random.default_rng(17).normal(size=TABLE_SHAPE)
     )
     return engine
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_trajectory(engine):
+    """Append one run entry to ``BENCH_serving.json`` after the module.
+
+    The trajectory file accumulates one JSON entry per benchmark run —
+    workload shape, batched-planner cost counters, and per-op latency —
+    so serving-path regressions show up as a trend, not a one-off
+    number.
+    """
+    started = time.time()
+    yield
+    snapshot = engine.stats_snapshot()
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(started)),
+        "wall_seconds": round(time.time() - started, 3),
+        "workload": {"queries": N_QUERIES, "table_shape": list(TABLE_SHAPE),
+                     "p": P, "k": K},
+        "queries_answered": snapshot["queries"],
+        "planner": snapshot["planner"],
+        "latency_seconds": {
+            "count": snapshot["latency_seconds"]["count"],
+            "mean": snapshot["latency_seconds"]["mean"],
+            "max": snapshot["latency_seconds"]["max"],
+        },
+        "tables": {
+            name: {"maps_built": table["maps_built"],
+                   "map_hits": table["map_hits"],
+                   "map_bytes": table["map_bytes"]}
+            for name, table in snapshot["tables"].items()
+        },
+    }
+    try:
+        history = json.loads(TRAJECTORY_PATH.read_text())
+        if not isinstance(history, list):
+            history = []
+    except (OSError, ValueError):
+        history = []
+    history.append(entry)
+    TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
 
 
 @pytest.fixture(scope="module")
@@ -123,6 +170,28 @@ def test_bench_per_query_baseline(benchmark, engine, mixed_queries):
 
     answers = benchmark.pedantic(run, rounds=3, iterations=1)
     assert len(answers) == len(mixed_queries)
+
+
+def test_bench_span_overhead(benchmark, engine, mixed_queries):
+    """Batched execution with tracing disabled — the span-overhead bound.
+
+    Compare against ``test_bench_batched_execution`` (spans on): the
+    instrumentation budget is <= 2% on this workload, since spans wrap
+    stages (batch execution, map builds) rather than per-query work.
+    """
+    engine.query(mixed_queries[:50])  # warm the maps out of the timing
+    pool = engine.pool("bench")
+    engine.tracer.enabled = False
+    pool.tracer.enabled = False
+    try:
+        def run():
+            return engine.query(mixed_queries)
+
+        results = benchmark.pedantic(run, rounds=3, iterations=1)
+    finally:
+        engine.tracer.enabled = True
+        pool.tracer.enabled = True
+    assert len(results) == len(mixed_queries)
 
 
 def test_bench_client_server_round_trip(benchmark, engine, mixed_queries):

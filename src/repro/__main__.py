@@ -19,6 +19,10 @@ Commands
 ``query``
     Speak to a running server: ping it, list its tables, dump its stats,
     or answer rectangle distance queries.
+``stats``
+    Scrape a running server's metrics: a human-readable summary by
+    default, the raw JSON snapshot with ``--json``, or Prometheus text
+    exposition format with ``--prometheus``.
 """
 
 from __future__ import annotations
@@ -156,7 +160,14 @@ def _cmd_serve(args) -> int:
         meta = engine.tables()[name]
         print(f"registered {name}: {tuple(meta['shape'])} "
               f"(p={meta['p']}, k={meta['k']}, maps={meta['maps_cached']})")
-    server = SketchServer(engine, host=args.host, port=args.port)
+    from repro.obs.export import StructuredLogger
+
+    logger = StructuredLogger("repro.serve", level=args.log_level)
+    slow = None if args.slow_query_ms is None else args.slow_query_ms / 1000.0
+    server = SketchServer(
+        engine, host=args.host, port=args.port,
+        logger=logger, slow_query_seconds=slow,
+    )
     host, port = server.address
     print(f"serving {len(args.table)} table(s) on {host}:{port}")
     try:
@@ -193,6 +204,67 @@ def _cmd_query(args) -> int:
         for spec, result in zip(args.queries, results):
             print(f"{spec}\t{result.distance:.6g}\t{result.strategy}")
     return 0
+
+
+def _cmd_stats(args) -> int:
+    import json
+
+    from repro.obs.export import render_prometheus
+    from repro.serve import Client
+
+    with Client(args.host, args.port, timeout=args.timeout) as client:
+        snapshot = client.stats()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    if args.prometheus:
+        metrics = snapshot.get("metrics")
+        if not metrics:
+            raise SystemExit("server snapshot has no 'metrics' section "
+                             "(older server?); try --json")
+        sys.stdout.write(render_prometheus(metrics))
+        return 0
+    _print_stats_summary(snapshot)
+    return 0
+
+
+def _print_stats_summary(snapshot: dict) -> None:
+    """Human-readable roll-up of a server stats snapshot."""
+    requests = snapshot.get("requests", {})
+    errors = snapshot.get("errors", {})
+    print(f"requests: {sum(requests.values())} "
+          f"({', '.join(f'{op}={n}' for op, n in sorted(requests.items())) or 'none'})")
+    if errors:
+        print(f"errors:   {sum(errors.values())} "
+              f"({', '.join(f'{op}={n}' for op, n in sorted(errors.items()))})")
+    print(f"queries:  {snapshot.get('queries', 0)}")
+    latency = snapshot.get("latency_seconds", {})
+    if latency.get("count"):
+        print(f"latency:  n={latency['count']} mean={latency['mean']:.6g}s")
+    for op, hist in sorted(snapshot.get("latency_by_op", {}).items()):
+        if hist.get("count"):
+            print(f"  {op:<9} n={hist['count']} mean={hist['mean']:.6g}s")
+    planner = snapshot.get("planner", {})
+    if planner:
+        print(f"planner:  groups={planner.get('groups', 0)} "
+              f"estimator_calls={planner.get('estimator_calls', 0)} "
+              f"map_gathers={planner.get('map_gathers', 0)}")
+    for name, table in sorted(snapshot.get("tables", {}).items()):
+        pipeline = table.get("pipeline", {})
+        reused = pipeline.get("data_ffts_reused", 0)
+        computed = pipeline.get("data_ffts_computed", 0)
+        total = reused + computed
+        rate = f"{reused / total:.1%}" if total else "n/a"
+        print(f"table {name}: maps={table.get('maps_built', 0)} "
+              f"hits={table.get('map_hits', 0)} "
+              f"evicted={table.get('maps_evicted', 0)} "
+              f"bytes={table.get('map_bytes', 0)} fft_reuse={rate}")
+    budget = snapshot.get("budget", {})
+    if budget:
+        cap = budget.get("max_bytes")
+        print(f"budget:   used={budget.get('used_bytes', 0)} "
+              f"max={'unbounded' if cap is None else cap} "
+              f"evicted={budget.get('maps_evicted', 0)}")
 
 
 def _parse_query_spec(spec: str):
@@ -274,6 +346,13 @@ def main(argv=None) -> int:
                        help="cross-table byte budget for built maps")
     serve.add_argument("--no-mmap", action="store_true",
                        help="copy pool archives into RAM instead of mapping them")
+    serve.add_argument("--log-level", default="warning",
+                       choices=("debug", "info", "warning", "error"),
+                       help="structured request-log level (default: warning, "
+                            "i.e. slow queries only)")
+    serve.add_argument("--slow-query-ms", type=float, default=None,
+                       help="log requests slower than this many ms at warning "
+                            "level")
 
     query = commands.add_parser("query", help="talk to a running sketch server")
     query.add_argument("queries", nargs="*",
@@ -289,6 +368,19 @@ def main(argv=None) -> int:
     query.add_argument("--tables", action="store_true", help="list served tables")
     query.add_argument("--stats", action="store_true", help="dump engine statistics")
 
+    stats = commands.add_parser(
+        "stats", help="scrape a running server's metrics"
+    )
+    stats.add_argument("--host", default="127.0.0.1", help="server address")
+    stats.add_argument("--port", type=int, default=7337, help="server port")
+    stats.add_argument("--timeout", type=float, default=30.0,
+                       help="socket timeout in seconds")
+    fmt = stats.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true",
+                     help="dump the raw JSON snapshot")
+    fmt.add_argument("--prometheus", action="store_true",
+                     help="render Prometheus text exposition format")
+
     args = parser.parse_args(argv)
     handler = {
         "info": _cmd_info,
@@ -297,6 +389,7 @@ def main(argv=None) -> int:
         "pool": _cmd_pool,
         "serve": _cmd_serve,
         "query": _cmd_query,
+        "stats": _cmd_stats,
     }
     return handler[args.command](args)
 

@@ -23,13 +23,12 @@ Two bulk paths are provided:
 :class:`PipelineStats` is the preprocessing-side mirror of
 :class:`~repro.core.distance.DistanceStats`: a hardware-independent
 account of the transforms computed, the transforms saved by caching,
-and the bytes of sketch maps built and evicted.
+and the bytes of sketch maps built and evicted.  Its counters live in a
+:class:`~repro.obs.metrics.MetricsRegistry` (see :mod:`repro.obs`), so
+a serving engine surfaces them in one unified snapshot.
 """
 
 from __future__ import annotations
-
-import threading
-from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -37,14 +36,20 @@ from repro.errors import ShapeError
 from repro.core.generator import SketchGenerator
 from repro.fourier.conv import cross_correlate2d_valid_batch
 from repro.fourier.spectrum import SpectrumCache
+from repro.obs.ledger import CounterLedger
 from repro.table.tiles import TileGrid
 
 __all__ = ["PipelineStats", "sketch_all_positions", "sketch_grid"]
 
 
-@dataclass
-class PipelineStats:
+class PipelineStats(CounterLedger):
     """Cost account of the preprocessing work a sketch pipeline performed.
+
+    The counters live in a :class:`~repro.obs.metrics.MetricsRegistry`
+    (a private one by default; pass ``registry=`` or call
+    :meth:`~repro.obs.ledger.CounterLedger.bind` to share), under metric
+    names ``pipeline_<attribute>_total``, but read as plain attributes
+    exactly as before.
 
     Attributes
     ----------
@@ -68,39 +73,31 @@ class PipelineStats:
     maps_evicted / bytes_evicted:
         Maps (and their bytes) dropped by a pool's LRU budget.
 
-    All counters are updated through :meth:`tally`, which takes an
-    internal lock so concurrent map builds account correctly.
+    All counters are updated through :meth:`tally`; each counter is
+    individually atomic, so concurrent map builds account correctly.
     """
 
-    data_ffts_computed: int = 0
-    data_ffts_reused: int = 0
-    kernel_ffts: int = 0
-    kernel_fft_batches: int = 0
-    maps_built: int = 0
-    bytes_built: int = 0
-    maps_evicted: int = 0
-    bytes_evicted: int = 0
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+    _PREFIX = "pipeline_"
+    _COUNTERS = (
+        "data_ffts_computed",
+        "data_ffts_reused",
+        "kernel_ffts",
+        "kernel_fft_batches",
+        "maps_built",
+        "bytes_built",
+        "maps_evicted",
+        "bytes_evicted",
     )
-
-    def tally(self, **counts: int) -> None:
-        """Atomically add ``counts`` to the matching counters."""
-        with self._lock:
-            for name, delta in counts.items():
-                setattr(self, name, getattr(self, name) + delta)
-
-    def reset(self) -> None:
-        """Zero every counter."""
-        with self._lock:
-            self.data_ffts_computed = 0
-            self.data_ffts_reused = 0
-            self.kernel_ffts = 0
-            self.kernel_fft_batches = 0
-            self.maps_built = 0
-            self.bytes_built = 0
-            self.maps_evicted = 0
-            self.bytes_evicted = 0
+    _HELP = {
+        "data_ffts_computed": "Padded data transforms actually computed.",
+        "data_ffts_reused": "Data transforms served from a spectrum cache.",
+        "kernel_ffts": "Random-matrix kernel transforms computed.",
+        "kernel_fft_batches": "Stacked rfft2 calls the kernel transforms used.",
+        "maps_built": "All-position sketch maps materialised.",
+        "bytes_built": "Bytes of sketch maps materialised.",
+        "maps_evicted": "Sketch maps dropped by an LRU budget.",
+        "bytes_evicted": "Bytes of sketch maps dropped by an LRU budget.",
+    }
 
     @property
     def total_data_ffts(self) -> int:

@@ -48,6 +48,8 @@ from repro.core.generator import SketchGenerator
 from repro.core.pipeline import PipelineStats, sketch_all_positions
 from repro.core.sketch import Sketch, SketchKey
 from repro.fourier.spectrum import SpectrumCache
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.table.tiles import TileSpec
 
 __all__ = ["SketchPool", "MapBudget"]
@@ -175,6 +177,12 @@ class SketchPool:
         across several pools (cross-table LRU).  Composes with
         ``max_bytes``: the per-pool limit is enforced first, then the
         shared one.  The budget's lock becomes this pool's lock.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` receiving
+        the pool's instruments (pipeline counters, map hit/build
+        counters, byte gauges, build spans).  A private registry is
+        created when omitted; :meth:`bind_metrics` moves everything
+        onto a shared one later.
 
     Attributes
     ----------
@@ -197,6 +205,7 @@ class SketchPool:
         map_dtype=np.float32,
         max_bytes: int | None = None,
         budget: MapBudget | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.data = np.asarray(data, dtype=np.float64)
         if self.data.ndim != 2 or self.data.size == 0:
@@ -230,7 +239,75 @@ class SketchPool:
         # One spectrum cache per pool: every map build of every stream
         # and size shares the padded data transforms.
         self._spectrum_cache = SpectrumCache(self.data)
-        self.stats = PipelineStats()
+        # Instrumentation: a private registry until a serving engine
+        # adopts the pool via bind_metrics(engine_registry, table=name).
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._obs_labels: dict = {}
+        self.tracer = Tracer(self._registry, max_spans=512)
+        self.stats = PipelineStats(registry=self._registry)
+        self._spectrum_cache.bind_metrics(self._registry)
+        self._hits_metric = self._registry.counter(
+            "pool_map_hits_total", help="Queries served from an already-built map."
+        )
+        self._register_gauges()
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+
+    def _builds_counter(self, stream) -> "Counter":
+        return self._registry.counter(
+            "pool_map_builds_total",
+            help="Sketch maps built, by stream.",
+            stream=stream, **self._obs_labels,
+        )
+
+    def _register_gauges(self) -> None:
+        self._registry.gauge_function(
+            "pool_map_bytes", lambda: self.nbytes,
+            help="Bytes currently held by built maps.", **self._obs_labels,
+        )
+        self._registry.gauge_function(
+            "pool_maps_cached", lambda: len(self._maps),
+            help="Built maps currently resident.", **self._obs_labels,
+        )
+        # Pre-create the builds family so a pool serving entirely from
+        # preloaded archive maps still exposes its series (at zero).
+        for stream in sorted({key[2] for key in self._maps}) or [0]:
+            self._builds_counter(stream)
+
+    def bind_metrics(self, registry: MetricsRegistry, **labels) -> None:
+        """Move this pool's instruments onto a shared ``registry``.
+
+        A serving engine calls this at registration time with
+        ``table=<name>``, so every pool's pipeline counters, spectrum
+        cache hit rates, map-hit counts, and byte gauges land in one
+        registry under per-table labels.  Accumulated counts carry over.
+        Bind before serving traffic; concurrent tallies during the move
+        may be dropped.
+        """
+        self.stats.bind(registry, **labels)
+        self._spectrum_cache.bind_metrics(registry, **labels)
+        self.tracer.bind(registry)
+        hits = registry.counter(
+            "pool_map_hits_total",
+            help="Queries served from an already-built map.", **labels,
+        )
+        if hits is not self._hits_metric and self.map_hits:
+            hits.inc(self.map_hits)
+        self._hits_metric = hits
+        old_registry = self._registry
+        self._registry = registry
+        self._obs_labels = dict(labels)
+        self._register_gauges()
+        # Carry per-stream build counts accumulated before the bind.
+        for name, _, _, children in old_registry.collect():
+            if name != "pool_map_builds_total":
+                continue
+            for child_labels, child in children:
+                counter = self._builds_counter(child_labels.get("stream", "0"))
+                if counter is not child and child.value:
+                    counter.inc(child.value)
 
     # ------------------------------------------------------------------
     # Map management
@@ -303,16 +380,19 @@ class SketchPool:
             for ec in range(self.min_exponent, col_top + 1)
             for stream in streams
         ]
-        if workers is None or workers == 1:
-            for key in keys:
-                self._map(*key)
-            return
-        with ThreadPoolExecutor(max_workers=workers) as executor:
-            # _map dedupes and commits thread-safely, so already-built
-            # keys are cheap hits and racing external queries are fine.
-            done, _ = wait([executor.submit(self._map, *key) for key in keys])
-        for future in done:
-            future.result()  # surface the first build failure, if any
+        with self.tracer.span(
+            "pool.build_all", maps=len(keys), workers=workers or 1
+        ):
+            if workers is None or workers == 1:
+                for key in keys:
+                    self._map(*key)
+                return
+            with ThreadPoolExecutor(max_workers=workers) as executor:
+                # _map dedupes and commits thread-safely, so already-built
+                # keys are cheap hits and racing external queries are fine.
+                done, _ = wait([executor.submit(self._map, *key) for key in keys])
+            for future in done:
+                future.result()  # surface the first build failure, if any
 
     @property
     def nbytes(self) -> int:
@@ -343,6 +423,7 @@ class SketchPool:
                     self._maps.pop(key)
                     self._maps[key] = built
                     self.map_hits += 1
+                    self._hits_metric.inc()
                     self._enforce_budget(protect=key)
                     if self._budget is not None:
                         self._budget.touch(self, key)
@@ -374,37 +455,44 @@ class SketchPool:
 
     def _build(self, row_exp: int, col_exp: int, stream: int) -> np.ndarray:
         """Compute one map (thread-safe; does not touch ``_maps``)."""
-        return sketch_all_positions(
-            self.data,
-            (1 << row_exp, 1 << col_exp),
-            self.generator,
-            stream=stream,
-            backend=self.backend,
-            out_dtype=self.map_dtype,
-            spectrum_cache=self._spectrum_cache,
-            stats=self.stats,
-        )
+        with self.tracer.span(
+            "pool.build_map", size=f"{1 << row_exp}x{1 << col_exp}", stream=stream
+        ):
+            return sketch_all_positions(
+                self.data,
+                (1 << row_exp, 1 << col_exp),
+                self.generator,
+                stream=stream,
+                backend=self.backend,
+                out_dtype=self.map_dtype,
+                spectrum_cache=self._spectrum_cache,
+                stats=self.stats,
+            )
 
     def _store(self, key: tuple[int, int, int], built: np.ndarray) -> None:
         """Commit a built map as most recent and enforce the budget."""
         with self._lock:
             self._maps[key] = built
             self.maps_built += 1
+            self._builds_counter(key[2]).inc()
             self._enforce_budget(protect=key)
             if self._budget is not None and key in self._maps:
                 self._budget.charge(self, key, built.nbytes)
 
     def _enforce_budget(self, protect: tuple[int, int, int]) -> None:
-        while self.max_bytes is not None and self.nbytes > self.max_bytes:
-            # Oldest evictable map first; the protected key (the map
-            # being served right now) is skipped, not a stop signal —
-            # younger evictable maps behind it must still go.
-            victim = next((key for key in self._maps if key != protect), None)
-            if victim is None:
-                break  # only the protected map remains
-            self._drop_map(victim)
-            if self._budget is not None:
-                self._budget.discharge(self, victim)
+        if self.max_bytes is None or self.nbytes <= self.max_bytes:
+            return
+        with self.tracer.span("pool.enforce_budget"):
+            while self.nbytes > self.max_bytes:
+                # Oldest evictable map first; the protected key (the map
+                # being served right now) is skipped, not a stop signal —
+                # younger evictable maps behind it must still go.
+                victim = next((key for key in self._maps if key != protect), None)
+                if victim is None:
+                    break  # only the protected map remains
+                self._drop_map(victim)
+                if self._budget is not None:
+                    self._budget.discharge(self, victim)
 
     def _drop_map(self, key: tuple[int, int, int]) -> None:
         """Evict one map (bookkeeping only; in-flight readers keep their

@@ -54,6 +54,35 @@ class SpectrumCache:
         self._lock = threading.Lock()
         self.computed = 0
         self.reused = 0
+        # Optional registry counters, attached via bind_metrics (the
+        # owning pool binds its cache when a serving engine adopts it).
+        self._hits_metric = None
+        self._misses_metric = None
+
+    def bind_metrics(self, registry, **labels) -> None:
+        """Mirror hit/miss counts into ``registry`` under ``labels``.
+
+        Creates ``fft_spectrum_cache_hits_total`` /
+        ``fft_spectrum_cache_misses_total`` counters and seeds them with
+        the counts accumulated so far.
+        """
+        with self._lock:
+            hits = registry.counter(
+                "fft_spectrum_cache_hits_total",
+                help="Padded data spectra served from the cache.",
+                **labels,
+            )
+            misses = registry.counter(
+                "fft_spectrum_cache_misses_total",
+                help="Padded data spectra computed on a cache miss.",
+                **labels,
+            )
+            if hits is not self._hits_metric and self.reused:
+                hits.inc(self.reused)
+            if misses is not self._misses_metric and self.computed:
+                misses.inc(self.computed)
+            self._hits_metric = hits
+            self._misses_metric = misses
 
     def spectrum(self, padded_shape: tuple[int, int], stats=None) -> np.ndarray:
         """The ``rfft2`` of the table zero-padded to ``padded_shape``.
@@ -75,6 +104,8 @@ class SpectrumCache:
             if cached is not None:
                 self._spectra.move_to_end(key)
                 self.reused += 1
+                if self._hits_metric is not None:
+                    self._hits_metric.inc()
                 if stats is not None:
                     stats.tally(data_ffts_reused=1)
                 return cached
@@ -85,6 +116,8 @@ class SpectrumCache:
             while len(self._spectra) > self.max_entries:
                 self._spectra.popitem(last=False)
             self.computed += 1
+            if self._misses_metric is not None:
+                self._misses_metric.inc()
             if stats is not None:
                 stats.tally(data_ffts_computed=1)
             return spectrum

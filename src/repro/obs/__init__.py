@@ -1,0 +1,46 @@
+"""repro.obs — the unified instrumentation layer.
+
+Zero-required-dependency observability for every hot path in the repo:
+
+:mod:`repro.obs.metrics`
+    :class:`MetricsRegistry` — thread-safe named counters, gauges, and
+    histograms with Prometheus-style labels; one ``snapshot()`` exposes
+    pool build counts, spectrum-cache hit rates, planner group sizes,
+    and per-op server latencies together.
+:mod:`repro.obs.ledger`
+    :class:`CounterLedger` — the registry-backed base class behind the
+    historical stats APIs (``PipelineStats``, ``PlannerStats``), keeping
+    their attribute/`tally` surface while the counts live in a registry.
+:mod:`repro.obs.trace`
+    :class:`Tracer` / :func:`span` — nested, monotonic-clock spans that
+    record durations into ``span_seconds{span=...}`` histograms and a
+    JSON-dumpable timeline.
+:mod:`repro.obs.export`
+    :func:`render_prometheus` (text exposition format from a snapshot),
+    :func:`lint_prometheus` (format validator), and
+    :class:`StructuredLogger` (logfmt / JSON-lines, used for the
+    server's request and slow-query logs).
+
+See ``docs/OBSERVABILITY.md`` for the metric catalogue and span
+taxonomy.
+"""
+
+from repro.obs.export import StructuredLogger, lint_prometheus, render_prometheus
+from repro.obs.ledger import CounterLedger
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import SpanRecord, Tracer, default_tracer, span
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "CounterLedger",
+    "Tracer",
+    "SpanRecord",
+    "span",
+    "default_tracer",
+    "StructuredLogger",
+    "render_prometheus",
+    "lint_prometheus",
+]

@@ -1,0 +1,309 @@
+"""Exporters: Prometheus text format, JSON snapshots, structured logs.
+
+Three ways the numbers leave the process:
+
+:func:`render_prometheus`
+    Renders a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dict
+    as Prometheus text exposition format (``# HELP`` / ``# TYPE``
+    comments, cumulative ``_bucket{le=...}`` histogram series).  It
+    works from the *snapshot*, not the registry, so the ``repro stats``
+    CLI can scrape a remote server's JSON snapshot and re-render it
+    locally.
+:func:`lint_prometheus`
+    A small text-format linter (syntax, TYPE declarations, cumulative
+    bucket invariants) used by the tests and the CI scrape step.
+:class:`StructuredLogger`
+    A logfmt / JSON-lines logger on plain file streams — no logging
+    configuration side effects — with level filtering.  The server uses
+    it for request logs and the slow-query log.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+import threading
+import time
+from datetime import datetime, timezone
+
+from repro.errors import ParameterError
+
+__all__ = ["render_prometheus", "lint_prometheus", "StructuredLogger"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: dict, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(str(k), str(v)) for k, v in sorted(labels.items())] + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{_escape_label(value)}"' for key, value in pairs)
+    return "{" + inner + "}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot as Prometheus text exposition format.
+
+    Parameters
+    ----------
+    snapshot:
+        The dict produced by
+        :meth:`repro.obs.metrics.MetricsRegistry.snapshot` (or shipped
+        over the wire inside the ``stats`` op's ``metrics`` key).
+
+    Returns
+    -------
+    str
+        The exposition text, newline-terminated.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = family.get("type", "untyped")
+        help_text = family.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_label(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family.get("samples", []):
+            labels = sample.get("labels", {})
+            if kind == "histogram":
+                hist = sample["histogram"]
+                cumulative = 0
+                for edge, count in zip(hist["edges"], hist["counts"]):
+                    cumulative += count
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_labels_text(labels, (('le', _format_value(edge)),))}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket{_labels_text(labels, (('le', '+Inf'),))}"
+                    f" {hist['count']}"
+                )
+                lines.append(
+                    f"{name}_sum{_labels_text(labels)} {_format_value(hist['total'])}"
+                )
+                lines.append(f"{name}_count{_labels_text(labels)} {hist['count']}")
+            else:
+                lines.append(
+                    f"{name}{_labels_text(labels)} {_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+_METRIC_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)(?: (?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"$')
+
+
+def _parse_float(text: str) -> float | None:
+    if text in ("+Inf", "-Inf", "NaN"):
+        return {"+Inf": float("inf"), "-Inf": float("-inf"), "NaN": float("nan")}[text]
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def lint_prometheus(text: str) -> list[str]:
+    """Validate Prometheus text exposition format.
+
+    Checks line syntax, label quoting, that a ``# TYPE`` precedes its
+    family's samples, and the histogram invariants (cumulative
+    non-decreasing buckets, ``+Inf`` bucket equal to ``_count``).
+
+    Returns
+    -------
+    list[str]
+        Human-readable problems; empty when the text is clean.
+    """
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    # histogram family -> label-set -> list of (le, value), count value
+    buckets: dict[tuple[str, tuple], list[tuple[float, float]]] = {}
+    counts: dict[tuple[str, tuple], float] = {}
+
+    def family_of(name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                return name[: -len(suffix)]
+        return name
+
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment
+            if len(parts) < 3 or not _METRIC_RE.fullmatch(parts[2]):
+                problems.append(f"line {number}: malformed comment {line!r}")
+                continue
+            if parts[1] == "TYPE":
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    problems.append(f"line {number}: unknown TYPE {kind!r}")
+                elif parts[2] in types:
+                    problems.append(f"line {number}: duplicate TYPE for {parts[2]}")
+                else:
+                    types[parts[2]] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {number}: unparseable sample {line!r}")
+            continue
+        labels_text = match.group("labels")
+        labels: dict[str, str] = {}
+        if labels_text:
+            for part in re.split(r",(?=[a-zA-Z_])", labels_text):
+                if not _LABEL_RE.match(part):
+                    problems.append(f"line {number}: bad label {part!r}")
+                    break
+                key, _, value = part.partition("=")
+                labels[key] = value[1:-1]
+        value = _parse_float(match.group("value"))
+        if value is None:
+            problems.append(f"line {number}: bad value {match.group('value')!r}")
+            continue
+        name = match.group("name")
+        family = family_of(name)
+        if family not in types:
+            problems.append(f"line {number}: sample {name} has no # TYPE")
+            continue
+        if types[family] == "histogram":
+            key = (family, tuple(sorted((k, v) for k, v in labels.items() if k != "le")))
+            if name == f"{family}_bucket":
+                if "le" not in labels:
+                    problems.append(f"line {number}: histogram bucket without le label")
+                    continue
+                edge = _parse_float(labels["le"])
+                if edge is None:
+                    problems.append(f"line {number}: bad le value {labels['le']!r}")
+                    continue
+                buckets.setdefault(key, []).append((edge, value))
+            elif name == f"{family}_count":
+                counts[key] = value
+
+    for (family, labels), series in buckets.items():
+        ordered = sorted(series)
+        values = [value for _, value in ordered]
+        if any(b < a for a, b in zip(values, values[1:])):
+            problems.append(f"{family}{dict(labels)}: bucket counts not cumulative")
+        if not ordered or ordered[-1][0] != float("inf"):
+            problems.append(f"{family}{dict(labels)}: missing le=\"+Inf\" bucket")
+        elif (family, labels) in counts and ordered[-1][1] != counts[(family, labels)]:
+            problems.append(
+                f"{family}{dict(labels)}: +Inf bucket {ordered[-1][1]} != "
+                f"_count {counts[(family, labels)]}"
+            )
+    return problems
+
+
+class StructuredLogger:
+    """A level-filtered logfmt / JSON-lines logger on a plain stream.
+
+    Parameters
+    ----------
+    name:
+        Logger name, emitted as the ``logger`` field.
+    level:
+        Minimum level emitted: ``"debug"``, ``"info"``, ``"warning"``
+        (default — current CLI output stays unchanged), or ``"error"``.
+    stream:
+        Output stream (default ``sys.stderr``).
+    fmt:
+        ``"logfmt"`` (default) or ``"json"`` (one object per line).
+    """
+
+    LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+    def __init__(self, name: str = "repro", level: str = "warning",
+                 stream=None, fmt: str = "logfmt"):
+        if level not in self.LEVELS:
+            raise ParameterError(
+                f"level must be one of {sorted(self.LEVELS)}, got {level!r}"
+            )
+        if fmt not in ("logfmt", "json"):
+            raise ParameterError(f"fmt must be 'logfmt' or 'json', got {fmt!r}")
+        self.name = name
+        self.level = level
+        self.fmt = fmt
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    @property
+    def stream(self):
+        return self._stream if self._stream is not None else sys.stderr
+
+    def enabled_for(self, level: str) -> bool:
+        """Whether records at ``level`` pass the filter."""
+        return self.LEVELS.get(level, 0) >= self.LEVELS[self.level]
+
+    @staticmethod
+    def _logfmt_value(value) -> str:
+        text = str(value)
+        if text == "" or any(c in text for c in ' "=\n'):
+            return '"' + text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n") + '"'
+        return text
+
+    def log(self, level: str, event: str, **fields) -> None:
+        """Emit one record (dropped when below the configured level)."""
+        if not self.enabled_for(level):
+            return
+        timestamp = datetime.fromtimestamp(time.time(), tz=timezone.utc)
+        if self.fmt == "json":
+            record = {"ts": timestamp.isoformat(), "level": level,
+                      "logger": self.name, "event": event}
+            record.update({key: value for key, value in fields.items()})
+            line = json.dumps(record, default=str)
+        else:
+            pairs = [("ts", timestamp.isoformat()), ("level", level),
+                     ("logger", self.name), ("event", event)]
+            pairs.extend(fields.items())
+            line = " ".join(f"{key}={self._logfmt_value(value)}" for key, value in pairs)
+        with self._lock:
+            stream = self.stream
+            stream.write(line + "\n")
+            try:
+                stream.flush()
+            except (OSError, ValueError):
+                pass
+
+    def debug(self, event: str, **fields) -> None:
+        """Emit a debug-level record."""
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        """Emit an info-level record."""
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        """Emit a warning-level record."""
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        """Emit an error-level record."""
+        self.log("error", event, **fields)
+
+    def __repr__(self) -> str:
+        return f"StructuredLogger(name={self.name!r}, level={self.level!r}, fmt={self.fmt!r})"

@@ -1,0 +1,116 @@
+"""Registry-backed counter ledgers behind the historical stats APIs.
+
+The repo grew three hand-rolled cost ledgers before the metrics
+registry existed — :class:`~repro.core.pipeline.PipelineStats`,
+:class:`~repro.serve.stats.PlannerStats`, and the counter half of
+:class:`~repro.serve.stats.EngineStats` — each a lock-plus-attributes
+bundle with its own ``tally`` / ``reset`` / dict rendering.
+:class:`CounterLedger` is the migration seam: a base class whose named
+counters live in a :class:`~repro.obs.metrics.MetricsRegistry` (so one
+snapshot sees them all) while still reading as plain attributes
+(``stats.maps_built``) and accepting the same ``tally(**counts)``
+calls, so every existing caller and test keeps working unchanged.
+
+A ledger starts on a private registry; :meth:`CounterLedger.bind` moves
+it onto a shared one (adding labels such as ``table="calls"``), carrying
+the accumulated counts along.  A serving engine binds each registered
+pool's ledgers onto its own registry at registration time.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["CounterLedger"]
+
+
+class CounterLedger:
+    """Named counters in a metrics registry, addressable as attributes.
+
+    Subclasses declare ``_COUNTERS`` (attribute names), ``_PREFIX``
+    (metric-name prefix; attribute ``maps_built`` with prefix
+    ``pipeline_`` becomes metric ``pipeline_maps_built_total``), and
+    optionally ``_HELP`` (per-attribute help strings).
+    """
+
+    _COUNTERS: tuple[str, ...] = ()
+    _PREFIX: str = ""
+    _HELP: dict[str, str] = {}
+
+    def __init__(self, registry: MetricsRegistry | None = None, **labels):
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._labels = dict(labels)
+        self._counters = {}
+        self._attach()
+
+    def _attach(self) -> None:
+        self._counters = {
+            name: self._registry.counter(
+                self.metric_name(name), help=self._HELP.get(name, ""), **self._labels
+            )
+            for name in self._COUNTERS
+        }
+
+    @classmethod
+    def metric_name(cls, attribute: str) -> str:
+        """The registry metric name behind ``attribute``."""
+        return f"{cls._PREFIX}{attribute}_total"
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry currently holding this ledger's counters."""
+        return self._registry
+
+    @property
+    def labels(self) -> dict:
+        """The label set this ledger's counters carry."""
+        return dict(self._labels)
+
+    def bind(self, registry: MetricsRegistry, **labels) -> None:
+        """Move the ledger onto ``registry`` under ``labels``.
+
+        Accumulated counts are carried over (added to the target
+        counters, which may already exist and keep their own history).
+        Not safe against concurrent ``tally`` calls — bind at
+        registration time, before the owning component serves traffic.
+        """
+        old = self._counters
+        self._registry = registry
+        self._labels = dict(labels)
+        self._attach()
+        for name, counter in self._counters.items():
+            if counter is not old[name] and old[name].value:
+                counter.inc(old[name].value)
+
+    def tally(self, **counts) -> None:
+        """Atomically add ``counts`` to the matching counters."""
+        for name, delta in counts.items():
+            counter = self._counters.get(name)
+            if counter is None:
+                raise AttributeError(
+                    f"{type(self).__name__} has no counter {name!r}"
+                )
+            counter.inc(delta)
+
+    def reset(self) -> None:
+        """Zero every counter (only this ledger's label set)."""
+        for counter in self._counters.values():
+            counter.reset()
+
+    def as_dict(self) -> dict:
+        """All counters as a plain JSON-safe dict."""
+        return {name: counter.value for name in self._COUNTERS
+                for counter in (self._counters[name],)}
+
+    def __getattr__(self, name: str):
+        # Only consulted when normal lookup fails: counter reads.
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return counters[name].value
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}={self._counters[n].value}" for n in self._COUNTERS)
+        return f"{type(self).__name__}({inner})"

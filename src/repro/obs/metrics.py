@@ -1,0 +1,379 @@
+"""The metrics registry: named counters, gauges, and histograms.
+
+Every subsystem in the repo accounts for its work — the FFT pipeline in
+:class:`~repro.core.pipeline.PipelineStats`, the planner in
+:class:`~repro.serve.stats.PlannerStats`, the server in
+:class:`~repro.serve.stats.EngineStats` — and before this module each
+ledger kept its own ad-hoc counters and its own JSON rendering.
+:class:`MetricsRegistry` is the one place those numbers now live: a
+thread-safe, zero-dependency registry of *named instruments* with
+Prometheus-style label support, so one ``snapshot()`` (or one
+Prometheus text render) exposes pool build counts, spectrum-cache hit
+rates, planner group sizes, and per-op server latencies together.
+
+Instruments
+-----------
+:class:`Counter`
+    A monotonically increasing count (``inc``).  ``reset`` exists for
+    the stats-ledger façades that must keep their historical ``reset()``
+    semantics.
+:class:`Gauge`
+    A value that goes up and down (``set``/``inc``/``dec``), or a
+    *callback* gauge whose value is read from a function at snapshot
+    time (used for live byte totals).
+:class:`Histogram`
+    A fixed-edge histogram with an overflow bin (absorbed from
+    ``repro.serve.stats``, where it is still re-exported).  Values below
+    the lowest edge land in the first bin, values above the highest in
+    the overflow bin; ``mean`` of an empty histogram is ``0.0``.
+
+Instruments of one name form a *family* sharing a type and help string;
+label sets address the children (``counter("pool_map_builds_total",
+table="calls", stream=0)``).  Re-requesting the same name and labels
+returns the same instrument, so independent components can share one
+series without coordination.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import ParameterError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _check_name(name: str) -> str:
+    if (
+        not name
+        or not isinstance(name, str)
+        or set(name) - _NAME_OK
+        or name[0].isdigit()
+    ):
+        raise ParameterError(
+            f"metric name must match [a-zA-Z_:][a-zA-Z0-9_:]*, got {name!r}"
+        )
+    return name
+
+
+def _label_key(labels: Mapping[str, object]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing counter (one labelled series)."""
+
+    __slots__ = ("_lock", "_value", "labels")
+
+    def __init__(self, labels: Mapping[str, str]):
+        self._lock = threading.Lock()
+        self._value = 0
+        self.labels = dict(labels)
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ParameterError(f"counters only go up, got inc({amount})")
+        with self._lock:
+            self._value += amount
+
+    def reset(self) -> None:
+        """Zero the counter (ledger-reset support, not a Prometheus op)."""
+        with self._lock:
+            self._value = 0
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter(labels={self.labels}, value={self._value})"
+
+
+class Gauge:
+    """A settable value, or a callback read at snapshot time."""
+
+    __slots__ = ("_lock", "_value", "_callback", "labels")
+
+    def __init__(self, labels: Mapping[str, str]):
+        self._lock = threading.Lock()
+        self._value = 0.0
+        self._callback: Callable[[], float] | None = None
+        self.labels = dict(labels)
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Raise the gauge by ``amount``."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Lower the gauge by ``amount``."""
+        with self._lock:
+            self._value -= amount
+
+    def set_function(self, callback: Callable[[], float]) -> None:
+        """Read the gauge from ``callback`` at snapshot time instead."""
+        with self._lock:
+            self._callback = callback
+
+    def reset(self) -> None:
+        """Zero the stored value (callback gauges are unaffected)."""
+        with self._lock:
+            self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        callback = self._callback
+        if callback is not None:
+            return callback()
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge(labels={self.labels}, value={self.value})"
+
+
+class Histogram:
+    """A fixed-edge histogram of non-negative observations.
+
+    ``edges`` are the ascending upper bounds of the first ``len(edges)``
+    bins; one overflow bin catches everything larger.  Values below the
+    first edge land in the first bin.  Recording is ``O(log bins)``
+    under an internal lock, so concurrent recorders (server handler
+    threads) are safe, and :meth:`snapshot` emits a JSON-safe dict for
+    the wire.
+    """
+
+    __slots__ = ("edges", "counts", "count", "total", "max", "labels", "_lock")
+
+    def __init__(self, edges: Iterable[float], labels: Mapping[str, str] | None = None):
+        edges = [float(e) for e in edges]
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ParameterError(f"histogram edges must ascend, got {edges}")
+        self.edges = tuple(edges)
+        self.counts = [0] * (len(edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self.labels = dict(labels or {})
+        self._lock = threading.Lock()
+
+    @classmethod
+    def powers_of_two(cls, highest: int = 4096) -> "Histogram":
+        """Bins at 1, 2, 4, ... ``highest`` — batch and group sizes."""
+        edges = []
+        edge = 1
+        while edge <= highest:
+            edges.append(edge)
+            edge *= 2
+        return cls(edges)
+
+    @classmethod
+    def log10(cls, lowest: float = 1e-5, highest: float = 10.0) -> "Histogram":
+        """Decade bins from ``lowest`` to ``highest`` — latencies in seconds."""
+        edges = []
+        edge = lowest
+        while edge <= highest * 1.0000001:
+            edges.append(edge)
+            edge *= 10.0
+        return cls(edges)
+
+    def record(self, value: float) -> None:
+        """Count one observation."""
+        value = float(value)
+        with self._lock:
+            # bisect_left: a value exactly on an edge counts toward that
+            # edge's bucket (Prometheus ``le`` semantics).
+            self.counts[bisect_left(self.edges, value)] += 1
+            self.count += 1
+            self.total += value
+            if value > self.max:
+                self.max = value
+
+    # Registry instruments call the Prometheus verb; same operation.
+    observe = record
+
+    def reset(self) -> None:
+        """Zero every bin and summary statistic."""
+        with self._lock:
+            self.counts = [0] * (len(self.edges) + 1)
+            self.count = 0
+            self.total = 0.0
+            self.max = 0.0
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary: edges, per-bin counts, count/total/mean/max."""
+        with self._lock:
+            return {
+                "edges": list(self.edges),
+                "counts": list(self.counts),
+                "count": self.count,
+                "total": self.total,
+                "mean": self.total / self.count if self.count else 0.0,
+                "max": self.max,
+            }
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, mean={self.mean:.4g}, max={self.max:.4g})"
+
+
+# Snapshot-time renderers per family type.
+_KINDS = ("counter", "gauge", "histogram")
+
+
+class _Family:
+    """All instruments sharing one metric name."""
+
+    __slots__ = ("name", "kind", "help", "children")
+
+    def __init__(self, name: str, kind: str, help: str):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.children: dict[tuple, Counter | Gauge | Histogram] = {}
+
+
+class MetricsRegistry:
+    """A thread-safe registry of named, labelled instruments.
+
+    Requesting an instrument is idempotent: the same ``(name, labels)``
+    always returns the same object, and a name is permanently bound to
+    its first kind (asking for ``counter("x")`` after ``gauge("x")``
+    raises).  ``snapshot()`` returns a JSON-safe dict that
+    :func:`~repro.obs.export.render_prometheus` turns into Prometheus
+    text exposition format.
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("pool_map_builds_total", table="calls").inc()
+    >>> registry.histogram("server_request_seconds", op="query").observe(0.01)
+    >>> sorted(registry.snapshot())
+    ['pool_map_builds_total', 'server_request_seconds']
+    """
+
+    # Default latency edges: decades refined with half-steps would be
+    # nicer, but decade bins match the historical EngineStats histogram.
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._families: dict[str, _Family] = {}
+
+    def _instrument(self, name: str, kind: str, help: str, labels: dict, factory):
+        _check_name(name)
+        key = _label_key(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ParameterError(
+                    f"metric {name!r} is a {family.kind}, not a {kind}"
+                )
+            child = family.children.get(key)
+            if child is None:
+                child = factory(dict(key))
+                family.children[key] = child
+            return child
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        """The counter ``name{**labels}`` (created on first request)."""
+        return self._instrument(name, "counter", help, labels, Counter)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        """The gauge ``name{**labels}`` (created on first request)."""
+        return self._instrument(name, "gauge", help, labels, Gauge)
+
+    def histogram(self, name: str, edges=None, help: str = "", **labels) -> Histogram:
+        """The histogram ``name{**labels}``; ``edges`` apply on creation.
+
+        ``edges=None`` defaults to latency decades
+        (:meth:`Histogram.log10`).  Edges of an existing child are left
+        untouched — first creation wins.
+        """
+        def factory(label_dict):
+            if edges is None:
+                child = Histogram.log10()
+                child.labels = label_dict
+                return child
+            return Histogram(edges, labels=label_dict)
+
+        return self._instrument(name, "histogram", help, labels, factory)
+
+    def gauge_function(self, name: str, callback, help: str = "", **labels) -> Gauge:
+        """A gauge whose value is read from ``callback`` at snapshot time."""
+        gauge = self.gauge(name, help=help, **labels)
+        gauge.set_function(callback)
+        return gauge
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Registered metric names, sorted."""
+        with self._lock:
+            return sorted(self._families)
+
+    def collect(self) -> list[tuple[str, str, str, list]]:
+        """``(name, kind, help, [(labels, instrument), ...])`` tuples."""
+        with self._lock:
+            return [
+                (f.name, f.kind, f.help, [(dict(k), c) for k, c in f.children.items()])
+                for f in self._families.values()
+            ]
+
+    def snapshot(self) -> dict:
+        """One JSON-safe dict of every instrument in the registry.
+
+        Shape::
+
+            {name: {"type": "counter"|"gauge"|"histogram",
+                    "help": "...",
+                    "samples": [{"labels": {...}, "value": 3}        # scalar
+                                {"labels": {...}, "histogram": {...}}]}}
+        """
+        out = {}
+        for name, kind, help_text, children in sorted(self.collect()):
+            samples = []
+            for labels, child in children:
+                if kind == "histogram":
+                    samples.append({"labels": labels, "histogram": child.snapshot()})
+                else:
+                    samples.append({"labels": labels, "value": child.value})
+            out[name] = {"type": kind, "help": help_text, "samples": samples}
+        return out
+
+    def render_prometheus(self) -> str:
+        """This registry's snapshot in Prometheus text exposition format."""
+        from repro.obs.export import render_prometheus
+
+        return render_prometheus(self.snapshot())
+
+    def reset(self) -> None:
+        """Zero every instrument (callback gauges are left alone)."""
+        for _, _, _, children in self.collect():
+            for _, child in children:
+                child.reset()
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._families
+
+    def __repr__(self) -> str:
+        with self._lock:
+            series = sum(len(f.children) for f in self._families.values())
+            return f"MetricsRegistry(metrics={len(self._families)}, series={series})"

@@ -1,0 +1,161 @@
+"""Lightweight tracing spans on monotonic clocks.
+
+The paper's cost story — near-linear preprocessing, constant-time
+estimates — lives or dies by *where the time goes*: the FFT build of a
+dyadic map, the budget-eviction sweep, the planner's group execution,
+the server's request handling.  :class:`Tracer` wraps those stages in
+nested *spans*: context managers timed with ``time.perf_counter`` that
+record their duration into a ``span_seconds{span=...}`` histogram of a
+:class:`~repro.obs.metrics.MetricsRegistry` and append a structured
+record to a bounded in-memory timeline that :meth:`Tracer.timeline`
+dumps as JSON.
+
+Spans nest per-thread: a span opened while another is active records
+its parent, so the timeline reconstructs the call tree (a
+``pool.build_map`` span inside a ``server.request`` span shows up as
+its child).  Overhead is two ``perf_counter`` calls and one histogram
+record per span — spans belong around *stages* (a map build, a request,
+a group execution), not around per-element inner loops.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["SpanRecord", "Tracer", "span", "default_tracer"]
+
+# Sub-millisecond to ten-second decades: map builds sit around
+# milliseconds, full pool preprocessing around seconds.
+_SPAN_EDGES = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
+
+
+class SpanRecord:
+    """One finished span: name, wall-clock window, attributes, lineage."""
+
+    __slots__ = ("span_id", "parent_id", "name", "start", "duration", "attrs")
+
+    def __init__(self, span_id, parent_id, name, start, duration, attrs):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.duration = duration
+        self.attrs = attrs
+
+    def as_dict(self) -> dict:
+        """JSON-safe form (attribute values stringified)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": {key: str(value) for key, value in self.attrs.items()},
+        }
+
+    def __repr__(self) -> str:
+        return f"SpanRecord({self.name!r}, duration={self.duration:.6f})"
+
+
+class Tracer:
+    """Produces nested, timed spans and keeps a bounded timeline.
+
+    Parameters
+    ----------
+    registry:
+        Optional :class:`MetricsRegistry`; every finished span records
+        its duration into ``span_seconds{span=<name>}`` there.  Rebind
+        later with :meth:`bind` (a serving engine binds its pools'
+        tracers to its own registry at registration time).
+    max_spans:
+        Most finished spans kept in the timeline; older spans fall off
+        (the histograms keep counting).  ``0`` disables the timeline
+        entirely while keeping the duration histograms.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None, max_spans: int = 4096):
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._spans: deque[SpanRecord] = deque(maxlen=max_spans if max_spans else None)
+        self._keep_timeline = max_spans != 0
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self.enabled = True
+
+    def bind(self, registry: MetricsRegistry | None) -> None:
+        """Point span-duration histograms at a (new) registry."""
+        with self._lock:
+            self._registry = registry
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Time a stage; nests under the thread's currently open span."""
+        if not self.enabled:
+            yield None
+            return
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        span_id = next(self._ids)
+        parent_id = stack[-1] if stack else None
+        stack.append(span_id)
+        wall_start = time.time()
+        start = time.perf_counter()
+        try:
+            yield span_id
+        finally:
+            duration = time.perf_counter() - start
+            stack.pop()
+            registry = self._registry
+            if registry is not None:
+                registry.histogram(
+                    "span_seconds",
+                    edges=_SPAN_EDGES,
+                    help="Span durations by stage name.",
+                    span=name,
+                ).observe(duration)
+            if self._keep_timeline:
+                record = SpanRecord(span_id, parent_id, name, wall_start, duration, attrs)
+                with self._lock:
+                    self._spans.append(record)
+
+    def timeline(self) -> list[dict]:
+        """The retained spans as JSON-safe dicts, oldest first."""
+        with self._lock:
+            return [record.as_dict() for record in self._spans]
+
+    def dump_json(self, path) -> None:
+        """Write the timeline to ``path`` as a JSON array."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.timeline(), handle, indent=2)
+
+    def clear(self) -> None:
+        """Drop the retained timeline (histograms keep counting)."""
+        with self._lock:
+            self._spans.clear()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return f"Tracer(spans={len(self._spans)}, enabled={self.enabled})"
+
+
+_DEFAULT_TRACER = Tracer()
+
+
+def default_tracer() -> Tracer:
+    """The process-wide tracer components fall back on."""
+    return _DEFAULT_TRACER
+
+
+@contextmanager
+def span(name: str, tracer: Tracer | None = None, **attrs):
+    """Open a span on ``tracer`` (the process-wide default when omitted)."""
+    with (tracer if tracer is not None else _DEFAULT_TRACER).span(name, **attrs) as sid:
+        yield sid

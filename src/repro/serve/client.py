@@ -101,6 +101,10 @@ class Client:
         """Round-trip a no-op request; ``True`` if the server answered."""
         return bool(self._roundtrip({"op": "ping"}).get("pong"))
 
+    def health(self) -> dict:
+        """The server's liveness summary (status, uptime, table count)."""
+        return self._roundtrip({"op": "health"})
+
     def tables(self) -> dict:
         """Metadata of every table registered on the server."""
         return self._roundtrip({"op": "tables"})["tables"]

@@ -30,6 +30,8 @@ from repro.core.generator import SketchGenerator
 from repro.core.io import load_pool
 from repro.core.pool import MapBudget, SketchPool
 from repro.errors import ParameterError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.serve.planner import QueryPlanner, QueryResult, RectQuery
 from repro.serve.stats import EngineStats, pipeline_stats_dict
 from repro.table.store import open_store
@@ -79,6 +81,7 @@ class SketchEngine:
         backend: str = "numpy",
         method: str = "auto",
         max_bytes: int | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.defaults = SketchGenerator(p=p, k=k, seed=seed)  # validates p, k
         self.min_exponent = int(min_exponent)
@@ -89,8 +92,32 @@ class SketchEngine:
         self.budget = MapBudget(max_bytes)
         self._pools: dict[str, SketchPool] = {}
         self._registry_lock = threading.Lock()
-        self.stats = EngineStats()
-        self.planner = QueryPlanner(self._pools, method=method, stats=self.stats.planner)
+        # One metrics registry for the whole engine: its own request
+        # ledger, the planner's counters, and — as tables register —
+        # every pool's pipeline counters, cache hit rates, and gauges.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = Tracer(self.registry)
+        self.stats = EngineStats(registry=self.registry)
+        self.planner = QueryPlanner(
+            self._pools, method=method, stats=self.stats.planner, tracer=self.tracer
+        )
+        self._started = time.monotonic()
+        self.registry.gauge_function(
+            "budget_used_bytes", lambda: self.budget.used_bytes,
+            help="Bytes currently charged to the shared map budget.",
+        )
+        self.registry.gauge_function(
+            "budget_max_bytes", lambda: self.budget.max_bytes or 0,
+            help="The shared map budget's byte limit (0 = unbounded).",
+        )
+        self.registry.gauge_function(
+            "budget_maps_evicted", lambda: self.budget.maps_evicted,
+            help="Maps evicted by the shared budget since startup.",
+        )
+        self.registry.gauge_function(
+            "engine_uptime_seconds", lambda: time.monotonic() - self._started,
+            help="Seconds since the engine was constructed.",
+        )
 
     # ------------------------------------------------------------------
     # Registration
@@ -111,6 +138,9 @@ class SketchEngine:
             if name in self._pools:
                 raise ParameterError(f"table {name!r} is already registered")
             self._pools[name] = pool
+        # Fold the pool's private instruments into the engine registry
+        # under a per-table label, carrying accumulated counts along.
+        pool.bind_metrics(self.registry, table=name)
         return name
 
     def register_array(
@@ -215,7 +245,10 @@ class SketchEngine:
         """One JSON-safe dict of every ledger the engine keeps.
 
         Combines the request/latency/planner counters, per-table cache
-        hit/miss and pipeline accounting, and the shared budget's usage.
+        hit/miss and pipeline accounting, the shared budget's usage, and
+        — under ``metrics`` — the full unified
+        :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, which the
+        ``repro stats`` CLI re-renders as Prometheus text.
         """
         with self._registry_lock:
             pools = dict(self._pools)
@@ -235,7 +268,23 @@ class SketchEngine:
             "used_bytes": self.budget.used_bytes,
             "maps_evicted": self.budget.maps_evicted,
         }
+        snapshot["metrics"] = self.registry.snapshot()
         return snapshot
+
+    def health(self) -> dict:
+        """A cheap liveness/readiness summary for the ``health`` wire op."""
+        with self._registry_lock:
+            tables = len(self._pools)
+        requests = self.stats.requests
+        errors = self.stats.errors
+        return {
+            "status": "ok",
+            "uptime_seconds": time.monotonic() - self._started,
+            "tables": tables,
+            "requests": sum(requests.values()),
+            "errors": sum(errors.values()),
+            "budget_used_bytes": self.budget.used_bytes,
+        }
 
     # ------------------------------------------------------------------
     # Queries
@@ -265,11 +314,12 @@ class SketchEngine:
             raise ParameterError(f"timeout must be positive, got {timeout}")
         start = time.perf_counter()
         try:
-            parsed = [RectQuery.parse(query) for query in queries]
-            if not parsed:
-                raise ParameterError("query batch is empty")
-            deadline = None if timeout is None else time.monotonic() + timeout
-            results = self.planner.execute(parsed, deadline)
+            with self.tracer.span("engine.query"):
+                parsed = [RectQuery.parse(query) for query in queries]
+                if not parsed:
+                    raise ParameterError("query batch is empty")
+                deadline = None if timeout is None else time.monotonic() + timeout
+                results = self.planner.execute(parsed, deadline)
         except Exception:
             self.stats.record_request("query", error=True)
             raise

@@ -39,6 +39,8 @@ import numpy as np
 from repro.core.estimators import estimate_distance_batch
 from repro.core.pool import SketchPool, _floor_log2
 from repro.errors import ParameterError, QueryTimeoutError
+from repro.obs.metrics import Histogram
+from repro.obs.trace import Tracer, default_tracer
 from repro.serve.stats import PlannerStats
 from repro.table.tiles import TileSpec
 
@@ -216,6 +218,9 @@ class QueryPlanner:
         (``"auto"`` default).
     stats:
         Optional :class:`PlannerStats` receiving the cost account.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` for the per-batch
+        ``planner.execute`` span (the process default when omitted).
     """
 
     def __init__(
@@ -223,10 +228,17 @@ class QueryPlanner:
         pools: Mapping[str, SketchPool],
         method: str = "auto",
         stats: PlannerStats | None = None,
+        tracer: Tracer | None = None,
     ):
         self._pools = pools
         self.method = method
         self.stats = stats if stats is not None else PlannerStats()
+        self.tracer = tracer if tracer is not None else default_tracer()
+        self._group_sizes = self.stats.registry.histogram(
+            "planner_group_size",
+            edges=Histogram.powers_of_two().edges,
+            help="Queries per executed group (bigger groups amortise better).",
+        )
 
     # ------------------------------------------------------------------
     # Planning
@@ -325,19 +337,20 @@ class QueryPlanner:
             a timed-out batch raises :class:`QueryTimeoutError` early
             instead of running to completion.
         """
-        groups = self.plan(queries)
-        results: list[QueryResult | None] = [None] * len(queries)
-        for group in groups:
-            if deadline is not None and time.monotonic() > deadline:
-                raise QueryTimeoutError(
-                    f"query batch exceeded its deadline with "
-                    f"{sum(r is None for r in results)} of {len(queries)} "
-                    f"queries unanswered"
-                )
-            distances = self._run_group(group, queries)
-            for index, distance in zip(group.indices, distances):
-                results[index] = QueryResult(float(distance), group.strategy)
-        return results  # type: ignore[return-value]
+        with self.tracer.span("planner.execute", queries=len(queries)):
+            groups = self.plan(queries)
+            results: list[QueryResult | None] = [None] * len(queries)
+            for group in groups:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise QueryTimeoutError(
+                        f"query batch exceeded its deadline with "
+                        f"{sum(r is None for r in results)} of {len(queries)} "
+                        f"queries unanswered"
+                    )
+                distances = self._run_group(group, queries)
+                for index, distance in zip(group.indices, distances):
+                    results[index] = QueryResult(float(distance), group.strategy)
+            return results  # type: ignore[return-value]
 
     def _run_group(self, group: QueryGroup, queries: Sequence[RectQuery]) -> np.ndarray:
         pool = self._pool(group.table)
@@ -368,6 +381,7 @@ class QueryPlanner:
             groups=1,
             **{f"{group.strategy}_queries": n},
         )
+        self._group_sizes.record(n)
         return np.atleast_1d(estimates)
 
     @staticmethod

@@ -8,6 +8,7 @@ clients can pipeline.  The protocol:
 Request::
 
     {"op": "ping"}
+    {"op": "health"}
     {"op": "tables"}
     {"op": "stats"}
     {"op": "query", "queries": [<query>, ...], "timeout": <seconds?>}
@@ -24,6 +25,13 @@ Response::
 Errors travel by exception class name; :class:`repro.serve.Client` maps
 them back onto the :mod:`repro.errors` hierarchy, so a bad query raises
 the same exception type remotely as it would in process.
+
+Every request is accounted in the engine's
+:class:`~repro.serve.stats.EngineStats` (per-op counters and latency
+histograms) and optionally logged through a
+:class:`~repro.obs.export.StructuredLogger`; query requests slower than
+``slow_query_seconds`` additionally hit the warning-level slow-query
+log.
 """
 
 from __future__ import annotations
@@ -31,8 +39,10 @@ from __future__ import annotations
 import json
 import socketserver
 import threading
+import time
 
 from repro.errors import ProtocolError, ReproError
+from repro.obs.export import StructuredLogger
 from repro.serve.engine import SketchEngine
 
 __all__ = ["SketchServer"]
@@ -41,34 +51,58 @@ __all__ = ["SketchServer"]
 # client, not a real batch (a 10k-query batch is ~1 MB).
 MAX_LINE_BYTES = 64 * 1024 * 1024
 
-_OPS = ("ping", "tables", "stats", "query")
+_OPS = ("ping", "health", "tables", "stats", "query")
 
 
-def _handle_request(engine: SketchEngine, request: dict) -> dict:
-    """Dispatch one parsed request dict to the engine."""
-    if not isinstance(request, dict):
-        raise ProtocolError(f"request must be a JSON object, got {type(request).__name__}")
-    op = request.get("op")
-    if op not in _OPS:
-        raise ProtocolError(f"unknown op {op!r}; expected one of {_OPS}")
-    if op == "ping":
-        engine.stats.record_request("ping")
-        return {"pong": True}
-    if op == "tables":
-        engine.stats.record_request("tables")
-        return {"tables": engine.tables()}
-    if op == "stats":
-        engine.stats.record_request("stats")
-        return engine.stats_snapshot()
-    unknown = set(request) - {"op", "queries", "timeout"}
-    if unknown:
-        raise ProtocolError(f"query request has unknown keys {sorted(unknown)}")
-    queries = request.get("queries")
-    if not isinstance(queries, list) or not queries:
-        raise ProtocolError("query request needs a non-empty 'queries' list")
-    timeout = request.get("timeout")
-    results = engine.query(queries, timeout=None if timeout is None else float(timeout))
-    return {"results": [result.to_wire() for result in results]}
+def _handle_request(engine: SketchEngine, request: dict) -> tuple[str, dict]:
+    """Dispatch one parsed request dict to the engine.
+
+    Returns ``(op, result)``; accounts non-query operations (the engine
+    accounts queries itself, batch size and all).  Requests that never
+    resolve to a known op are accounted under ``"protocol"``.
+    """
+    op = request.get("op") if isinstance(request, dict) else None
+    label = op if op in _OPS else "protocol"
+    start = time.perf_counter()
+    dispatched = False  # did engine.query take over the accounting?
+    try:
+        if not isinstance(request, dict):
+            raise ProtocolError(
+                f"request must be a JSON object, got {type(request).__name__}"
+            )
+        if op not in _OPS:
+            raise ProtocolError(f"unknown op {op!r}; expected one of {_OPS}")
+        if op == "ping":
+            result = {"pong": True}
+        elif op == "health":
+            result = engine.health()
+        elif op == "tables":
+            result = {"tables": engine.tables()}
+        elif op == "stats":
+            result = engine.stats_snapshot()
+        else:
+            unknown = set(request) - {"op", "queries", "timeout"}
+            if unknown:
+                raise ProtocolError(
+                    f"query request has unknown keys {sorted(unknown)}"
+                )
+            queries = request.get("queries")
+            if not isinstance(queries, list) or not queries:
+                raise ProtocolError("query request needs a non-empty 'queries' list")
+            timeout = request.get("timeout")
+            dispatched = True
+            results = engine.query(
+                queries, timeout=None if timeout is None else float(timeout)
+            )
+            return label, {"results": [result.to_wire() for result in results]}
+    except ReproError:
+        # engine.query accounts its own failures; everything that dies
+        # before reaching it is accounted here.
+        if not dispatched:
+            engine.stats.record_request(label, error=True)
+        raise
+    engine.stats.record_request(label, seconds=time.perf_counter() - start)
+    return label, result
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -76,7 +110,8 @@ class _Handler(socketserver.StreamRequestHandler):
 
     def handle(self) -> None:
         """Serve newline-framed JSON requests until the peer hangs up."""
-        engine = self.server.engine  # type: ignore[attr-defined]
+        server: "SketchServer" = self.server  # type: ignore[assignment]
+        engine = server.engine
         while True:
             try:
                 line = self.rfile.readline(MAX_LINE_BYTES + 1)
@@ -91,16 +126,21 @@ class _Handler(socketserver.StreamRequestHandler):
                 return
             if not line.strip():
                 continue
+            start = time.perf_counter()
             try:
                 try:
                     request = json.loads(line)
                 except json.JSONDecodeError as exc:
                     raise ProtocolError(f"request is not valid JSON: {exc}") from exc
-                result = _handle_request(engine, request)
+                with server.tracer.span("server.request"):
+                    op, result = _handle_request(engine, request)
             except ReproError as exc:
+                server.log_request("?", time.perf_counter() - start, error=exc)
                 if not self._respond_error(exc):
                     return
                 continue
+            server.log_request(op, time.perf_counter() - start,
+                               queries=result.get("results") and len(result["results"]))
             payload = {"ok": True, "result": result}
             if not self._send(payload):
                 return
@@ -129,6 +169,14 @@ class SketchServer(socketserver.ThreadingTCPServer):
     host, port:
         Bind address; ``port=0`` picks a free port (read it back from
         :attr:`address`).
+    logger:
+        A :class:`~repro.obs.export.StructuredLogger` for request logs.
+        The default logs at ``warning`` level only, so a plain serve run
+        prints nothing extra; pass one built at ``info`` (or run the CLI
+        with ``--log-level info``) for one line per request.
+    slow_query_seconds:
+        When set, any request slower than this many seconds is logged at
+        warning level as a ``slow_request`` event regardless of level.
 
     Usable as a context manager; :meth:`start` runs the accept loop in a
     daemon thread for in-process use (tests, notebooks), while
@@ -146,8 +194,18 @@ class SketchServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, engine: SketchEngine, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        engine: SketchEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        logger: StructuredLogger | None = None,
+        slow_query_seconds: float | None = None,
+    ):
         self.engine = engine
+        self.logger = logger if logger is not None else StructuredLogger("repro.serve")
+        self.slow_query_seconds = slow_query_seconds
+        self.tracer = engine.tracer
         self._thread: threading.Thread | None = None
         super().__init__((host, port), _Handler)
 
@@ -155,6 +213,25 @@ class SketchServer(socketserver.ThreadingTCPServer):
     def address(self) -> tuple[str, int]:
         """The actually-bound ``(host, port)``."""
         return self.server_address[0], self.server_address[1]
+
+    def log_request(
+        self, op: str, seconds: float, error: Exception | None = None, **fields
+    ) -> None:
+        """Log one handled request; escalate slow ones to warnings."""
+        fields = {k: v for k, v in fields.items() if v is not None}
+        if error is not None:
+            self.logger.info(
+                "request_error", op=op, seconds=round(seconds, 6),
+                error=type(error).__name__, message=str(error), **fields,
+            )
+            return
+        slow = (
+            self.slow_query_seconds is not None
+            and seconds >= self.slow_query_seconds
+        )
+        level = "warning" if slow else "info"
+        event = "slow_request" if slow else "request"
+        self.logger.log(level, event, op=op, seconds=round(seconds, 6), **fields)
 
     def start(self) -> "SketchServer":
         """Run the accept loop in a background daemon thread."""

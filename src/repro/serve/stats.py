@@ -5,45 +5,50 @@ The preprocessing pipeline accounts for its work in
 :class:`~repro.core.distance.DistanceStats`.  A serving engine needs a
 third ledger on top: how many requests arrived, how large the batches
 were, how long they took, and how often the dyadic maps behind them were
-already warm.  This module provides that layer:
+already warm.  Since the instrumentation layer landed, all of these
+ledgers live in one :class:`~repro.obs.metrics.MetricsRegistry` — this
+module keeps the serving-side façades:
 
 :class:`PlannerStats`
-    A :class:`~repro.core.distance.DistanceStats` extended with the
-    planner's own counters — vectorized estimator invocations, map
-    gathers, group count, per-strategy query counts — updated through a
-    thread-safe :meth:`~PlannerStats.tally` because server handler
-    threads execute plans concurrently.
+    The planner's cost ledger — distance-oracle counters plus the
+    batched planner's own: vectorized estimator invocations, map
+    gathers, group count, per-strategy query counts.  A
+    :class:`~repro.obs.ledger.CounterLedger`, so the counters live in a
+    registry (metric names ``planner_<attribute>_total``) but read as
+    plain attributes, updated through the same thread-safe
+    :meth:`~repro.obs.ledger.CounterLedger.tally`.
 
 :class:`Histogram`
-    A tiny fixed-edge histogram (no third-party metrics library), with
-    power-of-two and log10 factories for batch sizes and latencies.
+    Re-exported from :mod:`repro.obs.metrics`, which absorbed it; the
+    class is unchanged apart from gaining an internal lock.
 
 :class:`EngineStats`
-    The engine-wide roll-up: request counters per operation, error
-    count, batch-size and latency histograms, and the planner ledger.
-    :meth:`EngineStats.snapshot` renders everything JSON-safe so the
-    ``stats`` wire operation can ship it verbatim.
+    The engine-wide roll-up: request/error counters per operation,
+    batch-size and per-op latency histograms, and the planner ledger,
+    all held in one registry.  :meth:`EngineStats.record_request`,
+    :meth:`~EngineStats.snapshot`, and :meth:`~EngineStats.reset` are
+    serialised by a single lock, so concurrent server handler threads
+    see consistent snapshots.
 """
 
 from __future__ import annotations
 
 import threading
-from bisect import bisect_right
-from dataclasses import dataclass, field, fields
 
-from repro.core.distance import DistanceStats
 from repro.core.pipeline import PipelineStats
-from repro.errors import ParameterError
+from repro.obs.ledger import CounterLedger
+from repro.obs.metrics import Histogram, MetricsRegistry
 
 __all__ = ["PlannerStats", "Histogram", "EngineStats", "pipeline_stats_dict"]
 
 
-@dataclass
-class PlannerStats(DistanceStats):
+class PlannerStats(CounterLedger):
     """Distance-oracle stats extended with batched-planner counters.
 
     Attributes
     ----------
+    comparisons / elements_touched / sketches_built / sketch_build_elements:
+        The classic :class:`~repro.core.distance.DistanceStats` account.
     estimator_calls:
         Vectorized estimator invocations (one per executed group).  The
         per-query baseline makes one invocation per query; the whole
@@ -57,116 +62,40 @@ class PlannerStats(DistanceStats):
         Queries answered by each routing strategy.
     """
 
-    estimator_calls: int = 0
-    map_gathers: int = 0
-    groups: int = 0
-    grid_queries: int = 0
-    compound_queries: int = 0
-    disjoint_queries: int = 0
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
+    _PREFIX = "planner_"
+    _COUNTERS = (
+        "comparisons",
+        "elements_touched",
+        "sketches_built",
+        "sketch_build_elements",
+        "estimator_calls",
+        "map_gathers",
+        "groups",
+        "grid_queries",
+        "compound_queries",
+        "disjoint_queries",
     )
-
-    def tally(self, **counts: int) -> None:
-        """Atomically add ``counts`` to the matching counters."""
-        with self._lock:
-            for name, delta in counts.items():
-                setattr(self, name, getattr(self, name) + delta)
-
-    def reset(self) -> None:
-        """Zero every counter (inherited and planner-specific)."""
-        with self._lock:
-            super().reset()
-            self.estimator_calls = 0
-            self.map_gathers = 0
-            self.groups = 0
-            self.grid_queries = 0
-            self.compound_queries = 0
-            self.disjoint_queries = 0
-
-    def as_dict(self) -> dict:
-        """All counters as a plain JSON-safe dict."""
-        with self._lock:
-            return {
-                f.name: getattr(self, f.name)
-                for f in fields(self)
-                if not f.name.startswith("_")
-            }
-
-
-class Histogram:
-    """A fixed-edge histogram of non-negative observations.
-
-    ``edges`` are the ascending upper bounds of the first ``len(edges)``
-    bins; one overflow bin catches everything larger.  Recording is
-    O(log bins) and lock-free at this level (callers serialise), and
-    :meth:`snapshot` emits a JSON-safe dict for the wire.
-    """
-
-    def __init__(self, edges):
-        edges = [float(e) for e in edges]
-        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
-            raise ParameterError(f"histogram edges must ascend, got {edges}")
-        self.edges = tuple(edges)
-        self.counts = [0] * (len(edges) + 1)
-        self.count = 0
-        self.total = 0.0
-        self.max = 0.0
-
-    @classmethod
-    def powers_of_two(cls, highest: int = 4096) -> "Histogram":
-        """Bins at 1, 2, 4, ... ``highest`` — batch sizes."""
-        edges = []
-        edge = 1
-        while edge <= highest:
-            edges.append(edge)
-            edge *= 2
-        return cls(edges)
-
-    @classmethod
-    def log10(cls, lowest: float = 1e-5, highest: float = 10.0) -> "Histogram":
-        """Decade bins from ``lowest`` to ``highest`` — latencies in seconds."""
-        edges = []
-        edge = lowest
-        while edge <= highest * 1.0000001:
-            edges.append(edge)
-            edge *= 10.0
-        return cls(edges)
-
-    def record(self, value: float) -> None:
-        """Count one observation."""
-        value = float(value)
-        self.counts[bisect_right(self.edges, value)] += 1
-        self.count += 1
-        self.total += value
-        if value > self.max:
-            self.max = value
+    _HELP = {
+        "comparisons": "Distance evaluations answered.",
+        "elements_touched": "Sketch elements read to answer them.",
+        "sketches_built": "Sketches constructed on the fly for queries.",
+        "sketch_build_elements": "Table elements read to build those sketches.",
+        "estimator_calls": "Vectorized estimator invocations (one per group).",
+        "map_gathers": "Fancy-indexing passes over dyadic maps.",
+        "groups": "Executed query groups.",
+        "grid_queries": "Queries answered by the grid strategy.",
+        "compound_queries": "Queries answered by the compound strategy.",
+        "disjoint_queries": "Queries answered by the disjoint strategy.",
+    }
 
     @property
-    def mean(self) -> float:
-        """Mean observation (0.0 when empty)."""
-        return self.total / self.count if self.count else 0.0
-
-    def snapshot(self) -> dict:
-        """JSON-safe summary: edges, per-bin counts, count/mean/max."""
-        return {
-            "edges": list(self.edges),
-            "counts": list(self.counts),
-            "count": self.count,
-            "mean": self.mean,
-            "max": self.max,
-        }
-
-    def __repr__(self) -> str:
-        return f"Histogram(count={self.count}, mean={self.mean:.4g}, max={self.max:.4g})"
+    def total_elements(self) -> int:
+        """Elements touched including sketch construction."""
+        return self.elements_touched + self.sketch_build_elements
 
 
 def pipeline_stats_dict(stats: PipelineStats) -> dict:
-    """Render a :class:`PipelineStats` as a JSON-safe dict.
-
-    ``dataclasses.asdict`` chokes on the embedded lock, so the counters
-    are lifted by hand.
-    """
+    """Render a :class:`PipelineStats` as a JSON-safe dict."""
     return {
         "data_ffts_computed": stats.data_ffts_computed,
         "data_ffts_reused": stats.data_ffts_reused,
@@ -180,33 +109,65 @@ def pipeline_stats_dict(stats: PipelineStats) -> dict:
 
 
 class EngineStats:
-    """Engine-wide request accounting.
+    """Engine-wide request accounting on a metrics registry.
+
+    All mutation and reading goes through one lock, so
+    :meth:`record_request` from many server threads, a concurrent
+    :meth:`snapshot`, and a concurrent :meth:`reset` interleave safely
+    and snapshots are internally consistent.
 
     Attributes
     ----------
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` holding every
+        instrument below (and, in a serving engine, the pools' and
+        planner's instruments too).
     requests:
-        Completed requests per operation name (``query``, ``stats``,
-        ``tables``, ``ping``).
+        Completed requests per operation name, as a plain dict view.
     errors:
-        Requests that raised (per operation, plus a total).
+        Requests that raised, per operation name.
     queries:
         Individual rectangle queries answered (a batch of 50 counts 50).
     batch_sizes:
-        Power-of-two histogram of query-batch sizes.
+        Power-of-two histogram of query-batch sizes
+        (``server_batch_size``).
     latency_seconds:
-        Log10 histogram of request service times.
+        Log10 histogram of request service times across all operations
+        (``server_request_seconds{op="all"}``); per-op histograms sit
+        beside it in the same metric family.
     planner:
         The shared :class:`PlannerStats` the query planner tallies into.
     """
 
-    def __init__(self):
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
-        self.requests: dict[str, int] = {}
-        self.errors: dict[str, int] = {}
-        self.queries = 0
-        self.batch_sizes = Histogram.powers_of_two()
-        self.latency_seconds = Histogram.log10()
-        self.planner = PlannerStats()
+        self._requests: dict[str, int] = {}
+        self._errors: dict[str, int] = {}
+        self._queries = self.registry.counter(
+            "server_queries_total", help="Individual rectangle queries answered."
+        )
+        self.batch_sizes = self.registry.histogram(
+            "server_batch_size",
+            edges=Histogram.powers_of_two().edges,
+            help="Query-batch sizes per request.",
+        )
+        self.latency_seconds = self._latency("all")
+        self.planner = PlannerStats(registry=self.registry)
+
+    def _latency(self, op: str) -> Histogram:
+        return self.registry.histogram(
+            "server_request_seconds",
+            help="Request service time by operation.",
+            op=op,
+        )
+
+    def _op_counter(self, kind: str, op: str):
+        return self.registry.counter(
+            f"server_{kind}_total",
+            help=f"Completed requests per operation ({kind}).",
+            op=op,
+        )
 
     def record_request(
         self,
@@ -218,33 +179,72 @@ class EngineStats:
         """Account one completed (or failed) request."""
         with self._lock:
             if error:
-                self.errors[op] = self.errors.get(op, 0) + 1
+                self._errors[op] = self._errors.get(op, 0) + 1
+                self._op_counter("errors", op).inc()
             else:
-                self.requests[op] = self.requests.get(op, 0) + 1
+                self._requests[op] = self._requests.get(op, 0) + 1
+                self._op_counter("requests", op).inc()
             if batch_size is not None:
-                self.queries += batch_size
+                self._queries.inc(batch_size)
                 self.batch_sizes.record(batch_size)
             if seconds is not None:
                 self.latency_seconds.record(seconds)
+                if op != "all":
+                    self._latency(op).record(seconds)
+
+    @property
+    def requests(self) -> dict[str, int]:
+        """Completed requests per operation (a copy)."""
+        with self._lock:
+            return dict(self._requests)
+
+    @property
+    def errors(self) -> dict[str, int]:
+        """Failed requests per operation (a copy)."""
+        with self._lock:
+            return dict(self._errors)
+
+    @property
+    def queries(self) -> int:
+        """Individual rectangle queries answered."""
+        return self._queries.value
 
     def reset(self) -> None:
         """Zero every counter and histogram."""
         with self._lock:
-            self.requests = {}
-            self.errors = {}
-            self.queries = 0
-            self.batch_sizes = Histogram.powers_of_two()
-            self.latency_seconds = Histogram.log10()
-        self.planner.reset()
+            self._requests.clear()
+            self._errors.clear()
+            self._queries.reset()
+            self.batch_sizes.reset()
+            # Reset every per-op series of the engine's own families.
+            for name, _, _, children in self.registry.collect():
+                if name in ("server_request_seconds", "server_requests_total",
+                            "server_errors_total"):
+                    for _, child in children:
+                        child.reset()
+            self.planner.reset()
 
     def snapshot(self) -> dict:
-        """JSON-safe summary of every counter and histogram."""
+        """JSON-safe summary of every counter and histogram.
+
+        The historical keys (``requests`` / ``errors`` / ``queries`` /
+        ``batch_size`` / ``latency_seconds`` / ``planner``) are kept
+        verbatim; ``latency_by_op`` adds the per-operation histograms.
+        """
         with self._lock:
+            latency_by_op = {}
+            for name, _, _, children in self.registry.collect():
+                if name == "server_request_seconds":
+                    for labels, child in children:
+                        op = labels.get("op", "all")
+                        if op != "all":
+                            latency_by_op[op] = child.snapshot()
             return {
-                "requests": dict(self.requests),
-                "errors": dict(self.errors),
-                "queries": self.queries,
+                "requests": dict(self._requests),
+                "errors": dict(self._errors),
+                "queries": self._queries.value,
                 "batch_size": self.batch_sizes.snapshot(),
                 "latency_seconds": self.latency_seconds.snapshot(),
+                "latency_by_op": latency_by_op,
                 "planner": self.planner.as_dict(),
             }

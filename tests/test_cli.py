@@ -156,10 +156,65 @@ class TestQueryCommand:
             main(["query", "--host", host, "--port", str(port)])
 
 
+class TestStatsCommand:
+    @pytest.fixture()
+    def live_server(self):
+        from repro.serve import Client, SketchEngine, SketchServer
+
+        engine = SketchEngine(p=1.0, k=8, seed=1)
+        engine.register_array("t", np.random.default_rng(5).normal(size=(32, 32)))
+        with SketchServer(engine) as server:
+            server.start()
+            host, port = server.address
+            with Client(host, port) as client:
+                client.query([("t", (0, 0, 8, 8), (16, 16, 8, 8))])
+            yield server
+
+    def test_summary_output(self, live_server, capsys):
+        host, port = live_server.address
+        assert main(["stats", "--host", host, "--port", str(port)]) == 0
+        out = capsys.readouterr().out
+        assert "requests:" in out
+        assert "table t:" in out
+        assert "budget:" in out
+
+    def test_json_output(self, live_server, capsys):
+        import json
+
+        host, port = live_server.address
+        assert main(["stats", "--host", host, "--port", str(port), "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["requests"]["query"] == 1
+        assert "metrics" in snapshot
+
+    def test_prometheus_output_lints_clean(self, live_server, capsys):
+        from repro.obs.export import lint_prometheus
+
+        host, port = live_server.address
+        code = main(["stats", "--host", host, "--port", str(port), "--prometheus"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert lint_prometheus(text) == []
+        assert "pool_map_builds_total" in text
+        assert "server_request_seconds_bucket" in text
+
+    def test_json_and_prometheus_are_exclusive(self, live_server):
+        host, port = live_server.address
+        with pytest.raises(SystemExit):
+            main(["stats", "--host", host, "--port", str(port),
+                  "--json", "--prometheus"])
+
+
 class TestServeCommand:
     def test_bad_table_spec_exits(self):
         with pytest.raises(SystemExit):
             main(["serve", "--table", "no-equals-sign"])
+
+    def test_log_level_flag_accepted(self, tmp_path):
+        # parse-only check: a bad level is rejected by argparse before
+        # any server starts
+        with pytest.raises(SystemExit):
+            main(["serve", "--table", "t=x.npy", "--log-level", "loud"])
 
     def test_info_lists_serve_subsystem(self, capsys):
         assert main(["info"]) == 0

@@ -1,0 +1,179 @@
+"""Integration tests: instrumented engine, server health op, request logs."""
+
+import io
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.export import StructuredLogger, lint_prometheus, render_prometheus
+from repro.serve import Client, SketchEngine, SketchServer
+from repro.serve.stats import EngineStats
+
+
+@pytest.fixture
+def engine():
+    eng = SketchEngine(p=1.0, k=12, seed=3)
+    eng.register_array("calls", np.random.default_rng(0).random((64, 64)))
+    return eng
+
+
+class TestEngineStatsThreadSafety:
+    def test_hammered_from_threads(self):
+        stats = EngineStats()
+        errors = []
+        stop = threading.Event()
+
+        def record():
+            for i in range(500):
+                if i % 10 == 0:
+                    stats.record_request("query", error=True)
+                else:
+                    stats.record_request("query", batch_size=2, seconds=0.001)
+
+        def observe():
+            while not stop.is_set():
+                snap = stats.snapshot()
+                # a consistent snapshot never has more latency samples
+                # than completed requests
+                if snap["latency_seconds"]["count"] > sum(snap["requests"].values()):
+                    errors.append(snap)
+
+        workers = [threading.Thread(target=record) for _ in range(6)]
+        watcher = threading.Thread(target=observe)
+        watcher.start()
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        stop.set()
+        watcher.join()
+        assert not errors
+        assert stats.requests["query"] == 6 * 450
+        assert stats.errors["query"] == 6 * 50
+        assert stats.queries == 6 * 450 * 2
+        assert stats.snapshot()["latency_seconds"]["count"] == 6 * 450
+
+    def test_reset_during_recording_does_not_corrupt(self):
+        stats = EngineStats()
+
+        def record():
+            for _ in range(300):
+                stats.record_request("ping", seconds=0.0001)
+
+        def reset():
+            for _ in range(50):
+                stats.reset()
+
+        threads = [threading.Thread(target=record) for _ in range(3)]
+        threads.append(threading.Thread(target=reset))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats.reset()
+        snap = stats.snapshot()
+        assert snap["requests"] == {}
+        assert snap["latency_seconds"]["count"] == 0
+
+
+class TestUnifiedRegistry:
+    def test_one_snapshot_covers_every_subsystem(self, engine):
+        engine.query([("calls", (0, 0, 8, 8), (16, 16, 8, 8))] * 3)
+        snap = engine.registry.snapshot()
+        for name in (
+            "pool_map_builds_total",
+            "pool_map_bytes",
+            "fft_spectrum_cache_misses_total",
+            "pipeline_maps_built_total",
+            "planner_group_size",
+            "planner_groups_total",
+            "server_request_seconds",
+            "server_requests_total",
+            "budget_used_bytes",
+            "span_seconds",
+        ):
+            assert name in snap, name
+        builds = snap["pool_map_builds_total"]["samples"]
+        assert any(s["labels"].get("table") == "calls" for s in builds)
+        assert sum(s["value"] for s in builds) > 0
+
+    def test_prometheus_render_lints_clean(self, engine):
+        engine.query([("calls", (0, 0, 8, 8), (16, 16, 8, 8))])
+        text = render_prometheus(engine.registry.snapshot())
+        assert lint_prometheus(text) == []
+        assert 'pool_map_builds_total{stream="0",table="calls"}' in text
+
+    def test_span_timeline_has_nested_query_spans(self, engine):
+        engine.query([("calls", (0, 0, 8, 8), (16, 16, 8, 8))])
+        names = [r["name"] for r in engine.tracer.timeline()]
+        assert "engine.query" in names
+        assert "planner.execute" in names
+
+
+class TestServerObservability:
+    def test_health_op(self, engine):
+        with SketchServer(engine, port=0) as server:
+            server.start()
+            with Client(*server.address) as client:
+                client.query([("calls", (0, 0, 8, 8), (16, 16, 8, 8))])
+                health = client.health()
+        assert health["status"] == "ok"
+        assert health["tables"] == 1
+        assert health["requests"] >= 1
+        assert health["uptime_seconds"] > 0
+
+    def test_stats_op_exposes_latency_by_op_and_metrics(self, engine):
+        with SketchServer(engine, port=0) as server:
+            server.start()
+            with Client(*server.address) as client:
+                client.ping()
+                client.query([("calls", (0, 0, 8, 8), (16, 16, 8, 8))])
+                snap = client.stats()
+        assert snap["latency_by_op"]["ping"]["count"] == 1
+        assert snap["latency_by_op"]["query"]["count"] == 1
+        assert "metrics" in snap
+        assert lint_prometheus(render_prometheus(snap["metrics"])) == []
+
+    def test_default_logging_is_quiet(self, engine):
+        stream = io.StringIO()
+        logger = StructuredLogger("t", stream=stream)  # warning-level default
+        with SketchServer(engine, port=0, logger=logger) as server:
+            server.start()
+            with Client(*server.address) as client:
+                client.ping()
+                client.query([("calls", (0, 0, 8, 8), (16, 16, 8, 8))])
+        assert stream.getvalue() == ""
+
+    def test_info_logging_records_requests(self, engine):
+        stream = io.StringIO()
+        logger = StructuredLogger("t", level="info", stream=stream)
+        with SketchServer(engine, port=0, logger=logger) as server:
+            server.start()
+            with Client(*server.address) as client:
+                client.query([("calls", (0, 0, 8, 8), (16, 16, 8, 8))] * 2)
+        line = stream.getvalue()
+        assert "event=request" in line
+        assert "op=query" in line
+        assert "queries=2" in line
+
+    def test_slow_query_log(self, engine):
+        stream = io.StringIO()
+        logger = StructuredLogger("t", stream=stream)  # warnings only
+        with SketchServer(
+            engine, port=0, logger=logger, slow_query_seconds=0.0
+        ) as server:
+            server.start()
+            with Client(*server.address) as client:
+                client.query([("calls", (0, 0, 8, 8), (16, 16, 8, 8))])
+        assert "event=slow_request" in stream.getvalue()
+
+    def test_errors_are_accounted_per_op(self, engine):
+        from repro.errors import ProtocolError
+
+        with SketchServer(engine, port=0) as server:
+            server.start()
+            with Client(*server.address) as client:
+                with pytest.raises(ProtocolError):
+                    client.query([])
+        assert engine.stats.errors.get("query", 0) == 1

@@ -1,0 +1,221 @@
+"""Tests for the instrumentation layer: registry, instruments, ledger."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.obs.ledger import CounterLedger
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter({})
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increment(self):
+        c = Counter({})
+        with pytest.raises(ParameterError):
+            c.inc(-1)
+
+    def test_reset(self):
+        c = Counter({})
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge({})
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12
+
+    def test_callback_wins(self):
+        g = Gauge({})
+        g.set_function(lambda: 42)
+        g.set(7)  # stored value is shadowed by the callback
+        assert g.value == 42
+
+
+class TestHistogram:
+    def test_below_lowest_edge_lands_in_first_bin(self):
+        h = Histogram((1.0, 10.0))
+        h.record(0.001)
+        snap = h.snapshot()
+        assert snap["counts"][0] == 1
+        assert sum(snap["counts"]) == 1
+
+    def test_above_highest_edge_lands_in_overflow_bin(self):
+        h = Histogram((1.0, 10.0))
+        h.record(1e9)
+        snap = h.snapshot()
+        assert snap["counts"][-1] == 1
+
+    def test_empty_mean_is_zero(self):
+        h = Histogram((1.0, 10.0))
+        assert h.mean == 0.0
+        assert h.snapshot()["count"] == 0
+
+    def test_edge_value_goes_to_lower_bucket(self):
+        # le semantics: a value exactly on an edge counts in the bucket
+        # whose upper bound it is.
+        h = Histogram((1.0, 10.0))
+        h.record(1.0)
+        assert h.snapshot()["counts"][0] == 1
+
+    def test_observe_is_record(self):
+        h = Histogram((1.0,))
+        h.observe(0.5)
+        assert h.snapshot()["count"] == 1
+
+    def test_non_ascending_edges_rejected(self):
+        with pytest.raises(ParameterError):
+            Histogram((2.0, 1.0))
+        with pytest.raises(ParameterError):
+            Histogram(())
+
+    def test_powers_of_two_edges(self):
+        h = Histogram.powers_of_two(highest=8)
+        assert h.edges == (1.0, 2.0, 4.0, 8.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), max_size=50))
+    def test_snapshot_invariants(self, values):
+        h = Histogram((0.001, 0.1, 1.0, 100.0))
+        for v in values:
+            h.record(v)
+        snap = h.snapshot()
+        assert snap["count"] == len(values)
+        assert sum(snap["counts"]) == len(values)
+        assert len(snap["counts"]) == len(snap["edges"]) + 1
+        if values:
+            assert snap["total"] == pytest.approx(sum(values))
+            assert snap["mean"] == pytest.approx(sum(values) / len(values))
+            if max(values) > 0:
+                assert snap["max"] == max(values)
+
+
+class TestMetricsRegistry:
+    def test_counter_is_idempotent_per_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits_total", table="x")
+        b = reg.counter("hits_total", table="x")
+        c = reg.counter("hits_total", table="y")
+        assert a is b and a is not c
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("thing")
+        with pytest.raises(ParameterError):
+            reg.gauge("thing")
+
+    def test_bad_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ParameterError):
+            reg.counter("bad name!")
+        with pytest.raises(ParameterError):
+            reg.counter("0leading")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", table="t").inc(3)
+        reg.gauge_function("live_bytes", lambda: 17)
+        reg.histogram("lat_seconds").record(0.5)
+        snap = reg.snapshot()
+        assert snap["hits_total"]["type"] == "counter"
+        assert snap["hits_total"]["samples"][0]["labels"] == {"table": "t"}
+        assert snap["hits_total"]["samples"][0]["value"] == 3
+        assert snap["live_bytes"]["samples"][0]["value"] == 17
+        assert snap["lat_seconds"]["samples"][0]["histogram"]["count"] == 1
+
+    def test_histogram_edges_first_creation_wins(self):
+        reg = MetricsRegistry()
+        a = reg.histogram("h", edges=(1.0, 2.0))
+        b = reg.histogram("h", edges=(5.0, 6.0))
+        assert b is a and a.edges == (1.0, 2.0)
+
+    def test_contains_and_names(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total")
+        assert "a_total" in reg
+        assert "b_total" not in reg
+        assert "a_total" in reg.names()
+
+    def test_reset_zeroes_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc(5)
+        reg.histogram("h").record(1.0)
+        reg.reset()
+        assert reg.snapshot()["a_total"]["samples"][0]["value"] == 0
+        assert reg.snapshot()["h"]["samples"][0]["histogram"]["count"] == 0
+
+    def test_concurrent_counter_increments(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.counter("shared_total").inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("shared_total").value == 8000
+
+
+class _Ledger(CounterLedger):
+    _PREFIX = "demo_"
+    _COUNTERS = ("widgets", "gadgets")
+
+
+class TestCounterLedger:
+    def test_attributes_read_counters(self):
+        led = _Ledger()
+        assert led.widgets == 0
+        led.tally(widgets=2, gadgets=1)
+        led.tally(widgets=1)
+        assert led.widgets == 3 and led.gadgets == 1
+
+    def test_unknown_name_raises(self):
+        led = _Ledger()
+        with pytest.raises(AttributeError):
+            led.tally(bogus=1)
+        with pytest.raises(AttributeError):
+            led.bogus
+
+    def test_as_dict_and_reset(self):
+        led = _Ledger()
+        led.tally(widgets=4)
+        assert led.as_dict() == {"widgets": 4, "gadgets": 0}
+        led.reset()
+        assert led.as_dict() == {"widgets": 0, "gadgets": 0}
+
+    def test_bind_carries_counts_with_labels(self):
+        led = _Ledger()
+        led.tally(widgets=7)
+        shared = MetricsRegistry()
+        led.bind(shared, table="t")
+        assert led.widgets == 7  # carried over
+        sample = shared.snapshot()["demo_widgets_total"]["samples"][0]
+        assert sample == {"labels": {"table": "t"}, "value": 7}
+        led.tally(widgets=1)
+        assert led.widgets == 8
+
+    def test_rebind_same_registry_does_not_double(self):
+        led = _Ledger()
+        led.tally(widgets=5)
+        shared = MetricsRegistry()
+        led.bind(shared, table="t")
+        led.bind(shared, table="t")
+        assert led.widgets == 5

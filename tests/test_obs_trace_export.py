@@ -1,0 +1,169 @@
+"""Tests for tracing spans, the Prometheus renderer/linter, and logging."""
+
+import io
+import json
+
+from repro.obs.export import StructuredLogger, lint_prometheus, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, default_tracer, span
+
+
+class TestTracer:
+    def test_span_records_duration_histogram(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(reg)
+        with tracer.span("stage.one"):
+            pass
+        snap = reg.snapshot()["span_seconds"]
+        sample = snap["samples"][0]
+        assert sample["labels"] == {"span": "stage.one"}
+        assert sample["histogram"]["count"] == 1
+        assert sample["histogram"]["total"] >= 0.0
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        records = {r["name"]: r for r in tracer.timeline()}
+        assert records["inner"]["parent_id"] == records["outer"]["span_id"]
+        assert records["outer"]["parent_id"] is None
+        # the outer span closes after (and therefore outlasts) the inner
+        assert records["outer"]["duration"] >= records["inner"]["duration"]
+
+    def test_attrs_survive_to_timeline(self):
+        tracer = Tracer()
+        with tracer.span("build", size="64x64", stream=2):
+            pass
+        record = tracer.timeline()[0]
+        assert record["attrs"] == {"size": "64x64", "stream": "2"}
+
+    def test_disabled_tracer_is_a_noop(self):
+        tracer = Tracer()
+        tracer.enabled = False
+        with tracer.span("quiet"):
+            pass
+        assert tracer.timeline() == []
+
+    def test_timeline_is_bounded(self):
+        tracer = Tracer(max_spans=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        timeline = tracer.timeline()
+        assert len(timeline) == 4
+        assert timeline[-1]["name"] == "s9"
+
+    def test_dump_json(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        path = tmp_path / "trace.json"
+        tracer.dump_json(path)
+        data = json.loads(path.read_text())
+        assert data[0]["name"] == "a"
+        assert isinstance(data[0]["duration"], float)
+
+    def test_module_level_span_uses_default_tracer(self):
+        default_tracer().clear()
+        with span("module.level"):
+            pass
+        assert any(r["name"] == "module.level"
+                   for r in default_tracer().timeline())
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert tracer.timeline()[0]["name"] == "boom"
+        # stack unwound: a new span is a root again
+        with tracer.span("after"):
+            pass
+        assert tracer.timeline()[-1]["parent_id"] is None
+
+
+class TestPrometheusExport:
+    def _snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", help="Hits.", table="a b").inc(2)
+        reg.gauge("live_bytes", help="Live.").set(5)
+        reg.histogram("lat_seconds", edges=(0.1, 1.0), help="Latency.").record(0.5)
+        return reg.snapshot()
+
+    def test_render_lints_clean(self):
+        text = render_prometheus(self._snapshot())
+        assert lint_prometheus(text) == []
+
+    def test_render_contents(self):
+        text = render_prometheus(self._snapshot())
+        assert '# TYPE hits_total counter' in text
+        assert 'hits_total{table="a b"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert 'lat_seconds_sum 0.5' in text
+        assert 'lat_seconds_count 1' in text
+
+    def test_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h", edges=(1.0, 2.0, 3.0))
+        for v in (0.5, 1.5, 2.5, 9.0):
+            h.record(v)
+        text = render_prometheus(reg.snapshot())
+        lines = [l for l in text.splitlines() if l.startswith("h_bucket")]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == [1, 2, 3, 4]
+
+    def test_lint_catches_breakage(self):
+        assert lint_prometheus("what even is this line") != []
+        # non-cumulative buckets
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1.0\nh_count 3\n"
+        )
+        assert lint_prometheus(bad) != []
+
+    def test_lint_requires_type_before_samples(self):
+        assert lint_prometheus("orphan_metric 1\n") != []
+
+
+class TestStructuredLogger:
+    def test_default_level_suppresses_info(self):
+        stream = io.StringIO()
+        logger = StructuredLogger("t", stream=stream)
+        logger.info("request", op="ping")
+        assert stream.getvalue() == ""
+        logger.warning("slow_request", op="query")
+        assert "slow_request" in stream.getvalue()
+
+    def test_logfmt_fields(self):
+        stream = io.StringIO()
+        logger = StructuredLogger("t", level="info", stream=stream)
+        logger.info("request", op="query", seconds=0.25)
+        line = stream.getvalue().strip()
+        assert "event=request" in line
+        assert "op=query" in line
+        assert "seconds=0.25" in line
+
+    def test_logfmt_quotes_spaces(self):
+        stream = io.StringIO()
+        logger = StructuredLogger("t", level="info", stream=stream)
+        logger.info("err", message="bad rectangle spec")
+        assert 'message="bad rectangle spec"' in stream.getvalue()
+
+    def test_json_format(self):
+        stream = io.StringIO()
+        logger = StructuredLogger("t", level="info", stream=stream, fmt="json")
+        logger.info("request", op="stats")
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "request"
+        assert record["op"] == "stats"
+        assert record["level"] == "info"
+
+    def test_enabled_for(self):
+        logger = StructuredLogger("t", level="warning", stream=io.StringIO())
+        assert not logger.enabled_for("info")
+        assert logger.enabled_for("error")
