@@ -49,6 +49,7 @@ _SUBSYSTEMS = [
     ("repro.data", "synthetic workloads and loaders"),
     ("repro.mining", "neighbours, regions, trends"),
     ("repro.serve", "batched query planner, engine, JSON-lines server/client"),
+    ("repro.testing", "fault injection: scripted flaky transports for chaos tests"),
     ("repro.experiments", "per-figure reproduction harness"),
 ]
 
@@ -167,24 +168,33 @@ def _cmd_serve(args) -> int:
     server = SketchServer(
         engine, host=args.host, port=args.port,
         logger=logger, slow_query_seconds=slow,
+        max_inflight=args.max_inflight,
+        max_batch_queries=args.max_batch_queries,
+        drain_timeout=args.drain_timeout,
     )
     host, port = server.address
     print(f"serving {len(args.table)} table(s) on {host}:{port}")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
-        pass
+        print("draining...", file=sys.stderr)
     finally:
-        server.server_close()
+        # serve_forever already exited, so stop() skips the shutdown
+        # handshake (no background thread) and goes straight to the drain.
+        clean = server.stop()
+        print(f"drained {'cleanly' if clean else 'with abandoned requests'}",
+              file=sys.stderr)
     return 0
 
 
 def _cmd_query(args) -> int:
     import json
 
-    from repro.serve import Client
+    from repro.serve import Client, RetryPolicy
 
-    with Client(args.host, args.port, timeout=args.timeout) as client:
+    retry = RetryPolicy(max_attempts=max(1, args.retries))
+    with Client(args.host, args.port, timeout=args.timeout, retry=retry,
+                deadline=args.request_deadline) as client:
         if args.ping:
             print("pong" if client.ping() else "no pong")
             return 0
@@ -203,6 +213,11 @@ def _cmd_query(args) -> int:
         results = client.query(queries, timeout=args.deadline)
         for spec, result in zip(args.queries, results):
             print(f"{spec}\t{result.distance:.6g}\t{result.strategy}")
+        resilience = client.resilience
+        if resilience["retries_total"]:
+            print(f"retries_total={resilience['retries_total']} "
+                  f"reconnects_total={resilience['reconnects_total']}",
+                  file=sys.stderr)
     return 0
 
 
@@ -249,6 +264,21 @@ def _print_stats_summary(snapshot: dict) -> None:
         print(f"planner:  groups={planner.get('groups', 0)} "
               f"estimator_calls={planner.get('estimator_calls', 0)} "
               f"map_gathers={planner.get('map_gathers', 0)}")
+    metrics = snapshot.get("metrics", {})
+
+    def metric_value(name, default=0):
+        samples = metrics.get(name, {}).get("samples", [])
+        return samples[0].get("value", default) if samples else default
+
+    sheds = metric_value("sheds_total")
+    drains = metrics.get("drain_seconds", {}).get("samples", [])
+    drain_hist = drains[0].get("histogram", {}) if drains else {}
+    if sheds or drain_hist.get("count"):
+        line = f"shedding: sheds_total={sheds} inflight={metric_value('inflight_requests')}"
+        if drain_hist.get("count"):
+            line += (f" drains={drain_hist['count']} "
+                     f"drain_mean={drain_hist['mean']:.3g}s")
+        print(line)
     for name, table in sorted(snapshot.get("tables", {}).items()):
         pipeline = table.get("pipeline", {})
         reused = pipeline.get("data_ffts_reused", 0)
@@ -353,6 +383,13 @@ def main(argv=None) -> int:
     serve.add_argument("--slow-query-ms", type=float, default=None,
                        help="log requests slower than this many ms at warning "
                             "level")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       help="shed query requests (RETRY_LATER) beyond this "
+                            "many concurrent executions")
+    serve.add_argument("--max-batch-queries", type=int, default=None,
+                       help="shed query batches larger than this many queries")
+    serve.add_argument("--drain-timeout", type=float, default=5.0,
+                       help="seconds to wait for in-flight batches on shutdown")
 
     query = commands.add_parser("query", help="talk to a running sketch server")
     query.add_argument("queries", nargs="*",
@@ -364,6 +401,12 @@ def main(argv=None) -> int:
                        help="socket timeout in seconds")
     query.add_argument("--deadline", type=float, default=None,
                        help="server-side batch deadline in seconds")
+    query.add_argument("--retries", type=int, default=4,
+                       help="attempts per request for transient failures "
+                            "(connection loss, RETRY_LATER); 1 disables")
+    query.add_argument("--request-deadline", type=float, default=None,
+                       help="client-side per-request budget in seconds "
+                            "across all retries")
     query.add_argument("--ping", action="store_true", help="just ping the server")
     query.add_argument("--tables", action="store_true", help="list served tables")
     query.add_argument("--stats", action="store_true", help="dump engine statistics")

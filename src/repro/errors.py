@@ -67,6 +67,65 @@ class ProtocolError(ServeError):
     """
 
 
+class TransientServeError(ServeError):
+    """A serving failure that is safe to retry.
+
+    Base class for failures where the request either never reached the
+    engine or where re-issuing it is harmless (every current wire op is
+    a pure read).  :class:`~repro.serve.retry.RetryPolicy` retries
+    exactly this family by default; everything else is treated as a
+    permanent error and raised immediately.
+    """
+
+    #: Wire hint carried in the error payload (``error.code``); clients
+    #: and proxies may use it to distinguish back-off advice from bugs.
+    code: str | None = None
+
+
+class ConnectionLostError(TransientServeError):
+    """The connection dropped before a complete response arrived.
+
+    Synthesised client-side from socket errors, EOF mid-request, or a
+    peer reset.  Retryable for idempotent operations: the server may or
+    may not have processed the request, but re-reading is safe.
+    """
+
+    code = "CONNECTION_LOST"
+
+
+class ServerOverloadedError(TransientServeError):
+    """The server shed the request because it is saturated.
+
+    Sent with wire code ``RETRY_LATER`` when the number of in-flight
+    requests exceeds the server's ``max_inflight`` cap (or a batch
+    exceeds its per-connection queue limit).  The request was *not*
+    dispatched to the engine; back off and retry.
+    """
+
+    code = "RETRY_LATER"
+
+
+class ServerDrainingError(TransientServeError):
+    """The server is draining for shutdown and refused new work.
+
+    Sent with wire code ``RETRY_LATER`` while a graceful drain is in
+    progress: in-flight batches run to completion, new requests on any
+    connection get this error so clients fail over quickly.
+    """
+
+    code = "RETRY_LATER"
+
+
+class RetriesExhaustedError(ServeError):
+    """Every retry attempt failed; ``__cause__`` is the last error.
+
+    Raised by the client when a :class:`~repro.serve.retry.RetryPolicy`
+    runs out of attempts (or out of deadline budget) while the failure
+    is still retryable.  The final underlying error is chained, so
+    ``except RetriesExhaustedError as e: e.__cause__`` recovers it.
+    """
+
+
 class QueryTimeoutError(ServeError):
     """A query batch exceeded its deadline.
 

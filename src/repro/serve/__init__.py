@@ -19,11 +19,16 @@ pools:
 :mod:`repro.serve.stats`
     Request counters, batch-size and latency histograms, and the
     planner's cost ledger, exposed via the ``stats`` wire op.
+:mod:`repro.serve.retry`
+    :class:`RetryPolicy` — exponential backoff with full jitter over
+    typed transient errors; the client's resilience knob (see
+    ``docs/RESILIENCE.md``).
 """
 
-from repro.serve.client import Client
+from repro.serve.client import Client, TcpTransport
 from repro.serve.engine import SketchEngine
 from repro.serve.planner import QueryGroup, QueryPlanner, QueryResult, RectQuery
+from repro.serve.retry import RetryPolicy, retry_call
 from repro.serve.server import SketchServer
 from repro.serve.stats import EngineStats, Histogram, PlannerStats
 
@@ -31,6 +36,9 @@ __all__ = [
     "SketchEngine",
     "SketchServer",
     "Client",
+    "TcpTransport",
+    "RetryPolicy",
+    "retry_call",
     "QueryPlanner",
     "QueryGroup",
     "RectQuery",

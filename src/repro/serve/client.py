@@ -1,22 +1,55 @@
-"""A stdlib client for the JSON-lines sketch server.
+"""A resilient stdlib client for the JSON-lines sketch server.
 
 :class:`Client` speaks the protocol of
 :mod:`repro.serve.server` over a plain :mod:`socket`: one JSON object
 per line out, one per line back.  Server-side errors are re-raised
 locally as their original :mod:`repro.errors` types (matched by class
 name), so remote and in-process engines misbehave identically.
+
+On top of the wire protocol the client layers a failure story:
+
+* **Typed transient errors.**  Socket drops, EOF mid-request, and peer
+  resets surface as :class:`~repro.errors.ConnectionLostError`; server
+  sheds and drains arrive as :class:`~repro.errors.ServerOverloadedError`
+  / :class:`~repro.errors.ServerDrainingError` (wire code
+  ``RETRY_LATER``).
+* **Automatic reconnect.**  A broken connection is torn down and
+  re-dialled lazily on the next request.
+* **Retries with backoff.**  Idempotent operations (every current op is
+  a pure read) are retried under a
+  :class:`~repro.serve.retry.RetryPolicy` — exponential backoff, full
+  jitter, rng injected for determinism — but *only* for typed retryable
+  errors; a :class:`~repro.errors.ParameterError` never retries.
+* **Per-request deadlines.**  ``deadline`` bounds one logical request
+  across all its attempts, including backoff sleeps.
+
+Retries and reconnects are accounted in a
+:class:`~repro.obs.metrics.MetricsRegistry` (``retries_total{op=...}``,
+``reconnects_total``) readable via :attr:`Client.resilience`.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
+from typing import Callable
 
 import repro.errors
-from repro.errors import ProtocolError, ReproError, ServeError
+from repro.errors import (
+    ConnectionLostError,
+    ProtocolError,
+    QueryTimeoutError,
+    ReproError,
+    RetriesExhaustedError,
+    ServeError,
+)
+from repro.obs.metrics import MetricsRegistry
 from repro.serve.planner import QueryResult, RectQuery
+from repro.serve.retry import RetryPolicy
 
-__all__ = ["Client"]
+__all__ = ["Client", "TcpTransport"]
 
 
 def _revive_error(info) -> ReproError:
@@ -31,8 +64,46 @@ def _revive_error(info) -> ReproError:
     return ServeError(f"{name}: {message}")
 
 
+class TcpTransport:
+    """One newline-framed connection: ``send_line`` / ``recv_line``.
+
+    The minimal surface the client needs from a connection, factored
+    out so :class:`~repro.testing.FlakyTransport` can wrap it with a
+    scripted :class:`~repro.testing.FaultPlan`.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float | None = 30.0):
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rb")
+
+    def send_line(self, data: bytes) -> None:
+        """Send one complete newline-terminated frame."""
+        self._sock.sendall(data)
+
+    def recv_line(self) -> bytes:
+        """Read one newline-terminated frame (``b""`` on EOF)."""
+        return self._file.readline()
+
+    def settimeout(self, timeout: float | None) -> None:
+        """Bound every subsequent socket operation."""
+        self._sock.settimeout(timeout)
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        for closer in (self._file.close, self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+
 class Client:
-    """A blocking connection to a running :class:`~repro.serve.server.SketchServer`.
+    """A blocking, self-healing connection to a :class:`~repro.serve.server.SketchServer`.
 
     Parameters
     ----------
@@ -41,6 +112,29 @@ class Client:
     timeout:
         Socket timeout in seconds for connect and each response
         (``None`` blocks indefinitely).
+    retry:
+        A :class:`~repro.serve.retry.RetryPolicy`; the default retries
+        typed transient failures (connection loss, ``RETRY_LATER``
+        sheds/drains) up to 4 attempts with full-jitter backoff.  Pass
+        ``RetryPolicy.none()`` to restore fail-fast behaviour.
+    deadline:
+        Default per-request wall-clock budget in seconds across all
+        attempts (including backoff sleeps); ``None`` leaves only the
+        socket timeout.  Exceeding it raises
+        :class:`~repro.errors.QueryTimeoutError`.
+    rng:
+        A :class:`random.Random` for backoff jitter — inject a seeded
+        one for deterministic retry schedules.
+    connect:
+        Transport factory ``(timeout) -> transport`` (anything with
+        ``send_line`` / ``recv_line`` / ``settimeout`` / ``close``).
+        Defaults to dialling ``host:port`` with :class:`TcpTransport`;
+        the fault-injection suite passes a
+        :class:`~repro.testing.FlakyTransport` factory here.
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` to account
+        ``retries_total`` / ``reconnects_total`` in (own registry when
+        omitted; see :attr:`resilience`).
 
     Usable as a context manager.  Not thread-safe: requests and
     responses pair up by order on one connection, so give each thread
@@ -55,9 +149,37 @@ class Client:
     ...     ])
     """
 
-    def __init__(self, host: str, port: int, timeout: float | None = 30.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 30.0,
+        retry: RetryPolicy | None = None,
+        deadline: float | None = None,
+        rng: random.Random | None = None,
+        connect: Callable[[float | None], object] | None = None,
+        registry: MetricsRegistry | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.deadline = deadline
+        self._rng = rng if rng is not None else random.Random()
+        self._connect = connect if connect is not None else (
+            lambda t: TcpTransport(host, port, timeout=t)
+        )
+        self._sleep = sleep
+        self.metrics = registry if registry is not None else MetricsRegistry()
+        self._reconnects = self.metrics.counter(
+            "reconnects_total", help="Connections re-dialled after a failure."
+        )
+        self._transport = None
+        self._closed = False
+        # Dial eagerly so constructing a client against a dead address
+        # fails immediately, like the historical socket-owning client.
+        self._ensure_transport()
 
     def __enter__(self) -> "Client":
         return self
@@ -65,69 +187,198 @@ class Client:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def close(self) -> None:
-        """Close the connection (idempotent)."""
-        if self._sock is None:
-            return
-        try:
-            self._file.close()
-        except OSError:
-            pass
-        try:
-            self._sock.close()
-        except OSError:
-            pass
-        self._sock = None
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
 
-    def _roundtrip(self, request: dict) -> dict:
-        if self._sock is None:
+    def _ensure_transport(self):
+        if self._closed:
             raise ServeError("client connection is closed")
-        self._file.write(json.dumps(request).encode("utf-8") + b"\n")
-        self._file.flush()
-        line = self._file.readline()
+        if self._transport is None:
+            self._transport = self._connect(self._timeout)
+        return self._transport
+
+    def _drop_transport(self) -> None:
+        """Tear the connection down; the next request re-dials."""
+        transport, self._transport = self._transport, None
+        if transport is not None:
+            try:
+                transport.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Close the connection permanently (idempotent)."""
+        self._closed = True
+        self._drop_transport()
+
+    @property
+    def resilience(self) -> dict:
+        """Client-side failure accounting: retries per op, reconnects.
+
+        ``{"retries": {op: n, ...}, "retries_total": n,
+        "reconnects_total": n}`` — the chaos suite and the CLI read this
+        to prove retries actually happened.
+        """
+        retries: dict[str, int] = {}
+        for name, _, _, children in self.metrics.collect():
+            if name == "retries_total":
+                for labels, child in children:
+                    retries[labels.get("op", "?")] = child.value
+        return {
+            "retries": retries,
+            "retries_total": sum(retries.values()),
+            "reconnects_total": self._reconnects.value,
+        }
+
+    # ------------------------------------------------------------------
+    # The wire round trip
+    # ------------------------------------------------------------------
+
+    def _attempt(self, request: dict, timeout: float | None) -> dict:
+        """One send/receive on the current connection.
+
+        Any sign the connection is unusable — send failure, EOF, socket
+        timeout-free OS errors — tears the transport down and raises
+        :class:`~repro.errors.ConnectionLostError` so the retry loop can
+        re-dial.  Garbage responses raise
+        :class:`~repro.errors.ProtocolError` and also drop the
+        connection (the stream is desynchronised).
+        """
+        fresh = self._transport is None
+        transport = self._ensure_transport()
+        if fresh:
+            self._reconnects.inc()
+        try:
+            transport.settimeout(timeout)
+        except OSError:
+            pass
+        try:
+            transport.send_line(json.dumps(request).encode("utf-8") + b"\n")
+            line = transport.recv_line()
+        except socket.timeout as exc:
+            self._drop_transport()
+            raise QueryTimeoutError(
+                f"no response within the socket timeout: {exc}"
+            ) from exc
+        except (ConnectionError, OSError) as exc:
+            self._drop_transport()
+            raise ConnectionLostError(f"connection failed: {exc}") from exc
         if not line:
-            raise ProtocolError("server closed the connection mid-request")
+            self._drop_transport()
+            raise ConnectionLostError("server closed the connection mid-request")
         try:
             response = json.loads(line)
         except json.JSONDecodeError as exc:
+            self._drop_transport()
             raise ProtocolError(f"server sent invalid JSON: {exc}") from exc
         if not isinstance(response, dict) or "ok" not in response:
+            self._drop_transport()
             raise ProtocolError(f"malformed server response: {response!r}")
         if not response["ok"]:
             raise _revive_error(response.get("error"))
         return response.get("result", {})
 
-    def ping(self) -> bool:
+    def _roundtrip(
+        self,
+        request: dict,
+        idempotent: bool = True,
+        deadline: float | None = None,
+    ) -> dict:
+        """Send one request, retrying transient failures when allowed.
+
+        Retries happen only when the operation is ``idempotent`` *and*
+        the failure is typed retryable by the policy; each retry
+        reconnects if the transport was torn down.  ``deadline``
+        (falling back to the client default) bounds the whole exchange
+        including backoff sleeps.
+        """
+        if self._closed:
+            raise ServeError("client connection is closed")
+        op = str(request.get("op", "?"))
+        budget = self.deadline if deadline is None else deadline
+        start = time.monotonic()
+        policy = self.retry if idempotent else RetryPolicy.none()
+        last: BaseException | None = None
+        for attempt in range(policy.max_attempts):
+            remaining = None
+            if budget is not None:
+                remaining = budget - (time.monotonic() - start)
+                if remaining <= 0:
+                    raise QueryTimeoutError(
+                        f"request deadline of {budget}s exhausted after "
+                        f"{attempt} attempt(s)"
+                    ) from last
+            timeout = self._timeout
+            if remaining is not None:
+                timeout = remaining if timeout is None else min(timeout, remaining)
+            try:
+                return self._attempt(request, timeout)
+            except Exception as exc:  # noqa: BLE001 - filtered by policy
+                # Single-attempt policies keep the original typed error;
+                # the exhausted-wrapper only applies once retries happened.
+                if not policy.is_retryable(exc) or policy.max_attempts == 1:
+                    raise
+                last = exc
+                if attempt + 1 >= policy.max_attempts:
+                    break
+                pause = policy.backoff(attempt, self._rng)
+                if budget is not None:
+                    left = budget - (time.monotonic() - start)
+                    if left <= pause:
+                        break
+                self.metrics.counter(
+                    "retries_total",
+                    help="Requests retried after a transient failure.",
+                    op=op,
+                ).inc()
+                if pause > 0:
+                    self._sleep(pause)
+        raise RetriesExhaustedError(
+            f"{op!r} failed after {policy.max_attempts} attempt(s): {last}"
+        ) from last
+
+    # ------------------------------------------------------------------
+    # Operations (all idempotent reads)
+    # ------------------------------------------------------------------
+
+    def ping(self, deadline: float | None = None) -> bool:
         """Round-trip a no-op request; ``True`` if the server answered."""
-        return bool(self._roundtrip({"op": "ping"}).get("pong"))
+        return bool(self._roundtrip({"op": "ping"}, deadline=deadline).get("pong"))
 
-    def health(self) -> dict:
+    def health(self, deadline: float | None = None) -> dict:
         """The server's liveness summary (status, uptime, table count)."""
-        return self._roundtrip({"op": "health"})
+        return self._roundtrip({"op": "health"}, deadline=deadline)
 
-    def tables(self) -> dict:
+    def tables(self, deadline: float | None = None) -> dict:
         """Metadata of every table registered on the server."""
-        return self._roundtrip({"op": "tables"})["tables"]
+        return self._roundtrip({"op": "tables"}, deadline=deadline)["tables"]
 
-    def stats(self) -> dict:
+    def stats(self, deadline: float | None = None) -> dict:
         """The server engine's full statistics snapshot."""
-        return self._roundtrip({"op": "stats"})
+        return self._roundtrip({"op": "stats"}, deadline=deadline)
 
-    def query(self, queries, timeout: float | None = None) -> list[QueryResult]:
+    def query(
+        self,
+        queries,
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> list[QueryResult]:
         """Answer a batch of rectangle queries remotely.
 
         Accepts the same query forms as
         :meth:`~repro.serve.engine.SketchEngine.query`; returns
         :class:`~repro.serve.planner.QueryResult` objects in submission
         order.  ``timeout`` is the *server-side* batch deadline in
-        seconds (the socket timeout set at construction bounds the
-        wait for the response itself).
+        seconds; ``deadline`` is the *client-side* wall-clock budget for
+        the whole exchange, retries included (falling back to the
+        client-wide default).
         """
         wire = [RectQuery.parse(query).to_wire() for query in queries]
         request: dict = {"op": "query", "queries": wire}
         if timeout is not None:
             request["timeout"] = float(timeout)
-        result = self._roundtrip(request)
+        result = self._roundtrip(request, deadline=deadline)
         try:
             return [QueryResult.parse(item) for item in result["results"]]
         except (KeyError, TypeError) as exc:

@@ -1,0 +1,181 @@
+"""Retry policy: exponential backoff with full jitter, typed retryability.
+
+A serving fleet retries; an uncoordinated fleet retries *in phase* and
+turns one hiccup into a synchronised stampede.  The standard fix is
+exponential backoff with *full jitter* (Brooker, AWS architecture blog):
+attempt ``i`` sleeps a uniform random amount in
+``[0, min(max_delay, base_delay * multiplier**i)]``, which decorrelates
+clients while keeping the expected wait exponential.
+
+Two properties matter for this repo:
+
+* **Determinism.**  The jitter source is an injected
+  :class:`random.Random`, so tests (and the chaos suite) script the
+  exact sleep sequence; nothing in this module touches global RNG
+  state.
+* **Typed retryability.**  Only :class:`~repro.errors.TransientServeError`
+  subclasses are retried by default — connection loss, ``RETRY_LATER``
+  sheds, drains.  A :class:`~repro.errors.ParameterError` or
+  :class:`~repro.errors.ProtocolError` is a bug, not weather, and is
+  raised immediately.
+
+:func:`retry_call` is the generic loop; :class:`~repro.serve.client.Client`
+embeds the same policy with reconnect semantics layered on top.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import (
+    ParameterError,
+    RetriesExhaustedError,
+    TransientServeError,
+)
+
+__all__ = ["RetryPolicy", "retry_call"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a transient failure, and how to wait.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries including the first (``1`` disables retries).
+    base_delay:
+        Backoff scale in seconds for the first retry.
+    multiplier:
+        Exponential growth factor per attempt.
+    max_delay:
+        Ceiling on the un-jittered backoff.
+    jitter:
+        ``"full"`` (sleep uniform in ``[0, backoff]``) or ``"none"``
+        (sleep exactly ``backoff`` — deterministic without an rng, used
+        by latency-sensitive tests).
+    retry_on:
+        Exception types considered retryable.  Idempotency is the
+        *caller's* responsibility: the client only consults the policy
+        for operations it has marked idempotent.
+
+    Examples
+    --------
+    >>> policy = RetryPolicy(max_attempts=3, base_delay=0.1, jitter="none")
+    >>> [policy.backoff(i) for i in range(3)]
+    [0.1, 0.2, 0.4]
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: str = "full"
+    retry_on: tuple[type[BaseException], ...] = field(
+        default=(TransientServeError,)
+    )
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ParameterError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ParameterError("backoff delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ParameterError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+        if self.jitter not in ("full", "none"):
+            raise ParameterError(
+                f"jitter must be 'full' or 'none', got {self.jitter!r}"
+            )
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """A policy that never retries (single attempt)."""
+        return cls(max_attempts=1)
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether ``exc`` belongs to the retryable family."""
+        return isinstance(exc, self.retry_on)
+
+    def backoff(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Seconds to sleep before retry number ``attempt`` (0-based).
+
+        With ``jitter="full"`` the result is uniform in
+        ``[0, min(max_delay, base_delay * multiplier**attempt)]``, drawn
+        from ``rng`` (a fresh unseeded :class:`random.Random` when
+        omitted — inject one for determinism).
+        """
+        ceiling = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        if self.jitter == "none":
+            return ceiling
+        if rng is None:
+            rng = random.Random()
+        return rng.uniform(0.0, ceiling)
+
+
+def retry_call(
+    fn: Callable[[], object],
+    policy: RetryPolicy,
+    rng: random.Random | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+    deadline: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
+    on_retry: Callable[[int, BaseException, float], None] | None = None,
+):
+    """Call ``fn`` under ``policy``, retrying typed transient failures.
+
+    Parameters
+    ----------
+    fn:
+        Zero-argument callable; must be safe to invoke repeatedly
+        (i.e. idempotent — the policy cannot check this for you).
+    policy:
+        The :class:`RetryPolicy` to follow.
+    rng / sleep / clock:
+        Injection points for jitter, sleeping, and time, so tests run
+        instantly and deterministically.
+    deadline:
+        Optional wall-clock budget in seconds across *all* attempts;
+        when the next backoff would overshoot it, the loop stops and
+        raises :class:`~repro.errors.RetriesExhaustedError`.
+    on_retry:
+        Observer called as ``on_retry(attempt, exc, backoff_seconds)``
+        just before each sleep (metrics hooks).
+
+    Raises
+    ------
+    RetriesExhaustedError
+        When attempts (or the deadline) run out while the failure is
+        still retryable; the last error is chained as ``__cause__``.
+    """
+    start = clock()
+    last: BaseException | None = None
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except Exception as exc:  # noqa: BLE001 - filtered by policy below
+            # A policy that never retries keeps the original error: the
+            # exhausted-wrapper only makes sense once retries happened.
+            if not policy.is_retryable(exc) or policy.max_attempts == 1:
+                raise
+            last = exc
+            if attempt + 1 >= policy.max_attempts:
+                break
+            pause = policy.backoff(attempt, rng)
+            if deadline is not None:
+                remaining = deadline - (clock() - start)
+                if remaining <= pause:
+                    break
+            if on_retry is not None:
+                on_retry(attempt, exc, pause)
+            if pause > 0:
+                sleep(pause)
+    raise RetriesExhaustedError(
+        f"gave up after {policy.max_attempts} attempt(s): {last}"
+    ) from last

@@ -21,10 +21,33 @@ Response::
 
     {"ok": true,  "result": ...}
     {"ok": false, "error": {"type": "ParameterError", "message": "..."}}
+    {"ok": false, "error": {"type": "ServerOverloadedError",
+                            "code": "RETRY_LATER", "message": "..."}}
 
 Errors travel by exception class name; :class:`repro.serve.Client` maps
 them back onto the :mod:`repro.errors` hierarchy, so a bad query raises
-the same exception type remotely as it would in process.
+the same exception type remotely as it would in process.  Transient
+errors additionally carry ``code`` (``RETRY_LATER`` for sheds and
+drains) so non-Python clients can classify them.
+
+Resilience semantics (see ``docs/RESILIENCE.md``):
+
+* **Load shedding.**  With ``max_inflight`` set, a ``query`` request
+  arriving while that many queries are already executing is refused
+  with :class:`~repro.errors.ServerOverloadedError` *before* touching
+  the engine (cheap ops — ping/health/tables/stats — always pass, so
+  monitoring keeps working under saturation).  Sheds count in
+  ``sheds_total``.
+* **Per-connection limits.**  Request frames are capped at
+  ``max_line_bytes`` and query batches at ``max_batch_queries``;
+  oversized batches shed with ``RETRY_LATER`` (splitting the batch is
+  the fix), oversized frames are a protocol error that also drops the
+  connection (the stream cannot be resynchronised).
+* **Graceful drain.**  :meth:`SketchServer.stop` stops accepting, lets
+  in-flight batches finish (up to ``drain_timeout`` seconds), answers
+  any *new* request with :class:`~repro.errors.ServerDrainingError`
+  meanwhile, and only then releases the listening socket.  Drain
+  duration lands in the ``drain_seconds`` histogram.
 
 Every request is accounted in the engine's
 :class:`~repro.serve.stats.EngineStats` (per-op counters and latency
@@ -41,7 +64,13 @@ import socketserver
 import threading
 import time
 
-from repro.errors import ProtocolError, ReproError
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    ServerDrainingError,
+    ServerOverloadedError,
+    TransientServeError,
+)
 from repro.obs.export import StructuredLogger
 from repro.serve.engine import SketchEngine
 
@@ -112,16 +141,20 @@ class _Handler(socketserver.StreamRequestHandler):
         """Serve newline-framed JSON requests until the peer hangs up."""
         server: "SketchServer" = self.server  # type: ignore[assignment]
         engine = server.engine
+        max_line = server.max_line_bytes
         while True:
             try:
-                line = self.rfile.readline(MAX_LINE_BYTES + 1)
+                line = self.rfile.readline(max_line + 1)
             except (ConnectionError, OSError):
                 return
             if not line:
                 return
-            if len(line) > MAX_LINE_BYTES:
+            if len(line) > max_line:
+                # The rest of the oversized frame is still in flight;
+                # there is no way back to a frame boundary, so answer
+                # once and drop the connection.
                 self._respond_error(ProtocolError(
-                    f"request line exceeds {MAX_LINE_BYTES} bytes"
+                    f"request line exceeds {max_line} bytes"
                 ))
                 return
             if not line.strip():
@@ -130,10 +163,12 @@ class _Handler(socketserver.StreamRequestHandler):
             try:
                 try:
                     request = json.loads(line)
-                except json.JSONDecodeError as exc:
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
                     raise ProtocolError(f"request is not valid JSON: {exc}") from exc
-                with server.tracer.span("server.request"):
-                    op, result = _handle_request(engine, request)
+                server.check_admission(request)
+                with server.track_inflight():
+                    with server.tracer.span("server.request"):
+                        op, result = _handle_request(engine, request)
             except ReproError as exc:
                 server.log_request("?", time.perf_counter() - start, error=exc)
                 if not self._respond_error(exc):
@@ -146,10 +181,11 @@ class _Handler(socketserver.StreamRequestHandler):
                 return
 
     def _respond_error(self, exc: Exception) -> bool:
-        return self._send({
-            "ok": False,
-            "error": {"type": type(exc).__name__, "message": str(exc)},
-        })
+        error = {"type": type(exc).__name__, "message": str(exc)}
+        code = getattr(exc, "code", None)
+        if isinstance(exc, TransientServeError) and code:
+            error["code"] = code
+        return self._send({"ok": False, "error": error})
 
     def _send(self, payload: dict) -> bool:
         try:
@@ -177,6 +213,20 @@ class SketchServer(socketserver.ThreadingTCPServer):
     slow_query_seconds:
         When set, any request slower than this many seconds is logged at
         warning level as a ``slow_request`` event regardless of level.
+    max_inflight:
+        Load-shedding cap: at most this many ``query`` requests execute
+        concurrently; further ones are refused with
+        :class:`~repro.errors.ServerOverloadedError` (``RETRY_LATER``).
+        ``None`` (default) never sheds.
+    max_batch_queries:
+        Per-connection queue limit: a single request carrying more than
+        this many queries sheds with ``RETRY_LATER`` instead of
+        monopolising a handler thread.  ``None`` is unbounded.
+    max_line_bytes:
+        Frame-size limit per request line (default 64 MiB).
+    drain_timeout:
+        Default seconds :meth:`stop` waits for in-flight batches before
+        releasing the socket anyway.
 
     Usable as a context manager; :meth:`start` runs the accept loop in a
     daemon thread for in-process use (tests, notebooks), while
@@ -201,18 +251,118 @@ class SketchServer(socketserver.ThreadingTCPServer):
         port: int = 0,
         logger: StructuredLogger | None = None,
         slow_query_seconds: float | None = None,
+        max_inflight: int | None = None,
+        max_batch_queries: int | None = None,
+        max_line_bytes: int = MAX_LINE_BYTES,
+        drain_timeout: float = 5.0,
     ):
         self.engine = engine
         self.logger = logger if logger is not None else StructuredLogger("repro.serve")
         self.slow_query_seconds = slow_query_seconds
         self.tracer = engine.tracer
+        self.max_inflight = max_inflight
+        self.max_batch_queries = max_batch_queries
+        self.max_line_bytes = int(max_line_bytes)
+        self.drain_timeout = float(drain_timeout)
         self._thread: threading.Thread | None = None
+        self._closed = False
+        self._lifecycle_lock = threading.Lock()
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+        self._draining = threading.Event()
+        registry = engine.registry
+        self._sheds = registry.counter(
+            "sheds_total",
+            help="Requests refused with RETRY_LATER (overload or drain).",
+        )
+        self._drain_seconds = registry.histogram(
+            "drain_seconds",
+            help="Graceful-drain durations (stop() call to socket release).",
+        )
+        registry.gauge_function(
+            "inflight_requests", lambda: self._inflight,
+            help="Requests currently executing in handler threads.",
+        )
+        registry.gauge_function(
+            "server_draining", lambda: float(self._draining.is_set()),
+            help="1 while a graceful drain is in progress or complete.",
+        )
         super().__init__((host, port), _Handler)
 
     @property
     def address(self) -> tuple[str, int]:
         """The actually-bound ``(host, port)``."""
         return self.server_address[0], self.server_address[1]
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently executing (drain waits on this)."""
+        return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        """Whether a graceful drain has started."""
+        return self._draining.is_set()
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+
+    def check_admission(self, request) -> None:
+        """Refuse work the server should not take on, *before* dispatch.
+
+        Raises :class:`~repro.errors.ServerDrainingError` for any
+        request once a drain has begun, and
+        :class:`~repro.errors.ServerOverloadedError` for query requests
+        over the ``max_inflight`` / ``max_batch_queries`` caps.  Cheap
+        introspection ops are never shed by load, so health checks stay
+        honest while the engine is saturated.
+        """
+        op = request.get("op") if isinstance(request, dict) else None
+        if self._draining.is_set():
+            self._sheds.inc()
+            raise ServerDrainingError(
+                "server is draining for shutdown; retry against another replica"
+            )
+        if op != "query":
+            return
+        if self.max_batch_queries is not None and isinstance(request, dict):
+            queries = request.get("queries")
+            if isinstance(queries, list) and len(queries) > self.max_batch_queries:
+                self._sheds.inc()
+                raise ServerOverloadedError(
+                    f"batch of {len(queries)} queries exceeds the per-request "
+                    f"cap of {self.max_batch_queries}; split the batch"
+                )
+        if self.max_inflight is not None:
+            with self._inflight_cond:
+                if self._inflight >= self.max_inflight:
+                    self._sheds.inc()
+                    raise ServerOverloadedError(
+                        f"{self._inflight} requests already in flight "
+                        f"(cap {self.max_inflight}); retry later"
+                    )
+
+    def track_inflight(self):
+        """Context manager counting one executing request (drain gate)."""
+        server = self
+
+        class _Track:
+            def __enter__(self):
+                with server._inflight_cond:
+                    server._inflight += 1
+                return self
+
+            def __exit__(self, *exc_info):
+                with server._inflight_cond:
+                    server._inflight -= 1
+                    server._inflight_cond.notify_all()
+
+        return _Track()
+
+    # ------------------------------------------------------------------
+    # Logging
+    # ------------------------------------------------------------------
 
     def log_request(
         self, op: str, seconds: float, error: Exception | None = None, **fields
@@ -233,25 +383,67 @@ class SketchServer(socketserver.ThreadingTCPServer):
         event = "slow_request" if slow else "request"
         self.logger.log(level, event, op=op, seconds=round(seconds, 6), **fields)
 
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
     def start(self) -> "SketchServer":
         """Run the accept loop in a background daemon thread."""
-        if self._thread is not None:
-            return self
-        self._thread = threading.Thread(
-            target=self.serve_forever, name="sketch-server", daemon=True
-        )
-        self._thread.start()
+        with self._lifecycle_lock:
+            if self._closed:
+                raise RuntimeError("server already stopped; build a new one")
+            if self._thread is not None:
+                return self
+            self._thread = threading.Thread(
+                target=self.serve_forever, name="sketch-server", daemon=True
+            )
+            self._thread.start()
         return self
 
-    def stop(self) -> None:
-        """Shut the accept loop down and close the listening socket."""
-        if self._thread is not None:
-            # shutdown() handshakes with a running serve_forever loop;
-            # calling it without one would block forever.
-            self.shutdown()
-            self._thread.join(timeout=5.0)
-            self._thread = None
-        self.server_close()
+    def stop(self, drain_timeout: float | None = None) -> bool:
+        """Gracefully drain and shut down (idempotent).
+
+        Stops accepting new connections, marks the server draining (new
+        requests on existing connections get ``RETRY_LATER``), waits up
+        to ``drain_timeout`` seconds (default: the constructor's) for
+        in-flight batches to complete, then releases the listening
+        socket.  Returns ``True`` when the drain emptied in time,
+        ``False`` when lingering requests were abandoned to their daemon
+        threads.
+        """
+        timeout = self.drain_timeout if drain_timeout is None else float(drain_timeout)
+        start = time.perf_counter()
+        self._draining.set()
+        # Serialise concurrent stop() calls: shutdown() must handshake
+        # with the accept loop exactly once, server_close() exactly once.
+        with self._lifecycle_lock:
+            if self._thread is not None:
+                # shutdown() handshakes with a running serve_forever loop;
+                # calling it without one would block forever.
+                self.shutdown()
+                self._thread.join(timeout=max(timeout, 5.0))
+                if self._thread.is_alive():  # pragma: no cover - defensive
+                    self.logger.warning(
+                        "drain_accept_loop_stuck", thread=self._thread.name
+                    )
+                self._thread = None
+            with self._inflight_cond:
+                drained = self._inflight_cond.wait_for(
+                    lambda: self._inflight == 0, timeout=timeout
+                )
+            if not self._closed:
+                self._closed = True
+                self.server_close()
+                seconds = time.perf_counter() - start
+                self._drain_seconds.record(seconds)
+                self.logger.info(
+                    "drained", seconds=round(seconds, 6), clean=drained,
+                    abandoned=self._inflight,
+                )
+        return drained
+
+    # The historical lifecycle verb; chaos tests pin its idempotency.
+    close = stop
 
     def __enter__(self) -> "SketchServer":
         return self

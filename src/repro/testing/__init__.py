@@ -1,0 +1,39 @@
+"""Deterministic fault injection for the serving stack.
+
+Chaos testing with controlled chaos: :class:`FaultPlan` scripts a
+sequence of transport faults — disconnects, partial writes, delays,
+garbage frames — and :class:`FlakyTransport` replays them against a
+*real* client connection to a *real* server, one fault per request.
+Because the script (and the client's backoff rng) is fixed, every chaos
+run is reproducible bit for bit.
+
+>>> from repro.testing import FaultPlan, DropAfterSend, Ok, flaky_connect
+>>> plan = FaultPlan([DropAfterSend(), Ok()])            # doctest: +SKIP
+>>> client = Client(host, port, connect=flaky_connect(host, port, plan))
+"""
+
+from repro.testing.faults import (
+    Delay,
+    DropAfterSend,
+    DropBeforeSend,
+    FaultPlan,
+    FlakyTransport,
+    GarbageRequest,
+    GarbageResponse,
+    Ok,
+    PartialWrite,
+    flaky_connect,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FlakyTransport",
+    "flaky_connect",
+    "Ok",
+    "Delay",
+    "DropBeforeSend",
+    "DropAfterSend",
+    "PartialWrite",
+    "GarbageRequest",
+    "GarbageResponse",
+]

@@ -1,0 +1,253 @@
+"""Scripted transport faults: the toolkit behind the chaos test suite.
+
+The serving client talks through a *transport* (anything with
+``send_line`` / ``recv_line`` / ``settimeout`` / ``close`` — see
+:class:`~repro.serve.client.TcpTransport`).  :class:`FlakyTransport`
+wraps a real transport and consults a :class:`FaultPlan` once per
+request, injecting exactly the failure the script calls for:
+
+:class:`Ok`
+    Pass the request through untouched.
+:class:`DropBeforeSend`
+    Close the connection before the request leaves — the server never
+    sees it (retrying is trivially safe).
+:class:`DropAfterSend`
+    Deliver the request, then close before reading the response — the
+    ambiguous case: the server *did* the work, the client cannot know.
+    Retrying is safe only for idempotent operations, which is exactly
+    what :class:`~repro.serve.client.Client` enforces.
+:class:`PartialWrite`
+    Deliver only the first ``nbytes`` of the frame and close — the
+    server sees a truncated line and must not crash.
+:class:`GarbageResponse`
+    Swallow the request and hand the client a scripted garbage frame —
+    the client must fail with a typed
+    :class:`~repro.errors.ProtocolError` and desynchronise-proof itself
+    by dropping the connection.
+:class:`GarbageRequest`
+    Send scripted garbage *instead of* the request — the server must
+    answer a typed error on the wire, which the client re-raises.
+:class:`Delay`
+    Sleep before passing through (slow-peer simulation; pair with a
+    short client timeout to script deadline hits).
+
+Faults are consumed one per ``send_line`` in script order; when the
+script runs out the plan's ``default`` fault (``Ok``) applies forever,
+so "fail twice, then recover" is ``FaultPlan([fault, fault])``.  The
+plan records what it injected in :attr:`FaultPlan.history` for
+assertions, and is thread-safe (one plan may drive several clients).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = [
+    "Ok",
+    "Delay",
+    "DropBeforeSend",
+    "DropAfterSend",
+    "PartialWrite",
+    "GarbageRequest",
+    "GarbageResponse",
+    "FaultPlan",
+    "FlakyTransport",
+    "flaky_connect",
+]
+
+
+@dataclass(frozen=True)
+class Ok:
+    """Pass the request through untouched."""
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Sleep ``seconds`` before sending (slow peer), then pass through."""
+
+    seconds: float = 0.05
+
+
+@dataclass(frozen=True)
+class DropBeforeSend:
+    """Close the connection before the request is sent."""
+
+
+@dataclass(frozen=True)
+class DropAfterSend:
+    """Send the full request, close before the response is read."""
+
+
+@dataclass(frozen=True)
+class PartialWrite:
+    """Send only the first ``nbytes`` of the frame, then close."""
+
+    nbytes: int = 5
+
+
+@dataclass(frozen=True)
+class GarbageRequest:
+    """Send ``payload`` to the server instead of the real request."""
+
+    payload: bytes = b'{"op": ["not", "a", "string"]}\n'
+
+
+@dataclass(frozen=True)
+class GarbageResponse:
+    """Swallow the request; feed ``payload`` to the client as the reply."""
+
+    payload: bytes = b"\x00\xffnot json at all\n"
+
+
+_FAULTS = (Ok, Delay, DropBeforeSend, DropAfterSend, PartialWrite,
+           GarbageRequest, GarbageResponse)
+
+
+class FaultPlan:
+    """A deterministic, thread-safe script of per-request faults.
+
+    Parameters
+    ----------
+    script:
+        The faults to inject, one per request, in order.
+    default:
+        What happens once the script is exhausted (``Ok()`` — i.e.
+        every plan eventually recovers unless its default says
+        otherwise).
+
+    Attributes
+    ----------
+    history:
+        Class names of the faults actually injected, in order —
+        assert against this to prove the chaos really happened.
+    """
+
+    def __init__(self, script: Sequence[object] = (), default: object | None = None):
+        script = list(script)
+        for step in script:
+            if not isinstance(step, _FAULTS):
+                raise TypeError(f"not a fault: {step!r}")
+        self._script = script
+        self._default = default if default is not None else Ok()
+        self._cursor = 0
+        self._lock = threading.Lock()
+        self.history: list[str] = []
+
+    def next_fault(self):
+        """Consume and return the next scripted fault."""
+        with self._lock:
+            if self._cursor < len(self._script):
+                fault = self._script[self._cursor]
+                self._cursor += 1
+            else:
+                fault = self._default
+            self.history.append(type(fault).__name__)
+            return fault
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every scripted fault has been injected."""
+        with self._lock:
+            return self._cursor >= len(self._script)
+
+    def injected(self, kind: type) -> int:
+        """How many faults of ``kind`` have been injected so far."""
+        with self._lock:
+            return sum(1 for name in self.history if name == kind.__name__)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (f"FaultPlan(cursor={self._cursor}/{len(self._script)}, "
+                    f"injected={len(self.history)})")
+
+
+class FlakyTransport:
+    """A transport wrapper replaying a :class:`FaultPlan`.
+
+    Wraps one real transport (created per connection by the inner
+    factory) and applies one fault per request: the fault is drawn at
+    ``send_line`` time and governs both the send and the matching
+    ``recv_line``.
+
+    Parameters
+    ----------
+    inner:
+        The real transport to wrap.
+    plan:
+        The shared :class:`FaultPlan` (shared across reconnects, so a
+        scripted "fail, fail, recover" spans connections).
+    sleep:
+        Injection point for :class:`Delay` (defaults to
+        :func:`time.sleep`).
+    """
+
+    def __init__(self, inner, plan: FaultPlan,
+                 sleep: Callable[[float], None] = time.sleep):
+        self._inner = inner
+        self._plan = plan
+        self._sleep = sleep
+        self._pending = None  # fault governing the next recv_line
+
+    def send_line(self, data: bytes) -> None:
+        """Send one frame, applying the next scripted fault."""
+        fault = self._plan.next_fault()
+        self._pending = fault
+        if isinstance(fault, Delay):
+            self._sleep(fault.seconds)
+            self._inner.send_line(data)
+        elif isinstance(fault, DropBeforeSend):
+            self._inner.close()
+            raise ConnectionResetError("fault injection: dropped before send")
+        elif isinstance(fault, PartialWrite):
+            self._inner.send_line(data[: fault.nbytes])
+            self._inner.close()
+            raise BrokenPipeError("fault injection: partial write")
+        elif isinstance(fault, GarbageRequest):
+            self._inner.send_line(fault.payload)
+        elif isinstance(fault, GarbageResponse):
+            pass  # swallow the request; the reply is scripted
+        else:  # Ok, DropAfterSend
+            self._inner.send_line(data)
+
+    def recv_line(self) -> bytes:
+        """Receive one frame, honouring the fault drawn at send time."""
+        fault, self._pending = self._pending, None
+        if isinstance(fault, DropAfterSend):
+            self._inner.close()
+            return b""  # EOF: connection died before the response
+        if isinstance(fault, GarbageResponse):
+            return fault.payload
+        return self._inner.recv_line()
+
+    def settimeout(self, timeout: float | None) -> None:
+        """Forward the per-attempt socket timeout to the real transport."""
+        self._inner.settimeout(timeout)
+
+    def close(self) -> None:
+        """Close the wrapped transport."""
+        self._inner.close()
+
+
+def flaky_connect(host: str, port: int, plan: FaultPlan,
+                  sleep: Callable[[float], None] = time.sleep):
+    """A ``connect=`` factory for :class:`~repro.serve.client.Client`.
+
+    Each (re)connection dials a fresh
+    :class:`~repro.serve.client.TcpTransport` to ``host:port`` and
+    wraps it in a :class:`FlakyTransport` sharing ``plan``.
+
+    Examples
+    --------
+    >>> plan = FaultPlan([DropAfterSend()])               # doctest: +SKIP
+    >>> client = Client(host, port, connect=flaky_connect(host, port, plan))
+    """
+    from repro.serve.client import TcpTransport
+
+    def factory(timeout):
+        return FlakyTransport(TcpTransport(host, port, timeout=timeout),
+                              plan, sleep=sleep)
+
+    return factory

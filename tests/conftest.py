@@ -1,0 +1,40 @@
+"""Shared test configuration: deterministic randomness everywhere.
+
+Two sources of nondeterminism threaten tier-1:
+
+* **Hypothesis.**  By default hypothesis draws fresh random examples
+  every run, so a property test can pass 99 runs and fail the 100th on
+  an example nobody can reproduce without the printed seed.  The
+  ``deterministic`` profile below (the default) sets
+  ``derandomize=True``: examples are derived from each test's source,
+  so every run of the same code explores the same inputs.  Developers
+  hunting for *new* counterexamples can opt back into randomness with
+  ``HYPOTHESIS_PROFILE=explore pytest ...``.
+
+* **Statistical tests.**  Monte Carlo assertions (sampler laws,
+  estimator accuracy) all draw from explicitly seeded
+  ``np.random.default_rng(seed)`` generators — the audit below is
+  enforced here so a regression cannot creep back in.  Given the fixed
+  seeds those tests are fully deterministic; their tolerances are
+  chosen so that the *a priori* failure probability (the chance a fresh
+  seed would land outside the band) is documented in each test file,
+  typically below 1e-6.
+
+The seeded-rng audit itself lives in ``test_determinism.py`` (conftest
+modules are not collected): no test module may call ``np.random.<dist>``
+through the legacy global generator.  ``np.random.default_rng`` and
+``np.random.Generator`` are the only sanctioned entry points.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import settings
+
+# One deterministic profile for tier-1/CI, one exploratory for bug
+# hunting.  deadline=None matches the repo's historical settings: CI
+# machines are noisy and per-example deadlines flake.
+settings.register_profile("deterministic", derandomize=True, deadline=None)
+settings.register_profile("explore", derandomize=False, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "deterministic"))

@@ -1,4 +1,12 @@
-"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+"""Cross-cutting property-based tests (hypothesis) on core invariants.
+
+Runs under the ``deterministic`` hypothesis profile registered in
+``conftest.py`` (``derandomize=True``), so tier-1 explores the same
+example set every run; set ``HYPOTHESIS_PROFILE=explore`` to
+re-randomize locally when hunting for new counterexamples.  Array
+inputs are derived from hypothesis-drawn *seeds* via
+``np.random.default_rng``, never from ambient global randomness.
+"""
 
 from __future__ import annotations
 

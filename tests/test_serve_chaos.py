@@ -1,0 +1,369 @@
+"""Chaos tests: scripted faults against a live server, deterministic recovery.
+
+Every test here runs a *real* TCP server and injects faults through
+:mod:`repro.testing` — scripted disconnects, partial writes, garbage
+frames — or through controlled engine slowness (an event-gated query
+path).  The headline property: under disconnect-then-recover faults a
+retrying :class:`~repro.serve.Client` returns **bit-identical** results
+to the fault-free run, because retries re-issue idempotent reads against
+the same deterministic sketch pools.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConnectionLostError,
+    ProtocolError,
+    RetriesExhaustedError,
+    ServerDrainingError,
+    ServerOverloadedError,
+)
+from repro.serve import Client, RetryPolicy, SketchEngine, SketchServer
+from repro.testing import (
+    Delay,
+    DropAfterSend,
+    DropBeforeSend,
+    FaultPlan,
+    GarbageRequest,
+    GarbageResponse,
+    Ok,
+    PartialWrite,
+    flaky_connect,
+)
+
+QUERIES = [
+    ("t", (0, 0, 8, 8), (16, 16, 8, 8)),
+    ("t", (1, 1, 12, 12), (32, 32, 12, 12)),
+    ("t", (0, 0, 16, 16), (32, 16, 16, 16), "disjoint"),
+]
+
+
+def make_engine() -> SketchEngine:
+    engine = SketchEngine(p=1.0, k=16, seed=2)
+    engine.register_array("t", np.random.default_rng(8).normal(size=(64, 64)))
+    return engine
+
+
+@pytest.fixture(scope="module")
+def server():
+    with SketchServer(make_engine()) as srv:
+        srv.start()
+        yield srv
+
+
+@pytest.fixture(scope="module")
+def baseline(server):
+    """The fault-free answers every chaos run must reproduce exactly."""
+    with Client(*server.address, timeout=10.0) as client:
+        return [(r.distance, r.strategy) for r in client.query(QUERIES)]
+
+
+def chaos_client(server, plan, attempts=6, **kwargs) -> Client:
+    host, port = server.address
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=attempts,
+                                           base_delay=0.01, max_delay=0.05))
+    kwargs.setdefault("rng", random.Random(1234))
+    return Client(host, port, timeout=10.0,
+                  connect=flaky_connect(host, port, plan), **kwargs)
+
+
+class TestDisconnectRecovery:
+    """The acceptance headline: disconnect faults, bit-identical answers."""
+
+    def test_drop_before_send_is_transparent(self, server, baseline):
+        plan = FaultPlan([DropBeforeSend()])
+        with chaos_client(server, plan) as client:
+            got = [(r.distance, r.strategy) for r in client.query(QUERIES)]
+        assert got == baseline
+        assert client.resilience["retries_total"] == 1
+
+    def test_drop_after_send_is_transparent_for_idempotent_reads(
+        self, server, baseline
+    ):
+        plan = FaultPlan([DropAfterSend()])
+        with chaos_client(server, plan) as client:
+            got = [(r.distance, r.strategy) for r in client.query(QUERIES)]
+        assert got == baseline
+        assert client.resilience["reconnects_total"] == 1
+
+    def test_partial_write_never_crashes_the_server(self, server, baseline):
+        plan = FaultPlan([PartialWrite(nbytes=7)])
+        with chaos_client(server, plan) as client:
+            got = [(r.distance, r.strategy) for r in client.query(QUERIES)]
+        assert got == baseline
+        # The truncated frame reached the server; it must still answer
+        # a pristine client afterwards.
+        with Client(*server.address, timeout=10.0) as probe:
+            assert probe.ping()
+
+    def test_burst_of_mixed_disconnects(self, server, baseline):
+        plan = FaultPlan([DropAfterSend(), DropBeforeSend(), PartialWrite(3),
+                          Delay(0.01), Ok()])
+        with chaos_client(server, plan) as client:
+            got = [(r.distance, r.strategy) for r in client.query(QUERIES)]
+        assert got == baseline
+        assert client.resilience["retries_total"] == 3
+        assert plan.injected(DropAfterSend) == 1
+        assert plan.injected(PartialWrite) == 1
+
+    def test_chaos_schedule_is_deterministic(self, server):
+        def run():
+            plan = FaultPlan([DropAfterSend(), DropBeforeSend()])
+            with chaos_client(server, plan) as client:
+                results = [r.distance for r in client.query(QUERIES)]
+                return results, client.resilience["retries_total"], plan.history
+
+        assert run() == run()
+
+    def test_retries_exhaust_into_typed_error(self, server):
+        plan = FaultPlan([DropBeforeSend()] * 10)
+        with chaos_client(server, plan, attempts=3) as client:
+            with pytest.raises(RetriesExhaustedError) as info:
+                client.query(QUERIES)
+        assert isinstance(info.value.__cause__, ConnectionLostError)
+        assert client.resilience["retries_total"] == 2
+
+    def test_no_retry_policy_fails_fast(self, server):
+        plan = FaultPlan([DropBeforeSend()])
+        with chaos_client(server, plan, retry=RetryPolicy.none()) as client:
+            with pytest.raises(ConnectionLostError):
+                client.query(QUERIES)
+        assert client.resilience["retries_total"] == 0
+
+
+class TestGarbageFrames:
+    def test_garbage_response_raises_typed_error_then_recovers(self, server):
+        plan = FaultPlan([GarbageResponse()])
+        with chaos_client(server, plan) as client:
+            with pytest.raises(ProtocolError, match="invalid JSON"):
+                client.ping()
+            # The stream was desynchronised, so the client reconnects;
+            # the next request succeeds on a fresh connection.
+            assert client.ping()
+            assert client.resilience["reconnects_total"] == 1
+
+    def test_garbage_request_yields_typed_server_error(self, server):
+        plan = FaultPlan([GarbageRequest(payload=b"\x01\x02 nope\n")])
+        with chaos_client(server, plan) as client:
+            with pytest.raises(ProtocolError, match="not valid JSON"):
+                client.ping()
+            assert client.ping()  # same connection still framed correctly
+
+
+class TestLoadShedding:
+    def make_gated_server(self, max_inflight=1):
+        engine = make_engine()
+        release = threading.Event()
+        original = engine.query
+
+        def gated_query(queries, timeout=None):
+            release.wait(10.0)
+            return original(queries, timeout=timeout)
+
+        engine.query = gated_query
+        server = SketchServer(engine, max_inflight=max_inflight)
+        server.start()
+        return server, release
+
+    def occupy(self, server, results):
+        def worker():
+            with Client(*server.address, timeout=15.0) as client:
+                results.append(client.query(QUERIES)[0].distance)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        deadline = time.monotonic() + 5.0
+        while server.inflight == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert server.inflight >= 1
+        return thread
+
+    def test_saturated_server_sheds_with_retry_later(self):
+        server, release = self.make_gated_server()
+        try:
+            results: list = []
+            thread = self.occupy(server, results)
+            with Client(*server.address, timeout=5.0,
+                        retry=RetryPolicy.none()) as client:
+                with pytest.raises(ServerOverloadedError, match="retry later"):
+                    client.query(QUERIES)
+                # Cheap introspection ops are never shed: monitoring
+                # keeps working while the engine is saturated.
+                assert client.ping()
+                assert client.health()["status"] == "ok"
+            release.set()
+            thread.join(timeout=10.0)
+            assert results  # the occupying query completed normally
+            snapshot = server.engine.stats_snapshot()
+            sheds = snapshot["metrics"]["sheds_total"]["samples"][0]["value"]
+            assert sheds >= 1
+        finally:
+            release.set()
+            server.stop()
+
+    def test_shed_carries_retry_later_wire_code(self):
+        server, release = self.make_gated_server()
+        try:
+            results: list = []
+            thread = self.occupy(server, results)
+            import json
+
+            with socket.create_connection(server.address, timeout=5.0) as sock:
+                sock.sendall(b'{"op": "query", "queries": [{"table": "t", '
+                             b'"a": [0, 0, 8, 8], "b": [8, 8, 8, 8]}]}\n')
+                response = json.loads(sock.makefile("rb").readline())
+            assert response["ok"] is False
+            assert response["error"]["type"] == "ServerOverloadedError"
+            assert response["error"]["code"] == "RETRY_LATER"
+            release.set()
+            thread.join(timeout=10.0)
+        finally:
+            release.set()
+            server.stop()
+
+    def test_retrying_client_rides_through_saturation(self):
+        server, release = self.make_gated_server()
+        try:
+            results: list = []
+            thread = self.occupy(server, results)
+            threading.Timer(0.3, release.set).start()
+            with Client(*server.address, timeout=15.0,
+                        retry=RetryPolicy(max_attempts=10, base_delay=0.1,
+                                          max_delay=0.2),
+                        rng=random.Random(5)) as client:
+                answers = client.query(QUERIES)
+            assert len(answers) == len(QUERIES)
+            assert client.resilience["retries_total"] >= 1
+            thread.join(timeout=10.0)
+        finally:
+            release.set()
+            server.stop()
+
+    def test_oversized_batch_sheds(self):
+        engine = make_engine()
+        with SketchServer(engine, max_batch_queries=2) as server:
+            server.start()
+            with Client(*server.address, timeout=5.0,
+                        retry=RetryPolicy.none()) as client:
+                with pytest.raises(ServerOverloadedError, match="split the batch"):
+                    client.query(QUERIES)  # 3 queries > cap of 2
+                assert client.query(QUERIES[:2])  # within the cap
+
+
+class TestGracefulDrain:
+    """The known sharp edge: stop() used to join-and-hope.  Now it must
+    verify the drain, release the socket, and stay idempotent with a
+    slow batch still in flight."""
+
+    def make_slow_server(self, hold_seconds=0.8, drain_timeout=5.0):
+        engine = make_engine()
+        original = engine.query
+
+        def slow_query(queries, timeout=None):
+            time.sleep(hold_seconds)
+            return original(queries, timeout=timeout)
+
+        engine.query = slow_query
+        server = SketchServer(engine, drain_timeout=drain_timeout)
+        server.start()
+        return server
+
+    def wait_for_inflight(self, server):
+        deadline = time.monotonic() + 5.0
+        while server.inflight == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert server.inflight >= 1
+
+    def test_drain_completes_inflight_batch_and_releases_socket(self):
+        server = self.make_slow_server()
+        host, port = server.address
+        results: list = []
+
+        def worker():
+            with Client(host, port, timeout=15.0) as client:
+                results.append(client.query(QUERIES)[0].distance)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        self.wait_for_inflight(server)
+        assert server.stop() is True  # drained cleanly
+        thread.join(timeout=10.0)
+        assert results  # the in-flight batch got its full response
+        # The listening socket is actually released: reconnecting fails.
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=0.5)
+        # Idempotent under repetition after a drain.
+        assert server.stop() is True
+        server.close()  # historical alias, also idempotent
+        drains = server.engine.stats_snapshot()["metrics"]["drain_seconds"]
+        hist = drains["samples"][0]["histogram"]
+        assert hist["count"] == 1  # repeats do not re-record
+        assert hist["max"] >= 0.0
+
+    def test_concurrent_stops_race_safely(self):
+        server = self.make_slow_server(hold_seconds=0.5)
+        results: list = []
+        thread = threading.Thread(
+            target=lambda: results.append(
+                Client(*server.address, timeout=15.0).query(QUERIES)[0].distance
+            )
+        )
+        thread.start()
+        self.wait_for_inflight(server)
+        stoppers = [threading.Thread(target=server.stop) for _ in range(4)]
+        for s in stoppers:
+            s.start()
+        for s in stoppers:
+            s.join(timeout=15.0)
+        assert not any(s.is_alive() for s in stoppers)
+        thread.join(timeout=10.0)
+        with pytest.raises(OSError):
+            socket.create_connection(server.address, timeout=0.5)
+
+    def test_new_requests_during_drain_get_retry_later(self):
+        server = self.make_slow_server(hold_seconds=1.0)
+        host, port = server.address
+        results: list = []
+        thread = threading.Thread(
+            target=lambda: results.append(
+                Client(host, port, timeout=15.0).query(QUERIES)[0].distance
+            )
+        )
+        thread.start()
+        self.wait_for_inflight(server)
+        # Connect *before* the drain starts, ask during it.
+        probe = Client(host, port, timeout=5.0, retry=RetryPolicy.none())
+        stopper = threading.Thread(target=server.stop)
+        stopper.start()
+        deadline = time.monotonic() + 5.0
+        while not server.draining and time.monotonic() < deadline:
+            time.sleep(0.01)
+        with pytest.raises(ServerDrainingError):
+            probe.ping()
+        probe.close()
+        stopper.join(timeout=15.0)
+        thread.join(timeout=10.0)
+        assert results  # drain still completed the in-flight work
+
+    def test_drain_timeout_abandons_stuck_batch(self):
+        server = self.make_slow_server(hold_seconds=3.0, drain_timeout=0.2)
+        host, port = server.address
+        thread = threading.Thread(
+            target=lambda: Client(host, port, timeout=15.0).query(QUERIES)
+        )
+        thread.start()
+        self.wait_for_inflight(server)
+        start = time.monotonic()
+        assert server.stop() is False  # timed out with work in flight
+        assert time.monotonic() - start < 2.5  # did not wait the full batch
+        with pytest.raises(OSError):
+            socket.create_connection((host, port), timeout=0.5)
+        thread.join(timeout=10.0)  # daemon handler finishes eventually

@@ -1,0 +1,201 @@
+"""Property-based fuzzing of the wire protocol and planner routing parity.
+
+Two families (both deterministic under the ``deterministic`` hypothesis
+profile registered in ``conftest.py``):
+
+* **Wire fuzzing.**  Arbitrary bytes and structurally malformed JSON
+  frames thrown at a *live* server must never crash it: every frame
+  gets either a typed error response or a clean disconnect (oversized
+  frames), and the server keeps answering well-formed requests
+  afterwards.
+* **Routing parity.**  Random mixes of rectangle queries — mixed
+  shapes, strategies, and tables in one batch — must be bit-identical
+  whether executed as one batched request or one query at a time.  This
+  is the paper-level guarantee that batching is an *optimisation*, not
+  an approximation.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import Client, SketchEngine, SketchServer
+
+VALID_OPS = ("ping", "health", "tables", "stats", "query")
+
+
+@pytest.fixture(scope="module")
+def engine():
+    engine = SketchEngine(p=1.0, k=16, seed=2)
+    engine.register_array("t", np.random.default_rng(8).normal(size=(64, 96)))
+    engine.register_array("u", np.random.default_rng(9).normal(size=(48, 48)))
+    return engine
+
+
+@pytest.fixture(scope="module")
+def server(engine):
+    with SketchServer(engine) as srv:
+        srv.start()
+        yield srv
+
+
+def exchange(server, payload: bytes) -> dict | None:
+    """One raw frame out, one parsed response (or None on disconnect).
+
+    Half-closes the write side after sending so frames the server
+    deliberately ignores (blank lines) end in EOF instead of a hang.
+    """
+    with socket.create_connection(server.address, timeout=10.0) as sock:
+        sock.sendall(payload)
+        sock.shutdown(socket.SHUT_WR)
+        line = sock.makefile("rb").readline()
+    if not line:
+        return None
+    return json.loads(line)
+
+
+def assert_typed_error(response: dict) -> None:
+    assert response["ok"] is False
+    error = response["error"]
+    assert isinstance(error["type"], str) and error["type"].endswith("Error")
+    assert isinstance(error["message"], str) and error["message"]
+
+
+class TestWireFuzz:
+    @given(payload=st.binary(min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_arbitrary_bytes_never_crash_the_server(self, server, payload):
+        payload = payload.replace(b"\n", b" ").replace(b"\r", b" ") + b"\n"
+        response = exchange(server, payload)
+        if response is not None:
+            assert_typed_error(response)
+        # Whatever happened, the server still serves.
+        assert exchange(server, b'{"op": "ping"}\n')["ok"] is True
+
+    # JSON values that are valid JSON but can never be a valid request:
+    # scalars, arrays, and objects whose "op" is not a known operation.
+    _json_scalars = st.one_of(
+        st.none(), st.booleans(), st.integers(min_value=-10**6, max_value=10**6),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.text(max_size=20),
+    )
+    _json_values = st.recursive(
+        _json_scalars,
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=8), children, max_size=4),
+        ),
+        max_leaves=10,
+    )
+
+    @given(value=_json_values)
+    @settings(max_examples=30, deadline=None)
+    def test_malformed_json_frames_yield_typed_errors(self, server, value):
+        if isinstance(value, dict) and value.get("op") in VALID_OPS:
+            value["op"] = "definitely-not-an-op"
+        payload = json.dumps(value).encode() + b"\n"
+        response = exchange(server, payload)
+        assert response is not None
+        assert_typed_error(response)
+        assert response["error"]["type"] == "ProtocolError"
+
+    @given(
+        queries=st.lists(
+            st.one_of(
+                st.none(),
+                st.integers(),
+                st.text(max_size=10),
+                st.lists(st.integers(min_value=-5, max_value=5),
+                         min_size=0, max_size=6),
+                st.fixed_dictionaries(
+                    {},
+                    optional={
+                        "table": st.sampled_from(["t", "ghost", ""]),
+                        "a": st.lists(st.integers(min_value=-4, max_value=200),
+                                      min_size=0, max_size=6),
+                        "b": st.lists(st.integers(min_value=-4, max_value=200),
+                                      min_size=0, max_size=6),
+                        "strategy": st.sampled_from(
+                            ["auto", "psychic", "grid", ""]),
+                        "junk": st.integers(),
+                    },
+                ),
+            ),
+            min_size=1, max_size=4,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fuzzed_query_batches_never_crash(self, server, queries):
+        payload = json.dumps({"op": "query", "queries": queries}).encode() + b"\n"
+        response = exchange(server, payload)
+        assert response is not None
+        # Either every query was coincidentally valid (possible: the
+        # strategy can draw an in-bounds rectangle pair) or the error is
+        # typed; both ways the server survives and stays consistent.
+        if not response["ok"]:
+            assert_typed_error(response)
+        assert exchange(server, b'{"op": "ping"}\n')["ok"] is True
+
+    def test_oversized_frame_is_rejected_then_disconnected(self, engine):
+        with SketchServer(engine, max_line_bytes=1024) as small:
+            small.start()
+            big = b'{"op": "query", "queries": [' + b" " * 2048 + b"]}\n"
+            response = exchange(small, big)
+            assert response is not None
+            assert_typed_error(response)
+            assert "exceeds" in response["error"]["message"]
+
+    def test_empty_and_blank_lines_are_skipped(self, server):
+        with socket.create_connection(server.address, timeout=10.0) as sock:
+            sock.sendall(b"\n   \n\t\n" + b'{"op": "ping"}\n')
+            line = sock.makefile("rb").readline()
+        assert json.loads(line)["ok"] is True
+
+
+# The engine's pools use the default min_exponent=3, so tiles need
+# dims >= 8; "disjoint" additionally needs dims divisible by 8.
+MIN_DIM = 8
+
+
+@st.composite
+def mixed_query(draw):
+    table, shape = draw(st.sampled_from([("t", (64, 96)), ("u", (48, 48))]))
+    height = draw(st.integers(min_value=MIN_DIM, max_value=shape[0]))
+    width = draw(st.integers(min_value=MIN_DIM, max_value=shape[1]))
+    a_row = draw(st.integers(min_value=0, max_value=shape[0] - height))
+    a_col = draw(st.integers(min_value=0, max_value=shape[1] - width))
+    b_row = draw(st.integers(min_value=0, max_value=shape[0] - height))
+    b_col = draw(st.integers(min_value=0, max_value=shape[1] - width))
+    options = ["auto", "compound"]
+    if height % MIN_DIM == 0 and width % MIN_DIM == 0:
+        options.append("disjoint")
+    strategy = draw(st.sampled_from(options))
+    return (table, (a_row, a_col, height, width),
+            (b_row, b_col, height, width), strategy)
+
+
+class TestRoutingParity:
+    @given(queries=st.lists(mixed_query(), min_size=1, max_size=10))
+    @settings(max_examples=25, deadline=None)
+    def test_batched_equals_per_query_bit_identical(self, engine, queries):
+        """Mixed-table, mixed-strategy batches == one-at-a-time answers."""
+        batched = engine.query(queries)
+        singles = [engine.query([query])[0] for query in queries]
+        assert [r.distance for r in batched] == [r.distance for r in singles]
+        assert [r.strategy for r in batched] == [r.strategy for r in singles]
+
+    @given(queries=st.lists(mixed_query(), min_size=1, max_size=6))
+    @settings(max_examples=10, deadline=None)
+    def test_remote_equals_local_bit_identical(self, server, queries):
+        """The wire adds serialisation, not noise: remote == in-process."""
+        local = server.engine.query(queries)
+        with Client(*server.address, timeout=10.0) as client:
+            remote = client.query(queries)
+        assert [r.distance for r in remote] == [r.distance for r in local]
+        assert [r.strategy for r in remote] == [r.strategy for r in local]

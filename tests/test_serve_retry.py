@@ -1,0 +1,159 @@
+"""Tests for repro.serve.retry: backoff math, typed retryability, loops."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import (
+    ConnectionLostError,
+    ParameterError,
+    ProtocolError,
+    RetriesExhaustedError,
+    ServerDrainingError,
+    ServerOverloadedError,
+    TransientServeError,
+)
+from repro.serve.retry import RetryPolicy, retry_call
+
+
+class TestPolicyValidation:
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy(max_attempts=0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy(base_delay=-0.1)
+
+    def test_submultiplicative_growth_rejected(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_unknown_jitter_rejected(self):
+        with pytest.raises(ParameterError):
+            RetryPolicy(jitter="lunar")
+
+
+class TestBackoff:
+    def test_exponential_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=10.0,
+                             jitter="none")
+        assert [policy.backoff(i) for i in range(4)] == [0.1, 0.2, 0.4, 0.8]
+
+    def test_max_delay_caps_growth(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=10.0, max_delay=3.0,
+                             jitter="none")
+        assert policy.backoff(5) == 3.0
+
+    def test_full_jitter_within_envelope_and_deterministic(self):
+        policy = RetryPolicy(base_delay=0.5, multiplier=2.0, max_delay=4.0)
+        draws_a = [policy.backoff(i, random.Random(7)) for i in range(6)]
+        draws_b = [policy.backoff(i, random.Random(7)) for i in range(6)]
+        assert draws_a == draws_b  # same seed, same schedule
+        for i, value in enumerate(draws_a):
+            assert 0.0 <= value <= min(4.0, 0.5 * 2.0 ** i)
+
+    def test_distinct_rng_streams_decorrelate(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=100.0)
+        a = [policy.backoff(3, random.Random(1)) for _ in range(3)]
+        b = [policy.backoff(3, random.Random(2)) for _ in range(3)]
+        assert a != b
+
+
+class TestRetryability:
+    @pytest.mark.parametrize("exc", [
+        ConnectionLostError("x"),
+        ServerOverloadedError("x"),
+        ServerDrainingError("x"),
+        TransientServeError("x"),
+    ])
+    def test_transient_family_is_retryable(self, exc):
+        assert RetryPolicy().is_retryable(exc)
+
+    @pytest.mark.parametrize("exc", [
+        ParameterError("x"),
+        ProtocolError("x"),
+        ValueError("x"),
+    ])
+    def test_permanent_errors_are_not(self, exc):
+        assert not RetryPolicy().is_retryable(exc)
+
+    def test_retry_later_codes_on_wire_errors(self):
+        assert ServerOverloadedError.code == "RETRY_LATER"
+        assert ServerDrainingError.code == "RETRY_LATER"
+        assert ConnectionLostError.code == "CONNECTION_LOST"
+
+
+class _Flaky:
+    """Fails ``failures`` times with ``exc_type``, then returns 42."""
+
+    def __init__(self, failures, exc_type=ConnectionLostError):
+        self.failures = failures
+        self.exc_type = exc_type
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc_type(f"flake {self.calls}")
+        return 42
+
+
+class TestRetryCall:
+    def policy(self, attempts=4):
+        return RetryPolicy(max_attempts=attempts, base_delay=0.01, jitter="none")
+
+    def test_succeeds_after_transient_failures(self):
+        fn = _Flaky(failures=2)
+        sleeps = []
+        assert retry_call(fn, self.policy(), sleep=sleeps.append) == 42
+        assert fn.calls == 3
+        assert sleeps == [0.01, 0.02]  # exponential, deterministic
+
+    def test_permanent_error_raises_immediately(self):
+        fn = _Flaky(failures=5, exc_type=ParameterError)
+        with pytest.raises(ParameterError):
+            retry_call(fn, self.policy(), sleep=lambda _: None)
+        assert fn.calls == 1
+
+    def test_exhaustion_wraps_and_chains_last_error(self):
+        fn = _Flaky(failures=10)
+        with pytest.raises(RetriesExhaustedError) as info:
+            retry_call(fn, self.policy(attempts=3), sleep=lambda _: None)
+        assert fn.calls == 3
+        assert isinstance(info.value.__cause__, ConnectionLostError)
+        assert "flake 3" in str(info.value.__cause__)
+
+    def test_single_attempt_policy_keeps_original_error(self):
+        fn = _Flaky(failures=1)
+        with pytest.raises(ConnectionLostError):
+            retry_call(fn, RetryPolicy.none(), sleep=lambda _: None)
+
+    def test_deadline_stops_the_loop(self):
+        fn = _Flaky(failures=10)
+        clock = iter([0.0, 0.0, 10.0]).__next__  # start, then per-check
+        with pytest.raises(RetriesExhaustedError):
+            retry_call(fn, self.policy(attempts=10), sleep=lambda _: None,
+                       deadline=1.0, clock=clock)
+        assert fn.calls == 2  # second backoff would overshoot the budget
+
+    def test_on_retry_observer_sees_each_backoff(self):
+        fn = _Flaky(failures=2)
+        seen = []
+        retry_call(fn, self.policy(), sleep=lambda _: None,
+                   on_retry=lambda attempt, exc, pause: seen.append(
+                       (attempt, type(exc).__name__, pause)))
+        assert seen == [(0, "ConnectionLostError", 0.01),
+                        (1, "ConnectionLostError", 0.02)]
+
+    def test_injected_rng_makes_jittered_loop_deterministic(self):
+        def run():
+            fn = _Flaky(failures=3)
+            sleeps = []
+            retry_call(fn, RetryPolicy(max_attempts=5, base_delay=0.1),
+                       rng=random.Random(99), sleep=sleeps.append)
+            return sleeps
+
+        assert run() == run()

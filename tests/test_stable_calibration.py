@@ -37,7 +37,13 @@ class TestEvenK:
         assert sample_median_scale(0.7, 64) == sample_median_scale(0.7, 64)
 
     def test_calibration_matches_fresh_simulation(self):
-        """Independent Monte Carlo of the same quantity agrees."""
+        """Independent Monte Carlo of the same quantity agrees.
+
+        The outer median over 40k replicates has relative sd well
+        under 0.7%, so the 2% gate is >= 3 standard errors: a fresh
+        seed fails with probability ~1e-3, and the fixed seed makes
+        the run itself deterministic.
+        """
         p, k = 0.5, 32
         rng = np.random.default_rng(321)
         draws = np.abs(sample_symmetric_stable(p, (40_000, k), rng))

@@ -1,4 +1,21 @@
-"""Tests for repro.stable.sampler: correctness of the CMS sampler."""
+"""Tests for repro.stable.sampler: correctness of the CMS sampler.
+
+Failure probability
+-------------------
+Every Monte Carlo assertion here runs with a fixed seed, so the suite
+itself is deterministic (audited by ``test_determinism.py``).  The
+documented bounds are the chance a *fresh* seed would trip the
+tolerance — what a future seed bump is risking:
+
+* Two-sample KS gates at ``D < eps`` with equal sample sizes ``N``
+  satisfy the DKW/Massart bound ``P(D > eps) <= 2 exp(-N eps^2)``:
+  about ``4e-9`` for (N=200k, eps=0.01), ``2e-13`` for (N=300k,
+  eps=0.01), and ``1.1e-3`` for the tighter alpha-continuity gate
+  (N=300k, eps=0.005).
+* Mean/variance/quantile gates sit 5-8 standard errors from their
+  targets (per-test comments give the arithmetic), so each is
+  ``<= 1e-6`` under the CLT.
+"""
 
 from __future__ import annotations
 
@@ -57,7 +74,9 @@ class TestSpecialCases:
 
     def test_alpha_two_is_gaussian_variance_two(self):
         draws = sample_symmetric_stable(2.0, self.N, rng(1))
-        # Variance of the S1 alpha=2 law is 2.
+        # Variance of the S1 alpha=2 law is 2.  Standard errors at
+        # N=200k: sd(var) = sqrt(2 sigma^4 / N) ~ 0.0063 (gate is 8
+        # sigma), sd(mean) = sqrt(2/N) ~ 0.0032 (gate is 6 sigma).
         assert abs(np.var(draws) - 2.0) < 0.05
         assert abs(np.mean(draws)) < 0.02
 
@@ -73,7 +92,9 @@ class TestSpecialCases:
 
     def test_cauchy_quartiles(self):
         draws = sample_symmetric_stable(1.0, self.N, rng(6))
-        # Standard Cauchy quartiles are at -1 and +1.
+        # Standard Cauchy quartiles are at -1 and +1.  Empirical
+        # quantile sd = sqrt(q(1-q)/N) / f(x_q) ~ 0.006 at N=200k with
+        # the Cauchy density 1/(2 pi) at +-1, so the gate is ~5 sigma.
         q25, q75 = np.quantile(draws, [0.25, 0.75])
         assert abs(q25 + 1.0) < 0.03
         assert abs(q75 - 1.0) < 0.03
@@ -99,7 +120,9 @@ class TestCharacteristicFunction:
         draws = sample_symmetric_stable(alpha, self.N, rng(int(alpha * 100)))
         empirical = empirical_characteristic_function(self.TS, draws)
         theory = stable_characteristic_function(self.TS, alpha)
-        # Monte Carlo noise on mean(cos) is ~1/sqrt(N) ~ 0.0016; allow 4 sigma.
+        # Monte Carlo noise on mean(cos) is ~1/sqrt(N) ~ 0.0016, so the
+        # gate is ~6 sigma per t; union-bounding over 6 ts and 8 alphas
+        # keeps a fresh-seed failure below 1e-7.
         assert np.max(np.abs(empirical - theory)) < 0.01
 
     def test_symmetry(self):
@@ -167,6 +190,10 @@ def test_alpha_near_one_continuity():
     n = 300_000
     just_below = sample_symmetric_stable(1.0 - 5e-10, n, rng(55))
     exactly_one = sample_symmetric_stable(1.0, n, rng(55))
+    # Sharing the seed makes the two streams near-coupled, so the
+    # realised KS is far below even this tight gate (the a-priori
+    # independent-sample bound 2 exp(-n eps^2) ~ 1.1e-3 is the
+    # worst case documented in the module docstring).
     assert ks_two_sample_statistic(just_below, exactly_one) < 0.005
 
 
