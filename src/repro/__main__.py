@@ -23,6 +23,13 @@ Commands
     Scrape a running server's metrics: a human-readable summary by
     default, the raw JSON snapshot with ``--json``, or Prometheus text
     exposition format with ``--prometheus``.
+``trace``
+    Render one trace id's merged client+server span timeline — fetched
+    from a running server, from span-dump JSON files, or both.
+``bench``
+    Run the continuous benchmark harness headlessly: serving and
+    pipeline benchmarks, percentiles appended to the committed
+    trajectory files, optional regression gate against a baseline.
 """
 
 from __future__ import annotations
@@ -149,6 +156,7 @@ def _cmd_serve(args) -> int:
         min_exponent=args.min_exponent,
         method=args.method,
         max_bytes=args.max_bytes,
+        quality_sample_rate=args.quality_sample_rate,
     )
     for spec in args.table:
         name, path = _parse_table_spec(spec)
@@ -253,12 +261,23 @@ def _print_stats_summary(snapshot: dict) -> None:
         print(f"errors:   {sum(errors.values())} "
               f"({', '.join(f'{op}={n}' for op, n in sorted(errors.items()))})")
     print(f"queries:  {snapshot.get('queries', 0)}")
+    def quantile_text(hist: dict, unit: str = "s") -> str:
+        quantiles = hist.get("quantiles") or {}
+        if not quantiles:
+            return ""
+        return " " + " ".join(
+            f"{q}={quantiles[q]:.6g}{unit}" for q in ("p50", "p90", "p99")
+            if q in quantiles
+        )
+
     latency = snapshot.get("latency_seconds", {})
     if latency.get("count"):
-        print(f"latency:  n={latency['count']} mean={latency['mean']:.6g}s")
+        print(f"latency:  n={latency['count']} mean={latency['mean']:.6g}s"
+              + quantile_text(latency))
     for op, hist in sorted(snapshot.get("latency_by_op", {}).items()):
         if hist.get("count"):
-            print(f"  {op:<9} n={hist['count']} mean={hist['mean']:.6g}s")
+            print(f"  {op:<9} n={hist['count']} mean={hist['mean']:.6g}s"
+                  + quantile_text(hist))
     planner = snapshot.get("planner", {})
     if planner:
         print(f"planner:  groups={planner.get('groups', 0)} "
@@ -295,6 +314,64 @@ def _print_stats_summary(snapshot: dict) -> None:
         print(f"budget:   used={budget.get('used_bytes', 0)} "
               f"max={'unbounded' if cap is None else cap} "
               f"evicted={budget.get('maps_evicted', 0)}")
+    quality = snapshot.get("quality", {})
+    if quality.get("checks"):
+        print(f"quality:  checks={quality['checks']} "
+              f"violations={quality.get('violations', 0)} "
+              f"sample_rate={quality.get('sample_rate', 0)}")
+        for key, series in sorted(quality.get("series", {}).items()):
+            rel = series.get("rel_error", {})
+            print(f"  {key:<16} n={series.get('checks', 0)} "
+                  f"rel_err_mean={rel.get('mean', 0):.4g}"
+                  f"{quantile_text(rel, unit='')}")
+    for alert in quality.get("alerts", []):
+        print(f"ALERT [{alert.get('kind')}] table={alert.get('table')} "
+              f"strategy={alert.get('strategy')} "
+              f"observed={alert.get('observed', 0):.4g} "
+              f"bound={alert.get('bound', 0):.4g} "
+              f"after {alert.get('checks', 0)} checks")
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.obs.trace import render_trace
+
+    sources: dict[str, list] = {}
+    for path in args.from_json or []:
+        path = Path(path)
+        try:
+            spans = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read span dump {path}: {exc}") from exc
+        if not isinstance(spans, list):
+            raise SystemExit(f"span dump {path} is not a JSON array of spans")
+        sources[path.stem] = spans
+    if not args.no_server:
+        from repro.serve import Client
+
+        with Client(args.host, args.port, timeout=args.timeout) as client:
+            sources["server"] = client.trace(args.trace_id)
+    if not sources:
+        raise SystemExit(
+            "nothing to render: connect to a server or pass --from-json"
+        )
+    print(render_trace(sources, args.trace_id))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench import run_benchmarks
+
+    return run_benchmarks(
+        suites=args.suite,
+        quick=args.quick,
+        out_dir=Path(args.out),
+        baseline_path=None if args.baseline is None else Path(args.baseline),
+        max_regress=args.max_regress,
+        gate=args.gate,
+        rebaseline=args.rebaseline,
+    )
 
 
 def _parse_query_spec(spec: str):
@@ -390,6 +467,9 @@ def main(argv=None) -> int:
                        help="shed query batches larger than this many queries")
     serve.add_argument("--drain-timeout", type=float, default=5.0,
                        help="seconds to wait for in-flight batches on shutdown")
+    serve.add_argument("--quality-sample-rate", type=float, default=0.0,
+                       help="fraction of served queries shadow-verified "
+                            "against the exact distance (0 disables)")
 
     query = commands.add_parser("query", help="talk to a running sketch server")
     query.add_argument("queries", nargs="*",
@@ -424,6 +504,43 @@ def main(argv=None) -> int:
     fmt.add_argument("--prometheus", action="store_true",
                      help="render Prometheus text exposition format")
 
+    trace = commands.add_parser(
+        "trace", help="render one trace id's merged span timeline"
+    )
+    trace.add_argument("trace_id", help="the trace id to render")
+    trace.add_argument("--host", default="127.0.0.1", help="server address")
+    trace.add_argument("--port", type=int, default=7337, help="server port")
+    trace.add_argument("--timeout", type=float, default=30.0,
+                       help="socket timeout in seconds")
+    trace.add_argument("--from-json", action="append", metavar="FILE",
+                       help="merge a span-dump JSON array (e.g. a client "
+                            "tracer's dump_json output); repeatable")
+    trace.add_argument("--no-server", action="store_true",
+                       help="render only the --from-json dumps without "
+                            "contacting a server")
+
+    bench = commands.add_parser(
+        "bench", help="run the continuous benchmark harness"
+    )
+    bench.add_argument("--suite", action="append",
+                       choices=("serving", "pipeline"),
+                       help="suites to run (default: both); repeatable")
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller workloads for CI smoke runs")
+    bench.add_argument("--out", default="benchmarks",
+                       help="directory holding BENCH_*.json trajectories")
+    bench.add_argument("--baseline", default=None,
+                       help="baseline JSON to compare against "
+                            "(default: <out>/BENCH_baseline.json)")
+    bench.add_argument("--max-regress", type=float, default=0.2,
+                       help="tolerated fractional p99 latency regression "
+                            "vs the baseline (default 0.2 = 20%%)")
+    bench.add_argument("--gate", action="store_true",
+                       help="exit non-zero when a benchmark regresses "
+                            "beyond --max-regress")
+    bench.add_argument("--rebaseline", action="store_true",
+                       help="write this run's results as the new baseline")
+
     args = parser.parse_args(argv)
     handler = {
         "info": _cmd_info,
@@ -433,6 +550,8 @@ def main(argv=None) -> int:
         "serve": _cmd_serve,
         "query": _cmd_query,
         "stats": _cmd_stats,
+        "trace": _cmd_trace,
+        "bench": _cmd_bench,
     }
     return handler[args.command](args)
 

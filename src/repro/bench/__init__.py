@@ -1,0 +1,34 @@
+"""repro.bench — the continuous benchmark harness.
+
+Headless, dependency-free benchmark runs for the serving and
+preprocessing paths, appended as structured *trajectory entries* (one
+JSON object per run: machine fingerprint, git sha, workload shape,
+latency percentiles) to the committed ``benchmarks/BENCH_*.json``
+files, with an optional regression gate against a committed baseline —
+the machinery behind ``repro bench`` and the CI ``bench-smoke`` job.
+
+See ``docs/OBSERVABILITY.md`` (bench trajectory format) for the entry
+schema and gating semantics.
+"""
+
+from repro.bench.runner import (
+    BenchResult,
+    bench_pipeline,
+    bench_serving,
+    compare_to_baseline,
+    git_sha,
+    machine_fingerprint,
+    percentiles,
+    run_benchmarks,
+)
+
+__all__ = [
+    "BenchResult",
+    "bench_serving",
+    "bench_pipeline",
+    "compare_to_baseline",
+    "git_sha",
+    "machine_fingerprint",
+    "percentiles",
+    "run_benchmarks",
+]

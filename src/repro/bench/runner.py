@@ -1,0 +1,445 @@
+"""The continuous benchmark runner behind ``repro bench``.
+
+Two suites, both seeded and headless:
+
+``serving``
+    The mixed grid/compound/disjoint rectangle-query workload from the
+    benchmark test suite, executed through a real
+    :class:`~repro.serve.engine.SketchEngine` in per-batch slices so
+    the per-batch latency distribution (p50/p90/p99) is measured, not
+    just one end-to-end number.  The suite also re-runs the workload
+    with the quality monitor sampling at 1% and records the relative
+    overhead of shadow verification (the acceptance budget is <= 5%).
+``pipeline``
+    Theorem-6 preprocessing: :meth:`~repro.core.pool.SketchPool.build_all`
+    over all four streams of a fresh table, timed per map.
+
+Each run appends one *trajectory entry* to ``BENCH_<suite>.json`` — a
+JSON list the file accumulates across runs, same shape the benchmark
+test suite's autouse fixture writes — stamped with a machine
+fingerprint and the current git sha so entries from different hosts and
+commits remain comparable.  :func:`compare_to_baseline` then holds the
+run's p99 against a committed ``BENCH_baseline.json`` and flags
+regressions beyond a threshold; ``repro bench --gate`` turns a flagged
+regression into exit code 2, which is what the CI ``bench-smoke`` job
+fails on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "BenchResult",
+    "bench_serving",
+    "bench_pipeline",
+    "compare_to_baseline",
+    "git_sha",
+    "machine_fingerprint",
+    "percentiles",
+    "run_benchmarks",
+]
+
+SUITES = ("serving", "pipeline")
+
+# Serving workload (matches benchmarks/test_bench_serving.py so the two
+# trajectories stay comparable): a 128x256 table, k=64, p=1, three-way
+# strategy mix.
+_TABLE_SHAPE = (128, 256)
+_P = 1.0
+_K = 64
+_BATCH = 50
+
+
+def machine_fingerprint() -> dict:
+    """A JSON-safe sketch of the host, for cross-run comparability.
+
+    Latency entries from a laptop and a CI runner must not be compared
+    silently; the fingerprint makes the host visible in every entry.
+    """
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+    }
+
+
+def git_sha(cwd: Path | None = None) -> str | None:
+    """The current commit sha, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=None if cwd is None else str(cwd),
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def percentiles(samples) -> dict:
+    """p50/p90/p99 plus count/mean/max of a sample list (empty-safe)."""
+    values = [float(v) for v in samples]
+    if not values:
+        return {"count": 0, "mean": 0.0, "max": 0.0,
+                "p50": 0.0, "p90": 0.0, "p99": 0.0}
+    array = np.asarray(values)
+    return {
+        "count": len(values),
+        "mean": float(array.mean()),
+        "max": float(array.max()),
+        "p50": float(np.percentile(array, 50)),
+        "p90": float(np.percentile(array, 90)),
+        "p99": float(np.percentile(array, 99)),
+    }
+
+
+@dataclass
+class BenchResult:
+    """One suite's measured run, ready to append to its trajectory.
+
+    ``gate_metric`` names the latency percentile the regression gate
+    compares — p99 for serving (tail latency is the serving promise),
+    p50 for pipeline (its p99 is the single largest FFT build, far too
+    noisy to gate a CI job on).
+    """
+
+    suite: str
+    workload: dict
+    latency_seconds: dict
+    extras: dict = field(default_factory=dict)
+    gate_metric: str = "p99"
+
+    @property
+    def p99(self) -> float:
+        return float(self.latency_seconds.get("p99", 0.0))
+
+    @property
+    def gate_value(self) -> float:
+        return float(self.latency_seconds.get(self.gate_metric, 0.0))
+
+    def entry(self) -> dict:
+        """The JSON trajectory entry for this run."""
+        out = {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "suite": self.suite,
+            "git_sha": git_sha(),
+            "machine": machine_fingerprint(),
+            "workload": self.workload,
+            "latency_seconds": self.latency_seconds,
+        }
+        out.update(self.extras)
+        return out
+
+
+def _mixed_queries(n: int, shape: tuple[int, int]) -> list:
+    """The three-way strategy mix the serving benchmarks share."""
+    from repro.serve import RectQuery
+
+    rng = np.random.default_rng(23)
+    queries = []
+    for index in range(n):
+        mode = index % 3
+        if mode == 0:  # dyadic -> grid
+            height = 1 << int(rng.integers(3, 6))
+            width = 1 << int(rng.integers(3, 7))
+            strategy = "auto"
+        elif mode == 1:  # ragged -> compound
+            height = int(rng.integers(9, 48))
+            width = int(rng.integers(9, 48))
+            strategy = "auto"
+        else:  # pooled-unit multiples -> exact disjoint
+            height = 8 * int(rng.integers(1, 7))
+            width = 8 * int(rng.integers(1, 7))
+            strategy = "disjoint"
+        row_a = int(rng.integers(0, shape[0] - height + 1))
+        col_a = int(rng.integers(0, shape[1] - width + 1))
+        row_b = int(rng.integers(0, shape[0] - height + 1))
+        col_b = int(rng.integers(0, shape[1] - width + 1))
+        queries.append(RectQuery(
+            "bench", (row_a, col_a, height, width),
+            (row_b, col_b, height, width), strategy,
+        ))
+    return queries
+
+
+def _make_engine(quality_sample_rate: float = 0.0):
+    import random
+
+    from repro.serve import SketchEngine
+
+    engine = SketchEngine(
+        p=_P, k=_K, seed=13,
+        quality_sample_rate=quality_sample_rate,
+        quality_rng=random.Random(97),
+    )
+    engine.register_array(
+        "bench", np.random.default_rng(17).normal(size=_TABLE_SHAPE)
+    )
+    return engine
+
+
+def _verify_seconds(engine) -> float:
+    """Total time the engine has spent inside quality.verify spans."""
+    total = 0.0
+    for name, _, _, children in engine.registry.collect():
+        if name != "span_seconds":
+            continue
+        for labels, child in children:
+            if labels.get("span") == "quality.verify":
+                total += child.total
+    return total
+
+
+def _timed_batches(engine, queries, rounds: int) -> list[float]:
+    """Best-of-``rounds`` wall time for each workload batch.
+
+    Each batch is timed once per round and the *minimum* across rounds
+    kept: the min is the batch's actual cost with scheduler noise
+    filtered out, so percentiles over these samples reflect the
+    workload's latency profile instead of the host's worst hiccup —
+    which is what makes the regression gate stable enough for CI.
+    """
+    n_batches = -(-len(queries) // _BATCH)
+    best = [float("inf")] * n_batches
+    for _ in range(rounds):
+        for index in range(n_batches):
+            batch = queries[index * _BATCH : (index + 1) * _BATCH]
+            begin = time.perf_counter()
+            engine.query(batch)
+            best[index] = min(best[index], time.perf_counter() - begin)
+    return best
+
+
+def bench_serving(quick: bool = False) -> BenchResult:
+    """The serving suite: batched mixed workload + quality overhead."""
+    n_queries = 300 if quick else 1200
+    rounds = 3 if quick else 5
+    engine = _make_engine()
+    queries = _mixed_queries(n_queries, _TABLE_SHAPE)
+    # One full untimed pass builds every dyadic map the workload needs,
+    # so the timed batches measure steady-state serving, not FFT builds
+    # (which the pipeline suite times separately).
+    engine.query(queries)
+    samples = _timed_batches(engine, queries, rounds)
+
+    # The shadow-verifier's bill at the default 1% sampling: same
+    # workload, fresh engine, quality monitor on.  Same full warm-up so
+    # the comparison is map-build-free on both sides.
+    shadow = _make_engine(quality_sample_rate=0.01)
+    shadow.query(queries)
+    warmup_verify = _verify_seconds(shadow)
+    shadow_samples = _timed_batches(shadow, queries, rounds)
+    base_total = sum(samples)
+    shadow_total = sum(shadow_samples)
+    # Primary overhead number: the exact time attributed to the
+    # quality.verify spans during the timed batches, over the shadow
+    # run's wall time.  The wall-clock difference between the two runs
+    # is also recorded but is noise-dominated at quick scale (two
+    # separate engines, ms batches).
+    # verify spans accumulated over every round; the batch samples are
+    # per-round minima, so compare per-round verify time to one pass.
+    verify_seconds = (_verify_seconds(shadow) - warmup_verify) / rounds
+    overhead = verify_seconds / shadow_total if shadow_total else 0.0
+    wall_delta = (shadow_total - base_total) / base_total if base_total else 0.0
+
+    snapshot = engine.stats_snapshot()
+    return BenchResult(
+        suite="serving",
+        workload={
+            "queries": n_queries, "rounds": rounds, "batch": _BATCH,
+            "table_shape": list(_TABLE_SHAPE), "p": _P, "k": _K,
+            "quick": quick,
+        },
+        latency_seconds=percentiles(samples),
+        extras={
+            "queries_answered": snapshot["queries"],
+            "planner": snapshot["planner"],
+            "quality_overhead": {
+                "sample_rate": 0.01,
+                "fraction": round(overhead, 4),
+                "wall_delta_fraction": round(wall_delta, 4),
+                "verify_seconds": round(verify_seconds, 6),
+                "checks": shadow.quality.checks,
+            },
+        },
+    )
+
+
+def bench_pipeline(quick: bool = False) -> BenchResult:
+    """The preprocessing suite: full four-stream dyadic map builds."""
+    from repro.core.generator import SketchGenerator
+    from repro.core.pool import SketchPool
+
+    shape = (128, 128) if quick else (256, 256)
+    max_exponent = 5 if quick else 6
+    data = np.random.default_rng(29).normal(size=shape)
+    per_map = []
+    begin = time.perf_counter()
+    pool = SketchPool(data, SketchGenerator(p=_P, k=_K, seed=7))
+    for stream in range(4):
+        for row_exp in range(pool.min_exponent, max_exponent + 1):
+            for col_exp in range(pool.min_exponent, max_exponent + 1):
+                start = time.perf_counter()
+                pool._map(row_exp, col_exp, stream)
+                per_map.append(time.perf_counter() - start)
+    wall = time.perf_counter() - begin
+    return BenchResult(
+        suite="pipeline",
+        workload={
+            "table_shape": list(shape), "p": _P, "k": _K,
+            "streams": 4, "max_exponent": max_exponent, "quick": quick,
+        },
+        latency_seconds=percentiles(per_map),
+        extras={
+            "maps_built": pool.maps_built,
+            "map_bytes": pool.nbytes,
+            "wall_seconds": round(wall, 4),
+            "ffts_reused": pool.stats.data_ffts_reused,
+        },
+        gate_metric="p50",
+    )
+
+
+_SUITE_RUNNERS = {"serving": bench_serving, "pipeline": bench_pipeline}
+
+
+def append_trajectory(path: Path, entry: dict) -> list:
+    """Append ``entry`` to the JSON-list trajectory at ``path``."""
+    try:
+        history = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(history, list):
+            history = []
+    except (OSError, ValueError):
+        history = []
+    history.append(entry)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    return history
+
+
+def compare_to_baseline(
+    result: BenchResult, baseline: dict, max_regress: float = 0.2
+) -> dict:
+    """Hold one run's gate metric against the committed baseline.
+
+    Returns ``{"suite", "metric", "value", "baseline", "ratio",
+    "regressed"}``; ``regressed`` is ``True`` when the run's gate
+    metric (see :attr:`BenchResult.gate_metric`) exceeds the baseline's
+    by more than ``max_regress`` (fractional).  A missing baseline for
+    the suite compares as not-regressed (first run on a new suite).
+    """
+    if max_regress < 0:
+        raise ParameterError(f"max_regress must be >= 0, got {max_regress}")
+    base = baseline.get(result.suite, {})
+    base_value = float(base.get(result.gate_metric, 0.0) or 0.0)
+    value = result.gate_value
+    ratio = value / base_value if base_value else None
+    return {
+        "suite": result.suite,
+        "metric": result.gate_metric,
+        "value": value,
+        "baseline": base_value or None,
+        "ratio": None if ratio is None else round(ratio, 4),
+        "regressed": bool(base_value) and value > base_value * (1.0 + max_regress),
+    }
+
+
+def run_benchmarks(
+    suites=None,
+    quick: bool = False,
+    out_dir: Path = Path("benchmarks"),
+    baseline_path: Path | None = None,
+    max_regress: float = 0.2,
+    gate: bool = False,
+    rebaseline: bool = False,
+    echo=print,
+) -> int:
+    """Run the requested suites; the engine behind ``repro bench``.
+
+    Appends one entry per suite to ``<out_dir>/BENCH_<suite>.json``,
+    prints a one-line report per suite, compares against the baseline
+    (``<out_dir>/BENCH_baseline.json`` unless overridden), optionally
+    rewrites it (``rebaseline``), and returns the process exit code:
+    0, or 2 when ``gate`` is set and any suite regressed beyond
+    ``max_regress``.
+    """
+    suites = list(suites) if suites else list(SUITES)
+    for suite in suites:
+        if suite not in _SUITE_RUNNERS:
+            raise ParameterError(f"unknown bench suite {suite!r}; "
+                                 f"expected one of {SUITES}")
+    out_dir = Path(out_dir)
+    baseline_path = (
+        out_dir / "BENCH_baseline.json" if baseline_path is None
+        else Path(baseline_path)
+    )
+    try:
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        if not isinstance(baseline, dict):
+            baseline = {}
+    except (OSError, ValueError):
+        baseline = {}
+
+    failed = False
+    new_baseline = dict(baseline)
+    for suite in suites:
+        result = _SUITE_RUNNERS[suite](quick=quick)
+        history = append_trajectory(
+            out_dir / f"BENCH_{suite}.json", result.entry()
+        )
+        verdict = compare_to_baseline(result, baseline, max_regress)
+        line = (
+            f"{suite}: p50={result.latency_seconds['p50']:.6g}s "
+            f"p99={result.p99:.6g}s "
+            f"(n={result.latency_seconds['count']}, "
+            f"trajectory={len(history)} entries)"
+        )
+        if verdict["baseline"]:
+            state = "REGRESSED" if verdict["regressed"] else "ok"
+            line += (f" vs baseline {verdict['metric']}="
+                     f"{verdict['baseline']:.6g}s "
+                     f"ratio={verdict['ratio']:.3g} [{state}]")
+        else:
+            line += " [no baseline]"
+        echo(line)
+        if suite == "serving":
+            overhead = result.extras.get("quality_overhead", {})
+            echo(f"serving: quality overhead at "
+                 f"{overhead.get('sample_rate', 0):.0%} sampling: "
+                 f"{overhead.get('fraction', 0):+.2%} "
+                 f"({overhead.get('checks', 0)} checks)")
+        if verdict["regressed"]:
+            failed = True
+        new_baseline[suite] = {
+            "p99": result.p99,
+            "p50": result.latency_seconds["p50"],
+            "git_sha": git_sha(),
+            "quick": quick,
+            "recorded": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        }
+
+    if rebaseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(
+            json.dumps(new_baseline, indent=2) + "\n", encoding="utf-8"
+        )
+        echo(f"baseline written to {baseline_path}")
+    if gate and failed:
+        echo(f"FAIL: regression beyond {max_regress:.0%} of the baseline")
+        return 2
+    return 0

@@ -28,7 +28,13 @@ taxonomy.
 from repro.obs.export import StructuredLogger, lint_prometheus, render_prometheus
 from repro.obs.ledger import CounterLedger
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.trace import SpanRecord, Tracer, default_tracer, span
+from repro.obs.quality import (
+    DriftDetector,
+    QualityAlert,
+    QualityMonitor,
+    theoretical_epsilon,
+)
+from repro.obs.trace import SpanRecord, Tracer, default_tracer, render_trace, span
 
 __all__ = [
     "MetricsRegistry",
@@ -40,7 +46,12 @@ __all__ = [
     "SpanRecord",
     "span",
     "default_tracer",
+    "render_trace",
     "StructuredLogger",
     "render_prometheus",
     "lint_prometheus",
+    "QualityMonitor",
+    "QualityAlert",
+    "DriftDetector",
+    "theoretical_epsilon",
 ]

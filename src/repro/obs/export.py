@@ -46,7 +46,16 @@ def _format_value(value) -> str:
 
 
 def _escape_label(value: str) -> str:
+    # Label values escape backslash, double-quote, and newline — in that
+    # order, so the backslashes introduced for quotes/newlines are not
+    # themselves re-escaped.
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    # HELP text escapes only backslash and newline (the exposition-format
+    # spec); quotes pass through verbatim, unlike label values.
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _labels_text(labels: dict, extra: tuple[tuple[str, str], ...] = ()) -> str:
@@ -78,7 +87,7 @@ def render_prometheus(snapshot: dict) -> str:
         kind = family.get("type", "untyped")
         help_text = family.get("help", "")
         if help_text:
-            lines.append(f"# HELP {name} {_escape_label(help_text)}")
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
         lines.append(f"# TYPE {name} {kind}")
         for sample in family.get("samples", []):
             labels = sample.get("labels", {})
@@ -86,6 +95,12 @@ def render_prometheus(snapshot: dict) -> str:
                 hist = sample["histogram"]
                 cumulative = 0
                 for edge, count in zip(hist["edges"], hist["counts"]):
+                    edge = float(edge)
+                    if edge == float("inf"):
+                        # An explicit +Inf edge folds into the single
+                        # +Inf bucket emitted below; emitting it here
+                        # would duplicate the le="+Inf" series.
+                        break
                     cumulative += count
                     lines.append(
                         f"{name}_bucket"
@@ -114,6 +129,43 @@ _SAMPLE_RE = re.compile(
     r" (?P<value>[^ ]+)(?: (?P<timestamp>-?\d+))?$"
 )
 _LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"$')
+
+
+def _split_labels(text: str) -> list[str] | None:
+    """Split ``a="x",b="y"`` into label tokens, respecting quoted commas.
+
+    A naive ``split(",")`` breaks on label *values* containing commas
+    (``table="x,y"``); this walks the text tracking quote state and
+    escapes instead.  Returns ``None`` for structurally broken text
+    (unterminated quotes, dangling escapes).
+    """
+    tokens: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
+    for char in text:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if in_quotes and char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+            continue
+        if char == "," and not in_quotes:
+            tokens.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if in_quotes or escaped:
+        return None
+    if current or not tokens:
+        tokens.append("".join(current))
+    return tokens
 
 
 def _parse_float(text: str) -> float | None:
@@ -175,11 +227,17 @@ def lint_prometheus(text: str) -> list[str]:
         labels_text = match.group("labels")
         labels: dict[str, str] = {}
         if labels_text:
-            for part in re.split(r",(?=[a-zA-Z_])", labels_text):
+            parts = _split_labels(labels_text)
+            if parts is None:
+                problems.append(f"line {number}: unterminated label text {labels_text!r}")
+                continue
+            for part in parts:
                 if not _LABEL_RE.match(part):
                     problems.append(f"line {number}: bad label {part!r}")
                     break
                 key, _, value = part.partition("=")
+                if key in labels:
+                    problems.append(f"line {number}: duplicate label {key!r}")
                 labels[key] = value[1:-1]
         value = _parse_float(match.group("value"))
         if value is None:
@@ -206,6 +264,12 @@ def lint_prometheus(text: str) -> list[str]:
 
     for (family, labels), series in buckets.items():
         ordered = sorted(series)
+        edges = [edge for edge, _ in ordered]
+        duplicates = {edge for a, edge in zip(edges, edges[1:]) if a == edge}
+        for edge in sorted(duplicates):
+            problems.append(
+                f"{family}{dict(labels)}: duplicate le={_format_value(edge)} bucket"
+            )
         values = [value for _, value in ordered]
         if any(b < a for a, b in zip(values, values[1:])):
             problems.append(f"{family}{dict(labels)}: bucket counts not cumulative")

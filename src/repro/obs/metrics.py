@@ -214,8 +214,43 @@ class Histogram:
         """Mean observation (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def _quantile_locked(self, q: float) -> float:
+        if not 0.0 <= q <= 1.0:
+            raise ParameterError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        # Prometheus histogram_quantile semantics: find the bucket the
+        # rank falls in, interpolate linearly inside it.  The first
+        # bucket interpolates from 0, the overflow bucket is clamped to
+        # the observed max (buckets carry no finer information).
+        rank = q * self.count
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            if not count:
+                continue
+            previous = cumulative
+            cumulative += count
+            if cumulative >= rank:
+                if index >= len(self.edges):
+                    return self.max
+                lower = self.edges[index - 1] if index else 0.0
+                upper = self.edges[index]
+                fraction = (rank - previous) / count
+                return lower + (upper - lower) * fraction
+        return self.max  # pragma: no cover - rank <= count always lands
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the buckets (0.0 when empty)."""
+        with self._lock:
+            return self._quantile_locked(q)
+
     def snapshot(self) -> dict:
-        """JSON-safe summary: edges, per-bin counts, count/total/mean/max."""
+        """JSON-safe summary: edges, bins, count/total/mean/max, quantiles.
+
+        ``quantiles`` carries bucket-interpolated p50/p90/p99 so
+        dashboards (and ``repro stats --json`` consumers) do not have to
+        re-derive them from the buckets.
+        """
         with self._lock:
             return {
                 "edges": list(self.edges),
@@ -224,6 +259,11 @@ class Histogram:
                 "total": self.total,
                 "mean": self.total / self.count if self.count else 0.0,
                 "max": self.max,
+                "quantiles": {
+                    "p50": self._quantile_locked(0.50),
+                    "p90": self._quantile_locked(0.90),
+                    "p99": self._quantile_locked(0.99),
+                },
             }
 
     def __repr__(self) -> str:

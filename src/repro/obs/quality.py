@@ -1,0 +1,463 @@
+"""Online estimate-quality monitoring: shadow verification + drift alarms.
+
+The paper's trade is quantified — Theorems 1–2 promise Lp-distance
+estimates within ``(1 ± eps)`` of the truth with high probability, and
+Theorem 5 widens the band to ``[1 - eps, 4 (1 + eps)]`` for compound
+rectangles — but a serving stack that only reports latency cannot tell
+an operator whether the estimates are still *honest*.  Error profiles
+shift with ``p`` and ``k`` (Li & Mahoney; Li, "On Approximating the Lp
+Distances for p>2"), and a miscalibrated scale factor silently biases
+every answer while latency stays perfect.
+
+:class:`QualityMonitor` closes that loop without touching the hot path:
+
+* **Sampling shadow verification.**  For a configurable fraction of
+  served queries (an injected :class:`random.Random`, so deterministic
+  in tests), the *exact* Lp distance is recomputed from the table data
+  and the relative error of the served estimate recorded into
+  ``estimate_rel_error{table=,p=,k=,strategy=}`` histograms in the
+  engine's :class:`~repro.obs.metrics.MetricsRegistry`.
+* **Calibration drift.**  Each ``(table, strategy)`` series feeds a
+  rolling CUSUM-style :class:`DriftDetector`: every check contributes
+  its *violation* — how far the estimate/exact ratio fell outside the
+  strategy's theoretical band — minus an allowance; the cumulated sum
+  drifts up only under systematic miscalibration and fires once it
+  crosses the threshold.  A healthy run stays silent because in-band
+  checks contribute zero.
+* **Typed alerts.**  A fired detector (or an observed error quantile
+  breaching the configured guarantee) surfaces as a
+  :class:`QualityAlert` — in :meth:`QualityMonitor.alerts`, in the
+  engine's stats snapshot (``repro stats`` prints them), and in the
+  ``quality_alerts`` gauge.
+
+The guarantee bands per strategy (``ratio = estimate / exact``):
+
+========== =============================== ==========================
+strategy    band                            rel-error quantile bound
+========== =============================== ==========================
+grid        ``[1 - eps, 1 + eps]``          ``eps``
+disjoint    ``[1 - eps, 1 + eps]``          ``eps``
+compound    ``[1 - eps, 4 (1 + eps)]``      ``3 + 4 eps``
+========== =============================== ==========================
+
+``eps`` defaults to :func:`theoretical_epsilon` for the pool's ``k``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+
+from repro.core.norms import lp_distance
+from repro.errors import ParameterError
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["QualityAlert", "DriftDetector", "QualityMonitor", "theoretical_epsilon"]
+
+# Relative-error decades plus the band edges that matter operationally.
+_REL_ERROR_EDGES = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                    0.25, 0.5, 1.0, 2.5, 5.0)
+
+# Rectangles whose exact distance is below this are skipped: a relative
+# error against (near-)zero is noise, not a calibration signal.
+_MIN_EXACT = 1e-12
+
+
+def theoretical_epsilon(k: int, delta: float = 0.05) -> float:
+    """The ``eps`` a ``k``-wide median sketch supports at confidence ``1 - delta``.
+
+    Theorem 2's sketch needs ``k = O(log(1/delta) / eps^2)`` independent
+    stable projections for the median estimate to land within
+    ``(1 ± eps)`` of the truth with probability ``1 - delta``.
+    Inverting with the standard Chernoff constant 2 gives the *loosest*
+    eps the deployed ``k`` can promise::
+
+        eps(k, delta) = sqrt(2 * ln(2 / delta) / k)
+
+    This is a calibration target, not a sharp bound — the monitor uses
+    it as the default guarantee when the operator does not set one.
+    """
+    if k < 1:
+        raise ParameterError(f"sketch size k must be >= 1, got {k}")
+    if not 0.0 < delta < 1.0:
+        raise ParameterError(f"delta must be in (0, 1), got {delta}")
+    return math.sqrt(2.0 * math.log(2.0 / delta) / k)
+
+
+class QualityAlert:
+    """One breach of the estimate-quality guarantee.
+
+    Attributes
+    ----------
+    kind:
+        ``"drift"`` (the CUSUM detector crossed its threshold) or
+        ``"quantile_breach"`` (the observed error quantile exceeded the
+        configured guarantee).
+    table, strategy:
+        The series that breached.
+    observed:
+        The offending statistic — the CUSUM sum for drift alerts, the
+        observed error quantile for breaches.
+    bound:
+        The threshold the statistic crossed.
+    checks:
+        Shadow verifications of this series when the alert fired (the
+        "fired within N queries" clock).
+    """
+
+    __slots__ = ("kind", "table", "strategy", "observed", "bound", "checks",
+                 "p", "k")
+
+    def __init__(self, kind, table, strategy, observed, bound, checks, p, k):
+        self.kind = kind
+        self.table = table
+        self.strategy = strategy
+        self.observed = float(observed)
+        self.bound = float(bound)
+        self.checks = int(checks)
+        self.p = float(p)
+        self.k = int(k)
+
+    def as_dict(self) -> dict:
+        """JSON-safe form (shipped inside the stats snapshot)."""
+        return {
+            "kind": self.kind,
+            "table": self.table,
+            "strategy": self.strategy,
+            "observed": self.observed,
+            "bound": self.bound,
+            "checks": self.checks,
+            "p": self.p,
+            "k": self.k,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QualityAlert({self.kind} table={self.table!r} "
+            f"strategy={self.strategy!r} observed={self.observed:.4g} "
+            f"bound={self.bound:.4g} after {self.checks} checks)"
+        )
+
+
+class DriftDetector:
+    """A one-sided CUSUM accumulator over guarantee violations.
+
+    Each observation contributes ``max(0, sum + violation - allowance)``;
+    in-band checks (violation 0) bleed the sum back down by the
+    allowance, so isolated tail events decay while a *systematic*
+    miscalibration — every check violating by roughly the same amount —
+    ramps the sum linearly until it crosses ``threshold``.
+
+    Parameters
+    ----------
+    threshold:
+        Fire when the cumulated sum reaches this value.  With a
+        violation of ``v`` per check the detector fires after about
+        ``threshold / (v - allowance)`` checks.
+    allowance:
+        Slack subtracted per observation (the classic CUSUM *k*); set
+        it to the violation level you are willing to ignore forever.
+    """
+
+    __slots__ = ("threshold", "allowance", "sum", "fired_at", "observations")
+
+    def __init__(self, threshold: float = 1.0, allowance: float = 0.0):
+        if threshold <= 0:
+            raise ParameterError(f"threshold must be positive, got {threshold}")
+        if allowance < 0:
+            raise ParameterError(f"allowance must be >= 0, got {allowance}")
+        self.threshold = float(threshold)
+        self.allowance = float(allowance)
+        self.sum = 0.0
+        self.observations = 0
+        self.fired_at: int | None = None
+
+    @property
+    def fired(self) -> bool:
+        """Whether the cumulated sum has ever crossed the threshold."""
+        return self.fired_at is not None
+
+    def update(self, violation: float) -> bool:
+        """Feed one violation; returns ``True`` the first time it fires."""
+        self.observations += 1
+        self.sum = max(0.0, self.sum + float(violation) - self.allowance)
+        if self.sum >= self.threshold and self.fired_at is None:
+            self.fired_at = self.observations
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Forget the accumulated sum and the fired state."""
+        self.sum = 0.0
+        self.observations = 0
+        self.fired_at = None
+
+    def __repr__(self) -> str:
+        return (
+            f"DriftDetector(sum={self.sum:.4g}, threshold={self.threshold}, "
+            f"fired_at={self.fired_at})"
+        )
+
+
+class _Series:
+    """Per-(table, strategy) verification state."""
+
+    __slots__ = ("histogram", "detector", "checks", "epsilon")
+
+    def __init__(self, histogram, detector, epsilon):
+        self.histogram = histogram
+        self.detector = detector
+        self.checks = 0
+        self.epsilon = epsilon
+
+
+class QualityMonitor:
+    """Sampling shadow-verifier for served distance estimates.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.metrics.MetricsRegistry` receiving the
+        ``estimate_rel_error`` histograms and quality counters (a
+        serving engine passes its own, so ``repro stats`` sees them).
+    sample_rate:
+        Fraction of served queries shadow-verified (default 0.01 — at
+        1% the exact recomputation stays under the 5% overhead budget
+        on the serving benchmark).
+    epsilon:
+        The ``(1 ± eps)`` guarantee to hold estimates against.  ``None``
+        derives it per pool from :func:`theoretical_epsilon` of its
+        ``k``.
+    delta:
+        Confidence parameter fed to :func:`theoretical_epsilon` when
+        ``epsilon`` is derived.
+    quantile:
+        Which observed error quantile must stay inside the guarantee
+        (default 0.99).
+    min_checks:
+        Checks a series needs before quantile breaches are evaluated
+        (quantiles of three samples alarm on noise).
+    drift_threshold / drift_allowance:
+        :class:`DriftDetector` tuning; the allowance defaults to
+        ``epsilon / 2`` per series.
+    rng:
+        The sampling :class:`random.Random`; inject a seeded one for
+        deterministic verification schedules.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        sample_rate: float = 0.01,
+        epsilon: float | None = None,
+        delta: float = 0.05,
+        quantile: float = 0.99,
+        min_checks: int = 20,
+        drift_threshold: float = 1.0,
+        drift_allowance: float | None = None,
+        rng: random.Random | None = None,
+    ):
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ParameterError(
+                f"sample_rate must be in [0, 1], got {sample_rate}"
+            )
+        if epsilon is not None and epsilon <= 0:
+            raise ParameterError(f"epsilon must be positive, got {epsilon}")
+        if not 0.0 < quantile < 1.0:
+            raise ParameterError(f"quantile must be in (0, 1), got {quantile}")
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.sample_rate = float(sample_rate)
+        self.epsilon = epsilon
+        self.delta = float(delta)
+        self.quantile = float(quantile)
+        self.min_checks = int(min_checks)
+        self.drift_threshold = float(drift_threshold)
+        self.drift_allowance = drift_allowance
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, str], _Series] = {}
+        self._alerts: list[QualityAlert] = []
+        self._alert_keys: set[tuple] = set()
+        self._checks = self.registry.counter(
+            "quality_checks_total",
+            help="Served queries shadow-verified against the exact distance.",
+        )
+        self._violations = self.registry.counter(
+            "quality_violations_total",
+            help="Shadow checks whose estimate fell outside the guarantee band.",
+        )
+        self.registry.gauge_function(
+            "quality_alerts", lambda: len(self._alerts),
+            help="Quality alerts raised (drift + quantile breaches).",
+        )
+
+    # ------------------------------------------------------------------
+    # Sampling and verification
+    # ------------------------------------------------------------------
+
+    def should_sample(self) -> bool:
+        """One sampling decision (consumes one RNG draw when 0 < rate < 1)."""
+        if self.sample_rate <= 0.0:
+            return False
+        if self.sample_rate >= 1.0:
+            return True
+        return self._rng.random() < self.sample_rate
+
+    def epsilon_for(self, k: int) -> float:
+        """The guarantee band half-width used for a pool of sketch size ``k``."""
+        if self.epsilon is not None:
+            return self.epsilon
+        return theoretical_epsilon(int(k), self.delta)
+
+    def verify(self, table: str, pool, query, result) -> float:
+        """Shadow-verify one served query (unconditionally).
+
+        Recomputes the exact Lp distance between the query's rectangles
+        from ``pool.data``, records the relative error, feeds the drift
+        detector, and raises any due alerts.  Returns the relative
+        error (``nan`` when the exact distance is ~0 and the check was
+        skipped).
+        """
+        p = float(pool.generator.p)
+        k = int(pool.generator.k)
+        exact = lp_distance(
+            pool.data[query.a.slices], pool.data[query.b.slices], p
+        )
+        if exact <= _MIN_EXACT:
+            return float("nan")
+        estimate = float(result.distance)
+        rel_error = abs(estimate - exact) / exact
+        ratio = estimate / exact
+        strategy = result.strategy
+        epsilon = self.epsilon_for(k)
+        if strategy == "compound":
+            low, high = 1.0 - epsilon, 4.0 * (1.0 + epsilon)
+            error_bound = 3.0 + 4.0 * epsilon
+        else:
+            low, high = 1.0 - epsilon, 1.0 + epsilon
+            error_bound = epsilon
+        violation = max(0.0, low - ratio) + max(0.0, ratio - high)
+
+        with self._lock:
+            series = self._series_locked(table, strategy, p, k, epsilon)
+            series.checks += 1
+            series.histogram.observe(rel_error)
+            self._checks.inc()
+            if violation > 0.0:
+                self._violations.inc()
+            if series.detector.update(violation):
+                self._raise_alert_locked(
+                    "drift", table, strategy, series.detector.sum,
+                    series.detector.threshold, series.checks, p, k,
+                )
+            if series.checks >= self.min_checks:
+                observed = series.histogram.quantile(self.quantile)
+                if observed > error_bound:
+                    self._raise_alert_locked(
+                        "quantile_breach", table, strategy, observed,
+                        error_bound, series.checks, p, k,
+                    )
+        return rel_error
+
+    def observe_batch(self, queries, results, pool_of) -> int:
+        """Sample-and-verify a served batch; returns checks performed.
+
+        ``pool_of`` maps a table name to its pool (a serving engine
+        passes its registry lookup).  Sampling decisions draw from the
+        injected RNG per query, so at rate 1.0 every query is verified
+        and at 0.0 the batch is untouched.
+        """
+        verified = 0
+        for query, result in zip(queries, results):
+            if not self.should_sample():
+                continue
+            pool = pool_of(query.table)
+            if pool is None:
+                continue
+            self.verify(query.table, pool, query, result)
+            verified += 1
+        return verified
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+
+    def _series_locked(self, table, strategy, p, k, epsilon) -> _Series:
+        key = (table, strategy)
+        series = self._series.get(key)
+        if series is None:
+            histogram = self.registry.histogram(
+                "estimate_rel_error",
+                edges=_REL_ERROR_EDGES,
+                help="Relative error of served estimates vs the exact distance.",
+                table=table, strategy=strategy, p=p, k=k,
+            )
+            allowance = (
+                self.drift_allowance if self.drift_allowance is not None
+                else epsilon / 2.0
+            )
+            detector = DriftDetector(self.drift_threshold, allowance)
+            series = _Series(histogram, detector, epsilon)
+            self._series[key] = series
+        return series
+
+    def _raise_alert_locked(self, kind, table, strategy, observed, bound,
+                            checks, p, k) -> None:
+        key = (kind, table, strategy)
+        if key in self._alert_keys:
+            return
+        self._alert_keys.add(key)
+        self._alerts.append(
+            QualityAlert(kind, table, strategy, observed, bound, checks, p, k)
+        )
+
+    def alerts(self) -> list[QualityAlert]:
+        """Raised alerts, oldest first (deduplicated per series and kind)."""
+        with self._lock:
+            return list(self._alerts)
+
+    @property
+    def checks(self) -> int:
+        """Total shadow verifications performed."""
+        return self._checks.value
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary for the engine stats snapshot."""
+        with self._lock:
+            return {
+                "sample_rate": self.sample_rate,
+                "quantile": self.quantile,
+                "checks": self._checks.value,
+                "violations": self._violations.value,
+                "alerts": [alert.as_dict() for alert in self._alerts],
+                "series": {
+                    f"{table}/{strategy}": {
+                        "checks": series.checks,
+                        "epsilon": series.epsilon,
+                        "cusum": series.detector.sum,
+                        "fired_at": series.detector.fired_at,
+                        "rel_error": series.histogram.snapshot(),
+                    }
+                    for (table, strategy), series in sorted(self._series.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop alerts and detector state (histograms reset too)."""
+        with self._lock:
+            self._alerts.clear()
+            self._alert_keys.clear()
+            for series in self._series.values():
+                series.detector.reset()
+                series.histogram.reset()
+                series.checks = 0
+            self._checks.reset()
+            self._violations.reset()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"QualityMonitor(rate={self.sample_rate}, "
+                f"checks={self._checks.value}, alerts={len(self._alerts)})"
+            )

@@ -29,7 +29,7 @@ from contextlib import contextmanager
 
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["SpanRecord", "Tracer", "span", "default_tracer"]
+__all__ = ["SpanRecord", "Tracer", "span", "default_tracer", "render_trace"]
 
 # Sub-millisecond to ten-second decades: map builds sit around
 # milliseconds, full pool preprocessing around seconds.
@@ -39,21 +39,25 @@ _SPAN_EDGES = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0)
 class SpanRecord:
     """One finished span: name, wall-clock window, attributes, lineage."""
 
-    __slots__ = ("span_id", "parent_id", "name", "start", "duration", "attrs")
+    __slots__ = ("span_id", "parent_id", "name", "start", "duration", "attrs",
+                 "trace_id")
 
-    def __init__(self, span_id, parent_id, name, start, duration, attrs):
+    def __init__(self, span_id, parent_id, name, start, duration, attrs,
+                 trace_id=None):
         self.span_id = span_id
         self.parent_id = parent_id
         self.name = name
         self.start = start
         self.duration = duration
         self.attrs = attrs
+        self.trace_id = trace_id
 
     def as_dict(self) -> dict:
         """JSON-safe form (attribute values stringified)."""
         return {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
             "name": self.name,
             "start": self.start,
             "duration": self.duration,
@@ -95,6 +99,37 @@ class Tracer:
             self._registry = registry
 
     @contextmanager
+    def trace(self, trace_id: str | None, remote_parent: int | None = None):
+        """Adopt a trace context for this thread's subsequent spans.
+
+        Every span opened inside the context records ``trace_id``, so
+        spans from different processes (a client's request span, the
+        server's handling spans) join into one timeline keyed by the id.
+        ``remote_parent`` is the span id of the *other process's* span
+        this thread's root span logically nests under (e.g. the client
+        request span id carried in a wire frame); it is recorded on the
+        root span as the ``remote_parent`` attribute, since local
+        ``parent_id`` lineage never crosses process boundaries.
+
+        Contexts nest: re-entering with a new trace id shadows the old
+        one until exit.  ``trace_id=None`` is a no-op passthrough.
+        """
+        if trace_id is None:
+            yield
+            return
+        previous = getattr(self._local, "trace", None)
+        self._local.trace = (str(trace_id), remote_parent)
+        try:
+            yield
+        finally:
+            self._local.trace = previous
+
+    def current_trace_id(self) -> str | None:
+        """The thread's active trace id (``None`` outside any context)."""
+        context = getattr(self._local, "trace", None)
+        return context[0] if context else None
+
+    @contextmanager
     def span(self, name: str, **attrs):
         """Time a stage; nests under the thread's currently open span."""
         if not self.enabled:
@@ -103,8 +138,12 @@ class Tracer:
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+        context = getattr(self._local, "trace", None)
+        trace_id = context[0] if context else None
         span_id = next(self._ids)
         parent_id = stack[-1] if stack else None
+        if parent_id is None and context is not None and context[1] is not None:
+            attrs = dict(attrs, remote_parent=context[1])
         stack.append(span_id)
         wall_start = time.time()
         start = time.perf_counter()
@@ -122,7 +161,8 @@ class Tracer:
                     span=name,
                 ).observe(duration)
             if self._keep_timeline:
-                record = SpanRecord(span_id, parent_id, name, wall_start, duration, attrs)
+                record = SpanRecord(span_id, parent_id, name, wall_start,
+                                    duration, attrs, trace_id)
                 with self._lock:
                     self._spans.append(record)
 
@@ -130,6 +170,13 @@ class Tracer:
         """The retained spans as JSON-safe dicts, oldest first."""
         with self._lock:
             return [record.as_dict() for record in self._spans]
+
+    def spans_for_trace(self, trace_id: str) -> list[dict]:
+        """Retained spans carrying ``trace_id``, oldest first."""
+        wanted = str(trace_id)
+        with self._lock:
+            return [record.as_dict() for record in self._spans
+                    if record.trace_id == wanted]
 
     def dump_json(self, path) -> None:
         """Write the timeline to ``path`` as a JSON array."""
@@ -159,3 +206,89 @@ def span(name: str, tracer: Tracer | None = None, **attrs):
     """Open a span on ``tracer`` (the process-wide default when omitted)."""
     with (tracer if tracer is not None else _DEFAULT_TRACER).span(name, **attrs) as sid:
         yield sid
+
+
+def render_trace(sources, trace_id: str) -> str:
+    """Render one trace's spans from several processes as an ASCII tree.
+
+    Parameters
+    ----------
+    sources:
+        Mapping of source label (``"client"``, ``"server"``, a file
+        name) to that process's span dicts (the
+        :meth:`Tracer.timeline` / :meth:`Tracer.spans_for_trace` shape).
+        Span ids are only unique *within* a source, so lineage is keyed
+        ``(source, span_id)``; a root span whose ``remote_parent``
+        attribute names a span id found in another source is grafted
+        under that span, which is how the server's ``server.request``
+        nests under the client's ``client.request``.
+    trace_id:
+        The trace to render; spans with a different (or missing) id are
+        ignored.
+
+    Returns
+    -------
+    str
+        A newline-joined tree, one span per line: name, source,
+        duration in ms, and attributes; siblings ordered by wall start.
+    """
+    wanted = str(trace_id)
+    nodes: dict[tuple[str, object], dict] = {}
+    for source, spans in dict(sources).items():
+        for span_dict in spans:
+            if str(span_dict.get("trace_id")) != wanted:
+                continue
+            nodes[(source, span_dict["span_id"])] = {
+                "source": source, "span": span_dict, "children": []
+            }
+
+    roots: list[dict] = []
+    for (source, _), node in nodes.items():
+        span_dict = node["span"]
+        parent_key = None
+        if span_dict.get("parent_id") is not None:
+            parent_key = (source, span_dict["parent_id"])
+        else:
+            remote = span_dict.get("attrs", {}).get("remote_parent")
+            if remote is not None:
+                for other_source in sources:
+                    if other_source == source:
+                        continue
+                    candidate = (other_source, _coerce_span_id(remote))
+                    if candidate in nodes:
+                        parent_key = candidate
+                        break
+        if parent_key is not None and parent_key in nodes:
+            nodes[parent_key]["children"].append(node)
+        else:
+            roots.append(node)
+
+    def start_of(node):
+        return node["span"].get("start") or 0.0
+
+    lines = [f"trace {wanted}" if nodes else f"trace {wanted}: no spans found"]
+
+    def emit(node, depth):
+        span_dict = node["span"]
+        attrs = {k: v for k, v in span_dict.get("attrs", {}).items()
+                 if k != "remote_parent"}
+        attr_text = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+        lines.append(
+            f"{'  ' * depth}- {span_dict['name']}  "
+            f"[{node['source']}]  {span_dict['duration'] * 1e3:.3f}ms"
+            + (f"  {attr_text}" if attr_text else "")
+        )
+        for child in sorted(node["children"], key=start_of):
+            emit(child, depth + 1)
+
+    for root in sorted(roots, key=start_of):
+        emit(root, 1)
+    return "\n".join(lines)
+
+
+def _coerce_span_id(value):
+    """Wire/JSON span ids arrive stringified; match the int form too."""
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return value

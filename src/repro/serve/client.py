@@ -22,6 +22,13 @@ On top of the wire protocol the client layers a failure story:
   errors; a :class:`~repro.errors.ParameterError` never retries.
 * **Per-request deadlines.**  ``deadline`` bounds one logical request
   across all its attempts, including backoff sleeps.
+* **Cross-process tracing.**  Every logical request gets a ``trace_id``
+  (drawn from the injected rng, so deterministic when seeded) that is
+  recorded on the client's own :class:`~repro.obs.trace.Tracer` span
+  *and* carried in the wire frame's ``trace`` field; the server adopts
+  it, so its ``server.request`` → ``planner.execute`` spans join the
+  client's timeline.  :attr:`Client.last_trace_id` holds the most
+  recent id, and :meth:`Client.trace` fetches the server's half.
 
 Retries and reconnects are accounted in a
 :class:`~repro.obs.metrics.MetricsRegistry` (``retries_total{op=...}``,
@@ -46,6 +53,7 @@ from repro.errors import (
     ServeError,
 )
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.serve.planner import QueryResult, RectQuery
 from repro.serve.retry import RetryPolicy
 
@@ -172,6 +180,11 @@ class Client:
         )
         self._sleep = sleep
         self.metrics = registry if registry is not None else MetricsRegistry()
+        # The client's half of every cross-process trace: one
+        # client.request span per logical request, same trace_id the
+        # server's spans carry.
+        self.tracer = Tracer(self.metrics, max_spans=512)
+        self.last_trace_id: str | None = None
         self._reconnects = self.metrics.counter(
             "reconnects_total", help="Connections re-dialled after a failure."
         )
@@ -292,10 +305,31 @@ class Client:
         reconnects if the transport was torn down.  ``deadline``
         (falling back to the client default) bounds the whole exchange
         including backoff sleeps.
+
+        The whole exchange runs inside one ``client.request`` span
+        whose ``trace_id`` travels in the frame's ``trace`` field —
+        retries reuse it (they are the same logical request), so the
+        server's spans for every attempt join one timeline.
         """
         if self._closed:
             raise ServeError("client connection is closed")
         op = str(request.get("op", "?"))
+        trace_id = f"{self._rng.getrandbits(64):016x}"
+        self.last_trace_id = trace_id
+        with self.tracer.trace(trace_id):
+            with self.tracer.span("client.request", op=op) as span_id:
+                request = dict(
+                    request, trace={"trace_id": trace_id, "span_id": span_id}
+                )
+                return self._retry_loop(request, op, idempotent, deadline)
+
+    def _retry_loop(
+        self,
+        request: dict,
+        op: str,
+        idempotent: bool,
+        deadline: float | None,
+    ) -> dict:
         budget = self.deadline if deadline is None else deadline
         start = time.monotonic()
         policy = self.retry if idempotent else RetryPolicy.none()
@@ -357,6 +391,21 @@ class Client:
     def stats(self, deadline: float | None = None) -> dict:
         """The server engine's full statistics snapshot."""
         return self._roundtrip({"op": "stats"}, deadline=deadline)
+
+    def trace(self, trace_id: str, deadline: float | None = None) -> list[dict]:
+        """The server's retained spans carrying ``trace_id``.
+
+        Pair with :attr:`last_trace_id` and the client tracer's own
+        :meth:`~repro.obs.trace.Tracer.spans_for_trace` to render a
+        merged timeline (``repro trace`` does exactly this).
+        """
+        result = self._roundtrip(
+            {"op": "trace", "trace_id": str(trace_id)}, deadline=deadline
+        )
+        spans = result.get("spans")
+        if not isinstance(spans, list):
+            raise ProtocolError(f"malformed trace response: {result!r}")
+        return spans
 
     def query(
         self,

@@ -21,6 +21,7 @@ around it).  It owns:
 
 from __future__ import annotations
 
+import random
 import threading
 import time
 
@@ -31,6 +32,7 @@ from repro.core.io import load_pool
 from repro.core.pool import MapBudget, SketchPool
 from repro.errors import ParameterError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.quality import QualityMonitor
 from repro.obs.trace import Tracer
 from repro.serve.planner import QueryPlanner, QueryResult, RectQuery
 from repro.serve.stats import EngineStats, pipeline_stats_dict
@@ -61,6 +63,13 @@ class SketchEngine:
     max_bytes:
         Combined byte budget for all tables' built maps (cross-table
         LRU eviction); ``None`` for unbounded.
+    quality_sample_rate:
+        Fraction of served queries shadow-verified against the exact
+        distance by the engine's :class:`~repro.obs.quality.QualityMonitor`
+        (0.0 — the default — disables verification entirely).
+    quality_rng:
+        Optional seeded :class:`random.Random` driving the sampling
+        decisions (deterministic verification schedules in tests).
 
     Examples
     --------
@@ -82,6 +91,8 @@ class SketchEngine:
         method: str = "auto",
         max_bytes: int | None = None,
         registry: MetricsRegistry | None = None,
+        quality_sample_rate: float = 0.0,
+        quality_rng: random.Random | None = None,
     ):
         self.defaults = SketchGenerator(p=p, k=k, seed=seed)  # validates p, k
         self.min_exponent = int(min_exponent)
@@ -100,6 +111,9 @@ class SketchEngine:
         self.stats = EngineStats(registry=self.registry)
         self.planner = QueryPlanner(
             self._pools, method=method, stats=self.stats.planner, tracer=self.tracer
+        )
+        self.quality = QualityMonitor(
+            self.registry, sample_rate=quality_sample_rate, rng=quality_rng
         )
         self._started = time.monotonic()
         self.registry.gauge_function(
@@ -268,6 +282,7 @@ class SketchEngine:
             "used_bytes": self.budget.used_bytes,
             "maps_evicted": self.budget.maps_evicted,
         }
+        snapshot["quality"] = self.quality.snapshot()
         snapshot["metrics"] = self.registry.snapshot()
         return snapshot
 
@@ -320,6 +335,11 @@ class SketchEngine:
                     raise ParameterError("query batch is empty")
                 deadline = None if timeout is None else time.monotonic() + timeout
                 results = self.planner.execute(parsed, deadline)
+                if self.quality.sample_rate > 0.0:
+                    with self.tracer.span("quality.verify"):
+                        self.quality.observe_batch(
+                            parsed, results, self._pools.get
+                        )
         except Exception:
             self.stats.record_request("query", error=True)
             raise

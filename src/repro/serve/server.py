@@ -12,10 +12,18 @@ Request::
     {"op": "tables"}
     {"op": "stats"}
     {"op": "query", "queries": [<query>, ...], "timeout": <seconds?>}
+    {"op": "trace", "trace_id": <id>}
 
 where ``<query>`` is ``{"table": ..., "a": [row, col, height, width],
 "b": [...], "strategy": "auto"}`` (see
 :meth:`~repro.serve.planner.RectQuery.parse`).
+
+Any request may additionally carry a ``trace`` field —
+``{"trace_id": <id>, "span_id": <client span id>}`` — which the server
+adopts for the request's spans (cross-process tracing; see
+``docs/OBSERVABILITY.md``).  The ``trace`` op returns the server's
+retained spans for one trace id, so a client can render the merged
+client+server timeline.
 
 Response::
 
@@ -80,7 +88,25 @@ __all__ = ["SketchServer"]
 # client, not a real batch (a 10k-query batch is ~1 MB).
 MAX_LINE_BYTES = 64 * 1024 * 1024
 
-_OPS = ("ping", "health", "tables", "stats", "query")
+_OPS = ("ping", "health", "tables", "stats", "query", "trace")
+
+
+def _extract_trace(request) -> tuple[str | None, object]:
+    """Pull the optional ``trace`` field off a wire request.
+
+    Returns ``(trace_id, remote_parent_span_id)`` — both ``None`` when
+    the client sent no (or a malformed) trace context; tracing is best
+    effort and never fails a request.
+    """
+    if not isinstance(request, dict):
+        return None, None
+    info = request.pop("trace", None)
+    if not isinstance(info, dict):
+        return None, None
+    trace_id = info.get("trace_id")
+    if trace_id is None:
+        return None, None
+    return str(trace_id), info.get("span_id")
 
 
 def _handle_request(engine: SketchEngine, request: dict) -> tuple[str, dict]:
@@ -109,8 +135,16 @@ def _handle_request(engine: SketchEngine, request: dict) -> tuple[str, dict]:
             result = {"tables": engine.tables()}
         elif op == "stats":
             result = engine.stats_snapshot()
+        elif op == "trace":
+            wanted = request.get("trace_id")
+            if not isinstance(wanted, (str, int)) or wanted in ("", None):
+                raise ProtocolError("trace request needs a 'trace_id'")
+            result = {
+                "trace_id": str(wanted),
+                "spans": engine.tracer.spans_for_trace(str(wanted)),
+            }
         else:
-            unknown = set(request) - {"op", "queries", "timeout"}
+            unknown = set(request) - {"op", "queries", "timeout", "trace"}
             if unknown:
                 raise ProtocolError(
                     f"query request has unknown keys {sorted(unknown)}"
@@ -160,22 +194,32 @@ class _Handler(socketserver.StreamRequestHandler):
             if not line.strip():
                 continue
             start = time.perf_counter()
+            trace_id = None
             try:
                 try:
                     request = json.loads(line)
                 except (json.JSONDecodeError, UnicodeDecodeError) as exc:
                     raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+                trace_id, remote_parent = _extract_trace(request)
                 server.check_admission(request)
                 with server.track_inflight():
-                    with server.tracer.span("server.request"):
-                        op, result = _handle_request(engine, request)
+                    # Adopt the client's trace context: every span this
+                    # request opens — server.request, engine.query, the
+                    # planner's groups — carries the client's trace_id,
+                    # and the root span remembers the client span it
+                    # nests under across the process boundary.
+                    with server.tracer.trace(trace_id, remote_parent):
+                        with server.tracer.span("server.request"):
+                            op, result = _handle_request(engine, request)
             except ReproError as exc:
-                server.log_request("?", time.perf_counter() - start, error=exc)
+                server.log_request("?", time.perf_counter() - start, error=exc,
+                                   trace_id=trace_id)
                 if not self._respond_error(exc):
                     return
                 continue
             server.log_request(op, time.perf_counter() - start,
-                               queries=result.get("results") and len(result["results"]))
+                               queries=result.get("results") and len(result["results"]),
+                               trace_id=trace_id)
             payload = {"ok": True, "result": result}
             if not self._send(payload):
                 return

@@ -254,6 +254,26 @@ class TableStore:
         """Read the full table (drops the on-disk chunk padding)."""
         return self.read_tile(TileSpec(0, 0, *self.shape))
 
+    def exact_distance(self, a: TileSpec, b: TileSpec, p: float) -> float:
+        """Exact Lp distance between two equal-shaped tiles, from disk.
+
+        The ground-truth seam for estimate-quality verification: reads
+        only the chunks the two tiles overlap (memory-map cheap), so a
+        shadow-verifier can hold served estimates against the truth
+        without materialising the table.
+        """
+        # Function-level import: repro.core.pool imports repro.table.tiles,
+        # so a module-level import here would be circular via the
+        # packages' __init__ modules.
+        from repro.core.norms import lp_distance
+
+        if a.shape != b.shape:
+            raise ParameterError(
+                f"exact_distance needs equal-shaped tiles, got {a.shape} "
+                f"vs {b.shape}"
+            )
+        return lp_distance(self.read_tile(a), self.read_tile(b), p)
+
 
 class StitchedStore:
     """Several per-period store files presented as one wide table.
@@ -334,6 +354,8 @@ class StitchedStore:
     def read_all(self) -> np.ndarray:
         """Read the full stitched table."""
         return self.read_tile(TileSpec(0, 0, *self.shape))
+
+    exact_distance = TableStore.exact_distance
 
     def verify(self) -> None:
         """Checksum-verify every member file."""

@@ -23,6 +23,7 @@ from repro.testing.faults import (
     Ok,
     PartialWrite,
     flaky_connect,
+    inject_scale_error,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "PartialWrite",
     "GarbageRequest",
     "GarbageResponse",
+    "inject_scale_error",
 ]

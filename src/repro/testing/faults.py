@@ -56,7 +56,38 @@ __all__ = [
     "FaultPlan",
     "FlakyTransport",
     "flaky_connect",
+    "inject_scale_error",
 ]
+
+
+def inject_scale_error(pool, factor: float):
+    """Miscalibrate a pool: scale every sketch map it serves by ``factor``.
+
+    A calibration fault rather than a transport fault: the pool keeps
+    answering promptly and plausibly, but every estimate is off by
+    roughly ``factor`` while the exact distance (recomputed from
+    ``pool.data``) is untouched — exactly the silent-bias failure the
+    quality monitor's drift detector exists to catch.  Works by
+    shadowing ``pool._map`` on the instance, so both the scalar sketch
+    path and the planner's vectorized gathers see the scaled maps.
+
+    Returns a zero-argument ``restore()`` callable that removes the
+    fault.
+    """
+    if factor <= 0:
+        raise ValueError(f"scale factor must be positive, got {factor}")
+    original = pool._map
+
+    def scaled_map(row_exp, col_exp, stream):
+        return original(row_exp, col_exp, stream) * factor
+
+    pool._map = scaled_map
+
+    def restore():
+        if pool.__dict__.get("_map") is scaled_map:
+            del pool.__dict__["_map"]
+
+    return restore
 
 
 @dataclass(frozen=True)

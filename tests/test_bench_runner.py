@@ -1,0 +1,206 @@
+"""Tests for the continuous benchmark harness (``repro bench``).
+
+The actual suites are exercised by CI's bench-smoke job; here the
+harness mechanics — percentile math, trajectory files, the regression
+gate and its exit codes — run against fast fakes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro.bench.runner as runner
+from repro.bench import (
+    BenchResult,
+    compare_to_baseline,
+    git_sha,
+    machine_fingerprint,
+    percentiles,
+    run_benchmarks,
+)
+from repro.bench.runner import _timed_batches, append_trajectory
+from repro.errors import ParameterError
+
+
+def fake_result(suite="serving", p50=0.01, p99=0.02, gate_metric="p99",
+                extras=None):
+    return BenchResult(
+        suite=suite,
+        workload={"queries": 10},
+        latency_seconds={"count": 10, "mean": p50, "max": p99,
+                         "p50": p50, "p90": p99, "p99": p99},
+        extras=extras if extras is not None else {
+            "quality_overhead": {"sample_rate": 0.01, "fraction": 0.01,
+                                 "checks": 3},
+        },
+        gate_metric=gate_metric,
+    )
+
+
+class TestPercentiles:
+    def test_empty_is_all_zero(self):
+        stats = percentiles([])
+        assert stats["count"] == 0
+        assert stats["p50"] == stats["p99"] == stats["mean"] == 0.0
+
+    def test_known_values(self):
+        stats = percentiles(range(1, 101))
+        assert stats["count"] == 100
+        assert stats["mean"] == pytest.approx(50.5)
+        assert stats["max"] == 100.0
+        assert stats["p50"] == pytest.approx(50.5)
+        assert stats["p99"] >= stats["p90"] >= stats["p50"]
+
+
+class TestFingerprints:
+    def test_machine_fingerprint_fields(self):
+        fingerprint = machine_fingerprint()
+        assert fingerprint["python"]
+        assert fingerprint["platform"]
+        assert fingerprint["cpu_count"] >= 1
+
+    def test_git_sha_resolves_in_this_repo(self):
+        sha = git_sha(Path(__file__).parent)
+        assert sha is None or (len(sha) >= 7 and all(
+            c in "0123456789abcdef" for c in sha
+        ))
+
+    def test_git_sha_none_outside_a_repo(self, tmp_path):
+        assert git_sha(tmp_path) is None
+
+
+class TestBenchResult:
+    def test_gate_value_follows_gate_metric(self):
+        result = fake_result(p50=0.01, p99=0.05, gate_metric="p50")
+        assert result.gate_value == 0.01
+        assert result.p99 == 0.05
+
+    def test_entry_shape(self):
+        entry = fake_result().entry()
+        assert entry["suite"] == "serving"
+        assert "machine" in entry and "timestamp" in entry
+        assert entry["latency_seconds"]["p99"] == 0.02
+        assert "quality_overhead" in entry  # extras merge into the entry
+
+
+class TestTrajectory:
+    def test_append_creates_and_accumulates(self, tmp_path):
+        path = tmp_path / "BENCH_serving.json"
+        assert len(append_trajectory(path, {"run": 1})) == 1
+        assert len(append_trajectory(path, {"run": 2})) == 2
+        history = json.loads(path.read_text())
+        assert [e["run"] for e in history] == [1, 2]
+
+    def test_corrupt_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "BENCH_serving.json"
+        path.write_text("not json")
+        assert len(append_trajectory(path, {"run": 1})) == 1
+
+
+class TestCompareToBaseline:
+    def test_missing_baseline_never_regresses(self):
+        verdict = compare_to_baseline(fake_result(), {})
+        assert verdict["regressed"] is False
+        assert verdict["baseline"] is None and verdict["ratio"] is None
+
+    def test_within_tolerance_is_ok(self):
+        baseline = {"serving": {"p99": 0.02}}
+        verdict = compare_to_baseline(fake_result(p99=0.023), baseline,
+                                      max_regress=0.2)
+        assert verdict["regressed"] is False
+        assert verdict["ratio"] == pytest.approx(1.15)
+
+    def test_beyond_tolerance_regresses(self):
+        baseline = {"serving": {"p99": 0.02}}
+        verdict = compare_to_baseline(fake_result(p99=0.03), baseline,
+                                      max_regress=0.2)
+        assert verdict["regressed"] is True
+
+    def test_gate_metric_selects_the_compared_percentile(self):
+        baseline = {"pipeline": {"p50": 0.01, "p99": 1e-9}}
+        result = fake_result(suite="pipeline", p50=0.011, p99=5.0,
+                             gate_metric="p50")
+        verdict = compare_to_baseline(result, baseline)
+        assert verdict["metric"] == "p50"
+        assert verdict["regressed"] is False
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ParameterError):
+            compare_to_baseline(fake_result(), {}, max_regress=-0.1)
+
+
+class TestTimedBatches:
+    def test_keeps_the_minimum_across_rounds(self):
+        class CountingEngine:
+            def __init__(self):
+                self.calls = 0
+
+            def query(self, batch):
+                self.calls += 1
+
+        engine = CountingEngine()
+        queries = list(range(120))  # 3 batches of _BATCH=50 (last short)
+        samples = _timed_batches(engine, queries, rounds=4)
+        assert len(samples) == 3
+        assert engine.calls == 12
+        assert all(s >= 0.0 and s != float("inf") for s in samples)
+
+
+class TestRunBenchmarks:
+    @pytest.fixture()
+    def fakes(self, monkeypatch):
+        def fake_serving(quick=False):
+            return fake_result("serving", p50=0.01, p99=0.02)
+
+        def fake_pipeline(quick=False):
+            return fake_result("pipeline", p50=0.03, p99=0.04,
+                               gate_metric="p50", extras={})
+
+        monkeypatch.setitem(runner._SUITE_RUNNERS, "serving", fake_serving)
+        monkeypatch.setitem(runner._SUITE_RUNNERS, "pipeline", fake_pipeline)
+
+    def test_unknown_suite_rejected(self, tmp_path):
+        with pytest.raises(ParameterError, match="unknown bench suite"):
+            run_benchmarks(suites=["warp"], out_dir=tmp_path)
+
+    def test_appends_trajectories_and_reports(self, fakes, tmp_path):
+        lines = []
+        code = run_benchmarks(out_dir=tmp_path, echo=lines.append)
+        assert code == 0
+        for suite in ("serving", "pipeline"):
+            history = json.loads(
+                (tmp_path / f"BENCH_{suite}.json").read_text()
+            )
+            assert len(history) == 1 and history[0]["suite"] == suite
+        assert any("[no baseline]" in line for line in lines)
+        assert any("quality overhead" in line for line in lines)
+
+    def test_rebaseline_writes_the_baseline_file(self, fakes, tmp_path):
+        run_benchmarks(out_dir=tmp_path, rebaseline=True, echo=lambda s: None)
+        baseline = json.loads((tmp_path / "BENCH_baseline.json").read_text())
+        assert baseline["serving"]["p99"] == 0.02
+        assert baseline["pipeline"]["p50"] == 0.03
+
+    def test_gate_passes_against_its_own_baseline(self, fakes, tmp_path):
+        run_benchmarks(out_dir=tmp_path, rebaseline=True, echo=lambda s: None)
+        assert run_benchmarks(out_dir=tmp_path, gate=True,
+                              echo=lambda s: None) == 0
+
+    def test_gate_fails_on_a_regression(self, fakes, tmp_path):
+        baseline = {"serving": {"p99": 0.001, "p50": 0.0005}}
+        path = tmp_path / "BENCH_baseline.json"
+        path.write_text(json.dumps(baseline))
+        lines = []
+        code = run_benchmarks(suites=["serving"], out_dir=tmp_path,
+                              gate=True, echo=lines.append)
+        assert code == 2
+        assert any("REGRESSED" in line for line in lines)
+
+    def test_regression_without_gate_still_exits_zero(self, fakes, tmp_path):
+        path = tmp_path / "BENCH_baseline.json"
+        path.write_text(json.dumps({"serving": {"p99": 0.001}}))
+        assert run_benchmarks(suites=["serving"], out_dir=tmp_path,
+                              echo=lambda s: None) == 0

@@ -6,9 +6,13 @@ import threading
 import numpy as np
 import pytest
 
+from repro.core.generator import SketchGenerator
+from repro.core.pool import SketchPool
 from repro.obs.export import StructuredLogger, lint_prometheus, render_prometheus
+from repro.obs.metrics import MetricsRegistry
 from repro.serve import Client, SketchEngine, SketchServer
 from repro.serve.stats import EngineStats
+from repro.table.tiles import TileSpec
 
 
 @pytest.fixture
@@ -177,3 +181,69 @@ class TestServerObservability:
                 with pytest.raises(ProtocolError):
                     client.query([])
         assert engine.stats.errors.get("query", 0) == 1
+
+
+class TestPoolMetricRebinding:
+    """``bind_metrics`` re-homes a pool's instruments without double-counting."""
+
+    def _warm_pool(self):
+        data = np.random.default_rng(4).normal(size=(64, 64))
+        pool = SketchPool(data, SketchGenerator(p=1.0, k=16, seed=3))
+        pool.sketch_for(TileSpec(0, 0, 8, 8))   # builds the 8x8 maps
+        pool.sketch_for(TileSpec(8, 8, 8, 8))   # served from cache
+        assert pool.maps_built > 0 and pool.map_hits > 0
+        return pool
+
+    def _builds_total(self, registry, **labels):
+        total = 0
+        for name, _, _, children in registry.collect():
+            if name != "pool_map_builds_total":
+                continue
+            for child_labels, child in children:
+                if all(child_labels.get(k) == str(v) for k, v in labels.items()):
+                    total += child.value
+        return total
+
+    def test_bind_carries_accumulated_counts_exactly_once(self):
+        pool = self._warm_pool()
+        builds, hits = pool.maps_built, pool.map_hits
+        registry = MetricsRegistry()
+        pool.bind_metrics(registry, table="t")
+        assert self._builds_total(registry, table="t") == builds
+        assert registry.counter("pool_map_hits_total", table="t").value == hits
+
+    def test_rebinding_to_the_same_registry_does_not_double_count(self):
+        pool = self._warm_pool()
+        builds, hits = pool.maps_built, pool.map_hits
+        registry = MetricsRegistry()
+        pool.bind_metrics(registry, table="t")
+        pool.bind_metrics(registry, table="t")
+        assert self._builds_total(registry, table="t") == builds
+        assert registry.counter("pool_map_hits_total", table="t").value == hits
+
+    def test_post_bind_work_lands_on_the_per_table_series(self):
+        pool = self._warm_pool()
+        registry = MetricsRegistry()
+        pool.bind_metrics(registry, table="t")
+        before = registry.counter("pool_map_hits_total", table="t").value
+        pool.sketch_for(TileSpec(16, 16, 8, 8))  # more cache hits
+        counter = registry.counter("pool_map_hits_total", table="t")
+        # the counter tracks the pool exactly: new hits land once, on
+        # the per-table series, with no residue from the pre-bind life
+        assert counter.value == pool.map_hits > before
+
+    def test_engine_registration_rebinds_under_the_table_label(self):
+        pool = self._warm_pool()
+        hits = pool.map_hits
+        engine = SketchEngine(p=1.0, k=16, seed=3)
+        engine.register_pool("warmed", pool)
+        counter = engine.registry.counter("pool_map_hits_total", table="warmed")
+        assert counter.value == hits
+        # gauges re-home too: one per-table series, live values
+        snapshot = engine.registry.snapshot()
+        byte_samples = [
+            s for s in snapshot["pool_map_bytes"]["samples"]
+            if s["labels"].get("table") == "warmed"
+        ]
+        assert len(byte_samples) == 1
+        assert byte_samples[0]["value"] == pool.nbytes

@@ -87,6 +87,36 @@ class TestHistogram:
         h = Histogram.powers_of_two(highest=8)
         assert h.edges == (1.0, 2.0, 4.0, 8.0)
 
+    def test_quantile_interpolates_within_a_bucket(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.record(v)
+        # rank 2 of 4: one observation below the (1, 2] bucket, so the
+        # rank sits halfway through its two observations -> 1.5
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(0.0) == pytest.approx(0.0)
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_quantile_of_overflow_clamps_to_observed_max(self):
+        h = Histogram((1.0,))
+        h.record(50.0)
+        h.record(90.0)
+        assert h.quantile(0.99) == 90.0
+
+    def test_quantile_empty_and_bad_q(self):
+        h = Histogram((1.0,))
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ParameterError):
+            h.quantile(1.5)
+
+    def test_snapshot_carries_p50_p90_p99(self):
+        h = Histogram((0.001, 0.1, 1.0))
+        for v in (0.01, 0.02, 0.05, 0.5):
+            h.record(v)
+        quantiles = h.snapshot()["quantiles"]
+        assert set(quantiles) == {"p50", "p90", "p99"}
+        assert quantiles["p50"] <= quantiles["p90"] <= quantiles["p99"]
+
     @settings(max_examples=60, deadline=None)
     @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
                               allow_nan=False), max_size=50))

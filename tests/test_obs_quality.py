@@ -1,0 +1,280 @@
+"""Tests for the online estimate-quality monitor (shadow verification).
+
+The chaos-style acceptance lives here: a monitor watching a healthy
+engine stays silent, while one watching an engine whose sketch maps
+were miscalibrated (``inject_scale_error``) raises a drift alert within
+a bounded number of shadow checks.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.export import lint_prometheus, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.quality import (
+    DriftDetector,
+    QualityAlert,
+    QualityMonitor,
+    theoretical_epsilon,
+)
+from repro.serve import SketchEngine
+from repro.testing import inject_scale_error
+
+
+def make_engine(sample_rate=1.0, seed=9, k=64):
+    engine = SketchEngine(
+        p=1.0, k=k, seed=seed,
+        quality_sample_rate=sample_rate, quality_rng=random.Random(123),
+    )
+    engine.register_array(
+        "t", np.random.default_rng(5).normal(size=(64, 64))
+    )
+    return engine
+
+
+def mixed_queries(n):
+    rng = np.random.default_rng(17)
+    queries = []
+    for index in range(n):
+        row, col = int(rng.integers(0, 32)), int(rng.integers(0, 32))
+        strategy = ("grid", "compound", "disjoint")[index % 3]
+        if strategy == "grid":
+            rect_a, rect_b = (0, 0, 8, 8), (16, 16, 8, 8)
+        elif strategy == "compound":
+            rect_a, rect_b = (row, col, 12, 12), (row, col + 16, 12, 12)
+        else:
+            rect_a, rect_b = (0, 0, 16, 16), (32, 16, 16, 16)
+        queries.append(("t", rect_a, rect_b, strategy))
+    return queries
+
+
+class TestTheoreticalEpsilon:
+    def test_matches_inverted_chernoff(self):
+        k, delta = 64, 0.05
+        assert theoretical_epsilon(k, delta) == pytest.approx(
+            math.sqrt(2.0 * math.log(2.0 / delta) / k)
+        )
+
+    def test_decreases_with_k(self):
+        assert theoretical_epsilon(256) < theoretical_epsilon(64)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            theoretical_epsilon(0)
+        with pytest.raises(ParameterError):
+            theoretical_epsilon(64, delta=0.0)
+        with pytest.raises(ParameterError):
+            theoretical_epsilon(64, delta=1.0)
+
+
+class TestDriftDetector:
+    def test_fires_after_threshold_over_net_violation(self):
+        detector = DriftDetector(threshold=1.0, allowance=0.1)
+        # net 0.4 per check -> crosses 1.0 on the third observation
+        assert not detector.update(0.5)
+        assert not detector.update(0.5)
+        assert detector.update(0.5)
+        assert detector.fired and detector.fired_at == 3
+
+    def test_fires_only_once(self):
+        detector = DriftDetector(threshold=0.5)
+        assert detector.update(1.0)
+        assert not detector.update(1.0)
+        assert detector.fired_at == 1
+
+    def test_in_band_checks_bleed_the_sum_down(self):
+        detector = DriftDetector(threshold=10.0, allowance=0.25)
+        detector.update(1.0)
+        assert detector.sum == pytest.approx(0.75)
+        detector.update(0.0)
+        assert detector.sum == pytest.approx(0.5)
+        detector.update(0.0)
+        detector.update(0.0)
+        assert detector.sum == 0.0  # clamped, never negative
+
+    def test_reset(self):
+        detector = DriftDetector(threshold=0.5)
+        detector.update(1.0)
+        detector.reset()
+        assert not detector.fired
+        assert detector.sum == 0.0 and detector.observations == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            DriftDetector(threshold=0.0)
+        with pytest.raises(ParameterError):
+            DriftDetector(allowance=-0.1)
+
+
+class TestQualityAlert:
+    def test_as_dict_round_trip(self):
+        alert = QualityAlert("drift", "t", "grid", 1.25, 1.0, 34, 1.0, 64)
+        payload = alert.as_dict()
+        assert payload["kind"] == "drift"
+        assert payload["table"] == "t" and payload["strategy"] == "grid"
+        assert payload["observed"] == 1.25 and payload["bound"] == 1.0
+        assert payload["checks"] == 34
+        assert "after 34 checks" in repr(alert)
+
+
+class TestQualityMonitorUnit:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ParameterError):
+            QualityMonitor(sample_rate=1.5)
+        with pytest.raises(ParameterError):
+            QualityMonitor(epsilon=0.0)
+        with pytest.raises(ParameterError):
+            QualityMonitor(quantile=1.0)
+
+    def test_sampling_is_deterministic_with_injected_rng(self):
+        draws_a = QualityMonitor(sample_rate=0.5, rng=random.Random(7))
+        draws_b = QualityMonitor(sample_rate=0.5, rng=random.Random(7))
+        schedule = [draws_a.should_sample() for _ in range(50)]
+        assert schedule == [draws_b.should_sample() for _ in range(50)]
+        assert any(schedule) and not all(schedule)
+
+    def test_rate_edges_skip_the_rng(self):
+        class Exploding(random.Random):
+            def random(self):  # pragma: no cover - must never run
+                raise AssertionError("rate 0/1 must not draw")
+
+        off = QualityMonitor(sample_rate=0.0, rng=Exploding())
+        on = QualityMonitor(sample_rate=1.0, rng=Exploding())
+        assert not off.should_sample()
+        assert on.should_sample()
+
+    def test_epsilon_for_prefers_explicit_guarantee(self):
+        fixed = QualityMonitor(epsilon=0.2)
+        derived = QualityMonitor()
+        assert fixed.epsilon_for(64) == 0.2
+        assert derived.epsilon_for(64) == pytest.approx(theoretical_epsilon(64))
+
+
+class TestShadowVerification:
+    def test_healthy_run_stays_silent(self):
+        engine = make_engine(sample_rate=1.0)
+        engine.query(mixed_queries(90))
+        quality = engine.quality
+        assert quality.checks >= 60  # near-zero exacts may be skipped
+        assert quality.alerts() == []
+        snapshot = quality.snapshot()
+        assert snapshot["alerts"] == []
+        assert set(snapshot["series"]) >= {"t/grid", "t/compound"}
+
+    def test_drift_alert_fires_quickly_after_injected_scale_error(self):
+        engine = make_engine(sample_rate=1.0)
+        # Shadow the map builder *before* any maps are cached, so every
+        # served estimate is scaled while the exact distance is not.
+        restore = inject_scale_error(engine.pool("t"), 2.0)
+        try:
+            engine.query(mixed_queries(90))
+        finally:
+            restore()
+        kinds = {alert.kind for alert in engine.quality.alerts()}
+        assert "drift" in kinds
+        drift = next(
+            a for a in engine.quality.alerts() if a.kind == "drift"
+        )
+        # ratio ~2 against eps(64) ~ 0.34 ramps the CUSUM fast: the
+        # alarm must land within a handful of checks, not hundreds.
+        assert drift.checks <= 30
+        assert drift.observed >= drift.bound
+
+    def test_quantile_breach_alert_on_miscalibration(self):
+        engine = make_engine(sample_rate=1.0)
+        restore = inject_scale_error(engine.pool("t"), 2.0)
+        try:
+            engine.query(mixed_queries(90))
+        finally:
+            restore()
+        breaches = [
+            a for a in engine.quality.alerts() if a.kind == "quantile_breach"
+        ]
+        assert breaches
+        assert all(a.observed > a.bound for a in breaches)
+
+    def test_alerts_deduplicate_per_series_and_kind(self):
+        engine = make_engine(sample_rate=1.0)
+        restore = inject_scale_error(engine.pool("t"), 2.0)
+        try:
+            engine.query(mixed_queries(60))
+            before = len(engine.quality.alerts())
+            engine.query(mixed_queries(60))
+        finally:
+            restore()
+        assert len(engine.quality.alerts()) == before
+
+    def test_near_zero_exact_is_skipped(self):
+        engine = make_engine(sample_rate=1.0)
+        result = engine.distance("t", (0, 0, 8, 8), (0, 0, 8, 8))
+        quality = engine.quality
+        # identical rectangles -> exact distance 0 -> check skipped
+        assert math.isnan(
+            quality.verify("t", engine.pool("t"),
+                           _parse_one(engine, ("t", (0, 0, 8, 8), (0, 0, 8, 8))),
+                           result)
+        )
+
+    def test_zero_rate_disables_the_shadow_path(self):
+        engine = make_engine(sample_rate=0.0)
+        engine.query(mixed_queries(30))
+        assert engine.quality.checks == 0
+        spans = [s["name"] for s in engine.tracer.timeline()]
+        assert "quality.verify" not in spans
+
+    def test_verify_span_wraps_the_shadow_work(self):
+        engine = make_engine(sample_rate=1.0)
+        engine.query(mixed_queries(9))
+        spans = [s["name"] for s in engine.tracer.timeline()]
+        assert "quality.verify" in spans
+
+    def test_observe_batch_ignores_unknown_tables(self):
+        quality = QualityMonitor(sample_rate=1.0, rng=random.Random(3))
+        engine = make_engine(sample_rate=0.0)
+        queries = [_parse_one(engine, q) for q in mixed_queries(6)]
+        results = engine.query(mixed_queries(6))
+        assert quality.observe_batch(queries, results, lambda name: None) == 0
+
+    def test_reset_clears_alerts_and_counters(self):
+        engine = make_engine(sample_rate=1.0)
+        restore = inject_scale_error(engine.pool("t"), 2.0)
+        try:
+            engine.query(mixed_queries(60))
+        finally:
+            restore()
+        assert engine.quality.alerts()
+        engine.quality.reset()
+        assert engine.quality.alerts() == []
+        assert engine.quality.checks == 0
+
+
+class TestEngineAndExportIntegration:
+    def test_stats_snapshot_carries_quality_section(self):
+        engine = make_engine(sample_rate=1.0)
+        engine.query(mixed_queries(30))
+        snapshot = engine.stats_snapshot()
+        quality = snapshot["quality"]
+        assert quality["sample_rate"] == 1.0
+        assert quality["checks"] >= 20
+        assert "series" in quality and quality["series"]
+
+    def test_rel_error_histograms_render_and_lint_clean(self):
+        engine = make_engine(sample_rate=1.0)
+        engine.query(mixed_queries(30))
+        text = render_prometheus(engine.registry.snapshot())
+        assert lint_prometheus(text) == []
+        assert "estimate_rel_error_bucket" in text
+        assert 'table="t"' in text and 'strategy="grid"' in text
+        assert "quality_checks_total" in text
+
+
+def _parse_one(engine, query):
+    from repro.serve.planner import RectQuery
+
+    return RectQuery.parse(query)

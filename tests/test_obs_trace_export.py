@@ -129,6 +129,53 @@ class TestPrometheusExport:
     def test_lint_requires_type_before_samples(self):
         assert lint_prometheus("orphan_metric 1\n") != []
 
+    def test_label_values_escape_quotes_commas_and_newlines(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", table='she said "a,b"\nc\\d').inc()
+        text = render_prometheus(reg.snapshot())
+        assert lint_prometheus(text) == []
+        assert 'table="she said \\"a,b\\"\\nc\\\\d"' in text
+
+    def test_help_text_escapes_but_keeps_quotes(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", help='Counts "hits"\nper table.').inc()
+        text = render_prometheus(reg.snapshot())
+        assert lint_prometheus(text) == []
+        assert '# HELP hits_total Counts "hits"\\nper table.' in text
+
+    def test_explicit_inf_edge_emits_one_inf_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", edges=(1.0, float("inf")))
+        h.record(0.5)
+        h.record(99.0)
+        text = render_prometheus(reg.snapshot())
+        assert lint_prometheus(text) == []
+        assert text.count('le="+Inf"') == 1
+        assert 'h_seconds_bucket{le="+Inf"} 2' in text
+
+    def test_lint_catches_duplicate_inf_bucket(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 2\n'
+            'h_bucket{le="+Inf"} 2\n'
+            "h_sum 1.0\nh_count 2\n"
+        )
+        assert any("duplicate le" in p for p in lint_prometheus(bad))
+
+    def test_lint_catches_duplicate_label_keys(self):
+        bad = (
+            "# TYPE hits_total counter\n"
+            'hits_total{table="a",table="b"} 1\n'
+        )
+        assert any("duplicate label" in p for p in lint_prometheus(bad))
+
+    def test_lint_catches_unterminated_label_value(self):
+        bad = (
+            "# TYPE hits_total counter\n"
+            'hits_total{table="a} 1\n'
+        )
+        assert lint_prometheus(bad) != []
+
 
 class TestStructuredLogger:
     def test_default_level_suppresses_info(self):

@@ -1,0 +1,184 @@
+"""Tests for cross-process trace propagation (client -> server -> planner).
+
+One trace id, minted by the client, must thread through the wire frame,
+the server's request handling, the engine, and the planner, land in the
+structured request log, and come back over the ``trace`` wire op so
+``repro trace`` can render the merged timeline.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import socket
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.obs.export import StructuredLogger
+from repro.obs.trace import render_trace
+from repro.serve import Client, SketchEngine, SketchServer
+
+
+@pytest.fixture(scope="module")
+def stack():
+    engine = SketchEngine(p=1.0, k=16, seed=2)
+    engine.register_array(
+        "t", np.random.default_rng(8).normal(size=(64, 64))
+    )
+    stream = io.StringIO()
+    logger = StructuredLogger("t", level="info", stream=stream)
+    with SketchServer(engine, logger=logger) as server:
+        server.start()
+        yield server, stream
+
+
+@pytest.fixture()
+def client(stack):
+    server, _ = stack
+    with Client(*server.address, timeout=10.0) as cli:
+        yield cli
+
+
+def _raw_roundtrip(server, payload: bytes) -> dict:
+    with socket.create_connection(server.address, timeout=10.0) as sock:
+        sock.sendall(payload)
+        return json.loads(sock.makefile("rb").readline())
+
+
+class TestPropagation:
+    def test_one_trace_id_spans_both_processes(self, stack, client):
+        server, _ = stack
+        client.query([("t", (0, 0, 8, 8), (16, 16, 8, 8))])
+        trace_id = client.last_trace_id
+        assert trace_id is not None
+
+        client_spans = [
+            s for s in client.tracer.timeline() if s["trace_id"] == trace_id
+        ]
+        server_spans = server.engine.tracer.spans_for_trace(trace_id)
+        assert {s["name"] for s in client_spans} == {"client.request"}
+        names = {s["name"] for s in server_spans}
+        assert {"server.request", "engine.query", "planner.execute"} <= names
+
+    def test_each_request_gets_a_fresh_trace_id(self, client):
+        client.ping()
+        first = client.last_trace_id
+        client.ping()
+        assert client.last_trace_id != first
+
+    def test_trace_ids_are_deterministic_under_a_seeded_rng(self, stack):
+        server, _ = stack
+        ids = []
+        for _ in range(2):
+            import random
+
+            with Client(*server.address, rng=random.Random(99)) as cli:
+                cli.ping()
+                ids.append(cli.last_trace_id)
+        assert ids[0] == ids[1]
+
+    def test_request_log_carries_the_trace_id(self, stack, client):
+        server, stream = stack
+        client.query([("t", (0, 0, 8, 8), (16, 16, 8, 8))])
+        trace_id = client.last_trace_id
+        assert f"trace_id={trace_id}" in stream.getvalue()
+
+    def test_server_root_span_records_the_remote_parent(self, stack, client):
+        server, _ = stack
+        client.query([("t", (0, 0, 8, 8), (16, 16, 8, 8))])
+        trace_id = client.last_trace_id
+        [client_span] = [
+            s for s in client.tracer.timeline() if s["trace_id"] == trace_id
+        ]
+        [root] = [
+            s for s in server.engine.tracer.spans_for_trace(trace_id)
+            if s["name"] == "server.request"
+        ]
+        # attrs are stringified for the timeline; compare the int form
+        assert int(root["attrs"]["remote_parent"]) == client_span["span_id"]
+
+
+class TestTraceWireOp:
+    def test_trace_op_returns_server_spans(self, client):
+        client.query([("t", (0, 0, 8, 8), (16, 16, 8, 8))])
+        trace_id = client.last_trace_id
+        spans = client.trace(trace_id)
+        assert isinstance(spans, list) and spans
+        assert all(span["trace_id"] == trace_id for span in spans)
+
+    def test_unknown_trace_returns_empty_list(self, client):
+        assert client.trace("feedfacefeedface") == []
+
+    def test_trace_op_requires_a_trace_id(self, stack):
+        server, _ = stack
+        response = _raw_roundtrip(server, b'{"op": "trace"}\n')
+        assert response["ok"] is False
+        assert response["error"]["type"] == "ProtocolError"
+
+
+class TestRenderedTimeline:
+    def test_merged_tree_nests_server_under_client(self, stack, client):
+        server, _ = stack
+        client.query([("t", (0, 0, 8, 8), (16, 16, 8, 8))])
+        trace_id = client.last_trace_id
+        text = render_trace(
+            {
+                "client": client.tracer.timeline(),
+                "server": client.trace(trace_id),
+            },
+            trace_id,
+        )
+        lines = text.splitlines()
+        assert lines[0] == f"trace {trace_id}"
+        indent = {
+            name: next(
+                line.index("- ") for line in lines if f"- {name} " in line
+            )
+            for name in ("client.request", "server.request",
+                         "engine.query", "planner.execute")
+        }
+        assert (indent["client.request"] < indent["server.request"]
+                < indent["engine.query"] < indent["planner.execute"])
+
+    def test_unknown_trace_renders_a_clear_message(self):
+        text = render_trace({"client": []}, "deadbeef")
+        assert "no spans found" in text
+
+
+class TestTraceCli:
+    def test_from_json_rendering(self, stack, client, tmp_path, capsys):
+        from repro.__main__ import main
+
+        server, _ = stack
+        client.query([("t", (0, 0, 8, 8), (16, 16, 8, 8))])
+        trace_id = client.last_trace_id
+        dump = tmp_path / "client.json"
+        dump.write_text(json.dumps(client.tracer.timeline()))
+
+        host, port = server.address
+        exit_code = main([
+            "trace", trace_id, "--from-json", str(dump),
+            "--host", host, "--port", str(port),
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert f"trace {trace_id}" in out
+        assert "client.request" in out and "[client]" in out
+        assert "server.request" in out and "[server]" in out
+
+    def test_no_server_requires_a_source(self, capsys):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit, match="nothing to render"):
+            main(["trace", "deadbeef", "--no-server"])
+
+    def test_bad_span_dump_is_rejected(self, tmp_path):
+        from repro.__main__ import main
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not": "a list"}')
+        with pytest.raises(SystemExit, match="not a JSON array"):
+            main(["trace", "deadbeef", "--no-server",
+                  "--from-json", str(bad)])
