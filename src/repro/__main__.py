@@ -16,6 +16,11 @@ Commands
 ``serve``
     Start the JSON-lines sketch query server over registered tables
     (pool archives are memory-mapped, not copied).
+``shard-serve``
+    Start a sharded serving tier: spawn N worker processes that
+    memory-map the same pool archives, and front them with a shard
+    router speaking the ordinary server wire protocol — clients cannot
+    tell a fleet from a single server.
 ``query``
     Speak to a running server: ping it, list its tables, dump its stats,
     or answer rectangle distance queries.
@@ -56,6 +61,7 @@ _SUBSYSTEMS = [
     ("repro.data", "synthetic workloads and loaders"),
     ("repro.mining", "neighbours, regions, trends"),
     ("repro.serve", "batched query planner, engine, JSON-lines server/client"),
+    ("repro.shard", "sharded serving: hash ring, scatter/gather router, workers"),
     ("repro.testing", "fault injection: scripted flaky transports for chaos tests"),
     ("repro.experiments", "per-figure reproduction harness"),
 ]
@@ -195,6 +201,86 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_shard_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.obs.export import StructuredLogger
+    from repro.serve import RetryPolicy, SketchServer
+    from repro.shard import ShardCluster, ShardRouter, WorkerConfig
+
+    archives: dict[str, str] = {}
+    for spec in args.table:
+        name, path = _parse_table_spec(spec)
+        if path.suffix != ".npz":
+            raise SystemExit(
+                f"shard workers need pool archives (.npz), got {path} — "
+                f"run 'repro pool' on the table first"
+            )
+        archives[name] = str(path)
+    overrides = {}
+    for pin in args.pin or []:
+        table, sep, shard = pin.partition("=")
+        if not sep or not table or not shard:
+            raise SystemExit(f"--pin expects TABLE=SHARD, got {pin!r}")
+        overrides[table] = shard
+    configs = [
+        WorkerConfig(
+            f"s{index}",
+            archives=archives,
+            p=args.p, k=args.k, seed=args.seed,
+            min_exponent=args.min_exponent, method=args.method,
+            max_bytes=args.max_bytes,
+            max_inflight=args.max_inflight,
+            max_batch_queries=args.max_batch_queries,
+            drain_timeout=args.drain_timeout,
+            log_level=args.log_level,
+        )
+        for index in range(args.workers)
+    ]
+    logger = StructuredLogger("repro.shard", level=args.log_level)
+    with ShardCluster(configs) as cluster:
+        specs = cluster.specs
+        print(f"spawned {len(specs)} worker(s): "
+              + ", ".join(f"{s.name}@{s.address}" for s in specs))
+        router = ShardRouter(
+            specs,
+            overrides=overrides,
+            retry=RetryPolicy(max_attempts=max(1, args.retries)),
+            deadline=args.request_deadline,
+        )
+        for table in sorted(archives):
+            print(f"table {table} -> shard {router.owner_of(table)}")
+        with router:
+            server = SketchServer(
+                router, host=args.host, port=args.port, logger=logger,
+                max_batch_queries=args.max_batch_queries,
+                drain_timeout=args.drain_timeout,
+            )
+            host, port = server.address
+            print(f"routing {len(archives)} table(s) over {len(specs)} "
+                  f"shard(s) on {host}:{port}", flush=True)
+            # Accept loop in a background thread; the main thread waits
+            # for a shutdown signal.  Handlers are installed explicitly
+            # because a shell-backgrounded process inherits SIGINT as
+            # ignored — the CI smoke job drains exactly this way.
+            stop = threading.Event()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                signal.signal(signum, lambda *_: stop.set())
+            server.start()
+            try:
+                stop.wait()
+            except KeyboardInterrupt:
+                pass
+            print("draining...", file=sys.stderr)
+            clean = server.stop()
+            print(
+                f"drained {'cleanly' if clean else 'with abandoned requests'}",
+                file=sys.stderr,
+            )
+    return 0
+
+
 def _cmd_query(args) -> int:
     import json
 
@@ -298,6 +384,25 @@ def _print_stats_summary(snapshot: dict) -> None:
             line += (f" drains={drain_hist['count']} "
                      f"drain_mean={drain_hist['mean']:.3g}s")
         print(line)
+    # Shard-router snapshots: a fleet roll-up plus one line per shard
+    # (single-process engine snapshots have none of these keys).
+    aggregate = snapshot.get("aggregate")
+    if aggregate:
+        print(f"fleet:    shards={aggregate.get('shards', 0)} "
+              f"queries={aggregate.get('queries', 0)} "
+              f"sheds={aggregate.get('sheds_total', 0)}")
+    for name, shard in sorted(snapshot.get("shards", {}).items()):
+        requests = shard.get("requests", {}) or {}
+        errors = shard.get("errors", {}) or {}
+        latency = shard.get("latency_seconds", {}) or {}
+        line = (f"shard {name}: requests={sum(requests.values())} "
+                f"errors={sum(errors.values())} "
+                f"queries={shard.get('queries', 0)}")
+        if latency.get("count"):
+            line += f" mean={latency['mean']:.6g}s" + quantile_text(latency)
+        print(line)
+    for name, reason in sorted(snapshot.get("shards_unreachable", {}).items()):
+        print(f"shard {name}: UNREACHABLE ({reason})")
     for name, table in sorted(snapshot.get("tables", {}).items()):
         pipeline = table.get("pipeline", {})
         reused = pipeline.get("data_ffts_reused", 0)
@@ -471,6 +576,53 @@ def main(argv=None) -> int:
                        help="fraction of served queries shadow-verified "
                             "against the exact distance (0 disables)")
 
+    shard_serve = commands.add_parser(
+        "shard-serve",
+        help="spawn N shard workers and front them with a scatter/gather router",
+    )
+    shard_serve.add_argument("--table", action="append", required=True,
+                             metavar="NAME=PATH",
+                             help="register a pool archive (.npz) on every "
+                                  "worker (memory-mapped); repeatable")
+    shard_serve.add_argument("--workers", type=int, default=2,
+                             help="shard worker processes to spawn")
+    shard_serve.add_argument("--pin", action="append", metavar="TABLE=SHARD",
+                             help="pin a table to a shard (s0..sN-1) instead "
+                                  "of consistent hashing; repeatable")
+    shard_serve.add_argument("--host", default="127.0.0.1",
+                             help="router bind address")
+    shard_serve.add_argument("--port", type=int, default=7337,
+                             help="router bind port (0 = any; workers always "
+                                  "pick free ports)")
+    shard_serve.add_argument("--p", type=float, default=1.0, help="default Lp index")
+    shard_serve.add_argument("--k", type=int, default=60, help="default sketch size")
+    shard_serve.add_argument("--seed", type=int, default=0,
+                             help="default generator seed")
+    shard_serve.add_argument("--min-exponent", type=int, default=3,
+                             help="default smallest pooled dyadic exponent")
+    shard_serve.add_argument("--method", default="auto", help="estimator method")
+    shard_serve.add_argument("--max-bytes", type=int, default=None,
+                             help="per-worker byte budget for built maps")
+    shard_serve.add_argument("--log-level", default="warning",
+                             choices=("debug", "info", "warning", "error"),
+                             help="structured log level for router and workers")
+    shard_serve.add_argument("--max-inflight", type=int, default=None,
+                             help="per-shard backpressure: each worker sheds "
+                                  "query requests beyond this many concurrent "
+                                  "executions")
+    shard_serve.add_argument("--max-batch-queries", type=int, default=None,
+                             help="shed query batches larger than this many "
+                                  "queries (router and workers)")
+    shard_serve.add_argument("--drain-timeout", type=float, default=5.0,
+                             help="seconds to wait for in-flight batches on "
+                                  "shutdown (router and workers)")
+    shard_serve.add_argument("--retries", type=int, default=4,
+                             help="router->shard attempts per request for "
+                                  "transient failures; 1 disables")
+    shard_serve.add_argument("--request-deadline", type=float, default=None,
+                             help="router->shard per-request budget in "
+                                  "seconds across all retries")
+
     query = commands.add_parser("query", help="talk to a running sketch server")
     query.add_argument("queries", nargs="*",
                        metavar="TABLE:r,c,h,w:r,c,h,w[:strategy]",
@@ -523,8 +675,10 @@ def main(argv=None) -> int:
         "bench", help="run the continuous benchmark harness"
     )
     bench.add_argument("--suite", action="append",
-                       choices=("serving", "pipeline"),
-                       help="suites to run (default: both); repeatable")
+                       choices=("serving", "pipeline", "serving-sharded"),
+                       help="suites to run (default: all three; "
+                            "serving-sharded spawns real worker processes); "
+                            "repeatable")
     bench.add_argument("--quick", action="store_true",
                        help="smaller workloads for CI smoke runs")
     bench.add_argument("--out", default="benchmarks",
@@ -548,6 +702,7 @@ def main(argv=None) -> int:
         "sketch": _cmd_sketch,
         "pool": _cmd_pool,
         "serve": _cmd_serve,
+        "shard-serve": _cmd_shard_serve,
         "query": _cmd_query,
         "stats": _cmd_stats,
         "trace": _cmd_trace,

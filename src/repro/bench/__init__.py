@@ -15,6 +15,7 @@ from repro.bench.runner import (
     BenchResult,
     bench_pipeline,
     bench_serving,
+    bench_serving_sharded,
     compare_to_baseline,
     git_sha,
     machine_fingerprint,
@@ -25,6 +26,7 @@ from repro.bench.runner import (
 __all__ = [
     "BenchResult",
     "bench_serving",
+    "bench_serving_sharded",
     "bench_pipeline",
     "compare_to_baseline",
     "git_sha",

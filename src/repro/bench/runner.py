@@ -1,6 +1,6 @@
 """The continuous benchmark runner behind ``repro bench``.
 
-Two suites, both seeded and headless:
+Three suites, all seeded and headless:
 
 ``serving``
     The mixed grid/compound/disjoint rectangle-query workload from the
@@ -13,6 +13,17 @@ Two suites, both seeded and headless:
 ``pipeline``
     Theorem-6 preprocessing: :meth:`~repro.core.pool.SketchPool.build_all`
     over all four streams of a fresh table, timed per map.
+``serving-sharded``
+    The same mixed workload spread over several tables and pushed by
+    concurrent client threads through a real multi-process topology:
+    first against a single spawned worker (the baseline), then through
+    a :class:`~repro.shard.ShardRouter` scattering over N spawned
+    workers.  Records aggregate QPS for both topologies and their
+    ratio; entries land in the *serving* trajectory file so the serving
+    story stays in one ledger.  NOTE: the speedup is bounded by the
+    host's core count (recorded in every entry's machine fingerprint) —
+    on a single-core host the sharded topology pays scatter overhead
+    for no extra compute and the ratio honestly reflects that.
 
 Each run appends one *trajectory entry* to ``BENCH_<suite>.json`` — a
 JSON list the file accumulates across runs, same shape the benchmark
@@ -42,6 +53,7 @@ from repro.errors import ParameterError
 __all__ = [
     "BenchResult",
     "bench_serving",
+    "bench_serving_sharded",
     "bench_pipeline",
     "compare_to_baseline",
     "git_sha",
@@ -50,7 +62,7 @@ __all__ = [
     "run_benchmarks",
 ]
 
-SUITES = ("serving", "pipeline")
+SUITES = ("serving", "pipeline", "serving-sharded")
 
 # Serving workload (matches benchmarks/test_bench_serving.py so the two
 # trajectories stay comparable): a 128x256 table, k=64, p=1, three-way
@@ -92,15 +104,16 @@ def git_sha(cwd: Path | None = None) -> str | None:
 
 
 def percentiles(samples) -> dict:
-    """p50/p90/p99 plus count/mean/max of a sample list (empty-safe)."""
+    """p50/p90/p99 plus count/mean/min/max of a sample list (empty-safe)."""
     values = [float(v) for v in samples]
     if not values:
-        return {"count": 0, "mean": 0.0, "max": 0.0,
+        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
                 "p50": 0.0, "p90": 0.0, "p99": 0.0}
     array = np.asarray(values)
     return {
         "count": len(values),
         "mean": float(array.mean()),
+        "min": float(array.min()),
         "max": float(array.max()),
         "p50": float(np.percentile(array, 50)),
         "p90": float(np.percentile(array, 90)),
@@ -115,7 +128,17 @@ class BenchResult:
     ``gate_metric`` names the latency percentile the regression gate
     compares — p99 for serving (tail latency is the serving promise),
     p50 for pipeline (its p99 is the single largest FFT build, far too
-    noisy to gate a CI job on).
+    noisy to gate a CI job on), min for serving-sharded (on a contended
+    host, multi-process scheduler starvation inflates arbitrary
+    percentiles run-to-run, but a real code-path regression shifts the
+    whole distribution — including the fastest batch).
+    ``gate_tolerance``, when set, replaces the runner-wide
+    ``max_regress`` allowance for this suite — the sharded suite widens
+    it because even its best-case batch moves with the scheduler when
+    workers outnumber cores.  ``trajectory`` overrides which
+    ``BENCH_<name>.json`` file the entry is appended to (the sharded
+    serving suite appends to the ``serving`` trajectory so both
+    topologies share one ledger); the baseline key stays ``suite``.
     """
 
     suite: str
@@ -123,6 +146,12 @@ class BenchResult:
     latency_seconds: dict
     extras: dict = field(default_factory=dict)
     gate_metric: str = "p99"
+    gate_tolerance: float | None = None
+    trajectory: str | None = None
+
+    @property
+    def trajectory_name(self) -> str:
+        return self.trajectory if self.trajectory else self.suite
 
     @property
     def p99(self) -> float:
@@ -146,10 +175,17 @@ class BenchResult:
         return out
 
 
-def _mixed_queries(n: int, shape: tuple[int, int]) -> list:
-    """The three-way strategy mix the serving benchmarks share."""
+def _mixed_queries(n: int, shape: tuple[int, int], tables=("bench",)) -> list:
+    """The three-way strategy mix the serving benchmarks share.
+
+    ``tables`` spreads the queries round-robin over several table names
+    (the sharded suite routes by table, so a multi-table workload is
+    what actually exercises the scatter path); the default single name
+    keeps the classic serving suite byte-identical to its history.
+    """
     from repro.serve import RectQuery
 
+    tables = list(tables)
     rng = np.random.default_rng(23)
     queries = []
     for index in range(n):
@@ -171,7 +207,7 @@ def _mixed_queries(n: int, shape: tuple[int, int]) -> list:
         row_b = int(rng.integers(0, shape[0] - height + 1))
         col_b = int(rng.integers(0, shape[1] - width + 1))
         queries.append(RectQuery(
-            "bench", (row_a, col_a, height, width),
+            tables[index % len(tables)], (row_a, col_a, height, width),
             (row_b, col_b, height, width), strategy,
         ))
     return queries
@@ -315,7 +351,169 @@ def bench_pipeline(quick: bool = False) -> BenchResult:
     )
 
 
-_SUITE_RUNNERS = {"serving": bench_serving, "pipeline": bench_pipeline}
+def _drive_concurrent(run_batch, batches, n_threads: int, rounds: int):
+    """Push every batch through ``run_batch`` from ``n_threads`` threads.
+
+    Each thread owns a strided slice of the batch list and replays it
+    ``rounds`` times; returns ``(wall_seconds, batch_latencies)`` where
+    the wall clock covers all threads start-to-join (that is what
+    aggregate QPS divides by) and the latencies are every individual
+    batch timing across threads and rounds.
+    """
+    import threading
+
+    latencies: list[float] = []
+    lock = threading.Lock()
+    failures: list[BaseException] = []
+
+    def worker(tid: int) -> None:
+        local = []
+        try:
+            for _ in range(rounds):
+                for index in range(tid, len(batches), n_threads):
+                    begin = time.perf_counter()
+                    run_batch(tid, batches[index])
+                    local.append(time.perf_counter() - begin)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            with lock:
+                failures.append(exc)
+            return
+        with lock:
+            latencies.extend(local)
+
+    threads = [
+        threading.Thread(target=worker, args=(tid,), daemon=True)
+        for tid in range(n_threads)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    if failures:
+        raise failures[0]
+    return wall, latencies
+
+
+def bench_serving_sharded(quick: bool = False, workers: int | None = None) -> BenchResult:
+    """The sharded suite: concurrent load vs one worker, then N workers.
+
+    Builds one pool archive, registers it under several table names in
+    every worker (workers memory-map it, so the fleet shares the
+    bytes), then pushes the same multi-table mixed workload from
+    concurrent client threads through two real process topologies:
+
+    * **baseline** — one spawned worker, each thread with its own
+      :class:`~repro.serve.Client`;
+    * **sharded** — N spawned workers behind one shared
+      :class:`~repro.shard.ShardRouter`.
+
+    Both topologies get one untimed warm-up pass (map builds belong to
+    the pipeline suite).  The gate metric is the sharded topology's
+    best-case (``min``) per-batch latency, not a tail percentile: with
+    more worker processes than cores, scheduler starvation stalls an
+    unpredictable subset of batches and swings p50/p99 several-fold
+    between runs, while a genuine code-path regression slows *every*
+    batch including the fastest one.  Even the min breathes with the
+    scheduler on such hosts, so the suite gates with a widened 2x
+    allowance (``gate_tolerance=1.0``) — loose enough for noise, tight
+    enough to catch a serialized scatter or an extra round-trip.  The
+    full percentile spread still lands in the trajectory entry for
+    offline reading.  Aggregate QPS
+    for both topologies and their ratio land in the entry's extras,
+    alongside the worker count — read them against the machine
+    fingerprint's ``cpu_count``, which bounds the achievable ratio.
+    """
+    import random as _random
+    import tempfile
+
+    from repro.core.generator import SketchGenerator
+    from repro.core.io import save_pool
+    from repro.core.pool import SketchPool
+    from repro.serve import Client
+    from repro.shard import ShardCluster, ShardRouter, WorkerConfig
+
+    n_workers = int(workers) if workers else (2 if quick else 4)
+    n_threads = n_workers
+    n_tables = max(4, n_workers)
+    n_queries = 240 if quick else 720
+    rounds = 2 if quick else 3
+    tables = [f"bench{i}" for i in range(n_tables)]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        data = np.random.default_rng(17).normal(size=_TABLE_SHAPE)
+        archive = str(Path(tmp) / "bench.npz")
+        save_pool(archive, SketchPool(data, SketchGenerator(p=_P, k=_K, seed=13)))
+        archives = {name: archive for name in tables}
+        queries = _mixed_queries(n_queries, _TABLE_SHAPE, tables=tables)
+        batches = [
+            queries[index : index + _BATCH]
+            for index in range(0, len(queries), _BATCH)
+        ]
+
+        def config(name: str) -> WorkerConfig:
+            return WorkerConfig(name, archives=archives, p=_P, k=_K, seed=13)
+
+        # Baseline topology: every client thread hammers one worker.
+        with ShardCluster([config("solo")]) as cluster:
+            spec = cluster.specs[0]
+            clients = [Client(spec.host, spec.port) for _ in range(n_threads)]
+            try:
+                clients[0].query(queries)  # warm the worker's maps
+                single_wall, _ = _drive_concurrent(
+                    lambda tid, batch: clients[tid].query(batch),
+                    batches, n_threads, rounds,
+                )
+            finally:
+                for client in clients:
+                    client.close()
+
+        # Sharded topology: the same threads share one router over N
+        # workers (the router's per-shard client pools handle reuse).
+        with ShardCluster([config(f"s{i}") for i in range(n_workers)]) as cluster:
+            with ShardRouter(cluster.specs, rng=_random.Random(41)) as router:
+                router.query(queries)  # warm every worker's maps
+                sharded_wall, samples = _drive_concurrent(
+                    lambda _tid, batch: router.query(batch),
+                    batches, n_threads, rounds,
+                )
+                health = router.health()
+
+    total = len(queries) * rounds
+    qps_single = total / single_wall if single_wall else 0.0
+    qps_sharded = total / sharded_wall if sharded_wall else 0.0
+    return BenchResult(
+        suite="serving-sharded",
+        workload={
+            "queries": n_queries, "rounds": rounds, "batch": _BATCH,
+            "tables": n_tables, "table_shape": list(_TABLE_SHAPE),
+            "p": _P, "k": _K, "quick": quick,
+        },
+        latency_seconds=percentiles(samples),
+        extras={
+            "workers": n_workers,
+            "client_threads": n_threads,
+            "cpu_count": os.cpu_count(),
+            "qps_single_worker": round(qps_single, 2),
+            "qps_sharded": round(qps_sharded, 2),
+            "qps_speedup": round(qps_sharded / qps_single, 4)
+            if qps_single else None,
+            "shards_healthy": health.get("shards_healthy"),
+        },
+        gate_metric="min",
+        # Even the best-case batch moves with the scheduler when worker
+        # processes outnumber cores; only a >=2x shift is a code signal.
+        gate_tolerance=1.0,
+        trajectory="serving",
+    )
+
+
+_SUITE_RUNNERS = {
+    "serving": bench_serving,
+    "pipeline": bench_pipeline,
+    "serving-sharded": bench_serving_sharded,
+}
 
 
 def append_trajectory(path: Path, entry: dict) -> list:
@@ -340,11 +538,17 @@ def compare_to_baseline(
     Returns ``{"suite", "metric", "value", "baseline", "ratio",
     "regressed"}``; ``regressed`` is ``True`` when the run's gate
     metric (see :attr:`BenchResult.gate_metric`) exceeds the baseline's
-    by more than ``max_regress`` (fractional).  A missing baseline for
-    the suite compares as not-regressed (first run on a new suite).
+    by more than ``max_regress`` (fractional).  A suite that declares
+    its own :attr:`BenchResult.gate_tolerance` uses that allowance
+    instead of ``max_regress``.  A missing baseline for the suite
+    compares as not-regressed (first run on a new suite).
     """
     if max_regress < 0:
         raise ParameterError(f"max_regress must be >= 0, got {max_regress}")
+    allowance = (
+        max_regress if result.gate_tolerance is None
+        else float(result.gate_tolerance)
+    )
     base = baseline.get(result.suite, {})
     base_value = float(base.get(result.gate_metric, 0.0) or 0.0)
     value = result.gate_value
@@ -355,7 +559,7 @@ def compare_to_baseline(
         "value": value,
         "baseline": base_value or None,
         "ratio": None if ratio is None else round(ratio, 4),
-        "regressed": bool(base_value) and value > base_value * (1.0 + max_regress),
+        "regressed": bool(base_value) and value > base_value * (1.0 + allowance),
     }
 
 
@@ -400,7 +604,7 @@ def run_benchmarks(
     for suite in suites:
         result = _SUITE_RUNNERS[suite](quick=quick)
         history = append_trajectory(
-            out_dir / f"BENCH_{suite}.json", result.entry()
+            out_dir / f"BENCH_{result.trajectory_name}.json", result.entry()
         )
         verdict = compare_to_baseline(result, baseline, max_regress)
         line = (
@@ -423,11 +627,20 @@ def run_benchmarks(
                  f"{overhead.get('sample_rate', 0):.0%} sampling: "
                  f"{overhead.get('fraction', 0):+.2%} "
                  f"({overhead.get('checks', 0)} checks)")
+        if suite == "serving-sharded":
+            extras = result.extras
+            speedup = extras.get("qps_speedup")
+            echo(f"serving-sharded: {extras.get('workers')} workers on "
+                 f"{extras.get('cpu_count')} cpu(s): "
+                 f"qps {extras.get('qps_single_worker')} -> "
+                 f"{extras.get('qps_sharded')} "
+                 f"(x{speedup if speedup is not None else '?'})")
         if verdict["regressed"]:
             failed = True
         new_baseline[suite] = {
             "p99": result.p99,
             "p50": result.latency_seconds["p50"],
+            "min": result.latency_seconds.get("min", 0.0),
             "git_sha": git_sha(),
             "quick": quick,
             "recorded": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -440,6 +653,6 @@ def run_benchmarks(
         )
         echo(f"baseline written to {baseline_path}")
     if gate and failed:
-        echo(f"FAIL: regression beyond {max_regress:.0%} of the baseline")
+        echo("FAIL: regression beyond the baseline allowance")
         return 2
     return 0

@@ -268,7 +268,7 @@ class SketchPool:
             help="Bytes currently held by built maps.", **self._obs_labels,
         )
         self._registry.gauge_function(
-            "pool_maps_cached", lambda: len(self._maps),
+            "pool_maps_cached", lambda: self.maps_cached,
             help="Built maps currently resident.", **self._obs_labels,
         )
         # Pre-create the builds family so a pool serving entirely from
@@ -399,6 +399,13 @@ class SketchPool:
         """Memory held by the built maps."""
         with self._lock:
             return sum(m.nbytes for m in self._maps.values())
+
+    @property
+    def maps_cached(self) -> int:
+        """Built maps currently resident (taken under the pool lock, so
+        it is safe to read while a racing query builds or evicts)."""
+        with self._lock:
+            return len(self._maps)
 
     def _map(self, row_exp: int, col_exp: int, stream: int) -> np.ndarray:
         if not (self.min_exponent <= row_exp <= self.max_row_exponent):

@@ -116,6 +116,21 @@ class ServerDrainingError(TransientServeError):
     code = "RETRY_LATER"
 
 
+class ShardUnavailableError(TransientServeError):
+    """A shard worker could not be reached while routing a batch.
+
+    Raised by :class:`~repro.shard.router.ShardRouter` when the
+    per-shard client gave up on a worker (connection loss or retry
+    exhaustion); the failed shard's name and address are in the
+    message and the underlying error is chained.  Carries
+    ``RETRY_LATER``: the fleet may heal (worker restart, failover), so
+    backing off and retrying against the router is the right move.
+    Queries routed entirely to healthy shards are unaffected.
+    """
+
+    code = "RETRY_LATER"
+
+
 class RetriesExhaustedError(ServeError):
     """Every retry attempt failed; ``__cause__`` is the last error.
 

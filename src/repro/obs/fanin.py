@@ -1,0 +1,132 @@
+"""Fan-in merging of per-shard observability payloads.
+
+A shard router fronts N worker processes, each with its own
+:class:`~repro.serve.stats.EngineStats` snapshot and
+:class:`~repro.obs.trace.Tracer` timeline.  Monitoring wants *one*
+answer — total queries, fleet error counts, a single trace tree — so
+these helpers merge the per-shard payloads without losing the per-shard
+detail:
+
+:func:`merge_stats_snapshots`
+    Sums the countable parts of several engine snapshots (requests and
+    errors per op, query counts, shed counts, latency count/mean) into
+    one aggregate dict.  Quantiles deliberately do **not** merge —
+    percentiles of percentiles are statistics malpractice — so the
+    aggregate carries per-shard p99s side by side instead.
+
+:func:`merge_span_sources`
+    Flattens span lists from several processes into one list with
+    globally unique span ids, preserving lineage.  Span ids are only
+    unique *within* a process, so each source's ids (and parent ids)
+    are offset into a disjoint range; each span is also stamped with a
+    ``shard`` attribute naming its source.  ``remote_parent``
+    attributes are left untouched: they name spans of the *router's*
+    process, whose ids are not remapped.
+"""
+
+from __future__ import annotations
+
+__all__ = ["merge_stats_snapshots", "merge_span_sources", "SOURCE_ID_STRIDE"]
+
+# Disjoint id ranges per merged source; a process would need a million
+# retained spans to collide, and tracer timelines are capped far below.
+SOURCE_ID_STRIDE = 1_000_000
+
+
+def _sum_into(total: dict, part: dict) -> None:
+    for key, value in part.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            total[key] = total.get(key, 0) + value
+
+
+def merge_stats_snapshots(snapshots: dict[str, dict]) -> dict:
+    """Aggregate several engine-stats snapshots into one fleet view.
+
+    Parameters
+    ----------
+    snapshots:
+        Mapping of shard name to that worker's
+        :meth:`~repro.serve.engine.SketchEngine.stats_snapshot` dict
+        (shards that could not be scraped should be omitted).
+
+    Returns
+    -------
+    dict
+        ``requests`` / ``errors`` summed per op, total ``queries``,
+        summed ``sheds_total``, a merged ``latency_seconds`` with exact
+        ``count`` / ``mean`` / ``max``, and ``latency_p99_by_shard``
+        carrying each shard's own p99 (quantiles cannot be merged).
+    """
+    requests: dict[str, int] = {}
+    errors: dict[str, int] = {}
+    queries = 0
+    sheds = 0
+    count = 0
+    weighted = 0.0
+    peak = 0.0
+    p99s: dict[str, float] = {}
+    for name, snapshot in snapshots.items():
+        if not isinstance(snapshot, dict):
+            continue
+        _sum_into(requests, snapshot.get("requests", {}) or {})
+        _sum_into(errors, snapshot.get("errors", {}) or {})
+        queries += int(snapshot.get("queries", 0) or 0)
+        metrics = snapshot.get("metrics", {}) or {}
+        for sample in metrics.get("sheds_total", {}).get("samples", []):
+            sheds += int(sample.get("value", 0) or 0)
+        latency = snapshot.get("latency_seconds", {}) or {}
+        n = int(latency.get("count", 0) or 0)
+        if n:
+            count += n
+            weighted += n * float(latency.get("mean", 0.0) or 0.0)
+            peak = max(peak, float(latency.get("max", 0.0) or 0.0))
+            quantiles = latency.get("quantiles") or {}
+            if "p99" in quantiles:
+                p99s[name] = float(quantiles["p99"])
+    return {
+        "shards": len(snapshots),
+        "requests": requests,
+        "errors": errors,
+        "queries": queries,
+        "sheds_total": sheds,
+        "latency_seconds": {
+            "count": count,
+            "mean": weighted / count if count else 0.0,
+            "max": peak,
+        },
+        "latency_p99_by_shard": p99s,
+    }
+
+
+def merge_span_sources(
+    own_spans: list[dict], shard_spans: dict[str, list[dict]]
+) -> list[dict]:
+    """One flat span list across processes, ids made globally unique.
+
+    Parameters
+    ----------
+    own_spans:
+        The merging process's spans — kept verbatim (their ids anchor
+        the ``remote_parent`` links the shards' root spans carry).
+    shard_spans:
+        Mapping of shard name to that worker's span dicts.
+
+    Returns
+    -------
+    list[dict]
+        ``own_spans`` followed by each shard's spans with ``span_id`` /
+        ``parent_id`` offset into a per-shard disjoint range and a
+        ``shard`` attribute added.
+    """
+    merged = list(own_spans)
+    for index, (name, spans) in enumerate(sorted(shard_spans.items())):
+        offset = (index + 1) * SOURCE_ID_STRIDE
+        for span in spans:
+            span = dict(span)
+            if isinstance(span.get("span_id"), int):
+                span["span_id"] = span["span_id"] + offset
+            if isinstance(span.get("parent_id"), int):
+                span["parent_id"] = span["parent_id"] + offset
+            span["attrs"] = dict(span.get("attrs") or {}, shard=name)
+            merged.append(span)
+    return merged

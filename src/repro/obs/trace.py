@@ -221,7 +221,11 @@ def render_trace(sources, trace_id: str) -> str:
         ``(source, span_id)``; a root span whose ``remote_parent``
         attribute names a span id found in another source is grafted
         under that span, which is how the server's ``server.request``
-        nests under the client's ``client.request``.
+        nests under the client's ``client.request``.  Other sources are
+        tried first, then the span's own source (never the span itself)
+        — a shard router's scatter threads are rootless in their own
+        timeline but carry ``remote_parent`` pointing at the scatter
+        span recorded by the *same* tracer.
     trace_id:
         The trace to render; spans with a different (or missing) id are
         ignored.
@@ -251,11 +255,13 @@ def render_trace(sources, trace_id: str) -> str:
         else:
             remote = span_dict.get("attrs", {}).get("remote_parent")
             if remote is not None:
-                for other_source in sources:
-                    if other_source == source:
-                        continue
-                    candidate = (other_source, _coerce_span_id(remote))
-                    if candidate in nodes:
+                remote_id = _coerce_span_id(remote)
+                ordered = [s for s in sources if s != source] + [source]
+                for other_source in ordered:
+                    candidate = (other_source, remote_id)
+                    if candidate in nodes and candidate != (
+                        source, span_dict["span_id"]
+                    ):
                         parent_key = candidate
                         break
         if parent_key is not None and parent_key in nodes:

@@ -143,6 +143,11 @@ class Client:
         Optional :class:`~repro.obs.metrics.MetricsRegistry` to account
         ``retries_total`` / ``reconnects_total`` in (own registry when
         omitted; see :attr:`resilience`).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` to record
+        ``client.request`` spans on (own tracer when omitted).  The
+        shard router passes its own tracer to every pooled client so
+        one scatter's per-shard requests land in one timeline.
 
     Usable as a context manager.  Not thread-safe: requests and
     responses pair up by order on one connection, so give each thread
@@ -168,6 +173,7 @@ class Client:
         connect: Callable[[float | None], object] | None = None,
         registry: MetricsRegistry | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        tracer: Tracer | None = None,
     ):
         self._host = host
         self._port = port
@@ -183,7 +189,9 @@ class Client:
         # The client's half of every cross-process trace: one
         # client.request span per logical request, same trace_id the
         # server's spans carry.
-        self.tracer = Tracer(self.metrics, max_spans=512)
+        self.tracer = tracer if tracer is not None else Tracer(
+            self.metrics, max_spans=512
+        )
         self.last_trace_id: str | None = None
         self._reconnects = self.metrics.counter(
             "reconnects_total", help="Connections re-dialled after a failure."
@@ -314,7 +322,13 @@ class Client:
         if self._closed:
             raise ServeError("client connection is closed")
         op = str(request.get("op", "?"))
-        trace_id = f"{self._rng.getrandbits(64):016x}"
+        # Join the thread's ambient trace when one is active (a shard
+        # router forwarding a traced request), otherwise mint a fresh
+        # id — either way every attempt of this logical request carries
+        # the same id on the wire.
+        trace_id = self.tracer.current_trace_id()
+        if trace_id is None:
+            trace_id = f"{self._rng.getrandbits(64):016x}"
         self.last_trace_id = trace_id
         with self.tracer.trace(trace_id):
             with self.tracer.span("client.request", op=op) as span_id:
@@ -334,6 +348,7 @@ class Client:
         start = time.monotonic()
         policy = self.retry if idempotent else RetryPolicy.none()
         last: BaseException | None = None
+        attempts = 0
         for attempt in range(policy.max_attempts):
             remaining = None
             if budget is not None:
@@ -354,13 +369,23 @@ class Client:
                 if not policy.is_retryable(exc) or policy.max_attempts == 1:
                     raise
                 last = exc
-                if attempt + 1 >= policy.max_attempts:
+                attempts = attempt + 1
+                if attempts >= policy.max_attempts:
                     break
                 pause = policy.backoff(attempt, self._rng)
                 if budget is not None:
                     left = budget - (time.monotonic() - start)
                     if left <= pause:
-                        break
+                        # The deadline would expire during (or right
+                        # after) this backoff: that is a deadline
+                        # failure, not a retry-budget failure — the
+                        # shard router fails over on timeouts but
+                        # counts exhaustion against the shard.
+                        raise QueryTimeoutError(
+                            f"request deadline of {budget}s expires during "
+                            f"the {pause:.3g}s backoff after {attempts} "
+                            f"attempt(s): {last}"
+                        ) from last
                 self.metrics.counter(
                     "retries_total",
                     help="Requests retried after a transient failure.",
@@ -368,6 +393,13 @@ class Client:
                 ).inc()
                 if pause > 0:
                     self._sleep(pause)
+        if budget is not None and time.monotonic() - start >= budget:
+            # The last attempt outlived the deadline; classify by the
+            # deadline, with the transient failure chained for context.
+            raise QueryTimeoutError(
+                f"request deadline of {budget}s exhausted after "
+                f"{attempts} attempt(s): {last}"
+            ) from last
         raise RetriesExhaustedError(
             f"{op!r} failed after {policy.max_attempts} attempt(s): {last}"
         ) from last

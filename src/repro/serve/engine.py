@@ -227,9 +227,10 @@ class SketchEngine:
         """The pool behind a registered table."""
         with self._registry_lock:
             pool = self._pools.get(name)
+            known = None if pool is not None else sorted(self._pools)
         if pool is None:
             raise ParameterError(
-                f"unknown table {name!r} (registered: {sorted(self._pools)})"
+                f"unknown table {name!r} (registered: {known})"
             )
         return pool
 
@@ -246,7 +247,7 @@ class SketchEngine:
                 "seed": pool.generator.seed,
                 "min_exponent": pool.min_exponent,
                 "maps_built": pool.maps_built,
-                "maps_cached": len(pool._maps),
+                "maps_cached": pool.maps_cached,
                 "map_bytes": pool.nbytes,
                 # asarray() in the pool turns a memmap into a zero-copy
                 # view, so check the base as well as the array itself
@@ -353,7 +354,9 @@ class SketchEngine:
         return self.query([(table, a, b, strategy)])[0]
 
     def __repr__(self) -> str:
+        with self._registry_lock:
+            tables = sorted(self._pools)
         return (
-            f"SketchEngine(tables={sorted(self._pools)}, "
+            f"SketchEngine(tables={tables}, "
             f"budget={self.budget.max_bytes}, queries={self.stats.queries})"
         )

@@ -195,14 +195,16 @@ class _Handler(socketserver.StreamRequestHandler):
                 continue
             start = time.perf_counter()
             trace_id = None
+            op_label = "?"
             try:
                 try:
                     request = json.loads(line)
                 except (json.JSONDecodeError, UnicodeDecodeError) as exc:
                     raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+                if isinstance(request, dict) and request.get("op") in _OPS:
+                    op_label = request["op"]
                 trace_id, remote_parent = _extract_trace(request)
-                server.check_admission(request)
-                with server.track_inflight():
+                with server.admission(request):
                     # Adopt the client's trace context: every span this
                     # request opens — server.request, engine.query, the
                     # planner's groups — carries the client's trace_id,
@@ -212,13 +214,14 @@ class _Handler(socketserver.StreamRequestHandler):
                         with server.tracer.span("server.request"):
                             op, result = _handle_request(engine, request)
             except ReproError as exc:
-                server.log_request("?", time.perf_counter() - start, error=exc,
-                                   trace_id=trace_id)
+                server.log_request(op_label, time.perf_counter() - start,
+                                   error=exc, trace_id=trace_id)
                 if not self._respond_error(exc):
                     return
                 continue
             server.log_request(op, time.perf_counter() - start,
-                               queries=result.get("results") and len(result["results"]),
+                               queries=len(result["results"])
+                               if "results" in result else None,
                                trace_id=trace_id)
             payload = {"ok": True, "result": result}
             if not self._send(payload):
@@ -237,6 +240,31 @@ class _Handler(socketserver.StreamRequestHandler):
             return True
         except (ConnectionError, OSError):
             return False
+
+
+class _Admitted:
+    """The reserved in-flight slot of one admitted request.
+
+    Created (already counted) by :meth:`SketchServer.admission`; exiting
+    releases the slot and wakes the drain gate.
+    """
+
+    __slots__ = ("_server", "_is_query")
+
+    def __init__(self, server: "SketchServer", is_query: bool):
+        self._server = server
+        self._is_query = is_query
+
+    def __enter__(self) -> "_Admitted":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        server = self._server
+        with server._inflight_cond:
+            server._inflight -= 1
+            if self._is_query:
+                server._inflight_queries -= 1
+            server._inflight_cond.notify_all()
 
 
 class SketchServer(socketserver.ThreadingTCPServer):
@@ -312,6 +340,7 @@ class SketchServer(socketserver.ThreadingTCPServer):
         self._closed = False
         self._lifecycle_lock = threading.Lock()
         self._inflight = 0
+        self._inflight_queries = 0
         self._inflight_cond = threading.Condition()
         self._draining = threading.Event()
         registry = engine.registry
@@ -344,6 +373,11 @@ class SketchServer(socketserver.ThreadingTCPServer):
         return self._inflight
 
     @property
+    def inflight_queries(self) -> int:
+        """Query requests currently executing (``max_inflight`` bounds this)."""
+        return self._inflight_queries
+
+    @property
     def draining(self) -> bool:
         """Whether a graceful drain has started."""
         return self._draining.is_set()
@@ -352,57 +386,56 @@ class SketchServer(socketserver.ThreadingTCPServer):
     # Admission control
     # ------------------------------------------------------------------
 
-    def check_admission(self, request) -> None:
-        """Refuse work the server should not take on, *before* dispatch.
+    def admission(self, request) -> "_Admitted":
+        """Atomically admit one request and reserve its in-flight slot.
+
+        Admission and the in-flight increment happen under one lock
+        hold, so ``max_inflight`` is a *hard* bound: there is no window
+        in which several racing query requests can all observe a free
+        slot and overshoot the cap together (this cap is a shard's
+        backpressure signal, so overshooting it would let a saturated
+        worker keep absorbing load).  Returns a context manager whose
+        exit releases the slot.
 
         Raises :class:`~repro.errors.ServerDrainingError` for any
         request once a drain has begun, and
         :class:`~repro.errors.ServerOverloadedError` for query requests
-        over the ``max_inflight`` / ``max_batch_queries`` caps.  Cheap
-        introspection ops are never shed by load, so health checks stay
-        honest while the engine is saturated.
+        over the ``max_inflight`` / ``max_batch_queries`` caps — in
+        either case no slot is reserved.  Cheap introspection ops are
+        never shed by load, so health checks stay honest while the
+        engine is saturated.
         """
         op = request.get("op") if isinstance(request, dict) else None
-        if self._draining.is_set():
-            self._sheds.inc()
-            raise ServerDrainingError(
-                "server is draining for shutdown; retry against another replica"
-            )
-        if op != "query":
-            return
-        if self.max_batch_queries is not None and isinstance(request, dict):
-            queries = request.get("queries")
-            if isinstance(queries, list) and len(queries) > self.max_batch_queries:
+        is_query = op == "query"
+        with self._inflight_cond:
+            if self._draining.is_set():
                 self._sheds.inc()
-                raise ServerOverloadedError(
-                    f"batch of {len(queries)} queries exceeds the per-request "
-                    f"cap of {self.max_batch_queries}; split the batch"
+                raise ServerDrainingError(
+                    "server is draining for shutdown; retry against another "
+                    "replica"
                 )
-        if self.max_inflight is not None:
-            with self._inflight_cond:
-                if self._inflight >= self.max_inflight:
+            if is_query:
+                if self.max_batch_queries is not None:
+                    queries = request.get("queries")
+                    if (isinstance(queries, list)
+                            and len(queries) > self.max_batch_queries):
+                        self._sheds.inc()
+                        raise ServerOverloadedError(
+                            f"batch of {len(queries)} queries exceeds the "
+                            f"per-request cap of {self.max_batch_queries}; "
+                            f"split the batch"
+                        )
+                if (self.max_inflight is not None
+                        and self._inflight_queries >= self.max_inflight):
                     self._sheds.inc()
                     raise ServerOverloadedError(
-                        f"{self._inflight} requests already in flight "
+                        f"{self._inflight_queries} queries already in flight "
                         f"(cap {self.max_inflight}); retry later"
                     )
-
-    def track_inflight(self):
-        """Context manager counting one executing request (drain gate)."""
-        server = self
-
-        class _Track:
-            def __enter__(self):
-                with server._inflight_cond:
-                    server._inflight += 1
-                return self
-
-            def __exit__(self, *exc_info):
-                with server._inflight_cond:
-                    server._inflight -= 1
-                    server._inflight_cond.notify_all()
-
-        return _Track()
+            self._inflight += 1
+            if is_query:
+                self._inflight_queries += 1
+        return _Admitted(self, is_query)
 
     # ------------------------------------------------------------------
     # Logging

@@ -1,0 +1,46 @@
+"""Sharded, multi-process serving: partition tables across workers.
+
+One CPython process is the serving ceiling — the GIL serialises the
+estimator work and a single accept loop serialises the wire.  This
+subpackage breaks that ceiling without touching the data layout:
+``load_pool(mmap_mode="r")`` already lets any number of worker
+processes share one on-disk sketch archive with zero RAM duplication,
+so the only missing piece is a *process topology*:
+
+:mod:`repro.shard.ring`
+    :class:`HashRing` — deterministic consistent hashing (SHA-1 points,
+    virtual nodes) — and :class:`ShardMap`, which layers explicit
+    per-table overrides on top of the ring (the seam for tile-range
+    sharding *within* a huge table later).
+:mod:`repro.shard.router`
+    :class:`ShardRouter` — splits an incoming batch by owning shard,
+    scatter/gathers it over per-shard :class:`~repro.serve.Client`
+    pools (reusing the retry/deadline machinery), reassembles results
+    in submission order, and fans in ``health`` / ``tables`` /
+    ``stats`` / ``trace``.  It is duck-compatible with
+    :class:`~repro.serve.engine.SketchEngine`, so a plain
+    :class:`~repro.serve.server.SketchServer` can front a whole fleet
+    unchanged (``python -m repro shard-serve``).
+:mod:`repro.shard.worker`
+    :class:`WorkerConfig` / :class:`ShardCluster` — spawns the worker
+    :class:`~repro.serve.server.SketchServer` processes, waits for
+    their bound addresses, and drains them on shutdown.
+
+The parity invariant: because every worker builds its pools from the
+same (data, p, k, seed), a sharded answer is **bit-identical** to a
+single-process :class:`~repro.serve.engine.SketchEngine` answering the
+same batch — the property tests pin this.
+"""
+
+from repro.shard.ring import HashRing, ShardMap
+from repro.shard.router import ShardRouter, ShardSpec
+from repro.shard.worker import ShardCluster, WorkerConfig
+
+__all__ = [
+    "HashRing",
+    "ShardMap",
+    "ShardRouter",
+    "ShardSpec",
+    "ShardCluster",
+    "WorkerConfig",
+]

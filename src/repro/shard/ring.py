@@ -1,0 +1,163 @@
+"""Consistent hashing for table placement, with explicit overrides.
+
+Routing must satisfy three constraints at once:
+
+* **Deterministic across processes.**  The router and any future
+  replica of it must agree on placement without coordination, so the
+  hash is SHA-1 over the table id (stdlib, stable), never Python's
+  ``hash()`` (salted per process by ``PYTHONHASHSEED``).
+* **Stable under resharding.**  Classic consistent hashing: each shard
+  contributes ``replicas`` virtual points on a ring; a table is owned
+  by the first point clockwise of its own hash.  Adding or removing a
+  shard moves only ~``1/n`` of the tables, so a fleet can grow without
+  re-warming every worker's page cache.
+* **Overridable.**  :class:`ShardMap` layers an explicit
+  ``{table: shard}`` mapping over the ring.  This is the seam for
+  tile-range sharding later: a huge table can be split into range
+  pseudo-tables pinned to specific shards while everything else keeps
+  hashing.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Mapping
+
+from repro.errors import ParameterError
+
+__all__ = ["HashRing", "ShardMap"]
+
+
+def _point(key: str) -> int:
+    """A stable 64-bit position on the ring for ``key``."""
+    return int.from_bytes(
+        hashlib.sha1(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes.
+
+    Parameters
+    ----------
+    nodes:
+        Shard names (non-empty, unique strings).
+    replicas:
+        Virtual points per node.  More points smooth the distribution
+        (64 keeps the max/min table-count ratio near 1 for tens of
+        tables) at the cost of a larger sorted array.
+
+    Examples
+    --------
+    >>> ring = HashRing(["s0", "s1", "s2"])
+    >>> ring.owner("calls") in {"s0", "s1", "s2"}
+    True
+    >>> ring.owner("calls") == HashRing(["s0", "s1", "s2"]).owner("calls")
+    True
+    """
+
+    def __init__(self, nodes: Iterable[str], replicas: int = 64):
+        names = list(nodes)
+        if not names:
+            raise ParameterError("a hash ring needs at least one node")
+        if len(set(names)) != len(names):
+            raise ParameterError(f"duplicate node names in {names!r}")
+        for name in names:
+            if not name or not isinstance(name, str):
+                raise ParameterError(
+                    f"node names must be non-empty strings, got {name!r}"
+                )
+        if replicas < 1:
+            raise ParameterError(f"replicas must be >= 1, got {replicas}")
+        self.nodes = tuple(names)
+        self.replicas = int(replicas)
+        points = []
+        for name in names:
+            for replica in range(self.replicas):
+                points.append((_point(f"{name}#{replica}"), name))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [name for _, name in points]
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key`` (first ring point clockwise of it)."""
+        index = bisect.bisect_right(self._hashes, _point(str(key)))
+        if index == len(self._hashes):  # wrap past the top of the ring
+            index = 0
+        return self._owners[index]
+
+    def distribution(self, keys: Iterable[str]) -> dict[str, int]:
+        """How many of ``keys`` each node owns (all nodes present)."""
+        counts = {name: 0 for name in self.nodes}
+        for key in keys:
+            counts[self.owner(key)] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return f"HashRing(nodes={list(self.nodes)}, replicas={self.replicas})"
+
+
+class ShardMap:
+    """Table placement: explicit overrides over a consistent-hash ring.
+
+    Parameters
+    ----------
+    shards:
+        Shard names, in fleet order.
+    overrides:
+        Explicit ``{table: shard}`` pins consulted before the ring.
+        Every pinned shard must be in ``shards``.
+    replicas:
+        Virtual ring points per shard (see :class:`HashRing`).
+
+    Examples
+    --------
+    >>> placement = ShardMap(["s0", "s1"], overrides={"hot": "s1"})
+    >>> placement.owner_of("hot")
+    's1'
+    """
+
+    def __init__(
+        self,
+        shards: Iterable[str],
+        overrides: Mapping[str, str] | None = None,
+        replicas: int = 64,
+    ):
+        self.ring = HashRing(shards, replicas=replicas)
+        self.overrides = dict(overrides or {})
+        unknown = sorted(
+            shard for shard in set(self.overrides.values())
+            if shard not in self.ring.nodes
+        )
+        if unknown:
+            raise ParameterError(
+                f"override targets {unknown} are not in shards "
+                f"{list(self.ring.nodes)}"
+            )
+
+    @property
+    def shards(self) -> tuple[str, ...]:
+        """The shard names, in fleet order."""
+        return self.ring.nodes
+
+    def owner_of(self, table: str) -> str:
+        """The shard that owns ``table``."""
+        pinned = self.overrides.get(table)
+        if pinned is not None:
+            return pinned
+        return self.ring.owner(table)
+
+    def as_dict(self) -> dict:
+        """JSON-safe description (for the stats fan-in)."""
+        return {
+            "shards": list(self.shards),
+            "replicas": self.ring.replicas,
+            "overrides": dict(self.overrides),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardMap(shards={list(self.shards)}, "
+            f"overrides={self.overrides})"
+        )

@@ -1,0 +1,559 @@
+"""Scatter/gather routing of query batches across shard workers.
+
+:class:`ShardRouter` fronts a fleet of
+:class:`~repro.serve.server.SketchServer` worker processes.  It is
+deliberately duck-compatible with
+:class:`~repro.serve.engine.SketchEngine` — ``query`` / ``health`` /
+``tables`` / ``stats_snapshot`` plus the ``stats`` / ``tracer`` /
+``registry`` attributes — so an unchanged :class:`SketchServer` can
+wrap a router and expose a whole fleet behind the single-process wire
+protocol (that is exactly what ``python -m repro shard-serve`` does).
+
+The request path:
+
+1. Parse the batch into :class:`~repro.serve.planner.RectQuery` objects
+   and group query *indices* by owning shard
+   (:meth:`~repro.shard.ring.ShardMap.owner_of` on the table id).
+2. Scatter: one worker thread per involved shard sends its sub-batch
+   through a pooled :class:`~repro.serve.Client` — re-using the
+   client's retry/backoff/deadline machinery verbatim.  A batch that
+   lands entirely on one shard skips the threads and runs inline.
+3. Gather: sub-results land back in their original positions, so the
+   caller sees one result list in submission order, bit-identical to a
+   single-process engine answering the same batch (the property tests
+   pin this).
+
+Failure semantics: a shard whose client gives up (connection loss or
+retry exhaustion) surfaces as
+:class:`~repro.errors.ShardUnavailableError` naming the shard, with the
+underlying error chained; deadline expiries stay
+:class:`~repro.errors.QueryTimeoutError` and engine-side errors (an
+unknown table, a bad rectangle) keep their own types.  Batches that
+touch only healthy shards are unaffected by a down shard.
+
+Observability: per-shard traffic counts in
+``shard_requests_total{shard=...}`` / ``shard_errors_total{shard=...}``;
+every batch runs inside a ``router.scatter`` span with per-shard
+``router.shard`` child spans; and the router's tracer fans *in* — asked
+for a trace id, it merges its own spans with the spans each worker
+retained for that id, so ``repro trace`` renders one cross-process tree.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.errors import (
+    ConnectionLostError,
+    ParameterError,
+    RetriesExhaustedError,
+    ShardUnavailableError,
+)
+from repro.obs.fanin import merge_span_sources, merge_stats_snapshots
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.serve.client import Client
+from repro.serve.planner import QueryResult, RectQuery
+from repro.serve.retry import RetryPolicy
+from repro.serve.stats import EngineStats
+from repro.shard.ring import ShardMap
+
+__all__ = ["ShardSpec", "ShardRouter"]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSpec:
+    """One shard worker's identity: a stable name and a dial address."""
+
+    name: str
+    host: str
+    port: int
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @classmethod
+    def parse(cls, text: str, index: int = 0) -> "ShardSpec":
+        """Parse ``host:port`` or ``name=host:port`` (CLI form).
+
+        Without an explicit name the shard is called ``s<index>`` —
+        names feed the hash ring, so keep them stable across restarts.
+        """
+        text = str(text).strip()
+        name, _, address = text.rpartition("=")
+        if not name:
+            name, address = f"s{index}", text
+        host, _, port = address.rpartition(":")
+        try:
+            return cls(name=name, host=host or "127.0.0.1", port=int(port))
+        except ValueError as exc:
+            raise ParameterError(
+                f"shard spec must look like 'host:port' or 'name=host:port', "
+                f"got {text!r}"
+            ) from exc
+
+
+def _coerce_spec(value, index: int) -> ShardSpec:
+    if isinstance(value, ShardSpec):
+        return value
+    if isinstance(value, str):
+        return ShardSpec.parse(value, index)
+    try:
+        name, host, port = value
+        return ShardSpec(name=str(name), host=str(host), port=int(port))
+    except (TypeError, ValueError) as exc:
+        raise ParameterError(
+            f"a shard must be a ShardSpec, a 'name=host:port' string, or a "
+            f"(name, host, port) tuple, got {value!r}"
+        ) from exc
+
+
+class _FanInTracer(Tracer):
+    """A tracer whose ``spans_for_trace`` also asks every shard.
+
+    The router's own spans (``router.scatter``, its per-shard children,
+    the pooled clients' ``client.request`` spans) are merged with the
+    spans each reachable worker retained for the trace id; shard span
+    ids are remapped into disjoint ranges and stamped with a ``shard``
+    attribute (see :func:`repro.obs.fanin.merge_span_sources`), so the
+    server's ``trace`` wire op run against a router returns the whole
+    cross-process tree in one response.
+    """
+
+    def __init__(self, registry, fetch: Callable[[str], dict[str, list[dict]]]):
+        super().__init__(registry)
+        self._fetch = fetch
+
+    def spans_for_trace(self, trace_id: str) -> list[dict]:
+        own = super().spans_for_trace(trace_id)
+        return merge_span_sources(own, self._fetch(str(trace_id)))
+
+
+class ShardRouter:
+    """Scatter/gather query routing over a fleet of shard workers.
+
+    Parameters
+    ----------
+    shards:
+        The fleet, in stable order: :class:`ShardSpec` objects,
+        ``(name, host, port)`` tuples, or ``"name=host:port"`` strings.
+    overrides:
+        Explicit ``{table: shard_name}`` placement pins layered over the
+        consistent-hash ring (see :class:`~repro.shard.ring.ShardMap`).
+    replicas:
+        Virtual ring points per shard.
+    timeout:
+        Socket timeout for each per-shard client.
+    retry:
+        :class:`~repro.serve.retry.RetryPolicy` for per-shard requests
+        (the client default — 4 attempts, full-jitter backoff — when
+        omitted).
+    deadline:
+        Default client-side wall-clock budget per shard request,
+        retries and backoff included.
+    rng:
+        Seeded :class:`random.Random` for deterministic backoff jitter
+        and trace ids; each pooled client gets a child rng.
+    registry:
+        :class:`~repro.obs.metrics.MetricsRegistry` for the router's
+        stats, per-shard counters, and the pooled clients' resilience
+        counters (own registry when omitted).
+    connect:
+        Optional transport factory ``(spec, timeout) -> transport``
+        forwarded to each shard's clients — the seam the chaos tests
+        use to inject per-shard faults without real dead servers.
+
+    Thread-safe: concurrent ``query`` calls draw from per-shard client
+    pools (one connection is never shared by two threads).  Usable as a
+    context manager; :meth:`close` hangs up every pooled connection.
+    """
+
+    def __init__(
+        self,
+        shards: Iterable,
+        overrides: Mapping[str, str] | None = None,
+        replicas: int = 64,
+        timeout: float | None = 30.0,
+        retry: RetryPolicy | None = None,
+        deadline: float | None = None,
+        rng: random.Random | None = None,
+        registry: MetricsRegistry | None = None,
+        connect: Callable | None = None,
+    ):
+        specs = [_coerce_spec(s, i) for i, s in enumerate(shards)]
+        self.shards = tuple(specs)
+        self.shard_map = ShardMap(
+            [spec.name for spec in specs], overrides=overrides, replicas=replicas
+        )
+        self._by_name = {spec.name: spec for spec in specs}
+        self._timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.deadline = deadline
+        self._rng = rng if rng is not None else random.Random()
+        self._connect = connect
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = EngineStats(registry=self.registry)
+        self.tracer = _FanInTracer(self.registry, self._fetch_shard_spans)
+        self._pool_lock = threading.Lock()
+        self._idle: dict[str, list[Client]] = {spec.name: [] for spec in specs}
+        self._closed = False
+        self._started = time.monotonic()
+        self.registry.gauge_function(
+            "router_shards", lambda: len(self.shards),
+            help="Shards this router scatters over.",
+        )
+
+    # ------------------------------------------------------------------
+    # Per-shard clients
+    # ------------------------------------------------------------------
+
+    def _new_client(self, spec: ShardSpec) -> Client:
+        connect = None
+        if self._connect is not None:
+            factory = self._connect
+            connect = lambda t, spec=spec: factory(spec, t)  # noqa: E731
+        return Client(
+            spec.host,
+            spec.port,
+            timeout=self._timeout,
+            retry=self.retry,
+            deadline=self.deadline,
+            rng=random.Random(self._rng.getrandbits(64)),
+            connect=connect,
+            registry=self.registry,
+            tracer=self.tracer,
+        )
+
+    def _acquire(self, name: str) -> Client:
+        with self._pool_lock:
+            if self._closed:
+                raise ShardUnavailableError("router is closed")
+            idle = self._idle[name]
+            if idle:
+                return idle.pop()
+        return self._new_client(self._by_name[name])
+
+    def _release(self, name: str, client: Client) -> None:
+        with self._pool_lock:
+            if not self._closed:
+                self._idle[name].append(client)
+                return
+        client.close()
+
+    def _shard_call(self, name: str, fn: Callable[[Client], object]):
+        """Run one client operation against a shard, typed on failure.
+
+        Connection loss and retry exhaustion — the two ways a client
+        gives a worker up — become :class:`ShardUnavailableError`
+        naming the shard; anything else (deadline expiry, engine
+        errors) passes through.  The client always goes back to the
+        pool: it tears down broken transports itself and re-dials
+        lazily, so a pooled client is never wedged.
+        """
+        spec = self._by_name.get(name)
+        if spec is None:
+            raise ParameterError(
+                f"unknown shard {name!r} (shards: {sorted(self._by_name)})"
+            )
+        self.registry.counter(
+            "shard_requests_total",
+            help="Requests routed to each shard.",
+            shard=name,
+        ).inc()
+        client = None
+        try:
+            client = self._acquire(name)
+            return fn(client)
+        except (ConnectionLostError, RetriesExhaustedError) as exc:
+            self.registry.counter(
+                "shard_errors_total",
+                help="Requests a shard failed to answer.",
+                shard=name,
+            ).inc()
+            raise ShardUnavailableError(
+                f"shard {name!r} at {spec.address} is unavailable: {exc}"
+            ) from exc
+        except Exception:
+            self.registry.counter(
+                "shard_errors_total",
+                help="Requests a shard failed to answer.",
+                shard=name,
+            ).inc()
+            raise
+        finally:
+            if client is not None:
+                self._release(name, client)
+
+    # ------------------------------------------------------------------
+    # The scatter/gather query path
+    # ------------------------------------------------------------------
+
+    def owner_of(self, table: str) -> str:
+        """The shard name owning ``table`` (overrides, then the ring)."""
+        return self.shard_map.owner_of(table)
+
+    def query(self, queries, timeout: float | None = None) -> list[QueryResult]:
+        """Answer a batch of rectangle queries across the fleet.
+
+        Accepts the same query forms as
+        :meth:`~repro.serve.engine.SketchEngine.query` and returns
+        :class:`~repro.serve.planner.QueryResult` objects in submission
+        order — results are bit-identical to a single-process engine
+        holding the same tables.  ``timeout`` is forwarded to each
+        worker as its server-side batch deadline.
+        """
+        if timeout is not None and timeout <= 0:
+            raise ParameterError(f"timeout must be positive, got {timeout}")
+        start = time.perf_counter()
+        try:
+            parsed = [RectQuery.parse(query) for query in queries]
+            if not parsed:
+                raise ParameterError("query batch is empty")
+            by_shard: dict[str, list[int]] = {}
+            for index, query in enumerate(parsed):
+                by_shard.setdefault(self.owner_of(query.table), []).append(index)
+            trace_id = self.tracer.current_trace_id()
+            if trace_id is None:
+                trace_id = f"{self._rng.getrandbits(64):016x}"
+            with self.tracer.trace(trace_id):
+                results = self._scatter(parsed, by_shard, timeout, trace_id)
+        except Exception:
+            self.stats.record_request("query", error=True)
+            raise
+        self.stats.record_request(
+            "query", batch_size=len(parsed), seconds=time.perf_counter() - start
+        )
+        return results
+
+    def _scatter(
+        self,
+        parsed: list[RectQuery],
+        by_shard: dict[str, list[int]],
+        timeout: float | None,
+        trace_id: str,
+    ) -> list[QueryResult]:
+        results: list[QueryResult | None] = [None] * len(parsed)
+        with self.tracer.span(
+            "router.scatter", shards=len(by_shard), queries=len(parsed)
+        ) as scatter_id:
+
+            def one_shard(name: str, indexes: list[int]) -> None:
+                with self.tracer.span(
+                    "router.shard", shard=name, queries=len(indexes)
+                ):
+                    sub = [parsed[i] for i in indexes]
+                    answers = self._shard_call(
+                        name, lambda client: client.query(sub, timeout=timeout)
+                    )
+                    for i, answer in zip(indexes, answers):
+                        results[i] = answer
+
+            if len(by_shard) == 1:
+                # Single-shard batch: no fan-out, no extra thread.
+                name, indexes = next(iter(by_shard.items()))
+                one_shard(name, indexes)
+            else:
+                failures: list[tuple[int, BaseException]] = []
+                failure_lock = threading.Lock()
+
+                def run(order: int, name: str, indexes: list[int]) -> None:
+                    # Worker threads start with an empty span stack, so
+                    # re-adopt the batch's trace with the scatter span
+                    # as the cross-thread parent.
+                    try:
+                        with self.tracer.trace(
+                            trace_id, remote_parent=scatter_id
+                        ):
+                            one_shard(name, indexes)
+                    except BaseException as exc:  # noqa: BLE001 - re-raised
+                        with failure_lock:
+                            failures.append((order, exc))
+
+                threads = [
+                    threading.Thread(
+                        target=run,
+                        args=(order, name, indexes),
+                        name=f"router-{name}",
+                        daemon=True,
+                    )
+                    for order, (name, indexes) in enumerate(by_shard.items())
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                if failures:
+                    # Deterministic: surface the failure of the
+                    # earliest shard in scatter order.
+                    failures.sort(key=lambda pair: pair[0])
+                    raise failures[0][1]
+        return results  # type: ignore[return-value]
+
+    def distance(self, table: str, a, b, strategy: str = "auto") -> QueryResult:
+        """Answer one query (convenience wrapper over :meth:`query`)."""
+        return self.query([(table, a, b, strategy)])[0]
+
+    # ------------------------------------------------------------------
+    # Fan-in introspection (health / tables / stats / trace)
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict:
+        """Fleet liveness: per-shard health plus an aggregate status.
+
+        ``status`` is ``"ok"`` with every shard answering,
+        ``"degraded"`` with some down, ``"down"`` with none reachable —
+        monitoring alerts on the transition, the router itself keeps
+        serving whatever shards remain.
+        """
+        shards: dict[str, dict] = {}
+        healthy = 0
+        tables = 0
+        for spec in self.shards:
+            try:
+                info = self._shard_call(spec.name, lambda client: client.health())
+                shards[spec.name] = dict(info, address=spec.address)
+                healthy += 1
+                # Every worker registers every table, so any healthy
+                # shard knows the full count.
+                tables = max(tables, int(info.get("tables", 0) or 0))
+            except ShardUnavailableError as exc:
+                shards[spec.name] = {
+                    "status": "unreachable",
+                    "address": spec.address,
+                    "error": str(exc),
+                }
+        if healthy == len(self.shards):
+            status = "ok"
+        elif healthy:
+            status = "degraded"
+        else:
+            status = "down"
+        requests = self.stats.requests
+        errors = self.stats.errors
+        return {
+            "status": status,
+            "uptime_seconds": time.monotonic() - self._started,
+            "shards_total": len(self.shards),
+            "shards_healthy": healthy,
+            "tables": tables,
+            "requests": sum(requests.values()),
+            "errors": sum(errors.values()),
+            "shards": shards,
+        }
+
+    def tables(self) -> dict[str, dict]:
+        """Metadata of every table in the fleet, annotated with its owner.
+
+        Each table's metadata is read from its owning shard when that
+        shard is reachable (falling back to any shard that has it) and
+        gains a ``shard`` key naming the owner.  Raises
+        :class:`~repro.errors.ShardUnavailableError` only when *no*
+        shard answers.
+        """
+        per_shard: dict[str, dict] = {}
+        last_error: ShardUnavailableError | None = None
+        for spec in self.shards:
+            try:
+                per_shard[spec.name] = self._shard_call(
+                    spec.name, lambda client: client.tables()
+                )
+            except ShardUnavailableError as exc:
+                last_error = exc
+        if not per_shard:
+            raise ShardUnavailableError(
+                f"no shard reachable for tables(): {last_error}"
+            ) from last_error
+        out: dict[str, dict] = {}
+        names = sorted(set().union(*map(set, per_shard.values())))
+        for name in names:
+            owner = self.owner_of(name)
+            meta = per_shard.get(owner, {}).get(name)
+            if meta is None:
+                meta = next(
+                    tables[name] for tables in per_shard.values() if name in tables
+                )
+            out[name] = dict(meta, shard=owner)
+        return out
+
+    def stats_snapshot(self) -> dict:
+        """The router's own ledgers plus every shard's, plus a roll-up.
+
+        Keeps the engine snapshot's top-level shape (``requests`` /
+        ``errors`` / ``queries`` / ``latency_seconds`` / ... describe
+        the *router's* traffic) and adds ``shard_map``, per-shard
+        ``shards`` snapshots, an ``aggregate`` roll-up
+        (:func:`~repro.obs.fanin.merge_stats_snapshots`), and the
+        router process's ``metrics`` registry dump.
+        """
+        snapshot = self.stats.snapshot()
+        shard_snaps: dict[str, dict] = {}
+        unreachable: dict[str, str] = {}
+        for spec in self.shards:
+            try:
+                shard_snaps[spec.name] = self._shard_call(
+                    spec.name, lambda client: client.stats()
+                )
+            except ShardUnavailableError as exc:
+                unreachable[spec.name] = str(exc)
+        snapshot["shard_map"] = self.shard_map.as_dict()
+        snapshot["shards"] = shard_snaps
+        if unreachable:
+            snapshot["shards_unreachable"] = unreachable
+        snapshot["aggregate"] = merge_stats_snapshots(shard_snaps)
+        snapshot["metrics"] = self.registry.snapshot()
+        return snapshot
+
+    def _fetch_shard_spans(self, trace_id: str) -> dict[str, list[dict]]:
+        """Best-effort span fetch from every shard (down shards skipped)."""
+        spans: dict[str, list[dict]] = {}
+        for spec in self.shards:
+            try:
+                fetched = self._shard_call(
+                    spec.name, lambda client: client.trace(trace_id)
+                )
+            except ShardUnavailableError:
+                continue
+            if fetched:
+                spans[spec.name] = fetched
+        return spans
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Hang up every pooled connection (idempotent).
+
+        In-flight calls holding a checked-out client finish normally;
+        their release then closes the client instead of pooling it.
+        """
+        with self._pool_lock:
+            self._closed = True
+            clients = [c for idle in self._idle.values() for c in idle]
+            for idle in self._idle.values():
+                idle.clear()
+        for client in clients:
+            client.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __contains__(self, table: str) -> bool:
+        try:
+            return str(table) in self.tables()
+        except ShardUnavailableError:
+            return False
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardRouter(shards={[spec.name for spec in self.shards]}, "
+            f"queries={self.stats.queries})"
+        )

@@ -1,0 +1,248 @@
+"""Shard worker processes: spawn, handshake, drain.
+
+A shard worker is nothing new — it is a plain
+:class:`~repro.serve.server.SketchServer` over a plain
+:class:`~repro.serve.engine.SketchEngine` — running in its *own
+process*, which is what buys real CPU parallelism past the GIL.
+:class:`WorkerConfig` is the picklable recipe one worker boots from
+(tables to register, engine knobs, serving caps);
+:class:`ShardCluster` spawns N of them, waits for each to report its
+bound address over a ready queue, and drains them on shutdown.
+
+Workers register tables from :func:`~repro.core.io.save_pool` archives
+with ``mmap_mode="r"`` by default, so N workers fronting the same
+archive share one copy of the bytes through the page cache — the data
+plane costs nothing extra per worker.  Every worker registers *every*
+table; the router's :class:`~repro.shard.ring.ShardMap` decides which
+worker actually answers for each table, so resharding is a router-side
+config change, not a data move.
+
+The spawn handshake: the child builds its engine, registers its
+tables, starts its server on ``port=0`` (or the pinned port), then
+puts ``("ok", name, host, port)`` on the ready queue; setup failures
+put ``("error", name, traceback)`` so the parent fails fast with the
+real reason instead of a dial timeout.  SIGTERM and SIGINT both
+trigger a graceful drain (finish in-flight batches, refuse new work
+with ``RETRY_LATER``, release the socket).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import ParameterError, ServeError
+from repro.shard.router import ShardSpec
+
+__all__ = ["WorkerConfig", "ShardCluster"]
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """The picklable recipe one shard worker process boots from.
+
+    Parameters
+    ----------
+    name:
+        The shard's stable name (feeds the router's hash ring).
+    host, port:
+        Bind address; ``port=0`` (the default) picks a free port that
+        the spawn handshake reports back.
+    archives:
+        ``{table: path}`` of :func:`~repro.core.io.save_pool` archives
+        to register memory-mapped (``register_pool_archive``).
+    stores:
+        ``{table: path}`` of flat-file tables to register via
+        ``register_store`` (materialised in the worker's RAM — archives
+        are the cheap path for a fleet).
+    p, k, seed, min_exponent, backend, method, max_bytes:
+        Engine knobs, as in :class:`~repro.serve.engine.SketchEngine`.
+    max_inflight, max_batch_queries, drain_timeout:
+        Serving caps, as in :class:`~repro.serve.server.SketchServer`
+        — ``max_inflight`` is each shard's backpressure bound.
+    log_level:
+        The worker's :class:`~repro.obs.export.StructuredLogger` level.
+    """
+
+    name: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    archives: Mapping[str, str] = field(default_factory=dict)
+    stores: Mapping[str, str] = field(default_factory=dict)
+    p: float = 1.0
+    k: int = 60
+    seed: int = 0
+    min_exponent: int = 3
+    backend: str = "numpy"
+    method: str = "auto"
+    max_bytes: int | None = None
+    max_inflight: int | None = None
+    max_batch_queries: int | None = None
+    drain_timeout: float = 5.0
+    log_level: str = "warning"
+
+
+def _worker_main(config: WorkerConfig, ready) -> None:
+    """Entry point of one spawned shard worker (module-level: picklable)."""
+    # Imports happen here, not at module import time, so the parent can
+    # construct configs without paying for numpy in non-worker contexts
+    # and the spawn child initialises its own copies cleanly.
+    from repro.obs.export import StructuredLogger
+    from repro.serve.engine import SketchEngine
+    from repro.serve.server import SketchServer
+
+    try:
+        engine = SketchEngine(
+            p=config.p,
+            k=config.k,
+            seed=config.seed,
+            min_exponent=config.min_exponent,
+            backend=config.backend,
+            method=config.method,
+            max_bytes=config.max_bytes,
+        )
+        for table, path in sorted(dict(config.archives).items()):
+            engine.register_pool_archive(table, path, mmap_mode="r")
+        for table, path in sorted(dict(config.stores).items()):
+            engine.register_store(table, path)
+        server = SketchServer(
+            engine,
+            host=config.host,
+            port=config.port,
+            logger=StructuredLogger(
+                f"repro.shard.{config.name}", level=config.log_level
+            ),
+            max_inflight=config.max_inflight,
+            max_batch_queries=config.max_batch_queries,
+            drain_timeout=config.drain_timeout,
+        )
+    except BaseException:
+        ready.put(("error", config.name, traceback.format_exc()))
+        return
+    stop = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: stop.set())
+    # Accept loop in a daemon thread; the main thread just waits for a
+    # shutdown signal and then drains (socketserver's shutdown() must
+    # not be called from the thread running serve_forever).
+    server.start()
+    host, port = server.address
+    ready.put(("ok", config.name, host, port))
+    try:
+        stop.wait()
+    finally:
+        server.stop()
+
+
+class ShardCluster:
+    """Spawn, track, and drain a fleet of shard worker processes.
+
+    Parameters
+    ----------
+    configs:
+        One :class:`WorkerConfig` per shard, names unique.
+    start_timeout:
+        Seconds to wait for *each* worker's ready handshake before
+        giving the whole start up (workers that did come up are torn
+        down again — starting is all-or-nothing).
+
+    Usable as a context manager: ``with ShardCluster(configs) as
+    cluster:`` starts every worker and guarantees teardown.  The spawn
+    start method is used unconditionally — fork would duplicate the
+    parent's numpy state and any open sockets into the children.
+
+    Examples
+    --------
+    >>> cluster = ShardCluster([                        # doctest: +SKIP
+    ...     WorkerConfig("s0", archives={"calls": "calls.npz"}),
+    ...     WorkerConfig("s1", archives={"calls": "calls.npz"}),
+    ... ])
+    >>> with cluster:                                   # doctest: +SKIP
+    ...     router = ShardRouter(cluster.specs)
+    """
+
+    def __init__(self, configs: Iterable[WorkerConfig], start_timeout: float = 30.0):
+        self.configs = tuple(configs)
+        if not self.configs:
+            raise ParameterError("a shard cluster needs at least one worker")
+        names = [config.name for config in self.configs]
+        if len(set(names)) != len(names):
+            raise ParameterError(f"duplicate shard names in {names}")
+        self.start_timeout = float(start_timeout)
+        self._ctx = multiprocessing.get_context("spawn")
+        self._processes: list = []
+        self._specs: dict[str, ShardSpec] = {}
+
+    @property
+    def specs(self) -> list[ShardSpec]:
+        """The running shards' dial addresses, in config order."""
+        if not self._specs:
+            raise ServeError("cluster is not started")
+        return [self._specs[config.name] for config in self.configs]
+
+    @property
+    def running(self) -> bool:
+        return any(process.is_alive() for process in self._processes)
+
+    def start(self) -> "ShardCluster":
+        """Spawn every worker and wait for all ready handshakes."""
+        if self._processes:
+            raise ServeError("cluster is already started")
+        ready = self._ctx.Queue()
+        for config in self.configs:
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(config, ready),
+                name=f"shard-{config.name}",
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+        try:
+            for _ in self.configs:
+                try:
+                    status, name, *info = ready.get(timeout=self.start_timeout)
+                except Exception as exc:
+                    raise ServeError(
+                        f"shard worker did not report ready within "
+                        f"{self.start_timeout}s"
+                    ) from exc
+                if status != "ok":
+                    raise ServeError(
+                        f"shard worker {name!r} failed to start:\n{info[0]}"
+                    )
+                host, port = info
+                self._specs[name] = ShardSpec(name=name, host=host, port=int(port))
+        except BaseException:
+            self.stop()
+            raise
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain every worker: SIGTERM, join, escalate to kill (idempotent)."""
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()  # SIGTERM -> graceful drain in the child
+        for process in self._processes:
+            process.join(timeout=timeout)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.kill()
+                process.join(timeout=5.0)
+        self._processes = []
+        self._specs = {}
+
+    def __enter__(self) -> "ShardCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardCluster(workers={[c.name for c in self.configs]}, "
+            f"running={self.running})"
+        )

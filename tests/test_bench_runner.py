@@ -26,17 +26,18 @@ from repro.errors import ParameterError
 
 
 def fake_result(suite="serving", p50=0.01, p99=0.02, gate_metric="p99",
-                extras=None):
+                extras=None, trajectory=None):
     return BenchResult(
         suite=suite,
         workload={"queries": 10},
-        latency_seconds={"count": 10, "mean": p50, "max": p99,
+        latency_seconds={"count": 10, "mean": p50, "min": p50, "max": p99,
                          "p50": p50, "p90": p99, "p99": p99},
         extras=extras if extras is not None else {
             "quality_overhead": {"sample_rate": 0.01, "fraction": 0.01,
                                  "checks": 3},
         },
         gate_metric=gate_metric,
+        trajectory=trajectory,
     )
 
 
@@ -45,11 +46,13 @@ class TestPercentiles:
         stats = percentiles([])
         assert stats["count"] == 0
         assert stats["p50"] == stats["p99"] == stats["mean"] == 0.0
+        assert stats["min"] == stats["max"] == 0.0
 
     def test_known_values(self):
         stats = percentiles(range(1, 101))
         assert stats["count"] == 100
         assert stats["mean"] == pytest.approx(50.5)
+        assert stats["min"] == 1.0
         assert stats["max"] == 100.0
         assert stats["p50"] == pytest.approx(50.5)
         assert stats["p99"] >= stats["p90"] >= stats["p50"]
@@ -127,6 +130,17 @@ class TestCompareToBaseline:
         assert verdict["metric"] == "p50"
         assert verdict["regressed"] is False
 
+    def test_suite_gate_tolerance_overrides_max_regress(self):
+        baseline = {"serving": {"p99": 0.02}}
+        wide = fake_result(p99=0.035)
+        wide.gate_tolerance = 1.0
+        verdict = compare_to_baseline(wide, baseline, max_regress=0.2)
+        assert verdict["regressed"] is False  # 1.75x, inside the 2x allowance
+        worse = fake_result(p99=0.05)
+        worse.gate_tolerance = 1.0
+        assert compare_to_baseline(worse, baseline,
+                                   max_regress=0.2)["regressed"] is True
+
     def test_negative_tolerance_rejected(self):
         with pytest.raises(ParameterError):
             compare_to_baseline(fake_result(), {}, max_regress=-0.1)
@@ -159,8 +173,21 @@ class TestRunBenchmarks:
             return fake_result("pipeline", p50=0.03, p99=0.04,
                                gate_metric="p50", extras={})
 
+        def fake_sharded(quick=False):
+            # Mirrors the real suite: min-gated, shares the serving
+            # trajectory file, reports topology extras.
+            return fake_result("serving-sharded", p50=0.05, p99=0.06,
+                               gate_metric="min", trajectory="serving",
+                               extras={"workers": 2, "cpu_count": 1,
+                                       "qps_single_worker": 100.0,
+                                       "qps_sharded": 120.0,
+                                       "qps_speedup": 1.2,
+                                       "shards_healthy": 2})
+
         monkeypatch.setitem(runner._SUITE_RUNNERS, "serving", fake_serving)
         monkeypatch.setitem(runner._SUITE_RUNNERS, "pipeline", fake_pipeline)
+        monkeypatch.setitem(runner._SUITE_RUNNERS, "serving-sharded",
+                            fake_sharded)
 
     def test_unknown_suite_rejected(self, tmp_path):
         with pytest.raises(ParameterError, match="unknown bench suite"):
@@ -170,19 +197,24 @@ class TestRunBenchmarks:
         lines = []
         code = run_benchmarks(out_dir=tmp_path, echo=lines.append)
         assert code == 0
-        for suite in ("serving", "pipeline"):
-            history = json.loads(
-                (tmp_path / f"BENCH_{suite}.json").read_text()
-            )
-            assert len(history) == 1 and history[0]["suite"] == suite
+        # serving-sharded appends to the serving trajectory: one ledger
+        # per serving topology family, no BENCH_serving-sharded.json.
+        serving = json.loads((tmp_path / "BENCH_serving.json").read_text())
+        assert [e["suite"] for e in serving] == ["serving", "serving-sharded"]
+        pipeline = json.loads((tmp_path / "BENCH_pipeline.json").read_text())
+        assert len(pipeline) == 1 and pipeline[0]["suite"] == "pipeline"
+        assert not (tmp_path / "BENCH_serving-sharded.json").exists()
         assert any("[no baseline]" in line for line in lines)
         assert any("quality overhead" in line for line in lines)
+        assert any("workers" in line for line in lines)
 
     def test_rebaseline_writes_the_baseline_file(self, fakes, tmp_path):
         run_benchmarks(out_dir=tmp_path, rebaseline=True, echo=lambda s: None)
         baseline = json.loads((tmp_path / "BENCH_baseline.json").read_text())
         assert baseline["serving"]["p99"] == 0.02
         assert baseline["pipeline"]["p50"] == 0.03
+        # The sharded suite gates on min; the baseline must carry it.
+        assert baseline["serving-sharded"]["min"] == 0.05
 
     def test_gate_passes_against_its_own_baseline(self, fakes, tmp_path):
         run_benchmarks(out_dir=tmp_path, rebaseline=True, echo=lambda s: None)

@@ -22,6 +22,7 @@ import pytest
 from repro.errors import (
     ConnectionLostError,
     ProtocolError,
+    QueryTimeoutError,
     RetriesExhaustedError,
     ServerDrainingError,
     ServerOverloadedError,
@@ -137,6 +138,71 @@ class TestDisconnectRecovery:
             with pytest.raises(ConnectionLostError):
                 client.query(QUERIES)
         assert client.resilience["retries_total"] == 0
+
+
+class _SlowFailTransport:
+    """Every request burns ``delay`` seconds, then the connection dies."""
+
+    def __init__(self, delay: float):
+        self._delay = delay
+
+    def send_line(self, data: bytes) -> None:
+        time.sleep(self._delay)
+        raise ConnectionResetError("fault injection: slow peer died")
+
+    def recv_line(self) -> bytes:  # pragma: no cover - send always raises
+        return b""
+
+    def settimeout(self, timeout) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class TestDeadlineClassification:
+    """Deadline expiries must be QueryTimeoutError; only a deadline-free
+    run out of attempts is RetriesExhaustedError.  The historical bug
+    blurred them: a deadline that expired during backoff (or was
+    outlived by the final attempt) surfaced as retry exhaustion, so the
+    shard router — which fails over on timeouts but counts exhaustion
+    against the shard — misclassified slow shards as dead ones."""
+
+    def test_deadline_expiring_during_backoff_is_a_timeout(self, server):
+        plan = FaultPlan(default=DropBeforeSend())  # never recovers
+        policy = RetryPolicy(max_attempts=4, base_delay=5.0, jitter="none")
+        with chaos_client(server, plan, retry=policy, deadline=0.3) as client:
+            start = time.monotonic()
+            with pytest.raises(QueryTimeoutError, match="expires during") as info:
+                client.ping()
+            # Classified eagerly: it did not sit out the 5s backoff
+            # just to report the deadline it already knew was lost.
+            assert time.monotonic() - start < 2.0
+        assert isinstance(info.value.__cause__, ConnectionLostError)
+
+    def test_deadline_outlived_by_final_attempt_is_a_timeout(self):
+        client = Client(
+            "127.0.0.1", 1, timeout=1.0,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter="none"),
+            deadline=0.15,
+            connect=lambda timeout: _SlowFailTransport(0.08),
+            rng=random.Random(3),
+        )
+        with client:
+            with pytest.raises(QueryTimeoutError, match="exhausted after") as info:
+                client.ping()
+        assert isinstance(info.value.__cause__, ConnectionLostError)
+
+    def test_same_faults_without_deadline_are_retries_exhausted(self):
+        client = Client(
+            "127.0.0.1", 1, timeout=1.0,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.0, jitter="none"),
+            connect=lambda timeout: _SlowFailTransport(0.01),
+            rng=random.Random(3),
+        )
+        with client:
+            with pytest.raises(RetriesExhaustedError):
+                client.ping()
 
 
 class TestGarbageFrames:

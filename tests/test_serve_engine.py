@@ -174,3 +174,51 @@ class TestBudgetAndStats:
         before = engine.pool("t").map_hits
         engine.distance("t", (4, 4, 8, 8), (16, 16, 8, 8))
         assert engine.pool("t").map_hits > before
+
+
+class TestRegistrationQueryRace:
+    def test_queries_stay_correct_while_tables_register(self):
+        """Reads on the pool table are lock-free and never torn.
+
+        The historical bug: ``pool()`` / ``tables()`` read ``_pools``
+        under no lock while ``register_*`` mutated it, so a query racing
+        a registration could see a half-updated view.  Hammer reads
+        against a stream of registrations; every answer must match the
+        quiet-system baseline and the final table count must be exact.
+        """
+        import threading
+
+        engine = SketchEngine(p=1.0, k=8, seed=5)
+        engine.register_array(
+            "t", np.random.default_rng(2).normal(size=(32, 32))
+        )
+        batch = [("t", (0, 0, 8, 8), (8, 8, 8, 8)),
+                 ("t", (1, 1, 8, 8), (16, 16, 8, 8))]
+        baseline = [r.distance for r in engine.query(batch)]
+        failures: list[BaseException] = []
+
+        def reader():
+            try:
+                for _ in range(40):
+                    assert [r.distance for r in engine.query(batch)] == baseline
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                failures.append(exc)
+
+        def writer():
+            try:
+                for i in range(20):
+                    engine.register_array(
+                        f"extra{i}",
+                        np.random.default_rng(i).normal(size=(16, 16)),
+                    )
+            except BaseException as exc:  # pragma: no cover - diagnostic
+                failures.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        threads.append(threading.Thread(target=writer))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not failures
+        assert len(engine.tables()) == 21

@@ -5,12 +5,13 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import time
 
 import numpy as np
 import pytest
 
-from repro.errors import ParameterError, ProtocolError
-from repro.serve import Client, SketchEngine, SketchServer
+from repro.errors import ParameterError, ProtocolError, ServerOverloadedError
+from repro.serve import Client, RetryPolicy, SketchEngine, SketchServer
 
 
 @pytest.fixture(scope="module")
@@ -129,6 +130,67 @@ class TestConcurrency:
         for thread in threads:
             thread.join(timeout=60.0)
         assert not failures
+
+
+class TestAdmissionControl:
+    def test_thundering_herd_never_exceeds_max_inflight(self):
+        """Admission is one atomic check-and-reserve under the lock.
+
+        The historical race: ``max_inflight`` was checked before the
+        in-flight count was incremented, so a herd of simultaneous
+        queries could all pass the check and overrun the cap.  Gate the
+        engine so admitted queries *hold* their slots, stampede the
+        server, and watch the bound."""
+        engine = SketchEngine(p=1.0, k=8, seed=3)
+        engine.register_array("t", np.random.default_rng(1).normal(size=(32, 32)))
+        release = threading.Event()
+        original = engine.query
+
+        def gated_query(queries, timeout=None):
+            release.wait(timeout=10.0)
+            return original(queries, timeout=timeout)
+
+        engine.query = gated_query
+        max_inflight, herd = 2, 8
+        with SketchServer(engine, max_inflight=max_inflight) as server:
+            server.start()
+            start_gate = threading.Barrier(herd)
+            outcomes: list[str] = []
+            lock = threading.Lock()
+
+            def rush():
+                with Client(*server.address, timeout=10.0,
+                            retry=RetryPolicy.none()) as client:
+                    start_gate.wait()  # everyone sends at once
+                    try:
+                        client.query([("t", (0, 0, 8, 8), (8, 8, 8, 8))])
+                        outcome = "ok"
+                    except ServerOverloadedError:
+                        outcome = "shed"
+                    with lock:
+                        outcomes.append(outcome)
+
+            threads = [threading.Thread(target=rush) for _ in range(herd)]
+            for thread in threads:
+                thread.start()
+            # Sheds bounce immediately; admitted queries block on the
+            # gate holding their slots.  The cap must hold throughout.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                assert server.inflight_queries <= max_inflight
+                with lock:
+                    shed_count = outcomes.count("shed")
+                if (shed_count == herd - max_inflight
+                        and server.inflight_queries == max_inflight):
+                    break
+                time.sleep(0.005)
+            assert server.inflight_queries == max_inflight
+            release.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+            assert sorted(outcomes) == (
+                ["ok"] * max_inflight + ["shed"] * (herd - max_inflight)
+            )
 
 
 class TestLifecycle:

@@ -1,0 +1,246 @@
+"""Chaos tests for the sharded serving tier.
+
+Failure semantics under real faults: a dead worker surfaces as a typed
+:class:`~repro.errors.ShardUnavailableError` naming the shard, batches
+touching only healthy shards keep answering bit-identically, transient
+per-shard faults are absorbed by the pooled clients' retries, and a
+worker draining mid-scatter still completes the in-flight sub-batch.
+The spawned-cluster test runs the real thing end to end: two worker
+*processes* memory-mapping one pool archive behind a router.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.generator import SketchGenerator
+from repro.core.io import save_pool
+from repro.core.pool import SketchPool
+from repro.errors import (
+    ConnectionLostError,
+    ParameterError,
+    RetriesExhaustedError,
+    ServeError,
+    ShardUnavailableError,
+)
+from repro.serve import RetryPolicy, SketchEngine, SketchServer
+from repro.shard import ShardCluster, ShardRouter, ShardSpec, WorkerConfig
+from repro.testing import DropBeforeSend, FaultPlan, flaky_connect
+
+TABLES = ("alpha", "beta", "gamma")
+OVERRIDES = {"alpha": "s0", "beta": "s1", "gamma": "s2"}
+QUERIES = {
+    name: (name, (0, 0, 8, 8), (16, 16, 8, 8)) for name in TABLES
+}
+
+
+def make_engine() -> SketchEngine:
+    engine = SketchEngine(p=1.0, k=16, seed=2)
+    for i, name in enumerate(TABLES):
+        engine.register_array(
+            name, np.random.default_rng(100 + i).normal(size=(64, 64))
+        )
+    return engine
+
+
+@pytest.fixture()
+def fleet():
+    """Three in-process workers; tests may stop individual servers."""
+    servers = [SketchServer(make_engine()) for _ in range(3)]
+    try:
+        for server in servers:
+            server.start()
+        yield servers
+    finally:
+        for server in servers:
+            server.stop()
+
+
+def specs_for(servers):
+    return [ShardSpec(f"s{i}", *server.address)
+            for i, server in enumerate(servers)]
+
+
+def fast_router(servers, **kwargs):
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=2, base_delay=0.01,
+                                           max_delay=0.05))
+    kwargs.setdefault("rng", random.Random(7))
+    return ShardRouter(specs_for(servers), overrides=OVERRIDES, **kwargs)
+
+
+def answers(source, queries):
+    return [(r.distance, r.strategy) for r in source.query(queries)]
+
+
+class TestOneShardDown:
+    def test_dead_shard_surfaces_typed_with_its_name(self, fleet):
+        fleet[1].stop()  # kill the worker owning "beta"
+        with fast_router(fleet) as router:
+            with pytest.raises(ShardUnavailableError, match="shard 's1'") as info:
+                router.query([QUERIES["beta"]])
+            assert info.value.code == "RETRY_LATER"
+            assert isinstance(
+                info.value.__cause__, (ConnectionLostError, RetriesExhaustedError)
+            )
+
+    def test_healthy_shards_keep_answering_bit_identically(self, fleet):
+        reference = make_engine()
+        fleet[1].stop()
+        with fast_router(fleet) as router:
+            healthy = [QUERIES["alpha"], QUERIES["gamma"]]
+            expected = answers(reference, healthy)
+            # A mixed batch touching the dead shard fails as a whole...
+            with pytest.raises(ShardUnavailableError):
+                router.query([QUERIES["alpha"], QUERIES["beta"]])
+            # ...but batches on the survivors are untouched, before and
+            # after the failure (the pool self-heals its clients).
+            assert answers(router, healthy) == expected
+            assert answers(router, healthy) == expected
+
+    def test_health_reports_degraded_not_down(self, fleet):
+        fleet[2].stop()
+        with fast_router(fleet) as router:
+            health = router.health()
+            assert health["status"] == "degraded"
+            assert health["shards_healthy"] == 2
+            assert health["shards"]["s2"]["status"] == "unreachable"
+            assert "s2" in health["shards"]["s2"]["error"]
+
+    def test_tables_fall_back_to_a_surviving_replica(self, fleet):
+        fleet[0].stop()  # the owner of "alpha"
+        with fast_router(fleet) as router:
+            tables = router.tables()
+            # Metadata served by a survivor, still annotated with the
+            # (currently dead) owner the ring assigns.
+            assert set(tables) == set(TABLES)
+            assert tables["alpha"]["shard"] == "s0"
+
+    def test_stats_snapshot_records_unreachable_shards(self, fleet):
+        fleet[1].stop()
+        with fast_router(fleet) as router:
+            snapshot = router.stats_snapshot()
+            assert set(snapshot["shards"]) == {"s0", "s2"}
+            assert set(snapshot["shards_unreachable"]) == {"s1"}
+            assert snapshot["aggregate"]["shards"] == 2
+
+    def test_whole_fleet_down_is_down(self, fleet):
+        for server in fleet:
+            server.stop()
+        with fast_router(fleet) as router:
+            assert router.health()["status"] == "down"
+            with pytest.raises(ShardUnavailableError):
+                router.tables()
+
+
+class TestTransientFaults:
+    def test_one_transient_fault_is_absorbed_by_retries(self, fleet):
+        reference = make_engine()
+        plans = {f"s{i}": FaultPlan() for i in range(3)}
+        plans["s1"] = FaultPlan([DropBeforeSend()])  # fail once, recover
+
+        def connect(spec, timeout):
+            return flaky_connect(spec.host, spec.port, plans[spec.name])(timeout)
+
+        with fast_router(fleet, connect=connect) as router:
+            batch = [QUERIES["alpha"], QUERIES["beta"], QUERIES["gamma"]]
+            assert answers(router, batch) == answers(reference, batch)
+        assert plans["s1"].injected(DropBeforeSend) == 1
+
+    def test_persistent_faults_exhaust_into_shard_unavailable(self, fleet):
+        plans = {f"s{i}": FaultPlan() for i in range(3)}
+        plans["s0"] = FaultPlan(default=DropBeforeSend())  # never recovers
+
+        def connect(spec, timeout):
+            return flaky_connect(spec.host, spec.port, plans[spec.name])(timeout)
+
+        with fast_router(fleet, connect=connect) as router:
+            with pytest.raises(ShardUnavailableError, match="shard 's0'") as info:
+                router.query([QUERIES["alpha"]])
+            assert isinstance(info.value.__cause__, RetriesExhaustedError)
+
+
+class TestDrainDuringScatter:
+    def test_drain_completes_the_inflight_sub_batch(self, fleet):
+        # Make s1 slow, then drain it while a scatter is in flight: the
+        # graceful drain finishes the sub-batch, so the router's caller
+        # still gets the complete, correct gather.
+        reference = make_engine()
+        slow = fleet[1]
+        original = slow.engine.query
+
+        def slow_query(queries, timeout=None):
+            time.sleep(0.5)
+            return original(queries, timeout=timeout)
+
+        slow.engine.query = slow_query
+        batch = [QUERIES["alpha"], QUERIES["beta"], QUERIES["gamma"]]
+        expected = answers(reference, batch)
+        with fast_router(fleet, timeout=15.0) as router:
+            results: list = []
+            failures: list = []
+
+            def caller():
+                try:
+                    results.append(answers(router, batch))
+                except BaseException as exc:  # pragma: no cover - diagnostic
+                    failures.append(exc)
+
+            thread = threading.Thread(target=caller)
+            thread.start()
+            deadline = time.monotonic() + 5.0
+            while slow.inflight == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert slow.inflight >= 1  # the scatter reached the slow shard
+            assert slow.stop() is True  # drain, completing the sub-batch
+            thread.join(timeout=15.0)
+            assert not failures
+            assert results == [expected]
+            # After the drain the shard is gone for new batches.
+            with pytest.raises(ShardUnavailableError, match="shard 's1'"):
+                router.query([QUERIES["beta"]])
+
+
+class TestSpawnedCluster:
+    """The real thing: worker processes, one mmap'd archive, a router."""
+
+    def test_end_to_end_parity_and_drain(self, tmp_path):
+        data = np.random.default_rng(5).normal(size=(64, 64))
+        archive = str(tmp_path / "t.npz")
+        save_pool(archive, SketchPool(data, SketchGenerator(p=1.0, k=16, seed=3)))
+
+        reference = SketchEngine(p=1.0, k=16, seed=3)
+        reference.register_pool_archive("t", archive, mmap_mode="r")
+        batch = [
+            ("t", (0, 0, 8, 8), (16, 16, 8, 8)),
+            ("t", (1, 1, 12, 12), (32, 32, 12, 12)),
+            ("t", (0, 0, 16, 16), (32, 16, 16, 16), "disjoint"),
+        ]
+        expected = answers(reference, batch)
+
+        configs = [
+            WorkerConfig(f"s{i}", archives={"t": archive}, p=1.0, k=16, seed=3)
+            for i in range(2)
+        ]
+        cluster = ShardCluster(configs, start_timeout=60.0)
+        with cluster:
+            with ShardRouter(cluster.specs, rng=random.Random(11)) as router:
+                assert answers(router, batch) == expected
+                health = router.health()
+                assert health["status"] == "ok"
+                assert health["shards_healthy"] == 2
+                assert router.tables()["t"]["memory_mapped"] is True
+        # Drained: the fleet is gone and says so.
+        assert not cluster.running
+        with pytest.raises(ServeError, match="not started"):
+            cluster.specs
+
+    def test_cluster_validation(self):
+        with pytest.raises(ParameterError, match="at least one"):
+            ShardCluster([])
+        with pytest.raises(ParameterError, match="duplicate"):
+            ShardCluster([WorkerConfig("a"), WorkerConfig("a")])

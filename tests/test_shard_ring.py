@@ -1,0 +1,104 @@
+"""Tests for repro.shard.ring: consistent hashing and placement overrides."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.shard import HashRing, ShardMap
+
+NODES = ["s0", "s1", "s2"]
+KEYS = [f"table-{i}" for i in range(200)]
+
+
+class TestHashRing:
+    def test_owner_is_always_a_node(self):
+        ring = HashRing(NODES)
+        assert all(ring.owner(key) in NODES for key in KEYS)
+
+    def test_placement_is_deterministic_across_instances(self):
+        a = HashRing(NODES)
+        b = HashRing(list(NODES))  # a fresh, independent ring
+        assert [a.owner(key) for key in KEYS] == [b.owner(key) for key in KEYS]
+
+    def test_node_order_does_not_change_placement(self):
+        # Placement must depend on the *names*, not fleet order, so a
+        # restarted router with a reordered config keeps the page caches
+        # of every worker warm.
+        forward = HashRing(NODES)
+        backward = HashRing(list(reversed(NODES)))
+        assert [forward.owner(k) for k in KEYS] == [backward.owner(k) for k in KEYS]
+
+    def test_distribution_counts_every_key_and_every_node(self):
+        ring = HashRing(NODES)
+        counts = ring.distribution(KEYS)
+        assert set(counts) == set(NODES)
+        assert sum(counts.values()) == len(KEYS)
+
+    def test_distribution_is_roughly_balanced(self):
+        # 64 virtual points per node keeps the spread loose but real:
+        # no node should own almost everything or almost nothing.
+        counts = HashRing(NODES, replicas=64).distribution(KEYS)
+        assert min(counts.values()) > 0
+        assert max(counts.values()) < 0.8 * len(KEYS)
+
+    def test_removing_a_node_only_moves_its_own_keys(self):
+        # The consistent-hashing contract: keys owned by surviving
+        # nodes stay put when a node leaves.
+        full = HashRing(NODES)
+        reduced = HashRing(["s0", "s1"])
+        for key in KEYS:
+            if full.owner(key) != "s2":
+                assert reduced.owner(key) == full.owner(key)
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["solo"])
+        assert ring.distribution(KEYS) == {"solo": len(KEYS)}
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(ParameterError, match="at least one node"):
+            HashRing([])
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ParameterError, match="duplicate"):
+            HashRing(["a", "b", "a"])
+
+    def test_bad_replica_count_rejected(self):
+        with pytest.raises(ParameterError, match="replicas"):
+            HashRing(NODES, replicas=0)
+
+    def test_bad_node_names_rejected(self):
+        with pytest.raises(ParameterError):
+            HashRing(["ok", ""])
+
+
+class TestShardMap:
+    def test_falls_back_to_the_ring(self):
+        placement = ShardMap(NODES)
+        ring = HashRing(NODES)
+        assert all(placement.owner_of(k) == ring.owner(k) for k in KEYS[:20])
+
+    def test_override_wins_over_the_ring(self):
+        ring = HashRing(NODES)
+        hot = KEYS[0]
+        elsewhere = next(n for n in NODES if n != ring.owner(hot))
+        placement = ShardMap(NODES, overrides={hot: elsewhere})
+        assert placement.owner_of(hot) == elsewhere
+        # Everything unpinned still follows the ring.
+        assert all(placement.owner_of(k) == ring.owner(k) for k in KEYS[1:20])
+
+    def test_override_to_unknown_shard_rejected(self):
+        with pytest.raises(ParameterError, match="not in shards"):
+            ShardMap(NODES, overrides={"hot": "ghost"})
+
+    def test_as_dict_is_json_safe_and_complete(self):
+        placement = ShardMap(NODES, overrides={"hot": "s1"}, replicas=8)
+        described = placement.as_dict()
+        assert described == {
+            "shards": NODES,
+            "replicas": 8,
+            "overrides": {"hot": "s1"},
+        }
+
+    def test_shards_property_preserves_fleet_order(self):
+        assert ShardMap(["z", "a", "m"]).shards == ("z", "a", "m")

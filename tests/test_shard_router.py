@@ -1,0 +1,277 @@
+"""Tests for repro.shard.router: scatter/gather parity and fan-in.
+
+The headline property, pinned by hypothesis: a :class:`ShardRouter`
+scattering batches over a fleet of live TCP workers returns results
+**bit-identical** to a single-process :class:`SketchEngine` holding the
+same tables, in submission order, whatever the batch's mix of tables.
+The fan-in surfaces (health / tables / stats / trace) are checked
+against the same live fleet.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.obs.trace import render_trace
+from repro.serve import SketchEngine, SketchServer
+from repro.shard import ShardRouter, ShardSpec
+
+TABLES = ("alpha", "beta", "gamma", "delta")
+SIDE = 64
+
+# Pin three of the four tables to distinct shards so mixed batches are
+# guaranteed to exercise the multi-shard scatter path; "delta" keeps
+# following the hash ring.
+OVERRIDES = {"alpha": "s0", "beta": "s1", "gamma": "s2"}
+
+
+def make_engine() -> SketchEngine:
+    engine = SketchEngine(p=1.0, k=16, seed=2)
+    for i, name in enumerate(TABLES):
+        engine.register_array(
+            name, np.random.default_rng(100 + i).normal(size=(SIDE, SIDE))
+        )
+    return engine
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """Three live single-process workers, every table on every worker."""
+    servers = [SketchServer(make_engine()) for _ in range(3)]
+    try:
+        for server in servers:
+            server.start()
+        yield [
+            ShardSpec(f"s{i}", *server.address)
+            for i, server in enumerate(servers)
+        ]
+    finally:
+        for server in servers:
+            server.stop()
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The single-process engine every routed answer must reproduce."""
+    return make_engine()
+
+
+@pytest.fixture(scope="module")
+def router(fleet):
+    with ShardRouter(fleet, overrides=OVERRIDES, rng=random.Random(7)) as r:
+        yield r
+
+
+def answers(source, queries):
+    return [(r.distance, r.strategy) for r in source.query(queries)]
+
+
+def counter_value(registry, name, **labels):
+    total = 0.0
+    for metric_name, _, _, children in registry.collect():
+        if metric_name != name:
+            continue
+        for got, child in children:
+            if all(got.get(k) == v for k, v in labels.items()):
+                total += child.value
+    return total
+
+
+@st.composite
+def query_batches(draw):
+    """Batches of valid rectangle queries over the fixture tables.
+
+    Tile sides stay >= 8 (the engines' pooled minimum is 2^3) and both
+    rectangles share a shape, as the distance estimator requires.
+    """
+    n = draw(st.integers(min_value=1, max_value=8))
+    batch = []
+    for _ in range(n):
+        table = draw(st.sampled_from(TABLES))
+        height = draw(st.sampled_from([8, 12, 16, 32]))
+        width = draw(st.sampled_from([8, 12, 16, 32]))
+        a_row = draw(st.integers(0, SIDE - height))
+        a_col = draw(st.integers(0, SIDE - width))
+        b_row = draw(st.integers(0, SIDE - height))
+        b_col = draw(st.integers(0, SIDE - width))
+        batch.append(
+            (table, (a_row, a_col, height, width), (b_row, b_col, height, width))
+        )
+    return batch
+
+
+class TestParity:
+    """Routed answers are bit-identical to the single-process engine."""
+
+    @settings(max_examples=25)
+    @given(batch=query_batches())
+    def test_scatter_gather_matches_single_engine(self, router, reference, batch):
+        assert answers(router, batch) == answers(reference, batch)
+
+    def test_submission_order_survives_a_multi_shard_batch(self, router, reference):
+        # Interleave tables pinned to different shards so the gather
+        # has to reassemble out-of-shard-order sub-results.
+        batch = [
+            (TABLES[i % len(TABLES)], (i % 8, 0, 8, 8), (16, i % 8, 8, 8))
+            for i in range(12)
+        ]
+        assert answers(router, batch) == answers(reference, batch)
+
+    def test_single_shard_batch_takes_the_inline_path(self, router, reference):
+        batch = [("alpha", (0, 0, 8, 8), (16, 16, 8, 8)),
+                 ("alpha", (1, 1, 12, 12), (32, 32, 12, 12))]
+        assert answers(router, batch) == answers(reference, batch)
+
+    def test_distance_convenience_wrapper(self, router, reference):
+        routed = router.distance("beta", (0, 0, 8, 8), (8, 8, 8, 8))
+        local = reference.distance("beta", (0, 0, 8, 8), (8, 8, 8, 8))
+        assert (routed.distance, routed.strategy) == (local.distance, local.strategy)
+
+    def test_explicit_strategy_is_forwarded(self, router, reference):
+        batch = [("gamma", (0, 0, 16, 16), (32, 16, 16, 16), "disjoint")]
+        assert answers(router, batch) == answers(reference, batch)
+        assert router.query(batch)[0].strategy == "disjoint"
+
+
+class TestRouting:
+    def test_overrides_pin_tables(self, router):
+        assert router.owner_of("alpha") == "s0"
+        assert router.owner_of("beta") == "s1"
+        assert router.owner_of("gamma") == "s2"
+        assert router.owner_of("delta") in {"s0", "s1", "s2"}
+
+    def test_engine_errors_pass_through_typed(self, router):
+        with pytest.raises(ParameterError, match="unknown table"):
+            router.query([("ghost", (0, 0, 8, 8), (8, 8, 8, 8))])
+
+    def test_empty_batch_rejected(self, router):
+        with pytest.raises(ParameterError, match="empty"):
+            router.query([])
+
+    def test_non_positive_timeout_rejected(self, router):
+        with pytest.raises(ParameterError, match="timeout"):
+            router.query([("alpha", (0, 0, 8, 8), (8, 8, 8, 8))], timeout=0)
+
+    def test_contains(self, router):
+        assert "alpha" in router
+        assert "ghost" not in router
+
+
+class TestSpecParsing:
+    def test_plain_address(self):
+        spec = ShardSpec.parse("10.0.0.5:7337", index=3)
+        assert (spec.name, spec.host, spec.port) == ("s3", "10.0.0.5", 7337)
+
+    def test_named_address(self):
+        spec = ShardSpec.parse("edge=10.0.0.1:9000")
+        assert (spec.name, spec.host, spec.port) == ("edge", "10.0.0.1", 9000)
+
+    def test_bare_port_defaults_host(self):
+        assert ShardSpec.parse(":7337").host == "127.0.0.1"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParameterError, match="host:port"):
+            ShardSpec.parse("not an address")
+
+    def test_address_property(self):
+        assert ShardSpec("a", "127.0.0.1", 7337).address == "127.0.0.1:7337"
+
+
+class TestFanIn:
+    def test_health_aggregates_the_fleet(self, router):
+        health = router.health()
+        assert health["status"] == "ok"
+        assert health["shards_total"] == 3
+        assert health["shards_healthy"] == 3
+        assert health["tables"] == len(TABLES)
+        assert set(health["shards"]) == {"s0", "s1", "s2"}
+        assert all(info["status"] == "ok" for info in health["shards"].values())
+
+    def test_tables_annotated_with_owner(self, router):
+        tables = router.tables()
+        assert set(tables) == set(TABLES)
+        for name, meta in tables.items():
+            assert meta["shard"] == router.owner_of(name)
+            assert meta["shape"] == [SIDE, SIDE]
+
+    def test_stats_snapshot_rolls_up_the_fleet(self, router):
+        router.query([(name, (0, 0, 8, 8), (8, 8, 8, 8)) for name in TABLES])
+        snapshot = router.stats_snapshot()
+        # Engine-shaped top level describing the router's own traffic...
+        assert snapshot["requests"]["query"] >= 1
+        assert snapshot["queries"] >= len(TABLES)
+        # ...plus the fleet: placement, per-shard ledgers, the roll-up.
+        assert snapshot["shard_map"]["overrides"] == OVERRIDES
+        assert set(snapshot["shards"]) == {"s0", "s1", "s2"}
+        aggregate = snapshot["aggregate"]
+        assert aggregate["shards"] == 3
+        assert aggregate["queries"] >= len(TABLES)
+        assert set(aggregate["latency_p99_by_shard"]) <= {"s0", "s1", "s2"}
+        assert "metrics" in snapshot
+
+    def test_per_shard_traffic_counters(self, router):
+        before = {
+            name: counter_value(router.registry, "shard_requests_total", shard=name)
+            for name in ("s0", "s1", "s2")
+        }
+        router.query([("alpha", (0, 0, 8, 8), (8, 8, 8, 8)),
+                      ("beta", (0, 0, 8, 8), (8, 8, 8, 8))])
+        after = {
+            name: counter_value(router.registry, "shard_requests_total", shard=name)
+            for name in ("s0", "s1", "s2")
+        }
+        assert after["s0"] == before["s0"] + 1
+        assert after["s1"] == before["s1"] + 1
+        assert after["s2"] == before["s2"]
+
+
+class TestTraceFanIn:
+    def test_one_batch_renders_one_cross_process_tree(self, router):
+        trace_id = "feedbeef0000cafe"
+        with router.tracer.trace(trace_id):
+            router.query([("alpha", (0, 0, 8, 8), (8, 8, 8, 8)),
+                          ("beta", (0, 0, 8, 8), (8, 8, 8, 8))])
+        spans = router.tracer.spans_for_trace(trace_id)
+        names = {span["name"] for span in spans}
+        # The router's own spans and the workers' spans, one timeline.
+        assert {"router.scatter", "router.shard", "client.request",
+                "server.request"} <= names
+        shards_seen = {span["attrs"]["shard"] for span in spans
+                       if "shard" in span.get("attrs", {})}
+        assert {"s0", "s1"} <= shards_seen
+        rendered = render_trace({"router": spans}, trace_id)
+        lines = rendered.splitlines()
+        # Exactly one root — the scatter — and everything nests under it.
+        assert lines[1].lstrip().startswith("- router.scatter")
+        roots = [line for line in lines[1:] if line.startswith("  - ")]
+        assert roots == [lines[1]]
+
+    def test_adopted_trace_id_is_reused(self, router):
+        with router.tracer.trace("0dd0000000000001"):
+            router.query([("alpha", (0, 0, 8, 8), (8, 8, 8, 8))])
+        spans = router.tracer.spans_for_trace("0dd0000000000001")
+        assert spans  # the ambient id, not a freshly minted one
+        assert all(span["trace_id"] == "0dd0000000000001" for span in spans)
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_blocks_new_work(self, fleet):
+        router = ShardRouter(fleet, rng=random.Random(9))
+        assert router.query([("alpha", (0, 0, 8, 8), (8, 8, 8, 8))])
+        router.close()
+        router.close()
+        from repro.errors import ShardUnavailableError
+        with pytest.raises(ShardUnavailableError, match="closed"):
+            router.query([("alpha", (0, 0, 8, 8), (8, 8, 8, 8))])
+
+    def test_pooled_clients_are_reused(self, router):
+        for _ in range(3):
+            router.query([("alpha", (0, 0, 8, 8), (8, 8, 8, 8))])
+        # Serial single-shard batches reuse one pooled connection.
+        assert len(router._idle["s0"]) == 1
