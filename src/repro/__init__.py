@@ -46,6 +46,7 @@ from repro.core.io import (
     save_pool,
     save_sketch_matrix,
 )
+from repro.ingest import DeltaBatch, IngestLog, WindowedTable
 from repro.stream import StreamingSketch
 from repro.errors import (
     ConvergenceError,
@@ -95,6 +96,10 @@ __all__ = [
     "AugmentedSketch",
     "estimate_norm",
     "StreamingSketch",
+    # ingest
+    "DeltaBatch",
+    "IngestLog",
+    "WindowedTable",
     "save_sketch_matrix",
     "load_sketch_matrix",
     "save_pool",

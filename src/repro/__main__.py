@@ -24,6 +24,10 @@ Commands
 ``query``
     Speak to a running server: ping it, list its tables, dump its stats,
     or answer rectangle distance queries.
+``ingest``
+    Tail a delta stream (file or stdin) and apply it to a running
+    server's tables as idempotent, batched cell updates — the live
+    ingestion path for time-windowed workloads.
 ``stats``
     Scrape a running server's metrics: a human-readable summary by
     default, the raw JSON snapshot with ``--json``, or Prometheus text
@@ -55,6 +59,7 @@ _SUBSYSTEMS = [
     ("repro.table", "tabular containers, tiles, chunked flat-file store"),
     ("repro.core", "sketches, estimators, pools, distance oracles, persistence"),
     ("repro.stream", "turnstile sketch maintenance"),
+    ("repro.ingest", "live ingestion: delta batches, windowed tables, idempotent log"),
     ("repro.cluster", "k-means and the classical clustering family"),
     ("repro.metrics", "the paper's Definitions 7-11"),
     ("repro.transforms", "DFT/DCT/Haar baselines"),
@@ -163,6 +168,7 @@ def _cmd_serve(args) -> int:
         method=args.method,
         max_bytes=args.max_bytes,
         quality_sample_rate=args.quality_sample_rate,
+        update_mode=args.update_mode,
     )
     for spec in args.table:
         name, path = _parse_table_spec(spec)
@@ -234,6 +240,7 @@ def _cmd_shard_serve(args) -> int:
             max_inflight=args.max_inflight,
             max_batch_queries=args.max_batch_queries,
             drain_timeout=args.drain_timeout,
+            update_mode=args.update_mode,
             log_level=args.log_level,
         )
         for index in range(args.workers)
@@ -312,6 +319,99 @@ def _cmd_query(args) -> int:
             print(f"retries_total={resilience['retries_total']} "
                   f"reconnects_total={resilience['reconnects_total']}",
                   file=sys.stderr)
+    return 0
+
+
+def _parse_delta_line(line: str, default_table: str | None):
+    """Parse one delta line: JSON object or ``TABLE ROW COL DELTA`` text.
+
+    Returns ``(table, row, col, delta)`` or ``None`` for blank/comment
+    lines.  With ``--table`` set, text lines may omit the table name
+    (``ROW COL DELTA``).
+    """
+    import json
+
+    text = line.strip()
+    if not text or text.startswith("#"):
+        return None
+    if text.startswith("{"):
+        try:
+            record = json.loads(text)
+            table = record.get("table", default_table)
+            if table is None:
+                raise ValueError("no 'table' field and no --table default")
+            return (str(table), int(record["row"]), int(record["col"]),
+                    float(record["delta"]))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise SystemExit(f"bad delta line {text!r}: {exc}") from None
+    parts = text.split()
+    try:
+        if len(parts) == 4:
+            return parts[0], int(parts[1]), int(parts[2]), float(parts[3])
+        if len(parts) == 3 and default_table is not None:
+            return default_table, int(parts[0]), int(parts[1]), float(parts[2])
+    except ValueError as exc:
+        raise SystemExit(f"bad delta line {text!r}: {exc}") from None
+    raise SystemExit(
+        f"bad delta line {text!r}: expected JSON, 'TABLE ROW COL DELTA', "
+        f"or 'ROW COL DELTA' with --table"
+    )
+
+
+def _cmd_ingest(args) -> int:
+    from repro.serve import Client, RetryPolicy
+
+    if args.deltas == "-":
+        source = sys.stdin
+        close = False
+    else:
+        try:
+            source = open(args.deltas, "r", encoding="utf-8")
+        except OSError as exc:
+            raise SystemExit(f"cannot open delta stream {args.deltas!r}: {exc}")
+        close = True
+    batches = applied = duplicates = deltas_sent = 0
+    pending: dict[str, list] = {}
+
+    retry = RetryPolicy(max_attempts=max(1, args.retries))
+    try:
+        with Client(args.host, args.port, timeout=args.timeout, retry=retry,
+                    deadline=args.request_deadline) as client:
+
+            def flush(table: str) -> None:
+                nonlocal batches, applied, duplicates, deltas_sent
+                cells = pending.pop(table, None)
+                if not cells:
+                    return
+                result = client.update(table, cells)
+                batches += 1
+                deltas_sent += len(cells)
+                if result.get("duplicate"):
+                    duplicates += 1
+                else:
+                    applied += 1
+                if not args.quiet:
+                    print(f"{table}: {len(cells)} delta(s) "
+                          f"{'duplicate' if result.get('duplicate') else 'applied'} "
+                          f"(maps patched={result.get('maps_patched', 0)} "
+                          f"invalidated={result.get('maps_invalidated', 0)})")
+
+            for line in source:
+                parsed = _parse_delta_line(line, args.table)
+                if parsed is None:
+                    continue
+                table, row, col, delta = parsed
+                pending.setdefault(table, []).append((row, col, delta))
+                if len(pending[table]) >= args.batch_size:
+                    flush(table)
+            for table in sorted(pending):
+                flush(table)
+    finally:
+        if close:
+            source.close()
+    print(f"ingested {deltas_sent} delta(s) in {batches} batch(es): "
+          f"{applied} applied, {duplicates} duplicate(s) skipped",
+          file=sys.stderr)
     return 0
 
 
@@ -572,6 +672,11 @@ def main(argv=None) -> int:
                        help="shed query batches larger than this many queries")
     serve.add_argument("--drain-timeout", type=float, default=5.0,
                        help="seconds to wait for in-flight batches on shutdown")
+    serve.add_argument("--update-mode", default="auto",
+                       choices=("patch", "invalidate", "auto"),
+                       help="live-update map maintenance: patch sketch maps "
+                            "in place, invalidate and rebuild lazily, or "
+                            "choose per batch by affected area (default)")
     serve.add_argument("--quality-sample-rate", type=float, default=0.0,
                        help="fraction of served queries shadow-verified "
                             "against the exact distance (0 disables)")
@@ -616,6 +721,10 @@ def main(argv=None) -> int:
     shard_serve.add_argument("--drain-timeout", type=float, default=5.0,
                              help="seconds to wait for in-flight batches on "
                                   "shutdown (router and workers)")
+    shard_serve.add_argument("--update-mode", default="auto",
+                             choices=("patch", "invalidate", "auto"),
+                             help="each worker's live-update map maintenance "
+                                  "strategy (default: auto)")
     shard_serve.add_argument("--retries", type=int, default=4,
                              help="router->shard attempts per request for "
                                   "transient failures; 1 disables")
@@ -642,6 +751,33 @@ def main(argv=None) -> int:
     query.add_argument("--ping", action="store_true", help="just ping the server")
     query.add_argument("--tables", action="store_true", help="list served tables")
     query.add_argument("--stats", action="store_true", help="dump engine statistics")
+
+    ingest = commands.add_parser(
+        "ingest", help="apply a delta stream to a running server's tables"
+    )
+    ingest.add_argument("deltas",
+                        help="delta stream file, or '-' for stdin; lines are "
+                             "'TABLE ROW COL DELTA', 'ROW COL DELTA' (with "
+                             "--table), or JSON objects with table/row/col/"
+                             "delta fields; '#' comments and blanks skipped")
+    ingest.add_argument("--table", default=None,
+                        help="default table for lines that omit one")
+    ingest.add_argument("--host", default="127.0.0.1", help="server address")
+    ingest.add_argument("--port", type=int, default=7337, help="server port")
+    ingest.add_argument("--batch-size", type=int, default=256,
+                        help="flush a table's pending deltas as one idempotent "
+                             "update batch at this size (default 256)")
+    ingest.add_argument("--timeout", type=float, default=30.0,
+                        help="socket timeout in seconds")
+    ingest.add_argument("--retries", type=int, default=4,
+                        help="attempts per update for transient failures; "
+                             "duplicates are detected server-side, so retried "
+                             "batches apply exactly once")
+    ingest.add_argument("--request-deadline", type=float, default=None,
+                        help="client-side per-update budget in seconds "
+                             "across all retries")
+    ingest.add_argument("--quiet", action="store_true",
+                        help="suppress the per-batch progress lines")
 
     stats = commands.add_parser(
         "stats", help="scrape a running server's metrics"
@@ -675,10 +811,12 @@ def main(argv=None) -> int:
         "bench", help="run the continuous benchmark harness"
     )
     bench.add_argument("--suite", action="append",
-                       choices=("serving", "pipeline", "serving-sharded"),
-                       help="suites to run (default: all three; "
-                            "serving-sharded spawns real worker processes); "
-                            "repeatable")
+                       choices=("serving", "pipeline", "serving-sharded",
+                                "ingest"),
+                       help="suites to run (default: all; serving-sharded "
+                            "spawns real worker processes; ingest measures "
+                            "live update throughput and post-update query "
+                            "latency); repeatable")
     bench.add_argument("--quick", action="store_true",
                        help="smaller workloads for CI smoke runs")
     bench.add_argument("--out", default="benchmarks",
@@ -704,6 +842,7 @@ def main(argv=None) -> int:
         "serve": _cmd_serve,
         "shard-serve": _cmd_shard_serve,
         "query": _cmd_query,
+        "ingest": _cmd_ingest,
         "stats": _cmd_stats,
         "trace": _cmd_trace,
         "bench": _cmd_bench,

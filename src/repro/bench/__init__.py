@@ -13,6 +13,7 @@ schema and gating semantics.
 
 from repro.bench.runner import (
     BenchResult,
+    bench_ingest,
     bench_pipeline,
     bench_serving,
     bench_serving_sharded,
@@ -25,6 +26,7 @@ from repro.bench.runner import (
 
 __all__ = [
     "BenchResult",
+    "bench_ingest",
     "bench_serving",
     "bench_serving_sharded",
     "bench_pipeline",

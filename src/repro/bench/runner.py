@@ -1,6 +1,6 @@
 """The continuous benchmark runner behind ``repro bench``.
 
-Three suites, all seeded and headless:
+Four suites, all seeded and headless:
 
 ``serving``
     The mixed grid/compound/disjoint rectangle-query workload from the
@@ -24,6 +24,14 @@ Three suites, all seeded and headless:
     host's core count (recorded in every entry's machine fingerprint) —
     on a single-core host the sharded topology pays scatter overhead
     for no extra compute and the ratio honestly reflects that.
+``ingest``
+    The live-update path: batched cell deltas applied through
+    :meth:`~repro.serve.engine.SketchEngine.update` in each of the
+    three map-maintenance modes (patch in place, invalidate-and-lazily-
+    rebuild, and the from-scratch re-register baseline), each update
+    followed by a query batch so the number that matters — post-update
+    query latency — is measured per mode.  Entries land in
+    ``BENCH_ingest.json``; the gate holds patch-mode post-update p50.
 
 Each run appends one *trajectory entry* to ``BENCH_<suite>.json`` — a
 JSON list the file accumulates across runs, same shape the benchmark
@@ -52,6 +60,7 @@ from repro.errors import ParameterError
 
 __all__ = [
     "BenchResult",
+    "bench_ingest",
     "bench_serving",
     "bench_serving_sharded",
     "bench_pipeline",
@@ -62,7 +71,7 @@ __all__ = [
     "run_benchmarks",
 ]
 
-SUITES = ("serving", "pipeline", "serving-sharded")
+SUITES = ("serving", "pipeline", "serving-sharded", "ingest")
 
 # Serving workload (matches benchmarks/test_bench_serving.py so the two
 # trajectories stay comparable): a 128x256 table, k=64, p=1, three-way
@@ -509,10 +518,106 @@ def bench_serving_sharded(quick: bool = False, workers: int | None = None) -> Be
     )
 
 
+def bench_ingest(quick: bool = False) -> BenchResult:
+    """The live-update suite: patch vs invalidate vs full rebuild.
+
+    Applies a seeded stream of delta batches to the serving engine's
+    table through :meth:`~repro.serve.engine.SketchEngine.update`, once
+    per maintenance mode, with a mixed query batch after every update:
+
+    * **patch** — resident sketch maps shifted in place by the linear
+      update rule; queries stay warm.
+    * **invalidate** — affected maps dropped; the next query batch pays
+      the lazy FFT rebuilds (this is the bit-identical mode).
+    * **rebuild** — the from-scratch baseline: a fresh engine registers
+      the fully-updated array and answers the query batch cold.
+
+    The headline number is post-update query latency per mode; the gate
+    holds patch-mode post-update p50 (in-process and steady-state, so
+    it is stable enough for CI).  Sustained update throughput
+    (deltas/second) per mode lands in the extras.
+    """
+    from repro.ingest import DeltaBatch
+
+    n_batches = 12 if quick else 40
+    n_deltas = 32 if quick else 64
+    query_batch = _mixed_queries(_BATCH, _TABLE_SHAPE)
+
+    def delta_batches(label: str, rng) -> list:
+        batches = []
+        for index in range(n_batches):
+            rows = rng.integers(0, _TABLE_SHAPE[0], size=n_deltas)
+            cols = rng.integers(0, _TABLE_SHAPE[1], size=n_deltas)
+            values = rng.normal(size=n_deltas)
+            batches.append(DeltaBatch.from_cells(
+                "bench", f"ingest:{label}:{index}",
+                list(zip(rows.tolist(), cols.tolist(), values.tolist())),
+            ))
+        return batches
+
+    modes: dict[str, dict] = {}
+    for mode in ("patch", "invalidate"):
+        engine = _make_engine()
+        engine.query(query_batch)  # warm the maps: steady-state serving
+        batches = delta_batches(mode, np.random.default_rng(31))
+        update_times, query_times = [], []
+        for batch in batches:
+            begin = time.perf_counter()
+            engine.update(batch, mode=mode)
+            update_times.append(time.perf_counter() - begin)
+            begin = time.perf_counter()
+            engine.query(query_batch)
+            query_times.append(time.perf_counter() - begin)
+        total_update = sum(update_times)
+        modes[mode] = {
+            "updates_per_second": round(
+                n_batches * n_deltas / total_update, 2
+            ) if total_update else None,
+            "update_seconds": percentiles(update_times),
+            "post_update_query_seconds": percentiles(query_times),
+        }
+
+    # From-scratch baseline: fold the same deltas into the raw array and
+    # pay a fresh engine's register + cold query batch each time.  A few
+    # iterations suffice — the cost is map builds, not noise.
+    from repro.serve import SketchEngine
+
+    data = np.random.default_rng(17).normal(size=_TABLE_SHAPE)
+    rebuild_times = []
+    for batch in delta_batches("rebuild", np.random.default_rng(31))[
+        : max(3, n_batches // 8)
+    ]:
+        np.add.at(
+            data, (np.array(batch.rows), np.array(batch.cols)),
+            np.array(batch.deltas),
+        )
+        begin = time.perf_counter()
+        fresh = SketchEngine(p=_P, k=_K, seed=13)
+        fresh.register_array("bench", data.copy())
+        fresh.query(query_batch)
+        rebuild_times.append(time.perf_counter() - begin)
+    modes["rebuild"] = {
+        "register_and_query_seconds": percentiles(rebuild_times),
+    }
+
+    return BenchResult(
+        suite="ingest",
+        workload={
+            "update_batches": n_batches, "deltas_per_batch": n_deltas,
+            "query_batch": _BATCH, "table_shape": list(_TABLE_SHAPE),
+            "p": _P, "k": _K, "quick": quick,
+        },
+        latency_seconds=modes["patch"]["post_update_query_seconds"],
+        extras={"modes": modes},
+        gate_metric="p50",
+    )
+
+
 _SUITE_RUNNERS = {
     "serving": bench_serving,
     "pipeline": bench_pipeline,
     "serving-sharded": bench_serving_sharded,
+    "ingest": bench_ingest,
 }
 
 
@@ -635,6 +740,19 @@ def run_benchmarks(
                  f"qps {extras.get('qps_single_worker')} -> "
                  f"{extras.get('qps_sharded')} "
                  f"(x{speedup if speedup is not None else '?'})")
+        if suite == "ingest":
+            modes = result.extras.get("modes", {})
+            patch = modes.get("patch", {})
+            invalidate = modes.get("invalidate", {})
+            rebuild = modes.get("rebuild", {}).get(
+                "register_and_query_seconds", {}
+            )
+            echo(f"ingest: patch {patch.get('updates_per_second')} deltas/s "
+                 f"(post-update query p99="
+                 f"{patch.get('post_update_query_seconds', {}).get('p99', 0):.6g}s), "
+                 f"invalidate {invalidate.get('updates_per_second')} deltas/s "
+                 f"(p99={invalidate.get('post_update_query_seconds', {}).get('p99', 0):.6g}s), "
+                 f"rebuild mean={rebuild.get('mean', 0):.6g}s")
         if verdict["regressed"]:
             failed = True
         new_baseline[suite] = {

@@ -72,6 +72,11 @@ class PipelineStats(CounterLedger):
         Total bytes of those maps.
     maps_evicted / bytes_evicted:
         Maps (and their bytes) dropped by a pool's LRU budget.
+    maps_patched / maps_invalidated:
+        Resident maps updated in place via the linear-update rule vs.
+        dropped for lazy rebuild by :meth:`SketchPool.apply_deltas`.
+    cells_updated:
+        Individual cell deltas applied to pool data by ``apply_deltas``.
 
     All counters are updated through :meth:`tally`; each counter is
     individually atomic, so concurrent map builds account correctly.
@@ -87,6 +92,9 @@ class PipelineStats(CounterLedger):
         "bytes_built",
         "maps_evicted",
         "bytes_evicted",
+        "maps_patched",
+        "maps_invalidated",
+        "cells_updated",
     )
     _HELP = {
         "data_ffts_computed": "Padded data transforms actually computed.",
@@ -97,6 +105,9 @@ class PipelineStats(CounterLedger):
         "bytes_built": "Bytes of sketch maps materialised.",
         "maps_evicted": "Sketch maps dropped by an LRU budget.",
         "bytes_evicted": "Bytes of sketch maps dropped by an LRU budget.",
+        "maps_patched": "Resident maps patched in place by apply_deltas.",
+        "maps_invalidated": "Resident maps dropped for rebuild by apply_deltas.",
+        "cells_updated": "Cell deltas applied to pool data by apply_deltas.",
     }
 
     @property

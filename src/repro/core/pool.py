@@ -514,6 +514,153 @@ class SketchPool:
         return self._map(row_exp, col_exp, stream)[:, row, col].astype(np.float64)
 
     # ------------------------------------------------------------------
+    # Live updates (linearity: Section 2 of the paper)
+    # ------------------------------------------------------------------
+
+    #: Map-maintenance strategies accepted by :meth:`apply_deltas`.
+    UPDATE_MODES = ("patch", "invalidate", "auto")
+
+    def apply_deltas(
+        self,
+        rows,
+        cols,
+        deltas,
+        mode: str = "auto",
+        patch_max_cells: int | None = None,
+    ) -> dict:
+        """Apply point updates ``data[r, c] += d`` and maintain the maps.
+
+        Stable sketches are linear in the data, so a cell delta ``d`` at
+        ``(i, j)`` shifts entry ``q`` of every window sketch covering the
+        cell by ``d * M_q[i - r, j - c]`` (the window's kernel value at
+        the cell's offset) — ``O(k)`` per covering placement, no FFT.
+        Each resident map is handled one of two ways:
+
+        * **patch** — an updated *copy* of the map is built by adding
+          the delta's contribution over the affected anchor rectangle,
+          then swapped in.  Readers holding the old array keep a
+          consistent pre-update view (copy-on-write); the patched map
+          matches a from-scratch rebuild up to ``map_dtype`` rounding.
+        * **invalidate** — the map is dropped and lazily rebuilt from
+          the updated data on its next query; the rebuild is
+          *bit-identical* to a pool freshly constructed from the final
+          data.  Only resident maps are touched — nothing is rebuilt
+          eagerly, and absent maps cost nothing.
+
+        ``mode="auto"`` patches a map when the total affected-cell work
+        is at most ``patch_max_cells`` (default: the map's position
+        count, i.e. patch whenever it is cheaper than a rebuild) and
+        invalidates it otherwise.
+
+        Pools loaded memory-mapped promote ``data`` to a private RAM
+        copy on the first update (the archive file is never written).
+        Callers must not race this method against queries on the same
+        pool — the serving engine serialises updates behind its
+        read-write lock; direct users must do the same.
+
+        Returns a summary dict: ``cells`` applied, ``maps_patched``,
+        ``maps_invalidated``.
+        """
+        if mode not in self.UPDATE_MODES:
+            raise ParameterError(
+                f"update mode must be one of {self.UPDATE_MODES}, got {mode!r}"
+            )
+        if patch_max_cells is not None and patch_max_cells < 0:
+            raise ParameterError(
+                f"patch_max_cells must be >= 0, got {patch_max_cells}"
+            )
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        deltas = np.asarray(deltas, dtype=np.float64)
+        if not rows.shape == cols.shape == deltas.shape or rows.ndim != 1:
+            raise ParameterError("rows, cols and deltas must be equal-length 1-D")
+        if rows.size == 0:
+            return {"cells": 0, "maps_patched": 0, "maps_invalidated": 0}
+        height, width = self.data.shape
+        if ((rows < 0) | (rows >= height) | (cols < 0) | (cols >= width)).any():
+            raise ParameterError(
+                f"update coordinates outside table of shape {self.data.shape}"
+            )
+        if not np.isfinite(deltas).all():
+            raise ParameterError("update deltas must be finite")
+        with self._lock, self.tracer.span(
+            "pool.apply_deltas", cells=int(rows.size), mode=mode
+        ):
+            if not self.data.flags.writeable:
+                # Memory-mapped archive data is read-only: promote to a
+                # private RAM copy and re-seat the spectrum cache on it.
+                self.data = self.data.copy()
+                cache = SpectrumCache(self.data)
+                cache.bind_metrics(self._registry, **self._obs_labels)
+                self._spectrum_cache = cache
+            np.add.at(self.data, (rows, cols), deltas)
+            # Cached padded spectra describe the pre-update data.
+            self._spectrum_cache.clear()
+            patched = invalidated = 0
+            for key in list(self._maps):
+                if self._maintain_map(key, rows, cols, deltas, mode, patch_max_cells):
+                    patched += 1
+                else:
+                    invalidated += 1
+            self.stats.tally(
+                cells_updated=int(rows.size),
+                maps_patched=patched,
+                maps_invalidated=invalidated,
+            )
+        return {
+            "cells": int(rows.size),
+            "maps_patched": patched,
+            "maps_invalidated": invalidated,
+        }
+
+    def _maintain_map(self, key, rows, cols, deltas, mode, patch_max_cells) -> bool:
+        """Patch or invalidate one resident map; True when patched.
+
+        Caller holds the pool lock and has already applied the deltas
+        to ``self.data``.
+        """
+        row_exp, col_exp, stream = key
+        a, b = 1 << row_exp, 1 << col_exp
+        height, width = self.data.shape
+        r0 = np.maximum(0, rows - a + 1)
+        r1 = np.minimum(rows, height - a)
+        c0 = np.maximum(0, cols - b + 1)
+        c1 = np.minimum(cols, width - b)
+        if mode == "patch":
+            do_patch = True
+        elif mode == "invalidate":
+            do_patch = False
+        else:
+            positions = (height - a + 1) * (width - b + 1)
+            limit = patch_max_cells if patch_max_cells is not None else positions
+            affected = int(((r1 - r0 + 1) * (c1 - c0 + 1)).sum())
+            do_patch = affected <= limit
+        if not do_patch:
+            self._maps.pop(key)
+            if self._budget is not None:
+                self._budget.discharge(self, key)
+            return False
+        # The stored stack may be a read-only memmap from an archive;
+        # copy-on-write also keeps in-flight readers consistent.
+        patched = np.array(self._maps[key])
+        kernels = self.generator.matrices((a, b), stream)
+        for index in range(rows.size):
+            i, j, d = int(rows[index]), int(cols[index]), float(deltas[index])
+            lo_r, hi_r = int(r0[index]), int(r1[index])
+            lo_c, hi_c = int(c0[index]), int(c1[index])
+            # Anchor (r, c) sees the cell at kernel offset (i-r, j-c):
+            # ascending anchors pair with descending kernel offsets,
+            # hence the reversed slice.
+            patched[:, lo_r : hi_r + 1, lo_c : hi_c + 1] += (
+                d
+                * kernels[:, i - hi_r : i - lo_r + 1, j - hi_c : j - lo_c + 1][
+                    :, ::-1, ::-1
+                ]
+            )
+        self._maps[key] = patched
+        return True
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 

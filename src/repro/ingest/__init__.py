@@ -1,0 +1,29 @@
+"""Live ingestion: incremental sketch maintenance and windowed tables.
+
+The sketches of the paper are *linear* in the data (Section 2): a cell
+update ``x[i, j] += d`` shifts each affected sketch entry by ``d``
+times one random kernel value — ``O(k)`` work, no rebuild.  This
+package turns that algebra into a serving feature:
+
+* :class:`~repro.ingest.deltas.DeltaBatch` — a validated, idempotent
+  batch of cell updates (the payload of the ``update`` wire op).
+* :class:`~repro.ingest.log.IngestLog` — exactly-once application of
+  batches against retried deliveries (bounded id memory).
+* :class:`~repro.ingest.window.WindowedTable` — the paper's rolling
+  18-day call-volume workload: per-day arrival partitions with
+  mergeable streaming sketches, window retire and compaction.
+* :class:`~repro.ingest.rwlock.RWLock` — the readers-writer lock the
+  serving engine uses so updates never produce torn reads.
+
+The pool-level update rule itself lives in
+:meth:`repro.core.pool.SketchPool.apply_deltas`; the serving-side
+plumbing (wire op, client retry, shard routing) is in ``repro.serve``
+and ``repro.shard``.  See ``docs/INGESTION.md``.
+"""
+
+from repro.ingest.deltas import DeltaBatch
+from repro.ingest.log import IngestLog
+from repro.ingest.rwlock import RWLock
+from repro.ingest.window import WindowedTable
+
+__all__ = ["DeltaBatch", "IngestLog", "RWLock", "WindowedTable"]

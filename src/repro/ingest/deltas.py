@@ -1,0 +1,137 @@
+"""Delta batches: the unit of live ingestion.
+
+A :class:`DeltaBatch` is a validated set of cell updates for one table,
+carrying the idempotency key that makes retried deliveries safe: the
+client stamps each batch with a unique ``batch_id`` before the first
+send, and the server-side :class:`~repro.ingest.log.IngestLog` applies
+each id at most once no matter how many times the batch arrives.
+
+The wire shape matches the ``update`` op::
+
+    {"op": "update", "table": "calls", "batch_id": "a1b2...",
+     "deltas": [[row, col, delta], ...]}
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+
+__all__ = ["DeltaBatch"]
+
+#: Most deltas accepted in one batch (mirrors the server's inclination
+#: to bound per-request work; large streams should be split).
+MAX_BATCH_DELTAS = 100_000
+
+
+@dataclass(frozen=True)
+class DeltaBatch:
+    """An idempotent batch of cell updates for one table.
+
+    Parameters
+    ----------
+    table:
+        Target table name.
+    batch_id:
+        The idempotency key.  Retried deliveries of the same id are
+        applied exactly once; distinct batches must use distinct ids.
+    rows, cols, deltas:
+        Parallel tuples: ``data[rows[i], cols[i]] += deltas[i]``.
+    """
+
+    table: str
+    batch_id: str
+    rows: tuple
+    cols: tuple
+    deltas: tuple
+
+    def __post_init__(self):
+        if not self.table or not isinstance(self.table, str):
+            raise ParameterError(f"table must be a non-empty string, got {self.table!r}")
+        if not self.batch_id or not isinstance(self.batch_id, str):
+            raise ParameterError(
+                f"batch_id must be a non-empty string, got {self.batch_id!r}"
+            )
+        if not (len(self.rows) == len(self.cols) == len(self.deltas)):
+            raise ParameterError("rows, cols and deltas must be equal-length")
+        if not self.rows:
+            raise ParameterError("a delta batch must contain at least one delta")
+        if len(self.rows) > MAX_BATCH_DELTAS:
+            raise ParameterError(
+                f"batch of {len(self.rows)} deltas exceeds the "
+                f"{MAX_BATCH_DELTAS} per-batch cap; split the stream"
+            )
+
+    @classmethod
+    def from_cells(cls, table: str, batch_id: str, cells) -> "DeltaBatch":
+        """Build from an iterable of ``(row, col, delta)`` triples.
+
+        This is the wire-parsing path: coordinates must be integers
+        (booleans rejected), deltas finite numbers.
+        """
+        rows, cols, deltas = [], [], []
+        for entry in cells:
+            try:
+                row, col, delta = entry
+            except (TypeError, ValueError):
+                raise ParameterError(
+                    f"each delta must be a [row, col, delta] triple, got {entry!r}"
+                ) from None
+            for coord in (row, col):
+                if isinstance(coord, bool) or not isinstance(coord, int):
+                    raise ParameterError(
+                        f"delta coordinates must be integers, got {entry!r}"
+                    )
+            if row < 0 or col < 0:
+                raise ParameterError(f"delta coordinates must be >= 0, got {entry!r}")
+            if isinstance(delta, bool) or not isinstance(delta, (int, float)):
+                raise ParameterError(f"delta value must be a number, got {entry!r}")
+            delta = float(delta)
+            if not math.isfinite(delta):
+                raise ParameterError(f"delta value must be finite, got {entry!r}")
+            rows.append(int(row))
+            cols.append(int(col))
+            deltas.append(delta)
+        return cls(
+            table=table,
+            batch_id=batch_id,
+            rows=tuple(rows),
+            cols=tuple(cols),
+            deltas=tuple(deltas),
+        )
+
+    @classmethod
+    def from_wire(cls, request: dict) -> "DeltaBatch":
+        """Parse the payload of an ``update`` wire request."""
+        table = request.get("table")
+        if not isinstance(table, str) or not table:
+            raise ParameterError("update needs a non-empty 'table' string")
+        batch_id = request.get("batch_id")
+        if not isinstance(batch_id, str) or not batch_id:
+            raise ParameterError("update needs a non-empty 'batch_id' string")
+        deltas = request.get("deltas")
+        if not isinstance(deltas, list) or not deltas:
+            raise ParameterError("update needs a non-empty 'deltas' list")
+        return cls.from_cells(table, batch_id, deltas)
+
+    def to_wire(self) -> dict:
+        """The ``update`` request payload (without the ``op`` field)."""
+        return {
+            "table": self.table,
+            "batch_id": self.batch_id,
+            "deltas": [
+                [row, col, delta]
+                for row, col, delta in zip(self.rows, self.cols, self.deltas)
+            ],
+        }
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaBatch(table={self.table!r}, batch_id={self.batch_id!r}, "
+            f"deltas={len(self.rows)})"
+        )

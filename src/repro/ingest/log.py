@@ -1,0 +1,108 @@
+"""The :class:`IngestLog`: exactly-once application of delta batches.
+
+Retries are fundamental to the serving client (a dropped connection is
+ambiguous — the request may or may not have been processed), and unlike
+queries an ``update`` is not naturally idempotent: applied twice, the
+table is wrong.  The ingest log restores idempotency server-side.
+Every batch carries a client-stamped ``batch_id``; the log remembers
+the ids it has applied in a bounded LRU and silently skips re-deliveries.
+The memory is per table, so distinct tables may reuse ids.
+
+The id memory is bounded (``capacity`` most recent ids per log), which
+is sound because the client retry window is short: a duplicate arrives
+within seconds of the original, while the memory holds tens of
+thousands of batches.  A batch that *fails* to apply is not recorded,
+so a retry after a transient failure goes through.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.errors import ParameterError
+from repro.ingest.deltas import DeltaBatch
+
+__all__ = ["IngestLog"]
+
+
+class IngestLog:
+    """Applies :class:`DeltaBatch`es to pools, each batch id at most once.
+
+    Parameters
+    ----------
+    capacity:
+        Most applied ``(table, batch_id)`` keys remembered; the oldest
+        are forgotten first.
+
+    Attributes
+    ----------
+    batches_applied / duplicates_skipped / deltas_applied:
+        Running totals, for the owning engine's counters and tests.
+    """
+
+    def __init__(self, capacity: int = 65536):
+        if capacity < 1:
+            raise ParameterError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._applied: OrderedDict[tuple[str, str], None] = OrderedDict()
+        self._lock = threading.Lock()
+        self.batches_applied = 0
+        self.duplicates_skipped = 0
+        self.deltas_applied = 0
+
+    def seen(self, table: str, batch_id: str) -> bool:
+        """Whether this ``(table, batch_id)`` has already been applied."""
+        with self._lock:
+            return (table, batch_id) in self._applied
+
+    def apply(
+        self,
+        pool,
+        batch: DeltaBatch,
+        mode: str = "auto",
+        patch_max_cells: int | None = None,
+    ) -> dict:
+        """Apply ``batch`` to ``pool`` unless its id was already applied.
+
+        Returns the :meth:`~repro.core.pool.SketchPool.apply_deltas`
+        summary plus ``applied``/``duplicate`` flags.  The id is
+        recorded only after a successful apply, so a failed attempt
+        stays retryable.  The log's lock is held across the apply:
+        concurrent deliveries of the same batch serialise here and the
+        loser sees the duplicate.
+        """
+        key = (batch.table, batch.batch_id)
+        with self._lock:
+            if key in self._applied:
+                self._applied.move_to_end(key)
+                self.duplicates_skipped += 1
+                return {
+                    "applied": False,
+                    "duplicate": True,
+                    "cells": 0,
+                    "maps_patched": 0,
+                    "maps_invalidated": 0,
+                }
+            result = pool.apply_deltas(
+                batch.rows,
+                batch.cols,
+                batch.deltas,
+                mode=mode,
+                patch_max_cells=patch_max_cells,
+            )
+            self._applied[key] = None
+            while len(self._applied) > self.capacity:
+                self._applied.popitem(last=False)
+            self.batches_applied += 1
+            self.deltas_applied += result["cells"]
+        result = dict(result)
+        result["applied"] = True
+        result["duplicate"] = False
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestLog(capacity={self.capacity}, remembered={len(self._applied)}, "
+            f"applied={self.batches_applied}, duplicates={self.duplicates_skipped})"
+        )

@@ -1,0 +1,71 @@
+"""A readers-writer lock for the serving engine's update path.
+
+Queries against an engine are pure reads and may overlap freely; an
+``update`` must be exclusive, or a query batch could gather some maps
+from before a delta batch and some from after it — a *torn* read that
+corresponds to no table state that ever existed.  The stdlib has no RW
+lock, so this is a minimal condition-variable implementation.
+
+Writer preference: once a writer is waiting, new readers queue behind
+it.  Ingestion is bursty and queries are plentiful, so without
+preference a steady query stream could starve updates forever; with it,
+an update waits only for the reads already in flight.  The lock is not
+reentrant in either direction — the engine takes it once per request at
+the outermost level, strictly outside any pool or budget lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["RWLock"]
+
+
+class RWLock:
+    """Readers share, writers exclude, waiting writers bar new readers."""
+
+    def __init__(self):
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read_locked(self):
+        """Shared acquisition: overlaps other readers, excludes writers."""
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._condition.notify_all()
+
+    @contextmanager
+    def write_locked(self):
+        """Exclusive acquisition: waits out readers, bars new ones."""
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._condition.wait()
+                self._writer_active = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writer_active = False
+                self._condition.notify_all()
+
+    def __repr__(self) -> str:
+        return (
+            f"RWLock(readers={self._readers}, writer={self._writer_active}, "
+            f"waiting_writers={self._writers_waiting})"
+        )

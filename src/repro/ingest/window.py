@@ -1,0 +1,235 @@
+"""The :class:`WindowedTable`: the paper's rolling call-volume workload.
+
+The flagship experiment of the paper serves an AT&T call-volume table
+over a *rolling 18-day window*: every day a new day's traffic arrives
+and the oldest day retires.  A :class:`WindowedTable` models that as a
+ring of day partitions over a fixed-shape table — day ``d`` occupies
+the column block ``(d % window_days) * day_width`` — so the served
+table never changes shape and day turnover is a pair of delta batches
+(positive arrivals, negative retirement) rather than a re-registration.
+
+Each live day keeps its own mergeable
+:class:`~repro.stream.sketch.StreamingSketch` partition.  Partitions
+cover *disjoint* column ranges, so their merge is exact: the combined
+sketch is bit-identical to bulk-ingesting the materialised window with
+:meth:`StreamingSketch.from_array`, in any merge, compaction, or
+retirement order (the sketches accumulate exactly — see
+:mod:`repro.stream.sketch`).  :meth:`compact` folds retired history
+into a base sketch; retiring a compacted day applies the exact
+negations of its arrival deltas, which cancel perfectly.
+
+:meth:`arrive` and :meth:`retire` return the
+:class:`~repro.ingest.deltas.DeltaBatch` to feed a live serving
+topology, so the local sketches and the remote pools stay in lockstep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError, ShapeError
+from repro.ingest.deltas import DeltaBatch
+from repro.stream.sketch import StreamingSketch
+
+__all__ = ["WindowedTable"]
+
+
+class WindowedTable:
+    """A fixed-shape table fed by per-day arrivals over a rolling window.
+
+    Parameters
+    ----------
+    name:
+        Table name stamped on emitted delta batches.
+    height:
+        Row count (e.g. customers).
+    day_width:
+        Columns per day partition (e.g. hours: 24).
+    window_days:
+        Days in the rolling window (the paper uses 18).
+    p, k, seed, stream:
+        Sketch parameters for the per-partition streaming sketches.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        height: int,
+        day_width: int,
+        window_days: int = 18,
+        p: float = 1.0,
+        k: int = 60,
+        seed: int = 0,
+        stream: int = 0,
+    ):
+        if not name or not isinstance(name, str):
+            raise ParameterError(f"name must be a non-empty string, got {name!r}")
+        if height < 1 or day_width < 1 or window_days < 1:
+            raise ParameterError(
+                f"height, day_width and window_days must be >= 1, got "
+                f"({height}, {day_width}, {window_days})"
+            )
+        self.name = name
+        self.height = int(height)
+        self.day_width = int(day_width)
+        self.window_days = int(window_days)
+        self.shape = (self.height, self.window_days * self.day_width)
+        self.p = float(p)
+        self.k = int(k)
+        self.seed = int(seed)
+        self.stream = int(stream)
+        # Compacted history; empty until compact() folds day partitions in.
+        self._base = self._empty_sketch()
+        self._day_sketches: dict[int, StreamingSketch] = {}
+        self._day_arrays: dict[int, np.ndarray] = {}
+        self._compacted: set[int] = set()
+        self._epoch = 0  # makes batch ids unique across re-arrivals
+
+    def _empty_sketch(self) -> StreamingSketch:
+        return StreamingSketch(
+            self.p, self.k, self.shape, seed=self.seed, stream=self.stream
+        )
+
+    # ------------------------------------------------------------------
+    # Window geometry
+    # ------------------------------------------------------------------
+
+    def slot(self, day: int) -> int:
+        """First column of ``day``'s partition in the ring."""
+        if day < 0:
+            raise ParameterError(f"day must be >= 0, got {day}")
+        return (int(day) % self.window_days) * self.day_width
+
+    @property
+    def live_days(self) -> tuple[int, ...]:
+        """Days currently in the window, oldest first."""
+        return tuple(sorted(self._day_arrays))
+
+    def days_to_retire(self, newest_day: int) -> tuple[int, ...]:
+        """Live days that have rolled out of the window ending at ``newest_day``."""
+        cutoff = int(newest_day) - self.window_days
+        return tuple(day for day in self.live_days if day <= cutoff)
+
+    # ------------------------------------------------------------------
+    # Day turnover
+    # ------------------------------------------------------------------
+
+    def arrive(self, day: int, array) -> DeltaBatch | None:
+        """Admit ``day``'s traffic; returns the delta batch to serve.
+
+        ``array`` is the day's ``(height, day_width)`` partition.  The
+        day's ring slot must be free — the day that previously occupied
+        it must have been retired.  Returns ``None`` for an all-zero
+        day (nothing to send).
+        """
+        day = int(day)
+        array = np.asarray(array, dtype=np.float64)
+        if array.shape != (self.height, self.day_width):
+            raise ShapeError(
+                f"day partition must have shape {(self.height, self.day_width)}, "
+                f"got {array.shape}"
+            )
+        if not np.isfinite(array).all():
+            raise ParameterError("day partition must be finite")
+        if day in self._day_arrays:
+            raise ParameterError(f"day {day} already arrived")
+        slot = self.slot(day)
+        for live in self._day_arrays:
+            if self.slot(live) == slot:
+                raise ParameterError(
+                    f"day {day} would overwrite slot of live day {live}; "
+                    f"retire it first"
+                )
+        rows, cols = np.nonzero(array)
+        abs_cols = cols + slot
+        sketch = self._empty_sketch()
+        sketch.update_many(rows, abs_cols, array[rows, cols])
+        self._day_sketches[day] = sketch
+        self._day_arrays[day] = array.copy()
+        if rows.size == 0:
+            return None
+        self._epoch += 1
+        return DeltaBatch(
+            table=self.name,
+            batch_id=f"{self.name}:day{day}:arrive:{self._epoch}",
+            rows=tuple(int(r) for r in rows),
+            cols=tuple(int(c) for c in abs_cols),
+            deltas=tuple(float(v) for v in array[rows, cols]),
+        )
+
+    def retire(self, day: int) -> DeltaBatch | None:
+        """Drop ``day`` from the window; returns the negating delta batch.
+
+        A day still held as its own partition is simply dropped (exact
+        by construction).  A day already folded into the base by
+        :meth:`compact` is cancelled by applying the exact negations of
+        its arrival deltas — float negation is exact, so the base
+        sketch returns to the very bits it would have had without the
+        day.  Returns ``None`` for an all-zero day.
+        """
+        day = int(day)
+        array = self._day_arrays.pop(day, None)
+        if array is None:
+            raise ParameterError(f"day {day} is not live")
+        sketch = self._day_sketches.pop(day, None)
+        rows, cols = np.nonzero(array)
+        abs_cols = cols + self.slot(day)
+        if sketch is None:
+            # Compacted into the base: cancel the arrival contributions.
+            self._compacted.discard(day)
+            self._base.update_many(rows, abs_cols, -array[rows, cols])
+        if rows.size == 0:
+            return None
+        self._epoch += 1
+        return DeltaBatch(
+            table=self.name,
+            batch_id=f"{self.name}:day{day}:retire:{self._epoch}",
+            rows=tuple(int(r) for r in rows),
+            cols=tuple(int(c) for c in abs_cols),
+            deltas=tuple(-float(v) for v in array[rows, cols]),
+        )
+
+    def compact(self) -> int:
+        """Fold every per-day partition sketch into the base sketch.
+
+        Bounds the partition count for long-lived windows; the combined
+        sketch is unchanged down to the bit (exact merge).  Returns the
+        number of partitions folded.
+        """
+        folded = 0
+        for day in sorted(self._day_sketches):
+            self._base = self._base.merged(self._day_sketches.pop(day))
+            self._compacted.add(day)
+            folded += 1
+        return folded
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def sketch(self) -> StreamingSketch:
+        """The combined window sketch (exact merge of all partitions).
+
+        Bit-identical to ``StreamingSketch.from_array(materialized())``
+        with the same parameters, whatever the arrival/retire/compact
+        history.
+        """
+        combined = self._empty_sketch().merged(self._base)
+        for day in sorted(self._day_sketches):
+            combined = combined.merged(self._day_sketches[day])
+        return combined
+
+    def materialized(self) -> np.ndarray:
+        """The current window as a dense array (live days in their slots)."""
+        table = np.zeros(self.shape, dtype=np.float64)
+        for day, array in self._day_arrays.items():
+            slot = self.slot(day)
+            table[:, slot : slot + self.day_width] = array
+        return table
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowedTable(name={self.name!r}, shape={self.shape}, "
+            f"window_days={self.window_days}, live_days={len(self._day_arrays)})"
+        )

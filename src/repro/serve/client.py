@@ -15,8 +15,9 @@ On top of the wire protocol the client layers a failure story:
   ``RETRY_LATER``).
 * **Automatic reconnect.**  A broken connection is torn down and
   re-dialled lazily on the next request.
-* **Retries with backoff.**  Idempotent operations (every current op is
-  a pure read) are retried under a
+* **Retries with backoff.**  Idempotent operations — the pure reads,
+  plus ``update``, which is made idempotent by its server-deduplicated
+  batch id — are retried under a
   :class:`~repro.serve.retry.RetryPolicy` — exponential backoff, full
   jitter, rng injected for determinism — but *only* for typed retryable
   errors; a :class:`~repro.errors.ParameterError` never retries.
@@ -46,6 +47,7 @@ from typing import Callable
 import repro.errors
 from repro.errors import (
     ConnectionLostError,
+    ParameterError,
     ProtocolError,
     QueryTimeoutError,
     ReproError,
@@ -405,7 +407,7 @@ class Client:
         ) from last
 
     # ------------------------------------------------------------------
-    # Operations (all idempotent reads)
+    # Operations (all idempotent: pure reads, plus deduplicated updates)
     # ------------------------------------------------------------------
 
     def ping(self, deadline: float | None = None) -> bool:
@@ -468,3 +470,40 @@ class Client:
     def distance(self, table: str, a, b, strategy: str = "auto") -> QueryResult:
         """Answer one query (convenience wrapper over :meth:`query`)."""
         return self.query([(table, a, b, strategy)])[0]
+
+    def update(
+        self,
+        table: str,
+        deltas,
+        batch_id: str | None = None,
+        deadline: float | None = None,
+    ) -> dict:
+        """Apply a batch of cell deltas to a live table, exactly once.
+
+        ``deltas`` is an iterable of ``(row, col, delta)`` triples (or a
+        :class:`~repro.ingest.deltas.DeltaBatch`, whose table must match).
+        The batch is stamped with ``batch_id`` — generated from the
+        client's rng when omitted — *before* the first send, which is
+        what makes retrying safe: a re-delivered id is skipped by the
+        server's ingest log, so the update is applied at most once no
+        matter how many connection losses the retry policy rides out.
+
+        Returns the server's summary dict (``applied``, ``duplicate``,
+        ``cells``, ``maps_patched``, ``maps_invalidated``).
+        """
+        from repro.ingest.deltas import DeltaBatch
+
+        if isinstance(deltas, DeltaBatch):
+            if deltas.table != table:
+                raise ParameterError(
+                    f"batch targets table {deltas.table!r}, not {table!r}"
+                )
+            batch = deltas
+        else:
+            if batch_id is None:
+                batch_id = f"{self._rng.getrandbits(64):016x}"
+            batch = DeltaBatch.from_cells(table, batch_id, deltas)
+        request = dict(batch.to_wire(), op="update")
+        # Idempotent by construction: the batch id travels with every
+        # attempt, and the server applies each id at most once.
+        return self._roundtrip(request, idempotent=True, deadline=deadline)

@@ -31,6 +31,9 @@ from repro.core.generator import SketchGenerator
 from repro.core.io import load_pool
 from repro.core.pool import MapBudget, SketchPool
 from repro.errors import ParameterError
+from repro.ingest.deltas import DeltaBatch
+from repro.ingest.log import IngestLog
+from repro.ingest.rwlock import RWLock
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.quality import QualityMonitor
 from repro.obs.trace import Tracer
@@ -70,6 +73,18 @@ class SketchEngine:
     quality_rng:
         Optional seeded :class:`random.Random` driving the sampling
         decisions (deterministic verification schedules in tests).
+    update_mode:
+        Default map-maintenance strategy for live updates — one of
+        :attr:`SketchPool.UPDATE_MODES` (``"patch"`` updates resident
+        maps in place via the linear-update rule, ``"invalidate"``
+        drops them for a bit-exact lazy rebuild, ``"auto"`` picks per
+        map by affected area).
+
+    Concurrency: queries take the engine's readers-writer lock shared,
+    updates take it exclusive.  A query batch therefore always sees all
+    of its maps from the same table version — never a torn mix of pre-
+    and post-update maps — and the quality monitor's exact
+    re-verification reads the same post-update data the maps reflect.
 
     Examples
     --------
@@ -93,8 +108,15 @@ class SketchEngine:
         registry: MetricsRegistry | None = None,
         quality_sample_rate: float = 0.0,
         quality_rng: random.Random | None = None,
+        update_mode: str = "auto",
     ):
         self.defaults = SketchGenerator(p=p, k=k, seed=seed)  # validates p, k
+        if update_mode not in SketchPool.UPDATE_MODES:
+            raise ParameterError(
+                f"update_mode must be one of {SketchPool.UPDATE_MODES}, "
+                f"got {update_mode!r}"
+            )
+        self.update_mode = update_mode
         self.min_exponent = int(min_exponent)
         self.backend = backend
         # One budget even when unbounded: its lock is the single lock
@@ -114,6 +136,30 @@ class SketchEngine:
         )
         self.quality = QualityMonitor(
             self.registry, sample_rate=quality_sample_rate, rng=quality_rng
+        )
+        # Live-ingestion state: exactly-once batch application plus the
+        # readers-writer lock that keeps updates torn-read free.  The RW
+        # lock is strictly outermost — never acquired while holding a
+        # pool or budget lock.
+        self.ingest_log = IngestLog()
+        self._rw = RWLock()
+        self._ingest_updates = self.registry.counter(
+            "ingest_updates_total", help="Delta batches applied by the engine."
+        )
+        self._ingest_deltas = self.registry.counter(
+            "ingest_deltas_total", help="Individual cell deltas applied."
+        )
+        self._ingest_duplicates = self.registry.counter(
+            "ingest_duplicates_total",
+            help="Re-delivered delta batches skipped by the ingest log.",
+        )
+        self._ingest_patched = self.registry.counter(
+            "ingest_patched_maps_total",
+            help="Resident maps patched in place by live updates.",
+        )
+        self._ingest_invalidated = self.registry.counter(
+            "ingest_invalidated_maps_total",
+            help="Resident maps invalidated for rebuild by live updates.",
         )
         self._started = time.monotonic()
         self.registry.gauge_function(
@@ -335,12 +381,16 @@ class SketchEngine:
                 if not parsed:
                     raise ParameterError("query batch is empty")
                 deadline = None if timeout is None else time.monotonic() + timeout
-                results = self.planner.execute(parsed, deadline)
-                if self.quality.sample_rate > 0.0:
-                    with self.tracer.span("quality.verify"):
-                        self.quality.observe_batch(
-                            parsed, results, self._pools.get
-                        )
+                # Shared lock: the whole batch — map gathers and the
+                # exact shadow verification — sees one table version,
+                # never a torn mix across a racing update.
+                with self._rw.read_locked():
+                    results = self.planner.execute(parsed, deadline)
+                    if self.quality.sample_rate > 0.0:
+                        with self.tracer.span("quality.verify"):
+                            self.quality.observe_batch(
+                                parsed, results, self._pools.get
+                            )
         except Exception:
             self.stats.record_request("query", error=True)
             raise
@@ -352,6 +402,62 @@ class SketchEngine:
     def distance(self, table: str, a, b, strategy: str = "auto") -> QueryResult:
         """Answer one query (convenience wrapper over :meth:`query`)."""
         return self.query([(table, a, b, strategy)])[0]
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def update(self, batch: DeltaBatch, mode: str | None = None) -> dict:
+        """Apply a delta batch to its table, exactly once per batch id.
+
+        Takes the readers-writer lock exclusive, so no query batch ever
+        observes a half-applied update.  Re-delivered batch ids (client
+        retries after ambiguous failures) are skipped by the ingest log
+        and reported with ``duplicate: true``.
+
+        Parameters
+        ----------
+        batch:
+            The validated :class:`~repro.ingest.deltas.DeltaBatch`.
+        mode:
+            Optional per-call override of the engine's ``update_mode``.
+
+        Returns
+        -------
+        dict
+            JSON-safe summary: ``applied``, ``duplicate``, ``cells``,
+            ``maps_patched``, ``maps_invalidated``.
+        """
+        if not isinstance(batch, DeltaBatch):
+            batch = DeltaBatch.from_wire(batch)
+        if mode is not None and mode not in SketchPool.UPDATE_MODES:
+            raise ParameterError(
+                f"mode must be one of {SketchPool.UPDATE_MODES}, got {mode!r}"
+            )
+        start = time.perf_counter()
+        try:
+            with self.tracer.span(
+                "engine.update", table=batch.table, deltas=len(batch)
+            ):
+                pool = self.pool(batch.table)
+                with self._rw.write_locked():
+                    result = self.ingest_log.apply(
+                        pool, batch, mode=mode or self.update_mode
+                    )
+        except Exception:
+            self.stats.record_request("update", error=True)
+            raise
+        self.stats.record_request(
+            "update", batch_size=len(batch), seconds=time.perf_counter() - start
+        )
+        if result["duplicate"]:
+            self._ingest_duplicates.inc()
+        else:
+            self._ingest_updates.inc()
+            self._ingest_deltas.inc(result["cells"])
+            self._ingest_patched.inc(result["maps_patched"])
+            self._ingest_invalidated.inc(result["maps_invalidated"])
+        return result
 
     def __repr__(self) -> str:
         with self._registry_lock:

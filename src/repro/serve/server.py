@@ -12,11 +12,22 @@ Request::
     {"op": "tables"}
     {"op": "stats"}
     {"op": "query", "queries": [<query>, ...], "timeout": <seconds?>}
+    {"op": "update", "table": ..., "batch_id": "...",
+     "deltas": [[row, col, delta], ...]}
     {"op": "trace", "trace_id": <id>}
 
 where ``<query>`` is ``{"table": ..., "a": [row, col, height, width],
 "b": [...], "strategy": "auto"}`` (see
 :meth:`~repro.serve.planner.RectQuery.parse`).
+
+The ``update`` op applies a batch of cell deltas to a live table
+(``data[row, col] += delta``), maintaining the table's sketch maps via
+the linear-update rule.  ``batch_id`` is the client-stamped idempotency
+key: re-delivered ids (connection-loss retries) are skipped by the
+engine's :class:`~repro.ingest.log.IngestLog` and answered with
+``duplicate: true``, so retrying an update is always safe.  Updates
+count against the same in-flight cap as queries (they do real engine
+work) and are refused during drain.
 
 Any request may additionally carry a ``trace`` field —
 ``{"trace_id": <id>, "span_id": <client span id>}`` — which the server
@@ -79,6 +90,7 @@ from repro.errors import (
     ServerOverloadedError,
     TransientServeError,
 )
+from repro.ingest.deltas import DeltaBatch
 from repro.obs.export import StructuredLogger
 from repro.serve.engine import SketchEngine
 
@@ -88,7 +100,7 @@ __all__ = ["SketchServer"]
 # client, not a real batch (a 10k-query batch is ~1 MB).
 MAX_LINE_BYTES = 64 * 1024 * 1024
 
-_OPS = ("ping", "health", "tables", "stats", "query", "trace")
+_OPS = ("ping", "health", "tables", "stats", "query", "update", "trace")
 
 
 def _extract_trace(request) -> tuple[str | None, object]:
@@ -119,7 +131,7 @@ def _handle_request(engine: SketchEngine, request: dict) -> tuple[str, dict]:
     op = request.get("op") if isinstance(request, dict) else None
     label = op if op in _OPS else "protocol"
     start = time.perf_counter()
-    dispatched = False  # did engine.query take over the accounting?
+    dispatched = False  # did engine.query/update take over the accounting?
     try:
         if not isinstance(request, dict):
             raise ProtocolError(
@@ -143,6 +155,15 @@ def _handle_request(engine: SketchEngine, request: dict) -> tuple[str, dict]:
                 "trace_id": str(wanted),
                 "spans": engine.tracer.spans_for_trace(str(wanted)),
             }
+        elif op == "update":
+            unknown = set(request) - {"op", "table", "batch_id", "deltas", "trace"}
+            if unknown:
+                raise ProtocolError(
+                    f"update request has unknown keys {sorted(unknown)}"
+                )
+            batch = DeltaBatch.from_wire(request)
+            dispatched = True  # engine.update accounts itself
+            return label, engine.update(batch)
         else:
             unknown = set(request) - {"op", "queries", "timeout", "trace"}
             if unknown:
@@ -374,7 +395,7 @@ class SketchServer(socketserver.ThreadingTCPServer):
 
     @property
     def inflight_queries(self) -> int:
-        """Query requests currently executing (``max_inflight`` bounds this)."""
+        """Query/update requests executing (``max_inflight`` bounds this)."""
         return self._inflight_queries
 
     @property
@@ -399,14 +420,17 @@ class SketchServer(socketserver.ThreadingTCPServer):
 
         Raises :class:`~repro.errors.ServerDrainingError` for any
         request once a drain has begun, and
-        :class:`~repro.errors.ServerOverloadedError` for query requests
-        over the ``max_inflight`` / ``max_batch_queries`` caps — in
-        either case no slot is reserved.  Cheap introspection ops are
-        never shed by load, so health checks stay honest while the
-        engine is saturated.
+        :class:`~repro.errors.ServerOverloadedError` for query and
+        update requests over the ``max_inflight`` /
+        ``max_batch_queries`` caps — in either case no slot is
+        reserved.  Cheap introspection ops are never shed by load, so
+        health checks stay honest while the engine is saturated.
         """
         op = request.get("op") if isinstance(request, dict) else None
         is_query = op == "query"
+        # Updates do real engine work (delta application, map patching),
+        # so they share the query in-flight cap; introspection stays free.
+        is_heavy = op in ("query", "update")
         with self._inflight_cond:
             if self._draining.is_set():
                 self._sheds.inc()
@@ -414,28 +438,28 @@ class SketchServer(socketserver.ThreadingTCPServer):
                     "server is draining for shutdown; retry against another "
                     "replica"
                 )
-            if is_query:
-                if self.max_batch_queries is not None:
-                    queries = request.get("queries")
-                    if (isinstance(queries, list)
-                            and len(queries) > self.max_batch_queries):
-                        self._sheds.inc()
-                        raise ServerOverloadedError(
-                            f"batch of {len(queries)} queries exceeds the "
-                            f"per-request cap of {self.max_batch_queries}; "
-                            f"split the batch"
-                        )
+            if is_query and self.max_batch_queries is not None:
+                queries = request.get("queries")
+                if (isinstance(queries, list)
+                        and len(queries) > self.max_batch_queries):
+                    self._sheds.inc()
+                    raise ServerOverloadedError(
+                        f"batch of {len(queries)} queries exceeds the "
+                        f"per-request cap of {self.max_batch_queries}; "
+                        f"split the batch"
+                    )
+            if is_heavy:
                 if (self.max_inflight is not None
                         and self._inflight_queries >= self.max_inflight):
                     self._sheds.inc()
                     raise ServerOverloadedError(
-                        f"{self._inflight_queries} queries already in flight "
+                        f"{self._inflight_queries} requests already in flight "
                         f"(cap {self.max_inflight}); retry later"
                     )
             self._inflight += 1
-            if is_query:
+            if is_heavy:
                 self._inflight_queries += 1
-        return _Admitted(self, is_query)
+        return _Admitted(self, is_heavy)
 
     # ------------------------------------------------------------------
     # Logging

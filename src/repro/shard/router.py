@@ -3,9 +3,9 @@
 :class:`ShardRouter` fronts a fleet of
 :class:`~repro.serve.server.SketchServer` worker processes.  It is
 deliberately duck-compatible with
-:class:`~repro.serve.engine.SketchEngine` — ``query`` / ``health`` /
-``tables`` / ``stats_snapshot`` plus the ``stats`` / ``tracer`` /
-``registry`` attributes — so an unchanged :class:`SketchServer` can
+:class:`~repro.serve.engine.SketchEngine` — ``query`` / ``update`` /
+``health`` / ``tables`` / ``stats_snapshot`` plus the ``stats`` /
+``tracer`` / ``registry`` attributes — so an unchanged :class:`SketchServer` can
 wrap a router and expose a whole fleet behind the single-process wire
 protocol (that is exactly what ``python -m repro shard-serve`` does).
 
@@ -397,6 +397,55 @@ class ShardRouter:
     def distance(self, table: str, a, b, strategy: str = "auto") -> QueryResult:
         """Answer one query (convenience wrapper over :meth:`query`)."""
         return self.query([(table, a, b, strategy)])[0]
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def update(self, batch, mode: str | None = None) -> dict:
+        """Route a delta batch to the shard owning its table.
+
+        ``batch`` is a :class:`~repro.ingest.deltas.DeltaBatch` or its
+        wire dict.  Updates go to the *owner* shard only — the same
+        shard every query for the table is routed to — so the serving
+        copy stays current; replicas on non-owner shards are not
+        updated (they go stale and must not be queried, which the
+        owner-based query routing already guarantees).  Idempotency is
+        end-to-end: the batch id rides every retry and each shard's
+        ingest log deduplicates.  ``mode`` is accepted for engine
+        duck-compatibility; shard workers apply their own configured
+        update mode.
+        """
+        from repro.ingest.deltas import DeltaBatch
+
+        if not isinstance(batch, DeltaBatch):
+            batch = DeltaBatch.from_wire(batch)
+        if mode is not None:
+            raise ParameterError(
+                "per-call update mode overrides are not routable; configure "
+                "update_mode on the shard workers instead"
+            )
+        start = time.perf_counter()
+        try:
+            owner = self.owner_of(batch.table)
+            trace_id = self.tracer.current_trace_id()
+            if trace_id is None:
+                trace_id = f"{self._rng.getrandbits(64):016x}"
+            with self.tracer.trace(trace_id):
+                with self.tracer.span(
+                    "router.update", shard=owner, deltas=len(batch)
+                ):
+                    result = self._shard_call(
+                        owner,
+                        lambda client: client.update(batch.table, batch),
+                    )
+        except Exception:
+            self.stats.record_request("update", error=True)
+            raise
+        self.stats.record_request(
+            "update", batch_size=len(batch), seconds=time.perf_counter() - start
+        )
+        return result
 
     # ------------------------------------------------------------------
     # Fan-in introspection (health / tables / stats / trace)

@@ -64,6 +64,12 @@ class WorkerConfig:
     max_inflight, max_batch_queries, drain_timeout:
         Serving caps, as in :class:`~repro.serve.server.SketchServer`
         — ``max_inflight`` is each shard's backpressure bound.
+    update_mode:
+        Live-update map maintenance strategy for this worker's engine
+        (``"patch"`` / ``"invalidate"`` / ``"auto"``).  A worker's
+        memory-mapped archive data is promoted to a private RAM copy on
+        its first update; the archive file itself is never written, so
+        sibling workers sharing it are unaffected.
     log_level:
         The worker's :class:`~repro.obs.export.StructuredLogger` level.
     """
@@ -83,6 +89,7 @@ class WorkerConfig:
     max_inflight: int | None = None
     max_batch_queries: int | None = None
     drain_timeout: float = 5.0
+    update_mode: str = "auto"
     log_level: str = "warning"
 
 
@@ -104,6 +111,7 @@ def _worker_main(config: WorkerConfig, ready) -> None:
             backend=config.backend,
             method=config.method,
             max_bytes=config.max_bytes,
+            update_mode=config.update_mode,
         )
         for table, path in sorted(dict(config.archives).items()):
             engine.register_pool_archive(table, path, mmap_mode="r")

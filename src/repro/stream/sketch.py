@@ -8,6 +8,27 @@ processes, and consistent: replaying any permutation of the same
 updates yields the identical sketch, and :meth:`from_array` (bulk
 ingest) equals the update path exactly.
 
+Two implementation notes feed that consistency guarantee:
+
+* **Per-cell randomness is cached.**  Deriving a ``SeedSequence`` and
+  drawing ``k`` stable variates costs far more than the ``O(k)``
+  arithmetic of the update itself, and real streams hit the same cells
+  over and over (the rolling call-volume workload updates one day's
+  column block all day).  A bounded LRU keeps the most recently touched
+  cells' value vectors; the cached path is bit-identical to deriving
+  from scratch because derivation is a pure function of
+  ``(seed, stream, row, col)``.
+
+* **Accumulation is exactly rounded.**  Plain ``+=`` makes the sketch
+  depend on update order (float addition is not associative).  Each of
+  the ``k`` entries is instead kept as a Shewchuk expansion — a short
+  list of non-overlapping floats whose mathematical sum is *exactly*
+  the sum of every contribution ever added — and rendered with
+  ``math.fsum``, which rounds that exact sum once.  Any permutation,
+  batching, or merge order of the same contributions therefore yields
+  bit-identical sketch values, and a delta and its exact negation
+  (window retire) cancel perfectly.
+
 Note streaming sketches use a different randomness layout than
 :class:`~repro.core.generator.SketchGenerator` (per-cell streams vs
 per-matrix streams), so the two families are deliberately *not*
@@ -15,6 +36,9 @@ comparable with each other; the sketch key records that.
 """
 
 from __future__ import annotations
+
+import math
+from collections import OrderedDict
 
 import numpy as np
 
@@ -24,6 +48,28 @@ from repro.errors import IncompatibleSketchError, ParameterError, ShapeError
 from repro.stable.sampler import sample_symmetric_stable
 
 __all__ = ["StreamingSketch"]
+
+
+def _grow_expansion(partials: list, x: float) -> None:
+    """Add ``x`` to a Shewchuk expansion in place (exact, no rounding).
+
+    ``partials`` is a list of non-overlapping floats in increasing
+    magnitude order whose exact sum is the value represented; after the
+    call the list represents exactly ``sum(partials) + x``.  This is the
+    classic grow-expansion kernel (Shewchuk 1997), the same scheme
+    ``math.fsum`` uses internally.
+    """
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
 
 
 class StreamingSketch:
@@ -40,9 +86,21 @@ class StreamingSketch:
     seed, stream:
         Randomness derivation keys; sketches are comparable iff all of
         ``(p, k, shape, seed, stream)`` agree.
+    cell_cache_size:
+        Most per-cell stable-value vectors kept in the LRU cache
+        (``k`` floats each).  ``0`` disables caching (every update
+        re-derives, the pre-cache behaviour, bit-identical).
     """
 
-    def __init__(self, p: float, k: int, shape: tuple[int, int], seed: int = 0, stream: int = 0):
+    def __init__(
+        self,
+        p: float,
+        k: int,
+        shape: tuple[int, int],
+        seed: int = 0,
+        stream: int = 0,
+        cell_cache_size: int = 4096,
+    ):
         if not 0.0 < p <= 2.0:
             raise ParameterError(f"p must be in (0, 2], got {p!r}")
         if k < 1:
@@ -50,25 +108,59 @@ class StreamingSketch:
         height, width = int(shape[0]), int(shape[1])
         if height < 1 or width < 1:
             raise ShapeError(f"shape must be positive, got {shape!r}")
+        if cell_cache_size < 0:
+            raise ParameterError(
+                f"cell_cache_size must be >= 0, got {cell_cache_size!r}"
+            )
         self.p = float(p)
         self.k = int(k)
         self.shape = (height, width)
         self.seed = int(seed)
         self.stream = int(stream)
-        self._values = np.zeros(self.k)
+        # One exact expansion per sketch entry; see module docstring.
+        self._partials: list[list] = [[] for _ in range(self.k)]
+        self._rendered: np.ndarray | None = None
         self.updates_processed = 0
+        self.cell_cache_size = int(cell_cache_size)
+        self._cell_cache: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+        self.cell_cache_hits = 0
+        self.cell_cache_misses = 0
 
     # ------------------------------------------------------------------
     # Randomness derivation
     # ------------------------------------------------------------------
 
-    def _cell_values(self, row: int, col: int) -> np.ndarray:
-        """The k stable values cell ``(row, col)`` projects onto."""
+    def _derive_cell_values(self, row: int, col: int) -> np.ndarray:
+        """Derive cell ``(row, col)``'s stable values from scratch."""
         sequence = np.random.SeedSequence(
             [self.seed, self.stream, int(row), int(col)]
         )
         rng = np.random.default_rng(sequence)
         return sample_symmetric_stable(self.p, self.k, rng)
+
+    def _cell_values(self, row: int, col: int) -> np.ndarray:
+        """The k stable values cell ``(row, col)`` projects onto (cached).
+
+        Derivation is a pure function of ``(seed, stream, row, col)``,
+        so serving from the cache is bit-identical to re-deriving; the
+        returned array is marked read-only because cache entries are
+        shared across calls.
+        """
+        if self.cell_cache_size == 0:
+            return self._derive_cell_values(row, col)
+        key = (int(row), int(col))
+        cached = self._cell_cache.get(key)
+        if cached is not None:
+            self._cell_cache.move_to_end(key)
+            self.cell_cache_hits += 1
+            return cached
+        values = self._derive_cell_values(row, col)
+        values.setflags(write=False)
+        self._cell_cache[key] = values
+        while len(self._cell_cache) > self.cell_cache_size:
+            self._cell_cache.popitem(last=False)
+        self.cell_cache_misses += 1
+        return values
 
     def _check_cell(self, row: int, col: int) -> None:
         if not (0 <= row < self.shape[0] and 0 <= col < self.shape[1]):
@@ -86,7 +178,11 @@ class StreamingSketch:
         delta = float(delta)
         if not np.isfinite(delta):
             raise ParameterError(f"update delta must be finite, got {delta!r}")
-        self._values += delta * self._cell_values(row, col)
+        cell = self._cell_values(row, col)
+        partials = self._partials
+        for index in range(self.k):
+            _grow_expansion(partials[index], delta * float(cell[index]))
+        self._rendered = None
         self.updates_processed += 1
 
     def update_many(self, rows, cols, deltas) -> None:
@@ -118,8 +214,18 @@ class StreamingSketch:
 
     @property
     def values(self) -> np.ndarray:
-        """The current k sketch entries (a copy)."""
-        return self._values.copy()
+        """The current k sketch entries (a copy).
+
+        Each entry is the exact sum of every contribution ever added,
+        rounded once (``math.fsum`` over the entry's expansion) — the
+        same bits no matter what order the updates arrived in.
+        """
+        if self._rendered is None:
+            self._rendered = np.array(
+                [math.fsum(partials) for partials in self._partials],
+                dtype=np.float64,
+            )
+        return self._rendered.copy()
 
     @property
     def key(self) -> SketchKey:
@@ -139,21 +245,30 @@ class StreamingSketch:
             )
 
     def merged(self, other: "StreamingSketch") -> "StreamingSketch":
-        """Sketch of the two update streams combined (linearity)."""
+        """Sketch of the two update streams combined (linearity).
+
+        The other sketch's expansion terms are folded in exactly, so
+        merging is associative and commutative down to the bit: any
+        merge tree over the same partitions renders identical values.
+        """
         self._require_comparable(other)
         merged = StreamingSketch(self.p, self.k, self.shape, self.seed, self.stream)
-        merged._values = self._values + other._values
+        for index in range(self.k):
+            partials = list(self._partials[index])
+            for term in other._partials[index]:
+                _grow_expansion(partials, term)
+            merged._partials[index] = partials
         merged.updates_processed = self.updates_processed + other.updates_processed
         return merged
 
     def estimate_distance(self, other: "StreamingSketch") -> float:
         """Estimated Lp distance between the two streams' table states."""
         self._require_comparable(other)
-        return estimate_distance_values(self._values - other._values, self.p)
+        return estimate_distance_values(self.values - other.values, self.p)
 
     def estimate_norm(self) -> float:
         """Estimated Lp norm of the current table state."""
-        return estimate_distance_values(self._values.copy(), self.p)
+        return estimate_distance_values(self.values, self.p)
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,353 @@
+"""Unit tests for the live-ingestion building blocks.
+
+Covers the :mod:`repro.ingest` primitives (delta batches, the
+exactly-once ingest log, the readers-writer lock), the pool's
+incremental map maintenance (`apply_deltas` in all three modes,
+including the memory-mapped promotion path), and the streaming sketch's
+bounded per-cell randomness cache.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.generator import SketchGenerator
+from repro.core.io import load_pool, save_pool
+from repro.core.pool import SketchPool
+from repro.errors import ParameterError
+from repro.ingest import DeltaBatch, IngestLog, RWLock, WindowedTable
+from repro.stream import StreamingSketch
+
+
+class TestDeltaBatch:
+    def test_wire_round_trip(self):
+        batch = DeltaBatch.from_cells("t", "b1", [(0, 1, 2.5), (3, 4, -1.0)])
+        wire = batch.to_wire()
+        assert wire == {"table": "t", "batch_id": "b1",
+                        "deltas": [[0, 1, 2.5], [3, 4, -1.0]]}
+        again = DeltaBatch.from_wire(dict(wire, op="update"))
+        assert again == batch
+        assert len(again) == 2
+
+    @pytest.mark.parametrize("cells", [
+        [(0.5, 1, 2.0)],          # float coordinate
+        [(True, 1, 2.0)],         # bool coordinate
+        [(-1, 0, 2.0)],           # negative coordinate
+        [(0, 0, float("nan"))],   # non-finite delta
+        [(0, 0, float("inf"))],
+        [(0, 0, "3")],            # non-numeric delta
+        [(0, 0)],                 # not a triple
+    ])
+    def test_bad_cells_rejected(self, cells):
+        with pytest.raises(ParameterError):
+            DeltaBatch.from_cells("t", "b", cells)
+
+    def test_empty_and_unkeyed_batches_rejected(self):
+        with pytest.raises(ParameterError):
+            DeltaBatch.from_cells("t", "b", [])
+        with pytest.raises(ParameterError):
+            DeltaBatch.from_cells("t", "", [(0, 0, 1.0)])
+        with pytest.raises(ParameterError):
+            DeltaBatch.from_cells("", "b", [(0, 0, 1.0)])
+
+    def test_wire_parse_requires_fields(self):
+        with pytest.raises(ParameterError):
+            DeltaBatch.from_wire({"op": "update", "table": "t", "deltas": [[0, 0, 1]]})
+        with pytest.raises(ParameterError):
+            DeltaBatch.from_wire({"op": "update", "table": "t", "batch_id": "b"})
+
+
+def make_pool(shape=(32, 48), k=12, seed=9, **kwargs) -> SketchPool:
+    data = np.random.default_rng(11).normal(size=shape)
+    return SketchPool(data, SketchGenerator(p=1.0, k=k, seed=seed), **kwargs)
+
+
+class TestIngestLog:
+    def test_applies_each_batch_id_once(self):
+        pool = make_pool()
+        log = IngestLog()
+        batch = DeltaBatch.from_cells("t", "b1", [(0, 0, 5.0)])
+        first = log.apply(pool, batch)
+        assert first["applied"] and not first["duplicate"]
+        assert first["cells"] == 1
+        before = pool.data[0, 0]
+        second = log.apply(pool, batch)
+        assert second["duplicate"] and not second["applied"]
+        assert pool.data[0, 0] == before  # not applied twice
+        assert log.batches_applied == 1
+        assert log.duplicates_skipped == 1
+        assert log.deltas_applied == 1
+
+    def test_distinct_tables_may_reuse_ids(self):
+        pool_a, pool_b = make_pool(), make_pool()
+        log = IngestLog()
+        log.apply(pool_a, DeltaBatch.from_cells("a", "b1", [(0, 0, 1.0)]))
+        result = log.apply(pool_b, DeltaBatch.from_cells("b", "b1", [(0, 0, 1.0)]))
+        assert result["applied"]
+
+    def test_failed_apply_stays_retryable(self):
+        pool = make_pool(shape=(8, 8))
+        log = IngestLog()
+        bad = DeltaBatch.from_cells("t", "b1", [(100, 100, 1.0)])  # out of range
+        with pytest.raises(ParameterError):
+            log.apply(pool, bad)
+        assert not log.seen("t", "b1")
+        good = DeltaBatch.from_cells("t", "b1", [(1, 1, 1.0)])
+        assert log.apply(pool, good)["applied"]
+
+    def test_bounded_memory_forgets_oldest(self):
+        pool = make_pool()
+        log = IngestLog(capacity=2)
+        for index in range(3):
+            log.apply(pool, DeltaBatch.from_cells("t", f"b{index}", [(0, 0, 0.5)]))
+        assert not log.seen("t", "b0")  # evicted
+        assert log.seen("t", "b1") and log.seen("t", "b2")
+
+    def test_capacity_validated(self):
+        with pytest.raises(ParameterError):
+            IngestLog(capacity=0)
+
+
+class TestRWLock:
+    def test_readers_are_concurrent(self):
+        lock = RWLock()
+        inside = threading.Barrier(2, timeout=5.0)
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # both readers inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert not any(thread.is_alive() for thread in threads)
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = RWLock()
+        order = []
+        writer_in = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                writer_in.set()
+                time.sleep(0.05)
+                order.append("write")
+
+        def reader():
+            writer_in.wait(timeout=5.0)
+            with lock.read_locked():
+                order.append("read")
+
+        threads = [threading.Thread(target=writer), threading.Thread(target=reader)]
+        threads[0].start()
+        writer_in.wait(timeout=5.0)
+        threads[1].start()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert order == ["write", "read"]
+
+
+class TestApplyDeltas:
+    """Incremental map maintenance against from-scratch ground truth."""
+
+    def deltas(self, shape, n=6, seed=3):
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, shape[0], size=n)
+        cols = rng.integers(0, shape[1], size=n)
+        values = rng.normal(size=n)
+        return rows, cols, values
+
+    def test_invalidate_is_bit_identical_to_fresh_pool(self):
+        pool = make_pool()
+        keys = [(3, 3, 0), (3, 4, 1), (4, 3, 0)]
+        for row_exp, col_exp, stream in keys:
+            pool._map(row_exp, col_exp, stream)
+        rows, cols, values = self.deltas(pool.data.shape)
+        summary = pool.apply_deltas(rows, cols, values, mode="invalidate")
+        assert summary["maps_invalidated"] == len(keys)
+        assert summary["maps_patched"] == 0
+        fresh = SketchPool(pool.data.copy(), pool.generator)
+        for row_exp, col_exp, stream in keys:
+            np.testing.assert_array_equal(
+                pool._map(row_exp, col_exp, stream),
+                fresh._map(row_exp, col_exp, stream),
+            )
+
+    def test_patch_matches_rebuild_within_rounding(self):
+        pool = make_pool()
+        keys = [(3, 3, 0), (3, 4, 1)]
+        for row_exp, col_exp, stream in keys:
+            pool._map(row_exp, col_exp, stream)
+        rows, cols, values = self.deltas(pool.data.shape)
+        summary = pool.apply_deltas(rows, cols, values, mode="patch")
+        assert summary["maps_patched"] == len(keys)
+        fresh = SketchPool(pool.data.copy(), pool.generator)
+        for row_exp, col_exp, stream in keys:
+            patched = pool._map(row_exp, col_exp, stream)
+            rebuilt = fresh._map(row_exp, col_exp, stream)
+            np.testing.assert_allclose(patched, rebuilt, rtol=1e-4, atol=1e-5)
+
+    def test_auto_mode_switches_on_affected_area(self):
+        pool = make_pool()
+        pool._map(3, 3, 0)
+        # One delta touches a bounded anchor rectangle: cheap, patched.
+        summary = pool.apply_deltas([0], [0], [1.0], mode="auto")
+        assert summary["maps_patched"] == 1
+        # A huge per-map budget of zero forces invalidation.
+        summary = pool.apply_deltas([0], [0], [1.0], mode="auto", patch_max_cells=0)
+        assert summary["maps_invalidated"] == 1
+
+    def test_estimates_stay_sound_after_patch(self):
+        pool = make_pool(shape=(64, 64), k=48)
+        from repro.core.estimators import estimate_distance
+        from repro.core.sketch import Sketch
+
+        def window_estimate():
+            maps = pool._map(3, 3, 0)
+            key = pool.generator.direct_key((8, 8), 0)
+            a = Sketch(np.array(maps[:, 0, 0]), key)
+            b = Sketch(np.array(maps[:, 32, 32]), key)
+            return estimate_distance(a, b)
+
+        pool._map(3, 3, 0)
+        rows, cols, values = self.deltas(pool.data.shape, n=10)
+        pool.apply_deltas(rows, cols, values, mode="patch")
+        estimate = window_estimate()
+        exact = np.abs(
+            pool.data[0:8, 0:8] - pool.data[32:40, 32:40]
+        ).sum()
+        assert estimate == pytest.approx(exact, rel=0.75)
+
+    def test_mmap_archive_promoted_to_ram_copy(self, tmp_path):
+        pool = make_pool()
+        pool._map(3, 3, 0)
+        path = tmp_path / "pool.npz"
+        save_pool(path, pool)
+        loaded = load_pool(path, mmap_mode="r")
+        assert not loaded.data.flags.writeable
+        summary = loaded.apply_deltas([0], [0], [2.5], mode="invalidate")
+        assert summary["cells"] == 1
+        assert loaded.data.flags.writeable
+        assert loaded.data[0, 0] == pool.data[0, 0] + 2.5
+        # The archive on disk is untouched.
+        again = load_pool(path, mmap_mode="r")
+        assert again.data[0, 0] == pool.data[0, 0]
+
+    def test_validation_errors(self):
+        pool = make_pool(shape=(8, 8))
+        with pytest.raises(ParameterError):
+            pool.apply_deltas([0], [0], [1.0], mode="bogus")
+        with pytest.raises(ParameterError):
+            pool.apply_deltas([9], [0], [1.0])
+        with pytest.raises(ParameterError):
+            pool.apply_deltas([0], [0], [float("nan")])
+        with pytest.raises(ParameterError):
+            pool.apply_deltas([0, 1], [0], [1.0])
+        with pytest.raises(ParameterError):
+            pool.apply_deltas([0], [0], [1.0], patch_max_cells=-1)
+
+    def test_empty_update_is_a_no_op(self):
+        pool = make_pool()
+        assert pool.apply_deltas([], [], []) == {
+            "cells": 0, "maps_patched": 0, "maps_invalidated": 0,
+        }
+
+    def test_counters_tallied(self):
+        pool = make_pool()
+        pool._map(3, 3, 0)
+        pool.apply_deltas([0], [0], [1.0], mode="patch")
+        pool.apply_deltas([0], [0], [1.0], mode="invalidate")
+        assert pool.stats.cells_updated == 2
+        assert pool.stats.maps_patched == 1
+        assert pool.stats.maps_invalidated == 1
+
+
+class TestCellValueCache:
+    """The bounded per-cell randomness LRU (satellite: re-derivation)."""
+
+    def test_cache_parity_with_derivation(self):
+        cached = StreamingSketch(1.0, 16, (8, 8), seed=4, stream=2)
+        uncached = StreamingSketch(1.0, 16, (8, 8), seed=4, stream=2,
+                                   cell_cache_size=0)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            row, col = int(rng.integers(0, 8)), int(rng.integers(0, 8))
+            delta = float(rng.normal())
+            cached.update(row, col, delta)
+            uncached.update(row, col, delta)
+        np.testing.assert_array_equal(cached.values, uncached.values)
+        assert cached.cell_cache_hits > 0
+        assert uncached.cell_cache_hits == 0
+
+    def test_cached_values_match_fresh_derivation(self):
+        sketch = StreamingSketch(1.0, 8, (4, 4), seed=1)
+        first = sketch._cell_values(2, 3)
+        second = sketch._cell_values(2, 3)
+        assert sketch.cell_cache_hits == 1
+        np.testing.assert_array_equal(first, sketch._derive_cell_values(2, 3))
+        assert second is first
+        assert not first.flags.writeable  # cache entries are immutable
+
+    def test_cache_is_bounded(self):
+        sketch = StreamingSketch(1.0, 4, (16, 16), seed=1, cell_cache_size=3)
+        for col in range(6):
+            sketch.update(0, col, 1.0)
+        assert len(sketch._cell_cache) == 3
+        assert sketch.cell_cache_misses == 6
+
+    def test_negative_cache_size_rejected(self):
+        with pytest.raises(ParameterError):
+            StreamingSketch(1.0, 4, (4, 4), cell_cache_size=-1)
+
+
+class TestWindowedTable:
+    def test_slot_geometry_and_validation(self):
+        table = WindowedTable("w", height=4, day_width=3, window_days=5)
+        assert table.shape == (4, 15)
+        assert table.slot(0) == 0
+        assert table.slot(6) == 3  # wraps the ring
+        with pytest.raises(ParameterError):
+            table.slot(-1)
+        with pytest.raises(ParameterError):
+            WindowedTable("w", height=0, day_width=3)
+
+    def test_arrive_retire_round_trip(self):
+        table = WindowedTable("w", height=4, day_width=3, window_days=5, k=8)
+        day = np.arange(12, dtype=float).reshape(4, 3)
+        batch = table.arrive(0, day)
+        assert batch.table == "w"
+        assert len(batch) == 11  # one zero cell skipped
+        assert table.live_days == (0,)
+        negation = table.retire(0)
+        assert negation is not None
+        assert list(negation.deltas) == [-d for d in batch.deltas]
+        assert table.live_days == ()
+
+    def test_slot_collision_and_double_arrival_rejected(self):
+        table = WindowedTable("w", height=2, day_width=2, window_days=3, k=4)
+        day = np.ones((2, 2))
+        table.arrive(0, day)
+        with pytest.raises(ParameterError):
+            table.arrive(0, day)
+        with pytest.raises(ParameterError):
+            table.arrive(3, day)  # same ring slot as day 0
+        with pytest.raises(ParameterError):
+            table.retire(1)  # not live
+
+    def test_all_zero_day_emits_no_batch(self):
+        table = WindowedTable("w", height=2, day_width=2, window_days=3, k=4)
+        assert table.arrive(0, np.zeros((2, 2))) is None
+        assert table.retire(0) is None
+
+    def test_days_to_retire(self):
+        table = WindowedTable("w", height=2, day_width=1, window_days=3, k=4)
+        for day in range(3):
+            table.arrive(day, np.ones((2, 1)) * (day + 1))
+        assert table.days_to_retire(3) == (0,)
+        assert table.days_to_retire(5) == (0, 1, 2)

@@ -1,0 +1,166 @@
+"""Property tests: live ingestion is bit-identical to bulk ingestion.
+
+The streaming sketch accumulates every update into exact (Shewchuk)
+floating-point expansions, so the rendered sketch depends only on the
+*multiset* of per-cell contributions — not their order, batching, or
+merge grouping.  Hypothesis drives that claim across random delta
+streams, permutations, batch splits, and :class:`WindowedTable`
+arrive/compact/retire schedules, always comparing against one bulk
+:meth:`StreamingSketch.from_array` of the final table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ingest import WindowedTable
+from repro.stream import StreamingSketch
+
+_P = 1.0
+_K = 6
+_SHAPE = (5, 7)
+
+
+def bulk(array: np.ndarray, shape=_SHAPE) -> StreamingSketch:
+    sketch = StreamingSketch(_P, _K, shape, seed=3, stream=1)
+    rows, cols = np.nonzero(array)
+    sketch.update_many(rows, cols, array[rows, cols])
+    return sketch
+
+
+@st.composite
+def delta_streams(draw):
+    """A stream of cell deltas where each touched cell is hit once.
+
+    Single-touch streams are the regime where replay order provably
+    cannot matter even in floating point: every partial sum holds one
+    exact term per cell.  Multi-touch cells are covered separately via
+    exact-cancelling pairs (the windowed retirement pattern).
+    """
+    n_cells = _SHAPE[0] * _SHAPE[1]
+    indices = draw(st.lists(st.integers(0, n_cells - 1), min_size=1,
+                            max_size=12, unique=True))
+    values = draw(st.lists(
+        st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False,
+                  width=64).filter(lambda v: v != 0.0),
+        min_size=len(indices), max_size=len(indices),
+    ))
+    return [(index // _SHAPE[1], index % _SHAPE[1], value)
+            for index, value in zip(indices, values)]
+
+
+@st.composite
+def permuted(draw, items):
+    order = draw(st.permutations(range(len(items))))
+    return [items[i] for i in order]
+
+
+class TestReplayOrderInvariance:
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_any_permutation_matches_bulk_ingest(self, data):
+        stream = data.draw(delta_streams())
+        table = np.zeros(_SHAPE)
+        for row, col, value in stream:
+            table[row, col] += value
+        reference = bulk(table).values
+
+        shuffled = data.draw(permuted(stream))
+        replayed = StreamingSketch(_P, _K, _SHAPE, seed=3, stream=1)
+        for row, col, value in shuffled:
+            replayed.update(row, col, value)
+        np.testing.assert_array_equal(replayed.values, reference)
+
+    @given(st.data())
+    @settings(max_examples=40)
+    def test_any_batching_and_merge_grouping_matches_bulk(self, data):
+        stream = data.draw(permuted(data.draw(delta_streams())))
+        table = np.zeros(_SHAPE)
+        for row, col, value in stream:
+            table[row, col] += value
+        reference = bulk(table).values
+
+        # Split the stream at arbitrary points into per-batch sketches,
+        # then merge the batch sketches in arbitrary order.
+        cuts = sorted(data.draw(st.lists(
+            st.integers(1, max(1, len(stream) - 1)), max_size=3, unique=True,
+        ))) if len(stream) > 1 else []
+        pieces = []
+        start = 0
+        for cut in cuts + [len(stream)]:
+            piece = StreamingSketch(_P, _K, _SHAPE, seed=3, stream=1)
+            for row, col, value in stream[start:cut]:
+                piece.update(row, col, value)
+            pieces.append(piece)
+            start = cut
+        merged = StreamingSketch(_P, _K, _SHAPE, seed=3, stream=1)
+        for piece in data.draw(permuted(pieces)):
+            merged = merged.merged(piece)
+        np.testing.assert_array_equal(merged.values, reference)
+
+    @given(st.data())
+    @settings(max_examples=25)
+    def test_exact_cancelling_pairs_vanish(self, data):
+        """A delta and its float negation cancel to the empty sketch."""
+        stream = data.draw(delta_streams())
+        sketch = StreamingSketch(_P, _K, _SHAPE, seed=3, stream=1)
+        forward = stream + [(row, col, -value) for row, col, value in stream]
+        for row, col, value in data.draw(permuted(forward)):
+            sketch.update(row, col, value)
+        np.testing.assert_array_equal(sketch.values, np.zeros(_K))
+
+
+@st.composite
+def window_schedules(draw):
+    """An interleaved arrive/compact/retire schedule over a small window."""
+    n_days = draw(st.integers(2, 6))
+    compact_after = draw(st.sets(st.integers(0, n_days - 1), max_size=3))
+    return n_days, compact_after
+
+
+class TestWindowedTableInvariance:
+    @given(window_schedules(), st.integers(0, 2**16 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_rolling_window_matches_bulk_of_materialized(
+        self, schedule, day_seed
+    ):
+        n_days, compact_after = schedule
+        window_days = 3
+        table = WindowedTable(
+            "w", height=4, day_width=3, window_days=window_days,
+            p=_P, k=_K, seed=5, stream=0,
+        )
+        rng = np.random.default_rng(day_seed)
+        for day in range(n_days):
+            # Sparse day traffic, some all-zero days included.
+            partition = rng.normal(size=(4, 3))
+            partition[rng.random(size=(4, 3)) < 0.4] = 0.0
+            for retired in table.days_to_retire(day):
+                table.retire(retired)
+            table.arrive(day, partition)
+            if day in compact_after:
+                table.compact()
+            reference = StreamingSketch.from_array(
+                table.materialized(), _P, _K, seed=5, stream=0
+            )
+            np.testing.assert_array_equal(
+                table.sketch.values, reference.values
+            )
+
+    @given(st.integers(0, 2**16 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_retire_after_compact_cancels_exactly(self, day_seed):
+        table = WindowedTable("w", height=3, day_width=2, window_days=4,
+                              p=_P, k=_K, seed=7)
+        rng = np.random.default_rng(day_seed)
+        days = {day: rng.normal(size=(3, 2)) for day in range(3)}
+        for day, partition in days.items():
+            table.arrive(day, partition)
+        table.compact()
+        table.retire(0)  # cancelled inside the base sketch
+        reference = StreamingSketch.from_array(
+            table.materialized(), _P, _K, seed=7, stream=0
+        )
+        np.testing.assert_array_equal(table.sketch.values, reference.values)

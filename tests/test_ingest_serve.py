@@ -1,0 +1,252 @@
+"""Live ingestion through the serving stack: wire op, chaos, races.
+
+Three layers of guarantees:
+
+* **wire semantics** — the ``update`` op round-trips through a real
+  server, duplicate batch ids are skipped, and validation failures come
+  back as typed errors without corrupting the table;
+* **exactly-once under faults** — a retrying client facing scripted
+  disconnects (including the ambiguous drop-*after*-send) applies each
+  batch exactly once, because the server-side ingest log dedupes the
+  client-stamped batch id;
+* **no torn reads** — query threads hammering a table while update
+  batches land never observe a half-applied update: every query batch
+  is answered against some complete prefix of the update stream.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.ingest import DeltaBatch
+from repro.serve import Client, RetryPolicy, SketchEngine, SketchServer
+from repro.shard import ShardRouter
+from repro.testing import DropAfterSend, DropBeforeSend, FaultPlan, flaky_connect
+
+SHAPE = (64, 64)
+
+
+def make_engine(**kwargs) -> SketchEngine:
+    engine = SketchEngine(p=1.0, k=16, seed=2, **kwargs)
+    engine.register_array("t", np.random.default_rng(8).normal(size=SHAPE))
+    return engine
+
+
+@pytest.fixture()
+def server():
+    with SketchServer(make_engine()) as srv:
+        srv.start()
+        yield srv
+
+
+def chaos_client(server, plan, attempts=6, **kwargs) -> Client:
+    host, port = server.address
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=attempts,
+                                           base_delay=0.01, max_delay=0.05))
+    kwargs.setdefault("rng", random.Random(1234))
+    return Client(host, port, timeout=10.0,
+                  connect=flaky_connect(host, port, plan), **kwargs)
+
+
+class TestUpdateWireOp:
+    def test_update_applies_and_queries_see_it(self, server):
+        query = ("t", (0, 0, 8, 8), (16, 16, 8, 8))
+        with Client(*server.address, timeout=10.0) as client:
+            before = client.query([query])[0].distance
+            result = client.update("t", [(0, 0, 100.0)])
+            assert result["applied"] and not result["duplicate"]
+            assert result["cells"] == 1
+            after = client.query([query])[0].distance
+        assert after != before
+
+    def test_duplicate_batch_id_skipped(self, server):
+        with Client(*server.address, timeout=10.0) as client:
+            first = client.update("t", [(1, 1, 2.0)], batch_id="b1")
+            again = client.update("t", [(1, 1, 2.0)], batch_id="b1")
+        assert first["applied"]
+        assert again["duplicate"] and not again["applied"]
+
+    def test_auto_batch_ids_are_unique(self, server):
+        with Client(*server.address, timeout=10.0) as client:
+            results = [client.update("t", [(2, 2, 0.5)]) for _ in range(4)]
+        assert all(result["applied"] for result in results)
+
+    def test_update_validation_is_typed(self, server):
+        with Client(*server.address, timeout=10.0) as client:
+            with pytest.raises(ParameterError):
+                client.update("nope", [(0, 0, 1.0)])
+            with pytest.raises(ParameterError):
+                client.update("t", [(999, 0, 1.0)])  # out of bounds
+            with pytest.raises(ParameterError):
+                client.update("t", [])
+            # The server still works after rejected updates.
+            assert client.ping()
+
+    def test_delta_batch_table_must_match(self, server):
+        batch = DeltaBatch.from_cells("other", "b", [(0, 0, 1.0)])
+        with Client(*server.address, timeout=10.0) as client:
+            with pytest.raises(ParameterError):
+                client.update("t", batch)
+
+    def test_update_counts_in_stats(self, server):
+        with Client(*server.address, timeout=10.0) as client:
+            client.update("t", [(0, 1, 1.0)])
+            stats = client.stats()
+        assert stats["requests"]["update"] == 1
+        metrics = stats["metrics"]
+        samples = metrics["ingest_updates_total"]["samples"]
+        assert samples[0]["value"] == 1
+
+
+class TestExactlyOnceUnderChaos:
+    """Satellite acceptance: duplicated delivery applies exactly once."""
+
+    def test_drop_after_send_applies_once(self, server):
+        """The ambiguous fault: the request reached the server, the
+        response was lost, and the client must retry.  Without the
+        ingest log the delta would land twice."""
+        engine = server.engine
+        baseline = float(engine.pool("t").data[5, 5])
+        plan = FaultPlan([DropAfterSend()])
+        with chaos_client(server, plan) as client:
+            result = client.update("t", [(5, 5, 7.0)], batch_id="chaos-1")
+        # The retry hit the dedupe path...
+        assert result["duplicate"]
+        assert client.resilience["reconnects_total"] == 1
+        # ...and the table moved exactly once.
+        assert float(engine.pool("t").data[5, 5]) == baseline + 7.0
+        assert engine.ingest_log.batches_applied == 1
+        assert engine.ingest_log.duplicates_skipped == 1
+
+    def test_drop_before_send_applies_once(self, server):
+        engine = server.engine
+        baseline = float(engine.pool("t").data[6, 6])
+        plan = FaultPlan([DropBeforeSend()])
+        with chaos_client(server, plan) as client:
+            result = client.update("t", [(6, 6, -3.0)], batch_id="chaos-2")
+        # The first attempt never reached the server: no duplicate.
+        assert result["applied"] and not result["duplicate"]
+        assert float(engine.pool("t").data[6, 6]) == baseline - 3.0
+        assert engine.ingest_log.duplicates_skipped == 0
+
+    def test_burst_of_disconnects_still_exactly_once(self, server):
+        engine = server.engine
+        baseline = float(engine.pool("t").data[7, 7])
+        plan = FaultPlan([DropAfterSend(), DropBeforeSend(), DropAfterSend()])
+        with chaos_client(server, plan) as client:
+            client.update("t", [(7, 7, 1.5)], batch_id="chaos-3")
+        assert float(engine.pool("t").data[7, 7]) == baseline + 1.5
+
+
+class TestUpdateQueryRaces:
+    """Queries racing updates never see a torn (half-applied) batch."""
+
+    N_BATCHES = 20
+
+    def batches(self):
+        rng = np.random.default_rng(55)
+        out = []
+        for index in range(self.N_BATCHES):
+            cells = [
+                (int(rng.integers(0, SHAPE[0])), int(rng.integers(0, SHAPE[1])),
+                 float(rng.normal()) or 1.0)
+                for _ in range(4)
+            ]
+            out.append(DeltaBatch.from_cells("t", f"race-{index}", cells))
+        return out
+
+    def test_queries_see_complete_prefixes_only(self):
+        # Invalidate mode rebuilds maps bit-identically from the data,
+        # so each complete prefix of the update stream yields one exact
+        # estimate value.  Precompute the full set on a reference
+        # engine; racing readers must only ever observe members of it —
+        # a torn (half-applied) map would produce a value outside.
+        query = [("t", (0, 0, 8, 8), (8, 8, 8, 8), "disjoint")]
+        batches = self.batches()
+        reference = make_engine(update_mode="invalidate")
+        allowed = {reference.query(query)[0].distance}
+        for batch in batches:
+            reference.update(batch)
+            allowed.add(reference.query(query)[0].distance)
+
+        engine = make_engine(update_mode="invalidate")
+        stop = threading.Event()
+        torn = []
+
+        def reader():
+            while not stop.is_set():
+                distance = engine.query(query)[0].distance
+                if distance not in allowed:
+                    torn.append(distance)
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for batch in batches:
+                engine.update(
+                    DeltaBatch.from_cells(
+                        "t", batch.batch_id,
+                        list(zip(batch.rows, batch.cols, batch.deltas)),
+                    )
+                )
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert torn == []
+        assert engine.ingest_log.batches_applied == self.N_BATCHES
+
+    def test_concurrent_duplicate_deliveries_apply_once(self):
+        engine = make_engine()
+        pool = engine.pool("t")
+        baseline = float(pool.data[9, 9])
+        batch = DeltaBatch.from_cells("t", "dup", [(9, 9, 2.0)])
+        outcomes = []
+        barrier = threading.Barrier(4, timeout=5.0)
+
+        def deliver():
+            barrier.wait()
+            outcomes.append(engine.update(batch)["applied"])
+
+        threads = [threading.Thread(target=deliver) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert sorted(outcomes) == [False, False, False, True]
+        assert float(pool.data[9, 9]) == baseline + 2.0
+
+
+class TestRouterUpdate:
+    def test_router_routes_update_to_owner_shard(self, server):
+        host, port = server.address
+        from repro.shard import ShardSpec
+
+        with ShardRouter([ShardSpec("s0", host, port)]) as router:
+            result = router.update(
+                DeltaBatch.from_cells("t", "routed-1", [(0, 0, 1.0)])
+            )
+            assert result["applied"]
+            # The same id through the router is deduped on the shard.
+            again = router.update(
+                DeltaBatch.from_cells("t", "routed-1", [(0, 0, 1.0)])
+            )
+            assert again["duplicate"]
+
+    def test_router_rejects_mode_override(self, server):
+        host, port = server.address
+        from repro.shard import ShardSpec
+
+        with ShardRouter([ShardSpec("s0", host, port)]) as router:
+            with pytest.raises(ParameterError):
+                router.update(
+                    DeltaBatch.from_cells("t", "routed-2", [(0, 0, 1.0)]),
+                    mode="patch",
+                )
