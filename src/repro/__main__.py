@@ -32,6 +32,11 @@ Commands
     Scrape a running server's metrics: a human-readable summary by
     default, the raw JSON snapshot with ``--json``, or Prometheus text
     exposition format with ``--prometheus``.
+``top``
+    Live telemetry dashboard: poll a server or shard fleet's
+    ``telemetry`` op and render per-shard QPS / p99 / inflight /
+    ingest staleness / SLO alerts with sparkline trends; ``--once
+    --json`` emits one machine-readable payload for scripting.
 ``trace``
     Render one trace id's merged client+server span timeline — fetched
     from a running server, from span-dump JSON files, or both.
@@ -169,6 +174,8 @@ def _cmd_serve(args) -> int:
         max_bytes=args.max_bytes,
         quality_sample_rate=args.quality_sample_rate,
         update_mode=args.update_mode,
+        telemetry_interval=args.telemetry_interval,
+        telemetry_persist=args.telemetry_persist,
     )
     for spec in args.table:
         name, path = _parse_table_spec(spec)
@@ -242,6 +249,7 @@ def _cmd_shard_serve(args) -> int:
             drain_timeout=args.drain_timeout,
             update_mode=args.update_mode,
             log_level=args.log_level,
+            telemetry_interval=args.telemetry_interval,
         )
         for index in range(args.workers)
     ]
@@ -488,9 +496,19 @@ def _print_stats_summary(snapshot: dict) -> None:
     # (single-process engine snapshots have none of these keys).
     aggregate = snapshot.get("aggregate")
     if aggregate:
-        print(f"fleet:    shards={aggregate.get('shards', 0)} "
-              f"queries={aggregate.get('queries', 0)} "
-              f"sheds={aggregate.get('sheds_total', 0)}")
+        line = (f"fleet:    shards={aggregate.get('shards', 0)} "
+                f"queries={aggregate.get('queries', 0)} "
+                f"sheds={aggregate.get('sheds_total', 0)}")
+        ingest_totals = aggregate.get("ingest") or {}
+        if ingest_totals.get("ingest_updates_total"):
+            line += (f" updates={ingest_totals['ingest_updates_total']} "
+                     f"deltas={ingest_totals.get('ingest_deltas_total', 0)}")
+        fleet_latency = aggregate.get("latency_seconds") or {}
+        if (fleet_latency.get("quantiles") or {}).get("p99") is not None:
+            line += f" p99={fleet_latency['quantiles']['p99']:.6g}s"
+        if aggregate.get("latency_buckets_mismatched"):
+            line += " [latency buckets mismatched; per-shard p99s only]"
+        print(line)
     for name, shard in sorted(snapshot.get("shards", {}).items()):
         requests = shard.get("requests", {}) or {}
         errors = shard.get("errors", {}) or {}
@@ -519,6 +537,35 @@ def _print_stats_summary(snapshot: dict) -> None:
         print(f"budget:   used={budget.get('used_bytes', 0)} "
               f"max={'unbounded' if cap is None else cap} "
               f"evicted={budget.get('maps_evicted', 0)}")
+    build = metrics.get("repro_build_info", {}).get("samples", [])
+    if build:
+        labels = build[0].get("labels", {})
+        line = (f"build:    repro={labels.get('version', '?')} "
+                f"python={labels.get('python', '?')} "
+                f"numpy={labels.get('numpy', '?')}")
+        uptime = metric_value("process_uptime_seconds", None)
+        if uptime is not None:
+            line += f" uptime={uptime:.0f}s"
+        print(line)
+    for table, watermark in sorted((snapshot.get("watermarks") or {}).items()):
+        stale = watermark.get("staleness_seconds")
+        print(f"ingest {table}: batches={watermark.get('batches', 0)} "
+              f"duplicates={watermark.get('duplicates', 0)} "
+              f"cells={watermark.get('cells', 0)} "
+              f"last_batch={watermark.get('batch_id')} "
+              f"staleness={'n/a' if stale is None else f'{stale:.1f}s'}")
+    slo = snapshot.get("slo") or {}
+    objectives = slo.get("objectives") or []
+    if objectives:
+        healthy = sum(1 for obj in objectives if not obj.get("firing"))
+        print(f"slo:      {healthy}/{len(objectives)} objectives healthy")
+    for alert in slo.get("firing", []):
+        print(f"ALERT [slo:{alert.get('slo')}] "
+              f"objective={alert.get('objective')} "
+              f"observed={alert.get('observed', 0) or 0:.4g} "
+              f"burn={alert.get('burn_long', 0) or 0:.3g}x/"
+              f"{alert.get('burn_short', 0) or 0:.3g}x "
+              f"threshold={alert.get('threshold', 0) or 0:.3g}x")
     quality = snapshot.get("quality", {})
     if quality.get("checks"):
         print(f"quality:  checks={quality['checks']} "
@@ -535,6 +582,140 @@ def _print_stats_summary(snapshot: dict) -> None:
               f"observed={alert.get('observed', 0):.4g} "
               f"bound={alert.get('bound', 0):.4g} "
               f"after {alert.get('checks', 0)} checks")
+
+
+# One glyph per trend point, scaled against the series peak.
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _sparkline(values, width: int = 24) -> str:
+    values = [max(0.0, float(v)) for v in (values or [])][-width:]
+    if not values:
+        return ""
+    peak = max(values)
+    if peak <= 0:
+        return _SPARK_CHARS[0] * len(values)
+    top = len(_SPARK_CHARS) - 1
+    return "".join(_SPARK_CHARS[round(v / peak * top)] for v in values)
+
+
+def _fmt_rate(value) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.1f}" if value < 1000 else f"{value:.0f}"
+
+
+def _fmt_ms(seconds) -> str:
+    return "-" if seconds is None else f"{seconds * 1000:.1f}"
+
+
+def _fmt_stale(seconds) -> str:
+    return "-" if seconds is None else f"{seconds:.1f}s"
+
+
+def _watermark_line(label: str, watermark: dict) -> str:
+    return (f"watermark {label}: batch={watermark.get('batch_id')} "
+            f"batches={watermark.get('batches', 0)} "
+            f"cells={watermark.get('cells', 0)} "
+            f"staleness={_fmt_stale(watermark.get('staleness_seconds'))}")
+
+
+def _render_top(payload: dict, address: str) -> str:
+    """One text frame of the ``repro top`` dashboard."""
+    lines = []
+    shards = payload.get("shards") if isinstance(payload.get("shards"), dict) else None
+    header = f"repro top — {address}"
+    if shards is not None:
+        header += f" — fleet of {len(shards)} shard(s)"
+    uptime = payload.get("uptime_seconds")
+    if uptime is not None:
+        header += f" — up {uptime:.0f}s"
+    samples = payload.get("samples")
+    if samples is not None:
+        header += f" — {samples} frame(s)"
+    lines.append(header)
+    lines.append(f"{'':<10} {'qps':>8} {'req/s':>8} {'err/s':>8} "
+                 f"{'p99ms':>8} {'infl':>5} {'stale':>8} {'alerts':>6}  trend(qps)")
+
+    def row(name: str, data: dict) -> str:
+        rates = data.get("rates") or {}
+        latency = data.get("latency") or {}
+        inflight = data.get("inflight")
+        firing = (data.get("slo") or {}).get("firing")
+        if firing is None:
+            firing = data.get("slo_firing") or []
+        trend = (data.get("trend") or {}).get("qps") or []
+        return (f"{name:<10} {_fmt_rate(rates.get('qps')):>8} "
+                f"{_fmt_rate(rates.get('requests_per_s')):>8} "
+                f"{_fmt_rate(rates.get('errors_per_s')):>8} "
+                f"{_fmt_ms(latency.get('p99')):>8} "
+                f"{'-' if inflight is None else int(inflight):>5} "
+                f"{_fmt_stale(data.get('staleness_seconds')):>8} "
+                f"{len(firing):>6}  {_sparkline(trend)}")
+
+    aggregate = payload.get("aggregate") or {}
+    if shards is not None:
+        for name, shard in sorted(shards.items()):
+            lines.append(row(name, shard))
+        if aggregate:
+            # The fleet row borrows the router's own trend — the
+            # aggregate carries no frame history of its own.
+            fleet = dict(aggregate, trend=payload.get("trend") or {})
+            lines.append(row("fleet", fleet))
+        for name, reason in sorted((payload.get("shards_unreachable") or {}).items()):
+            lines.append(f"{name:<10} UNREACHABLE ({reason})")
+    else:
+        lines.append(row("server", payload))
+    if shards is not None:
+        for shard, tables in sorted((aggregate.get("watermarks") or {}).items()):
+            for table, watermark in sorted(tables.items()):
+                lines.append(_watermark_line(f"{table}@{shard}", watermark))
+    else:
+        for table, watermark in sorted((payload.get("watermarks") or {}).items()):
+            lines.append(_watermark_line(table, watermark))
+    objectives = (payload.get("slo") or {}).get("objectives") or []
+    if objectives:
+        healthy = sum(1 for obj in objectives if not obj.get("firing"))
+        lines.append(f"SLO: {healthy}/{len(objectives)} objectives healthy")
+    alerts = list((payload.get("slo") or {}).get("firing") or [])
+    alerts.extend(aggregate.get("slo_firing") or [])
+    for alert in alerts:
+        where = f" shard={alert['shard']}" if alert.get("shard") else ""
+        lines.append(f"ALERT [slo:{alert.get('slo')}]{where} "
+                     f"objective={alert.get('objective')} "
+                     f"observed={alert.get('observed', 0) or 0:.4g} "
+                     f"burn={alert.get('burn_long', 0) or 0:.3g}x "
+                     f"threshold={alert.get('threshold', 0) or 0:.3g}x")
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import json
+    import time
+
+    from repro.serve import Client
+
+    address = f"{args.host}:{args.port}"
+    if args.json and not args.once:
+        raise SystemExit("--json needs --once (one payload per run)")
+    with Client(args.host, args.port, timeout=args.timeout) as client:
+        if args.once:
+            payload = client.telemetry()
+            if args.json:
+                print(json.dumps(payload, indent=2, sort_keys=True))
+            else:
+                print(_render_top(payload, address))
+            return 0
+        try:
+            while True:
+                payload = client.telemetry()
+                # Clear screen + home, then one dashboard frame.
+                sys.stdout.write("\x1b[2J\x1b[H")
+                print(_render_top(payload, address), flush=True)
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            pass
+    return 0
 
 
 def _cmd_trace(args) -> int:
@@ -680,6 +861,13 @@ def main(argv=None) -> int:
     serve.add_argument("--quality-sample-rate", type=float, default=0.0,
                        help="fraction of served queries shadow-verified "
                             "against the exact distance (0 disables)")
+    serve.add_argument("--telemetry-interval", type=float, default=2.0,
+                       help="background telemetry sampling cadence in seconds "
+                            "(0 disables the sampler thread; the telemetry "
+                            "wire op then samples on demand)")
+    serve.add_argument("--telemetry-persist", default=None, metavar="PATH",
+                       help="append each telemetry frame to this JSON-lines "
+                            "file for post-mortems")
 
     shard_serve = commands.add_parser(
         "shard-serve",
@@ -731,6 +919,10 @@ def main(argv=None) -> int:
     shard_serve.add_argument("--request-deadline", type=float, default=None,
                              help="router->shard per-request budget in "
                                   "seconds across all retries")
+    shard_serve.add_argument("--telemetry-interval", type=float, default=2.0,
+                             help="each worker's background telemetry sampling "
+                                  "cadence in seconds (0 disables; the "
+                                  "telemetry op then samples on demand)")
 
     query = commands.add_parser("query", help="talk to a running sketch server")
     query.add_argument("queries", nargs="*",
@@ -792,6 +984,20 @@ def main(argv=None) -> int:
     fmt.add_argument("--prometheus", action="store_true",
                      help="render Prometheus text exposition format")
 
+    top = commands.add_parser(
+        "top", help="live telemetry dashboard for a server or shard fleet"
+    )
+    top.add_argument("--host", default="127.0.0.1", help="server address")
+    top.add_argument("--port", type=int, default=7337, help="server port")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="dashboard poll cadence in seconds")
+    top.add_argument("--timeout", type=float, default=30.0,
+                     help="socket timeout in seconds")
+    top.add_argument("--once", action="store_true",
+                     help="poll once, print one frame, exit")
+    top.add_argument("--json", action="store_true",
+                     help="with --once, print the raw JSON telemetry payload")
+
     trace = commands.add_parser(
         "trace", help="render one trace id's merged span timeline"
     )
@@ -844,6 +1050,7 @@ def main(argv=None) -> int:
         "query": _cmd_query,
         "ingest": _cmd_ingest,
         "stats": _cmd_stats,
+        "top": _cmd_top,
         "trace": _cmd_trace,
         "bench": _cmd_bench,
     }

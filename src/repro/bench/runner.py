@@ -222,7 +222,10 @@ def _mixed_queries(n: int, shape: tuple[int, int], tables=("bench",)) -> list:
     return queries
 
 
-def _make_engine(quality_sample_rate: float = 0.0):
+def _make_engine(
+    quality_sample_rate: float = 0.0,
+    telemetry_interval: float | None = None,
+):
     import random
 
     from repro.serve import SketchEngine
@@ -231,6 +234,7 @@ def _make_engine(quality_sample_rate: float = 0.0):
         p=_P, k=_K, seed=13,
         quality_sample_rate=quality_sample_rate,
         quality_rng=random.Random(97),
+        telemetry_interval=telemetry_interval,
     )
     engine.register_array(
         "bench", np.random.default_rng(17).normal(size=_TABLE_SHAPE)
@@ -248,6 +252,18 @@ def _verify_seconds(engine) -> float:
             if labels.get("span") == "quality.verify":
                 total += child.total
     return total
+
+
+def _telemetry_sample_stats(engine) -> tuple[float, int]:
+    """Total seconds and sample count the telemetry sampler has billed."""
+    total, count = 0.0, 0
+    for name, _, _, children in engine.registry.collect():
+        if name != "telemetry_sample_seconds":
+            continue
+        for _, child in children:
+            total += child.total
+            count += child.count
+    return total, count
 
 
 def _timed_batches(engine, queries, rounds: int) -> list[float]:
@@ -302,6 +318,25 @@ def bench_serving(quick: bool = False) -> BenchResult:
     overhead = verify_seconds / shadow_total if shadow_total else 0.0
     wall_delta = (shadow_total - base_total) / base_total if base_total else 0.0
 
+    # The telemetry sampler's bill at a deliberately hostile 20 Hz
+    # cadence (40x the CLI default of one frame per 2 s).  The sampler
+    # burns wall-clock time, not per-query time, so the honest fraction
+    # is sampler-seconds accrued over the elapsed wall time of the
+    # timed section — both measured across the same interval.
+    telemetry_interval = 0.05
+    telem = _make_engine(telemetry_interval=telemetry_interval)
+    try:
+        telem.query(queries)  # same untimed warm-up as the other engines
+        before_seconds, before_count = _telemetry_sample_stats(telem)
+        wall_begin = time.perf_counter()
+        _timed_batches(telem, queries, rounds)
+        wall_elapsed = time.perf_counter() - wall_begin
+        after_seconds, after_count = _telemetry_sample_stats(telem)
+    finally:
+        telem.close()
+    sample_seconds = after_seconds - before_seconds
+    telemetry_fraction = sample_seconds / wall_elapsed if wall_elapsed else 0.0
+
     snapshot = engine.stats_snapshot()
     return BenchResult(
         suite="serving",
@@ -320,6 +355,13 @@ def bench_serving(quick: bool = False) -> BenchResult:
                 "wall_delta_fraction": round(wall_delta, 4),
                 "verify_seconds": round(verify_seconds, 6),
                 "checks": shadow.quality.checks,
+            },
+            "telemetry_overhead": {
+                "interval": telemetry_interval,
+                "fraction": round(telemetry_fraction, 5),
+                "sample_seconds": round(sample_seconds, 6),
+                "samples": after_count - before_count,
+                "wall_seconds": round(wall_elapsed, 6),
             },
         },
     )
@@ -732,6 +774,11 @@ def run_benchmarks(
                  f"{overhead.get('sample_rate', 0):.0%} sampling: "
                  f"{overhead.get('fraction', 0):+.2%} "
                  f"({overhead.get('checks', 0)} checks)")
+            telemetry = result.extras.get("telemetry_overhead", {})
+            echo(f"serving: telemetry overhead at "
+                 f"{1 / telemetry.get('interval', 1):.0f} Hz sampling: "
+                 f"{telemetry.get('fraction', 0):.2%} "
+                 f"({telemetry.get('samples', 0)} frames)")
         if suite == "serving-sharded":
             extras = result.extras
             speedup = extras.get("qps_speedup")

@@ -20,6 +20,13 @@ Zero-required-dependency observability for every hot path in the repo:
     :func:`lint_prometheus` (format validator), and
     :class:`StructuredLogger` (logfmt / JSON-lines, used for the
     server's request and slow-query logs).
+:mod:`repro.obs.telemetry`
+    :class:`Telemetry` — the fleet telemetry plane: a bounded
+    :class:`MetricHistory` ring buffer sampling the registry on a
+    cadence (counters → rates, bucket-diffed windowed quantiles),
+    :class:`IngestWatermarks` freshness gauges, and
+    :class:`SLO`/:class:`SLOMonitor` multi-window burn-rate alerting
+    (:class:`BurnRateAlert`), rendered live by ``repro top``.
 
 See ``docs/OBSERVABILITY.md`` for the metric catalogue and span
 taxonomy.
@@ -27,12 +34,29 @@ taxonomy.
 
 from repro.obs.export import StructuredLogger, lint_prometheus, render_prometheus
 from repro.obs.ledger import CounterLedger
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_histogram_snapshots,
+    quantile_from_bucket_counts,
+)
 from repro.obs.quality import (
     DriftDetector,
     QualityAlert,
     QualityMonitor,
     theoretical_epsilon,
+)
+from repro.obs.telemetry import (
+    DEFAULT_SLOS,
+    SLO,
+    BurnRateAlert,
+    IngestWatermarks,
+    MetricHistory,
+    SLOMonitor,
+    Telemetry,
+    register_build_info,
 )
 from repro.obs.trace import SpanRecord, Tracer, default_tracer, render_trace, span
 
@@ -41,7 +65,17 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "merge_histogram_snapshots",
+    "quantile_from_bucket_counts",
     "CounterLedger",
+    "Telemetry",
+    "MetricHistory",
+    "IngestWatermarks",
+    "SLO",
+    "SLOMonitor",
+    "BurnRateAlert",
+    "DEFAULT_SLOS",
+    "register_build_info",
     "Tracer",
     "SpanRecord",
     "span",

@@ -26,12 +26,30 @@ detail:
 
 from __future__ import annotations
 
-__all__ = ["merge_stats_snapshots", "merge_span_sources", "SOURCE_ID_STRIDE"]
+from repro.errors import ParameterError
+from repro.obs.metrics import merge_histogram_snapshots
+
+__all__ = [
+    "merge_stats_snapshots",
+    "merge_span_sources",
+    "merge_telemetry_snapshots",
+    "INGEST_COUNTERS",
+    "SOURCE_ID_STRIDE",
+]
 
 # Disjoint id ranges per merged source; a process would need a million
 # retained spans to collide, and tracer timelines are capped far below.
 SOURCE_ID_STRIDE = 1_000_000
 
+# The per-shard ingest counters (PR 7) summed into the fleet aggregate;
+# they live in the snapshot's embedded registry dump, not its top level.
+INGEST_COUNTERS = (
+    "ingest_updates_total",
+    "ingest_deltas_total",
+    "ingest_duplicates_total",
+    "ingest_patched_maps_total",
+    "ingest_invalidated_maps_total",
+)
 
 def _sum_into(total: dict, part: dict) -> None:
     for key, value in part.items():
@@ -53,18 +71,26 @@ def merge_stats_snapshots(snapshots: dict[str, dict]) -> dict:
     -------
     dict
         ``requests`` / ``errors`` summed per op, total ``queries``,
-        summed ``sheds_total``, a merged ``latency_seconds`` with exact
-        ``count`` / ``mean`` / ``max``, and ``latency_p99_by_shard``
-        carrying each shard's own p99 (quantiles cannot be merged).
+        summed ``sheds_total``, the five PR 7 ``ingest_*`` counters
+        summed under ``ingest``, and a merged ``latency_seconds`` with
+        exact ``count`` / ``mean`` / ``max``.  When every shard's
+        latency histogram shares bucket edges, the aggregate also
+        carries bucket-merged fleet ``quantiles`` (sound, unlike
+        averaged percentiles); mismatched edges set
+        ``latency_buckets_mismatched`` instead of crashing.
+        ``latency_p99_by_shard`` carries each shard's own p99 either
+        way.
     """
     requests: dict[str, int] = {}
     errors: dict[str, int] = {}
+    ingest: dict[str, int] = {name: 0 for name in INGEST_COUNTERS}
     queries = 0
     sheds = 0
     count = 0
     weighted = 0.0
     peak = 0.0
     p99s: dict[str, float] = {}
+    latency_snaps: list[dict] = []
     for name, snapshot in snapshots.items():
         if not isinstance(snapshot, dict):
             continue
@@ -74,6 +100,9 @@ def merge_stats_snapshots(snapshots: dict[str, dict]) -> dict:
         metrics = snapshot.get("metrics", {}) or {}
         for sample in metrics.get("sheds_total", {}).get("samples", []):
             sheds += int(sample.get("value", 0) or 0)
+        for metric in INGEST_COUNTERS:
+            for sample in metrics.get(metric, {}).get("samples", []):
+                ingest[metric] += int(sample.get("value", 0) or 0)
         latency = snapshot.get("latency_seconds", {}) or {}
         n = int(latency.get("count", 0) or 0)
         if n:
@@ -83,19 +112,118 @@ def merge_stats_snapshots(snapshots: dict[str, dict]) -> dict:
             quantiles = latency.get("quantiles") or {}
             if "p99" in quantiles:
                 p99s[name] = float(quantiles["p99"])
-    return {
+            if latency.get("edges"):
+                latency_snaps.append(latency)
+    merged_latency: dict = {
+        "count": count,
+        "mean": weighted / count if count else 0.0,
+        "max": peak,
+    }
+    mismatched = False
+    if latency_snaps:
+        try:
+            merged_latency["quantiles"] = merge_histogram_snapshots(latency_snaps)[
+                "quantiles"
+            ]
+        except ParameterError:
+            # Shards binned against different edges: keep the exact
+            # count/mean/max sums and the per-shard p99s, flag the rest.
+            mismatched = True
+    out = {
         "shards": len(snapshots),
         "requests": requests,
         "errors": errors,
         "queries": queries,
         "sheds_total": sheds,
-        "latency_seconds": {
-            "count": count,
-            "mean": weighted / count if count else 0.0,
-            "max": peak,
-        },
+        "ingest": ingest,
+        "latency_seconds": merged_latency,
         "latency_p99_by_shard": p99s,
     }
+    if mismatched:
+        out["latency_buckets_mismatched"] = True
+    return out
+
+
+def merge_telemetry_snapshots(snapshots: dict[str, dict]) -> dict:
+    """Aggregate per-shard :meth:`Telemetry.snapshot` payloads.
+
+    Rates and inflight counts sum across shards; windowed latency
+    merges by bucket counts when every shard shares edges (falling
+    back to per-shard p99s with ``latency_buckets_mismatched`` set
+    when not); staleness takes the fleet-worst value; watermarks nest
+    per shard; SLO alerts are pooled with each alert stamped with its
+    shard.  Shards that could not be polled should be omitted by the
+    caller.
+    """
+    rates: dict[str, float] = {}
+    rates_seen: set[str] = set()
+    inflight = 0.0
+    inflight_seen = False
+    staleness: float | None = None
+    staleness_by_shard: dict[str, float] = {}
+    watermarks: dict[str, dict] = {}
+    latency_snaps: list[dict] = []
+    p99s: dict[str, float] = {}
+    firing: list[dict] = []
+    firing_by_shard: dict[str, int] = {}
+    for name, snapshot in sorted(snapshots.items()):
+        if not isinstance(snapshot, dict):
+            continue
+        for rate_name, value in (snapshot.get("rates") or {}).items():
+            if value is None:
+                continue
+            rates_seen.add(rate_name)
+            rates[rate_name] = rates.get(rate_name, 0.0) + float(value)
+        shard_inflight = snapshot.get("inflight")
+        if shard_inflight is not None:
+            inflight_seen = True
+            inflight += float(shard_inflight)
+        shard_staleness = snapshot.get("staleness_seconds")
+        if shard_staleness is not None:
+            staleness_by_shard[name] = float(shard_staleness)
+            staleness = (
+                float(shard_staleness)
+                if staleness is None
+                else max(staleness, float(shard_staleness))
+            )
+        shard_watermarks = snapshot.get("watermarks") or {}
+        if shard_watermarks:
+            watermarks[name] = shard_watermarks
+        latency = snapshot.get("latency")
+        if isinstance(latency, dict) and latency.get("count"):
+            if latency.get("edges"):
+                latency_snaps.append(latency)
+            if "p99" in latency:
+                p99s[name] = float(latency["p99"])
+        slo = snapshot.get("slo") or {}
+        shard_firing = slo.get("firing") or []
+        firing_by_shard[name] = len(shard_firing)
+        for alert in shard_firing:
+            firing.append(dict(alert, shard=name))
+    out: dict = {
+        "shards": len(snapshots),
+        "rates": {name: rates.get(name, 0.0) for name in rates_seen},
+        "inflight": inflight if inflight_seen else None,
+        "staleness_seconds": staleness,
+        "staleness_by_shard": staleness_by_shard,
+        "watermarks": watermarks,
+        "latency_p99_by_shard": p99s,
+        "slo_firing": firing,
+        "slo_firing_by_shard": firing_by_shard,
+    }
+    if latency_snaps:
+        try:
+            merged = merge_histogram_snapshots(latency_snaps)
+            out["latency"] = {
+                "count": merged["count"],
+                "mean": merged["mean"],
+                "max": merged["max"],
+                "p50": merged["quantiles"]["p50"],
+                "p99": merged["quantiles"]["p99"],
+            }
+        except ParameterError:
+            out["latency_buckets_mismatched"] = True
+    return out
 
 
 def merge_span_sources(

@@ -38,11 +38,18 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Callable, Iterable, Mapping
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.errors import ParameterError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_histogram_snapshots",
+    "quantile_from_bucket_counts",
+]
 
 _NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
 
@@ -62,6 +69,106 @@ def _check_name(name: str) -> str:
 
 def _label_key(labels: Mapping[str, object]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def quantile_from_bucket_counts(
+    edges: Sequence[float], counts: Sequence[int], q: float, maximum: float = 0.0
+) -> float:
+    """Bucket-interpolated ``q``-quantile of an ``(edges, counts)`` pair.
+
+    The same Prometheus ``histogram_quantile`` arithmetic
+    :meth:`Histogram.quantile` uses, lifted out so it also works on
+    *derived* bucket counts — windowed differences between ring-buffer
+    frames, or fleet-merged buckets — which is the statistically sound
+    way to get time- or shard-scoped quantiles (averaging per-shard
+    percentiles is not).  Empty counts return ``0.0``; ranks landing in
+    the overflow bin clamp to ``maximum``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ParameterError(f"quantile must be in [0, 1], got {q}")
+    total = sum(counts)
+    if not total:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for index, count in enumerate(counts):
+        if not count:
+            continue
+        previous = cumulative
+        cumulative += count
+        if cumulative >= rank:
+            if index >= len(edges):
+                return float(maximum)
+            lower = edges[index - 1] if index else 0.0
+            upper = edges[index]
+            fraction = (rank - previous) / count
+            return lower + (upper - lower) * fraction
+    return float(maximum)  # pragma: no cover - rank <= total always lands
+
+
+def merge_histogram_snapshots(snapshots: Iterable[Mapping]) -> dict:
+    """Merge :meth:`Histogram.snapshot` dicts that share bucket edges.
+
+    Bucket counts from independent histograms sum exactly, so the
+    merged quantiles are honest fleet quantiles — unlike averaged
+    percentiles.  Snapshots that are not dicts or carry no ``edges``
+    (never-observed histograms serialized without buckets) are skipped;
+    merging nothing returns an empty, zeroed snapshot.
+
+    Raises
+    ------
+    ParameterError
+        If two snapshots carry different bucket edges (or bin counts of
+        different lengths) — counts binned against different bounds
+        cannot be summed, and silently doing so would fabricate
+        quantiles.  Callers that fan in shards with divergent configs
+        should catch this and fall back to side-by-side per-shard views.
+    """
+    edges: tuple[float, ...] | None = None
+    counts: list[int] = []
+    count = 0
+    total = 0.0
+    peak = 0.0
+    for snapshot in snapshots:
+        if not isinstance(snapshot, Mapping):
+            continue
+        snap_edges = snapshot.get("edges") or []
+        snap_counts = snapshot.get("counts") or []
+        if not snap_edges:
+            continue
+        snap_edges = tuple(float(e) for e in snap_edges)
+        if edges is None:
+            edges = snap_edges
+            counts = [0] * (len(edges) + 1)
+        elif snap_edges != edges:
+            raise ParameterError(
+                "cannot merge histograms with mismatched bucket edges: "
+                f"{list(edges)} vs {list(snap_edges)}"
+            )
+        if len(snap_counts) != len(counts):
+            raise ParameterError(
+                f"histogram bin count mismatch: expected {len(counts)} "
+                f"bins for {len(edges)} edges, got {len(snap_counts)}"
+            )
+        for index, bin_count in enumerate(snap_counts):
+            counts[index] += int(bin_count)
+        count += int(snapshot.get("count", 0) or 0)
+        total += float(snapshot.get("total", 0.0) or 0.0)
+        peak = max(peak, float(snapshot.get("max", 0.0) or 0.0))
+    edge_list = list(edges) if edges is not None else []
+    return {
+        "edges": edge_list,
+        "counts": counts,
+        "count": count,
+        "total": total,
+        "mean": total / count if count else 0.0,
+        "max": peak,
+        "quantiles": {
+            "p50": quantile_from_bucket_counts(edge_list, counts, 0.50, maximum=peak),
+            "p90": quantile_from_bucket_counts(edge_list, counts, 0.90, maximum=peak),
+            "p99": quantile_from_bucket_counts(edge_list, counts, 0.99, maximum=peak),
+        },
+    }
 
 
 class Counter:
@@ -215,29 +322,11 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def _quantile_locked(self, q: float) -> float:
-        if not 0.0 <= q <= 1.0:
-            raise ParameterError(f"quantile must be in [0, 1], got {q}")
-        if not self.count:
-            return 0.0
         # Prometheus histogram_quantile semantics: find the bucket the
         # rank falls in, interpolate linearly inside it.  The first
         # bucket interpolates from 0, the overflow bucket is clamped to
         # the observed max (buckets carry no finer information).
-        rank = q * self.count
-        cumulative = 0
-        for index, count in enumerate(self.counts):
-            if not count:
-                continue
-            previous = cumulative
-            cumulative += count
-            if cumulative >= rank:
-                if index >= len(self.edges):
-                    return self.max
-                lower = self.edges[index - 1] if index else 0.0
-                upper = self.edges[index]
-                fraction = (rank - previous) / count
-                return lower + (upper - lower) * fraction
-        return self.max  # pragma: no cover - rank <= count always lands
+        return quantile_from_bucket_counts(self.edges, self.counts, q, maximum=self.max)
 
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile from the buckets (0.0 when empty)."""

@@ -426,6 +426,16 @@ class Client:
         """The server engine's full statistics snapshot."""
         return self._roundtrip({"op": "stats"}, deadline=deadline)
 
+    def telemetry(self, deadline: float | None = None) -> dict:
+        """The server's telemetry payload: rates, watermarks, SLO state.
+
+        Cheap and never load-shed, so dashboards (``repro top``) keep
+        polling even while the server saturates.  Each poll of a server
+        without a background sampler captures a fresh frame, so history
+        accrues at the poller's cadence.
+        """
+        return self._roundtrip({"op": "telemetry"}, deadline=deadline)
+
     def trace(self, trace_id: str, deadline: float | None = None) -> list[dict]:
         """The server's retained spans carrying ``trace_id``.
 

@@ -36,6 +36,12 @@ from repro.ingest.log import IngestLog
 from repro.ingest.rwlock import RWLock
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.quality import QualityMonitor
+from repro.obs.telemetry import (
+    SLO,
+    IngestWatermarks,
+    Telemetry,
+    register_build_info,
+)
 from repro.obs.trace import Tracer
 from repro.serve.planner import QueryPlanner, QueryResult, RectQuery
 from repro.serve.stats import EngineStats, pipeline_stats_dict
@@ -79,6 +85,20 @@ class SketchEngine:
         maps in place via the linear-update rule, ``"invalidate"``
         drops them for a bit-exact lazy rebuild, ``"auto"`` picks per
         map by affected area).
+    telemetry_interval:
+        Background telemetry sampling cadence in seconds.  ``None`` (or
+        a non-positive value) leaves the sampler thread off — the
+        ``telemetry`` wire op then samples on demand at the poller's
+        cadence, so history still accrues under a dashboard.
+    telemetry_capacity:
+        Frames retained in the telemetry ring buffer (fixed memory).
+    telemetry_persist:
+        Optional JSON-lines path each telemetry frame is appended to
+        for post-mortems.
+    slos:
+        Declarative :class:`~repro.obs.telemetry.SLO` objectives for
+        burn-rate alerting (``None`` uses
+        :data:`~repro.obs.telemetry.DEFAULT_SLOS`).
 
     Concurrency: queries take the engine's readers-writer lock shared,
     updates take it exclusive.  A query batch therefore always sees all
@@ -109,6 +129,10 @@ class SketchEngine:
         quality_sample_rate: float = 0.0,
         quality_rng: random.Random | None = None,
         update_mode: str = "auto",
+        telemetry_interval: float | None = None,
+        telemetry_capacity: int = 240,
+        telemetry_persist: str | None = None,
+        slos: tuple[SLO, ...] | None = None,
     ):
         self.defaults = SketchGenerator(p=p, k=k, seed=seed)  # validates p, k
         if update_mode not in SketchPool.UPDATE_MODES:
@@ -178,6 +202,22 @@ class SketchEngine:
             "engine_uptime_seconds", lambda: time.monotonic() - self._started,
             help="Seconds since the engine was constructed.",
         )
+        register_build_info(self.registry)
+        # Telemetry plane: watermarks are always live (the update path
+        # feeds them), the history sampler thread only when an interval
+        # is configured — without one the `telemetry` wire op samples on
+        # demand, so even a bare engine serves trends to a dashboard.
+        self.watermarks = IngestWatermarks(self.registry)
+        self.telemetry = Telemetry(
+            self.registry,
+            interval=telemetry_interval,
+            capacity=telemetry_capacity,
+            slos=slos,
+            watermarks=self.watermarks,
+            persist_path=telemetry_persist,
+        )
+        if self.telemetry.interval is not None:
+            self.telemetry.start()
 
     # ------------------------------------------------------------------
     # Registration
@@ -330,8 +370,24 @@ class SketchEngine:
             "maps_evicted": self.budget.maps_evicted,
         }
         snapshot["quality"] = self.quality.snapshot()
+        snapshot["watermarks"] = self.watermarks.snapshot()
+        snapshot["slo"] = self.telemetry.slo_monitor.snapshot()
         snapshot["metrics"] = self.registry.snapshot()
         return snapshot
+
+    def telemetry_snapshot(self, trend_points: int = 32) -> dict:
+        """The telemetry payload behind the ``telemetry`` wire op.
+
+        Rates, windowed latency quantiles, ingest watermarks, and SLO
+        state from the engine's :class:`~repro.obs.telemetry.Telemetry`
+        plane.  Cheap: reads the history ring buffer (capturing a fresh
+        frame only when the newest one is stale), never touches pools.
+        """
+        return self.telemetry.snapshot(trend_points=trend_points)
+
+    def close(self) -> None:
+        """Stop background machinery (the telemetry sampler thread)."""
+        self.telemetry.stop()
 
     def health(self) -> dict:
         """A cheap liveness/readiness summary for the ``health`` wire op."""
@@ -447,9 +503,8 @@ class SketchEngine:
         except Exception:
             self.stats.record_request("update", error=True)
             raise
-        self.stats.record_request(
-            "update", batch_size=len(batch), seconds=time.perf_counter() - start
-        )
+        elapsed = time.perf_counter() - start
+        self.stats.record_request("update", batch_size=len(batch), seconds=elapsed)
         if result["duplicate"]:
             self._ingest_duplicates.inc()
         else:
@@ -457,6 +512,13 @@ class SketchEngine:
             self._ingest_deltas.inc(result["cells"])
             self._ingest_patched.inc(result["maps_patched"])
             self._ingest_invalidated.inc(result["maps_invalidated"])
+        self.watermarks.note_apply(
+            batch.table,
+            batch.batch_id,
+            cells=result["cells"],
+            seconds=elapsed,
+            duplicate=bool(result["duplicate"]),
+        )
         return result
 
     def __repr__(self) -> str:

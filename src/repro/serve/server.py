@@ -54,8 +54,8 @@ Resilience semantics (see ``docs/RESILIENCE.md``):
 * **Load shedding.**  With ``max_inflight`` set, a ``query`` request
   arriving while that many queries are already executing is refused
   with :class:`~repro.errors.ServerOverloadedError` *before* touching
-  the engine (cheap ops — ping/health/tables/stats — always pass, so
-  monitoring keeps working under saturation).  Sheds count in
+  the engine (cheap ops — ping/health/tables/stats/telemetry — always
+  pass, so monitoring keeps working under saturation).  Sheds count in
   ``sheds_total``.
 * **Per-connection limits.**  Request frames are capped at
   ``max_line_bytes`` and query batches at ``max_batch_queries``;
@@ -100,7 +100,7 @@ __all__ = ["SketchServer"]
 # client, not a real batch (a 10k-query batch is ~1 MB).
 MAX_LINE_BYTES = 64 * 1024 * 1024
 
-_OPS = ("ping", "health", "tables", "stats", "query", "update", "trace")
+_OPS = ("ping", "health", "tables", "stats", "telemetry", "query", "update", "trace")
 
 
 def _extract_trace(request) -> tuple[str | None, object]:
@@ -147,6 +147,8 @@ def _handle_request(engine: SketchEngine, request: dict) -> tuple[str, dict]:
             result = {"tables": engine.tables()}
         elif op == "stats":
             result = engine.stats_snapshot()
+        elif op == "telemetry":
+            result = engine.telemetry_snapshot()
         elif op == "trace":
             wanted = request.get("trace_id")
             if not isinstance(wanted, (str, int)) or wanted in ("", None):

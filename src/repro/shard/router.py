@@ -53,8 +53,13 @@ from repro.errors import (
     RetriesExhaustedError,
     ShardUnavailableError,
 )
-from repro.obs.fanin import merge_span_sources, merge_stats_snapshots
+from repro.obs.fanin import (
+    merge_span_sources,
+    merge_stats_snapshots,
+    merge_telemetry_snapshots,
+)
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import Telemetry, register_build_info
 from repro.obs.trace import Tracer
 from repro.serve.client import Client
 from repro.serve.planner import QueryResult, RectQuery
@@ -207,6 +212,11 @@ class ShardRouter:
             "router_shards", lambda: len(self.shards),
             help="Shards this router scatters over.",
         )
+        register_build_info(self.registry)
+        # Passive telemetry over the router's own traffic: no sampler
+        # thread — each `telemetry` poll captures a frame, which is
+        # exactly the cadence a dashboard drives.
+        self.telemetry = Telemetry(self.registry)
 
     # ------------------------------------------------------------------
     # Per-shard clients
@@ -555,6 +565,35 @@ class ShardRouter:
             snapshot["shards_unreachable"] = unreachable
         snapshot["aggregate"] = merge_stats_snapshots(shard_snaps)
         snapshot["metrics"] = self.registry.snapshot()
+        return snapshot
+
+    def telemetry_snapshot(self, trend_points: int = 32) -> dict:
+        """The router's telemetry plus every shard's, plus a roll-up.
+
+        Keeps the engine telemetry payload's top-level shape (rates /
+        latency / SLO state describe the *router's* traffic, sampled
+        passively at the poller's cadence) and adds per-shard
+        ``shards`` payloads plus an ``aggregate``
+        (:func:`~repro.obs.fanin.merge_telemetry_snapshots`) with
+        summed fleet rates, bucket-merged latency quantiles, worst-case
+        staleness, per-shard watermarks, and pooled SLO alerts.  Down
+        shards land in ``shards_unreachable`` instead of failing the
+        poll.
+        """
+        snapshot = self.telemetry.snapshot(trend_points=trend_points)
+        shard_snaps: dict[str, dict] = {}
+        unreachable: dict[str, str] = {}
+        for spec in self.shards:
+            try:
+                shard_snaps[spec.name] = self._shard_call(
+                    spec.name, lambda client: client.telemetry()
+                )
+            except ShardUnavailableError as exc:
+                unreachable[spec.name] = str(exc)
+        snapshot["shards"] = shard_snaps
+        if unreachable:
+            snapshot["shards_unreachable"] = unreachable
+        snapshot["aggregate"] = merge_telemetry_snapshots(shard_snaps)
         return snapshot
 
     def _fetch_shard_spans(self, trace_id: str) -> dict[str, list[dict]]:

@@ -72,6 +72,10 @@ class WorkerConfig:
         sibling workers sharing it are unaffected.
     log_level:
         The worker's :class:`~repro.obs.export.StructuredLogger` level.
+    telemetry_interval:
+        Background telemetry sampling cadence for the worker's engine
+        in seconds (``None`` leaves the sampler off; the ``telemetry``
+        wire op still answers, sampling at the poller's cadence).
     """
 
     name: str
@@ -91,6 +95,7 @@ class WorkerConfig:
     drain_timeout: float = 5.0
     update_mode: str = "auto"
     log_level: str = "warning"
+    telemetry_interval: float | None = None
 
 
 def _worker_main(config: WorkerConfig, ready) -> None:
@@ -112,6 +117,7 @@ def _worker_main(config: WorkerConfig, ready) -> None:
             method=config.method,
             max_bytes=config.max_bytes,
             update_mode=config.update_mode,
+            telemetry_interval=config.telemetry_interval,
         )
         for table, path in sorted(dict(config.archives).items()):
             engine.register_pool_archive(table, path, mmap_mode="r")

@@ -1,0 +1,181 @@
+"""Fan-in merge regression tests: stats and telemetry roll-ups.
+
+PR 7 added five ``ingest_*`` counters to every worker's registry; the
+fleet aggregate must sum them (they live in the snapshot's embedded
+registry dump, not its top level — exactly the spot a naive merge
+misses).  Fleet latency quantiles must come from bucket arithmetic
+when the shards share edges and degrade to per-shard p99s (flagged,
+not crashed) when they do not.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.fanin import (
+    INGEST_COUNTERS,
+    merge_stats_snapshots,
+    merge_telemetry_snapshots,
+)
+
+
+def counter_metric(value):
+    return {"samples": [{"labels": {}, "value": value}]}
+
+
+def stats_snapshot(
+    requests=10, errors=1, queries=10, updates=0, deltas=0,
+    edges=(0.01, 0.1, 1.0), counts=(5, 4, 1, 0), mean=0.05,
+):
+    return {
+        "requests": {"query": requests},
+        "errors": {"query": errors},
+        "queries": queries,
+        "metrics": {
+            "sheds_total": counter_metric(2),
+            "ingest_updates_total": counter_metric(updates),
+            "ingest_deltas_total": counter_metric(deltas),
+            "ingest_duplicates_total": counter_metric(1),
+            "ingest_patched_maps_total": counter_metric(3),
+            "ingest_invalidated_maps_total": counter_metric(0),
+        },
+        "latency_seconds": {
+            "count": sum(counts),
+            "mean": mean,
+            "max": 0.9,
+            "quantiles": {"p50": 0.02, "p99": 0.5},
+            "edges": list(edges),
+            "counts": list(counts),
+            "total": mean * sum(counts),
+        },
+    }
+
+
+class TestMergeStatsSnapshots:
+    def test_ingest_counters_summed_into_aggregate(self):
+        merged = merge_stats_snapshots({
+            "s0": stats_snapshot(updates=7, deltas=70),
+            "s1": stats_snapshot(updates=5, deltas=50),
+        })
+        assert merged["ingest"]["ingest_updates_total"] == 12
+        assert merged["ingest"]["ingest_deltas_total"] == 120
+        assert merged["ingest"]["ingest_duplicates_total"] == 2
+        assert merged["ingest"]["ingest_patched_maps_total"] == 6
+        assert set(merged["ingest"]) == set(INGEST_COUNTERS)
+
+    def test_ingest_counters_zeroed_when_absent(self):
+        snapshot = stats_snapshot()
+        snapshot["metrics"] = {}
+        merged = merge_stats_snapshots({"s0": snapshot})
+        assert merged["ingest"] == {name: 0 for name in INGEST_COUNTERS}
+
+    def test_fleet_quantiles_merge_when_edges_match(self):
+        merged = merge_stats_snapshots({
+            "s0": stats_snapshot(counts=(10, 0, 0, 0)),
+            "s1": stats_snapshot(counts=(0, 0, 10, 0)),
+        })
+        quantiles = merged["latency_seconds"]["quantiles"]
+        # Half the fleet's traffic is sub-10ms, half is in (0.1, 1.0]:
+        # the merged p50 must sit at the first bucket's edge, the p99
+        # inside the third — numbers no averaging of per-shard p99s
+        # could produce.
+        assert quantiles["p50"] <= 0.01
+        assert 0.1 < quantiles["p99"] <= 1.0
+        assert "latency_buckets_mismatched" not in merged
+        assert merged["latency_seconds"]["count"] == 20
+
+    def test_mismatched_edges_flagged_not_crashed(self):
+        merged = merge_stats_snapshots({
+            "s0": stats_snapshot(),
+            "s1": stats_snapshot(edges=(0.5, 5.0), counts=(3, 1, 0)),
+        })
+        assert merged["latency_buckets_mismatched"] is True
+        assert "quantiles" not in merged["latency_seconds"]
+        # Exact sums survive: count/mean/max need no shared edges.
+        assert merged["latency_seconds"]["count"] == 14
+        assert merged["latency_p99_by_shard"] == {"s0": 0.5, "s1": 0.5}
+
+    def test_garbage_shards_skipped(self):
+        merged = merge_stats_snapshots({"s0": stats_snapshot(), "s1": None})
+        assert merged["shards"] == 2
+        assert merged["queries"] == 10
+
+
+def telemetry_snapshot(
+    qps=5.0, inflight=2, staleness=1.5, firing=(),
+    edges=(0.01, 0.1, 1.0), counts=(8, 1, 1, 0),
+):
+    return {
+        "rates": {"qps": qps, "errors_per_s": 0.0, "updates_per_s": None},
+        "inflight": inflight,
+        "staleness_seconds": staleness,
+        "watermarks": {"calls": {"batch_id": "b9", "batches": 9}},
+        "latency": {
+            "edges": list(edges),
+            "counts": list(counts),
+            "count": sum(counts),
+            "total": 0.5,
+            "max": 0.8,
+            "p99": 0.4,
+        },
+        "slo": {"firing": [dict(alert) for alert in firing]},
+    }
+
+
+class TestMergeTelemetrySnapshots:
+    def test_rates_sum_and_none_rates_skip(self):
+        merged = merge_telemetry_snapshots({
+            "s0": telemetry_snapshot(qps=5.0),
+            "s1": telemetry_snapshot(qps=7.0),
+        })
+        assert merged["rates"]["qps"] == 12.0
+        assert merged["rates"]["errors_per_s"] == 0.0
+        # updates_per_s was None on every shard: absent, not 0-summed.
+        assert "updates_per_s" not in merged["rates"]
+        assert merged["inflight"] == 4.0
+
+    def test_staleness_takes_fleet_worst(self):
+        merged = merge_telemetry_snapshots({
+            "s0": telemetry_snapshot(staleness=1.5),
+            "s1": telemetry_snapshot(staleness=90.0),
+        })
+        assert merged["staleness_seconds"] == 90.0
+        assert merged["staleness_by_shard"] == {"s0": 1.5, "s1": 90.0}
+
+    def test_watermarks_nest_per_shard(self):
+        merged = merge_telemetry_snapshots({"s0": telemetry_snapshot()})
+        assert merged["watermarks"]["s0"]["calls"]["batch_id"] == "b9"
+
+    def test_alerts_pool_with_shard_stamps(self):
+        alert = {"kind": "slo_burn_rate", "slo": "staleness", "state": "firing"}
+        merged = merge_telemetry_snapshots({
+            "s0": telemetry_snapshot(),
+            "s1": telemetry_snapshot(firing=[alert]),
+        })
+        assert merged["slo_firing"] == [dict(alert, shard="s1")]
+        assert merged["slo_firing_by_shard"] == {"s0": 0, "s1": 1}
+
+    def test_latency_buckets_merge_when_edges_match(self):
+        merged = merge_telemetry_snapshots({
+            "s0": telemetry_snapshot(counts=(10, 0, 0, 0)),
+            "s1": telemetry_snapshot(counts=(0, 0, 10, 0)),
+        })
+        assert merged["latency"]["count"] == 20
+        assert merged["latency"]["p50"] <= 0.01
+        assert 0.1 < merged["latency"]["p99"] <= 1.0
+
+    def test_mismatched_edges_flagged_with_per_shard_p99s(self):
+        merged = merge_telemetry_snapshots({
+            "s0": telemetry_snapshot(),
+            "s1": telemetry_snapshot(edges=(0.5, 5.0), counts=(3, 1, 0)),
+        })
+        assert merged["latency_buckets_mismatched"] is True
+        assert "latency" not in merged
+        assert merged["latency_p99_by_shard"] == {"s0": 0.4, "s1": 0.4}
+
+    def test_merge_output_is_json_safe(self):
+        merged = merge_telemetry_snapshots({
+            "s0": telemetry_snapshot(), "s1": None,
+        })
+        json.dumps(merged)
+        assert merged["shards"] == 2

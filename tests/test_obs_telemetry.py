@@ -1,0 +1,437 @@
+"""Unit tests for the telemetry plane: history, watermarks, SLOs.
+
+These are the clock-injected unit tests; the live churn/drill tests
+(sampler thread racing registry writers, the 18-day turnover drill,
+the wire-op integration) live in ``test_telemetry_churn.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge_histogram_snapshots,
+    quantile_from_bucket_counts,
+)
+from repro.obs.telemetry import (
+    DEFAULT_SLOS,
+    SLO,
+    IngestWatermarks,
+    MetricHistory,
+    SLOMonitor,
+    Telemetry,
+    register_build_info,
+    series_key,
+)
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock for deterministic windows."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += float(seconds)
+
+
+def sample_value(registry, name, **labels):
+    """The value of one labelled sample out of a registry snapshot."""
+    for sample in registry.snapshot()[name]["samples"]:
+        if sample["labels"] == labels:
+            return sample["value"]
+    raise AssertionError(f"no sample {name}{labels}")
+
+
+class TestSeriesKey:
+    def test_bare_name_without_labels(self):
+        assert series_key("requests_total", {}) == "requests_total"
+
+    def test_labels_sorted_for_stability(self):
+        key = series_key("x", {"b": 2, "a": 1})
+        assert key == "x{a=1,b=2}"
+        assert key == series_key("x", {"a": 1, "b": 2})
+
+
+class TestQuantileFromBucketCounts:
+    EDGES = (0.1, 1.0, 10.0)
+
+    def test_empty_counts_give_zero(self):
+        assert quantile_from_bucket_counts(self.EDGES, [0, 0, 0, 0], 0.5, 10.0) == 0.0
+
+    def test_overflow_bucket_reports_maximum(self):
+        value = quantile_from_bucket_counts(self.EDGES, [0, 0, 0, 5], 0.99, 42.0)
+        assert value == 42.0
+
+    def test_interpolates_inside_a_bucket(self):
+        value = quantile_from_bucket_counts(self.EDGES, [0, 10, 0, 0], 0.5, 1.0)
+        assert 0.1 <= value <= 1.0
+
+    def test_quantile_outside_unit_interval_rejected(self):
+        with pytest.raises(ParameterError):
+            quantile_from_bucket_counts(self.EDGES, [1, 0, 0, 0], 1.5, 1.0)
+
+
+class TestMergeHistogramSnapshots:
+    def snap(self, counts, count=None, total=1.0, maximum=1.0, edges=(0.1, 1.0)):
+        return {
+            "edges": list(edges),
+            "counts": list(counts),
+            "count": sum(counts) if count is None else count,
+            "total": total,
+            "max": maximum,
+        }
+
+    def test_sums_counts_and_totals(self):
+        merged = merge_histogram_snapshots(
+            [self.snap([1, 2, 3], total=2.0, maximum=0.5),
+             self.snap([4, 0, 1], total=3.0, maximum=9.0)]
+        )
+        assert merged["counts"] == [5, 2, 4]
+        assert merged["count"] == 11
+        assert merged["total"] == pytest.approx(5.0)
+        assert merged["max"] == 9.0
+        assert set(merged["quantiles"]) >= {"p50", "p99"}
+
+    def test_empty_merge_is_zeroed_not_a_crash(self):
+        merged = merge_histogram_snapshots([])
+        assert merged["count"] == 0
+        assert merged["quantiles"]["p99"] == 0.0
+
+    def test_mismatched_edges_raise_typed(self):
+        with pytest.raises(ParameterError):
+            merge_histogram_snapshots(
+                [self.snap([1, 0, 0]), self.snap([1, 0, 0], edges=(0.5, 5.0))]
+            )
+
+    def test_non_dicts_and_edgeless_snapshots_skipped(self):
+        merged = merge_histogram_snapshots(
+            [None, {"count": 3}, self.snap([2, 0, 0])]
+        )
+        assert merged["count"] == 2
+
+
+class TestMetricHistory:
+    def test_capacity_floor(self):
+        with pytest.raises(ParameterError):
+            MetricHistory(MetricsRegistry(), capacity=1)
+
+    def test_ring_wraparound_keeps_only_capacity_frames(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+        clock = FakeClock()
+        history = MetricHistory(registry, capacity=3, clock=clock)
+        for step in range(7):
+            counter.inc()
+            clock.advance(1.0)
+            history.sample()
+        assert len(history) == 3
+        frames = history.frames()
+        # Oldest retained frame is the fifth sample: counters 5, 6, 7.
+        assert [f["counters"]["hits_total"] for f in frames] == [5, 6, 7]
+        assert history.latest()["counters"]["hits_total"] == 7
+
+    def test_family_rate_sums_labelled_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests_total", op="query")
+        b = registry.counter("requests_total", op="update")
+        clock = FakeClock()
+        history = MetricHistory(registry, capacity=8, clock=clock)
+        history.sample()
+        a.inc(10)
+        b.inc(20)
+        clock.advance(10.0)
+        history.sample()
+        assert history.family_rate("requests_total", 60.0) == pytest.approx(3.0)
+        assert history.family_rate("no_such_family", 60.0) is None
+
+    def test_counter_reset_clamps_to_zero_rate(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+        clock = FakeClock()
+        history = MetricHistory(registry, capacity=8, clock=clock)
+        counter.inc(100)
+        history.sample()
+        counter.reset()
+        clock.advance(5.0)
+        history.sample()
+        assert history.family_rate("hits_total", 60.0) == 0.0
+
+    def test_window_picks_frame_at_least_window_old(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total")
+        clock = FakeClock()
+        history = MetricHistory(registry, capacity=16, clock=clock)
+        for _ in range(6):
+            history.sample()
+            clock.advance(10.0)
+        old, new = history.window(25.0)
+        assert new["t"] - old["t"] >= 25.0
+        # Longer than history: falls back to the oldest frame.
+        old, new = history.window(1e9)
+        assert old is history.frames()[0] or old == history.frames()[0]
+
+    def test_windowed_quantile_uses_bucket_deltas(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_seconds", edges=(0.01, 0.1, 1.0))
+        clock = FakeClock()
+        history = MetricHistory(registry, capacity=8, clock=clock)
+        for _ in range(50):
+            hist.observe(5.0)  # old traffic: all overflow
+        history.sample()
+        for _ in range(50):
+            hist.observe(0.05)  # windowed traffic: second bucket
+        clock.advance(10.0)
+        history.sample()
+        key = "latency_seconds"
+        p99 = history.windowed_quantile(key, 0.99, 60.0)
+        # Only the new observations are in the window, so the old 5 s
+        # overflow traffic must not drag the quantile up.
+        assert p99 is not None and p99 <= 0.1
+        assert history.windowed_quantile("nope", 0.99, 60.0) is None
+
+    def test_persists_self_contained_json_lines(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("hits_total").inc(3)
+        registry.histogram("lat", edges=(1.0,)).observe(0.5)
+        path = tmp_path / "frames.jsonl"
+        history = MetricHistory(registry, capacity=4, persist_path=path)
+        history.sample()
+        history.sample()
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert len(lines) == 2
+        record = json.loads(lines[0])
+        assert record["counters"]["hits_total"] == 3
+        assert record["edges"]["lat"] == [1.0]
+        assert history.persist_errors == 0
+
+    def test_persist_errors_counted_not_raised(self, tmp_path):
+        registry = MetricsRegistry()
+        history = MetricHistory(registry, capacity=4, persist_path=tmp_path)
+        history.sample()  # opening a directory for append -> OSError
+        assert history.persist_errors == 1
+
+    def test_broken_callback_gauge_skipped(self):
+        registry = MetricsRegistry()
+
+        def explode():
+            raise RuntimeError("sensor fell off")
+
+        registry.gauge_function("doomed", explode)
+        registry.counter("fine_total").inc()
+        history = MetricHistory(registry, capacity=4)
+        frame = history.sample()
+        assert "doomed" not in frame["gauges"]
+        assert frame["counters"]["fine_total"] == 1
+
+    def test_rate_series_lengths_bounded_by_points(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+        clock = FakeClock()
+        history = MetricHistory(registry, capacity=32, clock=clock)
+        for _ in range(10):
+            counter.inc(2)
+            clock.advance(1.0)
+            history.sample()
+        series = history.family_rate_series("hits_total", points=4)
+        assert len(series) == 4
+        assert all(rate == pytest.approx(2.0) for rate in series)
+
+
+class TestIngestWatermarks:
+    def test_apply_advances_watermark_and_gauges(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        marks = IngestWatermarks(registry, clock=clock, wall=lambda: 1000.0)
+        marks.note_apply("calls", "day1", cells=9, seconds=0.01)
+        clock.advance(7.0)
+        snap = marks.snapshot()["calls"]
+        assert snap["batch_id"] == "day1"
+        assert snap["batches"] == 1
+        assert snap["cells"] == 9
+        assert snap["staleness_seconds"] == pytest.approx(7.0)
+        assert sample_value(
+            registry, "ingest_staleness_seconds", table="calls"
+        ) == pytest.approx(7.0)
+        assert sample_value(
+            registry, "ingest_last_apply_timestamp_seconds", table="calls"
+        ) == 1000.0
+
+    def test_duplicates_do_not_move_the_watermark(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        marks = IngestWatermarks(registry, clock=clock)
+        marks.note_apply("t", "b1", cells=4, seconds=0.1)
+        clock.advance(30.0)
+        marks.note_apply("t", "b1", duplicate=True)
+        snap = marks.snapshot()["t"]
+        assert snap["batch_id"] == "b1"
+        assert snap["duplicates"] == 1
+        assert snap["batches"] == 1
+        # A replayed batch is not fresh data: still 30 s stale.
+        assert snap["staleness_seconds"] == pytest.approx(30.0)
+
+    def test_max_staleness_reports_the_worst_table(self):
+        clock = FakeClock()
+        marks = IngestWatermarks(MetricsRegistry(), clock=clock)
+        assert marks.max_staleness() is None
+        marks.note_apply("fresh", "a")
+        clock.advance(5.0)
+        marks.note_apply("fresh", "b")
+        marks.note_apply("stale", "a")
+        clock.advance(2.0)
+        marks.note_apply("fresh", "c")
+        assert marks.max_staleness() == pytest.approx(2.0)
+        assert marks.staleness("never") is None
+
+
+class TestSLO:
+    def test_ratio_burn_scales_by_error_budget(self):
+        slo = SLO("avail", "availability", target=0.99)
+        assert slo.burn(0.02) == pytest.approx(2.0)
+        assert slo.burn(None) is None
+
+    def test_threshold_burn_is_observed_over_target(self):
+        slo = SLO("lat", "latency_p99", target=0.25)
+        assert slo.burn(0.5) == pytest.approx(2.0)
+
+    def test_validation_is_typed(self):
+        with pytest.raises(ParameterError):
+            SLO("x", "no_such_objective", target=0.5)
+        with pytest.raises(ParameterError):
+            SLO("x", "availability", target=1.5)
+        with pytest.raises(ParameterError):
+            SLO("x", "latency_p99", target=-1.0)
+        with pytest.raises(ParameterError):
+            SLO("x", "latency_p99", target=0.25,
+                window_seconds=10.0, short_window_seconds=60.0)
+        with pytest.raises(ParameterError):
+            SLO("x", "availability", target=0.99, clear_factor=0.0)
+
+    def test_defaults_cover_all_objectives(self):
+        assert sorted(slo.objective for slo in DEFAULT_SLOS) == [
+            "availability", "latency_p99", "quality", "staleness",
+        ]
+
+
+class TestSLOMonitor:
+    SLO_ = SLO(
+        "lat", "latency_p99", target=0.1,
+        window_seconds=300.0, short_window_seconds=60.0,
+        burn_threshold=2.0, clear_factor=0.5,
+    )
+
+    def monitor(self, registry=None):
+        return SLOMonitor([self.SLO_], registry=registry, wall=FakeClock(100.0))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ParameterError):
+            SLOMonitor([self.SLO_, self.SLO_])
+
+    def test_fires_only_when_both_windows_burn(self):
+        monitor = self.monitor()
+        # Long window hot, short window cold: no alert (old incident).
+        monitor.evaluate(lambda slo, w: 0.5 if w >= 300 else 0.05)
+        assert monitor.firing() == []
+        # Both windows hot: fires exactly once.
+        fired = monitor.evaluate(lambda slo, w: 0.5)
+        assert [a.slo for a in fired] == ["lat"]
+        assert monitor.evaluate(lambda slo, w: 0.5) == []
+        assert len(monitor.firing()) == 1
+
+    def test_clears_with_hysteresis(self):
+        monitor = self.monitor()
+        monitor.evaluate(lambda slo, w: 0.5)  # burn 5.0 -> fires
+        # Burn 1.5 is below the 2.0 threshold but above the 1.0 clear
+        # line (threshold * clear_factor): the alert keeps firing.
+        monitor.evaluate(lambda slo, w: 0.15)
+        assert len(monitor.firing()) == 1
+        # Burn 0.8 <= 1.0 on both windows: clears.
+        monitor.evaluate(lambda slo, w: 0.08)
+        assert monitor.firing() == []
+        states = [event["state"] for event in monitor.history()]
+        assert states == ["firing", "cleared"]
+
+    def test_none_signal_holds_state(self):
+        monitor = self.monitor()
+        monitor.evaluate(lambda slo, w: 0.5)
+        monitor.evaluate(lambda slo, w: None)  # idle window: no flap
+        assert len(monitor.firing()) == 1
+
+    def test_registry_gauges_track_state(self):
+        registry = MetricsRegistry()
+        monitor = self.monitor(registry=registry)
+        assert sample_value(registry, "slo_alert_firing", slo="lat") == 0.0
+        monitor.evaluate(lambda slo, w: 0.5)
+        assert sample_value(registry, "slo_alert_firing", slo="lat") == 1.0
+        assert sample_value(registry, "slo_burn_rate", slo="lat") == pytest.approx(5.0)
+
+    def test_snapshot_is_json_safe(self):
+        monitor = self.monitor()
+        monitor.evaluate(lambda slo, w: 0.5)
+        snap = monitor.snapshot()
+        json.dumps(snap)
+        assert snap["objectives"][0]["firing"] is True
+        assert snap["firing"][0]["kind"] == "slo_burn_rate"
+
+
+class TestBuildInfo:
+    def test_build_info_and_uptime_registered(self):
+        registry = MetricsRegistry()
+        register_build_info(registry)
+        register_build_info(registry)  # idempotent
+        snap = registry.snapshot()
+        sample = snap["repro_build_info"]["samples"][0]
+        assert sample["value"] == 1.0
+        assert set(sample["labels"]) == {"version", "python", "numpy"}
+        assert snap["process_uptime_seconds"]["samples"][0]["value"] >= 0.0
+
+
+class TestTelemetryFacade:
+    def test_non_positive_interval_means_passive(self):
+        telemetry = Telemetry(MetricsRegistry(), interval=0.0)
+        assert telemetry.interval is None
+        assert not telemetry.running
+
+    def test_start_without_interval_rejected(self):
+        with pytest.raises(ParameterError):
+            Telemetry(MetricsRegistry()).start()
+
+    def test_snapshot_samples_on_demand(self):
+        registry = MetricsRegistry()
+        registry.counter("server_queries_total").inc(5)
+        telemetry = Telemetry(registry)
+        snap = telemetry.snapshot()
+        assert snap["samples"] >= 1
+        assert snap["interval"] is None
+        json.dumps(snap)
+        assert set(snap["rates"]) == {
+            "qps", "requests_per_s", "errors_per_s", "updates_per_s", "sheds_per_s",
+        }
+
+    def test_derived_gauges_published_from_history(self):
+        registry = MetricsRegistry()
+        queries = registry.counter("server_queries_total")
+        latency = registry.histogram(
+            "server_request_seconds",
+            edges=(0.001, 0.01, 0.1, 1.0),
+            op="all",
+        )
+        clock = FakeClock()
+        telemetry = Telemetry(registry, clock=clock)
+        telemetry.sample_once()
+        queries.inc(100)
+        for _ in range(20):
+            latency.observe(0.05)
+        clock.advance(10.0)
+        telemetry.sample_once()
+        assert sample_value(registry, "telemetry_qps") == pytest.approx(10.0)
+        assert 0.01 <= sample_value(registry, "telemetry_p99_seconds") <= 0.1
+        assert sample_value(registry, "telemetry_samples_total") == 2

@@ -1,0 +1,301 @@
+"""Telemetry under churn: sampler races, turnover drills, live wire ops.
+
+The unit tests in ``test_obs_telemetry.py`` pin behaviour with injected
+clocks; these tests run the telemetry plane the way production does —
+a daemon sampler racing live registry writers, watermarks fed by the
+18-day :class:`~repro.ingest.window.WindowedTable` turnover drill
+through ``engine.update``, burn-rate alerts fired and cleared by
+deliberate staleness/latency injection, and the ``telemetry`` wire op
+polled through a real server, client, and shard router.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.ingest import DeltaBatch, WindowedTable
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import SLO, IngestWatermarks, Telemetry
+from repro.serve import Client, SketchEngine, SketchServer
+from repro.shard import ShardRouter, ShardSpec
+
+
+class FakeClock:
+    """A hand-cranked monotonic clock shared by telemetry components."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += float(seconds)
+
+
+def make_engine(**kwargs) -> SketchEngine:
+    engine = SketchEngine(p=1.0, k=16, seed=2, **kwargs)
+    engine.register_array("t", np.random.default_rng(8).normal(size=(64, 64)))
+    return engine
+
+
+class TestSamplerChurn:
+    def test_sampler_thread_races_registry_writers_cleanly(self):
+        registry = MetricsRegistry()
+        telemetry = Telemetry(registry, interval=0.002, capacity=16)
+        stop = threading.Event()
+
+        def writer(worker: int) -> None:
+            # Keep minting *new* labelled children while the sampler
+            # iterates collect(): the worst-case registry mutation.
+            n = 0
+            while not stop.is_set():
+                registry.counter("churn_total", worker=worker, lane=n % 7).inc()
+                registry.histogram(
+                    "churn_seconds", worker=worker
+                ).observe(0.001 * (n % 13))
+                registry.gauge("churn_depth", worker=worker).set(n)
+                n += 1
+
+        writers = [
+            threading.Thread(target=writer, args=(i,), daemon=True)
+            for i in range(3)
+        ]
+        telemetry.start()
+        try:
+            for thread in writers:
+                thread.start()
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                if telemetry._samples_total.value >= 20:
+                    break
+                time.sleep(0.01)
+        finally:
+            stop.set()
+            for thread in writers:
+                thread.join(timeout=5.0)
+            telemetry.stop()
+        assert telemetry._sample_errors.value == 0
+        assert telemetry._samples_total.value >= 20
+        # The ring respected its bound through the churn.
+        assert len(telemetry.history) <= 16
+        snapshot = telemetry.snapshot()
+        assert snapshot["samples"] <= 16
+
+    def test_stop_is_idempotent_and_restartable(self):
+        telemetry = Telemetry(MetricsRegistry(), interval=0.01)
+        telemetry.start()
+        assert telemetry.running
+        telemetry.stop()
+        telemetry.stop()
+        assert not telemetry.running
+        telemetry.start()
+        assert telemetry.running
+        telemetry.stop()
+
+
+class TestWindowTurnoverWatermarks:
+    """Watermark correctness through the 18-day rolling-window drill."""
+
+    HEIGHT, DAY_WIDTH, WINDOW_DAYS = 8, 4, 18
+
+    def day_traffic(self, day: int) -> np.ndarray:
+        rng = np.random.default_rng(500 + day)
+        return np.abs(rng.normal(loc=2.0, size=(self.HEIGHT, self.DAY_WIDTH)))
+
+    def test_turnover_batches_advance_the_watermark(self):
+        window = WindowedTable(
+            "calls", height=self.HEIGHT, day_width=self.DAY_WIDTH,
+            window_days=self.WINDOW_DAYS, p=1.0, k=16, seed=3,
+        )
+        for day in range(self.WINDOW_DAYS):
+            window.arrive(day, self.day_traffic(day))
+        engine = SketchEngine(p=1.0, k=16, seed=3, update_mode="invalidate")
+        engine.register_array("calls", window.materialized())
+
+        applied = 0
+        last_batch = None
+        for day in range(self.WINDOW_DAYS, self.WINDOW_DAYS + 4):
+            for retired in window.days_to_retire(day):
+                batch = window.retire(retired)
+                if batch is not None:
+                    assert engine.update(batch)["applied"]
+                    applied += 1
+                    last_batch = batch
+            batch = window.arrive(day, self.day_traffic(day))
+            assert engine.update(batch)["applied"]
+            applied += 1
+            last_batch = batch
+            marks = engine.watermarks.snapshot()["calls"]
+            # The watermark tracks the *last applied* turnover batch.
+            assert marks["batch_id"] == batch.batch_id
+            assert batch.batch_id.startswith(f"calls:day{day}:arrive:")
+
+        marks = engine.watermarks.snapshot()["calls"]
+        assert marks["batches"] == applied
+        assert marks["duplicates"] == 0
+        assert marks["staleness_seconds"] < 60.0
+
+        # Re-delivering the last batch is deduped and must not refresh
+        # the watermark: a replay is not fresh data.
+        before = engine.watermarks.snapshot()["calls"]
+        result = engine.update(last_batch)
+        assert result["duplicate"]
+        after = engine.watermarks.snapshot()["calls"]
+        assert after["batch_id"] == before["batch_id"]
+        assert after["batches"] == applied
+        assert after["duplicates"] == 1
+        assert after["staleness_seconds"] >= before["staleness_seconds"]
+
+
+class TestBurnRateDrills:
+    """Deliberate staleness/latency injection: alerts fire, then clear."""
+
+    def test_staleness_injection_fires_then_clears(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        marks = IngestWatermarks(registry, clock=clock)
+        telemetry = Telemetry(
+            registry,
+            slos=[SLO(
+                "staleness", "staleness", target=10.0,
+                window_seconds=30.0, short_window_seconds=10.0,
+                burn_threshold=1.0, clear_factor=0.5,
+            )],
+            watermarks=marks,
+            clock=clock,
+        )
+        marks.note_apply("calls", "b1")
+        telemetry.sample_once()
+        assert telemetry.slo_monitor.firing() == []
+
+        # Injection: stop applying batches for 50 s against a 10 s
+        # objective — burn 5x on both windows.
+        clock.advance(50.0)
+        telemetry.sample_once()
+        firing = telemetry.slo_monitor.firing()
+        assert [alert.slo for alert in firing] == ["staleness"]
+        assert firing[0].observed == pytest.approx(50.0)
+
+        # Recovery: a fresh batch lands, staleness collapses under the
+        # clear line (burn <= 0.5) and the alert clears.
+        marks.note_apply("calls", "b2")
+        clock.advance(1.0)
+        telemetry.sample_once()
+        assert telemetry.slo_monitor.firing() == []
+        states = [e["state"] for e in telemetry.slo_monitor.history()]
+        assert states == ["firing", "cleared"]
+
+    def test_latency_injection_fires_then_clears(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        latency = registry.histogram(
+            "server_request_seconds",
+            edges=(0.005, 0.05, 0.5, 5.0),
+            op="all",
+        )
+        telemetry = Telemetry(
+            registry,
+            slos=[SLO(
+                "latency_p99", "latency_p99", target=0.1,
+                window_seconds=30.0, short_window_seconds=10.0,
+                burn_threshold=1.0, clear_factor=0.5,
+            )],
+            clock=clock,
+        )
+        telemetry.sample_once()
+
+        # Injection: a burst of ~1 s requests pushes the windowed p99
+        # an order of magnitude over the 100 ms objective.
+        for _ in range(50):
+            latency.observe(1.0)
+        clock.advance(5.0)
+        telemetry.sample_once()
+        firing = telemetry.slo_monitor.firing()
+        assert [alert.slo for alert in firing] == ["latency_p99"]
+        assert firing[0].observed > 0.5
+
+        # Recovery: fast traffic only; once the slow burst ages past
+        # both windows the p99 drops and the alert clears.
+        for _ in range(3):
+            clock.advance(20.0)
+            for _ in range(200):
+                latency.observe(0.002)
+            telemetry.sample_once()
+        assert telemetry.slo_monitor.firing() == []
+        states = [e["state"] for e in telemetry.slo_monitor.history()]
+        assert states == ["firing", "cleared"]
+
+
+class TestTelemetryWireOp:
+    def test_server_answers_telemetry_polls(self):
+        engine = make_engine()
+        with SketchServer(engine) as server:
+            server.start()
+            with Client(*server.address, timeout=10.0) as client:
+                client.update("t", [(0, 0, 5.0)], batch_id="wire-1")
+                client.query([("t", (0, 0, 8, 8), (16, 16, 8, 8))])
+                payload = client.telemetry()
+                assert payload["samples"] >= 1
+                assert payload["watermarks"]["t"]["batch_id"] == "wire-1"
+                assert payload["staleness_seconds"] is not None
+                assert {"qps", "updates_per_s"} <= set(payload["rates"])
+                assert payload["slo"]["firing"] == []
+                # Passive mode dedupes back-to-back polls (a frame
+                # younger than the freshness bound is reused) but a
+                # dashboard polling at a human cadence accrues history.
+                assert client.telemetry()["samples"] == payload["samples"]
+                time.sleep(0.6)
+                assert client.telemetry()["samples"] > payload["samples"]
+        engine.close()
+
+    def test_stats_snapshot_carries_watermarks_and_slo(self):
+        engine = make_engine()
+        engine.update(DeltaBatch.from_cells("t", "s1", [(1, 1, 2.0)]))
+        snapshot = engine.stats_snapshot()
+        assert snapshot["watermarks"]["t"]["batch_id"] == "s1"
+        assert {o["slo"] for o in snapshot["slo"]["objectives"]} == {
+            "availability", "latency_p99", "staleness", "quality",
+        }
+        engine.close()
+
+
+class TestRouterTelemetryFanIn:
+    def test_router_merges_shard_telemetry(self):
+        engines = [make_engine() for _ in range(2)]
+        servers = [SketchServer(engine) for engine in engines]
+        try:
+            for server in servers:
+                server.start()
+            specs = [
+                ShardSpec(f"s{i}", *server.address)
+                for i, server in enumerate(servers)
+            ]
+            with ShardRouter(
+                specs, overrides={"t": "s0"}, rng=random.Random(5)
+            ) as router:
+                router.update(DeltaBatch.from_cells("t", "r1", [(2, 2, 3.0)]))
+                router.query([("t", (0, 0, 8, 8), (16, 16, 8, 8))])
+                payload = router.telemetry_snapshot()
+                assert set(payload["shards"]) == {"s0", "s1"}
+                assert payload.get("shards_unreachable", {}) == {}
+                aggregate = payload["aggregate"]
+                assert aggregate["shards"] == 2
+                # The update landed on the owning shard only; the fleet
+                # watermark view nests it under that shard.
+                assert aggregate["watermarks"]["s0"]["t"]["batch_id"] == "r1"
+                assert "s1" not in aggregate["watermarks"]
+                assert aggregate["staleness_seconds"] is not None
+                assert aggregate["slo_firing"] == []
+                # The router's own (passive) telemetry is the top level.
+                assert payload["samples"] >= 1
+        finally:
+            for server in servers:
+                server.stop()
+            for engine in engines:
+                engine.close()
