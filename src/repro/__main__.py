@@ -163,7 +163,7 @@ def _parse_table_spec(spec: str) -> tuple[str, Path]:
 
 
 def _cmd_serve(args) -> int:
-    from repro.serve import SketchEngine, SketchServer
+    from repro.serve import AsyncSketchServer, SketchEngine, SketchServer
 
     engine = SketchEngine(
         p=args.p,
@@ -172,6 +172,7 @@ def _cmd_serve(args) -> int:
         min_exponent=args.min_exponent,
         method=args.method,
         max_bytes=args.max_bytes,
+        map_dtype=args.map_dtype,
         quality_sample_rate=args.quality_sample_rate,
         update_mode=args.update_mode,
         telemetry_interval=args.telemetry_interval,
@@ -192,6 +193,32 @@ def _cmd_serve(args) -> int:
 
     logger = StructuredLogger("repro.serve", level=args.log_level)
     slow = None if args.slow_query_ms is None else args.slow_query_ms / 1000.0
+    if args.async_server:
+        # The asyncio server multiplexes pipelined binary requests per
+        # connection; start() runs its event loop on a daemon thread,
+        # so the main thread just parks until a signal arrives.
+        import threading
+
+        server = AsyncSketchServer(
+            engine, host=args.host, port=args.port,
+            logger=logger, slow_query_seconds=slow,
+            max_inflight=args.max_inflight,
+            max_batch_queries=args.max_batch_queries,
+            drain_timeout=args.drain_timeout,
+        )
+        server.start()
+        host, port = server.address
+        print(f"serving {len(args.table)} table(s) on {host}:{port} "
+              f"(async, pipelined)", flush=True)
+        try:
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("draining...", file=sys.stderr)
+        finally:
+            clean = server.stop()
+            print(f"drained {'cleanly' if clean else 'with abandoned requests'}",
+                  file=sys.stderr)
+        return 0
     server = SketchServer(
         engine, host=args.host, port=args.port,
         logger=logger, slow_query_seconds=slow,
@@ -248,6 +275,7 @@ def _cmd_shard_serve(args) -> int:
             max_batch_queries=args.max_batch_queries,
             drain_timeout=args.drain_timeout,
             update_mode=args.update_mode,
+            map_dtype=args.map_dtype,
             log_level=args.log_level,
             telemetry_interval=args.telemetry_interval,
         )
@@ -263,6 +291,7 @@ def _cmd_shard_serve(args) -> int:
             overrides=overrides,
             retry=RetryPolicy(max_attempts=max(1, args.retries)),
             deadline=args.request_deadline,
+            protocol=args.protocol,
         )
         for table in sorted(archives):
             print(f"table {table} -> shard {router.owner_of(table)}")
@@ -303,7 +332,8 @@ def _cmd_query(args) -> int:
 
     retry = RetryPolicy(max_attempts=max(1, args.retries))
     with Client(args.host, args.port, timeout=args.timeout, retry=retry,
-                deadline=args.request_deadline) as client:
+                deadline=args.request_deadline,
+                protocol=args.protocol) as client:
         if args.ping:
             print("pong" if client.ping() else "no pong")
             return 0
@@ -384,7 +414,8 @@ def _cmd_ingest(args) -> int:
     retry = RetryPolicy(max_attempts=max(1, args.retries))
     try:
         with Client(args.host, args.port, timeout=args.timeout, retry=retry,
-                    deadline=args.request_deadline) as client:
+                    deadline=args.request_deadline,
+                    protocol=args.protocol) as client:
 
             def flush(table: str) -> None:
                 nonlocal batches, applied, duplicates, deltas_sent
@@ -429,7 +460,8 @@ def _cmd_stats(args) -> int:
     from repro.obs.export import render_prometheus
     from repro.serve import Client
 
-    with Client(args.host, args.port, timeout=args.timeout) as client:
+    with Client(args.host, args.port, timeout=args.timeout,
+                protocol=args.protocol) as client:
         snapshot = client.stats()
     if args.json:
         print(json.dumps(snapshot, indent=2, sort_keys=True))
@@ -698,7 +730,8 @@ def _cmd_top(args) -> int:
     address = f"{args.host}:{args.port}"
     if args.json and not args.once:
         raise SystemExit("--json needs --once (one payload per run)")
-    with Client(args.host, args.port, timeout=args.timeout) as client:
+    with Client(args.host, args.port, timeout=args.timeout,
+                protocol=args.protocol) as client:
         if args.once:
             payload = client.telemetry()
             if args.json:
@@ -736,7 +769,8 @@ def _cmd_trace(args) -> int:
     if not args.no_server:
         from repro.serve import Client
 
-        with Client(args.host, args.port, timeout=args.timeout) as client:
+        with Client(args.host, args.port, timeout=args.timeout,
+                protocol=args.protocol) as client:
             sources["server"] = client.trace(args.trace_id)
     if not sources:
         raise SystemExit(
@@ -837,6 +871,16 @@ def main(argv=None) -> int:
     serve.add_argument("--method", default="auto", help="estimator method")
     serve.add_argument("--max-bytes", type=int, default=None,
                        help="cross-table byte budget for built maps")
+    serve.add_argument("--map-dtype", default="float32",
+                       choices=("float32", "float64"),
+                       help="storage dtype for sketch maps built from "
+                            "registered arrays: float32 (default) halves "
+                            "map memory at rounding-noise cost, float64 "
+                            "stores full precision")
+    serve.add_argument("--async-server", action="store_true",
+                       help="serve with the asyncio server: binary "
+                            "connections may pipeline requests and receive "
+                            "responses out of order, matched by request id")
     serve.add_argument("--no-mmap", action="store_true",
                        help="copy pool archives into RAM instead of mapping them")
     serve.add_argument("--log-level", default="warning",
@@ -896,6 +940,16 @@ def main(argv=None) -> int:
     shard_serve.add_argument("--method", default="auto", help="estimator method")
     shard_serve.add_argument("--max-bytes", type=int, default=None,
                              help="per-worker byte budget for built maps")
+    shard_serve.add_argument("--map-dtype", default="float32",
+                             choices=("float32", "float64"),
+                             help="each worker's sketch-map storage dtype "
+                                  "for arrays built in-process (archives "
+                                  "keep their stored dtype)")
+    shard_serve.add_argument("--protocol", default="binary",
+                             choices=("json", "binary"),
+                             help="router->shard wire protocol (default: "
+                                  "binary frames; json is the debug "
+                                  "fallback)")
     shard_serve.add_argument("--log-level", default="warning",
                              choices=("debug", "info", "warning", "error"),
                              help="structured log level for router and workers")
@@ -943,6 +997,11 @@ def main(argv=None) -> int:
     query.add_argument("--ping", action="store_true", help="just ping the server")
     query.add_argument("--tables", action="store_true", help="list served tables")
     query.add_argument("--stats", action="store_true", help="dump engine statistics")
+    query.add_argument("--protocol", default="json",
+                   choices=("json", "binary"),
+                   help="wire protocol to the server (default: json; "
+                        "binary ships queries and results as raw "
+                        "frames)")
 
     ingest = commands.add_parser(
         "ingest", help="apply a delta stream to a running server's tables"
@@ -970,6 +1029,11 @@ def main(argv=None) -> int:
                              "across all retries")
     ingest.add_argument("--quiet", action="store_true",
                         help="suppress the per-batch progress lines")
+    ingest.add_argument("--protocol", default="json",
+                    choices=("json", "binary"),
+                    help="wire protocol to the server (default: json; "
+                         "binary ships queries and results as raw "
+                         "frames)")
 
     stats = commands.add_parser(
         "stats", help="scrape a running server's metrics"
@@ -978,6 +1042,11 @@ def main(argv=None) -> int:
     stats.add_argument("--port", type=int, default=7337, help="server port")
     stats.add_argument("--timeout", type=float, default=30.0,
                        help="socket timeout in seconds")
+    stats.add_argument("--protocol", default="json",
+                   choices=("json", "binary"),
+                   help="wire protocol to the server (default: json; "
+                        "binary ships queries and results as raw "
+                        "frames)")
     fmt = stats.add_mutually_exclusive_group()
     fmt.add_argument("--json", action="store_true",
                      help="dump the raw JSON snapshot")
@@ -997,6 +1066,11 @@ def main(argv=None) -> int:
                      help="poll once, print one frame, exit")
     top.add_argument("--json", action="store_true",
                      help="with --once, print the raw JSON telemetry payload")
+    top.add_argument("--protocol", default="json",
+                 choices=("json", "binary"),
+                 help="wire protocol to the server (default: json; "
+                      "binary ships queries and results as raw "
+                      "frames)")
 
     trace = commands.add_parser(
         "trace", help="render one trace id's merged span timeline"
@@ -1006,6 +1080,11 @@ def main(argv=None) -> int:
     trace.add_argument("--port", type=int, default=7337, help="server port")
     trace.add_argument("--timeout", type=float, default=30.0,
                        help="socket timeout in seconds")
+    trace.add_argument("--protocol", default="json",
+                   choices=("json", "binary"),
+                   help="wire protocol to the server (default: json; "
+                        "binary ships queries and results as raw "
+                        "frames)")
     trace.add_argument("--from-json", action="append", metavar="FILE",
                        help="merge a span-dump JSON array (e.g. a client "
                             "tracer's dump_json output); repeatable")

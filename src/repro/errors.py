@@ -67,6 +67,22 @@ class ProtocolError(ServeError):
     """
 
 
+class FrameSizeError(ProtocolError):
+    """A binary frame declared a payload larger than the frame limit.
+
+    Raised by the frame reader *before* any payload byte is read or
+    allocated — the declared length in the 16-byte header is validated
+    against the ``max_frame_bytes`` cap first, mirroring the JSON
+    path's ``MAX_LINE_BYTES`` guard.  A hostile 4 GiB length field
+    therefore costs a header parse, never an allocation.  Carries the
+    offending frame's ``request_id`` (when one was parsed) so servers
+    can address the error frame back to the right pipelined request.
+    """
+
+    #: The request id from the refused frame's header, if parsed.
+    request_id: int | None = None
+
+
 class TransientServeError(ServeError):
     """A serving failure that is safe to retry.
 

@@ -14,8 +14,17 @@ pools:
     stores, memory-mapped pool archives) under one cross-table LRU
     memory budget, thread-safe for concurrent queries.
 :mod:`repro.serve.server` / :mod:`repro.serve.client`
-    A stdlib JSON-lines TCP server (``python -m repro serve``) and its
-    matching blocking :class:`Client`.
+    A stdlib TCP server (``python -m repro serve``) speaking both
+    newline-framed JSON (the debug fallback) and the length-prefixed
+    binary frame protocol, and the matching blocking :class:`Client`
+    (``protocol="json"|"binary"``).
+:mod:`repro.serve.wire`
+    The binary frame layer: 16-byte struct headers, request ids, numpy
+    rectangle/result payloads decoded zero-copy via ``np.frombuffer``.
+:mod:`repro.serve.aserver`
+    :class:`AsyncSketchServer` — an asyncio server multiplexing
+    pipelined binary requests per connection with out-of-order
+    completion, same admission/drain semantics as the threaded server.
 :mod:`repro.serve.stats`
     Request counters, batch-size and latency histograms, and the
     planner's cost ledger, exposed via the ``stats`` wire op.
@@ -25,18 +34,23 @@ pools:
     ``docs/RESILIENCE.md``).
 """
 
-from repro.serve.client import Client, TcpTransport
+from repro.serve.aserver import AsyncSketchServer
+from repro.serve.client import PROTOCOLS, BinaryTcpTransport, Client, TcpTransport
 from repro.serve.engine import SketchEngine
 from repro.serve.planner import QueryGroup, QueryPlanner, QueryResult, RectQuery
 from repro.serve.retry import RetryPolicy, retry_call
-from repro.serve.server import SketchServer
+from repro.serve.server import AdmissionController, SketchServer
 from repro.serve.stats import EngineStats, Histogram, PlannerStats
 
 __all__ = [
     "SketchEngine",
     "SketchServer",
+    "AsyncSketchServer",
+    "AdmissionController",
     "Client",
     "TcpTransport",
+    "BinaryTcpTransport",
+    "PROTOCOLS",
     "RetryPolicy",
     "retry_call",
     "QueryPlanner",

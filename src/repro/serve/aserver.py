@@ -1,0 +1,528 @@
+"""An asyncio sketch server that multiplexes pipelined requests.
+
+The threaded :class:`~repro.serve.server.SketchServer` answers each
+connection's requests strictly in order: a slow query at the head of a
+pipelined connection blocks every request queued behind it, and every
+connection costs a thread.  :class:`AsyncSketchServer` keeps one event
+loop for all connections and spawns one *task* per request instead —
+requests on the same connection execute concurrently (engine work runs
+in a thread pool, so queries still parallelise past the event loop),
+complete in whatever order they finish, and each response frame is
+addressed by the ``request_id`` echoed from its request frame.  That id
+is the only request/response pairing; clients that pipeline N requests
+must match responses by id, not by order.
+
+Both transports of :mod:`repro.serve.server` are served — the first
+byte routes binary-magic connections to the frame loop and everything
+else to the JSON-lines loop — but only binary frames are multiplexed:
+JSON lines carry no request id, so the JSON loop stays sequential
+(responses pair by order, exactly like the threaded server).
+
+Admission, shedding, and drain are the *same* semantics as the
+threaded server, enforced by the same
+:class:`~repro.serve.server.AdmissionController` implementation:
+``max_inflight`` bounds concurrently executing query/update requests
+(excess pipelined requests shed with ``RETRY_LATER`` — pipelining does
+not grant a connection more than its share of the engine), cheap ops
+never shed, and :meth:`AsyncSketchServer.stop` drains in-flight
+requests before tearing the loop down.
+
+The event loop runs on a background daemon thread, so the blocking
+:meth:`start` / :meth:`stop` lifecycle (and the context-manager form)
+matches the threaded server — callers choose a server class, not a
+concurrency model.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+from repro.errors import (
+    FrameSizeError,
+    ProtocolError,
+    ReproError,
+    ServeError,
+    TransientServeError,
+)
+from repro.obs.export import StructuredLogger
+from repro.serve import wire
+from repro.serve.engine import SketchEngine
+from repro.serve.server import (
+    _OPS,
+    AdmissionController,
+    _extract_trace,
+    _handle_request,
+    _wire_result,
+    log_request,
+)
+
+__all__ = ["AsyncSketchServer"]
+
+
+class AsyncSketchServer:
+    """An asyncio TCP server fronting one :class:`SketchEngine`.
+
+    Parameters
+    ----------
+    engine:
+        The engine to expose.
+    host, port:
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`address` after :meth:`start`).
+    logger, slow_query_seconds:
+        As on :class:`~repro.serve.server.SketchServer`.
+    max_inflight, max_batch_queries:
+        Admission caps, as on the threaded server.  ``max_inflight``
+        matters more here: one pipelining connection can put many
+        requests in flight, and this cap is what sheds the excess.
+    max_frame_bytes:
+        Frame/line size limit (default 64 MiB, same as the threaded
+        server's ``max_line_bytes``).  Binary frames over the limit are
+        refused from the header alone, before any payload is read.
+    drain_timeout:
+        Default seconds :meth:`stop` waits for in-flight requests.
+
+    Examples
+    --------
+    >>> engine = SketchEngine(k=8)                      # doctest: +SKIP
+    >>> with AsyncSketchServer(engine) as server:       # doctest: +SKIP
+    ...     server.start()
+    ...     client = Client(*server.address, protocol="binary")
+    """
+
+    def __init__(
+        self,
+        engine: SketchEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        logger: StructuredLogger | None = None,
+        slow_query_seconds: float | None = None,
+        max_inflight: int | None = None,
+        max_batch_queries: int | None = None,
+        max_frame_bytes: int = wire.MAX_FRAME_BYTES,
+        drain_timeout: float = 5.0,
+    ):
+        self.engine = engine
+        self.logger = logger if logger is not None else StructuredLogger("repro.serve")
+        self.slow_query_seconds = slow_query_seconds
+        self.tracer = engine.tracer
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.drain_timeout = float(drain_timeout)
+        self.admission_controller = AdmissionController(
+            engine.registry,
+            max_inflight=max_inflight,
+            max_batch_queries=max_batch_queries,
+        )
+        self._host = host
+        self._port = port
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._address: tuple[str, int] | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._conn_tasks: set = set()
+        self._closed = False
+        self._lifecycle_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually-bound ``(host, port)``."""
+        if self._address is None:
+            raise ServeError("server is not started")
+        return self._address
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently executing (drain waits on this)."""
+        return self.admission_controller.inflight
+
+    @property
+    def inflight_queries(self) -> int:
+        """Query/update requests executing (``max_inflight`` bounds this)."""
+        return self.admission_controller.inflight_queries
+
+    @property
+    def draining(self) -> bool:
+        """Whether a graceful drain has started."""
+        return self.admission_controller.draining
+
+    @property
+    def max_inflight(self) -> int | None:
+        """Admission cap; delegates so runtime mutation takes effect."""
+        return self.admission_controller.max_inflight
+
+    @max_inflight.setter
+    def max_inflight(self, value: int | None) -> None:
+        self.admission_controller.max_inflight = value
+
+    @property
+    def max_batch_queries(self) -> int | None:
+        """Admission cap on queries per request (delegates likewise)."""
+        return self.admission_controller.max_batch_queries
+
+    @max_batch_queries.setter
+    def max_batch_queries(self, value: int | None) -> None:
+        self.admission_controller.max_batch_queries = value
+
+    def start(self) -> "AsyncSketchServer":
+        """Run the event loop in a background daemon thread."""
+        with self._lifecycle_lock:
+            if self._closed:
+                raise RuntimeError("server already stopped; build a new one")
+            if self._thread is not None:
+                return self
+            self._thread = threading.Thread(
+                target=self._thread_main, name="async-sketch-server", daemon=True
+            )
+            self._thread.start()
+        if not self._ready.wait(timeout=30.0):  # pragma: no cover - defensive
+            raise ServeError("async server did not start within 30s")
+        if self._startup_error is not None:
+            error, self._startup_error = self._startup_error, None
+            raise ServeError(f"async server failed to start: {error}") from error
+        return self
+
+    def stop(self, drain_timeout: float | None = None) -> bool:
+        """Gracefully drain and shut down (idempotent).
+
+        Marks the server draining (new requests shed with
+        ``RETRY_LATER``), waits up to ``drain_timeout`` seconds for
+        in-flight requests while the loop keeps running — so their
+        responses still go out — then closes the listener, cancels the
+        per-connection readers, and joins the loop thread.  Returns
+        ``True`` when the drain emptied in time.
+        """
+        timeout = self.drain_timeout if drain_timeout is None else float(drain_timeout)
+        start = time.perf_counter()
+        self.admission_controller.begin_drain()
+        with self._lifecycle_lock:
+            drained = self.admission_controller.wait_drained(timeout)
+            if self._thread is not None:
+                loop, event = self._loop, self._stop_event
+                if loop is not None and event is not None and not loop.is_closed():
+                    try:
+                        loop.call_soon_threadsafe(event.set)
+                    except RuntimeError:  # pragma: no cover - loop racing down
+                        pass
+                self._thread.join(timeout=max(timeout, 5.0))
+                if self._thread.is_alive():  # pragma: no cover - defensive
+                    self.logger.warning(
+                        "drain_loop_stuck", thread=self._thread.name
+                    )
+                self._thread = None
+            if not self._closed:
+                self._closed = True
+                seconds = time.perf_counter() - start
+                self.admission_controller.record_drain(seconds)
+                self.logger.info(
+                    "drained", seconds=round(seconds, 6), clean=drained,
+                    abandoned=self.admission_controller.inflight,
+                )
+        return drained
+
+    close = stop
+
+    def __enter__(self) -> "AsyncSketchServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+        except BaseException as exc:  # pragma: no cover - defensive
+            if not self._ready.is_set():
+                self._startup_error = exc
+        finally:
+            self._ready.set()
+            try:
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                loop.close()
+
+    async def _serve(self) -> None:
+        self._stop_event = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._on_connection, self._host, self._port,
+                limit=self.max_frame_bytes + 1024,
+            )
+        except OSError as exc:
+            self._startup_error = exc
+            return
+        self._address = server.sockets[0].getsockname()[:2]
+        self._ready.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            # In-flight requests already drained (stop() waits before
+            # signalling); what remains are idle connection readers.
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # Connections
+    # ------------------------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            try:
+                first = await reader.readexactly(1)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return
+            if first[0] == wire.MAGIC:
+                await self._serve_binary(reader, writer)
+            else:
+                await self._serve_json(first, reader, writer)
+        except asyncio.CancelledError:
+            # Shutdown cancels idle connection readers; that is a clean
+            # exit, not an error to surface through the loop's handler.
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (asyncio.CancelledError, ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Binary frames: one task per request, out-of-order completion
+    # ------------------------------------------------------------------
+
+    async def _serve_binary(self, reader, writer) -> None:
+        try:
+            version = await reader.readexactly(1)
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            return
+        write_lock = asyncio.Lock()
+        if version[0] != wire.VERSION:
+            await self._write(writer, write_lock, bytes([wire.NAK]))
+            return
+        if not await self._write(writer, write_lock, bytes([wire.ACK])):
+            return
+        tasks: set = set()
+        while True:
+            try:
+                header = await reader.readexactly(wire.HEADER.size)
+            except asyncio.IncompleteReadError as exc:
+                if exc.partial:
+                    await self._write_error(
+                        writer, write_lock, 0,
+                        ProtocolError(
+                            f"truncated frame header: got {len(exc.partial)} "
+                            f"of {wire.HEADER.size} bytes"
+                        ),
+                    )
+                break
+            except (ConnectionError, OSError):
+                break
+            try:
+                kind, length, request_id = wire.parse_header(
+                    header, self.max_frame_bytes
+                )
+            except FrameSizeError as exc:
+                # Refused before the payload read — the declared bytes
+                # are never awaited, let alone allocated.
+                await self._write_error(
+                    writer, write_lock, exc.request_id or 0, exc
+                )
+                break
+            except ProtocolError as exc:
+                await self._write_error(writer, write_lock, 0, exc)
+                break
+            try:
+                payload = await reader.readexactly(length) if length else b""
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                break
+            # One task per request: the reader loops straight back to
+            # the next frame while this one executes, which is what
+            # makes pipelined requests complete out of order.
+            task = asyncio.create_task(
+                self._process(kind, request_id, payload, writer, write_lock)
+            )
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        if tasks:
+            # Let in-flight requests of a closing connection finish so
+            # their responses flush before the writer is torn down.
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    async def _process(
+        self, kind: int, request_id: int, payload: bytes, writer, write_lock
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        op_label = "?"
+        trace_id = None
+        binary_query = kind == wire.KIND_QUERY_REQUEST
+        try:
+            request = self._decode_request(kind, payload)
+            if isinstance(request, dict) and request.get("op") in _OPS:
+                op_label = request["op"]
+            trace_id, remote_parent = _extract_trace(request)
+            # Admission is synchronous and cheap (one lock hold); doing
+            # it here — not in the executor — keeps max_inflight a bound
+            # on *executing* requests, so pipelined excess sheds
+            # immediately instead of queueing for a pool thread.
+            admitted = self.admission_controller.admit(request)
+            try:
+                op, result = await loop.run_in_executor(
+                    None, self._dispatch, request, trace_id, remote_parent
+                )
+            finally:
+                admitted.__exit__(None, None, None)
+        except ReproError as exc:
+            log_request(
+                self.logger, self.slow_query_seconds, op_label,
+                time.perf_counter() - start, error=exc, trace_id=trace_id,
+            )
+            await self._write_error(writer, write_lock, request_id, exc)
+            return
+        log_request(
+            self.logger, self.slow_query_seconds, op,
+            time.perf_counter() - start,
+            queries=len(result["results"]) if "results" in result else None,
+            trace_id=trace_id,
+        )
+        if binary_query and "results" in result:
+            body = wire.encode_query_result(result["results"])
+            out_kind = wire.KIND_QUERY_RESULT
+        else:
+            body = json.dumps(_wire_result(result)).encode("utf-8")
+            out_kind = wire.KIND_JSON_RESULT
+        await self._write(
+            writer, write_lock, wire.encode_frame(out_kind, request_id, body)
+        )
+
+    def _dispatch(self, request: dict, trace_id, remote_parent):
+        """Engine work, on a pool thread (the slot is already held)."""
+        with self.tracer.trace(trace_id, remote_parent):
+            with self.tracer.span("server.request"):
+                return _handle_request(self.engine, request)
+
+    def _decode_request(self, kind: int, payload: bytes) -> dict:
+        if kind == wire.KIND_QUERY_REQUEST:
+            return wire.decode_query_request(memoryview(payload))
+        if kind == wire.KIND_JSON_REQUEST:
+            try:
+                return json.loads(payload)
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+        raise ProtocolError(f"unexpected frame kind {kind} from a client")
+
+    # ------------------------------------------------------------------
+    # JSON lines: sequential, exactly like the threaded server
+    # ------------------------------------------------------------------
+
+    async def _serve_json(self, first: bytes, reader, writer) -> None:
+        loop = asyncio.get_running_loop()
+        write_lock = asyncio.Lock()
+        while True:
+            try:
+                rest = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                # The rest of the oversized line is unread: answer once
+                # and drop the connection, as the threaded server does.
+                await self._write_json_error(
+                    writer, write_lock,
+                    ProtocolError(
+                        f"request line exceeds {self.max_frame_bytes} bytes"
+                    ),
+                )
+                return
+            except (ConnectionError, OSError):
+                return
+            line, first = first + rest, b""
+            if not line:
+                return
+            if not line.strip():
+                continue
+            start = time.perf_counter()
+            trace_id = None
+            op_label = "?"
+            try:
+                try:
+                    request = json.loads(line)
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    raise ProtocolError(
+                        f"request is not valid JSON: {exc}"
+                    ) from exc
+                if isinstance(request, dict) and request.get("op") in _OPS:
+                    op_label = request["op"]
+                trace_id, remote_parent = _extract_trace(request)
+                admitted = self.admission_controller.admit(request)
+                try:
+                    op, result = await loop.run_in_executor(
+                        None, self._dispatch, request, trace_id, remote_parent
+                    )
+                finally:
+                    admitted.__exit__(None, None, None)
+            except ReproError as exc:
+                log_request(
+                    self.logger, self.slow_query_seconds, op_label,
+                    time.perf_counter() - start, error=exc, trace_id=trace_id,
+                )
+                if not await self._write_json_error(writer, write_lock, exc):
+                    return
+                continue
+            log_request(
+                self.logger, self.slow_query_seconds, op,
+                time.perf_counter() - start,
+                queries=len(result["results"]) if "results" in result else None,
+                trace_id=trace_id,
+            )
+            payload = json.dumps(
+                {"ok": True, "result": _wire_result(result)}
+            ).encode("utf-8")
+            if not await self._write(writer, write_lock, payload + b"\n"):
+                return
+
+    # ------------------------------------------------------------------
+    # Writes (serialised per connection)
+    # ------------------------------------------------------------------
+
+    async def _write(self, writer, write_lock, data: bytes) -> bool:
+        async with write_lock:
+            try:
+                writer.write(data)
+                await writer.drain()
+                return True
+            except (ConnectionError, OSError):
+                return False
+
+    async def _write_error(
+        self, writer, write_lock, request_id: int, exc: Exception
+    ) -> bool:
+        frame = wire.encode_frame(
+            wire.KIND_ERROR, int(request_id), wire.encode_error(exc)
+        )
+        return await self._write(writer, write_lock, frame)
+
+    async def _write_json_error(self, writer, write_lock, exc: Exception) -> bool:
+        error = {"type": type(exc).__name__, "message": str(exc)}
+        code = getattr(exc, "code", None)
+        if isinstance(exc, TransientServeError) and code:
+            error["code"] = code
+        payload = json.dumps({"ok": False, "error": error}).encode("utf-8")
+        return await self._write(writer, write_lock, payload + b"\n")

@@ -34,10 +34,20 @@ On top of the wire protocol the client layers a failure story:
 Retries and reconnects are accounted in a
 :class:`~repro.obs.metrics.MetricsRegistry` (``retries_total{op=...}``,
 ``reconnects_total``) readable via :attr:`Client.resilience`.
+
+**Transports.**  ``protocol="json"`` (the default, and the debug
+fallback) speaks newline-framed JSON; ``protocol="binary"`` dials a
+:class:`BinaryTcpTransport`, negotiates with the
+:mod:`repro.serve.wire` magic/version preamble, and ships queries and
+results as length-prefixed binary frames with raw numpy buffers — same
+API, same answers (the differential harness pins bit-identity), a
+fraction of the wire cost.  The retry/deadline/tracing machinery is
+protocol-agnostic: only the encode/decode seam differs.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import random
 import socket
@@ -56,10 +66,13 @@ from repro.errors import (
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
+from repro.serve import wire
 from repro.serve.planner import QueryResult, RectQuery
 from repro.serve.retry import RetryPolicy
 
-__all__ = ["Client", "TcpTransport"]
+__all__ = ["Client", "TcpTransport", "BinaryTcpTransport", "PROTOCOLS"]
+
+PROTOCOLS = ("json", "binary")
 
 
 def _revive_error(info) -> ReproError:
@@ -112,6 +125,119 @@ class TcpTransport:
                 pass
 
 
+class BinaryTcpTransport:
+    """One binary-framed connection, negotiated at dial time.
+
+    Same ``send_line`` / ``recv_line`` / ``settimeout`` / ``close``
+    surface as :class:`TcpTransport` — the "line" both ways is one
+    complete :mod:`repro.serve.wire` frame, opaque bytes to anything
+    wrapping the transport (``FlakyTransport`` injects its faults on
+    frames exactly as it does on lines).
+
+    The constructor performs the whole protocol negotiation — it sends
+    ``MAGIC`` + ``VERSION`` and waits for the server's one-byte verdict
+    — under the *dial* timeout, so a server that accepts the TCP
+    connection and then stalls before answering the preamble fails the
+    attempt within the caller's budget instead of hanging on the
+    default socket timeout.  A declined version raises
+    :class:`~repro.errors.ProtocolError` (permanent: the server will
+    not change its mind on retry); a stall or EOF raises
+    :class:`~repro.errors.ConnectionLostError` (retryable).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float | None = 30.0):
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rb")
+        try:
+            self._sock.sendall(bytes([wire.MAGIC, wire.VERSION]))
+            verdict = self._file.read(1)
+        except socket.timeout as exc:
+            self.close()
+            raise ConnectionLostError(
+                f"protocol negotiation with {host}:{port} timed out: {exc}"
+            ) from exc
+        except (ConnectionError, OSError) as exc:
+            self.close()
+            raise ConnectionLostError(
+                f"protocol negotiation with {host}:{port} failed: {exc}"
+            ) from exc
+        if not verdict:
+            self.close()
+            raise ConnectionLostError(
+                f"{host}:{port} closed the connection during protocol "
+                f"negotiation"
+            )
+        if verdict[0] == wire.NAK:
+            self.close()
+            raise ProtocolError(
+                f"{host}:{port} declined binary protocol version {wire.VERSION}"
+            )
+        if verdict[0] != wire.ACK:
+            self.close()
+            raise ProtocolError(
+                f"unexpected negotiation byte {verdict[0]:#04x} from "
+                f"{host}:{port}"
+            )
+
+    def send_line(self, data: bytes) -> None:
+        """Send one complete frame."""
+        self._sock.sendall(data)
+
+    def recv_line(self) -> bytes:
+        """Read one complete frame (``b""`` on clean EOF).
+
+        The header is parsed here only to learn how many payload bytes
+        to read; the declared length is validated against the frame
+        limit *before* the payload read, so a garbage 4 GiB length from
+        a confused server costs a :class:`~repro.errors.ProtocolError`,
+        not an allocation.
+        """
+        header = self._read_exact(wire.HEADER.size)
+        if not header:
+            return b""
+        if len(header) < wire.HEADER.size:
+            raise ProtocolError(
+                f"truncated frame header from server: "
+                f"{len(header)} of {wire.HEADER.size} bytes"
+            )
+        _, length, _ = wire.parse_header(header, wire.MAX_FRAME_BYTES)
+        payload = self._read_exact(length)
+        if len(payload) < length:
+            raise ProtocolError(
+                f"truncated frame payload from server: "
+                f"{len(payload)} of {length} bytes"
+            )
+        return header + payload
+
+    def _read_exact(self, n: int) -> bytes:
+        chunks: list[bytes] = []
+        got = 0
+        while got < n:
+            chunk = self._file.read(n - got)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            got += len(chunk)
+        return b"".join(chunks)
+
+    def settimeout(self, timeout: float | None) -> None:
+        """Bound every subsequent socket operation."""
+        self._sock.settimeout(timeout)
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        for closer in (self._file.close, self._sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+
 class Client:
     """A blocking, self-healing connection to a :class:`~repro.serve.server.SketchServer`.
 
@@ -138,9 +264,23 @@ class Client:
     connect:
         Transport factory ``(timeout) -> transport`` (anything with
         ``send_line`` / ``recv_line`` / ``settimeout`` / ``close``).
-        Defaults to dialling ``host:port`` with :class:`TcpTransport`;
+        Defaults to dialling ``host:port`` with :class:`TcpTransport`
+        (or :class:`BinaryTcpTransport` under ``protocol="binary"``);
         the fault-injection suite passes a
-        :class:`~repro.testing.FlakyTransport` factory here.
+        :class:`~repro.testing.FlakyTransport` factory here.  The
+        factory must perform any protocol negotiation itself and is
+        always called with the *per-attempt* timeout, so the dial and
+        handshake count against the request deadline.
+    protocol:
+        ``"json"`` (default) or ``"binary"`` — how requests are framed
+        on the wire.  Both speak to the same server port (the server
+        routes on the first byte) and return identical answers; binary
+        ships query rectangles and result vectors as raw buffers and is
+        the production default for routers, JSON the human-readable
+        debug fallback.  With an injected ``connect`` factory the
+        protocol names how *frames are encoded*, and the factory's
+        transport must match (``flaky_connect(..., protocol=...)``
+        keeps the two aligned).
     registry:
         Optional :class:`~repro.obs.metrics.MetricsRegistry` to account
         ``retries_total`` / ``reconnects_total`` in (own registry when
@@ -176,16 +316,27 @@ class Client:
         registry: MetricsRegistry | None = None,
         sleep: Callable[[float], None] = time.sleep,
         tracer: Tracer | None = None,
+        protocol: str = "json",
     ):
         self._host = host
         self._port = port
         self._timeout = timeout
+        if protocol not in PROTOCOLS:
+            raise ParameterError(
+                f"unknown protocol {protocol!r}; expected one of {PROTOCOLS}"
+            )
+        self.protocol = protocol
         self.retry = retry if retry is not None else RetryPolicy()
         self.deadline = deadline
         self._rng = rng if rng is not None else random.Random()
-        self._connect = connect if connect is not None else (
-            lambda t: TcpTransport(host, port, timeout=t)
-        )
+        if connect is not None:
+            self._connect = connect
+        else:
+            transport_type = (
+                BinaryTcpTransport if protocol == "binary" else TcpTransport
+            )
+            self._connect = lambda t: transport_type(host, port, timeout=t)
+        self._request_ids = itertools.count(1)
         self._sleep = sleep
         self.metrics = registry if registry is not None else MetricsRegistry()
         # The client's half of every cross-process trace: one
@@ -214,11 +365,22 @@ class Client:
     # Connection management
     # ------------------------------------------------------------------
 
-    def _ensure_transport(self):
+    def _ensure_transport(self, timeout: float | None = None):
+        """Dial (with any protocol negotiation) under ``timeout``.
+
+        ``timeout`` is the *per-attempt* budget computed by the retry
+        loop — connect and handshake must count against the request
+        deadline, or a server that accepts and then stalls before
+        answering the negotiation preamble would hang the call for the
+        constructor timeout instead (the historical bug).  ``None``
+        falls back to the constructor timeout (the eager first dial).
+        """
         if self._closed:
             raise ServeError("client connection is closed")
         if self._transport is None:
-            self._transport = self._connect(self._timeout)
+            self._transport = self._connect(
+                self._timeout if timeout is None else timeout
+            )
         return self._transport
 
     def _drop_transport(self) -> None:
@@ -269,16 +431,17 @@ class Client:
         connection (the stream is desynchronised).
         """
         fresh = self._transport is None
-        transport = self._ensure_transport()
+        transport = self._ensure_transport(timeout)
         if fresh:
             self._reconnects.inc()
         try:
             transport.settimeout(timeout)
         except OSError:
             pass
+        request_id = next(self._request_ids)
         try:
-            transport.send_line(json.dumps(request).encode("utf-8") + b"\n")
-            line = transport.recv_line()
+            transport.send_line(self._encode_request(request, request_id))
+            data = transport.recv_line()
         except socket.timeout as exc:
             self._drop_transport()
             raise QueryTimeoutError(
@@ -287,20 +450,79 @@ class Client:
         except (ConnectionError, OSError) as exc:
             self._drop_transport()
             raise ConnectionLostError(f"connection failed: {exc}") from exc
-        if not line:
+        except ProtocolError:
+            # The binary transport refuses unframeable byte streams
+            # (truncated or over-limit frames) — desynchronised either
+            # way, so the connection goes too.
+            self._drop_transport()
+            raise
+        if not data:
             self._drop_transport()
             raise ConnectionLostError("server closed the connection mid-request")
-        try:
-            response = json.loads(line)
-        except json.JSONDecodeError as exc:
-            self._drop_transport()
-            raise ProtocolError(f"server sent invalid JSON: {exc}") from exc
+        response = self._decode_response(data, request_id)
         if not isinstance(response, dict) or "ok" not in response:
             self._drop_transport()
             raise ProtocolError(f"malformed server response: {response!r}")
         if not response["ok"]:
             raise _revive_error(response.get("error"))
         return response.get("result", {})
+
+    def _encode_request(self, request: dict, request_id: int) -> bytes:
+        """One request as wire bytes — the only protocol-aware send step."""
+        if self.protocol == "json":
+            return json.dumps(request).encode("utf-8") + b"\n"
+        if request.get("op") == "query":
+            return wire.encode_frame(
+                wire.KIND_QUERY_REQUEST, request_id,
+                wire.encode_query_request(request),
+            )
+        return wire.encode_frame(
+            wire.KIND_JSON_REQUEST, request_id,
+            json.dumps(request).encode("utf-8"),
+        )
+
+    def _decode_response(self, data: bytes, request_id: int) -> dict:
+        """Wire bytes back to the ``{"ok": ..., ...}`` response shape.
+
+        Both protocols converge on the same dict shape here, which is
+        why everything above this seam (retries, deadlines, error
+        revival, tracing) is protocol-agnostic.  Undecodable bytes and
+        response ids that do not match the in-flight request drop the
+        connection — the stream is desynchronised.
+        """
+        if self.protocol == "json":
+            try:
+                return json.loads(data)
+            except json.JSONDecodeError as exc:
+                self._drop_transport()
+                raise ProtocolError(f"server sent invalid JSON: {exc}") from exc
+        try:
+            kind, rid, payload = wire.decode_frame(data)
+            if kind == wire.KIND_ERROR:
+                # rid 0 is a connection-level error (the server could
+                # not attribute it to a frame it managed to parse).
+                if rid not in (request_id, 0):
+                    raise ProtocolError(
+                        f"error frame for request {rid}, expected {request_id}"
+                    )
+                return {"ok": False, "error": wire.decode_error(payload)}
+            if rid != request_id:
+                raise ProtocolError(
+                    f"response frame for request {rid}, expected {request_id}"
+                )
+            if kind == wire.KIND_QUERY_RESULT:
+                return {"ok": True, "result": wire.decode_query_result(payload)}
+            if kind == wire.KIND_JSON_RESULT:
+                try:
+                    return {"ok": True, "result": json.loads(bytes(payload))}
+                except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    raise ProtocolError(
+                        f"server sent invalid JSON: {exc}"
+                    ) from exc
+            raise ProtocolError(f"unexpected frame kind {kind} in a response")
+        except ProtocolError:
+            self._drop_transport()
+            raise
 
     def _roundtrip(
         self,
@@ -467,13 +689,22 @@ class Client:
         the whole exchange, retries included (falling back to the
         client-wide default).
         """
-        wire = [RectQuery.parse(query).to_wire() for query in queries]
-        request: dict = {"op": "query", "queries": wire}
+        parsed = [RectQuery.parse(query) for query in queries]
+        if self.protocol == "json":
+            # JSON ships the dict form; binary hands the parsed objects
+            # straight to the frame encoder, which packs their fields
+            # into raw buffers without a per-query re-parse.
+            parsed = [query.to_wire() for query in parsed]
+        request: dict = {"op": "query", "queries": parsed}
         if timeout is not None:
             request["timeout"] = float(timeout)
         result = self._roundtrip(request, deadline=deadline)
         try:
-            return [QueryResult.parse(item) for item in result["results"]]
+            return [
+                item if isinstance(item, QueryResult)
+                else QueryResult.parse(item)
+                for item in result["results"]
+            ]
         except (KeyError, TypeError) as exc:
             raise ProtocolError(f"malformed query response: {result!r}") from exc
 

@@ -85,6 +85,16 @@ class SketchEngine:
         maps in place via the linear-update rule, ``"invalidate"``
         drops them for a bit-exact lazy rebuild, ``"auto"`` picks per
         map by affected area).
+    map_dtype:
+        Storage dtype of the per-size sketch maps built by this
+        engine's table registrations — ``"float32"`` (default) or
+        ``"float64"``.  float32 halves every map's bytes, doubling the
+        effective :class:`~repro.core.pool.MapBudget`, at the cost of
+        rounding each stored sketch entry to 24-bit mantissas; the
+        estimator error this adds is orders of magnitude below the
+        sketch's own ``theoretical_epsilon`` band (pinned by the
+        calibration suite).  Pools registered via ``register_pool`` /
+        ``register_pool_archive`` keep the dtype they were built with.
     telemetry_interval:
         Background telemetry sampling cadence in seconds.  ``None`` (or
         a non-positive value) leaves the sampler thread off — the
@@ -133,6 +143,7 @@ class SketchEngine:
         telemetry_capacity: int = 240,
         telemetry_persist: str | None = None,
         slos: tuple[SLO, ...] | None = None,
+        map_dtype: str = "float32",
     ):
         self.defaults = SketchGenerator(p=p, k=k, seed=seed)  # validates p, k
         if update_mode not in SketchPool.UPDATE_MODES:
@@ -141,6 +152,11 @@ class SketchEngine:
                 f"got {update_mode!r}"
             )
         self.update_mode = update_mode
+        if map_dtype not in ("float32", "float64"):
+            raise ParameterError(
+                f"map_dtype must be 'float32' or 'float64', got {map_dtype!r}"
+            )
+        self.map_dtype = map_dtype
         self.min_exponent = int(min_exponent)
         self.backend = backend
         # One budget even when unbounded: its lock is the single lock
@@ -258,6 +274,7 @@ class SketchEngine:
             self._generator(p, k, seed),
             min_exponent=self.min_exponent if min_exponent is None else int(min_exponent),
             backend=self.backend,
+            map_dtype=np.dtype(self.map_dtype),
         )
         return self._admit(name, pool)
 
@@ -335,6 +352,7 @@ class SketchEngine:
                 "maps_built": pool.maps_built,
                 "maps_cached": pool.maps_cached,
                 "map_bytes": pool.nbytes,
+                "map_dtype": str(np.dtype(pool.map_dtype)),
                 # asarray() in the pool turns a memmap into a zero-copy
                 # view, so check the base as well as the array itself
                 "memory_mapped": isinstance(pool.data, np.memmap)

@@ -99,6 +99,32 @@ class RectQuery:
             )
 
     @classmethod
+    def _trusted(cls, table: str, cells, strategy: str) -> "RectQuery":
+        """Construct from pre-validated values, skipping re-validation.
+
+        ``cells`` is a sequence of eight Python ints — the two
+        ``(row, col, height, width)`` anchors back to back — whose
+        domain checks (non-negative anchors, positive shapes, equal
+        shapes, known strategy) the caller has already run.  The binary
+        wire decoder validates whole batches vectorised and then builds
+        the per-query objects here; re-running the scalar checks per
+        query would dominate the decode cost of large batches.
+        """
+        a = TileSpec.__new__(TileSpec)
+        b = TileSpec.__new__(TileSpec)
+        for spec, offset in ((a, 0), (b, 4)):
+            object.__setattr__(spec, "row", cells[offset])
+            object.__setattr__(spec, "col", cells[offset + 1])
+            object.__setattr__(spec, "height", cells[offset + 2])
+            object.__setattr__(spec, "width", cells[offset + 3])
+        query = cls.__new__(cls)
+        object.__setattr__(query, "table", table)
+        object.__setattr__(query, "a", a)
+        object.__setattr__(query, "b", b)
+        object.__setattr__(query, "strategy", strategy)
+        return query
+
+    @classmethod
     def parse(cls, obj) -> "RectQuery":
         """Build a query from a wire dict, a tuple, or a query itself.
 

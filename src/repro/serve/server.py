@@ -74,6 +74,20 @@ histograms) and optionally logged through a
 :class:`~repro.obs.export.StructuredLogger`; query requests slower than
 ``slow_query_seconds`` additionally hit the warning-level slow-query
 log.
+
+**Binary transport.**  A connection whose first byte is the
+:data:`repro.serve.wire.MAGIC` byte is served in length-prefixed binary
+frames instead of JSON lines (``0x9E`` is a UTF-8 continuation byte, so
+no JSON request can start with it — the one-byte peek is unambiguous).
+The client follows the magic with a version byte; the server answers
+``ACK`` and switches to frames, or ``NAK`` for a version it does not
+speak.  Framed requests flow through the *same* admission control,
+tracing, and dispatch as JSON lines — the transports differ only in
+encoding, which is what the differential harness
+(:mod:`repro.testing.differential`) pins.  Frame payloads over
+``max_line_bytes`` are refused from the header alone
+(:class:`~repro.errors.FrameSizeError` before any payload allocation)
+and drop the connection, exactly like an oversized JSON line.
 """
 
 from __future__ import annotations
@@ -84,6 +98,7 @@ import threading
 import time
 
 from repro.errors import (
+    FrameSizeError,
     ProtocolError,
     ReproError,
     ServerDrainingError,
@@ -92,13 +107,15 @@ from repro.errors import (
 )
 from repro.ingest.deltas import DeltaBatch
 from repro.obs.export import StructuredLogger
+from repro.serve import wire
 from repro.serve.engine import SketchEngine
 
-__all__ = ["SketchServer"]
+__all__ = ["SketchServer", "AdmissionController"]
 
 # Cap on one request line; a line this long is a confused or hostile
-# client, not a real batch (a 10k-query batch is ~1 MB).
-MAX_LINE_BYTES = 64 * 1024 * 1024
+# client, not a real batch (a 10k-query batch is ~1 MB).  The binary
+# frame layer enforces the same cap on declared payload lengths.
+MAX_LINE_BYTES = wire.MAX_FRAME_BYTES
 
 _OPS = ("ping", "health", "tables", "stats", "telemetry", "query", "update", "trace")
 
@@ -180,7 +197,11 @@ def _handle_request(engine: SketchEngine, request: dict) -> tuple[str, dict]:
             results = engine.query(
                 queries, timeout=None if timeout is None else float(timeout)
             )
-            return label, {"results": [result.to_wire() for result in results]}
+            # The handler stays encoding-agnostic: results leave here as
+            # QueryResult objects, and each send seam converts — JSON
+            # paths through _wire_result, the binary path packs the
+            # objects' fields into raw buffers with no per-query dict.
+            return label, {"results": results}
     except ReproError:
         # engine.query accounts its own failures; everything that dies
         # before reaching it is accounted here.
@@ -191,10 +212,78 @@ def _handle_request(engine: SketchEngine, request: dict) -> tuple[str, dict]:
     return label, result
 
 
+def _wire_result(result: dict) -> dict:
+    """The JSON-safe form of a handler result.
+
+    Query results travel through :func:`_handle_request` as
+    :class:`~repro.serve.planner.QueryResult` objects so the binary
+    path can pack their fields without a per-query dict round trip;
+    JSON send seams call this right before ``json.dumps``.
+    """
+    results = result.get("results")
+    if results is None:
+        return result
+    return {
+        **result,
+        "results": [
+            item if isinstance(item, dict) else item.to_wire()
+            for item in results
+        ],
+    }
+
+
+def log_request(
+    logger: StructuredLogger,
+    slow_query_seconds: float | None,
+    op: str,
+    seconds: float,
+    error: Exception | None = None,
+    **fields,
+) -> None:
+    """Log one handled request; escalate slow ones to warnings.
+
+    Shared by the threaded and asyncio servers so both produce the
+    same structured request log.
+    """
+    fields = {k: v for k, v in fields.items() if v is not None}
+    if error is not None:
+        logger.info(
+            "request_error", op=op, seconds=round(seconds, 6),
+            error=type(error).__name__, message=str(error), **fields,
+        )
+        return
+    slow = slow_query_seconds is not None and seconds >= slow_query_seconds
+    level = "warning" if slow else "info"
+    event = "slow_request" if slow else "request"
+    logger.log(level, event, op=op, seconds=round(seconds, 6), **fields)
+
+
 class _Handler(socketserver.StreamRequestHandler):
-    """One thread per connection; reads request lines until EOF."""
+    """One thread per connection; frames or lines, decided by one peek."""
 
     def handle(self) -> None:
+        """Dispatch the connection to the framed or line-based loop.
+
+        The first byte decides the transport: :data:`wire.MAGIC` can
+        never begin a JSON-lines request (it is a UTF-8 continuation
+        byte), so peeking one byte — without consuming it — cleanly
+        routes binary clients to the frame loop and everything else to
+        the historical JSON loop.
+        """
+        try:
+            first = self.rfile.peek(1)[:1]
+        except (ConnectionError, OSError):
+            return
+        if first and first[0] == wire.MAGIC:
+            self._serve_binary()
+        else:
+            self._serve_json()
+
+    # ------------------------------------------------------------------
+    # JSON lines
+    # ------------------------------------------------------------------
+
+    def _serve_json(self) -> None:
         """Serve newline-framed JSON requests until the peer hangs up."""
         server: "SketchServer" = self.server  # type: ignore[assignment]
         engine = server.engine
@@ -246,7 +335,7 @@ class _Handler(socketserver.StreamRequestHandler):
                                queries=len(result["results"])
                                if "results" in result else None,
                                trace_id=trace_id)
-            payload = {"ok": True, "result": result}
+            payload = {"ok": True, "result": _wire_result(result)}
             if not self._send(payload):
                 return
 
@@ -264,30 +353,265 @@ class _Handler(socketserver.StreamRequestHandler):
         except (ConnectionError, OSError):
             return False
 
+    # ------------------------------------------------------------------
+    # Binary frames
+    # ------------------------------------------------------------------
+
+    def _serve_binary(self) -> None:
+        """Serve length-prefixed binary frames until EOF.
+
+        Same admission, tracing, dispatch, and accounting as the JSON
+        loop — only the encoding differs.  Frame-level failures
+        (oversized declared length, truncated or malformed frames) are
+        answered with one error frame and then drop the connection,
+        because the stream cannot be resynchronised past a bad header.
+        """
+        server: "SketchServer" = self.server  # type: ignore[assignment]
+        engine = server.engine
+        max_bytes = server.max_line_bytes
+        try:
+            preamble = wire.read_exact(self.rfile.read, 2)
+        except (ConnectionError, OSError):
+            return
+        if len(preamble) != 2 or preamble[1] != wire.VERSION:
+            # Unknown protocol version: decline and hang up; the client
+            # surfaces this as a typed negotiation failure.
+            self._send_bytes(bytes([wire.NAK]))
+            return
+        if not self._send_bytes(bytes([wire.ACK])):
+            return
+        while True:
+            try:
+                frame = wire.read_frame(self.rfile.read, max_bytes)
+            except FrameSizeError as exc:
+                # Refused from the header alone — the oversized payload
+                # was never read, and is still in flight, so there is no
+                # way back to a frame boundary.
+                self._send_error_frame(exc.request_id or 0, exc)
+                return
+            except ProtocolError as exc:
+                self._send_error_frame(0, exc)
+                return
+            except (ConnectionError, OSError):
+                return
+            if frame is None:
+                return
+            kind, request_id, payload = frame
+            start = time.perf_counter()
+            trace_id = None
+            op_label = "?"
+            binary_query = kind == wire.KIND_QUERY_REQUEST
+            try:
+                request = self._decode_binary_request(kind, payload)
+                if isinstance(request, dict) and request.get("op") in _OPS:
+                    op_label = request["op"]
+                trace_id, remote_parent = _extract_trace(request)
+                with server.admission(request):
+                    with server.tracer.trace(trace_id, remote_parent):
+                        with server.tracer.span("server.request"):
+                            op, result = _handle_request(engine, request)
+            except ReproError as exc:
+                server.log_request(op_label, time.perf_counter() - start,
+                                   error=exc, trace_id=trace_id)
+                if not self._send_error_frame(request_id, exc):
+                    return
+                continue
+            server.log_request(op, time.perf_counter() - start,
+                               queries=len(result["results"])
+                               if "results" in result else None,
+                               trace_id=trace_id)
+            if binary_query and "results" in result:
+                body = wire.encode_query_result(result["results"])
+                out_kind = wire.KIND_QUERY_RESULT
+            else:
+                body = json.dumps(_wire_result(result)).encode("utf-8")
+                out_kind = wire.KIND_JSON_RESULT
+            if not self._send_bytes(wire.encode_frame(out_kind, request_id, body)):
+                return
+
+    def _decode_binary_request(self, kind: int, payload) -> dict:
+        if kind == wire.KIND_QUERY_REQUEST:
+            return wire.decode_query_request(payload)
+        if kind == wire.KIND_JSON_REQUEST:
+            try:
+                return json.loads(bytes(payload))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+        raise ProtocolError(f"unexpected frame kind {kind} from a client")
+
+    def _send_error_frame(self, request_id: int, exc: Exception) -> bool:
+        frame = wire.encode_frame(
+            wire.KIND_ERROR, int(request_id), wire.encode_error(exc)
+        )
+        return self._send_bytes(frame)
+
+    def _send_bytes(self, data: bytes) -> bool:
+        try:
+            self.wfile.write(data)
+            self.wfile.flush()
+            return True
+        except (ConnectionError, OSError):
+            return False
+
 
 class _Admitted:
     """The reserved in-flight slot of one admitted request.
 
-    Created (already counted) by :meth:`SketchServer.admission`; exiting
-    releases the slot and wakes the drain gate.
+    Created (already counted) by :meth:`AdmissionController.admit`;
+    exiting releases the slot and wakes the drain gate.
     """
 
-    __slots__ = ("_server", "_is_query")
+    __slots__ = ("_controller", "_is_query")
 
-    def __init__(self, server: "SketchServer", is_query: bool):
-        self._server = server
+    def __init__(self, controller: "AdmissionController", is_query: bool):
+        self._controller = controller
         self._is_query = is_query
 
     def __enter__(self) -> "_Admitted":
         return self
 
     def __exit__(self, *exc_info) -> None:
-        server = self._server
-        with server._inflight_cond:
-            server._inflight -= 1
+        controller = self._controller
+        with controller._cond:
+            controller._inflight -= 1
             if self._is_query:
-                server._inflight_queries -= 1
-            server._inflight_cond.notify_all()
+                controller._inflight_queries -= 1
+            controller._cond.notify_all()
+
+
+class AdmissionController:
+    """Shedding, in-flight accounting, and the drain gate — server-neutral.
+
+    Both the threaded :class:`SketchServer` and the asyncio
+    :class:`~repro.serve.aserver.AsyncSketchServer` front one of these,
+    so the resilience semantics (hard ``max_inflight`` bound, cheap ops
+    never shed, drain refuses everything with ``RETRY_LATER``) are one
+    implementation with one test surface, not two copies.  All state is
+    guarded by a single condition variable; the asyncio server calls in
+    from executor threads, which is exactly what :mod:`threading`
+    primitives are for.
+
+    Parameters
+    ----------
+    registry:
+        The metric registry to hang ``sheds_total`` / ``drain_seconds``
+        and the in-flight gauges on.
+    max_inflight, max_batch_queries:
+        As on :class:`SketchServer`.
+    """
+
+    def __init__(
+        self,
+        registry,
+        max_inflight: int | None = None,
+        max_batch_queries: int | None = None,
+    ):
+        self.max_inflight = max_inflight
+        self.max_batch_queries = max_batch_queries
+        self._inflight = 0
+        self._inflight_queries = 0
+        self._cond = threading.Condition()
+        self._draining = threading.Event()
+        self._sheds = registry.counter(
+            "sheds_total",
+            help="Requests refused with RETRY_LATER (overload or drain).",
+        )
+        self._drain_seconds = registry.histogram(
+            "drain_seconds",
+            help="Graceful-drain durations (stop() call to socket release).",
+        )
+        registry.gauge_function(
+            "inflight_requests", lambda: self._inflight,
+            help="Requests currently executing in handler threads.",
+        )
+        registry.gauge_function(
+            "server_draining", lambda: float(self._draining.is_set()),
+            help="1 while a graceful drain is in progress or complete.",
+        )
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently executing (drain waits on this)."""
+        return self._inflight
+
+    @property
+    def inflight_queries(self) -> int:
+        """Query/update requests executing (``max_inflight`` bounds this)."""
+        return self._inflight_queries
+
+    @property
+    def draining(self) -> bool:
+        """Whether a graceful drain has started."""
+        return self._draining.is_set()
+
+    def admit(self, request) -> _Admitted:
+        """Atomically admit one request and reserve its in-flight slot.
+
+        Admission and the in-flight increment happen under one lock
+        hold, so ``max_inflight`` is a *hard* bound: there is no window
+        in which several racing query requests can all observe a free
+        slot and overshoot the cap together (this cap is a shard's
+        backpressure signal, so overshooting it would let a saturated
+        worker keep absorbing load).  Returns a context manager whose
+        exit releases the slot.
+
+        Raises :class:`~repro.errors.ServerDrainingError` for any
+        request once a drain has begun, and
+        :class:`~repro.errors.ServerOverloadedError` for query and
+        update requests over the ``max_inflight`` /
+        ``max_batch_queries`` caps — in either case no slot is
+        reserved.  Cheap introspection ops are never shed by load, so
+        health checks stay honest while the engine is saturated.
+        """
+        op = request.get("op") if isinstance(request, dict) else None
+        is_query = op == "query"
+        # Updates do real engine work (delta application, map patching),
+        # so they share the query in-flight cap; introspection stays free.
+        is_heavy = op in ("query", "update")
+        with self._cond:
+            if self._draining.is_set():
+                self._sheds.inc()
+                raise ServerDrainingError(
+                    "server is draining for shutdown; retry against another "
+                    "replica"
+                )
+            if is_query and self.max_batch_queries is not None:
+                queries = request.get("queries")
+                if (isinstance(queries, list)
+                        and len(queries) > self.max_batch_queries):
+                    self._sheds.inc()
+                    raise ServerOverloadedError(
+                        f"batch of {len(queries)} queries exceeds the "
+                        f"per-request cap of {self.max_batch_queries}; "
+                        f"split the batch"
+                    )
+            if is_heavy:
+                if (self.max_inflight is not None
+                        and self._inflight_queries >= self.max_inflight):
+                    self._sheds.inc()
+                    raise ServerOverloadedError(
+                        f"{self._inflight_queries} requests already in flight "
+                        f"(cap {self.max_inflight}); retry later"
+                    )
+            self._inflight += 1
+            if is_heavy:
+                self._inflight_queries += 1
+        return _Admitted(self, is_heavy)
+
+    def begin_drain(self) -> None:
+        """Refuse all new requests from now on (idempotent)."""
+        self._draining.set()
+
+    def wait_drained(self, timeout: float) -> bool:
+        """Block until no request is in flight; ``False`` on timeout."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )
+
+    def record_drain(self, seconds: float) -> None:
+        """Record one graceful-drain duration."""
+        self._drain_seconds.record(seconds)
 
 
 class SketchServer(socketserver.ThreadingTCPServer):
@@ -355,33 +679,15 @@ class SketchServer(socketserver.ThreadingTCPServer):
         self.logger = logger if logger is not None else StructuredLogger("repro.serve")
         self.slow_query_seconds = slow_query_seconds
         self.tracer = engine.tracer
-        self.max_inflight = max_inflight
-        self.max_batch_queries = max_batch_queries
         self.max_line_bytes = int(max_line_bytes)
         self.drain_timeout = float(drain_timeout)
         self._thread: threading.Thread | None = None
         self._closed = False
         self._lifecycle_lock = threading.Lock()
-        self._inflight = 0
-        self._inflight_queries = 0
-        self._inflight_cond = threading.Condition()
-        self._draining = threading.Event()
-        registry = engine.registry
-        self._sheds = registry.counter(
-            "sheds_total",
-            help="Requests refused with RETRY_LATER (overload or drain).",
-        )
-        self._drain_seconds = registry.histogram(
-            "drain_seconds",
-            help="Graceful-drain durations (stop() call to socket release).",
-        )
-        registry.gauge_function(
-            "inflight_requests", lambda: self._inflight,
-            help="Requests currently executing in handler threads.",
-        )
-        registry.gauge_function(
-            "server_draining", lambda: float(self._draining.is_set()),
-            help="1 while a graceful drain is in progress or complete.",
+        self.admission_controller = AdmissionController(
+            engine.registry,
+            max_inflight=max_inflight,
+            max_batch_queries=max_batch_queries,
         )
         super().__init__((host, port), _Handler)
 
@@ -393,75 +699,48 @@ class SketchServer(socketserver.ThreadingTCPServer):
     @property
     def inflight(self) -> int:
         """Requests currently executing (drain waits on this)."""
-        return self._inflight
+        return self.admission_controller.inflight
 
     @property
     def inflight_queries(self) -> int:
         """Query/update requests executing (``max_inflight`` bounds this)."""
-        return self._inflight_queries
+        return self.admission_controller.inflight_queries
 
     @property
     def draining(self) -> bool:
         """Whether a graceful drain has started."""
-        return self._draining.is_set()
+        return self.admission_controller.draining
+
+    @property
+    def max_inflight(self) -> int | None:
+        """Admission cap on in-flight query/update requests.
+
+        Delegates to the :class:`AdmissionController` so runtime
+        mutation (shrinking the window on a live server) takes effect
+        on the very next admission decision.
+        """
+        return self.admission_controller.max_inflight
+
+    @max_inflight.setter
+    def max_inflight(self, value: int | None) -> None:
+        self.admission_controller.max_inflight = value
+
+    @property
+    def max_batch_queries(self) -> int | None:
+        """Admission cap on queries per request (delegates likewise)."""
+        return self.admission_controller.max_batch_queries
+
+    @max_batch_queries.setter
+    def max_batch_queries(self, value: int | None) -> None:
+        self.admission_controller.max_batch_queries = value
 
     # ------------------------------------------------------------------
     # Admission control
     # ------------------------------------------------------------------
 
     def admission(self, request) -> "_Admitted":
-        """Atomically admit one request and reserve its in-flight slot.
-
-        Admission and the in-flight increment happen under one lock
-        hold, so ``max_inflight`` is a *hard* bound: there is no window
-        in which several racing query requests can all observe a free
-        slot and overshoot the cap together (this cap is a shard's
-        backpressure signal, so overshooting it would let a saturated
-        worker keep absorbing load).  Returns a context manager whose
-        exit releases the slot.
-
-        Raises :class:`~repro.errors.ServerDrainingError` for any
-        request once a drain has begun, and
-        :class:`~repro.errors.ServerOverloadedError` for query and
-        update requests over the ``max_inflight`` /
-        ``max_batch_queries`` caps — in either case no slot is
-        reserved.  Cheap introspection ops are never shed by load, so
-        health checks stay honest while the engine is saturated.
-        """
-        op = request.get("op") if isinstance(request, dict) else None
-        is_query = op == "query"
-        # Updates do real engine work (delta application, map patching),
-        # so they share the query in-flight cap; introspection stays free.
-        is_heavy = op in ("query", "update")
-        with self._inflight_cond:
-            if self._draining.is_set():
-                self._sheds.inc()
-                raise ServerDrainingError(
-                    "server is draining for shutdown; retry against another "
-                    "replica"
-                )
-            if is_query and self.max_batch_queries is not None:
-                queries = request.get("queries")
-                if (isinstance(queries, list)
-                        and len(queries) > self.max_batch_queries):
-                    self._sheds.inc()
-                    raise ServerOverloadedError(
-                        f"batch of {len(queries)} queries exceeds the "
-                        f"per-request cap of {self.max_batch_queries}; "
-                        f"split the batch"
-                    )
-            if is_heavy:
-                if (self.max_inflight is not None
-                        and self._inflight_queries >= self.max_inflight):
-                    self._sheds.inc()
-                    raise ServerOverloadedError(
-                        f"{self._inflight_queries} requests already in flight "
-                        f"(cap {self.max_inflight}); retry later"
-                    )
-            self._inflight += 1
-            if is_heavy:
-                self._inflight_queries += 1
-        return _Admitted(self, is_heavy)
+        """Admit one request; see :meth:`AdmissionController.admit`."""
+        return self.admission_controller.admit(request)
 
     # ------------------------------------------------------------------
     # Logging
@@ -471,20 +750,10 @@ class SketchServer(socketserver.ThreadingTCPServer):
         self, op: str, seconds: float, error: Exception | None = None, **fields
     ) -> None:
         """Log one handled request; escalate slow ones to warnings."""
-        fields = {k: v for k, v in fields.items() if v is not None}
-        if error is not None:
-            self.logger.info(
-                "request_error", op=op, seconds=round(seconds, 6),
-                error=type(error).__name__, message=str(error), **fields,
-            )
-            return
-        slow = (
-            self.slow_query_seconds is not None
-            and seconds >= self.slow_query_seconds
+        log_request(
+            self.logger, self.slow_query_seconds, op, seconds,
+            error=error, **fields,
         )
-        level = "warning" if slow else "info"
-        event = "slow_request" if slow else "request"
-        self.logger.log(level, event, op=op, seconds=round(seconds, 6), **fields)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -516,7 +785,7 @@ class SketchServer(socketserver.ThreadingTCPServer):
         """
         timeout = self.drain_timeout if drain_timeout is None else float(drain_timeout)
         start = time.perf_counter()
-        self._draining.set()
+        self.admission_controller.begin_drain()
         # Serialise concurrent stop() calls: shutdown() must handshake
         # with the accept loop exactly once, server_close() exactly once.
         with self._lifecycle_lock:
@@ -530,18 +799,15 @@ class SketchServer(socketserver.ThreadingTCPServer):
                         "drain_accept_loop_stuck", thread=self._thread.name
                     )
                 self._thread = None
-            with self._inflight_cond:
-                drained = self._inflight_cond.wait_for(
-                    lambda: self._inflight == 0, timeout=timeout
-                )
+            drained = self.admission_controller.wait_drained(timeout)
             if not self._closed:
                 self._closed = True
                 self.server_close()
                 seconds = time.perf_counter() - start
-                self._drain_seconds.record(seconds)
+                self.admission_controller.record_drain(seconds)
                 self.logger.info(
                     "drained", seconds=round(seconds, 6), clean=drained,
-                    abandoned=self._inflight,
+                    abandoned=self.admission_controller.inflight,
                 )
         return drained
 

@@ -1,0 +1,471 @@
+"""The length-prefixed binary frame layer of the sketch wire protocol.
+
+The JSON-lines transport re-parses every float and integer on both
+ends; for a serving tier whose whole promise is cheap distance queries,
+that text round trip dominates the wire cost.  This module is the
+binary alternative: stdlib :mod:`struct` framing with numpy payloads
+shipped as raw little-endian buffers, decoded zero-copy on the far side
+via ``np.frombuffer`` over a :class:`memoryview`.
+
+**Negotiation.**  A binary client opens its connection with two bytes —
+``MAGIC`` (``0x9E``, a UTF-8 continuation byte, so it can never begin a
+JSON-lines request) and ``VERSION`` — and the server answers a single
+byte: ``ACK`` to proceed in frames, ``NAK`` for a version it does not
+speak.  A connection that never sends ``MAGIC`` is served as JSON
+lines, which is what keeps the text protocol available as the debug
+fallback on the same port.
+
+**Frame layout** (all little-endian)::
+
+    offset  size  field
+    0       1     kind        (uint8, KIND_* below)
+    1       1     flags       (uint8, reserved, must be 0)
+    2       2     reserved    (uint16, must be 0)
+    4       4     length      (uint32, payload bytes that follow)
+    8       8     request_id  (uint64, echoed verbatim in the response)
+
+    16      len   payload
+
+``request_id`` is what makes pipelining work: a multiplexing server
+(:class:`~repro.serve.aserver.AsyncSketchServer`) may complete requests
+out of submission order, and the id is the only pairing between a
+response frame and the request that caused it.
+
+**Frame kinds.**  ``KIND_JSON_REQUEST`` / ``KIND_JSON_RESULT`` carry a
+UTF-8 JSON body (the ops whose payloads are small dicts — ping, health,
+tables, stats, telemetry, trace, update).  ``KIND_QUERY_REQUEST`` /
+``KIND_QUERY_RESULT`` carry the hot path in raw numeric form: query
+rectangles as one ``(n, 8)`` int64 buffer plus per-query table indices
+and strategy codes, results as one float64 distance vector plus
+strategy codes.  Each numeric region is an *array block* — a one-byte
+dtype code, the shape, then the raw bytes — so the decoder can
+``np.frombuffer`` without copying or guessing.  ``KIND_ERROR`` carries
+the same ``{type, message, code?}`` JSON object the text protocol puts
+under ``"error"``.
+
+**Size safety.**  Every decoder validates the declared payload length
+against the frame-size limit *before* reading or allocating the
+payload — a hostile 4 GiB length field costs a
+:class:`~repro.errors.FrameSizeError`, not an allocation
+(:func:`read_frame` is written so the fuzz suite can assert the payload
+read never happens).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from repro.errors import FrameSizeError, ProtocolError
+from repro.serve.planner import STRATEGIES, QueryResult, RectQuery
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "ACK",
+    "NAK",
+    "HEADER",
+    "MAX_FRAME_BYTES",
+    "KIND_JSON_REQUEST",
+    "KIND_JSON_RESULT",
+    "KIND_ERROR",
+    "KIND_QUERY_REQUEST",
+    "KIND_QUERY_RESULT",
+    "encode_array",
+    "decode_array",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "read_exact",
+    "parse_header",
+    "encode_query_request",
+    "decode_query_request",
+    "encode_query_result",
+    "decode_query_result",
+    "encode_error",
+    "decode_error",
+]
+
+# 0x9E is a UTF-8 continuation byte: no JSON-lines request can start
+# with it, so the server's one-byte peek cleanly splits the protocols.
+MAGIC = 0x9E
+VERSION = 1
+ACK = 0xA5
+NAK = 0x15
+
+# kind u8 | flags u8 | reserved u16 | length u32 | request_id u64
+HEADER = struct.Struct("<BBHIQ")
+
+# Same cap as the JSON path's MAX_LINE_BYTES: one frame this large is a
+# confused or hostile peer, not a real batch.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+KIND_JSON_REQUEST = 1
+KIND_JSON_RESULT = 2
+KIND_ERROR = 3
+KIND_QUERY_REQUEST = 4
+KIND_QUERY_RESULT = 5
+
+_KINDS = (KIND_JSON_REQUEST, KIND_JSON_RESULT, KIND_ERROR,
+          KIND_QUERY_REQUEST, KIND_QUERY_RESULT)
+
+# ---------------------------------------------------------------------------
+# Array blocks: u8 dtype code | u8 ndim | u32 shape[ndim] | raw bytes
+# ---------------------------------------------------------------------------
+
+_DTYPES = {1: "<i8", 2: "<f8", 3: "|u1", 4: "<f4", 5: "<u4"}
+_DTYPE_CODES = {np.dtype(spec): code for code, spec in _DTYPES.items()}
+
+_STRATEGY_CODES = {name: code for code, name in enumerate(STRATEGIES)}
+
+_U32 = struct.Struct("<I")
+
+
+def encode_array(array: np.ndarray) -> bytes:
+    """One numpy array as a self-describing little-endian block."""
+    array = np.ascontiguousarray(array)
+    code = _DTYPE_CODES.get(array.dtype.newbyteorder("<"))
+    if code is None:
+        raise ProtocolError(f"dtype {array.dtype} has no wire encoding")
+    header = struct.pack(
+        f"<BB{array.ndim}I", code, array.ndim, *array.shape
+    )
+    little = array.astype(array.dtype.newbyteorder("<"), copy=False)
+    return header + little.tobytes()
+
+
+def decode_array(view: memoryview, offset: int) -> tuple[np.ndarray, int]:
+    """Decode one array block; returns ``(array, next_offset)``.
+
+    The returned array is a read-only zero-copy view over ``view`` —
+    callers that must mutate (or outlive the buffer) copy explicitly.
+    """
+    try:
+        code, ndim = struct.unpack_from("<BB", view, offset)
+        shape = struct.unpack_from(f"<{ndim}I", view, offset + 2)
+    except struct.error as exc:
+        raise ProtocolError(f"truncated array block header: {exc}") from exc
+    spec = _DTYPES.get(code)
+    if spec is None:
+        raise ProtocolError(f"unknown wire dtype code {code}")
+    dtype = np.dtype(spec)
+    offset += 2 + 4 * ndim
+    count = 1
+    for dim in shape:
+        count *= dim
+    nbytes = count * dtype.itemsize
+    if offset + nbytes > len(view):
+        raise ProtocolError(
+            f"array block of {nbytes} bytes overruns a {len(view)}-byte payload"
+        )
+    array = np.frombuffer(view, dtype=dtype, count=count, offset=offset)
+    return array.reshape(shape), offset + nbytes
+
+
+# ---------------------------------------------------------------------------
+# Frames
+# ---------------------------------------------------------------------------
+
+
+def encode_frame(kind: int, request_id: int, payload: bytes) -> bytes:
+    """One complete frame: 16-byte header + payload."""
+    if kind not in _KINDS:
+        raise ProtocolError(f"unknown frame kind {kind}")
+    return HEADER.pack(kind, 0, 0, len(payload), request_id) + payload
+
+
+def parse_header(header: bytes, max_bytes: int) -> tuple[int, int, int]:
+    """Validate one 16-byte frame header → ``(kind, length, request_id)``.
+
+    The declared payload length is checked against ``max_bytes`` here,
+    before any caller reads or allocates payload bytes.
+    """
+    if len(header) != HEADER.size:
+        raise ProtocolError(
+            f"truncated frame header: got {len(header)} of {HEADER.size} bytes"
+        )
+    kind, flags, reserved, length, request_id = HEADER.unpack(header)
+    if kind not in _KINDS:
+        raise ProtocolError(f"unknown frame kind {kind}")
+    if flags or reserved:
+        raise ProtocolError(
+            f"reserved frame header fields must be zero, got "
+            f"flags={flags} reserved={reserved}"
+        )
+    if length > max_bytes:
+        # The whole point of checking *here*: the declared length is
+        # refused before any payload byte is read or allocated.
+        error = FrameSizeError(
+            f"frame payload of {length} bytes exceeds the "
+            f"{max_bytes}-byte limit"
+        )
+        error.request_id = request_id
+        raise error
+    return kind, length, request_id
+
+
+def decode_frame(
+    data: bytes, max_bytes: int = MAX_FRAME_BYTES
+) -> tuple[int, int, memoryview]:
+    """Split one complete frame into ``(kind, request_id, payload)``."""
+    view = memoryview(data)
+    kind, length, request_id = parse_header(bytes(view[: HEADER.size]), max_bytes)
+    payload = view[HEADER.size :]
+    if len(payload) != length:
+        raise ProtocolError(
+            f"frame declares {length} payload bytes but carries {len(payload)}"
+        )
+    return kind, request_id, payload
+
+
+def read_exact(read, n: int) -> bytes:
+    """Read exactly ``n`` bytes from ``read(k)``; short data is EOF."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = read(n - got)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(
+    read, max_bytes: int = MAX_FRAME_BYTES
+) -> tuple[int, int, memoryview] | None:
+    """Read one frame from a blocking ``read(n)`` callable.
+
+    Returns ``None`` on clean EOF (no header bytes at all);
+    raises :class:`~repro.errors.ProtocolError` for a truncated or
+    malformed frame and :class:`~repro.errors.FrameSizeError` — *before*
+    touching the payload — for an over-limit declared length.
+    """
+    header = read_exact(read, HEADER.size)
+    if not header:
+        return None
+    kind, length, request_id = parse_header(header, max_bytes)
+    payload = read_exact(read, length)
+    if len(payload) != length:
+        raise ProtocolError(
+            f"truncated frame payload: got {len(payload)} of {length} bytes"
+        )
+    return kind, request_id, memoryview(payload)
+
+
+# ---------------------------------------------------------------------------
+# The query fast path
+# ---------------------------------------------------------------------------
+
+
+def encode_query_request(request: dict) -> bytes:
+    """The binary form of a ``{"op": "query", ...}`` request dict.
+
+    Layout: ``u32 meta_len | meta JSON | table-index block (u4) |
+    strategy block (u1) | rectangle block (i8, shape (n, 8))`` where
+    meta carries the table name list, the optional server-side timeout,
+    and the optional trace context — everything per-query and numeric
+    travels raw.
+    """
+    if not request["queries"]:
+        raise ProtocolError("query request needs a non-empty 'queries' list")
+    tables: list[str] = []
+    index_of: dict[str, int] = {}
+    indices: list[int] = []
+    codes: list[int] = []
+    rows: list[tuple] = []
+    for query in request["queries"]:
+        # The client hands over already-parsed RectQuery objects on the
+        # hot path; anything else (tuples, wire dicts) is normalised
+        # here.  The per-query Python work below is just list appends —
+        # the numpy arrays are built in one shot afterwards, which is
+        # what keeps encoding a 10k-query batch in the low milliseconds.
+        if not isinstance(query, RectQuery):
+            query = RectQuery.parse(query)
+        position = index_of.get(query.table)
+        if position is None:
+            position = index_of[query.table] = len(tables)
+            tables.append(query.table)
+        indices.append(position)
+        codes.append(_STRATEGY_CODES[query.strategy])
+        a, b = query.a, query.b
+        rows.append((a.row, a.col, a.height, a.width,
+                     b.row, b.col, b.height, b.width))
+    table_idx = np.array(indices, dtype="<u4")
+    strategies = np.array(codes, dtype="|u1")
+    rects = np.array(rows, dtype="<i8")
+    meta: dict = {"tables": tables}
+    if request.get("timeout") is not None:
+        meta["timeout"] = float(request["timeout"])
+    if request.get("trace") is not None:
+        meta["trace"] = request["trace"]
+    blob = json.dumps(meta).encode("utf-8")
+    return b"".join((
+        _U32.pack(len(blob)), blob,
+        encode_array(table_idx), encode_array(strategies), encode_array(rects),
+    ))
+
+
+def decode_query_request(payload: memoryview) -> dict:
+    """Rebuild the request dict a binary query frame encodes.
+
+    The result has the same shape the JSON path produces —
+    ``{"op": "query", "queries": [...], "timeout"?, "trace"?}`` — except
+    that ``queries`` holds parsed :class:`RectQuery` objects (the
+    planner accepts them directly, skipping the per-dict parse).
+    """
+    try:
+        (meta_len,) = _U32.unpack_from(payload, 0)
+    except struct.error as exc:
+        raise ProtocolError(f"truncated query frame: {exc}") from exc
+    if 4 + meta_len > len(payload):
+        raise ProtocolError(
+            f"query meta of {meta_len} bytes overruns the payload"
+        )
+    try:
+        meta = json.loads(bytes(payload[4 : 4 + meta_len]))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"query meta is not valid JSON: {exc}") from exc
+    if not isinstance(meta, dict) or not isinstance(meta.get("tables"), list):
+        raise ProtocolError(f"malformed query meta: {meta!r}")
+    tables = [str(name) for name in meta["tables"]]
+    offset = 4 + meta_len
+    table_idx, offset = decode_array(payload, offset)
+    strategies, offset = decode_array(payload, offset)
+    rects, _ = decode_array(payload, offset)
+    if rects.ndim != 2 or rects.shape[1] != 8 or (
+        len(table_idx) != len(rects) or len(strategies) != len(rects)
+    ):
+        raise ProtocolError(
+            f"inconsistent query blocks: {len(table_idx)} tables, "
+            f"{len(strategies)} strategies, rects {rects.shape}"
+        )
+    # Validate the whole batch vectorised before building any per-query
+    # object: one numpy pass over the raw blocks replaces four scalar
+    # checks per query, and the objects themselves are then constructed
+    # through the trusted fast path (re-validating each would dominate
+    # the decode cost of large batches).
+    if len(rects):
+        bad_table = table_idx >= len(tables)
+        if bad_table.any():
+            i = int(np.argmax(bad_table))
+            raise ProtocolError(
+                f"query {i} references table index {int(table_idx[i])} "
+                f"of {len(tables)}"
+            )
+        bad_code = strategies >= len(STRATEGIES)
+        if bad_code.any():
+            i = int(np.argmax(bad_code))
+            raise ProtocolError(
+                f"query {i} carries unknown strategy code {int(strategies[i])}"
+            )
+        ok = (
+            (rects[:, [0, 1, 4, 5]] >= 0).all(axis=1)
+            & (rects[:, [2, 3, 6, 7]] > 0).all(axis=1)
+            & (rects[:, 2:4] == rects[:, 6:8]).all(axis=1)
+        )
+        if not ok.all():
+            # Route the first offender through the canonical constructor
+            # so the error type and message match the JSON path exactly.
+            i = int(np.argmax(~ok))
+            row = rects[i].tolist()
+            RectQuery(
+                tables[int(table_idx[i])], tuple(row[:4]), tuple(row[4:]),
+                STRATEGIES[int(strategies[i])],
+            )
+            raise ProtocolError(f"query {i} failed validation")  # backstop
+    rows = rects.tolist()
+    indices = table_idx.tolist()
+    codes = strategies.tolist()
+    queries = [
+        RectQuery._trusted(tables[indices[i]], rows[i], STRATEGIES[codes[i]])
+        for i in range(len(rows))
+    ]
+    request: dict = {"op": "query", "queries": queries}
+    if meta.get("timeout") is not None:
+        request["timeout"] = float(meta["timeout"])
+    if meta.get("trace") is not None:
+        request["trace"] = meta["trace"]
+    return request
+
+
+def encode_query_result(results) -> bytes:
+    """Distances and strategies of a query batch as raw buffers.
+
+    ``results`` is a sequence of
+    :class:`~repro.serve.planner.QueryResult` objects or their wire
+    dicts.  Distances travel as raw float64 bits, so the values the
+    far side reconstructs are *identical* to the in-process answers —
+    the differential harness pins this against the JSON path (which
+    round-trips exactly through ``repr``).
+    """
+    values: list[float] = []
+    codes: list[int] = []
+    for i, result in enumerate(results):
+        if isinstance(result, dict):
+            distance, strategy = result["distance"], result["strategy"]
+        else:
+            distance, strategy = result.distance, result.strategy
+        code = _STRATEGY_CODES.get(strategy)
+        if code is None:
+            raise ProtocolError(f"result {i} carries unknown strategy {strategy!r}")
+        values.append(distance)
+        codes.append(code)
+    distances = np.array(values, dtype="<f8")
+    strategies = np.array(codes, dtype="|u1")
+    return encode_array(distances) + encode_array(strategies)
+
+
+def decode_query_result(payload: memoryview) -> dict:
+    """Rebuild the ``{"results": [...]}`` result dict.
+
+    ``results`` holds :class:`~repro.serve.planner.QueryResult` objects
+    — already the type :meth:`Client.query` returns, so the client
+    skips the per-item parse the JSON path pays.  The distances are the
+    raw float64 bits off the wire: bit-identical to the in-process
+    answers.
+    """
+    distances, offset = decode_array(payload, 0)
+    strategies, _ = decode_array(payload, offset)
+    if distances.ndim != 1 or len(distances) != len(strategies):
+        raise ProtocolError(
+            f"inconsistent result blocks: {distances.shape} distances, "
+            f"{strategies.shape} strategies"
+        )
+    if len(strategies) and int(strategies.max()) >= len(STRATEGIES):
+        i = int(np.argmax(strategies >= len(STRATEGIES)))
+        raise ProtocolError(
+            f"result {i} carries unknown strategy code {int(strategies[i])}"
+        )
+    results = [
+        QueryResult(distance, STRATEGIES[code])
+        for distance, code in zip(distances.tolist(), strategies.tolist())
+    ]
+    return {"results": results}
+
+
+# ---------------------------------------------------------------------------
+# Errors
+# ---------------------------------------------------------------------------
+
+
+def encode_error(exc: Exception) -> bytes:
+    """The ``{type, message, code?}`` error body, as the JSON path sends."""
+    error = {"type": type(exc).__name__, "message": str(exc)}
+    code = getattr(exc, "code", None)
+    if code:
+        error["code"] = code
+    return json.dumps(error).encode("utf-8")
+
+
+def decode_error(payload: memoryview) -> dict:
+    """Parse an error frame's body (a dict, however malformed)."""
+    try:
+        error = json.loads(bytes(payload))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed error frame: {exc}") from exc
+    if not isinstance(error, dict):
+        raise ProtocolError(f"malformed error frame: {error!r}")
+    return error

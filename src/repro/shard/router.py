@@ -172,6 +172,15 @@ class ShardRouter:
         Optional transport factory ``(spec, timeout) -> transport``
         forwarded to each shard's clients — the seam the chaos tests
         use to inject per-shard faults without real dead servers.
+    protocol:
+        Wire protocol the pooled per-shard clients speak — ``"json"``
+        or ``"binary"``.  ``None`` (the default) resolves to
+        ``"binary"`` when no ``connect`` factory is injected (routers
+        are the wire-heaviest callers, so shard-to-shard traffic ships
+        raw frames by default) and to ``"json"`` when one is — an
+        injected factory builds its own transports, which must match
+        the frame encoding, so the conservative default keeps existing
+        fault-injection seams working unchanged.
 
     Thread-safe: concurrent ``query`` calls draw from per-shard client
     pools (one connection is never shared by two threads).  Usable as a
@@ -189,6 +198,7 @@ class ShardRouter:
         rng: random.Random | None = None,
         registry: MetricsRegistry | None = None,
         connect: Callable | None = None,
+        protocol: str | None = None,
     ):
         specs = [_coerce_spec(s, i) for i, s in enumerate(shards)]
         self.shards = tuple(specs)
@@ -201,6 +211,9 @@ class ShardRouter:
         self.deadline = deadline
         self._rng = rng if rng is not None else random.Random()
         self._connect = connect
+        if protocol is None:
+            protocol = "json" if connect is not None else "binary"
+        self.protocol = protocol
         self.registry = registry if registry is not None else MetricsRegistry()
         self.stats = EngineStats(registry=self.registry)
         self.tracer = _FanInTracer(self.registry, self._fetch_shard_spans)
@@ -237,6 +250,7 @@ class ShardRouter:
             connect=connect,
             registry=self.registry,
             tracer=self.tracer,
+            protocol=self.protocol,
         )
 
     def _acquire(self, name: str) -> Client:

@@ -76,6 +76,11 @@ class WorkerConfig:
         Background telemetry sampling cadence for the worker's engine
         in seconds (``None`` leaves the sampler off; the ``telemetry``
         wire op still answers, sampling at the poller's cadence).
+    map_dtype:
+        Sketch-map storage dtype for the worker's engine (``"float32"``
+        default halves map bytes; see
+        :class:`~repro.serve.engine.SketchEngine`).  Memory-mapped
+        archives keep the dtype they were saved with.
     """
 
     name: str
@@ -96,6 +101,7 @@ class WorkerConfig:
     update_mode: str = "auto"
     log_level: str = "warning"
     telemetry_interval: float | None = None
+    map_dtype: str = "float32"
 
 
 def _worker_main(config: WorkerConfig, ready) -> None:
@@ -118,6 +124,7 @@ def _worker_main(config: WorkerConfig, ready) -> None:
             max_bytes=config.max_bytes,
             update_mode=config.update_mode,
             telemetry_interval=config.telemetry_interval,
+            map_dtype=config.map_dtype,
         )
         for table, path in sorted(dict(config.archives).items()):
             engine.register_pool_archive(table, path, mmap_mode="r")

@@ -10,8 +10,14 @@ run is reproducible bit for bit.
 >>> from repro.testing import FaultPlan, DropAfterSend, Ok, flaky_connect
 >>> plan = FaultPlan([DropAfterSend(), Ok()])            # doctest: +SKIP
 >>> client = Client(host, port, connect=flaky_connect(host, port, plan))
+
+:class:`WireDifferential` is the cross-protocol complement: it drives
+every wire operation through the JSON and binary transports against one
+server and asserts the answers agree (bitwise for values, structurally
+for timing-carrying payloads).
 """
 
+from repro.testing.differential import WireDifferential, structure
 from repro.testing.faults import (
     Delay,
     DropAfterSend,
@@ -38,4 +44,6 @@ __all__ = [
     "GarbageRequest",
     "GarbageResponse",
     "inject_scale_error",
+    "WireDifferential",
+    "structure",
 ]

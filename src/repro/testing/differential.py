@@ -1,0 +1,139 @@
+"""Cross-protocol differential testing of the sketch wire stack.
+
+Two transports that are supposed to be equivalent will drift apart the
+moment only one of them is tested.  :class:`WireDifferential` prevents
+that by construction: it holds one client per wire protocol against the
+*same* server and runs every operation through all of them, asserting
+the answers agree — bitwise for value-carrying ops (query distances,
+table metadata, update summaries), structurally for ops whose payloads
+legitimately differ between calls (stats and telemetry carry timings;
+trace spans carry ids and durations).
+
+The structural comparison (:func:`structure`) keeps everything that
+identifies the payload's *shape* — dict keys, list lengths, strings,
+booleans — and replaces numeric leaves with their type names, so a
+transport that dropped a field, renamed a key, or turned a float into a
+string fails the comparison even though the raw numbers never match
+between two calls.
+
+>>> diff = WireDifferential(server)                      # doctest: +SKIP
+>>> results = diff.assert_identical("query", queries)    # same bits
+>>> diff.assert_identical("stats", structural=True)      # same shape
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.serve.client import PROTOCOLS, Client
+
+__all__ = ["WireDifferential", "structure"]
+
+
+def structure(value):
+    """A value's shape: numbers become type names, containers recurse.
+
+    Booleans stay themselves (they are answers, not measurements);
+    ints and floats become ``"int"`` / ``"float"``; dicts and lists
+    recurse, keeping keys and lengths; everything else (strings,
+    ``None``) passes through.  Two payloads with equal structures carry
+    the same fields of the same types in the same places.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return type(value).__name__
+    if isinstance(value, dict):
+        return {key: structure(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [structure(item) for item in value]
+    return value
+
+
+class WireDifferential:
+    """One client per wire protocol against one server; compare answers.
+
+    Parameters
+    ----------
+    server:
+        A started server exposing ``address`` — the threaded
+        :class:`~repro.serve.server.SketchServer` and the asyncio
+        :class:`~repro.serve.aserver.AsyncSketchServer` both qualify
+        (each serves every protocol on its single port).
+    protocols:
+        The protocols to drive (default: all of
+        :data:`~repro.serve.client.PROTOCOLS`).
+    **client_kwargs:
+        Extra keyword arguments for every client (timeouts, retry
+        policies).  Each client gets its own seeded rng so batch ids
+        and trace ids are deterministic per protocol.
+
+    Usable as a context manager; :meth:`close` hangs up every client.
+    """
+
+    def __init__(self, server, protocols=PROTOCOLS, **client_kwargs):
+        host, port = server.address
+        self.server = server
+        self.clients: dict[str, Client] = {}
+        for index, protocol in enumerate(protocols):
+            self.clients[protocol] = Client(
+                host, port,
+                protocol=protocol,
+                rng=random.Random(0xD1FF + index),
+                **client_kwargs,
+            )
+
+    def __enter__(self) -> "WireDifferential":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close every per-protocol client (idempotent)."""
+        for client in self.clients.values():
+            client.close()
+
+    def call(self, method: str, *args, **kwargs) -> dict[str, object]:
+        """Run one client method per protocol; ``{protocol: result}``.
+
+        Exceptions propagate — a differential run is meaningless once
+        one transport errored where another succeeded, and the raised
+        error names the protocol it came from.
+        """
+        results: dict[str, object] = {}
+        for protocol, client in self.clients.items():
+            try:
+                results[protocol] = getattr(client, method)(*args, **kwargs)
+            except Exception as exc:
+                raise AssertionError(
+                    f"{method} failed over {protocol!r}: {type(exc).__name__}: {exc}"
+                ) from exc
+        return results
+
+    def assert_identical(
+        self, method: str, *args, structural: bool = False, **kwargs
+    ):
+        """Run ``method`` over every protocol and require equal answers.
+
+        With ``structural=False`` (the default) the comparison is plain
+        ``==`` — for query results that means bit-identical float64
+        distances, the tentpole guarantee.  ``structural=True`` compares
+        :func:`structure` images instead, for payloads with legitimate
+        per-call numbers (stats, telemetry, health, trace).
+
+        Returns the first protocol's result (the reference answer).
+        """
+        results = self.call(method, *args, **kwargs)
+        protocols = list(results)
+        reference = results[protocols[0]]
+        expected = structure(reference) if structural else reference
+        for protocol in protocols[1:]:
+            actual = structure(results[protocol]) if structural else results[protocol]
+            if actual != expected:
+                raise AssertionError(
+                    f"{method} diverged between {protocols[0]!r} and "
+                    f"{protocol!r}:\n  {protocols[0]}: {expected!r}\n  "
+                    f"{protocol}: {actual!r}"
+                )
+        return reference

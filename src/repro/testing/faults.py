@@ -263,22 +263,30 @@ class FlakyTransport:
 
 
 def flaky_connect(host: str, port: int, plan: FaultPlan,
-                  sleep: Callable[[float], None] = time.sleep):
+                  sleep: Callable[[float], None] = time.sleep,
+                  protocol: str = "json"):
     """A ``connect=`` factory for :class:`~repro.serve.client.Client`.
 
     Each (re)connection dials a fresh
-    :class:`~repro.serve.client.TcpTransport` to ``host:port`` and
-    wraps it in a :class:`FlakyTransport` sharing ``plan``.
+    :class:`~repro.serve.client.TcpTransport` (or, with
+    ``protocol="binary"``, a
+    :class:`~repro.serve.client.BinaryTcpTransport`, which negotiates
+    the frame protocol before the wrapper sees a single frame) to
+    ``host:port`` and wraps it in a :class:`FlakyTransport` sharing
+    ``plan``.  Pass the same ``protocol`` to the client so its frame
+    encoding matches the transport.
 
     Examples
     --------
     >>> plan = FaultPlan([DropAfterSend()])               # doctest: +SKIP
     >>> client = Client(host, port, connect=flaky_connect(host, port, plan))
     """
-    from repro.serve.client import TcpTransport
+    from repro.serve.client import BinaryTcpTransport, TcpTransport
+
+    transport_type = BinaryTcpTransport if protocol == "binary" else TcpTransport
 
     def factory(timeout):
-        return FlakyTransport(TcpTransport(host, port, timeout=timeout),
+        return FlakyTransport(transport_type(host, port, timeout=timeout),
                               plan, sleep=sleep)
 
     return factory

@@ -224,6 +224,79 @@ class TestGarbageFrames:
             assert client.ping()  # same connection still framed correctly
 
 
+def binary_chaos_client(server, plan, attempts=6, **kwargs) -> Client:
+    """A retrying *binary* client whose transport replays ``plan``."""
+    host, port = server.address
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=attempts,
+                                           base_delay=0.01, max_delay=0.05))
+    kwargs.setdefault("rng", random.Random(1234))
+    return Client(host, port, timeout=10.0, protocol="binary",
+                  connect=flaky_connect(host, port, plan, protocol="binary"),
+                  **kwargs)
+
+
+class TestBinaryTransportChaos:
+    """The chaos headline holds over binary frames too — and because
+    ``baseline`` was computed over JSON, recovery equality here is also
+    cross-protocol equality: a binary client riding out disconnects
+    lands on the very bits a fault-free JSON client saw."""
+
+    def test_disconnect_recovery_is_bit_identical(self, server, baseline):
+        plan = FaultPlan([DropAfterSend(), DropBeforeSend(), Ok()])
+        with binary_chaos_client(server, plan) as client:
+            got = [(r.distance, r.strategy) for r in client.query(QUERIES)]
+        assert got == baseline
+        assert client.resilience["retries_total"] == 2
+        assert client.resilience["reconnects_total"] >= 1
+
+    def test_partial_binary_frame_never_crashes_the_server(
+        self, server, baseline
+    ):
+        # 7 bytes cuts inside the 16-byte frame header; the server must
+        # answer its truncated-header error and drop the connection
+        # without taking the process down.
+        plan = FaultPlan([PartialWrite(nbytes=7)])
+        with binary_chaos_client(server, plan) as client:
+            got = [(r.distance, r.strategy) for r in client.query(QUERIES)]
+        assert got == baseline
+        with Client(*server.address, timeout=10.0, protocol="binary") as probe:
+            assert probe.ping()
+
+    def test_garbage_binary_response_is_typed_then_recovers(self, server):
+        # The default garbage payload is 18 bytes, so it parses as a
+        # frame header with kind 0x00 — an unknown kind, a typed error.
+        plan = FaultPlan([GarbageResponse()])
+        with binary_chaos_client(server, plan) as client:
+            with pytest.raises(ProtocolError, match="unknown frame kind"):
+                client.ping()
+            # Desynchronised stream: the client reconnects and recovers.
+            assert client.ping()
+            assert client.resilience["reconnects_total"] == 1
+
+    def test_garbage_request_over_binary_yields_typed_server_error(
+        self, server
+    ):
+        # JSON bytes on a negotiated binary connection: the server reads
+        # '{' (0x7b) as a frame kind, answers a connection-level error
+        # frame (request id 0), and hangs up.
+        plan = FaultPlan([GarbageRequest(payload=b'{"op": "ping"}\n\n\n\n\n')])
+        with binary_chaos_client(server, plan) as client:
+            with pytest.raises(ProtocolError, match="unknown frame kind"):
+                client.ping()
+            # The server dropped that connection; the next request rides
+            # a reconnect and succeeds.
+            assert client.ping()
+
+    def test_chaos_schedule_is_deterministic_over_binary(self, server):
+        def run():
+            plan = FaultPlan([DropAfterSend(), DropBeforeSend()])
+            with binary_chaos_client(server, plan) as client:
+                results = [r.distance for r in client.query(QUERIES)]
+                return results, client.resilience["retries_total"], plan.history
+
+        assert run() == run()
+
+
 class TestLoadShedding:
     def make_gated_server(self, max_inflight=1):
         engine = make_engine()
@@ -309,6 +382,26 @@ class TestLoadShedding:
             assert len(answers) == len(QUERIES)
             assert client.resilience["retries_total"] >= 1
             thread.join(timeout=10.0)
+        finally:
+            release.set()
+            server.stop()
+
+    def test_saturated_server_sheds_binary_clients_too(self):
+        """Same admission semantics on the frame path: queries shed with
+        ``RETRY_LATER`` while cheap introspection keeps answering."""
+        server, release = self.make_gated_server()
+        try:
+            results: list = []
+            thread = self.occupy(server, results)
+            with Client(*server.address, timeout=5.0, protocol="binary",
+                        retry=RetryPolicy.none()) as client:
+                with pytest.raises(ServerOverloadedError, match="retry later"):
+                    client.query(QUERIES)
+                assert client.ping()
+                assert client.health()["status"] == "ok"
+            release.set()
+            thread.join(timeout=10.0)
+            assert results
         finally:
             release.set()
             server.stop()
@@ -418,6 +511,35 @@ class TestGracefulDrain:
         stopper.join(timeout=15.0)
         thread.join(timeout=10.0)
         assert results  # drain still completed the in-flight work
+
+    def test_drain_completes_inflight_binary_batch(self):
+        """Drain over the frame path: the in-flight binary batch gets
+        its full response, and a binary probe connected before the
+        drain is shed with the typed draining error."""
+        server = self.make_slow_server(hold_seconds=0.8)
+        host, port = server.address
+        results: list = []
+
+        def worker():
+            with Client(host, port, timeout=15.0, protocol="binary") as client:
+                results.append(client.query(QUERIES)[0].distance)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        self.wait_for_inflight(server)
+        probe = Client(host, port, timeout=5.0, protocol="binary",
+                       retry=RetryPolicy.none())
+        stopper = threading.Thread(target=server.stop)
+        stopper.start()
+        deadline = time.monotonic() + 5.0
+        while not server.draining and time.monotonic() < deadline:
+            time.sleep(0.01)
+        with pytest.raises(ServerDrainingError):
+            probe.ping()
+        probe.close()
+        stopper.join(timeout=15.0)
+        thread.join(timeout=10.0)
+        assert results  # the binary batch rode the drain to completion
 
     def test_drain_timeout_abandons_stuck_batch(self):
         server = self.make_slow_server(hold_seconds=3.0, drain_timeout=0.2)

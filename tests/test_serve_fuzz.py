@@ -25,7 +25,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.serve import Client, SketchEngine, SketchServer
+from repro.serve import Client, SketchEngine, SketchServer, wire
 
 VALID_OPS = ("ping", "health", "tables", "stats", "query")
 
@@ -150,6 +150,34 @@ class TestWireFuzz:
             assert response is not None
             assert_typed_error(response)
             assert "exceeds" in response["error"]["message"]
+
+    def test_oversized_binary_frame_is_refused_before_allocation(self, engine):
+        """A hostile binary length field is refused from the header.
+
+        The test sends *only* the 16 header bytes — the declared 2 GiB
+        payload never follows — yet the typed error frame arrives
+        immediately.  A server that read (or allocated) the declared
+        payload before validating would block on our open socket
+        instead, and the read below would time out.
+        """
+        with SketchServer(engine, max_line_bytes=1024) as small:
+            small.start()
+            with socket.create_connection(small.address, timeout=10.0) as sock:
+                sock.sendall(bytes([wire.MAGIC, wire.VERSION]))
+                reader = sock.makefile("rb")
+                assert reader.read(1)[0] == wire.ACK
+                sock.sendall(
+                    wire.HEADER.pack(wire.KIND_JSON_REQUEST, 0, 0, 2**31, 42)
+                )
+                frame = wire.read_frame(reader.read)
+                assert frame is not None
+                kind, rid, payload = frame
+                assert kind == wire.KIND_ERROR
+                assert rid == 42  # attributed to the refused request
+                error = wire.decode_error(payload)
+                assert error["type"] == "FrameSizeError"
+                assert "exceeds" in error["message"]
+                assert reader.read() == b""  # then the connection drops
 
     def test_empty_and_blank_lines_are_skipped(self, server):
         with socket.create_connection(server.address, timeout=10.0) as sock:

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import random
+import socket
+import time
 
 import pytest
 
@@ -10,11 +12,13 @@ from repro.errors import (
     ConnectionLostError,
     ParameterError,
     ProtocolError,
+    QueryTimeoutError,
     RetriesExhaustedError,
     ServerDrainingError,
     ServerOverloadedError,
     TransientServeError,
 )
+from repro.serve.client import BinaryTcpTransport, Client
 from repro.serve.retry import RetryPolicy, retry_call
 
 
@@ -157,3 +161,67 @@ class TestRetryCall:
             return sleeps
 
         assert run() == run()
+
+
+class _DroppingTransport:
+    """A transport whose connection dies on the first use."""
+
+    def send_line(self, data: bytes) -> None:
+        raise ConnectionResetError("peer went away")
+
+    def recv_line(self) -> bytes:
+        return b""
+
+    def settimeout(self, timeout: float | None) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class TestHandshakeDeadline:
+    """Regression: connect + protocol negotiation count against the
+    request deadline.
+
+    The historical bug: re-dials inside the retry loop used the
+    *constructor* socket timeout, so a server that accepted the TCP
+    connection and then stalled before answering the binary
+    negotiation preamble hung each attempt for the full constructor
+    timeout (30s by default) instead of the per-attempt budget.
+    """
+
+    def test_redial_timeout_is_bounded_by_the_deadline(self):
+        """Every re-dial receives the per-attempt timeout, not 30s."""
+        dial_timeouts = []
+
+        def connect(timeout):
+            dial_timeouts.append(timeout)
+            return _DroppingTransport()
+
+        client = Client(
+            "127.0.0.1", 1, timeout=30.0, deadline=0.5, connect=connect,
+            rng=random.Random(0), sleep=lambda _: None,
+        )
+        with pytest.raises((RetriesExhaustedError, QueryTimeoutError)):
+            client.ping()
+        # The eager constructor dial keeps the constructor timeout ...
+        assert dial_timeouts[0] == 30.0
+        # ... and every retry re-dial gets min(timeout, deadline left),
+        # so a stalled handshake can burn at most the request budget.
+        assert len(dial_timeouts) >= 2, "no re-dial happened"
+        for timeout in dial_timeouts[1:]:
+            assert timeout is not None and timeout <= 0.5
+
+    def test_negotiation_stall_fails_within_the_dial_timeout(self):
+        """A real stalled handshake: the server-side backlog completes
+        the TCP handshake but nobody ever answers the preamble.  The
+        transport must fail the attempt (typed retryable) within its
+        dial timeout instead of inheriting a longer socket default."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        try:
+            start = time.monotonic()
+            with pytest.raises(ConnectionLostError, match="negotiation"):
+                BinaryTcpTransport(*listener.getsockname(), timeout=0.2)
+            assert time.monotonic() - start < 5.0
+        finally:
+            listener.close()

@@ -192,6 +192,53 @@ class TestAdmissionControl:
                 ["ok"] * max_inflight + ["shed"] * (herd - max_inflight)
             )
 
+    def test_runtime_cap_mutation_reaches_admission(self):
+        """``server.max_inflight = n`` on a live server must take effect.
+
+        The caps live on the :class:`AdmissionController`; the server
+        exposes them as delegating properties, so shrinking the window
+        at runtime (the chaos drill does exactly this) governs the very
+        next admission decision instead of mutating a dead attribute.
+        """
+        engine = SketchEngine(p=1.0, k=8, seed=3)
+        engine.register_array("t", np.random.default_rng(1).normal(size=(32, 32)))
+        release = threading.Event()
+        original = engine.query
+
+        def gated_query(queries, timeout=None):
+            release.wait(timeout=10.0)
+            return original(queries, timeout=timeout)
+
+        engine.query = gated_query
+        with SketchServer(engine) as server:  # no cap at construction
+            server.start()
+            hog = Client(*server.address, timeout=10.0)
+            done: list = []
+            thread = threading.Thread(
+                target=lambda: done.append(
+                    hog.query([("t", (0, 0, 8, 8), (8, 8, 8, 8))])),
+                daemon=True)
+            thread.start()
+            deadline = time.monotonic() + 5.0
+            while server.inflight_queries == 0:
+                assert time.monotonic() < deadline, "hog never occupied a slot"
+                time.sleep(0.005)
+            server.max_inflight = 1  # shrink the window on the live server
+            assert server.max_inflight == 1
+            assert server.admission_controller.max_inflight == 1
+            with Client(*server.address, timeout=10.0,
+                        retry=RetryPolicy.none()) as impatient:
+                with pytest.raises(ServerOverloadedError):
+                    impatient.query([("t", (0, 0, 8, 8), (8, 8, 8, 8))])
+                server.max_batch_queries = 1
+                with pytest.raises(ServerOverloadedError):
+                    impatient.query([("t", (0, 0, 8, 8), (8, 8, 8, 8))] * 2)
+                assert impatient.ping()  # cheap ops never shed
+            release.set()
+            thread.join(timeout=10.0)
+            hog.close()
+            assert done and len(done[0]) == 1
+
 
 class TestLifecycle:
     def test_stop_is_idempotent_and_frees_port(self):

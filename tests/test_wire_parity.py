@@ -1,0 +1,585 @@
+"""Differential tests of the binary wire protocol against JSON lines.
+
+The binary frame layer (:mod:`repro.serve.wire`) exists to make the
+serving hot path cheap, not to change a single answer.  This suite pins
+that promise from four directions:
+
+* **Codec round trips.**  Every encoder/decoder pair reproduces its
+  input exactly — float64 distances bit for bit, awkward values
+  (subnormals, ``nextafter`` neighbours, huge magnitudes) included.
+* **Differential op parity.**  :class:`~repro.testing.WireDifferential`
+  drives every wire op (ping/health/tables/stats/telemetry/query/
+  update/trace) through a JSON client and a binary client against the
+  *same* server — both the threaded :class:`SketchServer` and the
+  asyncio :class:`AsyncSketchServer` — and requires identical answers:
+  bitwise for value-carrying ops, structurally for timing-carrying
+  ones.
+* **Frame fuzzing.**  Hypothesis-generated garbage, truncated frames,
+  and hostile length fields must yield typed errors
+  (:class:`ProtocolError` / :class:`FrameSizeError`) without hangs,
+  crashes, or — for over-limit declared lengths — a single payload
+  byte being read.
+* **float32 calibration.**  The engine's ``map_dtype="float32"``
+  default halves sketch-map memory; estimates must stay inside the
+  ``theoretical_epsilon`` band of the exact distance and track the
+  float64 maps to float32 rounding noise.
+
+Deterministic throughout: hypothesis runs under the ``deterministic``
+profile from ``conftest.py`` and every rng is explicitly seeded.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrameSizeError, ProtocolError
+from repro.obs.quality import theoretical_epsilon
+from repro.serve import (
+    AsyncSketchServer,
+    BinaryTcpTransport,
+    Client,
+    SketchEngine,
+    SketchServer,
+)
+from repro.serve import wire
+from repro.serve.planner import STRATEGIES, RectQuery
+from repro.testing import WireDifferential, structure
+
+# Rectangle batches covering every concrete strategy (dyadic-aligned
+# grid, overlapping compound, divisible-dims disjoint) plus auto
+# routing, across two tables of different shapes.
+PARITY_QUERIES = [
+    ("t", (0, 0, 8, 8), (8, 64, 8, 8), "grid"),
+    ("t", (0, 0, 12, 20), (16, 40, 12, 20), "compound"),
+    ("t", (8, 0, 16, 16), (32, 64, 16, 16), "disjoint"),
+    ("t", (0, 16, 8, 16), (40, 48, 8, 16)),
+    ("u", (0, 0, 8, 8), (16, 16, 8, 8), "grid"),
+    ("u", (4, 4, 8, 8), (24, 24, 8, 8), "disjoint"),
+]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    engine = SketchEngine(p=1.0, k=16, seed=2)
+    engine.register_array("t", np.random.default_rng(8).normal(size=(64, 96)))
+    engine.register_array("u", np.random.default_rng(9).normal(size=(48, 48)))
+    return engine
+
+
+@pytest.fixture(scope="module", params=["threaded", "async"])
+def server(request, engine):
+    """Each parity test runs against both server implementations."""
+    server_type = SketchServer if request.param == "threaded" else AsyncSketchServer
+    with server_type(engine) as srv:
+        srv.start()
+        yield srv
+
+
+def exact_distance(table: np.ndarray, query) -> float:
+    _, (ra, ca, h, w), (rb, cb, h2, w2) = query[:3]
+    return float(np.abs(
+        table[ra:ra + h, ca:ca + w] - table[rb:rb + h2, cb:cb + w2]
+    ).sum())
+
+
+# ---------------------------------------------------------------------------
+# Codec round trips
+# ---------------------------------------------------------------------------
+
+
+class TestCodecRoundTrip:
+    @pytest.mark.parametrize("spec", ["<i8", "<f8", "|u1", "<f4", "<u4"])
+    def test_array_block_roundtrip(self, spec):
+        rng = np.random.default_rng(3)
+        dtype = np.dtype(spec)
+        if dtype.kind == "f":
+            array = rng.normal(size=(5, 3)).astype(dtype)
+        else:
+            array = rng.integers(0, 100, size=(5, 3)).astype(dtype)
+        blob = wire.encode_array(array)
+        decoded, offset = wire.decode_array(memoryview(blob), 0)
+        assert offset == len(blob)
+        assert decoded.dtype == dtype
+        assert decoded.tobytes() == array.tobytes()  # bit-identical
+
+    def test_decoded_array_is_zero_copy_view(self):
+        blob = wire.encode_array(np.arange(6, dtype="<f8"))
+        view = memoryview(blob)
+        decoded, _ = wire.decode_array(view, 0)
+        assert decoded.base is not None  # a view, not a copy
+        with pytest.raises((ValueError, RuntimeError)):
+            decoded[0] = 1.0  # and read-only, like the buffer beneath it
+
+    def test_query_request_roundtrip(self):
+        request = {
+            "op": "query",
+            "queries": [RectQuery.parse(q).to_wire() for q in PARITY_QUERIES],
+            "timeout": 1.5,
+            "trace": {"trace_id": "abc", "span_id": "def"},
+        }
+        decoded = wire.decode_query_request(
+            memoryview(wire.encode_query_request(request))
+        )
+        assert decoded["op"] == "query"
+        assert decoded["timeout"] == 1.5
+        assert decoded["trace"] == {"trace_id": "abc", "span_id": "def"}
+        assert decoded["queries"] == [RectQuery.parse(q) for q in PARITY_QUERIES]
+
+    def test_query_result_roundtrip_is_bit_exact(self):
+        # Values that lose bits under any decimal round trip shorter
+        # than repr: off-by-one-ulp neighbours, subnormals, extremes.
+        awkward = [0.1 + 0.2, math.nextafter(1.0, 2.0), 5e-324,
+                   1.7976931348623157e308, math.pi, -0.0]
+        results = [{"distance": value, "strategy": STRATEGIES[i % len(STRATEGIES)]}
+                   for i, value in enumerate(awkward)]
+        decoded = wire.decode_query_result(
+            memoryview(wire.encode_query_result(results))
+        )["results"]
+        for sent, got in zip(results, decoded):
+            assert math.copysign(1.0, got.distance) == math.copysign(
+                1.0, sent["distance"])
+            assert got.distance == sent["distance"]
+            assert got.strategy == sent["strategy"]
+
+    def test_error_roundtrip_keeps_type_and_code(self):
+        from repro.errors import ServerOverloadedError
+
+        decoded = wire.decode_error(memoryview(
+            wire.encode_error(ServerOverloadedError("too busy"))
+        ))
+        assert decoded == {"type": "ServerOverloadedError",
+                           "message": "too busy", "code": "RETRY_LATER"}
+
+    def test_frame_roundtrip_through_read_frame(self):
+        payload = b"x" * 37
+        stream = io.BytesIO(
+            wire.encode_frame(wire.KIND_JSON_REQUEST, 99, payload)
+            + wire.encode_frame(wire.KIND_ERROR, 0, b"{}")
+        )
+        first = wire.read_frame(stream.read)
+        second = wire.read_frame(stream.read)
+        assert first == (wire.KIND_JSON_REQUEST, 99, payload)
+        assert second is not None and second[0] == wire.KIND_ERROR
+        assert wire.read_frame(stream.read) is None  # clean EOF
+
+
+# ---------------------------------------------------------------------------
+# Frame fuzzing: garbage in, typed errors out, payloads never over-read
+# ---------------------------------------------------------------------------
+
+
+class TestFrameFuzz:
+    @given(payload=st.binary(min_size=0, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_arbitrary_bytes_yield_typed_errors_or_eof(self, payload):
+        stream = io.BytesIO(payload)
+        try:
+            while wire.read_frame(stream.read) is not None:
+                pass
+        except ProtocolError:
+            pass  # FrameSizeError included: it *is* a ProtocolError
+
+    @given(cut=st.integers(min_value=0, max_value=15))
+    @settings(max_examples=16, deadline=None)
+    def test_truncated_header_is_a_typed_error(self, cut):
+        frame = wire.encode_frame(wire.KIND_QUERY_RESULT, 7, b"body")
+        stream = io.BytesIO(frame[:cut])
+        if cut == 0:
+            assert wire.read_frame(stream.read) is None
+        else:
+            with pytest.raises(ProtocolError):
+                wire.read_frame(stream.read)
+
+    @given(drop=st.integers(min_value=1, max_value=20))
+    @settings(max_examples=20, deadline=None)
+    def test_truncated_payload_is_a_typed_error(self, drop):
+        frame = wire.encode_frame(wire.KIND_JSON_RESULT, 1, b"y" * 20)
+        with pytest.raises(ProtocolError, match="truncated frame payload"):
+            wire.read_frame(io.BytesIO(frame[:-drop]).read)
+
+    def test_over_limit_length_is_refused_before_any_payload_read(self):
+        """The tentpole size-safety guarantee, pinned mechanically.
+
+        The reader below *fails the test* if it is ever asked for a
+        second chunk: the declared 4 GiB payload must be refused from
+        the 16 header bytes alone.
+        """
+        header = wire.HEADER.pack(
+            wire.KIND_JSON_REQUEST, 0, 0, 2**32 - 1, 0xBEEF
+        )
+        calls = []
+
+        def read(n: int) -> bytes:
+            calls.append(n)
+            if len(calls) == 1:
+                return header
+            raise AssertionError(
+                "payload bytes were read after an over-limit header"
+            )
+
+        with pytest.raises(FrameSizeError) as info:
+            wire.read_frame(read, max_bytes=wire.MAX_FRAME_BYTES)
+        assert info.value.request_id == 0xBEEF  # attributable to its frame
+        assert calls == [wire.HEADER.size]
+
+    @pytest.mark.parametrize("kind,flags,reserved", [
+        (0, 0, 0), (6, 0, 0), (255, 0, 0),  # unknown kinds
+        (1, 1, 0), (1, 0, 7),               # reserved bits set
+    ])
+    def test_malformed_headers_are_typed_errors(self, kind, flags, reserved):
+        header = wire.HEADER.pack(kind, flags, reserved, 0, 1)
+        with pytest.raises(ProtocolError):
+            wire.parse_header(header, wire.MAX_FRAME_BYTES)
+
+    @given(payload=st.binary(min_size=0, max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_query_codec_never_crashes_on_garbage(self, payload):
+        view = memoryview(payload)
+        for decoder in (wire.decode_query_request, wire.decode_query_result,
+                        wire.decode_error):
+            try:
+                decoder(view)
+            except ProtocolError:
+                pass
+
+    @given(garbage=st.binary(min_size=1, max_size=120))
+    @settings(max_examples=20, deadline=None)
+    def test_garbage_binary_frames_never_crash_a_live_server(
+        self, server, garbage
+    ):
+        """Post-negotiation garbage: error frame or clean disconnect."""
+        with socket.create_connection(server.address, timeout=10.0) as sock:
+            sock.sendall(bytes([wire.MAGIC, wire.VERSION]))
+            reader = sock.makefile("rb")
+            assert reader.read(1)[0] == wire.ACK
+            sock.sendall(garbage)
+            sock.shutdown(socket.SHUT_WR)
+            leftover = reader.read()  # everything until the server hangs up
+        stream = io.BytesIO(leftover)
+        while True:  # whatever came back must be well-formed frames
+            frame = wire.read_frame(stream.read)
+            if frame is None:
+                break
+            kind, _, payload = frame
+            if kind == wire.KIND_ERROR:
+                error = wire.decode_error(payload)
+                assert error["type"].endswith("Error")
+        # Whatever happened, the server still serves.
+        with Client(*server.address, protocol="binary") as client:
+            assert client.ping()
+
+    def test_version_mismatch_is_nakked_on_the_wire(self, server):
+        with socket.create_connection(server.address, timeout=10.0) as sock:
+            sock.sendall(bytes([wire.MAGIC, wire.VERSION + 1]))
+            reader = sock.makefile("rb")
+            assert reader.read(1)[0] == wire.NAK
+            assert reader.read() == b""  # and the server hangs up
+
+    def test_client_raises_protocol_error_on_nak(self):
+        """A NAKking server is a permanent error, not a retry loop."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        listener.settimeout(10.0)
+
+        def nak_once():
+            conn, _ = listener.accept()
+            with conn:
+                conn.recv(2)
+                conn.sendall(bytes([wire.NAK]))
+
+        thread = threading.Thread(target=nak_once, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(ProtocolError, match="declined binary protocol"):
+                BinaryTcpTransport(*listener.getsockname(), timeout=10.0)
+        finally:
+            thread.join(timeout=10.0)
+            listener.close()
+
+
+# ---------------------------------------------------------------------------
+# Differential op parity: JSON and binary answers must be identical
+# ---------------------------------------------------------------------------
+
+
+class TestOpParity:
+    def test_ping_and_tables_are_exactly_equal(self, server):
+        with WireDifferential(server) as diff:
+            assert diff.assert_identical("ping") is True
+            tables = diff.assert_identical("tables")
+        assert {"t", "u"} <= set(tables)
+        assert tables["t"]["shape"] == [64, 96]
+
+    def test_query_distances_are_bit_identical(self, server):
+        with WireDifferential(server) as diff:
+            results = diff.assert_identical("query", PARITY_QUERIES)
+        assert len(results) == len(PARITY_QUERIES)
+        assert all(math.isfinite(r.distance) for r in results)
+        # Every concrete strategy took part, so the parity covered the
+        # grid, compound, and disjoint encode/decode paths.
+        assert {r.strategy for r in results} >= {"grid", "compound", "disjoint"}
+
+    def test_single_query_matches_batch_member(self, server):
+        """One query alone equals its answer inside a batch, cross-protocol."""
+        with WireDifferential(server) as diff:
+            batch = diff.assert_identical("query", PARITY_QUERIES)
+            solo = diff.assert_identical("query", [PARITY_QUERIES[0]])
+        assert solo[0] == batch[0]
+
+    def test_timing_payloads_are_structurally_equal(self, server):
+        with WireDifferential(server) as diff:
+            # Warm every op counter through both protocols first, so the
+            # second protocol's snapshot cannot carry a counter key the
+            # first protocol's snapshot had not seen yet.
+            diff.call("query", PARITY_QUERIES)
+            for op in ("health", "stats", "telemetry"):
+                diff.call(op)
+            for op in ("health", "stats", "telemetry"):
+                diff.assert_identical(op, structural=True)
+
+    def test_trace_spans_agree_across_protocols(self, server):
+        with WireDifferential(server) as diff:
+            diff.call("query", [PARITY_QUERIES[0]])
+            shapes = {}
+            for protocol, client in diff.clients.items():
+                spans = client.trace(client.last_trace_id)
+                assert spans, f"no server spans over {protocol!r}"
+                # Ids and timings legitimately differ per trace; the
+                # span *names* and attribute keys must not.
+                shapes[protocol] = [
+                    (span["name"], sorted(span["attrs"])) for span in spans
+                ]
+            reference = next(iter(shapes.values()))
+            assert all(shape == reference for shape in shapes.values())
+
+    def test_update_summaries_and_after_queries_agree(self, engine, server):
+        # Twin tables with identical content, one per protocol, so each
+        # client applies the *same* deltas to its own copy and the
+        # post-update answers must coincide bit for bit.
+        port = server.address[1]
+        base = np.abs(np.random.default_rng(21).normal(loc=2.0, size=(32, 32)))
+        deltas = [(0, 0, 1.5), (3, 4, -0.25), (15, 15, 0.125)]
+        probe = [(None, (0, 0, 16, 16), (16, 16, 16, 16), "disjoint")]
+        with WireDifferential(server) as diff:
+            summaries, answers = {}, {}
+            for protocol, client in diff.clients.items():
+                table = f"tw_{protocol}_{port}"
+                engine.register_array(table, base.copy())
+                summaries[protocol] = client.update(
+                    table, deltas, batch_id=f"parity-{port}"
+                )
+                answers[protocol] = client.query(
+                    [(table, *q[1:]) for q in probe]
+                )
+        reference = next(iter(summaries))
+        assert summaries[reference]["applied"] is True
+        for protocol in summaries:
+            assert summaries[protocol] == summaries[reference]
+            assert answers[protocol] == answers[reference]
+
+    def test_server_errors_revive_identically(self, server):
+        with WireDifferential(server) as diff:
+            raised = {}
+            for protocol, client in diff.clients.items():
+                with pytest.raises(Exception) as info:
+                    client.query([("ghost", (0, 0, 8, 8), (8, 8, 8, 8))])
+                raised[protocol] = (type(info.value).__name__, str(info.value))
+            reference = next(iter(raised.values()))
+            assert all(item == reference for item in raised.values())
+        assert reference[0].endswith("Error")
+
+    def test_structure_normalizer_spots_shape_drift(self):
+        """The comparator itself: equal shapes pass, drifted shapes fail."""
+        a = {"count": 3, "latency": 0.25, "ok": True, "ops": ["ping"]}
+        b = {"count": 9, "latency": 9.75, "ok": True, "ops": ["ping"]}
+        assert structure(a) == structure(b)
+        assert structure(a) != structure({**a, "latency": "0.25"})  # retyped
+        assert structure(a) != structure({k: v for k, v in a.items()
+                                          if k != "latency"})       # dropped
+
+
+# ---------------------------------------------------------------------------
+# Pipelining: request ids pair responses, order does not (satellite 4)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def pipeline_server():
+    """A dedicated async server whose trace op sleeps per trace id.
+
+    ``spans_for_trace`` is shadowed with a version that sleeps for
+    ``_DELAYS[trace_id]`` before answering, so a pipelined batch of
+    trace requests completes in an order the test controls — the only
+    correct way to pair the responses is the echoed ``request_id``.
+    """
+    engine = SketchEngine(p=1.0, k=8, seed=4)
+    engine.register_array("t", np.random.default_rng(10).normal(size=(32, 32)))
+    delays: dict[str, float] = {}
+    original = engine.tracer.spans_for_trace
+
+    def slow_spans(trace_id: str):
+        time.sleep(delays.get(str(trace_id), 0.0))
+        return original(trace_id)
+
+    engine.tracer.spans_for_trace = slow_spans
+    with AsyncSketchServer(engine) as srv:
+        srv.start()
+        yield srv, delays
+
+
+def pipelined_trace_frames(rids_to_tids: dict[int, str]) -> list[bytes]:
+    return [
+        wire.encode_frame(
+            wire.KIND_JSON_REQUEST, rid,
+            json.dumps({"op": "trace", "trace_id": tid}).encode(),
+        )
+        for rid, tid in rids_to_tids.items()
+    ]
+
+
+def pipelined_exchange(server, frames: list[bytes], count: int):
+    """Send every frame at once; collect ``count`` responses in arrival order."""
+    with socket.create_connection(server.address, timeout=30.0) as sock:
+        sock.sendall(bytes([wire.MAGIC, wire.VERSION]))
+        reader = sock.makefile("rb")
+        assert reader.read(1)[0] == wire.ACK
+        sock.sendall(b"".join(frames))
+        responses = []
+        for _ in range(count):
+            frame = wire.read_frame(reader.read)
+            assert frame is not None, "server hung up mid-pipeline"
+            kind, rid, payload = frame
+            responses.append((kind, rid, bytes(payload)))
+        return responses
+
+
+class TestPipelining:
+    def test_slow_head_does_not_block_the_pipeline(self, pipeline_server):
+        """The request sent *first* answers *last* — head-of-line
+        blocking is gone, and ids still pair every response."""
+        server, delays = pipeline_server
+        delays.clear()
+        delays.update({"tid-slow": 0.4, "tid-fast": 0.0})
+        responses = pipelined_exchange(
+            server,
+            pipelined_trace_frames({11: "tid-slow", 22: "tid-fast"}),
+            count=2,
+        )
+        assert [rid for _, rid, _ in responses] == [22, 11]
+        for kind, rid, payload in responses:
+            assert kind == wire.KIND_JSON_RESULT
+            wanted = "tid-slow" if rid == 11 else "tid-fast"
+            assert json.loads(payload)["trace_id"] == wanted
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_interleaved_responses_pair_by_request_id(
+        self, pipeline_server, data
+    ):
+        server, delays = pipeline_server
+        n = data.draw(st.integers(min_value=2, max_value=6), label="n")
+        picked = data.draw(
+            st.lists(st.sampled_from([0.0, 0.02, 0.05]), min_size=n, max_size=n),
+            label="delays",
+        )
+        rids = data.draw(
+            st.lists(st.integers(min_value=1, max_value=2**63 - 1),
+                     min_size=n, max_size=n, unique=True),
+            label="request_ids",
+        )
+        mapping = {rid: f"tid-{i}-{rid}" for i, rid in enumerate(rids)}
+        delays.clear()
+        delays.update({tid: picked[i] for i, tid in enumerate(mapping.values())})
+        responses = pipelined_exchange(
+            server, pipelined_trace_frames(mapping), count=n
+        )
+        # Every request answered exactly once, however completion was
+        # ordered, and each response body belongs to its request id.
+        assert sorted(rid for _, rid, _ in responses) == sorted(mapping)
+        for kind, rid, payload in responses:
+            assert kind == wire.KIND_JSON_RESULT
+            assert json.loads(payload)["trace_id"] == mapping[rid]
+
+
+# ---------------------------------------------------------------------------
+# float32 sketch maps: half the memory, same guarantee band
+# ---------------------------------------------------------------------------
+
+CALIB_K = 64
+CALIB_QUERIES = [
+    ("c", (0, 0, 16, 16), (32, 32, 16, 16), "grid"),
+    ("c", (0, 16, 16, 16), (48, 0, 16, 16), "disjoint"),
+    ("c", (8, 8, 16, 16), (40, 40, 16, 16), "disjoint"),
+]
+
+
+def calibration_engine(map_dtype: str) -> SketchEngine:
+    engine = SketchEngine(p=1.0, k=CALIB_K, seed=5, map_dtype=map_dtype)
+    engine.register_array("c", np.abs(
+        np.random.default_rng(12).normal(loc=3.0, size=(64, 64))
+    ))
+    return engine
+
+
+class TestFloat32Calibration:
+    def test_both_dtypes_estimate_inside_the_theoretical_band(self):
+        """Seeded and deterministic: a regression check, not a gamble.
+
+        ``theoretical_epsilon(64)`` is the k=64 guarantee band; both
+        map dtypes must put every grid/disjoint estimate within it,
+        which pins that float32 storage costs rounding noise, not
+        calibration.
+        """
+        epsilon = theoretical_epsilon(CALIB_K)
+        data = np.abs(np.random.default_rng(12).normal(loc=3.0, size=(64, 64)))
+        for map_dtype in ("float32", "float64"):
+            engine = calibration_engine(map_dtype)
+            for query, result in zip(CALIB_QUERIES, engine.query(CALIB_QUERIES)):
+                exact = exact_distance(data, query)
+                assert exact > 0
+                assert abs(result.distance - exact) <= epsilon * exact, (
+                    f"{map_dtype} estimate {result.distance} outside the "
+                    f"eps={epsilon:.3f} band of {exact} for {query}"
+                )
+
+    def test_float32_tracks_float64_to_rounding_noise(self):
+        """float32 maps answer within ~1e-4 relative of float64 maps.
+
+        The estimators accumulate in float64 either way; the only
+        difference is the stored map precision (2^-24 per entry), so
+        the relative gap must sit orders below the statistical
+        epsilon — the dtype knob trades memory, never accuracy class.
+        """
+        f32 = calibration_engine("float32").query(CALIB_QUERIES)
+        f64 = calibration_engine("float64").query(CALIB_QUERIES)
+        for narrow, wide in zip(f32, f64):
+            assert narrow.strategy == wide.strategy
+            assert abs(narrow.distance - wide.distance) <= 1e-4 * wide.distance
+
+    def test_map_dtype_is_validated_and_reported(self):
+        engine = calibration_engine("float32")
+        assert engine.tables()["c"]["map_dtype"] == "float32"
+        assert calibration_engine("float64").tables()["c"]["map_dtype"] == "float64"
+        from repro.errors import ParameterError
+
+        with pytest.raises(ParameterError):
+            SketchEngine(k=8, map_dtype="float16")
+
+    def test_served_answers_match_in_process_for_float32(self):
+        """The whole stack end to end: float32 engine, binary wire."""
+        engine = calibration_engine("float32")
+        expected = engine.query(CALIB_QUERIES)
+        with AsyncSketchServer(engine) as srv:
+            srv.start()
+            with Client(*srv.address, protocol="binary") as client:
+                served = client.query(CALIB_QUERIES)
+        assert served == expected
