@@ -193,6 +193,27 @@ def _cmd_serve(args) -> int:
 
     logger = StructuredLogger("repro.serve", level=args.log_level)
     slow = None if args.slow_query_ms is None else args.slow_query_ms / 1000.0
+    profiler = None
+    if args.profile_hz is not None:
+        from repro.obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler(hz=args.profile_hz, registry=engine.registry)
+        profiler.start()
+        print(f"profiling at {args.profile_hz:g} Hz "
+              f"(span-attributed; cost billed to profile_sample_seconds)")
+
+    def _dump_profile() -> None:
+        if profiler is None:
+            return
+        profiler.stop()
+        if args.profile_dump:
+            try:
+                paths = profiler.dump(args.profile_dump)
+            except OSError as exc:
+                print(f"profile dump failed: {exc}", file=sys.stderr)
+            else:
+                print(f"profile written: {', '.join(paths)}", file=sys.stderr)
+
     if args.async_server:
         # The asyncio server multiplexes pipelined binary requests per
         # connection; start() runs its event loop on a daemon thread,
@@ -216,6 +237,7 @@ def _cmd_serve(args) -> int:
             print("draining...", file=sys.stderr)
         finally:
             clean = server.stop()
+            _dump_profile()
             print(f"drained {'cleanly' if clean else 'with abandoned requests'}",
                   file=sys.stderr)
         return 0
@@ -236,6 +258,7 @@ def _cmd_serve(args) -> int:
         # serve_forever already exited, so stop() skips the shutdown
         # handshake (no background thread) and goes straight to the drain.
         clean = server.stop()
+        _dump_profile()
         print(f"drained {'cleanly' if clean else 'with abandoned requests'}",
               file=sys.stderr)
     return 0
@@ -278,6 +301,8 @@ def _cmd_shard_serve(args) -> int:
             map_dtype=args.map_dtype,
             log_level=args.log_level,
             telemetry_interval=args.telemetry_interval,
+            profile_hz=args.profile_hz,
+            profile_dump=args.profile_dump,
         )
         for index in range(args.workers)
     ]
@@ -357,6 +382,29 @@ def _cmd_query(args) -> int:
             print(f"retries_total={resilience['retries_total']} "
                   f"reconnects_total={resilience['reconnects_total']}",
                   file=sys.stderr)
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    import json
+
+    from repro.obs.explain import render_explain
+    from repro.serve import Client, RetryPolicy
+
+    queries = [_parse_query_spec(spec) for spec in args.queries]
+    retry = RetryPolicy(max_attempts=max(1, args.retries))
+    with Client(args.host, args.port, timeout=args.timeout, retry=retry,
+                deadline=args.request_deadline,
+                protocol=args.protocol) as client:
+        payload = client.explain(queries, timeout=args.deadline)
+    if args.json:
+        wire_payload = {
+            "results": [result.to_wire() for result in payload["results"]],
+            "explain": payload["explain"],
+        }
+        print(json.dumps(wire_payload, indent=2, sort_keys=True))
+    else:
+        print(render_explain(payload))
     return 0
 
 
@@ -471,7 +519,7 @@ def _cmd_stats(args) -> int:
         if not metrics:
             raise SystemExit("server snapshot has no 'metrics' section "
                              "(older server?); try --json")
-        sys.stdout.write(render_prometheus(metrics))
+        sys.stdout.write(render_prometheus(metrics, exemplars=args.exemplars))
         return 0
     _print_stats_summary(snapshot)
     return 0
@@ -909,6 +957,14 @@ def main(argv=None) -> int:
                        help="background telemetry sampling cadence in seconds "
                             "(0 disables the sampler thread; the telemetry "
                             "wire op then samples on demand)")
+    serve.add_argument("--profile-hz", type=float, default=None,
+                       help="run a continuous sampling profiler at this "
+                            "cadence (samples attributed to the active "
+                            "trace span; overhead billed to the "
+                            "profile_sample_seconds counter)")
+    serve.add_argument("--profile-dump", default=None, metavar="PREFIX",
+                       help="write PREFIX.collapsed (flamegraph folded "
+                            "stacks) and PREFIX.json on shutdown")
     serve.add_argument("--telemetry-persist", default=None, metavar="PATH",
                        help="append each telemetry frame to this JSON-lines "
                             "file for post-mortems")
@@ -977,6 +1033,12 @@ def main(argv=None) -> int:
                              help="each worker's background telemetry sampling "
                                   "cadence in seconds (0 disables; the "
                                   "telemetry op then samples on demand)")
+    shard_serve.add_argument("--profile-hz", type=float, default=None,
+                             help="run a continuous sampling profiler in "
+                                  "every worker at this cadence")
+    shard_serve.add_argument("--profile-dump", default=None, metavar="PREFIX",
+                             help="each worker writes PREFIX-<shard>.collapsed "
+                                  "and PREFIX-<shard>.json on drain")
 
     query = commands.add_parser("query", help="talk to a running sketch server")
     query.add_argument("queries", nargs="*",
@@ -1002,6 +1064,32 @@ def main(argv=None) -> int:
                    help="wire protocol to the server (default: json; "
                         "binary ships queries and results as raw "
                         "frames)")
+
+    explain = commands.add_parser(
+        "explain", help="run queries and show their full cost provenance"
+    )
+    explain.add_argument("queries", nargs="+",
+                         metavar="TABLE:r,c,h,w:r,c,h,w[:strategy]",
+                         help="rectangle distance queries to explain")
+    explain.add_argument("--host", default="127.0.0.1", help="server address")
+    explain.add_argument("--port", type=int, default=7337, help="server port")
+    explain.add_argument("--timeout", type=float, default=30.0,
+                         help="socket timeout in seconds")
+    explain.add_argument("--deadline", type=float, default=None,
+                         help="server-side batch deadline in seconds")
+    explain.add_argument("--retries", type=int, default=4,
+                         help="attempts per request for transient failures; "
+                              "1 disables")
+    explain.add_argument("--request-deadline", type=float, default=None,
+                         help="client-side per-request budget in seconds "
+                              "across all retries")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the raw provenance payload as JSON "
+                              "instead of rendered text")
+    explain.add_argument("--protocol", default="json",
+                         choices=("json", "binary"),
+                         help="wire protocol to the server (explain rides "
+                              "JSON frames on both)")
 
     ingest = commands.add_parser(
         "ingest", help="apply a delta stream to a running server's tables"
@@ -1052,6 +1140,9 @@ def main(argv=None) -> int:
                      help="dump the raw JSON snapshot")
     fmt.add_argument("--prometheus", action="store_true",
                      help="render Prometheus text exposition format")
+    stats.add_argument("--exemplars", action="store_true",
+                       help="with --prometheus, append OpenMetrics "
+                            "trace_id exemplars to histogram buckets")
 
     top = commands.add_parser(
         "top", help="live telemetry dashboard for a server or shard fleet"
@@ -1127,6 +1218,7 @@ def main(argv=None) -> int:
         "serve": _cmd_serve,
         "shard-serve": _cmd_shard_serve,
         "query": _cmd_query,
+        "explain": _cmd_explain,
         "ingest": _cmd_ingest,
         "stats": _cmd_stats,
         "top": _cmd_top,

@@ -38,6 +38,7 @@ whichever table it belongs to.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor, wait
 
@@ -48,6 +49,7 @@ from repro.core.generator import SketchGenerator
 from repro.core.pipeline import PipelineStats, sketch_all_positions
 from repro.core.sketch import Sketch, SketchKey
 from repro.fourier.spectrum import SpectrumCache
+from repro.obs.explain import active_ledger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.table.tiles import TileSpec
@@ -419,6 +421,13 @@ class SketchPool:
                 f"[{self.min_exponent}, {self.max_col_exponent}]"
             )
         key = (row_exp, col_exp, stream)
+        # Cost provenance: when an explain ledger is active on this
+        # thread, every resolution reports its outcome — hit (resident),
+        # built (this call forced the build), waited (picked up a racing
+        # thread's build).  The fast path pays one thread-local read.
+        ledger = active_ledger()
+        begin = time.perf_counter() if ledger is not None else 0.0
+        waited = False
         while True:
             with self._lock:
                 built = self._maps.get(key)
@@ -434,7 +443,18 @@ class SketchPool:
                     self._enforce_budget(protect=key)
                     if self._budget is not None:
                         self._budget.touch(self, key)
-                    return built
+            if built is not None:
+                if ledger is not None:
+                    self._record_map_event(
+                        ledger, key, "waited" if waited else "hit",
+                        time.perf_counter() - begin, built,
+                    )
+                return built
+            with self._lock:
+                if key in self._maps:
+                    # A racing build committed between the two lock
+                    # holds; loop to take the hit path.
+                    continue
                 event = self._pending.get(key)
                 if event is None:
                     event = threading.Event()
@@ -445,6 +465,7 @@ class SketchPool:
             if not building:
                 # Another thread owns this build; wait for it, then loop
                 # to pick the map up (or claim the build if it failed).
+                waited = True
                 event.wait()
                 continue
             try:
@@ -458,7 +479,24 @@ class SketchPool:
                 self._store(key, built)
                 del self._pending[key]
             event.set()
+            if ledger is not None:
+                self._record_map_event(
+                    ledger, key, "built", time.perf_counter() - begin, built,
+                )
             return built
+
+    def _record_map_event(self, ledger, key, outcome, seconds, built) -> None:
+        row_exp, col_exp, stream = key
+        ledger.record_map(
+            table=self._obs_labels.get("table"),
+            row_exp=row_exp,
+            col_exp=col_exp,
+            stream=stream,
+            outcome=outcome,
+            seconds=seconds,
+            dtype=str(built.dtype),
+            nbytes=int(built.nbytes),
+        )
 
     def _build(self, row_exp: int, col_exp: int, stream: int) -> np.ndarray:
         """Compute one map (thread-safe; does not touch ``_maps``)."""

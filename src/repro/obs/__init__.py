@@ -20,6 +20,14 @@ Zero-required-dependency observability for every hot path in the repo:
     :func:`lint_prometheus` (format validator), and
     :class:`StructuredLogger` (logfmt / JSON-lines, used for the
     server's request and slow-query logs).
+:mod:`repro.obs.profile`
+    :class:`SamplingProfiler` — span-aware continuous profiling: a
+    daemon thread samples every thread's stack and attributes it to the
+    trace span the thread is inside, exporting collapsed flamegraphs.
+:mod:`repro.obs.explain`
+    :class:`CostLedger` / :func:`render_explain` — per-query cost
+    attribution behind the ``explain`` wire op: planner decomposition,
+    per-map cache outcomes, guarantee bands, and stage timings.
 :mod:`repro.obs.telemetry`
     :class:`Telemetry` — the fleet telemetry plane: a bounded
     :class:`MetricHistory` ring buffer sampling the registry on a
@@ -32,6 +40,13 @@ See ``docs/OBSERVABILITY.md`` for the metric catalogue and span
 taxonomy.
 """
 
+from repro.obs.explain import (
+    CostLedger,
+    active_ledger,
+    guarantee_band,
+    ledger_scope,
+    render_explain,
+)
 from repro.obs.export import StructuredLogger, lint_prometheus, render_prometheus
 from repro.obs.ledger import CounterLedger
 from repro.obs.metrics import (
@@ -58,7 +73,16 @@ from repro.obs.telemetry import (
     Telemetry,
     register_build_info,
 )
-from repro.obs.trace import SpanRecord, Tracer, default_tracer, render_trace, span
+from repro.obs.profile import SamplingProfiler, render_collapsed
+from repro.obs.trace import (
+    SpanContextRegistry,
+    SpanRecord,
+    Tracer,
+    default_tracer,
+    render_trace,
+    span,
+    span_contexts,
+)
 
 __all__ = [
     "MetricsRegistry",
@@ -78,7 +102,16 @@ __all__ = [
     "register_build_info",
     "Tracer",
     "SpanRecord",
+    "SpanContextRegistry",
+    "SamplingProfiler",
+    "render_collapsed",
+    "CostLedger",
+    "ledger_scope",
+    "active_ledger",
+    "guarantee_band",
+    "render_explain",
     "span",
+    "span_contexts",
     "default_tracer",
     "render_trace",
     "StructuredLogger",

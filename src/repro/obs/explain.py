@@ -1,0 +1,243 @@
+"""Per-query cost provenance: the CostLedger behind the ``explain`` op.
+
+The planner's cost story is static — strategies route from rectangle
+shape alone, groups share dyadic maps — but the *bill* for a given
+batch depends on runtime state: which maps were already resident, which
+builds the batch forced, which shard owned each table.  A
+:class:`CostLedger` captures that bill as the batch executes:
+
+* the **decomposition** — the exact :class:`~repro.serve.planner.QueryGroup`
+  list the planner executed (strategy, dyadic size key, member
+  indices), recorded from inside ``execute()`` so it cannot drift from
+  what actually ran (the property tests pin this bit-identical);
+* **per-map events** — every ``pool._map`` resolution with its outcome
+  (``hit``: resident, ``built``: this query forced the build,
+  ``waited``: a racing query was already building it), duration, dtype
+  and bytes;
+* **stage timings** — named wall-clock sections (parse, plan, one per
+  executed group).
+
+Activation is scoped and thread-local: :func:`ledger_scope` installs a
+ledger for the current thread, the pool and planner check
+:func:`active_ledger` at their seams, and the normal query path (no
+ledger installed) pays one thread-local read per map resolution.
+
+:func:`guarantee_band` turns a group's ``(strategy, k)`` into the
+paper's accuracy promise: grid and disjoint answers are plain sketch
+estimates within ``(1 ± eps)`` at confidence ``1 - delta``
+(Theorem 2), compound answers additionally carry Definition 4's
+Theorem-5 factor, landing in ``[1 - eps, 4 (1 + eps)]``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.obs.quality import theoretical_epsilon
+
+__all__ = [
+    "CostLedger",
+    "active_ledger",
+    "guarantee_band",
+    "ledger_scope",
+    "render_explain",
+]
+
+_ACTIVE = threading.local()
+
+
+def active_ledger() -> "CostLedger | None":
+    """The ledger installed on this thread (``None`` on the fast path)."""
+    return getattr(_ACTIVE, "ledger", None)
+
+
+@contextmanager
+def ledger_scope(ledger: "CostLedger"):
+    """Install ``ledger`` as this thread's active ledger for the block.
+
+    Scopes nest (the inner ledger shadows the outer until exit), and
+    the previous ledger is restored even when the block raises.
+    """
+    previous = getattr(_ACTIVE, "ledger", None)
+    _ACTIVE.ledger = ledger
+    try:
+        yield ledger
+    finally:
+        _ACTIVE.ledger = previous
+
+
+def guarantee_band(strategy: str, k: int, delta: float = 0.05) -> dict:
+    """The accuracy promise of one executed group.
+
+    Returns ``epsilon`` (:func:`~repro.obs.quality.theoretical_epsilon`
+    for the deployed ``k``), the confidence ``delta``, and the
+    multiplicative ``band`` the estimate lands in: ``[1-eps, 1+eps]``
+    for the exact-sketch strategies (grid, disjoint), widened to
+    Theorem 5's ``[1-eps, 4(1+eps)]`` for compound.
+    """
+    epsilon = theoretical_epsilon(int(k), delta)
+    if strategy == "compound":
+        band = [1.0 - epsilon, 4.0 * (1.0 + epsilon)]
+    else:
+        band = [1.0 - epsilon, 1.0 + epsilon]
+    return {
+        "epsilon": epsilon,
+        "delta": delta,
+        "band": band,
+        "exact_sketch": strategy != "compound",
+    }
+
+
+class CostLedger:
+    """One query batch's cost account, filled in as the batch executes.
+
+    All methods are safe under the pool lock (they only append to
+    lists under the ledger's own lock) and cheap enough to sit on the
+    map-resolution path.  ``clock`` is injectable for deterministic
+    stage timings in tests.
+    """
+
+    def __init__(self, clock=time.perf_counter):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self.groups: list[dict] = []
+        self.maps: list[dict] = []
+        self.stages: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # Recording seams
+    # ------------------------------------------------------------------
+
+    def record_plan(self, groups: list[dict]) -> None:
+        """Adopt the executed decomposition (one dict per query group)."""
+        with self._lock:
+            self.groups = list(groups)
+
+    def record_map(
+        self,
+        table: str | None,
+        row_exp: int,
+        col_exp: int,
+        stream: int,
+        outcome: str,
+        seconds: float,
+        dtype: str,
+        nbytes: int,
+    ) -> None:
+        """Record one ``pool._map`` resolution."""
+        with self._lock:
+            self.maps.append({
+                "table": table,
+                "row_exp": int(row_exp),
+                "col_exp": int(col_exp),
+                "stream": int(stream),
+                "outcome": outcome,
+                "seconds": float(seconds),
+                "dtype": str(dtype),
+                "nbytes": int(nbytes),
+            })
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time one named section into the ledger's stage list."""
+        begin = self._clock()
+        try:
+            yield
+        finally:
+            with self._lock:
+                self.stages.append({
+                    "name": name,
+                    "seconds": float(self._clock() - begin),
+                })
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON-safe provenance: decomposition, map events, stages, totals."""
+        with self._lock:
+            outcomes: dict[str, int] = {}
+            for event in self.maps:
+                outcomes[event["outcome"]] = outcomes.get(event["outcome"], 0) + 1
+            return {
+                "groups": [dict(group) for group in self.groups],
+                "maps": [dict(event) for event in self.maps],
+                "map_outcomes": outcomes,
+                "stages": [dict(stage) for stage in self.stages],
+            }
+
+
+def _render_section(lines: list[str], section: dict, indent: str) -> None:
+    for group in section.get("groups", []):
+        size = "x".join(str(part) for part in group.get("size_key", []))
+        band = group.get("band") or []
+        band_text = (
+            f"[{band[0]:.3f}, {band[1]:.3f}]" if len(band) == 2 else "?"
+        )
+        lines.append(
+            f"{indent}group {group.get('table')}:{group.get('strategy')} "
+            f"size={size} queries={group.get('queries')} "
+            f"k={group.get('k')} dtype={group.get('map_dtype')} "
+            f"eps={group.get('epsilon', 0.0):.4f} band={band_text}"
+        )
+        lines.append(f"{indent}  indices={list(group.get('indices', []))}")
+    outcomes = section.get("map_outcomes", {})
+    if outcomes:
+        summary = " ".join(f"{k}={v}" for k, v in sorted(outcomes.items()))
+        lines.append(f"{indent}maps: {summary}")
+    for event in section.get("maps", []):
+        lines.append(
+            f"{indent}  map {event.get('table')}"
+            f"[2^{event.get('row_exp')} x 2^{event.get('col_exp')}"
+            f" s{event.get('stream')}] {event.get('outcome')} "
+            f"{event.get('seconds', 0.0) * 1e3:.3f}ms "
+            f"dtype={event.get('dtype')} bytes={event.get('nbytes')}"
+        )
+    for stage in section.get("stages", []):
+        lines.append(
+            f"{indent}stage {stage.get('name')}: "
+            f"{stage.get('seconds', 0.0) * 1e3:.3f}ms"
+        )
+    spans = section.get("spans")
+    if spans:
+        lines.append(f"{indent}spans:")
+        for span in spans:
+            lines.append(
+                f"{indent}  {span.get('name')} "
+                f"{span.get('duration', 0.0) * 1e3:.3f}ms"
+            )
+
+
+def render_explain(payload: dict) -> str:
+    """Render an ``explain`` response as human-readable text.
+
+    Accepts both shapes the wire produces: a single-engine section
+    (``{"results": ..., "explain": {...}}``) and the shard router's
+    fan-in (``"explain"`` carrying per-shard sections under
+    ``"shards"``, never merged).
+    """
+    lines: list[str] = []
+    results = payload.get("results") or []
+    for index, result in enumerate(results):
+        if hasattr(result, "distance"):
+            distance, strategy = result.distance, result.strategy
+        else:
+            distance, strategy = result.get("distance"), result.get("strategy")
+        lines.append(f"query[{index}] distance={distance:.6f} ({strategy})")
+    section = payload.get("explain") or {}
+    shards = section.get("shards")
+    if shards:
+        for name in sorted(shards):
+            shard_section = shards[name]
+            lines.append(f"shard {name}:")
+            if shard_section.get("batch_indices") is not None:
+                lines.append(
+                    f"  batch_indices={list(shard_section['batch_indices'])}"
+                )
+            _render_section(lines, shard_section, "  ")
+    else:
+        _render_section(lines, section, "")
+    return "\n".join(lines)

@@ -66,7 +66,24 @@ def _labels_text(labels: dict, extra: tuple[tuple[str, str], ...] = ()) -> str:
     return "{" + inner + "}"
 
 
-def render_prometheus(snapshot: dict) -> str:
+def _exemplar_text(hist: dict, index: int, exemplars: bool) -> str:
+    """The OpenMetrics exemplar suffix for one bucket line (or ``""``).
+
+    Exemplars live in the snapshot keyed by bucket index (stringified
+    for JSON round-trips); the suffix format is the OpenMetrics one —
+    ``# {trace_id="..."} value`` — appended to the bucket's sample line.
+    """
+    if not exemplars:
+        return ""
+    exemplar = (hist.get("exemplars") or {}).get(str(index))
+    if not isinstance(exemplar, dict) or "trace_id" not in exemplar:
+        return ""
+    trace_id = _escape_label(str(exemplar["trace_id"]))
+    value = _format_value(exemplar.get("value", 0.0))
+    return f' # {{trace_id="{trace_id}"}} {value}'
+
+
+def render_prometheus(snapshot: dict, exemplars: bool = False) -> str:
     """Render a registry snapshot as Prometheus text exposition format.
 
     Parameters
@@ -75,6 +92,12 @@ def render_prometheus(snapshot: dict) -> str:
         The dict produced by
         :meth:`repro.obs.metrics.MetricsRegistry.snapshot` (or shipped
         over the wire inside the ``stats`` op's ``metrics`` key).
+    exemplars:
+        Also emit OpenMetrics exemplars (``# {trace_id="..."} value``
+        suffixes) on histogram bucket lines whose bucket holds a traced
+        observation (see :meth:`~repro.obs.metrics.Histogram.record`).
+        Off by default: exemplar syntax is OpenMetrics, and strict
+        Prometheus text-format parsers reject it.
 
     Returns
     -------
@@ -94,22 +117,28 @@ def render_prometheus(snapshot: dict) -> str:
             if kind == "histogram":
                 hist = sample["histogram"]
                 cumulative = 0
-                for edge, count in zip(hist["edges"], hist["counts"]):
+                index = -1
+                for index, (edge, count) in enumerate(
+                    zip(hist["edges"], hist["counts"])
+                ):
                     edge = float(edge)
                     if edge == float("inf"):
                         # An explicit +Inf edge folds into the single
                         # +Inf bucket emitted below; emitting it here
                         # would duplicate the le="+Inf" series.
+                        index -= 1
                         break
                     cumulative += count
                     lines.append(
                         f"{name}_bucket"
                         f"{_labels_text(labels, (('le', _format_value(edge)),))}"
                         f" {cumulative}"
+                        f"{_exemplar_text(hist, index, exemplars)}"
                     )
                 lines.append(
                     f"{name}_bucket{_labels_text(labels, (('le', '+Inf'),))}"
                     f" {hist['count']}"
+                    f"{_exemplar_text(hist, index + 1, exemplars)}"
                 )
                 lines.append(
                     f"{name}_sum{_labels_text(labels)} {_format_value(hist['total'])}"
@@ -129,6 +158,11 @@ _SAMPLE_RE = re.compile(
     r" (?P<value>[^ ]+)(?: (?P<timestamp>-?\d+))?$"
 )
 _LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\["\\n])*"$')
+# OpenMetrics exemplar suffix: `<sample> # {labels} value [timestamp]`.
+_EXEMPLAR_RE = re.compile(
+    r"^(?P<base>.*?) # \{(?P<labels>.*)\} (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+(?:\.\d+)?))?$"
+)
 
 
 def _split_labels(text: str) -> list[str] | None:
@@ -181,8 +215,13 @@ def lint_prometheus(text: str) -> list[str]:
     """Validate Prometheus text exposition format.
 
     Checks line syntax, label quoting, that a ``# TYPE`` precedes its
-    family's samples, and the histogram invariants (cumulative
-    non-decreasing buckets, ``+Inf`` bucket equal to ``_count``).
+    family's samples, the histogram invariants (cumulative
+    non-decreasing buckets, ``+Inf`` bucket equal to ``_count``), and
+    OpenMetrics exemplar suffixes (``# {trace_id="..."} value``): an
+    exemplar must carry well-formed labels within the spec's 128-rune
+    budget, a parseable value, and may only ride histogram ``_bucket``
+    or counter samples; a bucket exemplar's value must fit under the
+    bucket's ``le`` bound.
 
     Returns
     -------
@@ -220,7 +259,13 @@ def lint_prometheus(text: str) -> list[str]:
                 else:
                     types[parts[2]] = kind
             continue
-        match = _SAMPLE_RE.match(line)
+        exemplar = _EXEMPLAR_RE.match(line)
+        sample_text = exemplar.group("base") if exemplar else line
+        match = _SAMPLE_RE.match(sample_text)
+        if match is None and exemplar is not None:
+            # The " # {" was part of a label value, not an exemplar.
+            exemplar = None
+            match = _SAMPLE_RE.match(line)
         if match is None:
             problems.append(f"line {number}: unparseable sample {line!r}")
             continue
@@ -248,6 +293,42 @@ def lint_prometheus(text: str) -> list[str]:
         if family not in types:
             problems.append(f"line {number}: sample {name} has no # TYPE")
             continue
+        is_bucket = types[family] == "histogram" and name == f"{family}_bucket"
+        exemplar_value: float | None = None
+        if exemplar is not None:
+            if not is_bucket and types[family] != "counter":
+                problems.append(
+                    f"line {number}: exemplar on a sample that is neither a "
+                    f"histogram bucket nor a counter"
+                )
+            exemplar_parts = _split_labels(exemplar.group("labels"))
+            if exemplar_parts is None:
+                problems.append(
+                    f"line {number}: unterminated exemplar label text "
+                    f"{exemplar.group('labels')!r}"
+                )
+            else:
+                runes = 0
+                for part in exemplar_parts:
+                    if not _LABEL_RE.match(part):
+                        problems.append(
+                            f"line {number}: bad exemplar label {part!r}"
+                        )
+                        break
+                    key_text, _, value_text = part.partition("=")
+                    runes += len(key_text) + len(value_text) - 2
+                else:
+                    if runes > 128:
+                        problems.append(
+                            f"line {number}: exemplar labels exceed the "
+                            f"128-rune OpenMetrics budget ({runes})"
+                        )
+            exemplar_value = _parse_float(exemplar.group("value"))
+            if exemplar_value is None:
+                problems.append(
+                    f"line {number}: bad exemplar value "
+                    f"{exemplar.group('value')!r}"
+                )
         if types[family] == "histogram":
             key = (family, tuple(sorted((k, v) for k, v in labels.items() if k != "le")))
             if name == f"{family}_bucket":
@@ -258,6 +339,11 @@ def lint_prometheus(text: str) -> list[str]:
                 if edge is None:
                     problems.append(f"line {number}: bad le value {labels['le']!r}")
                     continue
+                if exemplar_value is not None and exemplar_value > edge:
+                    problems.append(
+                        f"line {number}: exemplar value {exemplar_value} "
+                        f"above the bucket's le bound {labels['le']}"
+                    )
                 buckets.setdefault(key, []).append((edge, value))
             elif name == f"{family}_count":
                 counts[key] = value

@@ -259,7 +259,10 @@ class Histogram:
     the wire.
     """
 
-    __slots__ = ("edges", "counts", "count", "total", "max", "labels", "_lock")
+    __slots__ = (
+        "edges", "counts", "count", "total", "max", "labels", "exemplars",
+        "_lock",
+    )
 
     def __init__(self, edges: Iterable[float], labels: Mapping[str, str] | None = None):
         edges = [float(e) for e in edges]
@@ -271,6 +274,11 @@ class Histogram:
         self.total = 0.0
         self.max = 0.0
         self.labels = dict(labels or {})
+        # Per-bucket exemplars, keyed by bucket index as a *string* so
+        # the snapshot round-trips JSON unchanged: the last traced
+        # observation landing in each bucket wins (constant memory, and
+        # recent traces are the ones worth following).
+        self.exemplars: dict[str, dict] = {}
         self._lock = threading.Lock()
 
     @classmethod
@@ -293,17 +301,29 @@ class Histogram:
             edge *= 10.0
         return cls(edges)
 
-    def record(self, value: float) -> None:
-        """Count one observation."""
+    def record(self, value: float, trace_id: str | None = None) -> None:
+        """Count one observation.
+
+        With ``trace_id`` set, the observation also becomes the bucket's
+        exemplar — a sampled pointer from the latency distribution back
+        to one concrete traced request (OpenMetrics exemplar semantics;
+        see :func:`~repro.obs.export.render_prometheus`).
+        """
         value = float(value)
         with self._lock:
             # bisect_left: a value exactly on an edge counts toward that
             # edge's bucket (Prometheus ``le`` semantics).
-            self.counts[bisect_left(self.edges, value)] += 1
+            index = bisect_left(self.edges, value)
+            self.counts[index] += 1
             self.count += 1
             self.total += value
             if value > self.max:
                 self.max = value
+            if trace_id is not None:
+                self.exemplars[str(index)] = {
+                    "trace_id": str(trace_id),
+                    "value": value,
+                }
 
     # Registry instruments call the Prometheus verb; same operation.
     observe = record
@@ -315,6 +335,7 @@ class Histogram:
             self.count = 0
             self.total = 0.0
             self.max = 0.0
+            self.exemplars = {}
 
     @property
     def mean(self) -> float:
@@ -341,7 +362,7 @@ class Histogram:
         re-derive them from the buckets.
         """
         with self._lock:
-            return {
+            snapshot = {
                 "edges": list(self.edges),
                 "counts": list(self.counts),
                 "count": self.count,
@@ -354,6 +375,12 @@ class Histogram:
                     "p99": self._quantile_locked(0.99),
                 },
             }
+            if self.exemplars:
+                snapshot["exemplars"] = {
+                    index: dict(exemplar)
+                    for index, exemplar in self.exemplars.items()
+                }
+            return snapshot
 
     def __repr__(self) -> str:
         return f"Histogram(count={self.count}, mean={self.mean:.4g}, max={self.max:.4g})"

@@ -29,7 +29,8 @@ from contextlib import contextmanager
 
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["SpanRecord", "Tracer", "span", "default_tracer", "render_trace"]
+__all__ = ["SpanRecord", "SpanContextRegistry", "Tracer", "span",
+           "default_tracer", "span_contexts", "render_trace"]
 
 # Sub-millisecond to ten-second decades: map builds sit around
 # milliseconds, full pool preprocessing around seconds.
@@ -66,6 +67,78 @@ class SpanRecord:
 
     def __repr__(self) -> str:
         return f"SpanRecord({self.name!r}, duration={self.duration:.6f})"
+
+
+class SpanContextRegistry:
+    """Cross-thread view of every thread's active span stack.
+
+    :meth:`Tracer.span` keeps its nesting stack in a ``threading.local``,
+    which only the owning thread can read — but the sampling profiler
+    (:class:`~repro.obs.profile.SamplingProfiler`) walks *other* threads'
+    frames via ``sys._current_frames()`` and needs to know which span
+    each of those threads is currently inside.  This registry is that
+    bridge: tracers push/pop span names here keyed by thread id, and the
+    profiler reads :meth:`snapshot` without touching any thread-local
+    state.
+
+    All tracers in a process share one registry (see
+    :func:`span_contexts`): span attribution is per *thread*, so spans
+    from a pool's tracer and the engine's tracer interleave naturally on
+    the same stack.  Entries vanish when a thread's last span exits;
+    threads that die mid-span are pruned by the profiler against
+    ``sys._current_frames()``.
+    """
+
+    __slots__ = ("_lock", "_stacks")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._stacks: dict[int, list[str]] = {}
+
+    def push(self, thread_id: int, name: str) -> None:
+        """Record that ``thread_id`` entered span ``name``."""
+        with self._lock:
+            self._stacks.setdefault(thread_id, []).append(name)
+
+    def pop(self, thread_id: int) -> None:
+        """Record that ``thread_id`` exited its innermost span."""
+        with self._lock:
+            stack = self._stacks.get(thread_id)
+            if stack:
+                stack.pop()
+            if not stack:
+                self._stacks.pop(thread_id, None)
+
+    def active(self, thread_id: int) -> str | None:
+        """The innermost span name on ``thread_id`` (``None`` if idle)."""
+        with self._lock:
+            stack = self._stacks.get(thread_id)
+            return stack[-1] if stack else None
+
+    def snapshot(self) -> dict[int, tuple[str, ...]]:
+        """Every thread's span stack, outermost first (copied, safe)."""
+        with self._lock:
+            return {tid: tuple(stack) for tid, stack in self._stacks.items()
+                    if stack}
+
+    def prune(self, live_thread_ids) -> None:
+        """Drop stacks of threads not in ``live_thread_ids`` (dead threads)."""
+        live = set(live_thread_ids)
+        with self._lock:
+            for tid in [t for t in self._stacks if t not in live]:
+                del self._stacks[tid]
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return f"SpanContextRegistry(threads={len(self._stacks)})"
+
+
+_SPAN_CONTEXTS = SpanContextRegistry()
+
+
+def span_contexts() -> SpanContextRegistry:
+    """The process-wide span-context registry every tracer reports into."""
+    return _SPAN_CONTEXTS
 
 
 class Tracer:
@@ -145,6 +218,8 @@ class Tracer:
         if parent_id is None and context is not None and context[1] is not None:
             attrs = dict(attrs, remote_parent=context[1])
         stack.append(span_id)
+        thread_id = threading.get_ident()
+        _SPAN_CONTEXTS.push(thread_id, name)
         wall_start = time.time()
         start = time.perf_counter()
         try:
@@ -152,6 +227,7 @@ class Tracer:
         finally:
             duration = time.perf_counter() - start
             stack.pop()
+            _SPAN_CONTEXTS.pop(thread_id)
             registry = self._registry
             if registry is not None:
                 registry.histogram(

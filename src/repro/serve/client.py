@@ -712,6 +712,40 @@ class Client:
         """Answer one query (convenience wrapper over :meth:`query`)."""
         return self.query([(table, a, b, strategy)])[0]
 
+    def explain(
+        self,
+        queries,
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> dict:
+        """Answer a batch *and* return its full cost provenance.
+
+        Same query forms and ordering as :meth:`query`; the response is
+        ``{"results": [QueryResult, ...], "explain": {...}}`` where the
+        explain section carries the planner's executed decomposition
+        (strategy, dyadic size key, guarantee band), every map
+        resolution with its outcome (hit / built / waited), stage
+        timings, and — when the server retains them — the request's
+        spans.  Explain rides the JSON frame kind on both protocols
+        (provenance is structurally JSON), so queries always ship in
+        their wire-dict form.
+        """
+        parsed = [RectQuery.parse(query).to_wire() for query in queries]
+        request: dict = {"op": "explain", "queries": parsed}
+        if timeout is not None:
+            request["timeout"] = float(timeout)
+        result = self._roundtrip(request, deadline=deadline)
+        try:
+            results = [QueryResult.parse(item) for item in result["results"]]
+            section = result["explain"]
+        except (KeyError, TypeError) as exc:
+            raise ProtocolError(
+                f"malformed explain response: {result!r}"
+            ) from exc
+        if not isinstance(section, dict):
+            raise ProtocolError(f"malformed explain section: {section!r}")
+        return {"results": results, "explain": section}
+
     def update(
         self,
         table: str,

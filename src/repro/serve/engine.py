@@ -469,13 +469,72 @@ class SketchEngine:
             self.stats.record_request("query", error=True)
             raise
         self.stats.record_request(
-            "query", batch_size=len(parsed), seconds=time.perf_counter() - start
+            "query", batch_size=len(parsed), seconds=time.perf_counter() - start,
+            trace_id=self.tracer.current_trace_id(),
         )
         return results
 
     def distance(self, table: str, a, b, strategy: str = "auto") -> QueryResult:
         """Answer one query (convenience wrapper over :meth:`query`)."""
         return self.query([(table, a, b, strategy)])[0]
+
+    def explain(self, queries, timeout: float | None = None) -> dict:
+        """Answer a batch *and* return its full cost provenance.
+
+        Executes the batch exactly like :meth:`query` — same parsing,
+        same readers-writer lock, same planner — but with a
+        :class:`~repro.obs.explain.CostLedger` installed, so the
+        response additionally carries the executed decomposition
+        (strategy, dyadic size key, member indices per group, each with
+        the deployed ``k``, map dtype, and
+        :func:`~repro.obs.explain.guarantee_band`), every map
+        resolution's cache outcome (hit / built / waited), and stage
+        timings.  Because the provenance is recorded from *inside* the
+        execution, it cannot drift from the plan that actually ran.
+
+        Explain is a real query: cache state mutates exactly as a
+        ``query`` call would (a repeated explain of the same batch
+        flips its map events from ``built`` to ``hit``).
+
+        Returns
+        -------
+        dict
+            ``{"results": [QueryResult, ...], "explain": {...}}`` with
+            the provenance dict JSON-safe.  When called inside an
+            active trace context the provenance also carries
+            ``trace_id`` and the retained span timings for the trace.
+        """
+        from repro.obs.explain import CostLedger, ledger_scope
+
+        if timeout is not None and timeout <= 0:
+            raise ParameterError(f"timeout must be positive, got {timeout}")
+        start = time.perf_counter()
+        ledger = CostLedger()
+        try:
+            with self.tracer.span("engine.explain"):
+                with ledger.stage("parse"):
+                    parsed = [RectQuery.parse(query) for query in queries]
+                if not parsed:
+                    raise ParameterError("query batch is empty")
+                deadline = None if timeout is None else time.monotonic() + timeout
+                with self._rw.read_locked():
+                    with ledger_scope(ledger):
+                        with ledger.stage("execute"):
+                            results = self.planner.execute(parsed, deadline)
+        except Exception:
+            self.stats.record_request("explain", error=True)
+            raise
+        self.stats.record_request(
+            "explain", batch_size=len(parsed),
+            seconds=time.perf_counter() - start,
+            trace_id=self.tracer.current_trace_id(),
+        )
+        provenance = ledger.as_dict()
+        trace_id = self.tracer.current_trace_id()
+        if trace_id is not None:
+            provenance["trace_id"] = trace_id
+            provenance["spans"] = self.tracer.spans_for_trace(trace_id)
+        return {"results": results, "explain": provenance}
 
     # ------------------------------------------------------------------
     # Updates
@@ -522,7 +581,10 @@ class SketchEngine:
             self.stats.record_request("update", error=True)
             raise
         elapsed = time.perf_counter() - start
-        self.stats.record_request("update", batch_size=len(batch), seconds=elapsed)
+        self.stats.record_request(
+            "update", batch_size=len(batch), seconds=elapsed,
+            trace_id=self.tracer.current_trace_id(),
+        )
         if result["duplicate"]:
             self._ingest_duplicates.inc()
         else:

@@ -39,6 +39,7 @@ import numpy as np
 from repro.core.estimators import estimate_distance_batch
 from repro.core.pool import SketchPool, _floor_log2
 from repro.errors import ParameterError, QueryTimeoutError
+from repro.obs.explain import active_ledger, guarantee_band
 from repro.obs.metrics import Histogram
 from repro.obs.trace import Tracer, default_tracer
 from repro.serve.stats import PlannerStats
@@ -363,20 +364,53 @@ class QueryPlanner:
             a timed-out batch raises :class:`QueryTimeoutError` early
             instead of running to completion.
         """
+        ledger = active_ledger()
         with self.tracer.span("planner.execute", queries=len(queries)):
-            groups = self.plan(queries)
+            if ledger is not None:
+                with ledger.stage("planner.plan"):
+                    groups = self.plan(queries)
+                ledger.record_plan([self._describe_group(g) for g in groups])
+            else:
+                groups = self.plan(queries)
             results: list[QueryResult | None] = [None] * len(queries)
-            for group in groups:
+            for number, group in enumerate(groups):
                 if deadline is not None and time.monotonic() > deadline:
                     raise QueryTimeoutError(
                         f"query batch exceeded its deadline with "
                         f"{sum(r is None for r in results)} of {len(queries)} "
                         f"queries unanswered"
                     )
-                distances = self._run_group(group, queries)
+                if ledger is not None:
+                    stage = ledger.stage(
+                        f"planner.group[{number}]:{group.table}:{group.strategy}"
+                    )
+                    with stage:
+                        distances = self._run_group(group, queries)
+                else:
+                    distances = self._run_group(group, queries)
                 for index, distance in zip(group.indices, distances):
                     results[index] = QueryResult(float(distance), group.strategy)
             return results  # type: ignore[return-value]
+
+    def _describe_group(self, group: QueryGroup) -> dict:
+        """The JSON-safe provenance entry for one executed group.
+
+        Everything here is derived from the same :class:`QueryGroup`
+        the executor runs — the explain property tests pin this
+        bit-identical to an independently computed :meth:`plan`.
+        """
+        pool = self._pool(group.table)
+        k = pool.generator.k
+        return {
+            "table": group.table,
+            "strategy": group.strategy,
+            "size_key": list(group.size_key),
+            "indices": list(group.indices),
+            "queries": len(group.indices),
+            "k": k,
+            "map_dtype": str(np.dtype(pool.map_dtype)),
+            **guarantee_band(group.strategy, k),
+        }
 
     def _run_group(self, group: QueryGroup, queries: Sequence[RectQuery]) -> np.ndarray:
         pool = self._pool(group.table)

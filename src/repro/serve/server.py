@@ -12,9 +12,15 @@ Request::
     {"op": "tables"}
     {"op": "stats"}
     {"op": "query", "queries": [<query>, ...], "timeout": <seconds?>}
+    {"op": "explain", "queries": [<query>, ...], "timeout": <seconds?>}
     {"op": "update", "table": ..., "batch_id": "...",
      "deltas": [[row, col, delta], ...]}
     {"op": "trace", "trace_id": <id>}
+
+The ``explain`` op answers its batch exactly like ``query`` and
+additionally returns the executed plan's cost provenance (see
+:meth:`~repro.serve.engine.SketchEngine.explain` and
+``docs/OBSERVABILITY.md``).
 
 where ``<query>`` is ``{"table": ..., "a": [row, col, height, width],
 "b": [...], "strategy": "auto"}`` (see
@@ -117,7 +123,8 @@ __all__ = ["SketchServer", "AdmissionController"]
 # frame layer enforces the same cap on declared payload lengths.
 MAX_LINE_BYTES = wire.MAX_FRAME_BYTES
 
-_OPS = ("ping", "health", "tables", "stats", "telemetry", "query", "update", "trace")
+_OPS = ("ping", "health", "tables", "stats", "telemetry", "query", "explain",
+        "update", "trace")
 
 
 def _extract_trace(request) -> tuple[str | None, object]:
@@ -183,6 +190,22 @@ def _handle_request(engine: SketchEngine, request: dict) -> tuple[str, dict]:
             batch = DeltaBatch.from_wire(request)
             dispatched = True  # engine.update accounts itself
             return label, engine.update(batch)
+        elif op == "explain":
+            unknown = set(request) - {"op", "queries", "timeout", "trace"}
+            if unknown:
+                raise ProtocolError(
+                    f"explain request has unknown keys {sorted(unknown)}"
+                )
+            queries = request.get("queries")
+            if not isinstance(queries, list) or not queries:
+                raise ProtocolError(
+                    "explain request needs a non-empty 'queries' list"
+                )
+            timeout = request.get("timeout")
+            dispatched = True  # engine.explain accounts itself
+            return label, engine.explain(
+                queries, timeout=None if timeout is None else float(timeout)
+            )
         else:
             unknown = set(request) - {"op", "queries", "timeout", "trace"}
             if unknown:
@@ -564,10 +587,12 @@ class AdmissionController:
         health checks stay honest while the engine is saturated.
         """
         op = request.get("op") if isinstance(request, dict) else None
-        is_query = op == "query"
+        # Explain executes its batch for real, so it shares the query
+        # caps (batch size and in-flight) exactly.
+        is_query = op in ("query", "explain")
         # Updates do real engine work (delta application, map patching),
         # so they share the query in-flight cap; introspection stays free.
-        is_heavy = op in ("query", "update")
+        is_heavy = op in ("query", "explain", "update")
         with self._cond:
             if self._draining.is_set():
                 self._sheds.inc()

@@ -175,8 +175,14 @@ class EngineStats:
         batch_size: int | None = None,
         seconds: float | None = None,
         error: bool = False,
+        trace_id: str | None = None,
     ) -> None:
-        """Account one completed (or failed) request."""
+        """Account one completed (or failed) request.
+
+        ``trace_id`` (when the request ran inside a trace) is sampled
+        onto the latency histograms as an OpenMetrics exemplar, linking
+        each latency bucket to one concrete traced request.
+        """
         with self._lock:
             if error:
                 self._errors[op] = self._errors.get(op, 0) + 1
@@ -188,9 +194,9 @@ class EngineStats:
                 self._queries.inc(batch_size)
                 self.batch_sizes.record(batch_size)
             if seconds is not None:
-                self.latency_seconds.record(seconds)
+                self.latency_seconds.record(seconds, trace_id=trace_id)
                 if op != "all":
-                    self._latency(op).record(seconds)
+                    self._latency(op).record(seconds, trace_id=trace_id)
 
     @property
     def requests(self) -> dict[str, int]:

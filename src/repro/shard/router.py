@@ -350,7 +350,8 @@ class ShardRouter:
             self.stats.record_request("query", error=True)
             raise
         self.stats.record_request(
-            "query", batch_size=len(parsed), seconds=time.perf_counter() - start
+            "query", batch_size=len(parsed), seconds=time.perf_counter() - start,
+            trace_id=trace_id,
         )
         return results
 
@@ -421,6 +422,114 @@ class ShardRouter:
     def distance(self, table: str, a, b, strategy: str = "auto") -> QueryResult:
         """Answer one query (convenience wrapper over :meth:`query`)."""
         return self.query([(table, a, b, strategy)])[0]
+
+    def explain(self, queries, timeout: float | None = None) -> dict:
+        """Answer a batch with cost provenance from each owning shard.
+
+        Results come back merged in submission order exactly like
+        :meth:`query`, but the explain sections are **never merged**:
+        each shard's decomposition, map outcomes, and stage timings
+        describe that shard's pool state, so the payload nests them as
+        ``{"shards": {name: section}}`` with each section annotated
+        with its ``shard`` name and the ``batch_indices`` (submission
+        positions) it answered.  Duck-compatible with
+        :meth:`~repro.serve.engine.SketchEngine.explain`, which is what
+        lets ``shard-serve`` expose fleet-wide explain over the
+        unchanged wire op.
+        """
+        if timeout is not None and timeout <= 0:
+            raise ParameterError(f"timeout must be positive, got {timeout}")
+        start = time.perf_counter()
+        try:
+            parsed = [RectQuery.parse(query) for query in queries]
+            if not parsed:
+                raise ParameterError("query batch is empty")
+            by_shard: dict[str, list[int]] = {}
+            for index, query in enumerate(parsed):
+                by_shard.setdefault(self.owner_of(query.table), []).append(index)
+            trace_id = self.tracer.current_trace_id()
+            if trace_id is None:
+                trace_id = f"{self._rng.getrandbits(64):016x}"
+            with self.tracer.trace(trace_id):
+                results, sections = self._scatter_explain(
+                    parsed, by_shard, timeout, trace_id
+                )
+        except Exception:
+            self.stats.record_request("explain", error=True)
+            raise
+        self.stats.record_request(
+            "explain", batch_size=len(parsed),
+            seconds=time.perf_counter() - start, trace_id=trace_id,
+        )
+        return {
+            "results": results,
+            "explain": {"trace_id": trace_id, "shards": sections},
+        }
+
+    def _scatter_explain(
+        self,
+        parsed: list[RectQuery],
+        by_shard: dict[str, list[int]],
+        timeout: float | None,
+        trace_id: str,
+    ) -> tuple[list[QueryResult], dict[str, dict]]:
+        results: list[QueryResult | None] = [None] * len(parsed)
+        sections: dict[str, dict] = {}
+        section_lock = threading.Lock()
+        with self.tracer.span(
+            "router.scatter", shards=len(by_shard), queries=len(parsed)
+        ) as scatter_id:
+
+            def one_shard(name: str, indexes: list[int]) -> None:
+                with self.tracer.span(
+                    "router.shard", shard=name, queries=len(indexes)
+                ):
+                    sub = [parsed[i] for i in indexes]
+                    answer = self._shard_call(
+                        name, lambda client: client.explain(sub, timeout=timeout)
+                    )
+                    for i, item in zip(indexes, answer["results"]):
+                        results[i] = item
+                    section = dict(answer["explain"])
+                    section["shard"] = name
+                    section["batch_indices"] = list(indexes)
+                    with section_lock:
+                        sections[name] = section
+
+            if len(by_shard) == 1:
+                name, indexes = next(iter(by_shard.items()))
+                one_shard(name, indexes)
+            else:
+                failures: list[tuple[int, BaseException]] = []
+                failure_lock = threading.Lock()
+
+                def run(order: int, name: str, indexes: list[int]) -> None:
+                    try:
+                        with self.tracer.trace(
+                            trace_id, remote_parent=scatter_id
+                        ):
+                            one_shard(name, indexes)
+                    except BaseException as exc:  # noqa: BLE001 - re-raised
+                        with failure_lock:
+                            failures.append((order, exc))
+
+                threads = [
+                    threading.Thread(
+                        target=run,
+                        args=(order, name, indexes),
+                        name=f"router-{name}",
+                        daemon=True,
+                    )
+                    for order, (name, indexes) in enumerate(by_shard.items())
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                if failures:
+                    failures.sort(key=lambda pair: pair[0])
+                    raise failures[0][1]
+        return results, sections  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     # Updates

@@ -81,6 +81,18 @@ class WorkerConfig:
         default halves map bytes; see
         :class:`~repro.serve.engine.SketchEngine`).  Memory-mapped
         archives keep the dtype they were saved with.
+    profile_hz:
+        Sampling cadence for a continuous
+        :class:`~repro.obs.profile.SamplingProfiler` over the worker
+        process (``None``, the default, leaves profiling off).  The
+        profiler bills its own cost to the worker's
+        ``profile_sample_seconds`` counter and attributes samples to
+        the active trace span per thread.
+    profile_dump:
+        Path prefix the worker writes ``<prefix>-<name>.collapsed`` /
+        ``.json`` flamegraph exports to on drain (``None`` skips the
+        dump; the profile is still visible live through the metrics
+        registry).
     """
 
     name: str
@@ -102,6 +114,8 @@ class WorkerConfig:
     log_level: str = "warning"
     telemetry_interval: float | None = None
     map_dtype: str = "float32"
+    profile_hz: float | None = None
+    profile_dump: str | None = None
 
 
 def _worker_main(config: WorkerConfig, ready) -> None:
@@ -141,6 +155,13 @@ def _worker_main(config: WorkerConfig, ready) -> None:
             max_batch_queries=config.max_batch_queries,
             drain_timeout=config.drain_timeout,
         )
+        profiler = None
+        if config.profile_hz is not None:
+            from repro.obs.profile import SamplingProfiler
+
+            profiler = SamplingProfiler(
+                hz=config.profile_hz, registry=engine.registry
+            )
     except BaseException:
         ready.put(("error", config.name, traceback.format_exc()))
         return
@@ -150,6 +171,8 @@ def _worker_main(config: WorkerConfig, ready) -> None:
     # Accept loop in a daemon thread; the main thread just waits for a
     # shutdown signal and then drains (socketserver's shutdown() must
     # not be called from the thread running serve_forever).
+    if profiler is not None:
+        profiler.start()
     server.start()
     host, port = server.address
     ready.put(("ok", config.name, host, port))
@@ -157,6 +180,13 @@ def _worker_main(config: WorkerConfig, ready) -> None:
         stop.wait()
     finally:
         server.stop()
+        if profiler is not None:
+            profiler.stop()
+            if config.profile_dump:
+                try:
+                    profiler.dump(f"{config.profile_dump}-{config.name}")
+                except OSError:
+                    pass
 
 
 class ShardCluster:

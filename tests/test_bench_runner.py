@@ -184,10 +184,17 @@ class TestRunBenchmarks:
                                        "qps_speedup": 1.2,
                                        "shards_healthy": 2})
 
+        def fake_ingest(quick=False):
+            # p50-gated like the real suite; empty modes exercise the
+            # reporting defaults.
+            return fake_result("ingest", p50=0.07, p99=0.08,
+                               gate_metric="p50", extras={"modes": {}})
+
         monkeypatch.setitem(runner._SUITE_RUNNERS, "serving", fake_serving)
         monkeypatch.setitem(runner._SUITE_RUNNERS, "pipeline", fake_pipeline)
         monkeypatch.setitem(runner._SUITE_RUNNERS, "serving-sharded",
                             fake_sharded)
+        monkeypatch.setitem(runner._SUITE_RUNNERS, "ingest", fake_ingest)
 
     def test_unknown_suite_rejected(self, tmp_path):
         with pytest.raises(ParameterError, match="unknown bench suite"):

@@ -1,0 +1,333 @@
+"""Per-query cost provenance: CostLedger, engine.explain, wire + router.
+
+The load-bearing property: the decomposition an ``explain`` response
+reports must be **bit-identical** to the plan the executor actually ran
+— same groups, same strategies, same dyadic size keys, same member
+indices — no matter which seam the request entered through (in-process
+engine, JSON wire, binary wire, or the shard router's scatter).  The
+hypothesis test at the bottom pins exactly that against an
+independently computed :meth:`QueryPlanner.plan`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.obs.explain import (
+    CostLedger,
+    active_ledger,
+    guarantee_band,
+    ledger_scope,
+    render_explain,
+)
+from repro.obs.quality import theoretical_epsilon
+from repro.serve import Client, SketchEngine, SketchServer
+from repro.shard.router import ShardRouter, ShardSpec
+
+# Queries covering grid / compound / disjoint / auto over two tables.
+EXPLAIN_QUERIES = [
+    ("t", (0, 0, 8, 8), (8, 64, 8, 8), "grid"),
+    ("t", (0, 0, 12, 20), (16, 40, 12, 20), "compound"),
+    ("t", (8, 0, 16, 16), (32, 64, 16, 16), "disjoint"),
+    ("t", (0, 16, 8, 16), (40, 48, 8, 16)),
+    ("u", (0, 0, 8, 8), (16, 16, 8, 8), "grid"),
+    ("u", (4, 4, 8, 8), (24, 24, 8, 8), "disjoint"),
+    ("u", (0, 0, 16, 16), (32, 32, 16, 16)),
+]
+
+
+def _make_engine() -> SketchEngine:
+    engine = SketchEngine(p=1.0, k=16, seed=2)
+    engine.register_array("t", np.random.default_rng(8).normal(size=(64, 96)))
+    engine.register_array("u", np.random.default_rng(9).normal(size=(64, 64)))
+    return engine
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return _make_engine()
+
+
+@pytest.fixture(scope="module")
+def server(engine):
+    with SketchServer(engine, port=0) as srv:
+        srv.start()
+        yield srv
+
+
+class TestCostLedger:
+    def test_scope_installs_and_restores(self):
+        assert active_ledger() is None
+        outer, inner = CostLedger(), CostLedger()
+        with ledger_scope(outer):
+            assert active_ledger() is outer
+            with ledger_scope(inner):
+                assert active_ledger() is inner
+            assert active_ledger() is outer
+        assert active_ledger() is None
+
+    def test_scope_restores_on_raise(self):
+        with pytest.raises(RuntimeError):
+            with ledger_scope(CostLedger()):
+                raise RuntimeError("boom")
+        assert active_ledger() is None
+
+    def test_scope_is_thread_local(self):
+        seen = []
+        with ledger_scope(CostLedger()):
+            thread = threading.Thread(
+                target=lambda: seen.append(active_ledger())
+            )
+            thread.start()
+            thread.join(5.0)
+        assert seen == [None]
+
+    def test_stage_timings_use_injected_clock(self):
+        ticks = iter([1.0, 3.5])
+        ledger = CostLedger(clock=lambda: next(ticks))
+        with ledger.stage("work"):
+            pass
+        assert ledger.as_dict()["stages"] == [
+            {"name": "work", "seconds": 2.5}
+        ]
+
+    def test_map_outcomes_are_counted(self):
+        ledger = CostLedger()
+        for outcome in ("built", "hit", "hit", "waited"):
+            ledger.record_map(
+                table="t", row_exp=3, col_exp=3, stream=0,
+                outcome=outcome, seconds=0.0, dtype="float32", nbytes=1,
+            )
+        assert ledger.as_dict()["map_outcomes"] == {
+            "built": 1, "hit": 2, "waited": 1
+        }
+
+
+class TestGuaranteeBand:
+    def test_exact_strategies_get_theorem_2_band(self):
+        for strategy in ("grid", "disjoint"):
+            band = guarantee_band(strategy, 64)
+            eps = theoretical_epsilon(64, 0.05)
+            assert band["epsilon"] == pytest.approx(eps)
+            assert band["band"] == pytest.approx([1 - eps, 1 + eps])
+            assert band["exact_sketch"] is True
+
+    def test_compound_band_carries_theorem_5_factor(self):
+        band = guarantee_band("compound", 64)
+        eps = theoretical_epsilon(64, 0.05)
+        assert band["band"] == pytest.approx([1 - eps, 4 * (1 + eps)])
+        assert band["exact_sketch"] is False
+
+
+class TestEngineExplain:
+    def test_results_match_query_bit_identically(self, engine):
+        explained = engine.explain(EXPLAIN_QUERIES)
+        queried = engine.query(EXPLAIN_QUERIES)
+        assert [r.distance for r in explained["results"]] == [
+            r.distance for r in queried
+        ]
+        assert [r.strategy for r in explained["results"]] == [
+            r.strategy for r in queried
+        ]
+
+    def test_repeat_explain_flips_built_to_hit(self):
+        engine = _make_engine()
+        first = engine.explain(EXPLAIN_QUERIES)["explain"]
+        assert first["map_outcomes"].get("built", 0) > 0
+        second = engine.explain(EXPLAIN_QUERIES)["explain"]
+        assert second["map_outcomes"] == {
+            "hit": sum(first["map_outcomes"].values())
+        }
+
+    def test_groups_cover_every_query_exactly_once(self, engine):
+        section = engine.explain(EXPLAIN_QUERIES)["explain"]
+        indices = sorted(
+            index for group in section["groups"] for index in group["indices"]
+        )
+        assert indices == list(range(len(EXPLAIN_QUERIES)))
+
+    def test_stage_timings_include_parse_plan_and_groups(self, engine):
+        section = engine.explain(EXPLAIN_QUERIES)["explain"]
+        names = [stage["name"] for stage in section["stages"]]
+        assert "parse" in names and "planner.plan" in names
+        assert "execute" in names
+        group_stages = [n for n in names if n.startswith("planner.group[")]
+        assert len(group_stages) == len(section["groups"])
+
+    def test_explain_inside_a_trace_carries_spans(self, engine):
+        with engine.tracer.trace("explain-trace"):
+            section = engine.explain(EXPLAIN_QUERIES[:1])["explain"]
+        assert section["trace_id"] == "explain-trace"
+        span_names = {span["name"] for span in section["spans"]}
+        assert "engine.explain" in span_names
+
+    def test_empty_batch_raises_and_is_accounted(self, engine):
+        before = engine.stats.errors.get("explain", 0)
+        with pytest.raises(ParameterError):
+            engine.explain([])
+        assert engine.stats.errors.get("explain", 0) == before + 1
+
+    def test_explain_accounts_as_its_own_op(self):
+        engine = _make_engine()
+        engine.explain(EXPLAIN_QUERIES[:1])
+        assert engine.stats.requests.get("explain") == 1
+
+
+class TestWireExplain:
+    @pytest.mark.parametrize("protocol", ["json", "binary"])
+    def test_remote_explain_matches_in_process(self, server, protocol):
+        local = _make_engine()
+        expected = local.explain(EXPLAIN_QUERIES)
+        with Client(*server.address, protocol=protocol) as client:
+            remote = client.explain(EXPLAIN_QUERIES)
+        assert [r.distance for r in remote["results"]] == [
+            r.distance for r in expected["results"]
+        ]
+        strip = ("maps", "map_outcomes", "stages", "trace_id", "spans")
+        remote_groups = remote["explain"]["groups"]
+        expected_groups = expected["explain"]["groups"]
+        assert remote_groups == expected_groups
+        for key in strip:
+            assert key in remote["explain"] or key in ("trace_id", "spans")
+
+    def test_remote_explain_carries_the_client_trace(self, server):
+        with Client(*server.address) as client:
+            payload = client.explain(EXPLAIN_QUERIES[:1])
+            assert payload["explain"]["trace_id"] == client.last_trace_id
+
+    def test_render_explain_handles_both_shapes(self, server):
+        with Client(*server.address) as client:
+            payload = client.explain(EXPLAIN_QUERIES[:2])
+        text = render_explain(payload)
+        assert "query[0]" in text and "group " in text and "stage " in text
+        sharded = {
+            "results": payload["results"],
+            "explain": {"shards": {
+                "s0": dict(payload["explain"], batch_indices=[0, 1]),
+            }},
+        }
+        text = render_explain(sharded)
+        assert "shard s0:" in text and "batch_indices=[0, 1]" in text
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    """Two single-process servers behind a router, tables pinned."""
+    servers = []
+    specs = []
+    for index in range(2):
+        engine = _make_engine()
+        srv = SketchServer(engine, port=0)
+        srv.start()
+        servers.append(srv)
+        specs.append(ShardSpec(f"s{index}", *srv.address))
+    router = ShardRouter(specs, overrides={"t": "s0", "u": "s1"})
+    try:
+        yield router
+    finally:
+        router.close()
+        for srv in servers:
+            srv.stop()
+
+
+class TestRouterExplain:
+    def test_sections_stay_per_shard_with_batch_indices(self, fleet):
+        payload = fleet.explain(EXPLAIN_QUERIES)
+        shards = payload["explain"]["shards"]
+        assert set(shards) == {"s0", "s1"}
+        t_indices = [i for i, q in enumerate(EXPLAIN_QUERIES) if q[0] == "t"]
+        u_indices = [i for i, q in enumerate(EXPLAIN_QUERIES) if q[0] == "u"]
+        assert shards["s0"]["batch_indices"] == t_indices
+        assert shards["s1"]["batch_indices"] == u_indices
+        assert shards["s0"]["shard"] == "s0"
+        # Every group inside a shard section names only that shard's table.
+        assert all(g["table"] == "t" for g in shards["s0"]["groups"])
+        assert all(g["table"] == "u" for g in shards["s1"]["groups"])
+
+    def test_results_merge_in_submission_order(self, fleet):
+        payload = fleet.explain(EXPLAIN_QUERIES)
+        local = _make_engine()
+        expected = local.query(EXPLAIN_QUERIES)
+        assert [r.distance for r in payload["results"]] == [
+            r.distance for r in expected
+        ]
+
+    def test_single_shard_batch_skips_fanout_threads(self, fleet):
+        only_t = [q for q in EXPLAIN_QUERIES if q[0] == "t"]
+        payload = fleet.explain(only_t)
+        assert set(payload["explain"]["shards"]) == {"s0"}
+
+    def test_explain_accounts_on_the_router(self, fleet):
+        before = fleet.stats.requests.get("explain", 0)
+        fleet.explain(EXPLAIN_QUERIES[:1])
+        assert fleet.stats.requests.get("explain", 0) == before + 1
+
+
+# ---------------------------------------------------------------------------
+# The property: explained decomposition == executed plan, on every seam
+# ---------------------------------------------------------------------------
+
+batches = st.lists(
+    st.sampled_from(EXPLAIN_QUERIES), min_size=1, max_size=6
+)
+
+
+def _plan_key(groups):
+    """Canonical, order-independent form of a decomposition."""
+    return sorted(
+        (g["table"], g["strategy"], tuple(g["size_key"]), tuple(g["indices"]))
+        for g in groups
+    )
+
+
+def _expected_plan(engine, batch):
+    from repro.serve.planner import RectQuery
+
+    parsed = [RectQuery.parse(query) for query in batch]
+    return sorted(
+        (g.table, g.strategy, tuple(g.size_key), tuple(g.indices))
+        for g in engine.planner.plan(parsed)
+    )
+
+
+class TestExplainPlanProperty:
+    @given(batch=batches)
+    @settings(max_examples=25, deadline=None)
+    def test_engine_explain_reports_the_executed_plan(self, engine, batch):
+        section = engine.explain(batch)["explain"]
+        assert _plan_key(section["groups"]) == _expected_plan(engine, batch)
+
+    @given(batch=batches, protocol=st.sampled_from(["json", "binary"]))
+    @settings(max_examples=15, deadline=None)
+    def test_wire_explain_reports_the_executed_plan(
+        self, engine, server, batch, protocol
+    ):
+        with Client(*server.address, protocol=protocol) as client:
+            section = client.explain(batch)["explain"]
+        assert _plan_key(section["groups"]) == _expected_plan(engine, batch)
+
+    @given(batch=batches)
+    @settings(max_examples=10, deadline=None)
+    def test_router_explain_reports_per_shard_executed_plans(
+        self, engine, fleet, batch
+    ):
+        payload = fleet.explain(batch)
+        merged = []
+        for name, section in payload["explain"]["shards"].items():
+            owner = {"t": "s0", "u": "s1"}
+            indices = section["batch_indices"]
+            for group in section["groups"]:
+                assert owner[group["table"]] == name
+                # Shard-local indices map back through batch_indices.
+                merged.append((
+                    group["table"], group["strategy"],
+                    tuple(group["size_key"]),
+                    tuple(indices[i] for i in group["indices"]),
+                ))
+        assert sorted(merged) == _expected_plan(engine, batch)

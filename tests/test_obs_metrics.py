@@ -249,3 +249,52 @@ class TestCounterLedger:
         led.bind(shared, table="t")
         led.bind(shared, table="t")
         assert led.widgets == 5
+
+
+class TestHistogramExemplars:
+    """Trace-id exemplars: sampled pointers from buckets to traces."""
+
+    def test_record_without_trace_id_keeps_no_exemplar(self):
+        h = Histogram([0.1, 1.0])
+        h.record(0.05)
+        assert h.exemplars == {}
+        assert "exemplars" not in h.snapshot()
+
+    def test_last_traced_observation_per_bucket_wins(self):
+        h = Histogram([0.1, 1.0])
+        h.record(0.05, trace_id="first")
+        h.record(0.06, trace_id="second")
+        h.record(0.5, trace_id="mid")
+        h.record(5.0, trace_id="overflow")
+        snap = h.snapshot()["exemplars"]
+        assert snap["0"] == {"trace_id": "second", "value": 0.06}
+        assert snap["1"] == {"trace_id": "mid", "value": 0.5}
+        assert snap["2"] == {"trace_id": "overflow", "value": 5.0}
+
+    def test_reset_clears_exemplars(self):
+        h = Histogram([0.1])
+        h.record(0.05, trace_id="x")
+        h.reset()
+        assert h.exemplars == {}
+
+    def test_observe_alias_accepts_trace_id(self):
+        h = Histogram([0.1])
+        h.observe(0.05, trace_id="x")
+        assert h.exemplars["0"]["trace_id"] == "x"
+
+    def test_exemplars_survive_a_json_round_trip(self):
+        import json
+
+        h = Histogram([0.1, 1.0])
+        h.record(0.05, trace_id="abc")
+        restored = json.loads(json.dumps(h.snapshot()))
+        assert restored["exemplars"]["0"]["trace_id"] == "abc"
+
+    def test_merge_ignores_exemplars(self):
+        from repro.obs.metrics import merge_histogram_snapshots
+
+        h = Histogram([0.1, 1.0])
+        h.record(0.05, trace_id="abc")
+        merged = merge_histogram_snapshots([h.snapshot(), h.snapshot()])
+        assert merged["count"] == 2
+        assert "exemplars" not in merged

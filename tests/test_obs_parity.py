@@ -1,0 +1,120 @@
+"""Observability parity: the async server must account like the threaded one.
+
+The asyncio server reuses the threaded server's dispatch
+(``_handle_request``), admission controller, and logging helper — so an
+identical workload against either implementation must leave identical
+*observability state* behind: the same per-op request/error counts, the
+same metric families with the same series, the same span names on a
+trace, and the same ``trace_id`` in the slow-query log on both the JSON
+and binary paths.  This differential test pins that; any future op or
+metric added to one server but not the other fails here first.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.export import StructuredLogger
+from repro.serve import AsyncSketchServer, Client, SketchEngine, SketchServer
+
+WORKLOAD_QUERIES = [
+    ("t", (0, 0, 8, 8), (8, 64, 8, 8), "grid"),
+    ("t", (0, 0, 12, 20), (16, 40, 12, 20), "compound"),
+    ("t", (8, 0, 16, 16), (32, 64, 16, 16), "disjoint"),
+    ("t", (0, 16, 8, 16), (40, 48, 8, 16)),
+]
+
+
+def _make_engine() -> SketchEngine:
+    engine = SketchEngine(p=1.0, k=16, seed=2)
+    engine.register_array("t", np.random.default_rng(8).normal(size=(64, 96)))
+    return engine
+
+
+def _run_workload(server_type, protocol: str):
+    """One identical workload; returns the engine's observability state."""
+    engine = _make_engine()
+    with server_type(engine, port=0) as server:
+        server.start()
+        with Client(*server.address, protocol=protocol) as client:
+            client.ping()
+            client.query(WORKLOAD_QUERIES)
+            client.explain(WORKLOAD_QUERIES)
+            with pytest.raises(ParameterError):
+                client.query([("t", (0, 0, 3, 3), (8, 8, 3, 3))])
+            client.query(WORKLOAD_QUERIES[:1])
+            trace_id = client.last_trace_id
+            spans = client.trace(trace_id)
+    return engine, spans
+
+
+def _series(engine, family: str):
+    """Sorted (labels, count-ish) series of one metric family."""
+    out = []
+    for name, kind, _, children in engine.registry.collect():
+        if name != family:
+            continue
+        for labels, child in children:
+            value = child.count if kind == "histogram" else child.value
+            out.append((tuple(sorted(labels.items())), value))
+    return sorted(out)
+
+
+class TestAsyncThreadedParity:
+    @pytest.mark.parametrize("protocol", ["json", "binary"])
+    def test_per_op_accounting_is_identical(self, protocol):
+        threaded, _ = _run_workload(SketchServer, protocol)
+        asynced, _ = _run_workload(AsyncSketchServer, protocol)
+        assert threaded.stats.requests == asynced.stats.requests
+        assert threaded.stats.errors == asynced.stats.errors
+        assert threaded.stats.queries == asynced.stats.queries
+
+    @pytest.mark.parametrize("protocol", ["json", "binary"])
+    def test_metric_families_and_series_are_identical(self, protocol):
+        threaded, _ = _run_workload(SketchServer, protocol)
+        asynced, _ = _run_workload(AsyncSketchServer, protocol)
+        t_names = set(threaded.registry.names())
+        a_names = set(asynced.registry.names())
+        assert t_names == a_names
+        for family in ("server_requests_total", "server_errors_total",
+                       "server_request_seconds", "span_seconds"):
+            assert _series(threaded, family) == _series(asynced, family), (
+                f"family {family} diverges between server implementations"
+            )
+
+    @pytest.mark.parametrize("protocol", ["json", "binary"])
+    def test_span_names_on_a_trace_are_identical(self, protocol):
+        _, threaded_spans = _run_workload(SketchServer, protocol)
+        _, async_spans = _run_workload(AsyncSketchServer, protocol)
+        assert sorted(s["name"] for s in threaded_spans) == (
+            sorted(s["name"] for s in async_spans)
+        )
+        # The server-side request span must parent the engine's work.
+        assert "server.request" in {s["name"] for s in threaded_spans}
+
+
+class TestSlowQueryTraceId:
+    """``trace_id=`` must reach the slow-query log on every path."""
+
+    @pytest.mark.parametrize("server_type", [SketchServer, AsyncSketchServer])
+    @pytest.mark.parametrize("protocol", ["json", "binary"])
+    def test_slow_query_log_carries_the_client_trace_id(
+        self, server_type, protocol
+    ):
+        engine = _make_engine()
+        stream = io.StringIO()
+        logger = StructuredLogger("t", stream=stream)  # warnings only
+        with server_type(
+            engine, port=0, logger=logger, slow_query_seconds=0.0
+        ) as server:
+            server.start()
+            with Client(*server.address, protocol=protocol) as client:
+                client.query(WORKLOAD_QUERIES[:1])
+                trace_id = client.last_trace_id
+        log = stream.getvalue()
+        assert "event=slow_request" in log
+        assert f"trace_id={trace_id}" in log

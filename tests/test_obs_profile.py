@@ -1,0 +1,325 @@
+"""The sampling profiler and its span-context bridge.
+
+Most of these tests drive :meth:`SamplingProfiler.sample_once` with
+*injected* frames and span snapshots — the aggregation, attribution,
+and overhead-accounting logic is deterministic that way, and the edge
+cases the live sampler can hit (threads dying mid-sample, stop racing
+a drain's read, hostile rates) become unit tests instead of races.
+One live test runs the real daemon thread against real work to pin the
+end-to-end path.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SamplingProfiler, render_collapsed
+from repro.obs.trace import SpanContextRegistry, Tracer, span_contexts
+
+
+def _frames_of(thread_ids):
+    """Live ``sys._current_frames()`` filtered to ``thread_ids``."""
+    frames = sys._current_frames()
+    return {tid: frames[tid] for tid in thread_ids if tid in frames}
+
+
+def _worker_frames():
+    """One parked worker thread's id and its live frame.
+
+    The worker blocks on an event inside a recognisably named function,
+    so its sampled stack must contain ``_parked_leaf``.
+    """
+    release = threading.Event()
+    ready = threading.Event()
+
+    def _parked_leaf():
+        ready.set()
+        release.wait(10.0)
+
+    thread = threading.Thread(target=_parked_leaf, daemon=True)
+    thread.start()
+    assert ready.wait(5.0)
+    return thread, release
+
+
+class TestSpanContextRegistry:
+    def test_push_pop_active(self):
+        registry = SpanContextRegistry()
+        assert registry.active(1) is None
+        registry.push(1, "outer")
+        registry.push(1, "inner")
+        assert registry.active(1) == "inner"
+        registry.pop(1)
+        assert registry.active(1) == "outer"
+        registry.pop(1)
+        assert registry.active(1) is None
+        assert registry.snapshot() == {}
+
+    def test_snapshot_is_a_copy(self):
+        registry = SpanContextRegistry()
+        registry.push(7, "a")
+        snap = registry.snapshot()
+        registry.push(7, "b")
+        assert snap == {7: ("a",)}
+
+    def test_prune_drops_dead_threads(self):
+        registry = SpanContextRegistry()
+        registry.push(1, "a")
+        registry.push(2, "b")
+        registry.prune([2])
+        assert registry.snapshot() == {2: ("b",)}
+
+    def test_tracer_spans_register_their_context(self):
+        tracer = Tracer()
+        tid = threading.get_ident()
+        with tracer.trace("t1"):
+            with tracer.span("outer"):
+                assert span_contexts().active(tid) == "outer"
+                with tracer.span("inner"):
+                    assert span_contexts().active(tid) == "inner"
+                assert span_contexts().active(tid) == "outer"
+        assert span_contexts().active(tid) is None
+
+    def test_context_is_popped_when_the_span_body_raises(self):
+        tracer = Tracer()
+        tid = threading.get_ident()
+        with pytest.raises(RuntimeError):
+            with tracer.trace("t1"):
+                with tracer.span("doomed"):
+                    raise RuntimeError("boom")
+        assert span_contexts().active(tid) is None
+
+
+class TestSamplingCore:
+    def test_hz_is_validated(self):
+        with pytest.raises(ParameterError):
+            SamplingProfiler(hz=0.0)
+        with pytest.raises(ParameterError):
+            SamplingProfiler(hz=20_000.0)
+
+    def test_sample_attributes_stack_to_active_span(self):
+        thread, release = _worker_frames()
+        try:
+            contexts = SpanContextRegistry()
+            contexts.push(thread.ident, "server.request")
+            contexts.push(thread.ident, "planner.execute")
+            profiler = SamplingProfiler(hz=100, contexts=contexts)
+            sampled = profiler.sample_once(
+                frames=_frames_of([thread.ident]),
+                spans=contexts.snapshot(),
+            )
+            assert sampled == 1
+            snap = profiler.snapshot()
+            # Self time lands on the innermost span only; total on both.
+            assert snap["spans"]["planner.execute"]["self"] == 1
+            assert snap["spans"]["planner.execute"]["total"] == 1
+            assert snap["spans"]["server.request"]["self"] == 0
+            assert snap["spans"]["server.request"]["total"] == 1
+            (stack,) = [s["stack"] for s in snap["stacks"]]
+            assert stack.startswith("planner.execute;")
+            assert "_parked_leaf" in stack
+        finally:
+            release.set()
+            thread.join(5.0)
+
+    def test_spanless_thread_attributes_to_idle(self):
+        thread, release = _worker_frames()
+        try:
+            profiler = SamplingProfiler(hz=100, contexts=SpanContextRegistry())
+            profiler.sample_once(frames=_frames_of([thread.ident]), spans={})
+            snap = profiler.snapshot()
+            assert snap["spans"]["-"]["self"] == 1
+            assert snap["stacks"][0]["stack"].startswith("-;")
+        finally:
+            release.set()
+            thread.join(5.0)
+
+    def test_sampler_skips_its_own_thread(self):
+        profiler = SamplingProfiler(hz=100, contexts=SpanContextRegistry())
+        sampled = profiler.sample_once(
+            frames=_frames_of([threading.get_ident()]), spans={}
+        )
+        assert sampled == 0
+        assert profiler.snapshot()["stacks"] == []
+
+    def test_thread_death_mid_sample_is_harmless(self):
+        """A thread that exits between frame capture and the walk.
+
+        ``sys._current_frames()`` returns frame snapshots; the thread
+        dying before the walk must neither crash the sampler nor drop
+        the sample.
+        """
+        thread, release = _worker_frames()
+        frames = _frames_of([thread.ident])
+        contexts = SpanContextRegistry()
+        contexts.push(thread.ident, "dying")
+        spans = contexts.snapshot()
+        release.set()
+        thread.join(5.0)
+        assert not thread.is_alive()
+        profiler = SamplingProfiler(hz=100, contexts=contexts)
+        assert profiler.sample_once(frames=frames, spans=spans) == 1
+        assert profiler.snapshot()["spans"]["dying"]["self"] == 1
+        # The live-path prune drops the dead thread's stale context.
+        contexts.prune(sys._current_frames().keys())
+        assert thread.ident not in contexts.snapshot()
+
+    def test_zero_sample_export_is_clean(self, tmp_path):
+        profiler = SamplingProfiler(hz=100, contexts=SpanContextRegistry())
+        snap = profiler.snapshot()
+        assert snap["samples"] == 0
+        assert snap["threads_sampled"] == 0
+        assert snap["overhead_fraction"] == 0.0
+        assert snap["spans"] == {} and snap["stacks"] == []
+        assert profiler.render_collapsed() == ""
+        paths = profiler.dump(str(tmp_path / "empty"))
+        assert (tmp_path / "empty.collapsed").read_text() == ""
+        loaded = json.loads((tmp_path / "empty.json").read_text())
+        assert loaded["samples"] == 0
+        assert paths == [str(tmp_path / "empty.collapsed"),
+                         str(tmp_path / "empty.json")]
+
+    def test_overhead_billing_with_injected_clock_at_hostile_hz(self):
+        """Every tick's cost lands in the counter, even at 10 kHz.
+
+        The injected clock makes each sample appear to cost 1 ms and
+        the whole run 1 s of wall time, so the billed overhead fraction
+        is exactly ticks * 0.001 / 1.0 — deterministic arithmetic, no
+        timing.
+        """
+        ticks = 50
+        clock_value = [0.0]
+
+        def clock():
+            return clock_value[0]
+
+        registry = MetricsRegistry()
+        profiler = SamplingProfiler(
+            hz=10_000, registry=registry,
+            contexts=SpanContextRegistry(), clock=clock,
+        )
+        profiler._started_at = clock()
+        for _ in range(ticks):
+            profiler.sample_once(frames={}, spans={})
+            profiler._bill(0.001)
+        clock_value[0] = 1.0
+        profiler._wall_seconds = clock() - profiler._started_at
+        profiler._started_at = None
+        snap = profiler.snapshot()
+        assert snap["samples"] == ticks
+        assert snap["sample_seconds"] == pytest.approx(ticks * 0.001)
+        assert snap["overhead_fraction"] == pytest.approx(ticks * 0.001 / 1.0)
+        assert registry.counter("profile_sample_seconds").value == (
+            pytest.approx(ticks * 0.001)
+        )
+        assert registry.counter("profile_samples_total").value == ticks
+
+    def test_negative_cost_never_bills(self):
+        profiler = SamplingProfiler(hz=100, contexts=SpanContextRegistry())
+        profiler._bill(-1.0)
+        assert profiler.snapshot()["sample_seconds"] == 0.0
+
+
+class TestRenderCollapsed:
+    def test_heaviest_first_deterministic(self):
+        text = render_collapsed({"a;f;g": 2, "b;f": 5, "a;f": 2})
+        assert text == "b;f 5\na;f 2\na;f;g 2\n"
+
+    def test_empty_is_empty_string(self):
+        assert render_collapsed({}) == ""
+
+
+class TestLifecycle:
+    def test_start_stop_idempotent_and_stop_freezes_aggregate(self):
+        profiler = SamplingProfiler(hz=500, contexts=SpanContextRegistry())
+        profiler.start()
+        profiler.start()  # second start is a no-op
+        assert profiler.running
+        deadline = time.monotonic() + 5.0
+        while (profiler.snapshot()["samples"] == 0
+               and time.monotonic() < deadline):
+            time.sleep(0.005)
+        profiler.stop()
+        profiler.stop()  # idempotent
+        assert not profiler.running
+        frozen = profiler.snapshot()["samples"]
+        assert frozen > 0
+        time.sleep(0.02)
+        assert profiler.snapshot()["samples"] == frozen
+
+    def test_stop_racing_drain_reads_is_safe(self):
+        """Readers hammering snapshot()/render_collapsed() across stop().
+
+        This is the drain race: the server's shutdown path reads the
+        profile while the sampler thread may still be mid-tick.  The
+        lock serialises them; nothing tears or raises.
+        """
+        profiler = SamplingProfiler(hz=2_000, contexts=SpanContextRegistry())
+        errors: list[BaseException] = []
+        stop_reading = threading.Event()
+
+        def reader():
+            try:
+                while not stop_reading.is_set():
+                    profiler.snapshot()
+                    profiler.render_collapsed()
+            except BaseException as exc:  # pragma: no cover - the failure
+                errors.append(exc)
+
+        readers = [threading.Thread(target=reader, daemon=True)
+                   for _ in range(3)]
+        for thread in readers:
+            thread.start()
+        for _ in range(5):
+            profiler.start()
+            time.sleep(0.01)
+            profiler.stop()
+        stop_reading.set()
+        for thread in readers:
+            thread.join(5.0)
+        assert errors == []
+        assert not profiler.running
+
+    def test_live_profile_of_real_work_attributes_spans(self):
+        """End to end: daemon sampler + traced busy loop on another thread."""
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        profiler = SamplingProfiler(hz=1_000, registry=registry)
+        done = threading.Event()
+
+        def busy():
+            with tracer.trace("live"):
+                with tracer.span("busy.loop"):
+                    deadline = time.monotonic() + 2.0
+                    while not done.is_set() and time.monotonic() < deadline:
+                        sum(i * i for i in range(500))
+
+        worker = threading.Thread(target=busy, daemon=True)
+        profiler.start()
+        worker.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                spans = profiler.snapshot()["spans"]
+                if spans.get("busy.loop", {}).get("self", 0) > 0:
+                    break
+                time.sleep(0.005)
+        finally:
+            done.set()
+            worker.join(5.0)
+            profiler.stop()
+        snap = profiler.snapshot()
+        assert snap["spans"]["busy.loop"]["self"] > 0
+        assert any(entry["stack"].startswith("busy.loop;")
+                   for entry in snap["stacks"])
+        assert registry.counter("profile_samples_total").value == (
+            snap["samples"]
+        )
+        assert snap["sample_seconds"] >= 0.0

@@ -177,6 +177,77 @@ class TestPrometheusExport:
         assert lint_prometheus(bad) != []
 
 
+class TestPrometheusExemplars:
+    def _snapshot(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", edges=(0.1, 1.0), help="Latency.")
+        h.record(0.05, trace_id="aaa111")
+        h.record(0.5, trace_id="bbb222")
+        h.record(5.0, trace_id="ccc333")
+        return reg.snapshot()
+
+    def test_exemplars_off_by_default(self):
+        text = render_prometheus(self._snapshot())
+        assert "# {" not in text
+        assert lint_prometheus(text) == []
+
+    def test_exemplars_render_per_bucket_and_lint_clean(self):
+        text = render_prometheus(self._snapshot(), exemplars=True)
+        assert 'lat_seconds_bucket{le="0.1"} 1 # {trace_id="aaa111"} 0.05' in text
+        assert 'lat_seconds_bucket{le="1.0"} 2 # {trace_id="bbb222"} 0.5' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3 # {trace_id="ccc333"} 5.0' in text
+        assert lint_prometheus(text) == []
+
+    def test_explicit_inf_edge_carries_overflow_exemplar(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", edges=(1.0, float("inf")))
+        h.record(99.0, trace_id="deadbeef")
+        text = render_prometheus(reg.snapshot(), exemplars=True)
+        assert 'h_seconds_bucket{le="+Inf"} 1 # {trace_id="deadbeef"} 99.0' in text
+        assert lint_prometheus(text) == []
+
+    def test_untraced_buckets_render_without_exemplar(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", edges=(1.0,))
+        h.record(0.5)
+        h.record(9.0, trace_id="abc")
+        text = render_prometheus(reg.snapshot(), exemplars=True)
+        assert 'h_seconds_bucket{le="1.0"} 1\n' in text
+        assert 'h_seconds_bucket{le="+Inf"} 2 # {trace_id="abc"} 9.0' in text
+
+    def test_lint_rejects_exemplar_on_gauge(self):
+        bad = (
+            "# TYPE g gauge\n"
+            'g 1 # {trace_id="x"} 1.0\n'
+        )
+        assert any("exemplar" in p for p in lint_prometheus(bad))
+
+    def test_lint_rejects_exemplar_exceeding_bucket_bound(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 1 # {trace_id="x"} 5.0\n'
+            'h_bucket{le="+Inf"} 1\n'
+            "h_sum 5.0\nh_count 1\n"
+        )
+        assert any("above the bucket" in p for p in lint_prometheus(bad))
+
+    def test_lint_rejects_oversized_exemplar_labels(self):
+        bad = (
+            "# TYPE h histogram\n"
+            f'h_bucket{{le="+Inf"}} 1 # {{trace_id="{"x" * 200}"}} 0.5\n'
+            "h_sum 0.5\nh_count 1\n"
+        )
+        assert any("128" in p or "label" in p for p in lint_prometheus(bad))
+
+    def test_lint_rejects_malformed_exemplar_value(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 1 # {trace_id="x"} notanumber\n'
+            "h_sum 0.5\nh_count 1\n"
+        )
+        assert lint_prometheus(bad) != []
+
+
 class TestStructuredLogger:
     def test_default_level_suppresses_info(self):
         stream = io.StringIO()
